@@ -1,0 +1,139 @@
+//! Criterion microbenchmarks of the chip substrate: core ticks, chip-level
+//! routing, crossbar sampling, and the on-core PRNG.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+use tn_chip::prelude::*;
+
+fn dense_core(density_seed: u16, n_neurons: usize) -> NeuroSynapticCore {
+    let mut cfg = NeuronConfig::mcculloch_pitts(0, 0.0, 1);
+    cfg.threshold = 64;
+    let mut core = NeuroSynapticCore::new(0, cfg, n_neurons);
+    let mut prng = LfsrPrng::new(density_seed);
+    for a in 0..256 {
+        core.set_axon_type(a, (a % 4) as u8);
+        for n in 0..n_neurons {
+            if prng.gen_bool(0.5) {
+                core.crossbar_mut().set(a, n, true);
+            }
+        }
+    }
+    core
+}
+
+fn bench_core_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core_tick");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    for active_axons in [32usize, 128, 256] {
+        group.bench_function(format!("{active_axons}_active_axons"), |b| {
+            b.iter_batched_ref(
+                || {
+                    let mut core = dense_core(0xACE1, 256);
+                    for a in 0..active_axons {
+                        core.inject(a);
+                    }
+                    core
+                },
+                |core| core.tick(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_chip_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chip_tick");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    for cores in [4usize, 16, 64] {
+        group.bench_function(format!("{cores}_cores"), |b| {
+            b.iter_batched_ref(
+                || {
+                    let mut chip = TrueNorthChip::truenorth(1);
+                    for i in 0..cores {
+                        let core = dense_core(i as u16 + 1, 256);
+                        chip.add_core(core, vec![SpikeTarget::None; 256])
+                            .expect("add");
+                    }
+                    for h in 0..cores {
+                        for a in (0..256).step_by(2) {
+                            chip.inject(h, a).expect("inject");
+                        }
+                    }
+                    chip
+                },
+                |chip| chip.tick(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_crossbar_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("fill_65536_synapses", |b| {
+        b.iter(|| {
+            let mut xb = Crossbar::new();
+            let mut prng = LfsrPrng::new(0x1234);
+            for a in 0..256 {
+                for n in 0..256 {
+                    if prng.gen_bool(0.5) {
+                        xb.set(a, n, true);
+                    }
+                }
+            }
+            xb.connection_count()
+        })
+    });
+    group.bench_function("row_scan_dense", |b| {
+        let mut xb = Crossbar::new();
+        for a in 0..256 {
+            for n in (0..256).step_by(2) {
+                xb.set(a, n, true);
+            }
+        }
+        b.iter(|| {
+            let mut total = 0usize;
+            for a in 0..256 {
+                total += xb.connected_neurons(a).count();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+fn bench_prng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prng");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("lfsr_4096_draws", |b| {
+        let mut prng = LfsrPrng::new(0xBEEF);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for _ in 0..4096 {
+                acc = acc.wrapping_add(prng.next_u16() as u32);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_core_tick,
+    bench_chip_tick,
+    bench_crossbar_sampling,
+    bench_prng
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion microbenchmarks of the neural codecs: encoding a 784-pixel
+//! frame under each coding scheme, plus spike-train bit operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tn_codec::prelude::*;
+
+fn frame() -> Vec<f32> {
+    (0..784).map(|i| ((i * 37) % 100) as f32 / 100.0).collect()
+}
+
+fn bench_codes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_784px");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
+    let values = frame();
+    group.bench_function("stochastic_spf4", |b| {
+        let mut code = StochasticCode::new(1);
+        b.iter(|| code.encode(&values, 4))
+    });
+    group.bench_function("rate_spf16", |b| b.iter(|| RateCode.encode(&values, 16)));
+    group.bench_function("population_pool16", |b| {
+        let code = PopulationCode::new(16);
+        b.iter(|| code.encode(&values))
+    });
+    group.bench_function("time_to_spike_16", |b| {
+        b.iter(|| TimeToSpikeCode.encode(&values, 16))
+    });
+    group.bench_function("rank", |b| b.iter(|| RankCode.encode(&values)));
+    group.finish();
+}
+
+fn bench_train_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spike_train");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(1));
+    let t = RateCode.encode(&frame(), 16);
+    group.bench_function("rates_784ch", |b| b.iter(|| t.rates()));
+    group.bench_function("active_at_16steps", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for s in 0..16 {
+                total += t.active_at(s).len();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codes, bench_train_ops);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion microbenchmarks of the deployment toolchain: connectivity
+//! sampling + placement (the NSCS build), frame simulation, and deviation
+//! extraction, all on the paper's Fig.-3 four-core network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tn_chip::nscs::Deployment;
+use tn_chip::prng::splitmix64;
+use truenorth::arch::ArchSpec;
+use truenorth::deploy::extract_spec;
+
+fn fig3_spec() -> tn_chip::nscs::NetworkDeploySpec {
+    let net = ArchSpec::test_bench(1, 42).build().expect("arch");
+    extract_spec(&net).expect("spec")
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deployment_build");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let spec = fig3_spec();
+    for copies in [1usize, 4, 16] {
+        group.bench_function(format!("{copies}_copies"), |b| {
+            b.iter(|| Deployment::build(&spec, copies, 7).expect("deploy"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_frame(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run_frame");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let spec = fig3_spec();
+    let inputs: Vec<f32> = (0..784).map(|i| ((i * 13) % 90) as f32 / 100.0).collect();
+    for (copies, spf) in [(1usize, 1usize), (1, 4), (4, 1), (16, 4)] {
+        let mut dep = Deployment::build(&spec, copies, 7).expect("deploy");
+        let mut seed = 0u64;
+        group.bench_function(format!("{copies}copies_{spf}spf"), |b| {
+            b.iter(|| {
+                seed = splitmix64(seed);
+                dep.run_frame(&inputs, spf, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_deviation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deviation_map");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    let spec = fig3_spec();
+    let dep = Deployment::build(&spec, 1, 7).expect("deploy");
+    group.bench_function("one_core_65536_synapses", |b| {
+        b.iter(|| dep.deviation_map(&spec, 0, 0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_frame, bench_deviation);
+criterion_main!(benches);

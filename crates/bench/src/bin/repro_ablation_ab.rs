@@ -1,0 +1,67 @@
+//! Ablation 3 (DESIGN.md §7.3): the biasing penalty's target parameters
+//! `(a, b)` of Eq. (17).
+//!
+//! `a = b = 0.5` (the paper's choice) attracts probabilities to both poles;
+//! `a = b = 0` degenerates to L1 (zeros only); intermediate values attract
+//! to interior points and should underperform both.
+
+use tn_bench::{banner, save_csv, BASE_SEED};
+use truenorth::experiment::{averaged_surface, train_model};
+use truenorth::prelude::*;
+use truenorth::report::{acc4, CsvTable};
+
+fn main() {
+    let scale = banner(
+        "Ablation — biasing targets (a, b)",
+        "DESIGN.md §7.3 (Eq. 17 pole placement)",
+    );
+    let bench = TestBench::new(1, BASE_SEED);
+    let data = bench.load_data(&scale, BASE_SEED);
+    let lambda = 3e-4_f32;
+
+    let variants: [(&str, f32, f32); 4] = [
+        ("a=b=0.5 (paper)", 0.5, 0.5),
+        ("a=b=0 (L1-like)", 0.0, 0.0),
+        ("a=0.5,b=0.25", 0.5, 0.25),
+        ("a=0.25,b=0.25", 0.25, 0.25),
+    ];
+
+    println!(
+        "{:<18} {:>10} {:>10} {:>11} {:>10}",
+        "targets", "float", "deployed1", "pole mass", "mean var"
+    );
+    let mut csv = CsvTable::new(vec![
+        "variant",
+        "a",
+        "b",
+        "float_acc",
+        "deployed_1copy",
+        "pole_mass",
+        "mean_variance",
+    ]);
+    for (name, a, b) in variants {
+        let penalty = Penalty::Biasing { lambda, a, b };
+        let model = train_model(&bench, &data, penalty, &scale, BASE_SEED).expect("train");
+        let surface = averaged_surface(&model, &data, 1, 1, &scale, 7).expect("eval");
+        let hist = ProbabilityHistogram::from_network(&model.network, 50);
+        let var = mean_synaptic_variance(&model.network);
+        println!(
+            "{:<18} {:>10.4} {:>10.4} {:>11.3} {:>10.4}",
+            name,
+            model.float_accuracy,
+            surface.at(1, 1),
+            hist.pole_mass(0.1),
+            var
+        );
+        csv.push_row(vec![
+            name.to_string(),
+            a.to_string(),
+            b.to_string(),
+            acc4(model.float_accuracy as f64),
+            acc4(surface.at(1, 1)),
+            format!("{:.4}", hist.pole_mass(0.1)),
+            format!("{:.5}", var),
+        ]);
+    }
+    save_csv(&csv, "ablation_ab");
+}

@@ -1,0 +1,58 @@
+//! Ablation 2 (DESIGN.md §7.2): biasing penalty strength λ sweep.
+//!
+//! Under-biasing leaves probability mass in the risky middle; over-biasing
+//! polarizes fully but starts costing float accuracy. The default λ (3e-4)
+//! sits at the knee.
+
+use tn_bench::{banner, save_csv, BASE_SEED};
+use truenorth::experiment::{averaged_surface, train_model};
+use truenorth::prelude::*;
+use truenorth::report::{acc4, CsvTable};
+
+fn main() {
+    let scale = banner(
+        "Ablation — biasing penalty strength",
+        "DESIGN.md §7.2 (λ sweep around the default 3e-4)",
+    );
+    let bench = TestBench::new(1, BASE_SEED);
+    let data = bench.load_data(&scale, BASE_SEED);
+
+    println!(
+        "{:>10} {:>10} {:>10} {:>11} {:>10}",
+        "lambda", "float", "deployed1", "pole mass", "mean var"
+    );
+    let mut csv = CsvTable::new(vec![
+        "lambda",
+        "float_acc",
+        "deployed_1copy",
+        "pole_mass",
+        "mean_variance",
+    ]);
+    for lambda in [0.0f32, 1e-4, 2e-4, 3e-4, 4e-4, 8e-4, 1.6e-3] {
+        let penalty = if lambda == 0.0 {
+            Penalty::None
+        } else {
+            Penalty::biasing(lambda)
+        };
+        let model = train_model(&bench, &data, penalty, &scale, BASE_SEED).expect("train");
+        let surface = averaged_surface(&model, &data, 1, 1, &scale, 7).expect("eval");
+        let hist = ProbabilityHistogram::from_network(&model.network, 50);
+        let var = mean_synaptic_variance(&model.network);
+        println!(
+            "{:>10.0e} {:>10.4} {:>10.4} {:>11.3} {:>10.4}",
+            lambda,
+            model.float_accuracy,
+            surface.at(1, 1),
+            hist.pole_mass(0.1),
+            var
+        );
+        csv.push_row(vec![
+            format!("{lambda:e}"),
+            acc4(model.float_accuracy as f64),
+            acc4(surface.at(1, 1)),
+            format!("{:.4}", hist.pole_mass(0.1)),
+            format!("{:.5}", var),
+        ]);
+    }
+    save_csv(&csv, "ablation_lambda");
+}

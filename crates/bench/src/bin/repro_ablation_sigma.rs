@@ -1,0 +1,98 @@
+//! Ablation 1 (DESIGN.md §7.1): does training *through the variance* —
+//! the σ in the paper's Eq. (11) activation — matter, and does the lattice
+//! continuity correction matter?
+//!
+//! Compares three Tea-activation variants on test bench 1:
+//! * `variance-aware` — the full Eq. (11) with the half-integer correction
+//!   (the reproduction's default);
+//! * `uncorrected`    — textbook Eq. (11), no lattice correction;
+//! * `fixed-sigma`    — σ pinned to 1 (a plain probit: the model never
+//!   sees its own deployment variance).
+
+use tn_bench::{banner, save_csv, BASE_SEED};
+use tn_chip::nscs::ConnectivityMode;
+use tn_learn::activation::TeaActivation;
+use tn_learn::layer::Layer;
+use tn_learn::penalty::Penalty;
+use truenorth::deploy::extract_spec;
+use truenorth::eval::{evaluate_grid, EvalConfig};
+use truenorth::prelude::*;
+use truenorth::report::{acc4, CsvTable};
+
+fn main() {
+    let scale = banner(
+        "Ablation — variance-aware Tea activation",
+        "DESIGN.md §7.1 (training through σ, Eq. 11)",
+    );
+    let bench = TestBench::new(1, BASE_SEED);
+    let data = bench.load_data(&scale, BASE_SEED);
+
+    let variants: [(&str, TeaActivation); 3] = [
+        ("variance-aware", TeaActivation::new()),
+        ("uncorrected", TeaActivation::uncorrected()),
+        ("fixed-sigma", TeaActivation::fixed(1.0)),
+    ];
+
+    println!(
+        "{:<16} {:>10} {:>10} {:>10}",
+        "activation", "float", "deployed1", "deployed4"
+    );
+    let mut csv = CsvTable::new(vec![
+        "activation",
+        "float_acc",
+        "deployed_1copy",
+        "deployed_4copies",
+    ]);
+    for (name, act) in variants {
+        // Build, retarget the activation, then run the standard two-phase
+        // schedule by hand (TestBench::train always uses the default
+        // activation).
+        let mut arch = bench.arch.clone();
+        arch.seed = BASE_SEED;
+        let mut net = arch.build().expect("arch");
+        for layer in net.layers_mut() {
+            if let Layer::TnCore(t) = layer {
+                t.activation = act;
+            }
+        }
+        let cfg1 = bench.train_config(Penalty::None, scale.epochs, BASE_SEED);
+        tn_learn::trainer::Trainer::new(cfg1)
+            .fit(&mut net, &data.train_x, &data.train_y, None)
+            .expect("phase 1");
+        let phase2 = (scale.epochs * 4).div_ceil(5).max(1);
+        let cfg2 = bench.consolidate_config(Penalty::None, phase2, BASE_SEED + 1);
+        tn_learn::trainer::Trainer::new(cfg2)
+            .fit(&mut net, &data.train_x, &data.train_y, None)
+            .expect("phase 2");
+
+        let float = net.accuracy(&data.test_x, &data.test_y);
+        let spec = extract_spec(&net).expect("spec");
+        let grid = evaluate_grid(
+            &spec,
+            &data.test_x,
+            &data.test_y,
+            &EvalConfig {
+                copies: 4,
+                spf: 1,
+                seed: 7,
+                threads: scale.threads,
+                connectivity: ConnectivityMode::IndependentPerCopy,
+            },
+        )
+        .expect("eval");
+        println!(
+            "{:<16} {:>10.4} {:>10.4} {:>10.4}",
+            name,
+            float,
+            grid.accuracy(1, 1),
+            grid.accuracy(4, 1)
+        );
+        csv.push_row(vec![
+            name.to_string(),
+            acc4(float as f64),
+            acc4(grid.accuracy(1, 1) as f64),
+            acc4(grid.accuracy(4, 1) as f64),
+        ]);
+    }
+    save_csv(&csv, "ablation_sigma");
+}

@@ -1,0 +1,73 @@
+//! Extension experiment: energy per classified frame, Tea vs biased.
+//!
+//! The paper optimizes accuracy, cores, and speed; the chip's headline
+//! energy figure (58 GSOPS @ 145 mW) lets us add the fourth axis. Biasing
+//! polarizes many probabilities to p = 1, wiring *more* synapses per copy
+//! (higher energy per copy) while needing *fewer* copies for the same
+//! accuracy — this bin quantifies where the net energy balance lands.
+
+use tn_bench::{banner, save_csv, BASE_SEED};
+use truenorth::experiment::train_model;
+use truenorth::power::analyze_energy;
+use truenorth::prelude::*;
+use truenorth::report::CsvTable;
+
+fn main() {
+    let scale = banner(
+        "Extension — energy per frame (Tea vs biased)",
+        "energy proxy from the paper's 58 GSOPS @ 145 mW quote",
+    );
+    let bench = TestBench::new(1, BASE_SEED);
+    let data = bench.load_data(&scale, BASE_SEED);
+    let tea = train_model(&bench, &data, Penalty::None, &scale, BASE_SEED).expect("tea");
+    let biased =
+        train_model(&bench, &data, bench.biasing_penalty(), &scale, BASE_SEED).expect("biased");
+
+    println!(
+        "{:<8} {:>7} {:>5} {:>7} {:>10} {:>13} {:>12}",
+        "model", "copies", "spf", "cores", "accuracy", "synops/frame", "uJ/frame"
+    );
+    let mut csv = CsvTable::new(vec![
+        "model",
+        "copies",
+        "spf",
+        "cores",
+        "accuracy",
+        "synops_per_frame",
+        "uj_per_frame",
+    ]);
+    for (name, m) in [("tea", &tea), ("biased", &biased)] {
+        for (copies, spf) in [(1usize, 1usize), (4, 1), (16, 1), (1, 4)] {
+            let a = analyze_energy(
+                &m.spec,
+                &data.test_x,
+                &data.test_y,
+                copies,
+                spf,
+                7,
+                scale.threads,
+            )
+            .expect("analyze");
+            println!(
+                "{:<8} {:>7} {:>5} {:>7} {:>10.4} {:>13.0} {:>12.3}",
+                name,
+                copies,
+                spf,
+                a.cores,
+                a.accuracy,
+                a.synops_per_frame(),
+                a.joules_per_frame() * 1e6
+            );
+            csv.push_row(vec![
+                name.to_string(),
+                copies.to_string(),
+                spf.to_string(),
+                a.cores.to_string(),
+                format!("{:.4}", a.accuracy),
+                format!("{:.0}", a.synops_per_frame()),
+                format!("{:.4}", a.joules_per_frame() * 1e6),
+            ]);
+        }
+    }
+    save_csv(&csv, "ext_energy");
+}

@@ -1,0 +1,66 @@
+//! Reproduces the **§3.1 / Fig. 3 baseline**: the 4-core MNIST network under
+//! plain Tea learning — float ("Caffe") accuracy, the quantization drop at
+//! one deployed copy, and the recovery with 16 copies (64 cores).
+//!
+//! Paper values: 95.27% float → 90.04% at 1 copy → 94.63% at 16 copies.
+
+use tn_bench::{banner, compare, save_csv, BASE_SEED};
+use truenorth::prelude::*;
+use truenorth::report::{acc4, CsvTable};
+
+fn main() {
+    let scale = banner(
+        "Fig. 3 / §3.1 — Tea-learning baseline on test bench 1",
+        "§3.1 numbers: 95.27% / 90.04% / 94.63%; Fig. 3 topology",
+    );
+    let result = baseline_study(&scale, BASE_SEED).expect("baseline study");
+
+    compare("network cores (Fig. 3)", "4", &result.cores.0.to_string());
+    compare(
+        "float accuracy (Caffe)",
+        "0.9527",
+        &acc4(result.float_accuracy as f64),
+    );
+    compare(
+        "deployed, 1 copy, 1 spf",
+        "0.9004",
+        &acc4(result.deployed_one_copy as f64),
+    );
+    compare(
+        "deployed, 16 copies (64 cores)",
+        "0.9463",
+        &acc4(result.deployed_sixteen_copies as f64),
+    );
+    let drop = result.float_accuracy - result.deployed_one_copy;
+    let recovered = result.deployed_sixteen_copies - result.deployed_one_copy;
+    compare("quantization drop at 1 copy", "0.0523", &acc4(drop as f64));
+    compare("recovery from 16 copies", "0.0459", &acc4(recovered as f64));
+
+    let mut csv = CsvTable::new(vec!["quantity", "paper", "measured"]);
+    csv.push_row(vec![
+        "float_accuracy".into(),
+        "0.9527".into(),
+        acc4(result.float_accuracy as f64),
+    ]);
+    csv.push_row(vec![
+        "deployed_1copy".into(),
+        "0.9004".into(),
+        acc4(result.deployed_one_copy as f64),
+    ]);
+    csv.push_row(vec![
+        "deployed_16copies".into(),
+        "0.9463".into(),
+        acc4(result.deployed_sixteen_copies as f64),
+    ]);
+    csv.push_row(vec![
+        "cores_1copy".into(),
+        "4".into(),
+        result.cores.0.to_string(),
+    ]);
+    csv.push_row(vec![
+        "cores_16copies".into(),
+        "64".into(),
+        result.cores.1.to_string(),
+    ]);
+    save_csv(&csv, "fig3_baseline");
+}

@@ -1,0 +1,48 @@
+//! Reproduces **Fig. 7** — absolute accuracy surfaces of Tea learning vs
+//! probability-biased learning over network copies (1-16) × spikes per
+//! frame (1-4), averaged over deployment randomness.
+//!
+//! The paper's qualitative claims: both surfaces rise and saturate toward
+//! the float ("Caffe") plane; the biased (yellow) surface covers above the
+//! Tea (red) surface, especially at low duplication.
+
+use tn_bench::{banner, save_csv, BASE_SEED};
+use truenorth::experiment::duplication_study;
+use truenorth::report::CsvTable;
+
+fn main() {
+    let scale = banner(
+        "Fig. 7 — accuracy surfaces over (copies x spf)",
+        "Fig. 7: biased surface covers above Tea; both saturate near float accuracy",
+    );
+    let study = duplication_study(1, 16, 4, &scale, BASE_SEED).expect("duplication study");
+
+    println!(
+        "float accuracies: tea {:.4}, biased {:.4} (paper: 0.9527 / 0.9503)\n",
+        study.float_accuracies.0, study.float_accuracies.1
+    );
+    println!("Tea learning (red surface):\n{}", study.tea);
+    println!(
+        "Probability-biased learning (yellow surface):\n{}",
+        study.biased
+    );
+    println!(
+        "biased covers above tea on {:.1}% of grid points (paper: everywhere)",
+        100.0 * study.biased.coverage_over(&study.tea)
+    );
+
+    let mut csv = CsvTable::new(vec!["method", "copies", "spf", "accuracy"]);
+    for (name, surf) in [("tea", &study.tea), ("biased", &study.biased)] {
+        for c in 1..=surf.copies_max() {
+            for s in 1..=surf.spf_max() {
+                csv.push_row(vec![
+                    name.to_string(),
+                    c.to_string(),
+                    s.to_string(),
+                    format!("{:.6}", surf.at(c, s)),
+                ]);
+            }
+        }
+    }
+    save_csv(&csv, "fig7_surfaces");
+}

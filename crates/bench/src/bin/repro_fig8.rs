@@ -1,0 +1,57 @@
+//! Reproduces **Fig. 8** — the accuracy *boost* surface (biased minus Tea)
+//! over copies × spf.
+//!
+//! Paper: the highest gain (+2.5%) occurs at the lowest duplication (one
+//! copy, one spf); gains shrink as duplication increases.
+
+use tn_bench::{banner, compare, save_csv, BASE_SEED};
+use truenorth::experiment::duplication_study;
+use truenorth::report::CsvTable;
+
+fn main() {
+    let scale = banner(
+        "Fig. 8 — accuracy boost (biased − Tea)",
+        "Fig. 8: max boost ≈ +2.5% at (1 copy, 1 spf), shrinking with duplication",
+    );
+    let study = duplication_study(1, 16, 4, &scale, BASE_SEED).expect("duplication study");
+    let boost = study.biased.boost_over(&study.tea);
+
+    println!("boost surface (copies x spf):");
+    print!("{:>7}", "c\\spf");
+    for s in 1..=4 {
+        print!(" {s:>8}");
+    }
+    println!();
+    for c in 1..=16 {
+        print!("{c:>7}");
+        for s in 1..=4 {
+            print!(" {:>+8.4}", boost.at(c, s));
+        }
+        println!();
+    }
+    println!();
+    let (bc, bs, bv) = boost.max_boost();
+    compare(
+        "max boost location",
+        "(1 copy, 1 spf)",
+        &format!("({bc} copies, {bs} spf)"),
+    );
+    compare("max boost value", "+0.0250", &format!("{bv:+.4}"));
+    compare(
+        "boost at (1,1) vs (16,4)",
+        "shrinks with duplication",
+        &format!("{:+.4} -> {:+.4}", boost.at(1, 1), boost.at(16, 4)),
+    );
+
+    let mut csv = CsvTable::new(vec!["copies", "spf", "boost"]);
+    for c in 1..=16 {
+        for s in 1..=4 {
+            csv.push_row(vec![
+                c.to_string(),
+                s.to_string(),
+                format!("{:.6}", boost.at(c, s)),
+            ]);
+        }
+    }
+    save_csv(&csv, "fig8_boost");
+}

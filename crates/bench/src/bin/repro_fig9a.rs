@@ -1,0 +1,41 @@
+//! Reproduces **Fig. 9(a)** — average core saving of the biased method vs
+//! spikes per frame (1-4) on test bench 1.
+//!
+//! Paper: core saving roughly increases with spf (≈49.5% at 1 spf and
+//! higher beyond).
+
+use tn_bench::{banner, save_csv, BASE_SEED};
+use truenorth::cooptimize::CoreOccupationReport;
+use truenorth::experiment::duplication_study;
+use truenorth::report::CsvTable;
+
+fn main() {
+    let scale = banner(
+        "Fig. 9(a) — core efficiency vs spf",
+        "Fig. 9(a): average core reduction per spf, roughly increasing",
+    );
+    let study = duplication_study(1, 16, 4, &scale, BASE_SEED).expect("duplication study");
+
+    let mut csv = CsvTable::new(vec!["spf", "avg_saved_pct", "max_saved_pct"]);
+    println!(
+        "{:>5} {:>16} {:>16}",
+        "spf", "avg cores saved", "max cores saved"
+    );
+    for spf in 1..=4 {
+        let tea = study.tea.copies_ladder_f32(spf);
+        let biased = study.biased.copies_ladder_f32(spf);
+        let report = CoreOccupationReport::new(&tea, &biased, study.cores_per_copy, spf);
+        println!(
+            "{:>5} {:>15.1}% {:>15.1}%",
+            spf,
+            report.average_percent_saved(),
+            report.max_percent_saved()
+        );
+        csv.push_row(vec![
+            spf.to_string(),
+            format!("{:.2}", report.average_percent_saved()),
+            format!("{:.2}", report.max_percent_saved()),
+        ]);
+    }
+    save_csv(&csv, "fig9a_core_eff_vs_spf");
+}

@@ -1,0 +1,52 @@
+//! Reproduces **Fig. 9(b)** — core saving of the biased method across all
+//! five test benches of Table 3.
+//!
+//! Paper: the benefit varies with application and network structure but the
+//! method always substantially reduces the needed cores.
+
+use tn_bench::{banner, save_csv, BASE_SEED};
+use truenorth::cooptimize::CoreOccupationReport;
+use truenorth::experiment::duplication_study;
+use truenorth::report::CsvTable;
+
+fn main() {
+    let scale = banner(
+        "Fig. 9(b) — core efficiency vs test bench",
+        "Fig. 9(b): substantial core reduction on every bench",
+    );
+    // Copies axis trimmed to 8 so the deepest bench (TB3: 62 cores/copy)
+    // stays well inside the 4096-core chip.
+    let copies_max = 8;
+
+    let mut csv = CsvTable::new(vec![
+        "bench",
+        "cores_per_copy",
+        "avg_saved_pct",
+        "max_saved_pct",
+    ]);
+    println!(
+        "{:>6} {:>15} {:>16} {:>16}",
+        "bench", "cores/copy", "avg cores saved", "max cores saved"
+    );
+    for bench_id in 1..=5 {
+        let study = duplication_study(bench_id, copies_max, 1, &scale, BASE_SEED)
+            .expect("duplication study");
+        let tea = study.tea.copies_ladder_f32(1);
+        let biased = study.biased.copies_ladder_f32(1);
+        let report = CoreOccupationReport::new(&tea, &biased, study.cores_per_copy, 1);
+        println!(
+            "{:>6} {:>15} {:>15.1}% {:>15.1}%",
+            bench_id,
+            study.cores_per_copy,
+            report.average_percent_saved(),
+            report.max_percent_saved()
+        );
+        csv.push_row(vec![
+            bench_id.to_string(),
+            study.cores_per_copy.to_string(),
+            format!("{:.2}", report.average_percent_saved()),
+            format!("{:.2}", report.max_percent_saved()),
+        ]);
+    }
+    save_csv(&csv, "fig9b_core_eff_vs_bench");
+}

@@ -1,0 +1,75 @@
+//! Reproduces **Table 1** — the evaluation datasets.
+//!
+//! Generates both synthetic substitutes at paper scale factors and verifies
+//! the structural columns (feature count, class count, split sizes).
+
+use tn_bench::{banner, compare, save_csv, BASE_SEED};
+use tn_data::mnist_synth::{self, MnistSynthConfig};
+use tn_data::rs130_synth::{self, Rs130SynthConfig};
+use truenorth::report::CsvTable;
+
+fn main() {
+    let scale = banner("Table 1 — test datasets", "Table 1 (MNIST, RS130)");
+    // Scale factor relative to the paper's full split sizes.
+    let factor = (scale.n_train as f64 / 60_000.0).min(1.0);
+
+    let (mn_train, mn_test) =
+        mnist_synth::train_test(factor, BASE_SEED, &MnistSynthConfig::default());
+    let (rs_train, rs_test) = rs130_synth::train_test(
+        factor * 60_000.0 / 17_766.0,
+        BASE_SEED,
+        &Rs130SynthConfig::default(),
+    );
+
+    println!("MNIST (synthetic substitute):");
+    compare(
+        "training size (at scale 1.0)",
+        "60,000",
+        &format!("{} (scale {factor:.4})", mn_train.len()),
+    );
+    compare(
+        "testing size (at scale 1.0)",
+        "10,000",
+        &format!("{}", mn_test.len()),
+    );
+    compare(
+        "feature #",
+        "784 (28x28)",
+        &format!("{}", mn_train.n_features()),
+    );
+    compare("class #", "10", &format!("{}", mn_train.n_classes()));
+    println!("RS130 (synthetic substitute):");
+    compare(
+        "training size (at scale 1.0)",
+        "17,766",
+        &format!("{}", rs_train.len()),
+    );
+    compare(
+        "testing size (at scale 1.0)",
+        "6,621",
+        &format!("{}", rs_test.len()),
+    );
+    compare("feature #", "357", &format!("{}", rs_train.n_features()));
+    compare("class #", "3", &format!("{}", rs_train.n_classes()));
+
+    let mut csv = CsvTable::new(vec![
+        "dataset", "area", "train", "test", "features", "classes",
+    ]);
+    csv.push_row(vec![
+        "MNIST-synth".to_string(),
+        "computer engineering".to_string(),
+        mn_train.len().to_string(),
+        mn_test.len().to_string(),
+        mn_train.n_features().to_string(),
+        mn_train.n_classes().to_string(),
+    ]);
+    csv.push_row(vec![
+        "RS130-synth".to_string(),
+        "life science".to_string(),
+        rs_train.len().to_string(),
+        rs_test.len().to_string(),
+        rs_train.n_features().to_string(),
+        rs_train.n_classes().to_string(),
+    ]);
+    save_csv(&csv, "table1_datasets");
+}

@@ -1,0 +1,48 @@
+//! Reproduces **Table 2(b)** — performance (speed) efficiency at one
+//! network copy.
+//!
+//! The spikes-per-frame ladders of Tea (N#) and biased (B#) models are
+//! paired like Table 2(a); a match of N13 by B2 is the paper's headline
+//! **6.5× speedup** (frame latency is proportional to spf).
+
+use tn_bench::{banner, compare, save_csv, BASE_SEED};
+use truenorth::cooptimize::SpeedupReport;
+use truenorth::experiment::duplication_study;
+use truenorth::report::CsvTable;
+
+fn main() {
+    let scale = banner(
+        "Table 2(b) — performance efficiency (1 network copy)",
+        "Table 2(b): B2 ≥ N13 ⇒ 6.5× speedup",
+    );
+    // One copy, spf swept to the paper's maximum of 13.
+    let study = duplication_study(1, 1, 13, &scale, BASE_SEED).expect("duplication study");
+    let tea = study.tea.spf_ladder_f32(1);
+    let biased = study.biased.spf_ladder_f32(1);
+    let report = SpeedupReport::new(&tea, &biased, 1);
+
+    println!("{report}");
+    compare(
+        "maximum speedup",
+        "6.5x",
+        &format!("{:.2}x", report.max_speedup()),
+    );
+
+    let mut csv = CsvTable::new(vec![
+        "baseline_spf",
+        "baseline_acc",
+        "biased_spf",
+        "biased_acc",
+        "speedup",
+    ]);
+    for p in &report.pairings {
+        csv.push_row(vec![
+            p.baseline_level.to_string(),
+            format!("{:.4}", p.baseline_accuracy),
+            p.biased_level.map_or("-".into(), |b| b.to_string()),
+            p.biased_accuracy.map_or("-".into(), |a| format!("{a:.4}")),
+            format!("{:.2}", report.speedup(p)),
+        ]);
+    }
+    save_csv(&csv, "table2b_performance");
+}

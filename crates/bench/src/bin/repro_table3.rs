@@ -1,0 +1,54 @@
+//! Reproduces **Table 3** — the five test benches and their float ("in
+//! Caffe") accuracies.
+//!
+//! Paper values: 95.27% / 96.71% / 97.05% (MNIST, strides 12/4/2) and
+//! 69.09% / 69.65% (RS130, strides 3/1).
+
+use tn_bench::{banner, save_csv, BASE_SEED};
+use truenorth::experiment::table3_row;
+use truenorth::report::{acc4, CsvTable};
+
+fn main() {
+    let scale = banner(
+        "Table 3 — test benches",
+        "Table 3: float accuracies 95.27/96.71/97.05/69.09/69.65%",
+    );
+    let paper = ["0.9527", "0.9671", "0.9705", "0.6909", "0.6965"];
+
+    println!(
+        "{:>6} {:>8} {:>8} {:>7} {:>13} {:>13} {:>14}",
+        "bench", "stride", "layers", "cores", "float(paper)", "float(ours)", "float(biased)"
+    );
+    let mut csv = CsvTable::new(vec![
+        "bench",
+        "stride",
+        "hidden_layers",
+        "cores",
+        "paper_float",
+        "float_none",
+        "float_biased",
+    ]);
+    for bench_id in 1..=5 {
+        let row = table3_row(bench_id, &scale, BASE_SEED).expect("table3 row");
+        println!(
+            "{:>6} {:>8} {:>8} {:>7} {:>13} {:>13} {:>14}",
+            row.bench_id,
+            row.stride,
+            row.hidden_layers,
+            row.cores,
+            paper[bench_id - 1],
+            acc4(row.float_accuracy_none as f64),
+            acc4(row.float_accuracy_biased as f64)
+        );
+        csv.push_row(vec![
+            row.bench_id.to_string(),
+            row.stride.to_string(),
+            row.hidden_layers.to_string(),
+            row.cores.to_string(),
+            paper[bench_id - 1].to_string(),
+            acc4(row.float_accuracy_none as f64),
+            acc4(row.float_accuracy_biased as f64),
+        ]);
+    }
+    save_csv(&csv, "table3_testbenches");
+}

@@ -1,0 +1,44 @@
+//! # tn-bench — reproduction and benchmark harness
+//!
+//! Two kinds of targets:
+//!
+//! * **`repro_*` binaries** (`src/bin/`) — one per table/figure of the
+//!   paper. Each prints the paper's row/series structure with paper-vs-
+//!   measured values and writes a CSV artifact into `target/repro/`.
+//!   Sizes scale with the `TN_TRAIN`/`TN_TEST`/`TN_EPOCHS`/`TN_SEEDS`/
+//!   `TN_THREADS` environment variables (see `RunScale::from_env`).
+//! * **criterion benches** (`benches/`) — microbenchmarks of the substrate
+//!   (chip tick throughput, training epochs, codecs, deployment builds).
+
+use truenorth::prelude::*;
+use truenorth::report::{repro_dir, CsvTable};
+
+/// Print the standard experiment banner and return the run scale.
+pub fn banner(name: &str, paper_ref: &str) -> RunScale {
+    let scale = RunScale::from_env();
+    println!("=== {name} ===");
+    println!("reproduces: {paper_ref}");
+    println!(
+        "scale: train={} test={} epochs={} seeds={} threads={} (override via TN_* env vars)",
+        scale.n_train, scale.n_test, scale.epochs, scale.seeds, scale.threads
+    );
+    println!();
+    scale
+}
+
+/// Write a CSV artifact and report its path.
+pub fn save_csv(table: &CsvTable, name: &str) {
+    match table.write_to(&repro_dir(), name) {
+        Ok(path) => println!("\n[artifact] {}", path.display()),
+        Err(e) => eprintln!("\n[artifact] failed to write {name}.csv: {e}"),
+    }
+}
+
+/// Print one paper-vs-measured comparison line.
+pub fn compare(label: &str, paper: &str, measured: &str) {
+    println!("  {label:<44} paper: {paper:<12} measured: {measured}");
+}
+
+/// The deterministic base seed shared by all repro binaries so their
+/// artifacts are mutually consistent.
+pub const BASE_SEED: u64 = 42;

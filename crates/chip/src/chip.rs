@@ -1,0 +1,581 @@
+//! The full chip: a mesh of neuro-synaptic cores, the spike router, and the
+//! external I/O boundary.
+//!
+//! Simulation is synchronous-tick: spikes fired during tick `t` are
+//! delivered to their target axon at tick `t + 1` (one-tick network
+//! latency, as on hardware). Every neuron routes to at most one target —
+//! either an `(core, axon)` pair or an external output channel — matching
+//! TrueNorth's single-target fan-out.
+
+use crate::energy::EnergyReport;
+use crate::neuro_core::{CoreStats, NeuroSynapticCore};
+use crate::placement::{CoreCoord, PlacementError, Placer};
+use serde::{Deserialize, Serialize};
+
+/// Where a neuron's spike goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpikeTarget {
+    /// Spike is dropped (unused neuron).
+    None,
+    /// Spike is routed to an axon of a core on this chip.
+    Axon {
+        /// Destination core handle.
+        core: usize,
+        /// Destination axon index.
+        axon: usize,
+    },
+    /// Spike leaves the chip on an output channel (merged class readout).
+    Output {
+        /// Output channel index.
+        channel: usize,
+    },
+}
+
+/// Errors from chip construction and simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChipError {
+    /// Placement failed (chip out of cores) — the resource the paper's
+    /// core-occupation analysis economizes.
+    Placement(PlacementError),
+    /// A spike target references a core that does not exist (yet).
+    DanglingTarget {
+        /// The referenced core handle.
+        core: usize,
+    },
+    /// A target count does not match the core's neuron count.
+    TargetCountMismatch {
+        /// Neurons in the core.
+        neurons: usize,
+        /// Targets supplied.
+        targets: usize,
+    },
+    /// Core handle out of range.
+    NoSuchCore {
+        /// The offending handle.
+        core: usize,
+    },
+}
+
+impl std::fmt::Display for ChipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChipError::Placement(e) => write!(f, "placement failed: {e}"),
+            ChipError::DanglingTarget { core } => {
+                write!(f, "spike target references unknown core {core}")
+            }
+            ChipError::TargetCountMismatch { neurons, targets } => {
+                write!(
+                    f,
+                    "core has {neurons} neurons but {targets} targets were given"
+                )
+            }
+            ChipError::NoSuchCore { core } => write!(f, "no core with handle {core}"),
+        }
+    }
+}
+
+impl std::error::Error for ChipError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChipError::Placement(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlacementError> for ChipError {
+    fn from(e: PlacementError) -> Self {
+        ChipError::Placement(e)
+    }
+}
+
+/// Chip-level counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChipStats {
+    /// Spikes routed core-to-core.
+    pub routed_spikes: u64,
+    /// Total mesh hops traversed by routed spikes.
+    pub mesh_hops: u64,
+    /// Spikes delivered to output channels.
+    pub output_spikes: u64,
+    /// Ticks simulated.
+    pub ticks: u64,
+}
+
+/// A simulated TrueNorth chip.
+///
+/// # Examples
+///
+/// Build a one-core chip that forwards axon 0 to output channel 0:
+///
+/// ```
+/// use tn_chip::chip::{SpikeTarget, TrueNorthChip};
+/// use tn_chip::neuro_core::NeuroSynapticCore;
+/// use tn_chip::neuron::NeuronConfig;
+///
+/// # fn main() -> Result<(), tn_chip::chip::ChipError> {
+/// let mut chip = TrueNorthChip::new(4, 4, 1);
+/// let mut core = NeuroSynapticCore::new(0, NeuronConfig::default(), 1);
+/// core.crossbar_mut().set(0, 0, true);
+/// let h = chip.add_core(core, vec![SpikeTarget::Output { channel: 0 }])?;
+/// chip.inject(h, 0)?;
+/// chip.tick();
+/// assert_eq!(chip.output_counts()[0], 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrueNorthChip {
+    cores: Vec<NeuroSynapticCore>,
+    coords: Vec<CoreCoord>,
+    targets: Vec<Vec<SpikeTarget>>,
+    placer: Placer,
+    /// Spikes awaiting delivery: `(remaining_extra_ticks, core, axon)` —
+    /// 0 means deliver at the start of the next tick (the base one-tick
+    /// network latency); axonal delays add extra ticks on top.
+    in_flight: Vec<(u8, usize, usize)>,
+    outputs: Vec<u64>,
+    stats: ChipStats,
+    seed: u64,
+}
+
+impl TrueNorthChip {
+    /// A chip with a `width × height` core grid and `output_channels`
+    /// external outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either grid dimension is zero.
+    pub fn new(width: u16, height: u16, output_channels: usize) -> Self {
+        Self {
+            cores: Vec::new(),
+            coords: Vec::new(),
+            targets: Vec::new(),
+            placer: Placer::new(width, height),
+            in_flight: Vec::new(),
+            outputs: vec![0; output_channels],
+            stats: ChipStats::default(),
+            seed: 0,
+        }
+    }
+
+    /// A full 64×64 TrueNorth chip.
+    pub fn truenorth(output_channels: usize) -> Self {
+        Self::new(64, 64, output_channels)
+    }
+
+    /// Set the chip seed used to derive per-core PRNG streams; reseeds
+    /// existing cores.
+    pub fn set_seed(&mut self, seed: u64) {
+        self.seed = seed;
+        for (i, c) in self.cores.iter_mut().enumerate() {
+            c.reseed(seed, i);
+        }
+    }
+
+    /// Place a core and register its per-neuron spike targets. Targets may
+    /// reference cores added later; they are validated at simulation time
+    /// via [`TrueNorthChip::validate`].
+    ///
+    /// Returns the core's handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::Placement`] when the grid is full, or
+    /// [`ChipError::TargetCountMismatch`] if `targets` does not cover every
+    /// neuron.
+    pub fn add_core(
+        &mut self,
+        mut core: NeuroSynapticCore,
+        targets: Vec<SpikeTarget>,
+    ) -> Result<usize, ChipError> {
+        if targets.len() != core.n_neurons() {
+            return Err(ChipError::TargetCountMismatch {
+                neurons: core.n_neurons(),
+                targets: targets.len(),
+            });
+        }
+        let coord = self.placer.allocate()?;
+        let handle = self.cores.len();
+        core.reseed(self.seed, handle);
+        self.cores.push(core);
+        self.coords.push(coord);
+        self.targets.push(targets);
+        Ok(handle)
+    }
+
+    /// Verify every registered target points at an existing core/axon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::DanglingTarget`] on the first broken reference.
+    pub fn validate(&self) -> Result<(), ChipError> {
+        for targets in &self.targets {
+            for t in targets {
+                if let SpikeTarget::Axon { core, .. } = t {
+                    if *core >= self.cores.len() {
+                        return Err(ChipError::DanglingTarget { core: *core });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of cores placed.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Free core sites remaining.
+    pub fn free_cores(&self) -> usize {
+        self.placer.free()
+    }
+
+    /// Access a core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::NoSuchCore`] for a bad handle.
+    pub fn core(&self, handle: usize) -> Result<&NeuroSynapticCore, ChipError> {
+        self.cores
+            .get(handle)
+            .ok_or(ChipError::NoSuchCore { core: handle })
+    }
+
+    /// Mutable access to a core (configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::NoSuchCore`] for a bad handle.
+    pub fn core_mut(&mut self, handle: usize) -> Result<&mut NeuroSynapticCore, ChipError> {
+        self.cores
+            .get_mut(handle)
+            .ok_or(ChipError::NoSuchCore { core: handle })
+    }
+
+    /// Grid coordinate of a core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::NoSuchCore`] for a bad handle.
+    pub fn coord(&self, handle: usize) -> Result<CoreCoord, ChipError> {
+        self.coords
+            .get(handle)
+            .copied()
+            .ok_or(ChipError::NoSuchCore { core: handle })
+    }
+
+    /// Mutable access to a core's target table (used by the deployment
+    /// builder to wire copies after all handles exist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub(crate) fn targets_mut(&mut self, core: usize) -> &mut Vec<SpikeTarget> {
+        &mut self.targets[core]
+    }
+
+    /// Inject an external spike into `(core, axon)` for the next tick.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::NoSuchCore`] for a bad handle.
+    pub fn inject(&mut self, core: usize, axon: usize) -> Result<(), ChipError> {
+        self.core_mut(core)?.inject(axon);
+        Ok(())
+    }
+
+    /// Advance the chip one tick. Returns the number of output spikes
+    /// emitted this tick.
+    pub fn tick(&mut self) -> u64 {
+        // Deliver matured spikes; age the rest.
+        let in_flight = std::mem::take(&mut self.in_flight);
+        for (remaining, core, axon) in in_flight {
+            if remaining == 0 {
+                self.cores[core].inject(axon);
+            } else {
+                self.in_flight.push((remaining - 1, core, axon));
+            }
+        }
+        // Run every core, collecting newly fired spikes.
+        let mut out_this_tick = 0u64;
+        for c in 0..self.cores.len() {
+            let fired = self.cores[c].tick();
+            for n in fired {
+                match self.targets[c][n] {
+                    SpikeTarget::None => {}
+                    SpikeTarget::Axon { core, axon } => {
+                        debug_assert!(core < self.cores.len(), "dangling target");
+                        self.stats.routed_spikes += 1;
+                        self.stats.mesh_hops += self.coords[c].hops_to(self.coords[core]) as u64;
+                        let delay = self.cores[core].axon_delay(axon);
+                        self.in_flight.push((delay, core, axon));
+                    }
+                    SpikeTarget::Output { channel } => {
+                        self.outputs[channel] += 1;
+                        self.stats.output_spikes += 1;
+                        out_this_tick += 1;
+                    }
+                }
+            }
+        }
+        self.stats.ticks += 1;
+        out_this_tick
+    }
+
+    /// Run `n` ticks.
+    pub fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+
+    /// Accumulated output spike counts per channel.
+    pub fn output_counts(&self) -> &[u64] {
+        &self.outputs
+    }
+
+    /// Clear the output accumulators.
+    pub fn clear_outputs(&mut self) {
+        self.outputs.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Drop any spikes still in flight (frame boundary).
+    pub fn flush_in_flight(&mut self) {
+        self.in_flight.clear();
+    }
+
+    /// Chip-level statistics.
+    pub fn stats(&self) -> ChipStats {
+        self.stats
+    }
+
+    /// Aggregate per-core statistics.
+    pub fn core_stats_total(&self) -> CoreStats {
+        let mut total = CoreStats::default();
+        for c in &self.cores {
+            let s = c.stats();
+            total.synaptic_ops += s.synaptic_ops;
+            total.spikes_in += s.spikes_in;
+            total.spikes_out += s.spikes_out;
+            total.ticks = total.ticks.max(s.ticks);
+        }
+        total
+    }
+
+    /// Energy/performance proxy for everything simulated so far.
+    pub fn energy_report(&self) -> EnergyReport {
+        let cs = self.core_stats_total();
+        EnergyReport::from_counters(cs.synaptic_ops, self.stats.ticks, self.core_count())
+    }
+
+    /// Reset all statistics (core + chip) and outputs.
+    pub fn reset_counters(&mut self) {
+        for c in &mut self.cores {
+            c.reset_stats();
+        }
+        self.stats = ChipStats::default();
+        self.clear_outputs();
+        self.in_flight.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neuron::{NeuronConfig, ResetMode};
+
+    fn strict_config() -> NeuronConfig {
+        // Threshold 1 so silent cores stay silent.
+        let mut cfg = NeuronConfig::mcculloch_pitts(0, 0.0, 1);
+        cfg.threshold = 1;
+        cfg.reset = ResetMode::ToValue(0);
+        cfg
+    }
+
+    fn passthrough_core(n: usize) -> NeuroSynapticCore {
+        // Neuron i fires when axon i spikes.
+        let mut core = NeuroSynapticCore::new(0, strict_config(), n);
+        for i in 0..n {
+            core.crossbar_mut().set(i, i, true);
+            core.set_axon_type(i, 0);
+        }
+        core
+    }
+
+    #[test]
+    fn external_spike_reaches_output() {
+        let mut chip = TrueNorthChip::new(2, 2, 2);
+        let h = chip
+            .add_core(
+                passthrough_core(2),
+                vec![
+                    SpikeTarget::Output { channel: 0 },
+                    SpikeTarget::Output { channel: 1 },
+                ],
+            )
+            .expect("add");
+        chip.inject(h, 1).expect("inject");
+        let emitted = chip.tick();
+        assert_eq!(emitted, 1);
+        assert_eq!(chip.output_counts(), &[0, 1]);
+    }
+
+    #[test]
+    fn inter_core_spike_takes_one_tick() {
+        let mut chip = TrueNorthChip::new(2, 2, 1);
+        // Core 1 forwards to output; core 0 forwards to core 1's axon 0.
+        let h0 = chip
+            .add_core(
+                passthrough_core(1),
+                vec![SpikeTarget::Axon { core: 1, axon: 0 }],
+            )
+            .expect("add c0");
+        let _h1 = chip
+            .add_core(
+                passthrough_core(1),
+                vec![SpikeTarget::Output { channel: 0 }],
+            )
+            .expect("add c1");
+        chip.validate().expect("wiring is closed");
+        chip.inject(h0, 0).expect("inject");
+        chip.tick(); // core 0 fires; spike in flight
+        assert_eq!(chip.output_counts()[0], 0, "network latency is one tick");
+        chip.tick(); // core 1 receives and fires
+        assert_eq!(chip.output_counts()[0], 1);
+        assert_eq!(chip.stats().routed_spikes, 1);
+    }
+
+    #[test]
+    fn mesh_hops_accumulate_by_distance() {
+        let mut chip = TrueNorthChip::new(4, 1, 1);
+        // Cores at x=0,1,2,3; route 0 → 3 (3 hops).
+        let h0 = chip
+            .add_core(
+                passthrough_core(1),
+                vec![SpikeTarget::Axon { core: 3, axon: 0 }],
+            )
+            .expect("c0");
+        for _ in 0..2 {
+            chip.add_core(passthrough_core(1), vec![SpikeTarget::None])
+                .expect("mid");
+        }
+        chip.add_core(
+            passthrough_core(1),
+            vec![SpikeTarget::Output { channel: 0 }],
+        )
+        .expect("c3");
+        chip.inject(h0, 0).expect("inject");
+        chip.tick();
+        assert_eq!(chip.stats().mesh_hops, 3);
+    }
+
+    #[test]
+    fn axonal_delay_postpones_delivery() {
+        let mut chip = TrueNorthChip::new(2, 2, 1);
+        let h0 = chip
+            .add_core(
+                passthrough_core(1),
+                vec![SpikeTarget::Axon { core: 1, axon: 0 }],
+            )
+            .expect("c0");
+        let mut delayed = passthrough_core(1);
+        delayed.set_axon_delay(0, 3); // 3 extra ticks
+        chip.add_core(delayed, vec![SpikeTarget::Output { channel: 0 }])
+            .expect("c1");
+        chip.inject(h0, 0).expect("inject");
+        // Base latency 1 + delay 3 + core-1 fire tick = output at tick 5.
+        for t in 1..=4 {
+            chip.tick();
+            assert_eq!(chip.output_counts()[0], 0, "too early at tick {t}");
+        }
+        chip.tick();
+        assert_eq!(chip.output_counts()[0], 1);
+    }
+
+    #[test]
+    fn grid_capacity_enforced() {
+        let mut chip = TrueNorthChip::new(1, 1, 0);
+        chip.add_core(passthrough_core(1), vec![SpikeTarget::None])
+            .expect("fits");
+        let err = chip
+            .add_core(passthrough_core(1), vec![SpikeTarget::None])
+            .unwrap_err();
+        assert!(matches!(err, ChipError::Placement(_)));
+    }
+
+    #[test]
+    fn target_count_must_match_neurons() {
+        let mut chip = TrueNorthChip::new(2, 2, 0);
+        let err = chip
+            .add_core(passthrough_core(3), vec![SpikeTarget::None])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ChipError::TargetCountMismatch {
+                neurons: 3,
+                targets: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn validate_catches_dangling_targets() {
+        let mut chip = TrueNorthChip::new(2, 2, 0);
+        chip.add_core(
+            passthrough_core(1),
+            vec![SpikeTarget::Axon { core: 9, axon: 0 }],
+        )
+        .expect("add");
+        assert!(matches!(
+            chip.validate(),
+            Err(ChipError::DanglingTarget { core: 9 })
+        ));
+    }
+
+    #[test]
+    fn clear_and_flush_reset_frame_state() {
+        let mut chip = TrueNorthChip::new(2, 2, 1);
+        let h = chip
+            .add_core(
+                passthrough_core(1),
+                vec![SpikeTarget::Output { channel: 0 }],
+            )
+            .expect("add");
+        chip.inject(h, 0).expect("inject");
+        chip.tick();
+        assert_eq!(chip.output_counts()[0], 1);
+        chip.clear_outputs();
+        assert_eq!(chip.output_counts()[0], 0);
+        chip.reset_counters();
+        assert_eq!(chip.stats(), ChipStats::default());
+    }
+
+    #[test]
+    fn energy_report_reflects_activity() {
+        let mut chip = TrueNorthChip::new(2, 2, 1);
+        let h = chip
+            .add_core(
+                passthrough_core(1),
+                vec![SpikeTarget::Output { channel: 0 }],
+            )
+            .expect("add");
+        chip.inject(h, 0).expect("inject");
+        chip.tick();
+        let r = chip.energy_report();
+        assert_eq!(r.synaptic_ops, 1);
+        assert!(r.total_joules() > 0.0);
+    }
+
+    #[test]
+    fn bad_handles_are_errors() {
+        let mut chip = TrueNorthChip::new(2, 2, 0);
+        assert!(matches!(
+            chip.inject(5, 0),
+            Err(ChipError::NoSuchCore { core: 5 })
+        ));
+        assert!(chip.core(0).is_err());
+        assert!(chip.coord(0).is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! The 256×256 binary synaptic crossbar of a neuro-synaptic core.
+//!
+//! Rows are axons, columns are neurons; a set bit means the synapse is
+//! connected (ON). The crossbar is bit-packed (4 × `u64` per axon row) so a
+//! whole neuron row can be scanned with `trailing_zeros` during simulation.
+
+use serde::{Deserialize, Serialize};
+
+/// Axons (rows) per crossbar — fixed by the hardware.
+pub const CROSSBAR_AXONS: usize = 256;
+/// Neurons (columns) per crossbar — fixed by the hardware.
+pub const CROSSBAR_NEURONS: usize = 256;
+const WORDS_PER_ROW: usize = CROSSBAR_NEURONS / 64;
+
+/// A 256×256 bit matrix of synaptic connections.
+///
+/// # Examples
+///
+/// ```
+/// use tn_chip::crossbar::Crossbar;
+/// let mut xb = Crossbar::new();
+/// xb.set(3, 200, true);
+/// assert!(xb.get(3, 200));
+/// assert_eq!(xb.connection_count(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Crossbar {
+    rows: Vec<u64>, // CROSSBAR_AXONS * WORDS_PER_ROW words
+}
+
+impl Default for Crossbar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crossbar {
+    /// A fully disconnected crossbar.
+    pub fn new() -> Self {
+        Self {
+            rows: vec![0; CROSSBAR_AXONS * WORDS_PER_ROW],
+        }
+    }
+
+    fn check(axon: usize, neuron: usize) {
+        assert!(
+            axon < CROSSBAR_AXONS && neuron < CROSSBAR_NEURONS,
+            "synapse ({axon},{neuron}) outside the 256x256 crossbar"
+        );
+    }
+
+    /// Read the connection bit at `(axon, neuron)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, axon: usize, neuron: usize) -> bool {
+        Self::check(axon, neuron);
+        (self.rows[axon * WORDS_PER_ROW + neuron / 64] >> (neuron % 64)) & 1 == 1
+    }
+
+    /// Write the connection bit at `(axon, neuron)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, axon: usize, neuron: usize, on: bool) {
+        Self::check(axon, neuron);
+        let w = axon * WORDS_PER_ROW + neuron / 64;
+        let mask = 1u64 << (neuron % 64);
+        if on {
+            self.rows[w] |= mask;
+        } else {
+            self.rows[w] &= !mask;
+        }
+    }
+
+    /// Iterate the connected neuron indices on one axon row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axon` is out of range.
+    pub fn connected_neurons(&self, axon: usize) -> impl Iterator<Item = usize> + '_ {
+        assert!(axon < CROSSBAR_AXONS, "axon {axon} out of range");
+        let words = &self.rows[axon * WORDS_PER_ROW..(axon + 1) * WORDS_PER_ROW];
+        words
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &word)| BitIter { word }.map(move |b| wi * 64 + b))
+    }
+
+    /// Number of ON synapses on one axon row.
+    pub fn row_count(&self, axon: usize) -> usize {
+        assert!(axon < CROSSBAR_AXONS, "axon {axon} out of range");
+        self.rows[axon * WORDS_PER_ROW..(axon + 1) * WORDS_PER_ROW]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Total ON synapses.
+    pub fn connection_count(&self) -> usize {
+        self.rows.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of the 65,536 synapses that are ON.
+    pub fn density(&self) -> f64 {
+        self.connection_count() as f64 / (CROSSBAR_AXONS * CROSSBAR_NEURONS) as f64
+    }
+}
+
+struct BitIter {
+    word: u64,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let b = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(b)
+    }
+}
+
+impl std::fmt::Debug for Crossbar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Crossbar({} connections, density {:.3})",
+            self.connection_count(),
+            self.density()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_disconnected() {
+        let xb = Crossbar::new();
+        assert_eq!(xb.connection_count(), 0);
+        assert_eq!(xb.density(), 0.0);
+        assert!(!xb.get(0, 0));
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut xb = Crossbar::new();
+        let probes = [(0usize, 0usize), (0, 63), (0, 64), (255, 255), (100, 128)];
+        for &(a, n) in &probes {
+            xb.set(a, n, true);
+        }
+        for &(a, n) in &probes {
+            assert!(xb.get(a, n), "({a},{n})");
+        }
+        assert_eq!(xb.connection_count(), probes.len());
+        xb.set(0, 64, false);
+        assert!(!xb.get(0, 64));
+        assert_eq!(xb.connection_count(), probes.len() - 1);
+    }
+
+    #[test]
+    fn connected_neurons_enumerates_in_order() {
+        let mut xb = Crossbar::new();
+        for &n in &[200usize, 5, 64, 63] {
+            xb.set(7, n, true);
+        }
+        let got: Vec<usize> = xb.connected_neurons(7).collect();
+        assert_eq!(got, vec![5, 63, 64, 200]);
+        assert_eq!(xb.row_count(7), 4);
+    }
+
+    #[test]
+    fn rows_are_independent() {
+        let mut xb = Crossbar::new();
+        xb.set(10, 3, true);
+        assert_eq!(xb.row_count(11), 0);
+        assert_eq!(xb.connected_neurons(9).count(), 0);
+    }
+
+    #[test]
+    fn full_row_density() {
+        let mut xb = Crossbar::new();
+        for n in 0..CROSSBAR_NEURONS {
+            xb.set(0, n, true);
+        }
+        assert_eq!(xb.row_count(0), 256);
+        assert!((xb.density() - 1.0 / 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the 256x256 crossbar")]
+    fn out_of_range_panics() {
+        let mut xb = Crossbar::new();
+        xb.set(256, 0, true);
+    }
+}

@@ -1,0 +1,65 @@
+//! # tn-chip — a software model of the IBM TrueNorth chip
+//!
+//! The hardware substrate of the reproduction of Wen et al. (DAC 2016). The
+//! real evaluation ran on the NS1e development board and the IBM Neuro
+//! Synaptic Chip Simulator (NSCS), neither of which is available; this crate
+//! models the digital behaviour the paper depends on:
+//!
+//! * [`crossbar`] — the 256×256 binary synaptic crossbar of each core;
+//! * [`neuron`] — the digital LIF neuron (weight table per axon type, leak
+//!   with a stochastic fractional part, thresholds, reset modes, and the
+//!   history-free McCulloch-Pitts mode of the paper's Eqs. 3-4);
+//! * [`prng`] — the on-core LFSR pseudo-random generator driving stochastic
+//!   modes;
+//! * [`neuro_core`] — one core: axons, crossbar, 256 neurons, per-synapse
+//!   signs (the per-connection `c_i` of Eq. 6);
+//! * [`chip`] — the 64×64 core mesh with one-tick spike routing and
+//!   external I/O;
+//! * [`placement`] — core-site allocation (the resource §4.3 economizes);
+//! * [`nscs`] — the deployment toolchain: Bernoulli connectivity sampling,
+//!   spatial copies, frame driving, and Fig.-4 deviation-map extraction;
+//! * [`energy`] — a first-order energy/latency proxy calibrated to the
+//!   paper's 58 GSOPS / 145 mW quote.
+//!
+//! ```
+//! use tn_chip::chip::{SpikeTarget, TrueNorthChip};
+//! use tn_chip::neuro_core::NeuroSynapticCore;
+//! use tn_chip::neuron::NeuronConfig;
+//!
+//! # fn main() -> Result<(), tn_chip::chip::ChipError> {
+//! let mut chip = TrueNorthChip::truenorth(1); // full 4096-core chip
+//! let mut core = NeuroSynapticCore::new(0, NeuronConfig::default(), 1);
+//! core.crossbar_mut().set(0, 0, true);
+//! let h = chip.add_core(core, vec![SpikeTarget::Output { channel: 0 }])?;
+//! chip.inject(h, 0)?;
+//! chip.tick();
+//! assert_eq!(chip.output_counts()[0], 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chip;
+pub mod crossbar;
+pub mod energy;
+pub mod neuro_core;
+pub mod neuron;
+pub mod nscs;
+pub mod placement;
+pub mod prng;
+
+/// Convenient glob-import of the commonly used types.
+pub mod prelude {
+    pub use crate::chip::{ChipError, ChipStats, SpikeTarget, TrueNorthChip};
+    pub use crate::crossbar::Crossbar;
+    pub use crate::energy::EnergyReport;
+    pub use crate::neuro_core::{CoreStats, NeuroSynapticCore};
+    pub use crate::neuron::{LifNeuron, NeuronConfig, ResetMode};
+    pub use crate::nscs::{
+        ConnectivityMode, CoreDeploySpec, DeployError, Deployment, InputSource, NetworkDeploySpec,
+    };
+    pub use crate::placement::{CoreCoord, PlacementError, Placer};
+    pub use crate::prng::LfsrPrng;
+}

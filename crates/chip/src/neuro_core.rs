@@ -1,0 +1,506 @@
+//! One neuro-synaptic core: 256 axons × 256 neurons behind a binary
+//! crossbar, with a shared on-core PRNG.
+//!
+//! Simulation follows the hardware tick: spikes delivered to axons are
+//! integrated through the crossbar (weight chosen by the axon's type from
+//! each neuron's 4-entry table), leak is applied, thresholds are compared,
+//! and fired neurons emit spikes for the router.
+
+use crate::crossbar::{Crossbar, CROSSBAR_AXONS, CROSSBAR_NEURONS};
+use crate::neuron::{LifNeuron, NeuronConfig, AXON_TYPES};
+use crate::prng::LfsrPrng;
+use serde::{Deserialize, Serialize};
+
+/// Running counters for one core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Synaptic events integrated (ON synapse × incoming spike).
+    pub synaptic_ops: u64,
+    /// Spikes emitted by this core's neurons.
+    pub spikes_out: u64,
+    /// Spikes received on axons.
+    pub spikes_in: u64,
+    /// Ticks simulated.
+    pub ticks: u64,
+}
+
+/// A single neuro-synaptic core.
+///
+/// # Examples
+///
+/// ```
+/// use tn_chip::neuro_core::NeuroSynapticCore;
+/// use tn_chip::neuron::NeuronConfig;
+///
+/// let mut core = NeuroSynapticCore::new(1, NeuronConfig::default(), 16);
+/// core.crossbar_mut().set(0, 0, true); // axon 0 → neuron 0
+/// core.set_axon_type(0, 0);            // type 0: weight +1
+/// core.inject(0);
+/// let fired = core.tick();
+/// assert!(fired.contains(&0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NeuroSynapticCore {
+    crossbar: Crossbar,
+    /// Per-synapse sign inversion plane. The paper's Eq. (6) assigns the
+    /// synaptic integer `c_i` *per connection*; a set bit here negates the
+    /// axon-type table entry for that synapse, realizing per-connection
+    /// signs while keeping the 4-entry weight table.
+    sign_flips: Crossbar,
+    /// Optional runtime stochastic-synapse plane ("stochastic neural mode",
+    /// paper §1): when present, a connected synapse only integrates when a
+    /// fresh PRNG draw falls below its 16-bit threshold — the chip's way of
+    /// mimicking fractional weights *temporally* instead of by sampling
+    /// connectivity once per copy. `u16::MAX` means "always" exactly.
+    stochastic: Option<Vec<u16>>,
+    axon_types: Vec<u8>,
+    /// Per-axon additional delivery delay in ticks (0-15 on hardware),
+    /// applied by the router on top of the base one-tick network latency.
+    axon_delays: Vec<u8>,
+    neurons: Vec<LifNeuron>,
+    prng: LfsrPrng,
+    /// Pending axon input bits for the current tick.
+    input: [u64; CROSSBAR_AXONS / 64],
+    stats: CoreStats,
+}
+
+impl NeuroSynapticCore {
+    /// A core whose `n_neurons` neurons all share `template` configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_neurons` exceeds the hardware's 256.
+    pub fn new(seed_index: usize, template: NeuronConfig, n_neurons: usize) -> Self {
+        assert!(
+            n_neurons <= CROSSBAR_NEURONS,
+            "core supports at most {CROSSBAR_NEURONS} neurons"
+        );
+        Self {
+            crossbar: Crossbar::new(),
+            sign_flips: Crossbar::new(),
+            stochastic: None,
+            axon_types: vec![0; CROSSBAR_AXONS],
+            axon_delays: vec![0; CROSSBAR_AXONS],
+            neurons: (0..n_neurons).map(|_| LifNeuron::new(template)).collect(),
+            prng: LfsrPrng::for_core(0, seed_index),
+            input: [0; CROSSBAR_AXONS / 64],
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Replace the core PRNG stream (used by the deployment sampler so each
+    /// network copy gets independent stochastic-leak randomness).
+    pub fn reseed(&mut self, chip_seed: u64, core_index: usize) {
+        self.prng = LfsrPrng::for_core(chip_seed, core_index);
+    }
+
+    /// Number of neurons in use.
+    pub fn n_neurons(&self) -> usize {
+        self.neurons.len()
+    }
+
+    /// Immutable crossbar access.
+    pub fn crossbar(&self) -> &Crossbar {
+        &self.crossbar
+    }
+
+    /// Mutable crossbar access (configuration time).
+    pub fn crossbar_mut(&mut self) -> &mut Crossbar {
+        &mut self.crossbar
+    }
+
+    /// Invert (or restore) the sign of the synapse `(a, n)` relative to its
+    /// axon-type table entry — the per-connection `c_i` of the paper's
+    /// Eq. (6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of the 256×256 crossbar.
+    pub fn set_sign_flip(&mut self, a: usize, n: usize, flip: bool) {
+        self.sign_flips.set(a, n, flip);
+    }
+
+    /// Whether synapse `(a, n)` has an inverted sign.
+    pub fn sign_flip(&self, a: usize, n: usize) -> bool {
+        self.sign_flips.get(a, n)
+    }
+
+    /// Enable the runtime stochastic-synapse mode and set the firing
+    /// probability of synapse `(a, n)` (quantized to the PRNG's 16 bits;
+    /// `p ≥ 1` integrates always, exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of the 256×256 crossbar.
+    pub fn set_stochastic_probability(&mut self, a: usize, n: usize, p: f32) {
+        assert!(
+            a < CROSSBAR_AXONS && n < CROSSBAR_NEURONS,
+            "synapse ({a},{n}) outside the 256x256 crossbar"
+        );
+        let plane = self
+            .stochastic
+            .get_or_insert_with(|| vec![u16::MAX; CROSSBAR_AXONS * CROSSBAR_NEURONS]);
+        let q = if p >= 1.0 {
+            u16::MAX
+        } else if p <= 0.0 {
+            0
+        } else {
+            (p * 65536.0) as u16
+        };
+        plane[a * CROSSBAR_NEURONS + n] = q;
+    }
+
+    /// Whether the runtime stochastic-synapse mode is enabled.
+    pub fn is_stochastic(&self) -> bool {
+        self.stochastic.is_some()
+    }
+
+    /// Set the axon type (0..4) of axon `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the axon index or type is out of range.
+    pub fn set_axon_type(&mut self, a: usize, t: u8) {
+        assert!(a < CROSSBAR_AXONS, "axon {a} out of range");
+        assert!((t as usize) < AXON_TYPES, "axon type {t} out of range");
+        self.axon_types[a] = t;
+    }
+
+    /// Axon type of axon `a`.
+    pub fn axon_type(&self, a: usize) -> u8 {
+        self.axon_types[a]
+    }
+
+    /// Set the axonal delivery delay of axon `a` (hardware supports 0-15
+    /// extra ticks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the axon index is out of range or `d > 15`.
+    pub fn set_axon_delay(&mut self, a: usize, d: u8) {
+        assert!(a < CROSSBAR_AXONS, "axon {a} out of range");
+        assert!(
+            d <= 15,
+            "axonal delay {d} exceeds the hardware maximum of 15"
+        );
+        self.axon_delays[a] = d;
+    }
+
+    /// Axonal delay of axon `a`.
+    pub fn axon_delay(&self, a: usize) -> u8 {
+        self.axon_delays[a]
+    }
+
+    /// Access a neuron.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn neuron(&self, n: usize) -> &LifNeuron {
+        &self.neurons[n]
+    }
+
+    /// Mutable access to a neuron (configuration time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn neuron_mut(&mut self, n: usize) -> &mut LifNeuron {
+        &mut self.neurons[n]
+    }
+
+    /// Deliver a spike to axon `a` for the *next* [`NeuroSynapticCore::tick`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn inject(&mut self, a: usize) {
+        assert!(a < CROSSBAR_AXONS, "axon {a} out of range");
+        self.input[a / 64] |= 1u64 << (a % 64);
+        self.stats.spikes_in += 1;
+    }
+
+    /// Whether axon `a` has a pending spike.
+    pub fn pending(&self, a: usize) -> bool {
+        (self.input[a / 64] >> (a % 64)) & 1 == 1
+    }
+
+    /// Run one tick: integrate pending axon spikes, apply leak, fire.
+    /// Returns indices of neurons that spiked, ascending.
+    pub fn tick(&mut self) -> Vec<usize> {
+        for n in &mut self.neurons {
+            n.begin_tick();
+        }
+        // Integrate: scan pending axons, then their crossbar rows.
+        for w in 0..self.input.len() {
+            let mut word = self.input[w];
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                let axon = w * 64 + bit;
+                let ty = self.axon_types[axon] as usize;
+                for neuron in self.crossbar.connected_neurons(axon) {
+                    if neuron < self.neurons.len() {
+                        if let Some(plane) = &self.stochastic {
+                            let q = plane[axon * CROSSBAR_NEURONS + neuron];
+                            // u16::MAX means "always"; otherwise gate on a
+                            // fresh PRNG draw (the event still costs a
+                            // synaptic op — the crossbar row was read).
+                            self.stats.synaptic_ops += 1;
+                            if q != u16::MAX && !self.prng.gen_bool_u16(q) {
+                                continue;
+                            }
+                        } else {
+                            self.stats.synaptic_ops += 1;
+                        }
+                        let mut value = self.neurons[neuron].config.weights[ty];
+                        if self.sign_flips.get(axon, neuron) {
+                            value = -value;
+                        }
+                        self.neurons[neuron].integrate_raw(value);
+                    }
+                }
+            }
+        }
+        self.input = [0; CROSSBAR_AXONS / 64];
+        let mut fired = Vec::new();
+        for (i, n) in self.neurons.iter_mut().enumerate() {
+            if n.end_tick(&mut self.prng) {
+                fired.push(i);
+            }
+        }
+        self.stats.spikes_out += fired.len() as u64;
+        self.stats.ticks += 1;
+        fired
+    }
+
+    /// The *effective* signed weight of synapse `(axon, neuron)`: the
+    /// neuron's table entry for the axon's type when connected, else 0.
+    /// This is what Fig. 4's deviation maps compare against the trained
+    /// float weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neuron` is out of range (axons beyond 255 panic in the
+    /// crossbar).
+    pub fn effective_weight(&self, axon: usize, neuron: usize) -> i32 {
+        if self.crossbar.get(axon, neuron) {
+            let w = self.neurons[neuron].config.weights[self.axon_types[axon] as usize];
+            if self.sign_flips.get(axon, neuron) {
+                -w
+            } else {
+                w
+            }
+        } else {
+            0
+        }
+    }
+
+    /// Core statistics so far.
+    pub fn stats(&self) -> CoreStats {
+        self.stats
+    }
+
+    /// Reset statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = CoreStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neuron::ResetMode;
+
+    fn mp_core(n_neurons: usize) -> NeuroSynapticCore {
+        NeuroSynapticCore::new(0, NeuronConfig::mcculloch_pitts(0, 0.0, 1), n_neurons)
+    }
+
+    /// A strictly negative-threshold-free core: neurons with threshold 1 so
+    /// "no input" does not fire (avoids the y'=0 ⇒ fire edge in wiring
+    /// tests).
+    fn strict_core(n_neurons: usize) -> NeuroSynapticCore {
+        let mut cfg = NeuronConfig::mcculloch_pitts(0, 0.0, 1);
+        cfg.threshold = 1;
+        cfg.reset = ResetMode::ToValue(0);
+        NeuroSynapticCore::new(0, cfg, n_neurons)
+    }
+
+    #[test]
+    fn spike_propagates_through_connected_synapse() {
+        let mut core = strict_core(4);
+        core.crossbar_mut().set(5, 2, true);
+        core.set_axon_type(5, 0); // +1
+        core.inject(5);
+        let fired = core.tick();
+        assert_eq!(fired, vec![2]);
+    }
+
+    #[test]
+    fn disconnected_synapse_blocks_spike() {
+        let mut core = strict_core(4);
+        core.set_axon_type(5, 0);
+        core.inject(5); // no crossbar connection
+        assert!(core.tick().is_empty());
+    }
+
+    #[test]
+    fn axon_type_selects_weight() {
+        let mut core = strict_core(2);
+        // Axon 0 type 1 (−1), axon 1 type 0 (+1), both onto neuron 0.
+        core.crossbar_mut().set(0, 0, true);
+        core.crossbar_mut().set(1, 0, true);
+        core.set_axon_type(0, 1);
+        core.set_axon_type(1, 0);
+        // −1 + 1 = 0 < threshold 1 → silent.
+        core.inject(0);
+        core.inject(1);
+        assert!(core.tick().is_empty());
+        // +1 alone fires.
+        core.inject(1);
+        assert_eq!(core.tick(), vec![0]);
+    }
+
+    #[test]
+    fn inputs_are_consumed_each_tick() {
+        let mut core = strict_core(1);
+        core.crossbar_mut().set(0, 0, true);
+        core.set_axon_type(0, 0);
+        core.inject(0);
+        assert_eq!(core.tick(), vec![0]);
+        // No new injection: next tick silent.
+        assert!(core.tick().is_empty());
+    }
+
+    #[test]
+    fn stats_count_ops_and_spikes() {
+        let mut core = strict_core(3);
+        for n in 0..3 {
+            core.crossbar_mut().set(0, n, true);
+        }
+        core.set_axon_type(0, 0);
+        core.inject(0);
+        let fired = core.tick();
+        assert_eq!(fired.len(), 3);
+        let s = core.stats();
+        assert_eq!(s.synaptic_ops, 3);
+        assert_eq!(s.spikes_in, 1);
+        assert_eq!(s.spikes_out, 3);
+        assert_eq!(s.ticks, 1);
+        core.reset_stats();
+        assert_eq!(core.stats(), CoreStats::default());
+    }
+
+    #[test]
+    fn effective_weight_reflects_crossbar_and_types() {
+        let mut core = mp_core(2);
+        core.crossbar_mut().set(3, 1, true);
+        core.set_axon_type(3, 2); // table entry +2
+        assert_eq!(core.effective_weight(3, 1), 2);
+        assert_eq!(core.effective_weight(3, 0), 0); // not connected
+        core.set_axon_type(3, 1);
+        assert_eq!(core.effective_weight(3, 1), -1);
+    }
+
+    #[test]
+    fn connections_to_unused_neurons_are_ignored() {
+        let mut core = strict_core(2);
+        core.crossbar_mut().set(0, 100, true); // neuron 100 not instantiated
+        core.set_axon_type(0, 0);
+        core.inject(0);
+        assert!(core.tick().is_empty());
+        assert_eq!(core.stats().synaptic_ops, 0);
+    }
+
+    #[test]
+    fn mcculloch_pitts_zero_input_fires_everything() {
+        // Default MP neurons have threshold 0 and fire on y' = 0 (Eq. 4).
+        let mut core = mp_core(3);
+        let fired = core.tick();
+        assert_eq!(fired, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 256 neurons")]
+    fn too_many_neurons_rejected() {
+        let _ = mp_core(257);
+    }
+
+    #[test]
+    fn sign_flip_negates_table_entry() {
+        let mut core = strict_core(1);
+        core.crossbar_mut().set(0, 0, true);
+        core.crossbar_mut().set(1, 0, true);
+        core.set_axon_type(0, 0); // +1
+        core.set_axon_type(1, 0); // +1, but flipped to −1 below
+        core.set_sign_flip(1, 0, true);
+        assert_eq!(core.effective_weight(0, 0), 1);
+        assert_eq!(core.effective_weight(1, 0), -1);
+        // +1 − 1 = 0 < threshold 1 → silent.
+        core.inject(0);
+        core.inject(1);
+        assert!(core.tick().is_empty());
+        // Unflip: +1 + 1 = 2 → fires.
+        core.set_sign_flip(1, 0, false);
+        core.inject(0);
+        core.inject(1);
+        assert_eq!(core.tick(), vec![0]);
+    }
+
+    #[test]
+    fn stochastic_synapse_fires_at_configured_rate() {
+        let mut core = strict_core(1);
+        core.crossbar_mut().set(0, 0, true);
+        core.set_axon_type(0, 0);
+        core.set_stochastic_probability(0, 0, 0.3);
+        assert!(core.is_stochastic());
+        let trials = 20_000;
+        let mut fired = 0usize;
+        for _ in 0..trials {
+            core.inject(0);
+            if !core.tick().is_empty() {
+                fired += 1;
+            }
+        }
+        let rate = fired as f32 / trials as f32;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn stochastic_extremes_are_exact() {
+        let mut core = strict_core(2);
+        core.crossbar_mut().set(0, 0, true);
+        core.crossbar_mut().set(0, 1, true);
+        core.set_axon_type(0, 0);
+        core.set_stochastic_probability(0, 0, 1.0); // always
+        core.set_stochastic_probability(0, 1, 0.0); // never
+        for _ in 0..200 {
+            core.inject(0);
+            assert_eq!(core.tick(), vec![0]);
+        }
+    }
+
+    #[test]
+    fn deterministic_core_unaffected_by_mode_flag() {
+        // A core without a stochastic plane behaves exactly as before.
+        let mut core = strict_core(1);
+        core.crossbar_mut().set(0, 0, true);
+        core.set_axon_type(0, 0);
+        assert!(!core.is_stochastic());
+        core.inject(0);
+        assert_eq!(core.tick(), vec![0]);
+    }
+
+    #[test]
+    fn reseed_changes_stochastic_stream() {
+        let mut cfg = NeuronConfig::mcculloch_pitts(0, 0.5, -1);
+        cfg.threshold = 0;
+        let mut a = NeuroSynapticCore::new(0, cfg, 1);
+        let mut b = NeuroSynapticCore::new(0, cfg, 1);
+        b.reseed(999, 0);
+        let fires = |c: &mut NeuroSynapticCore| -> Vec<bool> {
+            (0..64).map(|_| !c.tick().is_empty()).collect()
+        };
+        assert_ne!(fires(&mut a), fires(&mut b));
+    }
+}

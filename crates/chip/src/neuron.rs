@@ -1,0 +1,377 @@
+//! The digital leaky integrate-and-fire (LIF) neuron of a neuro-synaptic
+//! core.
+//!
+//! TrueNorth's neuron model has 22 parameters and 8 specification equations
+//! (Cassidy et al. 2013); the paper notes that the history-free
+//! McCulloch-Pitts special case suffices for its experiments (Eqs. 3-4).
+//! This module implements the parameter subset the reproduction needs:
+//!
+//! * a 4-entry signed integer **weight table** indexed by axon type;
+//! * deterministic integer **leak** plus a *stochastic fractional leak*
+//!   (PRNG-gated ±1), which is how a float bias is deployed on chip;
+//! * signed integer **threshold** with three **reset modes**;
+//! * an optional **history-free** mode that clears the membrane potential
+//!   every tick (McCulloch-Pitts);
+//! * a membrane **floor** preventing unbounded negative saturation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::prng::LfsrPrng;
+
+/// Number of axon types (and weight-table entries) per neuron.
+pub const AXON_TYPES: usize = 4;
+
+/// What happens to the membrane potential when the neuron fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResetMode {
+    /// Reset to a fixed value (TrueNorth "normal" reset).
+    ToValue(i32),
+    /// Subtract the threshold ("linear" reset).
+    Linear,
+    /// Leave the potential unchanged.
+    None,
+}
+
+/// Static configuration of one LIF neuron.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NeuronConfig {
+    /// Signed synaptic weights, one per axon type.
+    pub weights: [i32; AXON_TYPES],
+    /// Deterministic leak added every tick (sign included).
+    pub leak: i32,
+    /// Probability of adding one extra `leak_frac_sign` unit of leak per
+    /// tick (stochastic fractional leak; deploys the fractional part of a
+    /// trained bias).
+    pub leak_frac_prob: f32,
+    /// Sign of the stochastic leak unit (+1 or −1).
+    pub leak_frac_sign: i32,
+    /// Firing threshold α (the membrane fires when `v ≥ α`).
+    pub threshold: i32,
+    /// Stochastic-threshold mask (TrueNorth's TM parameter): at each tick a
+    /// fresh PRNG draw ANDed with this mask is *added* to the threshold,
+    /// dithering the firing decision. 0 disables the mode.
+    pub threshold_mask: u16,
+    /// Reset behaviour on firing.
+    pub reset: ResetMode,
+    /// Lower clamp on the membrane potential.
+    pub floor: i32,
+    /// If true, the potential is cleared to 0 at the start of every tick —
+    /// the history-free McCulloch-Pitts mode of the paper's Eq. (3)-(4).
+    pub history_free: bool,
+}
+
+impl Default for NeuronConfig {
+    fn default() -> Self {
+        Self::mcculloch_pitts(0, 0.0, 1)
+    }
+}
+
+impl NeuronConfig {
+    /// The paper's McCulloch-Pitts configuration: weight table
+    /// `[+1, −1, +2, −2]`, threshold 0, reset to 0, history-free, with the
+    /// bias deployed as leak.
+    pub fn mcculloch_pitts(leak: i32, leak_frac_prob: f32, leak_frac_sign: i32) -> Self {
+        Self {
+            weights: [1, -1, 2, -2],
+            leak,
+            leak_frac_prob,
+            leak_frac_sign,
+            threshold: 0,
+            threshold_mask: 0,
+            reset: ResetMode::ToValue(0),
+            floor: i32::MIN / 4,
+            history_free: true,
+        }
+    }
+
+    /// Configure the leak pair from a real-valued bias `b`: deterministic
+    /// part `trunc(b)`, stochastic part `frac(|b|)` with the sign of `b`.
+    ///
+    /// ```
+    /// use tn_chip::neuron::NeuronConfig;
+    /// let cfg = NeuronConfig::default().with_bias(-1.25);
+    /// assert_eq!(cfg.leak, -1);
+    /// assert_eq!(cfg.leak_frac_sign, -1);
+    /// assert!((cfg.leak_frac_prob - 0.25).abs() < 1e-6);
+    /// ```
+    pub fn with_bias(mut self, b: f32) -> Self {
+        self.leak = b.trunc() as i32;
+        self.leak_frac_prob = b.abs().fract();
+        self.leak_frac_sign = if b < 0.0 { -1 } else { 1 };
+        self
+    }
+
+    /// Expected total leak per tick (deterministic + stochastic parts).
+    pub fn expected_leak(&self) -> f32 {
+        self.leak as f32 + self.leak_frac_prob * self.leak_frac_sign as f32
+    }
+}
+
+/// Dynamic state of one neuron.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeuronState {
+    /// Membrane potential.
+    pub potential: i32,
+}
+
+/// A configured neuron with its state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifNeuron {
+    /// Static parameters.
+    pub config: NeuronConfig,
+    /// Dynamic state.
+    pub state: NeuronState,
+}
+
+impl LifNeuron {
+    /// A neuron with the given configuration and a zeroed membrane.
+    pub fn new(config: NeuronConfig) -> Self {
+        Self {
+            config,
+            state: NeuronState::default(),
+        }
+    }
+
+    /// Begin a tick: history-free neurons clear their membrane.
+    pub fn begin_tick(&mut self) {
+        if self.config.history_free {
+            self.state.potential = 0;
+        }
+    }
+
+    /// Integrate one synaptic event of the given axon type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axon_type >= AXON_TYPES`.
+    pub fn integrate(&mut self, axon_type: usize) {
+        self.state.potential = self
+            .state
+            .potential
+            .saturating_add(self.config.weights[axon_type]);
+    }
+
+    /// Integrate a raw signed contribution (used by the vectorized core
+    /// path which has already resolved the weight table).
+    pub fn integrate_raw(&mut self, value: i32) {
+        self.state.potential = self.state.potential.saturating_add(value);
+    }
+
+    /// Finish a tick: apply leak (PRNG-gated fractional part), compare with
+    /// the threshold, reset, clamp to the floor. Returns `true` when the
+    /// neuron spikes.
+    pub fn end_tick(&mut self, prng: &mut LfsrPrng) -> bool {
+        let mut leak = self.config.leak;
+        if self.config.leak_frac_prob > 0.0 && prng.gen_bool(self.config.leak_frac_prob) {
+            leak = leak.saturating_add(self.config.leak_frac_sign);
+        }
+        self.state.potential = self.state.potential.saturating_add(leak);
+        let mut threshold = self.config.threshold;
+        if self.config.threshold_mask != 0 {
+            threshold =
+                threshold.saturating_add((prng.next_u16() & self.config.threshold_mask) as i32);
+        }
+        let fired = self.state.potential >= threshold;
+        if fired {
+            match self.config.reset {
+                ResetMode::ToValue(v) => self.state.potential = v,
+                ResetMode::Linear => {
+                    self.state.potential = self.state.potential.saturating_sub(threshold)
+                }
+                ResetMode::None => {}
+            }
+        }
+        if self.state.potential < self.config.floor {
+            self.state.potential = self.config.floor;
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_prng() -> LfsrPrng {
+        LfsrPrng::new(0x5A5A)
+    }
+
+    #[test]
+    fn mcculloch_pitts_fires_on_nonnegative_sum() {
+        // Eq. (4): z' = 1 iff y' ≥ 0.
+        let mut n = LifNeuron::new(NeuronConfig::mcculloch_pitts(0, 0.0, 1));
+        let mut prng = quiet_prng();
+        // Positive input: fires.
+        n.begin_tick();
+        n.integrate(0); // +1
+        assert!(n.end_tick(&mut prng));
+        // Negative input: silent.
+        n.begin_tick();
+        n.integrate(1); // −1
+        assert!(!n.end_tick(&mut prng));
+        // Zero input: fires (y' = 0 ≥ 0).
+        n.begin_tick();
+        assert!(n.end_tick(&mut prng));
+    }
+
+    #[test]
+    fn history_free_clears_membrane() {
+        let mut n = LifNeuron::new(NeuronConfig::mcculloch_pitts(0, 0.0, 1));
+        let mut prng = quiet_prng();
+        n.begin_tick();
+        n.integrate(1); // −1 accumulated
+        let _ = n.end_tick(&mut prng);
+        n.begin_tick();
+        assert_eq!(n.state.potential, 0, "history-free must reset each tick");
+    }
+
+    #[test]
+    fn stateful_lif_accumulates_across_ticks() {
+        let mut cfg = NeuronConfig::mcculloch_pitts(0, 0.0, 1);
+        cfg.history_free = false;
+        cfg.threshold = 3;
+        cfg.reset = ResetMode::ToValue(0);
+        let mut n = LifNeuron::new(cfg);
+        let mut prng = quiet_prng();
+        // Two +1 inputs: below threshold, potential persists.
+        for _ in 0..2 {
+            n.begin_tick();
+            n.integrate(0);
+            assert!(!n.end_tick(&mut prng));
+        }
+        assert_eq!(n.state.potential, 2);
+        // Third +1 reaches 3: fire and reset.
+        n.begin_tick();
+        n.integrate(0);
+        assert!(n.end_tick(&mut prng));
+        assert_eq!(n.state.potential, 0);
+    }
+
+    #[test]
+    fn linear_reset_subtracts_threshold() {
+        let mut cfg = NeuronConfig::mcculloch_pitts(0, 0.0, 1);
+        cfg.history_free = false;
+        cfg.threshold = 2;
+        cfg.reset = ResetMode::Linear;
+        let mut n = LifNeuron::new(cfg);
+        let mut prng = quiet_prng();
+        n.begin_tick();
+        for _ in 0..5 {
+            n.integrate(0); // +5 total
+        }
+        assert!(n.end_tick(&mut prng));
+        assert_eq!(n.state.potential, 3, "linear reset keeps the excess");
+    }
+
+    #[test]
+    fn reset_none_keeps_potential() {
+        let mut cfg = NeuronConfig::mcculloch_pitts(0, 0.0, 1);
+        cfg.history_free = false;
+        cfg.reset = ResetMode::None;
+        let mut n = LifNeuron::new(cfg);
+        let mut prng = quiet_prng();
+        n.begin_tick();
+        n.integrate(2); // +2
+        assert!(n.end_tick(&mut prng));
+        assert_eq!(n.state.potential, 2);
+    }
+
+    #[test]
+    fn floor_clamps_negative_runaway() {
+        let mut cfg = NeuronConfig::mcculloch_pitts(0, 0.0, 1);
+        cfg.history_free = false;
+        cfg.floor = -5;
+        let mut n = LifNeuron::new(cfg);
+        let mut prng = quiet_prng();
+        for _ in 0..10 {
+            n.begin_tick();
+            n.integrate(1); // −1 each tick
+            let _ = n.end_tick(&mut prng);
+        }
+        assert_eq!(n.state.potential, -5);
+    }
+
+    #[test]
+    fn deterministic_leak_shifts_threshold() {
+        // leak −1 means a single +1 input no longer fires (0 + 1 − 1 = 0 ≥ 0
+        // actually fires; use −2 to force below zero).
+        let mut n = LifNeuron::new(NeuronConfig::mcculloch_pitts(-2, 0.0, 1));
+        let mut prng = quiet_prng();
+        n.begin_tick();
+        n.integrate(0); // +1 − 2 = −1
+        assert!(!n.end_tick(&mut prng));
+    }
+
+    #[test]
+    fn stochastic_leak_matches_expectation() {
+        // frac prob 0.5: on average half the ticks get an extra −1.
+        let cfg = NeuronConfig::mcculloch_pitts(0, 0.5, -1);
+        let mut n = LifNeuron::new(cfg);
+        let mut prng = quiet_prng();
+        let trials = 10_000;
+        let mut fired = 0;
+        for _ in 0..trials {
+            n.begin_tick();
+            // 0 potential: fires unless the stochastic −1 leak hits.
+            if n.end_tick(&mut prng) {
+                fired += 1;
+            }
+        }
+        let rate = fired as f32 / trials as f32;
+        assert!((rate - 0.5).abs() < 0.03, "fire rate {rate}");
+    }
+
+    #[test]
+    fn stochastic_threshold_dithers_firing() {
+        // Potential 2, threshold 0, mask 3: effective threshold uniform in
+        // {0,1,2,3}; fires when threshold ≤ 2, i.e. 3 of 4 cases.
+        let mut cfg = NeuronConfig::mcculloch_pitts(0, 0.0, 1);
+        cfg.history_free = false;
+        cfg.threshold_mask = 3;
+        cfg.reset = ResetMode::None;
+        let mut n = LifNeuron::new(cfg);
+        n.state.potential = 2;
+        let mut prng = quiet_prng();
+        let trials = 20_000;
+        let mut fired = 0usize;
+        for _ in 0..trials {
+            n.begin_tick();
+            n.state.potential = 2;
+            if n.end_tick(&mut prng) {
+                fired += 1;
+            }
+        }
+        let rate = fired as f32 / trials as f32;
+        assert!((rate - 0.75).abs() < 0.02, "dither rate {rate}");
+    }
+
+    #[test]
+    fn zero_mask_keeps_threshold_deterministic() {
+        let mut cfg = NeuronConfig::mcculloch_pitts(0, 0.0, 1);
+        cfg.threshold_mask = 0;
+        let mut n = LifNeuron::new(cfg);
+        let mut prng = quiet_prng();
+        for _ in 0..100 {
+            n.begin_tick();
+            n.integrate(0); // +1 ≥ 0: always fires
+            assert!(n.end_tick(&mut prng));
+        }
+    }
+
+    #[test]
+    fn with_bias_splits_parts() {
+        let cfg = NeuronConfig::default().with_bias(2.75);
+        assert_eq!(cfg.leak, 2);
+        assert!((cfg.leak_frac_prob - 0.75).abs() < 1e-6);
+        assert_eq!(cfg.leak_frac_sign, 1);
+        assert!((cfg.expected_leak() - 2.75).abs() < 1e-6);
+        let neg = NeuronConfig::default().with_bias(-0.5);
+        assert!((neg.expected_leak() + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_table_has_four_types() {
+        let n = LifNeuron::new(NeuronConfig::default());
+        assert_eq!(n.config.weights.len(), AXON_TYPES);
+    }
+}

@@ -1,0 +1,797 @@
+//! NSCS-style deployment front-end.
+//!
+//! The paper deploys trained models through the IBM Neuro Synaptic Chip
+//! Simulator (NSCS) and onto the NS1e board. This module is our equivalent
+//! toolchain: it takes a [`NetworkDeploySpec`] — the hardware-neutral
+//! description of a trained TrueNorth network (per-core connectivity
+//! probabilities, signs, biases, wiring) — and
+//!
+//! 1. **samples** the synaptic connectivity (`ON ~ Bernoulli(p)`, Eq. 6),
+//!    once per spatial network copy,
+//! 2. **places** every copy onto one [`TrueNorthChip`],
+//! 3. **drives** frames through the chip with the stochastic input code at a
+//!    chosen spikes-per-frame (spf), collecting per-tick per-copy class
+//!    spike counts, and
+//! 4. **inspects** deployed cores for the synaptic-weight deviation maps of
+//!    the paper's Fig. 4.
+
+use crate::chip::{ChipError, SpikeTarget, TrueNorthChip};
+use crate::neuro_core::NeuroSynapticCore;
+use crate::neuron::NeuronConfig;
+use crate::prng::splitmix64;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// How trained connectivity probabilities become hardware connectivity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConnectivityMode {
+    /// Each spatial copy draws an independent Bernoulli connectivity
+    /// sample — the hardware flow the paper evaluates (default).
+    #[default]
+    IndependentPerCopy,
+    /// All copies share a single Bernoulli sample (ablation: isolates
+    /// what per-copy resampling buys).
+    SharedAcrossCopies,
+    /// No deploy-time sampling at all: every nonzero-probability synapse
+    /// is wired, and the on-core PRNG gates each spike event with
+    /// probability `p` at runtime — the chip's "stochastic neural mode"
+    /// for mimicking fractional weights (paper §1). Spatial copies are
+    /// statistically identical in this mode; temporal averaging (spf)
+    /// does the work instead.
+    RuntimeStochastic,
+}
+
+/// Where one axon of a deployed core gets its spikes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InputSource {
+    /// External input channel (a pixel/feature index).
+    External(usize),
+    /// Output neuron of another core in the same network copy.
+    Core {
+        /// Index of the source core within the [`NetworkDeploySpec`].
+        core: usize,
+        /// Neuron index within that core.
+        neuron: usize,
+    },
+}
+
+/// Hardware-neutral description of one trained core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreDeploySpec {
+    /// Pipeline layer of this core (0 = reads external inputs).
+    pub layer: usize,
+    /// Row-major `n_axons × n_neurons` trained weights in `[−1, 1]`;
+    /// `p = |w|` is the connection probability, `sgn(w)` the synaptic sign.
+    pub weights: Vec<f32>,
+    /// Axons in use.
+    pub n_axons: usize,
+    /// Neurons in use.
+    pub n_neurons: usize,
+    /// Per-neuron bias, deployed as (stochastic) leak.
+    pub biases: Vec<f32>,
+    /// Spike source for each axon.
+    pub axon_sources: Vec<InputSource>,
+}
+
+impl CoreDeploySpec {
+    /// Trained weight of synapse `(axon, neuron)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of the spec's dimensions.
+    pub fn weight(&self, axon: usize, neuron: usize) -> f32 {
+        assert!(
+            axon < self.n_axons && neuron < self.n_neurons,
+            "synapse out of spec"
+        );
+        self.weights[axon * self.n_neurons + neuron]
+    }
+}
+
+/// Hardware-neutral description of a whole trained network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkDeploySpec {
+    /// The cores, in layer order.
+    pub cores: Vec<CoreDeploySpec>,
+    /// Number of external input channels.
+    pub n_inputs: usize,
+    /// Number of output classes.
+    pub n_classes: usize,
+    /// Output taps: `(core, neuron, class)` — the "merged output axons" of
+    /// the paper's Fig. 3.
+    pub output_taps: Vec<(usize, usize, usize)>,
+}
+
+/// Errors from deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeployError {
+    /// A core spec is internally inconsistent.
+    MalformedCore {
+        /// Index of the offending core.
+        core: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A wiring reference points outside the network.
+    BadReference {
+        /// Description of the dangling reference.
+        reason: String,
+    },
+    /// A neuron is given more than one spike target (hardware fan-out is 1).
+    FanOutViolation {
+        /// The core holding the neuron.
+        core: usize,
+        /// The over-subscribed neuron.
+        neuron: usize,
+    },
+    /// Chip-level failure (e.g. out of cores).
+    Chip(ChipError),
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::MalformedCore { core, reason } => {
+                write!(f, "core {core} spec malformed: {reason}")
+            }
+            DeployError::BadReference { reason } => write!(f, "bad wiring reference: {reason}"),
+            DeployError::FanOutViolation { core, neuron } => {
+                write!(
+                    f,
+                    "neuron {neuron} of core {core} has multiple targets (fan-out is 1)"
+                )
+            }
+            DeployError::Chip(e) => write!(f, "chip error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeployError::Chip(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ChipError> for DeployError {
+    fn from(e: ChipError) -> Self {
+        DeployError::Chip(e)
+    }
+}
+
+impl NetworkDeploySpec {
+    /// Validate dimensions, wiring references, weight ranges, and the
+    /// fan-out-1 constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DeployError`] found.
+    pub fn validate(&self) -> Result<(), DeployError> {
+        for (i, c) in self.cores.iter().enumerate() {
+            if c.weights.len() != c.n_axons * c.n_neurons {
+                return Err(DeployError::MalformedCore {
+                    core: i,
+                    reason: format!(
+                        "weights len {} != {}x{}",
+                        c.weights.len(),
+                        c.n_axons,
+                        c.n_neurons
+                    ),
+                });
+            }
+            if c.biases.len() != c.n_neurons {
+                return Err(DeployError::MalformedCore {
+                    core: i,
+                    reason: format!("biases len {} != {}", c.biases.len(), c.n_neurons),
+                });
+            }
+            if c.axon_sources.len() != c.n_axons {
+                return Err(DeployError::MalformedCore {
+                    core: i,
+                    reason: format!("axon_sources len {} != {}", c.axon_sources.len(), c.n_axons),
+                });
+            }
+            if c.n_axons > 256 || c.n_neurons > 256 {
+                return Err(DeployError::MalformedCore {
+                    core: i,
+                    reason: format!("{}x{} exceeds the 256x256 core", c.n_axons, c.n_neurons),
+                });
+            }
+            if c.weights.iter().any(|w| !(-1.0..=1.0).contains(w)) {
+                return Err(DeployError::MalformedCore {
+                    core: i,
+                    reason: "weights outside [-1, 1]".to_string(),
+                });
+            }
+            for (a, src) in c.axon_sources.iter().enumerate() {
+                match *src {
+                    InputSource::External(ch) => {
+                        if ch >= self.n_inputs {
+                            return Err(DeployError::BadReference {
+                                reason: format!(
+                                    "core {i} axon {a} reads external channel {ch} of {}",
+                                    self.n_inputs
+                                ),
+                            });
+                        }
+                    }
+                    InputSource::Core { core, neuron } => {
+                        if core >= self.cores.len() || neuron >= self.cores[core].n_neurons {
+                            return Err(DeployError::BadReference {
+                                reason: format!(
+                                    "core {i} axon {a} reads core {core} neuron {neuron}"
+                                ),
+                            });
+                        }
+                        if self.cores[core].layer + 1 != c.layer {
+                            return Err(DeployError::BadReference {
+                                reason: format!(
+                                    "core {i} (layer {}) reads core {core} (layer {}): wiring must go layer L to L+1",
+                                    c.layer, self.cores[core].layer
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        for &(core, neuron, class) in &self.output_taps {
+            if core >= self.cores.len() || neuron >= self.cores[core].n_neurons {
+                return Err(DeployError::BadReference {
+                    reason: format!("output tap on core {core} neuron {neuron}"),
+                });
+            }
+            if class >= self.n_classes {
+                return Err(DeployError::BadReference {
+                    reason: format!("output tap class {class} of {}", self.n_classes),
+                });
+            }
+        }
+        // Fan-out 1: a neuron may feed one axon or one output tap, not more.
+        let mut uses = std::collections::HashMap::new();
+        for c in &self.cores {
+            for src in &c.axon_sources {
+                if let InputSource::Core { core, neuron } = *src {
+                    let slot = uses.entry((core, neuron)).or_insert(0u32);
+                    *slot += 1;
+                    if *slot > 1 {
+                        return Err(DeployError::FanOutViolation { core, neuron });
+                    }
+                }
+            }
+        }
+        for &(core, neuron, _) in &self.output_taps {
+            let slot = uses.entry((core, neuron)).or_insert(0u32);
+            *slot += 1;
+            if *slot > 1 {
+                return Err(DeployError::FanOutViolation { core, neuron });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of pipeline layers (max layer + 1); 0 for an empty spec.
+    pub fn depth(&self) -> usize {
+        self.cores.iter().map(|c| c.layer + 1).max().unwrap_or(0)
+    }
+
+    /// Cores per network copy.
+    pub fn cores_per_copy(&self) -> usize {
+        self.cores.len()
+    }
+}
+
+/// A network deployed onto a chip as one or more spatial copies.
+#[derive(Debug)]
+pub struct Deployment {
+    /// The chip carrying all copies.
+    pub chip: TrueNorthChip,
+    /// Per copy, per external input channel: the `(core_handle, axon)`
+    /// injection points. Kept per copy because each spatial copy draws an
+    /// *independent* input spike sample — the paper's Eq. (14) variance
+    /// analysis treats the whole stochastic computation (synapses *and*
+    /// input spikes) as per-copy randomness that spatial averaging
+    /// reduces.
+    input_routes: Vec<Vec<Vec<(usize, usize)>>>,
+    /// Core handles per copy (aligned with the spec's core order).
+    copy_handles: Vec<Vec<usize>>,
+    n_classes: usize,
+    depth: usize,
+}
+
+impl Deployment {
+    /// Sample and place `copies` instances of `spec` onto a fresh chip.
+    ///
+    /// Each copy gets an independent Bernoulli connectivity sample (seeded
+    /// from `seed`); output channel `copy * n_classes + class` accumulates
+    /// that copy's votes for `class`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] if the spec is invalid or the chip runs out
+    /// of cores.
+    pub fn build(spec: &NetworkDeploySpec, copies: usize, seed: u64) -> Result<Self, DeployError> {
+        Self::build_with_mode(spec, copies, seed, ConnectivityMode::IndependentPerCopy)
+    }
+
+    /// Like [`Deployment::build`] with an explicit [`ConnectivityMode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] like [`Deployment::build`].
+    pub fn build_with_mode(
+        spec: &NetworkDeploySpec,
+        copies: usize,
+        seed: u64,
+        mode: ConnectivityMode,
+    ) -> Result<Self, DeployError> {
+        spec.validate()?;
+        let mut chip = TrueNorthChip::truenorth(copies * spec.n_classes);
+        chip.set_seed(splitmix64(seed));
+        let mut input_routes: Vec<Vec<Vec<(usize, usize)>>> =
+            vec![vec![Vec::new(); spec.n_inputs]; copies];
+        let mut copy_handles = Vec::with_capacity(copies);
+
+        #[allow(clippy::needless_range_loop)] // `copy` indexes several parallel tables
+        for copy in 0..copies {
+            let sample_index = match mode {
+                ConnectivityMode::IndependentPerCopy => copy as u64,
+                ConnectivityMode::SharedAcrossCopies | ConnectivityMode::RuntimeStochastic => 0,
+            };
+            let copy_seed = splitmix64(seed ^ sample_index.wrapping_mul(0xA55A_5AA5_55AA_AA55));
+            let base_handle = chip.core_count();
+            let mut handles = Vec::with_capacity(spec.cores.len());
+            for (ci, cs) in spec.cores.iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(copy_seed.wrapping_add(ci as u64));
+                let template = NeuronConfig::mcculloch_pitts(0, 0.0, 1);
+                let mut core = NeuroSynapticCore::new(0, template, cs.n_neurons);
+                // All axons use type 0 (table entry +1); negative trained
+                // weights flip the per-synapse sign (Eq. 6's per-connection
+                // c_i).
+                for n in 0..cs.n_neurons {
+                    let cfg = NeuronConfig::mcculloch_pitts(0, 0.0, 1).with_bias(cs.biases[n]);
+                    *core.neuron_mut(n) = crate::neuron::LifNeuron::new(cfg);
+                }
+                for a in 0..cs.n_axons {
+                    core.set_axon_type(a, 0);
+                    for n in 0..cs.n_neurons {
+                        let w = cs.weight(a, n);
+                        let p = w.abs();
+                        match mode {
+                            ConnectivityMode::IndependentPerCopy
+                            | ConnectivityMode::SharedAcrossCopies => {
+                                if p > 0.0 && rng.gen::<f32>() < p {
+                                    core.crossbar_mut().set(a, n, true);
+                                    if w < 0.0 {
+                                        core.set_sign_flip(a, n, true);
+                                    }
+                                }
+                            }
+                            ConnectivityMode::RuntimeStochastic => {
+                                if p > 0.0 {
+                                    core.crossbar_mut().set(a, n, true);
+                                    core.set_stochastic_probability(a, n, p);
+                                    if w < 0.0 {
+                                        core.set_sign_flip(a, n, true);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                // Targets: resolved below once handles are known; reserve
+                // with None for now.
+                let targets = vec![SpikeTarget::None; cs.n_neurons];
+                let handle = chip.add_core(core, targets)?;
+                handles.push(handle);
+                debug_assert_eq!(handle, base_handle + ci);
+            }
+            // Wire intra-copy routes and inputs.
+            for (ci, cs) in spec.cores.iter().enumerate() {
+                for (a, src) in cs.axon_sources.iter().enumerate() {
+                    match *src {
+                        InputSource::External(ch) => {
+                            input_routes[copy][ch].push((handles[ci], a));
+                        }
+                        InputSource::Core { core, neuron } => {
+                            set_target(
+                                &mut chip,
+                                handles[core],
+                                neuron,
+                                SpikeTarget::Axon {
+                                    core: handles[ci],
+                                    axon: a,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            for &(core, neuron, class) in &spec.output_taps {
+                set_target(
+                    &mut chip,
+                    handles[core],
+                    neuron,
+                    SpikeTarget::Output {
+                        channel: copy * spec.n_classes + class,
+                    },
+                );
+            }
+            copy_handles.push(handles);
+        }
+        chip.validate()?;
+        Ok(Self {
+            chip,
+            input_routes,
+            copy_handles,
+            n_classes: spec.n_classes,
+            depth: spec.depth(),
+        })
+    }
+
+    /// Number of spatial copies.
+    pub fn copies(&self) -> usize {
+        self.copy_handles.len()
+    }
+
+    /// Classes per copy.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Pipeline depth in ticks.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Core handles of one copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copy` is out of range.
+    pub fn copy_handles(&self, copy: usize) -> &[usize] {
+        &self.copy_handles[copy]
+    }
+
+    /// Run one input frame with the stochastic code at `spf` spikes per
+    /// frame.
+    ///
+    /// Returns per-sample, per-channel output spike counts: element
+    /// `[s][copy * n_classes + class]` counts the class votes produced by
+    /// input sample `s` (the pipeline offset is compensated internally, so
+    /// sample `s`'s votes are read `depth − 1` ticks later). In-flight state
+    /// is flushed afterwards, making frames independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not match the spec's channel count or values
+    /// are outside `[0, 1]`.
+    pub fn run_frame(&mut self, inputs: &[f32], spf: usize, frame_seed: u64) -> Vec<Vec<u64>> {
+        let n_inputs = self.input_routes.first().map_or(0, Vec::len);
+        assert_eq!(
+            inputs.len(),
+            n_inputs,
+            "input width mismatch: {n_inputs} channels expected"
+        );
+        assert!(
+            inputs.iter().all(|v| (0.0..=1.0).contains(v)),
+            "inputs must be normalized probabilities"
+        );
+        let mut rng = StdRng::seed_from_u64(splitmix64(frame_seed));
+        // Frames are fully independent: the on-chip stochastic-leak PRNGs
+        // restart from a frame-derived seed, so results do not depend on
+        // how frames are partitioned across evaluator threads.
+        self.chip
+            .set_seed(splitmix64(frame_seed ^ 0xC0DE_C0DE_C0DE_C0DE));
+        let depth = self.depth.max(1);
+        let total_ticks = spf + depth - 1;
+        let mut per_sample = Vec::with_capacity(spf);
+        let mut prev = vec![0u64; self.chip.output_counts().len()];
+        self.chip.clear_outputs();
+        for t in 0..total_ticks {
+            if t < spf {
+                // Stochastic code: Bernoulli(x) per channel per sample,
+                // drawn independently for every spatial copy.
+                for copy_routes in &self.input_routes {
+                    for (ch, &x) in inputs.iter().enumerate() {
+                        if x > 0.0 && rng.gen::<f32>() < x {
+                            for &(core, axon) in &copy_routes[ch] {
+                                self.chip
+                                    .inject(core, axon)
+                                    .expect("validated routes cannot dangle");
+                            }
+                        }
+                    }
+                }
+            }
+            self.chip.tick();
+            let now = self.chip.output_counts().to_vec();
+            let delta: Vec<u64> = now.iter().zip(&prev).map(|(a, b)| a - b).collect();
+            prev = now;
+            if t + 1 >= depth {
+                // Output window: votes caused by sample t + 1 − depth.
+                // Earlier ticks carry pipeline-fill transients and are
+                // discarded.
+                per_sample.push(delta);
+            }
+        }
+        self.chip.flush_in_flight();
+        debug_assert_eq!(per_sample.len(), spf);
+        per_sample
+    }
+
+    /// The synaptic-weight deviation map of one deployed core against its
+    /// spec (Fig. 4): `|deployed − desired|`, normalized by the maximum
+    /// synaptic weight (1.0), for every used synapse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copy`/`core_index` are out of range.
+    pub fn deviation_map(
+        &self,
+        spec: &NetworkDeploySpec,
+        copy: usize,
+        core_index: usize,
+    ) -> Vec<f32> {
+        let handle = self.copy_handles[copy][core_index];
+        let core = self.chip.core(handle).expect("handle recorded at build");
+        let cs = &spec.cores[core_index];
+        let mut out = Vec::with_capacity(cs.n_axons * cs.n_neurons);
+        for a in 0..cs.n_axons {
+            for n in 0..cs.n_neurons {
+                let desired = cs.weight(a, n);
+                let deployed = core.effective_weight(a, n) as f32;
+                out.push((deployed - desired).abs());
+            }
+        }
+        out
+    }
+}
+
+fn set_target(chip: &mut TrueNorthChip, core: usize, neuron: usize, target: SpikeTarget) {
+    // Internal helper: targets were reserved at add_core time.
+    let targets = chip_targets_mut(chip, core);
+    targets[neuron] = target;
+}
+
+// Controlled access to the chip's target table for the deployment builder.
+fn chip_targets_mut(chip: &mut TrueNorthChip, core: usize) -> &mut Vec<SpikeTarget> {
+    chip.targets_mut(core)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2-input, 1-core, 2-class spec with deterministic weights (±1).
+    fn tiny_spec() -> NetworkDeploySpec {
+        NetworkDeploySpec {
+            cores: vec![CoreDeploySpec {
+                layer: 0,
+                // axon 0: +1 to neuron 0, −1 to neuron 1;
+                // axon 1: −1 to neuron 0, +1 to neuron 1.
+                weights: vec![1.0, -1.0, -1.0, 1.0],
+                n_axons: 2,
+                n_neurons: 2,
+                biases: vec![-0.5, -0.5],
+                axon_sources: vec![InputSource::External(0), InputSource::External(1)],
+            }],
+            n_inputs: 2,
+            n_classes: 2,
+            output_taps: vec![(0, 0, 0), (0, 1, 1)],
+        }
+    }
+
+    #[test]
+    fn tiny_spec_validates() {
+        tiny_spec().validate().expect("valid");
+        assert_eq!(tiny_spec().depth(), 1);
+    }
+
+    #[test]
+    fn deterministic_weights_deploy_exactly() {
+        // |w| = 1 everywhere: sampling is deterministic, deviation is zero.
+        let spec = tiny_spec();
+        let dep = Deployment::build(&spec, 1, 42).expect("deploy");
+        let dev = dep.deviation_map(&spec, 0, 0);
+        assert!(dev.iter().all(|&d| d == 0.0), "deviation {dev:?}");
+    }
+
+    #[test]
+    fn frame_classifies_by_input_channel() {
+        let spec = tiny_spec();
+        let mut dep = Deployment::build(&spec, 1, 42).expect("deploy");
+        // Input 0 hot: neuron 0 sees +1 (fires), neuron 1 sees −1.
+        let votes = dep.run_frame(&[1.0, 0.0], 8, 7);
+        let class0: u64 = votes.iter().map(|v| v[0]).sum();
+        let class1: u64 = votes.iter().map(|v| v[1]).sum();
+        assert!(class0 > class1, "class0 {class0} vs class1 {class1}");
+        // And the mirror image.
+        let votes = dep.run_frame(&[0.0, 1.0], 8, 7);
+        let class0: u64 = votes.iter().map(|v| v[0]).sum();
+        let class1: u64 = votes.iter().map(|v| v[1]).sum();
+        assert!(class1 > class0);
+    }
+
+    #[test]
+    fn copies_occupy_proportional_cores() {
+        let spec = tiny_spec();
+        for copies in [1usize, 3, 5] {
+            let dep = Deployment::build(&spec, copies, 1).expect("deploy");
+            assert_eq!(dep.chip.core_count(), copies * spec.cores_per_copy());
+            assert_eq!(dep.copies(), copies);
+        }
+    }
+
+    #[test]
+    fn copies_sample_independently() {
+        // Fractional probabilities: two copies should (almost surely) get
+        // different crossbars.
+        let mut spec = tiny_spec();
+        for w in &mut spec.cores[0].weights {
+            // Asymmetric probability so ON (deviation 0.3) and OFF
+            // (deviation 0.7) samples are distinguishable in the map.
+            *w *= 0.7;
+        }
+        let dep = Deployment::build(&spec, 2, 9).expect("deploy");
+        let a = dep.deviation_map(&spec, 0, 0);
+        let b = dep.deviation_map(&spec, 1, 0);
+        assert_ne!(a, b, "independent Bernoulli samples per copy");
+    }
+
+    #[test]
+    fn build_is_deterministic_in_seed() {
+        let mut spec = tiny_spec();
+        for w in &mut spec.cores[0].weights {
+            *w *= 0.7;
+        }
+        let a = Deployment::build(&spec, 2, 5).expect("a");
+        let b = Deployment::build(&spec, 2, 5).expect("b");
+        assert_eq!(a.deviation_map(&spec, 0, 0), b.deviation_map(&spec, 0, 0));
+        assert_eq!(a.deviation_map(&spec, 1, 0), b.deviation_map(&spec, 1, 0));
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let mut s = tiny_spec();
+        s.cores[0].weights.pop();
+        assert!(matches!(
+            s.validate(),
+            Err(DeployError::MalformedCore { .. })
+        ));
+
+        let mut s = tiny_spec();
+        s.cores[0].weights[0] = 1.5;
+        assert!(matches!(
+            s.validate(),
+            Err(DeployError::MalformedCore { .. })
+        ));
+
+        let mut s = tiny_spec();
+        s.cores[0].axon_sources[0] = InputSource::External(99);
+        assert!(matches!(
+            s.validate(),
+            Err(DeployError::BadReference { .. })
+        ));
+
+        let mut s = tiny_spec();
+        s.output_taps.push((0, 0, 1)); // neuron 0 now has two targets
+        assert!(matches!(
+            s.validate(),
+            Err(DeployError::FanOutViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn two_layer_pipeline_compensates_latency() {
+        // Layer 0 core passes input to layer 1 core, which taps to output.
+        let spec = NetworkDeploySpec {
+            cores: vec![
+                CoreDeploySpec {
+                    layer: 0,
+                    weights: vec![1.0],
+                    n_axons: 1,
+                    n_neurons: 1,
+                    biases: vec![-0.5],
+                    axon_sources: vec![InputSource::External(0)],
+                },
+                CoreDeploySpec {
+                    layer: 1,
+                    weights: vec![1.0],
+                    n_axons: 1,
+                    n_neurons: 1,
+                    biases: vec![-0.5],
+                    axon_sources: vec![InputSource::Core { core: 0, neuron: 0 }],
+                },
+            ],
+            n_inputs: 1,
+            n_classes: 1,
+            output_taps: vec![(1, 0, 0)],
+        };
+        spec.validate().expect("valid");
+        let mut dep = Deployment::build(&spec, 1, 3).expect("deploy");
+        assert_eq!(dep.depth(), 2);
+        let votes = dep.run_frame(&[1.0], 4, 1);
+        assert_eq!(votes.len(), 4);
+        let total: u64 = votes.iter().map(|v| v[0]).sum();
+        assert_eq!(total, 4, "every input sample should arrive despite latency");
+    }
+
+    #[test]
+    fn runtime_stochastic_mode_wires_every_synapse() {
+        let mut spec = tiny_spec();
+        for w in &mut spec.cores[0].weights {
+            *w *= 0.5;
+        }
+        let dep = Deployment::build_with_mode(&spec, 1, 9, ConnectivityMode::RuntimeStochastic)
+            .expect("deploy");
+        let core = dep.chip.core(0).expect("core");
+        assert!(core.is_stochastic());
+        assert_eq!(
+            core.crossbar().connection_count(),
+            4,
+            "all p>0 synapses wired"
+        );
+        // Effective weights carry the signs even though gating is runtime.
+        assert_eq!(core.effective_weight(0, 0), 1);
+        assert_eq!(core.effective_weight(0, 1), -1);
+    }
+
+    #[test]
+    fn runtime_stochastic_copies_are_identical() {
+        let mut spec = tiny_spec();
+        for w in &mut spec.cores[0].weights {
+            *w *= 0.5;
+        }
+        let dep = Deployment::build_with_mode(&spec, 2, 9, ConnectivityMode::RuntimeStochastic)
+            .expect("deploy");
+        assert_eq!(
+            dep.deviation_map(&spec, 0, 0),
+            dep.deviation_map(&spec, 1, 0),
+            "runtime mode has no per-copy sampling"
+        );
+    }
+
+    #[test]
+    fn runtime_stochastic_classifies_like_sampling_in_expectation() {
+        // Deterministic tiny_spec (p = 1): both modes agree exactly.
+        let spec = tiny_spec();
+        let mut a = Deployment::build_with_mode(&spec, 1, 3, ConnectivityMode::IndependentPerCopy)
+            .expect("a");
+        let mut b = Deployment::build_with_mode(&spec, 1, 3, ConnectivityMode::RuntimeStochastic)
+            .expect("b");
+        let va = a.run_frame(&[1.0, 0.0], 8, 5);
+        let vb = b.run_frame(&[1.0, 0.0], 8, 5);
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn shared_mode_copies_are_identical_samples() {
+        let mut spec = tiny_spec();
+        for w in &mut spec.cores[0].weights {
+            *w *= 0.7;
+        }
+        let dep = Deployment::build_with_mode(&spec, 3, 9, ConnectivityMode::SharedAcrossCopies)
+            .expect("deploy");
+        let first = dep.deviation_map(&spec, 0, 0);
+        for copy in 1..3 {
+            assert_eq!(dep.deviation_map(&spec, copy, 0), first);
+        }
+    }
+
+    #[test]
+    fn frames_are_independent() {
+        let spec = tiny_spec();
+        let mut dep = Deployment::build(&spec, 1, 42).expect("deploy");
+        let a = dep.run_frame(&[1.0, 0.0], 4, 11);
+        let b = dep.run_frame(&[1.0, 0.0], 4, 11);
+        assert_eq!(a, b, "same frame seed ⇒ same spikes");
+        let c = dep.run_frame(&[1.0, 0.0], 4, 12);
+        // Deterministic inputs (p=1) spike identically regardless of seed.
+        assert_eq!(a, c);
+    }
+}

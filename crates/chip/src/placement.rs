@@ -1,0 +1,194 @@
+//! Placement of logical cores onto the chip's 2-D core grid.
+//!
+//! A TrueNorth chip is a 64×64 mesh of neuro-synaptic cores (4096 total).
+//! Placement determines mesh-hop counts for routed spikes (a performance
+//! statistic) and enforces the capacity that the paper's core-occupation
+//! analysis (§4.3) is all about.
+
+use serde::{Deserialize, Serialize};
+
+/// Grid coordinates of a core on the chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoreCoord {
+    /// Column (0-based).
+    pub x: u16,
+    /// Row (0-based).
+    pub y: u16,
+}
+
+impl CoreCoord {
+    /// Manhattan (mesh-hop) distance to another core.
+    ///
+    /// ```
+    /// use tn_chip::placement::CoreCoord;
+    /// let a = CoreCoord { x: 0, y: 0 };
+    /// let b = CoreCoord { x: 3, y: 4 };
+    /// assert_eq!(a.hops_to(b), 7);
+    /// ```
+    pub fn hops_to(self, other: CoreCoord) -> u32 {
+        (self.x.abs_diff(other.x) + self.y.abs_diff(other.y)) as u32
+    }
+}
+
+/// Errors from the placer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementError {
+    /// All grid positions are occupied.
+    ChipFull {
+        /// Grid capacity that was exhausted.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::ChipFull { capacity } => {
+                write!(f, "chip is full: all {capacity} core sites are occupied")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// Sequential row-major core placer for a `width × height` grid.
+///
+/// # Examples
+///
+/// ```
+/// use tn_chip::placement::Placer;
+/// let mut p = Placer::new(64, 64); // a full TrueNorth chip
+/// let first = p.allocate()?;
+/// assert_eq!((first.x, first.y), (0, 0));
+/// assert_eq!(p.free(), 4095);
+/// # Ok::<(), tn_chip::placement::PlacementError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placer {
+    width: u16,
+    height: u16,
+    next: usize,
+}
+
+impl Placer {
+    /// A placer over a `width × height` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u16, height: u16) -> Self {
+        assert!(width > 0 && height > 0, "grid dimensions must be nonzero");
+        Self {
+            width,
+            height,
+            next: 0,
+        }
+    }
+
+    /// Full TrueNorth chip grid (64×64).
+    pub fn truenorth() -> Self {
+        Self::new(64, 64)
+    }
+
+    /// Total sites.
+    pub fn capacity(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Sites already allocated.
+    pub fn used(&self) -> usize {
+        self.next
+    }
+
+    /// Sites remaining.
+    pub fn free(&self) -> usize {
+        self.capacity() - self.next
+    }
+
+    /// Allocate the next site in row-major order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::ChipFull`] when the grid is exhausted.
+    pub fn allocate(&mut self) -> Result<CoreCoord, PlacementError> {
+        if self.next >= self.capacity() {
+            return Err(PlacementError::ChipFull {
+                capacity: self.capacity(),
+            });
+        }
+        let idx = self.next;
+        self.next += 1;
+        Ok(CoreCoord {
+            x: (idx % self.width as usize) as u16,
+            y: (idx / self.width as usize) as u16,
+        })
+    }
+
+    /// Allocate `n` sites at once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::ChipFull`] if fewer than `n` sites remain
+    /// (no partial allocation).
+    pub fn allocate_many(&mut self, n: usize) -> Result<Vec<CoreCoord>, PlacementError> {
+        if self.free() < n {
+            return Err(PlacementError::ChipFull {
+                capacity: self.capacity(),
+            });
+        }
+        (0..n).map(|_| self.allocate()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_order() {
+        let mut p = Placer::new(3, 2);
+        let coords: Vec<(u16, u16)> = (0..6)
+            .map(|_| {
+                let c = p.allocate().expect("capacity");
+                (c.x, c.y)
+            })
+            .collect();
+        assert_eq!(coords, vec![(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn overflow_is_error() {
+        let mut p = Placer::new(2, 1);
+        p.allocate().expect("first");
+        p.allocate().expect("second");
+        assert!(matches!(
+            p.allocate(),
+            Err(PlacementError::ChipFull { capacity: 2 })
+        ));
+    }
+
+    #[test]
+    fn allocate_many_is_atomic() {
+        let mut p = Placer::new(2, 2);
+        p.allocate().expect("one");
+        assert!(p.allocate_many(4).is_err());
+        assert_eq!(p.used(), 1, "failed bulk allocation must not consume sites");
+        assert_eq!(p.allocate_many(3).expect("fits").len(), 3);
+        assert_eq!(p.free(), 0);
+    }
+
+    #[test]
+    fn truenorth_capacity_is_4096() {
+        assert_eq!(Placer::truenorth().capacity(), 4096);
+    }
+
+    #[test]
+    fn hop_distance_is_manhattan() {
+        let a = CoreCoord { x: 10, y: 10 };
+        let b = CoreCoord { x: 7, y: 15 };
+        assert_eq!(a.hops_to(b), 8);
+        assert_eq!(b.hops_to(a), 8);
+        assert_eq!(a.hops_to(a), 0);
+    }
+}

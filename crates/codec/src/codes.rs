@@ -1,0 +1,383 @@
+//! The five TrueNorth neural coding schemes cited by the paper (§1-2):
+//! stochastic, rate, population, time-to-spike, and rank codes.
+//!
+//! The paper's experiments use the **stochastic code** for inputs: each
+//! pixel/activation `x ∈ [0, 1]` becomes an independent Bernoulli(`x`) spike
+//! per time step, and "spikes per frame" (spf) is the number of time steps
+//! spent per input frame. The deterministic codes are provided for
+//! completeness and are exercised by the codec benches.
+
+use crate::train::SpikeTrain;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Validates that inputs are normalized probabilities.
+fn assert_normalized(values: &[f32]) {
+    assert!(
+        values.iter().all(|v| (0.0..=1.0).contains(v)),
+        "code inputs must be normalized into [0, 1]"
+    );
+}
+
+/// Stochastic code: value `x` spikes Bernoulli(`x`) independently each step.
+///
+/// This is the code used to feed frames to the chip in all paper
+/// experiments; `steps` is the paper's *spikes per frame* (spf).
+///
+/// # Examples
+///
+/// ```
+/// use tn_codec::codes::StochasticCode;
+/// let mut code = StochasticCode::new(9);
+/// let t = code.encode(&[0.0, 1.0, 0.5], 64);
+/// assert_eq!(t.count(0), 0);   // never spikes
+/// assert_eq!(t.count(1), 64);  // always spikes
+/// let r = t.rate(2);
+/// assert!((r - 0.5).abs() < 0.2); // stochastic, near 0.5
+/// ```
+///
+/// # Panics
+///
+/// `encode` panics if any value is outside `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct StochasticCode {
+    seed: u64,
+    counter: u64,
+}
+
+impl StochasticCode {
+    /// A stochastic encoder with a deterministic seed stream.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, counter: 0 }
+    }
+
+    /// Encode values into `steps` Bernoulli samples each. Successive calls
+    /// advance the stream (fresh randomness per frame, reproducible per
+    /// seed).
+    pub fn encode(&mut self, values: &[f32], steps: usize) -> SpikeTrain {
+        assert_normalized(values);
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(self.counter));
+        self.counter = self.counter.wrapping_add(1);
+        let mut t = SpikeTrain::new(steps, values.len());
+        for s in 0..steps {
+            for (c, &v) in values.iter().enumerate() {
+                if v > 0.0 && rng.gen::<f32>() < v {
+                    t.set(s, c, true);
+                }
+            }
+        }
+        t
+    }
+
+    /// Decode by spike rate.
+    pub fn decode(&self, train: &SpikeTrain) -> Vec<f32> {
+        train.rates()
+    }
+}
+
+/// Deterministic rate code: value `x` emits `round(x·steps)` spikes spread
+/// evenly across the window (Bresenham-style).
+///
+/// ```
+/// use tn_codec::codes::RateCode;
+/// let t = RateCode.encode(&[0.5], 8);
+/// assert_eq!(t.count(0), 4);
+/// let decoded = RateCode.decode(&t);
+/// assert!((decoded[0] - 0.5).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RateCode;
+
+impl RateCode {
+    /// Encode values as evenly spaced spikes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is outside `[0, 1]`.
+    pub fn encode(&self, values: &[f32], steps: usize) -> SpikeTrain {
+        assert_normalized(values);
+        let mut t = SpikeTrain::new(steps, values.len());
+        for (c, &v) in values.iter().enumerate() {
+            let n = (v * steps as f32).round() as usize;
+            if n == 0 {
+                continue;
+            }
+            for k in 0..n {
+                // Even spacing: step = floor(k * steps / n).
+                let s = k * steps / n;
+                t.set(s, c, true);
+            }
+        }
+        t
+    }
+
+    /// Decode by spike rate.
+    pub fn decode(&self, train: &SpikeTrain) -> Vec<f32> {
+        train.rates()
+    }
+}
+
+/// Population (thermometer) code: one value spreads over `pool` channels;
+/// the first `round(x·pool)` channels spike once.
+///
+/// ```
+/// use tn_codec::codes::PopulationCode;
+/// let code = PopulationCode::new(10);
+/// let t = code.encode(&[0.3]);
+/// assert_eq!(t.total_spikes(), 3);
+/// assert!((code.decode(&t)[0] - 0.3).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PopulationCode {
+    pool: usize,
+}
+
+impl PopulationCode {
+    /// A population code with `pool` channels per value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool == 0`.
+    pub fn new(pool: usize) -> Self {
+        assert!(pool > 0, "population pool must be nonzero");
+        Self { pool }
+    }
+
+    /// Channels used per encoded value.
+    pub fn pool(&self) -> usize {
+        self.pool
+    }
+
+    /// Encode each value into a thermometer pattern over one time step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is outside `[0, 1]`.
+    pub fn encode(&self, values: &[f32]) -> SpikeTrain {
+        assert_normalized(values);
+        let mut t = SpikeTrain::new(1, values.len() * self.pool);
+        for (i, &v) in values.iter().enumerate() {
+            let n = (v * self.pool as f32).round() as usize;
+            for k in 0..n {
+                t.set(0, i * self.pool + k, true);
+            }
+        }
+        t
+    }
+
+    /// Decode by counting active channels per pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the raster width is not a multiple of the pool size.
+    pub fn decode(&self, train: &SpikeTrain) -> Vec<f32> {
+        assert_eq!(
+            train.channels() % self.pool,
+            0,
+            "raster width not a multiple of pool"
+        );
+        (0..train.channels() / self.pool)
+            .map(|i| {
+                let on = (0..self.pool)
+                    .filter(|&k| train.count(i * self.pool + k) > 0)
+                    .count();
+                on as f32 / self.pool as f32
+            })
+            .collect()
+    }
+}
+
+/// Time-to-spike code: larger values spike earlier. Value `x` spikes once at
+/// step `round((1−x)·(steps−1))`.
+///
+/// ```
+/// use tn_codec::codes::TimeToSpikeCode;
+/// let code = TimeToSpikeCode;
+/// let t = code.encode(&[1.0, 0.0], 10);
+/// assert_eq!(t.first_spike(0), Some(0)); // strongest: immediate
+/// assert_eq!(t.first_spike(1), Some(9)); // weakest: last step
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimeToSpikeCode;
+
+impl TimeToSpikeCode {
+    /// Encode values as single spikes with value-dependent latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0` or a value is outside `[0, 1]`.
+    pub fn encode(&self, values: &[f32], steps: usize) -> SpikeTrain {
+        assert!(steps > 0, "time-to-spike needs at least one step");
+        assert_normalized(values);
+        let mut t = SpikeTrain::new(steps, values.len());
+        for (c, &v) in values.iter().enumerate() {
+            let s = ((1.0 - v) * (steps - 1) as f32).round() as usize;
+            t.set(s, c, true);
+        }
+        t
+    }
+
+    /// Decode latencies back to values (channels that never spike decode
+    /// to 0).
+    pub fn decode(&self, train: &SpikeTrain) -> Vec<f32> {
+        let steps = train.steps().max(1);
+        (0..train.channels())
+            .map(|c| match train.first_spike(c) {
+                Some(s) if steps > 1 => 1.0 - s as f32 / (steps - 1) as f32,
+                Some(_) => 1.0,
+                None => 0.0,
+            })
+            .collect()
+    }
+}
+
+/// Rank-order code: channels spike in descending value order, one per step.
+///
+/// Only the ordering is preserved; decode reconstructs normalized ranks.
+///
+/// ```
+/// use tn_codec::codes::RankCode;
+/// let code = RankCode;
+/// let t = code.encode(&[0.1, 0.9, 0.5]);
+/// assert_eq!(t.first_spike(1), Some(0)); // highest value first
+/// assert_eq!(t.first_spike(2), Some(1));
+/// assert_eq!(t.first_spike(0), Some(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RankCode;
+
+impl RankCode {
+    /// Encode values as a rank-ordered spike sequence (`n` steps for `n`
+    /// values; ties broken by channel index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a value is outside `[0, 1]`.
+    pub fn encode(&self, values: &[f32]) -> SpikeTrain {
+        assert_normalized(values);
+        let mut order: Vec<usize> = (0..values.len()).collect();
+        order.sort_by(|&a, &b| {
+            values[b]
+                .partial_cmp(&values[a])
+                .expect("normalized values are comparable")
+                .then(a.cmp(&b))
+        });
+        let mut t = SpikeTrain::new(values.len(), values.len());
+        for (step, &ch) in order.iter().enumerate() {
+            t.set(step, ch, true);
+        }
+        t
+    }
+
+    /// Decode to normalized ranks in `[0, 1]` (first spiker = 1.0).
+    pub fn decode(&self, train: &SpikeTrain) -> Vec<f32> {
+        let n = train.channels();
+        (0..n)
+            .map(|c| match train.first_spike(c) {
+                Some(s) if n > 1 => 1.0 - s as f32 / (n - 1) as f32,
+                Some(_) => 1.0,
+                None => 0.0,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stochastic_rate_converges_to_value() {
+        let mut code = StochasticCode::new(1);
+        let t = code.encode(&[0.25, 0.75], 4000);
+        assert!((t.rate(0) - 0.25).abs() < 0.03);
+        assert!((t.rate(1) - 0.75).abs() < 0.03);
+    }
+
+    #[test]
+    fn stochastic_streams_differ_per_frame_but_reproduce_per_seed() {
+        let mut a = StochasticCode::new(7);
+        let f1 = a.encode(&[0.5; 16], 8);
+        let f2 = a.encode(&[0.5; 16], 8);
+        assert_ne!(f1, f2, "fresh randomness per frame");
+        let mut b = StochasticCode::new(7);
+        assert_eq!(b.encode(&[0.5; 16], 8), f1, "same seed replays");
+    }
+
+    #[test]
+    fn rate_code_is_exact_for_multiples() {
+        let t = RateCode.encode(&[0.0, 0.25, 1.0], 8);
+        assert_eq!(t.count(0), 0);
+        assert_eq!(t.count(1), 2);
+        assert_eq!(t.count(2), 8);
+    }
+
+    #[test]
+    fn rate_code_spreads_spikes() {
+        // 2 spikes in 8 steps must not be adjacent.
+        let t = RateCode.encode(&[0.25], 8);
+        let times: Vec<usize> = (0..8).filter(|&s| t.get(s, 0)).collect();
+        assert_eq!(times, vec![0, 4]);
+    }
+
+    #[test]
+    fn rate_roundtrip_error_bounded_by_quantization() {
+        let values = [0.13_f32, 0.49, 0.77, 0.92];
+        let steps = 16;
+        let t = RateCode.encode(&values, steps);
+        for (v, d) in values.iter().zip(RateCode.decode(&t)) {
+            assert!((v - d).abs() <= 0.5 / steps as f32 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn population_roundtrip() {
+        let code = PopulationCode::new(20);
+        let values = [0.0_f32, 0.35, 1.0];
+        let decoded = code.decode(&code.encode(&values));
+        for (v, d) in values.iter().zip(decoded) {
+            assert!((v - d).abs() <= 0.5 / 20.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn time_to_spike_roundtrip() {
+        let code = TimeToSpikeCode;
+        let values = [0.0_f32, 0.5, 1.0];
+        let t = code.encode(&values, 21);
+        let decoded = code.decode(&t);
+        for (v, d) in values.iter().zip(decoded) {
+            assert!((v - d).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn rank_code_orders_by_value() {
+        let decoded = RankCode.decode(&RankCode.encode(&[0.2, 0.8, 0.5, 0.9]));
+        // Ranks: 0.9 → 1.0, 0.8 → 2/3, 0.5 → 1/3, 0.2 → 0.
+        assert!(decoded[3] > decoded[1]);
+        assert!(decoded[1] > decoded[2]);
+        assert!(decoded[2] > decoded[0]);
+    }
+
+    #[test]
+    fn rank_code_breaks_ties_by_index() {
+        let t = RankCode.encode(&[0.5, 0.5]);
+        assert_eq!(t.first_spike(0), Some(0));
+        assert_eq!(t.first_spike(1), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "normalized")]
+    fn codes_reject_unnormalized_input() {
+        let _ = RateCode.encode(&[1.5], 4);
+    }
+
+    #[test]
+    fn single_step_time_to_spike() {
+        let t = TimeToSpikeCode.encode(&[0.9], 1);
+        assert_eq!(t.first_spike(0), Some(0));
+        assert_eq!(TimeToSpikeCode.decode(&t), vec![1.0]);
+    }
+}

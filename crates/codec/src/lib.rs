@@ -1,0 +1,35 @@
+//! # tn-codec — TrueNorth neural coding schemes
+//!
+//! TrueNorth communicates exclusively in binary spikes, so real-valued
+//! inputs and outputs must pass through a *neural code*. The paper (§1-2)
+//! names the codes the chip supports; this crate implements all of them:
+//!
+//! | Code | Module type | Used for |
+//! |---|---|---|
+//! | stochastic | [`codes::StochasticCode`] | the paper's experiments: Bernoulli spike per step, `steps` = spf |
+//! | rate | [`codes::RateCode`] | deterministic spike-count encoding |
+//! | population | [`codes::PopulationCode`] | thermometer over a channel pool |
+//! | time-to-spike | [`codes::TimeToSpikeCode`] | latency encoding |
+//! | rank | [`codes::RankCode`] | order encoding |
+//!
+//! The exchange format is the bit-packed [`train::SpikeTrain`] raster.
+//!
+//! ```
+//! use tn_codec::prelude::*;
+//! let mut code = StochasticCode::new(42);
+//! let train = code.encode(&[0.2, 0.8], 4); // 4 spikes per frame
+//! assert_eq!(train.steps(), 4);
+//! assert_eq!(train.channels(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod codes;
+pub mod train;
+
+/// Convenient glob-import of the commonly used types.
+pub mod prelude {
+    pub use crate::codes::{PopulationCode, RankCode, RateCode, StochasticCode, TimeToSpikeCode};
+    pub use crate::train::SpikeTrain;
+}

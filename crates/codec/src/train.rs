@@ -1,0 +1,208 @@
+//! [`SpikeTrain`]: a bit-packed (time-step × channel) binary spike raster.
+//!
+//! All neural codes in this crate encode real values into spike trains and
+//! decode spike trains back into values. The raster is the unit of exchange
+//! with the chip model: axon injections consume one time-step slice at a
+//! time, and output spike collection appends slices.
+
+use serde::{Deserialize, Serialize};
+
+/// A binary spike raster over `steps` time steps and `channels` channels.
+///
+/// # Examples
+///
+/// ```
+/// use tn_codec::train::SpikeTrain;
+/// let mut t = SpikeTrain::new(4, 3);
+/// t.set(0, 2, true);
+/// t.set(3, 2, true);
+/// assert!(t.get(0, 2));
+/// assert_eq!(t.count(2), 2);
+/// assert_eq!(t.rate(2), 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpikeTrain {
+    steps: usize,
+    channels: usize,
+    words_per_step: usize,
+    bits: Vec<u64>,
+}
+
+impl SpikeTrain {
+    /// An empty raster of the given shape.
+    pub fn new(steps: usize, channels: usize) -> Self {
+        let words_per_step = channels.div_ceil(64);
+        Self {
+            steps,
+            channels,
+            words_per_step,
+            bits: vec![0; steps * words_per_step],
+        }
+    }
+
+    /// Number of time steps.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Read the spike bit at `(step, channel)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn get(&self, step: usize, channel: usize) -> bool {
+        self.check(step, channel);
+        let w = step * self.words_per_step + channel / 64;
+        (self.bits[w] >> (channel % 64)) & 1 == 1
+    }
+
+    /// Write the spike bit at `(step, channel)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn set(&mut self, step: usize, channel: usize, value: bool) {
+        self.check(step, channel);
+        let w = step * self.words_per_step + channel / 64;
+        let mask = 1u64 << (channel % 64);
+        if value {
+            self.bits[w] |= mask;
+        } else {
+            self.bits[w] &= !mask;
+        }
+    }
+
+    fn check(&self, step: usize, channel: usize) {
+        assert!(
+            step < self.steps && channel < self.channels,
+            "({step},{channel}) out of raster {}x{}",
+            self.steps,
+            self.channels
+        );
+    }
+
+    /// Total spikes on a channel.
+    pub fn count(&self, channel: usize) -> usize {
+        (0..self.steps).filter(|&s| self.get(s, channel)).count()
+    }
+
+    /// Spike rate (count / steps) on a channel; 0 for a zero-step raster.
+    pub fn rate(&self, channel: usize) -> f32 {
+        if self.steps == 0 {
+            return 0.0;
+        }
+        self.count(channel) as f32 / self.steps as f32
+    }
+
+    /// All channel rates.
+    pub fn rates(&self) -> Vec<f32> {
+        (0..self.channels).map(|c| self.rate(c)).collect()
+    }
+
+    /// Total spikes in the raster.
+    pub fn total_spikes(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Channels spiking at `step`, in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is out of range.
+    pub fn active_at(&self, step: usize) -> Vec<usize> {
+        assert!(step < self.steps, "step {step} out of range {}", self.steps);
+        let mut out = Vec::new();
+        for w in 0..self.words_per_step {
+            let mut word = self.bits[step * self.words_per_step + w];
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                let ch = w * 64 + bit;
+                if ch < self.channels {
+                    out.push(ch);
+                }
+                word &= word - 1;
+            }
+        }
+        out
+    }
+
+    /// First spike time on `channel`, if any.
+    pub fn first_spike(&self, channel: usize) -> Option<usize> {
+        (0..self.steps).find(|&s| self.get(s, channel))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_raster_has_no_spikes() {
+        let t = SpikeTrain::new(5, 70);
+        assert_eq!(t.total_spikes(), 0);
+        assert_eq!(t.count(69), 0);
+        assert_eq!(t.first_spike(0), None);
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundary() {
+        let mut t = SpikeTrain::new(2, 130);
+        for ch in [0usize, 63, 64, 127, 128, 129] {
+            t.set(1, ch, true);
+            assert!(t.get(1, ch), "channel {ch}");
+            assert!(!t.get(0, ch));
+        }
+        assert_eq!(t.total_spikes(), 6);
+    }
+
+    #[test]
+    fn set_false_clears() {
+        let mut t = SpikeTrain::new(1, 10);
+        t.set(0, 3, true);
+        t.set(0, 3, false);
+        assert!(!t.get(0, 3));
+    }
+
+    #[test]
+    fn active_at_lists_sorted_channels() {
+        let mut t = SpikeTrain::new(1, 200);
+        for &ch in &[5usize, 64, 199, 0] {
+            t.set(0, ch, true);
+        }
+        assert_eq!(t.active_at(0), vec![0, 5, 64, 199]);
+    }
+
+    #[test]
+    fn rates_reflect_counts() {
+        let mut t = SpikeTrain::new(4, 2);
+        t.set(0, 0, true);
+        t.set(2, 0, true);
+        assert_eq!(t.rates(), vec![0.5, 0.0]);
+    }
+
+    #[test]
+    fn first_spike_finds_earliest() {
+        let mut t = SpikeTrain::new(5, 1);
+        t.set(3, 0, true);
+        t.set(4, 0, true);
+        assert_eq!(t.first_spike(0), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of raster")]
+    fn out_of_range_get_panics() {
+        let t = SpikeTrain::new(2, 2);
+        let _ = t.get(2, 0);
+    }
+
+    #[test]
+    fn zero_step_rate_is_zero() {
+        let t = SpikeTrain::new(0, 3);
+        assert_eq!(t.rate(1), 0.0);
+    }
+}

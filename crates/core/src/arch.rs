@@ -1,0 +1,368 @@
+//! Network architecture construction for the paper's test benches
+//! (Table 3).
+//!
+//! Every bench is a feed-forward stack of neuro-synaptic core layers:
+//!
+//! * **layer 0** receives 16×16 input blocks cut from the (possibly padded)
+//!   input frame at the bench's *block stride* — one block per core, one
+//!   pixel per axon (Fig. 3);
+//! * **deeper layers** receive contiguous chunks of the previous layer's
+//!   concatenated outputs, respecting the 256-axon core budget and
+//!   TrueNorth's fan-out-1 routing (each output neuron feeds exactly one
+//!   downstream axon);
+//! * the last layer's outputs are **merged round-robin onto the classes**.
+//!
+//! Per-layer output widths are sized so the next layer's axon capacity is
+//! never exceeded: `n_out(l) = min(256, ⌊cores(l+1)·256 / cores(l)⌋)`.
+
+use serde::{Deserialize, Serialize};
+use tn_data::blocks::{BlockError, BlockSpec};
+use tn_learn::layer::{Layer, TnCoreLayer, AXONS_PER_CORE, NEURONS_PER_CORE};
+use tn_learn::loss::Readout;
+use tn_learn::model::Network;
+
+/// Architecture parameters (one row of the paper's Table 3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArchSpec {
+    /// Input frame height (28 for MNIST, 19 for reshaped RS130).
+    pub frame_height: usize,
+    /// Input frame width.
+    pub frame_width: usize,
+    /// Block stride (the Table 3 knob controlling layer-0 core count).
+    pub block_stride: usize,
+    /// Cores per hidden layer; the first entry must equal the block count.
+    pub cores_per_layer: Vec<usize>,
+    /// Output classes.
+    pub n_classes: usize,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+/// Errors from architecture construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchError {
+    /// The block decomposition is invalid.
+    Blocks(BlockError),
+    /// The declared first-layer core count disagrees with the block count.
+    LayerZeroMismatch {
+        /// Cores implied by the block stride.
+        blocks: usize,
+        /// Cores declared in `cores_per_layer[0]`.
+        declared: usize,
+    },
+    /// No hidden layers were declared.
+    NoLayers,
+    /// A layer cannot feed the next within the 256-axon budget.
+    CapacityExceeded {
+        /// Index of the producing layer.
+        layer: usize,
+        /// Outputs produced.
+        outputs: usize,
+        /// Axon capacity of the consuming layer.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for ArchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchError::Blocks(e) => write!(f, "block decomposition failed: {e}"),
+            ArchError::LayerZeroMismatch { blocks, declared } => write!(
+                f,
+                "stride implies {blocks} layer-0 cores but {declared} were declared"
+            ),
+            ArchError::NoLayers => write!(f, "architecture needs at least one core layer"),
+            ArchError::CapacityExceeded { layer, outputs, capacity } => write!(
+                f,
+                "layer {layer} produces {outputs} outputs exceeding downstream axon capacity {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+impl From<BlockError> for ArchError {
+    fn from(e: BlockError) -> Self {
+        ArchError::Blocks(e)
+    }
+}
+
+impl ArchSpec {
+    /// Test bench `n` (1-5) from the paper's Table 3.
+    ///
+    /// | bench | dataset | stride | cores per layer |
+    /// |---|---|---|---|
+    /// | 1 | MNIST | 12 | 4 |
+    /// | 2 | MNIST | 4 | 16 |
+    /// | 3 | MNIST | 2 | 49, 9, 4 |
+    /// | 4 | RS130 | 3 | 4 |
+    /// | 5 | RS130 | 1 | 16, 9 |
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bench` is not in `1..=5`.
+    pub fn test_bench(bench: usize, seed: u64) -> Self {
+        match bench {
+            1 => Self {
+                frame_height: 28,
+                frame_width: 28,
+                block_stride: 12,
+                cores_per_layer: vec![4],
+                n_classes: 10,
+                seed,
+            },
+            2 => Self {
+                frame_height: 28,
+                frame_width: 28,
+                block_stride: 4,
+                cores_per_layer: vec![16],
+                n_classes: 10,
+                seed,
+            },
+            3 => Self {
+                frame_height: 28,
+                frame_width: 28,
+                block_stride: 2,
+                cores_per_layer: vec![49, 9, 4],
+                n_classes: 10,
+                seed,
+            },
+            4 => Self {
+                frame_height: 19,
+                frame_width: 19,
+                block_stride: 3,
+                cores_per_layer: vec![4],
+                n_classes: 3,
+                seed,
+            },
+            5 => Self {
+                frame_height: 19,
+                frame_width: 19,
+                block_stride: 1,
+                cores_per_layer: vec![16, 9],
+                n_classes: 3,
+                seed,
+            },
+            _ => panic!("test bench {bench} does not exist (1-5)"),
+        }
+    }
+
+    /// Flattened input dimension (`frame_height × frame_width`).
+    pub fn in_dim(&self) -> usize {
+        self.frame_height * self.frame_width
+    }
+
+    /// Total core count across all layers (the paper's "core occupation"
+    /// for one network copy).
+    pub fn total_cores(&self) -> usize {
+        self.cores_per_layer.iter().sum()
+    }
+
+    /// Build the trainable network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError`] if the spec is inconsistent with the hardware
+    /// constraints.
+    pub fn build(&self) -> Result<Network, ArchError> {
+        if self.cores_per_layer.is_empty() {
+            return Err(ArchError::NoLayers);
+        }
+        let blocks = BlockSpec::new(self.frame_height, self.frame_width, self.block_stride)?;
+        if blocks.block_count() != self.cores_per_layer[0] {
+            return Err(ArchError::LayerZeroMismatch {
+                blocks: blocks.block_count(),
+                declared: self.cores_per_layer[0],
+            });
+        }
+
+        let mut layers: Vec<Layer> = Vec::with_capacity(self.cores_per_layer.len());
+        // Layer 0: one core per 16×16 block.
+        let n_out0 = self.outputs_per_core(0);
+        let layer0 = TnCoreLayer::new(self.in_dim(), blocks.axon_maps(), n_out0, self.seed);
+        let mut prev_total = layer0.out_dim();
+        layers.push(Layer::TnCore(layer0));
+
+        // Deeper layers: contiguous chunks of the previous concatenation.
+        for l in 1..self.cores_per_layer.len() {
+            let cores = self.cores_per_layer[l];
+            let capacity = cores * AXONS_PER_CORE;
+            if cores == 0 || prev_total > capacity {
+                return Err(ArchError::CapacityExceeded {
+                    layer: l - 1,
+                    outputs: prev_total,
+                    capacity,
+                });
+            }
+            let chunk = prev_total.div_ceil(cores);
+            let mut maps = Vec::with_capacity(cores);
+            for k in 0..cores {
+                let start = k * chunk;
+                let end = ((k + 1) * chunk).min(prev_total);
+                maps.push((start..end).collect());
+            }
+            let n_out = self.outputs_per_core(l);
+            let layer = TnCoreLayer::new(
+                prev_total,
+                maps,
+                n_out,
+                self.seed.wrapping_add(1 + l as u64),
+            );
+            prev_total = layer.out_dim();
+            layers.push(Layer::TnCore(layer));
+        }
+
+        let readout = Readout::round_robin(prev_total, self.n_classes);
+        Ok(Network::new(layers, readout))
+    }
+
+    /// Output neurons used per core at layer `l`, sized to the next layer's
+    /// axon capacity (256 at the last layer).
+    fn outputs_per_core(&self, l: usize) -> usize {
+        match self.cores_per_layer.get(l + 1) {
+            None => NEURONS_PER_CORE,
+            Some(&next_cores) => {
+                let budget = next_cores * AXONS_PER_CORE / self.cores_per_layer[l];
+                budget.clamp(1, NEURONS_PER_CORE)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_five_benches_build() {
+        for bench in 1..=5 {
+            let spec = ArchSpec::test_bench(bench, 0);
+            let net = spec
+                .build()
+                .unwrap_or_else(|e| panic!("bench {bench}: {e}"));
+            assert_eq!(net.core_count(), spec.total_cores(), "bench {bench}");
+        }
+    }
+
+    #[test]
+    fn bench1_matches_fig3() {
+        // Fig. 3: 4 cores, each fed one 16×16 block of a 28×28 image,
+        // merged to 10 classes.
+        let net = ArchSpec::test_bench(1, 0).build().expect("bench 1");
+        assert_eq!(net.core_count(), 4);
+        assert_eq!(net.in_dim(), 784);
+        assert_eq!(net.n_classes(), 10);
+        assert_eq!(net.layers().len(), 1);
+    }
+
+    #[test]
+    fn bench3_layer_stack_is_49_9_4() {
+        let spec = ArchSpec::test_bench(3, 0);
+        assert_eq!(spec.cores_per_layer, vec![49, 9, 4]);
+        assert_eq!(spec.total_cores(), 62);
+        let net = spec.build().expect("bench 3");
+        assert_eq!(net.layers().len(), 3);
+        // Chained capacities must respect the 256-axon budget.
+        for l in net.layers() {
+            if let Layer::TnCore(t) = l {
+                for c in &t.cores {
+                    assert!(c.n_axons() <= AXONS_PER_CORE);
+                    assert!(c.n_out <= NEURONS_PER_CORE);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bench5_rs130_dimensions() {
+        let spec = ArchSpec::test_bench(5, 0);
+        assert_eq!(spec.in_dim(), 361); // 19×19 padded frame
+        let net = spec.build().expect("bench 5");
+        assert_eq!(net.n_classes(), 3);
+        assert_eq!(net.core_count(), 25);
+    }
+
+    #[test]
+    fn fan_out_is_one_between_layers() {
+        // Every previous-layer output must be consumed by exactly one
+        // downstream axon (TrueNorth routing constraint).
+        let net = ArchSpec::test_bench(3, 0).build().expect("bench 3");
+        for pair in net.layers().windows(2) {
+            if let (Layer::TnCore(a), Layer::TnCore(b)) = (&pair[0], &pair[1]) {
+                let mut seen = vec![0u32; a.out_dim()];
+                for c in &b.cores {
+                    for &i in &c.axon_map {
+                        seen[i] += 1;
+                    }
+                }
+                assert!(
+                    seen.iter().all(|&n| n <= 1),
+                    "an output feeds multiple axons"
+                );
+                // And (for these chunked stacks) every output is consumed.
+                assert!(seen.iter().all(|&n| n == 1), "an output is dropped");
+            }
+        }
+    }
+
+    #[test]
+    fn layer_zero_mismatch_detected() {
+        let mut spec = ArchSpec::test_bench(1, 0);
+        spec.cores_per_layer = vec![5];
+        assert!(matches!(
+            spec.build(),
+            Err(ArchError::LayerZeroMismatch {
+                blocks: 4,
+                declared: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        let mut spec = ArchSpec::test_bench(2, 0);
+        // 16 cores × 256 outputs cannot feed a single core.
+        spec.cores_per_layer = vec![16, 1];
+        // outputs_per_core(0) = 256/16 = 16, so this actually fits; force
+        // failure by a pathological declared shape instead.
+        let net = spec.build();
+        assert!(net.is_ok(), "auto-sizing keeps the stack feasible");
+
+        let bad = ArchSpec {
+            frame_height: 28,
+            frame_width: 28,
+            block_stride: 4,
+            cores_per_layer: vec![16, 0],
+            n_classes: 10,
+            seed: 0,
+        };
+        assert!(bad.build().is_err());
+    }
+
+    #[test]
+    fn no_layers_is_error() {
+        let spec = ArchSpec {
+            frame_height: 28,
+            frame_width: 28,
+            block_stride: 12,
+            cores_per_layer: vec![],
+            n_classes: 10,
+            seed: 0,
+        };
+        assert_eq!(spec.build().unwrap_err(), ArchError::NoLayers);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn bench_zero_panics() {
+        let _ = ArchSpec::test_bench(0, 0);
+    }
+
+    #[test]
+    fn different_seeds_give_different_weights() {
+        let a = ArchSpec::test_bench(1, 1).build().expect("a");
+        let b = ArchSpec::test_bench(1, 2).build().expect("b");
+        assert_ne!(a.all_weights(), b.all_weights());
+    }
+}

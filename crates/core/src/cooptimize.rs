@@ -1,0 +1,484 @@
+//! Core-occupation and performance co-optimization analyses — the paper's
+//! Table 2(a), Table 2(b), and Fig. 9.
+//!
+//! Both tables use the same *biased-toward-the-baseline* pairing rule
+//! (§4.3): walk the baseline (Tea/"None") accuracy ladder, and for each
+//! baseline configuration find the **cheapest** biased configuration whose
+//! accuracy is **equal or higher**. The saved resource is then
+//!
+//! * Table 2(a): cores — `(N# − B#) × cores_per_copy` at fixed spf;
+//! * Table 2(b): time — `spf_N / spf_B` speedup at fixed copies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One pairing between a baseline configuration and the cheapest biased
+/// configuration matching (or beating) its accuracy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pairing {
+    /// Baseline duplication level (copies in 2a, spf in 2b), 1-based.
+    pub baseline_level: usize,
+    /// Baseline accuracy at that level.
+    pub baseline_accuracy: f32,
+    /// Cheapest biased level with accuracy ≥ baseline (None if the biased
+    /// ladder never reaches it).
+    pub biased_level: Option<usize>,
+    /// Accuracy of the chosen biased level.
+    pub biased_accuracy: Option<f32>,
+}
+
+impl Pairing {
+    /// Resource ratio `baseline_level / biased_level`, if matched.
+    pub fn ratio(&self) -> Option<f64> {
+        self.biased_level
+            .map(|b| self.baseline_level as f64 / b as f64)
+    }
+}
+
+/// Pair every baseline level against the cheapest better-or-equal biased
+/// level (the Table 2 procedure).
+///
+/// `baseline[i]` / `biased[i]` are accuracies at level `i + 1`.
+pub fn pair_ladders(baseline: &[f32], biased: &[f32]) -> Vec<Pairing> {
+    baseline
+        .iter()
+        .enumerate()
+        .map(|(i, &acc)| {
+            let found = biased
+                .iter()
+                .enumerate()
+                .find(|(_, &b)| b >= acc)
+                .map(|(j, &b)| (j + 1, b));
+            Pairing {
+                baseline_level: i + 1,
+                baseline_accuracy: acc,
+                biased_level: found.map(|(l, _)| l),
+                biased_accuracy: found.map(|(_, a)| a),
+            }
+        })
+        .collect()
+}
+
+/// Table 2(a): core-occupation efficiency at a fixed spf.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreOccupationReport {
+    /// Cores per network copy (4 for test bench 1).
+    pub cores_per_copy: usize,
+    /// Spikes per frame the ladders were measured at.
+    pub spf: usize,
+    /// The pairings, one per baseline copy count.
+    pub pairings: Vec<Pairing>,
+}
+
+impl CoreOccupationReport {
+    /// Build from accuracy ladders over the copies axis.
+    pub fn new(baseline: &[f32], biased: &[f32], cores_per_copy: usize, spf: usize) -> Self {
+        Self {
+            cores_per_copy,
+            spf,
+            pairings: pair_ladders(baseline, biased),
+        }
+    }
+
+    /// Cores saved for one pairing: `(N# − B#) × cores_per_copy`
+    /// (0 when unmatched or when the biased level is not cheaper).
+    pub fn cores_saved(&self, p: &Pairing) -> usize {
+        match p.biased_level {
+            Some(b) if b < p.baseline_level => (p.baseline_level - b) * self.cores_per_copy,
+            _ => 0,
+        }
+    }
+
+    /// Percentage of cores saved for one pairing (the paper's parenthetical
+    /// percentages, e.g. 68.8%).
+    pub fn percent_saved(&self, p: &Pairing) -> f64 {
+        match p.biased_level {
+            Some(b) if b < p.baseline_level => {
+                100.0 * (p.baseline_level - b) as f64 / p.baseline_level as f64
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Average percentage saved over pairings where a biased level cheaper
+    /// than the baseline exists (the paper's "on average 49.5%"-style
+    /// summary).
+    pub fn average_percent_saved(&self) -> f64 {
+        let savers: Vec<f64> = self
+            .pairings
+            .iter()
+            .filter(|p| matches!(p.biased_level, Some(b) if b < p.baseline_level))
+            .map(|p| self.percent_saved(p))
+            .collect();
+        if savers.is_empty() {
+            0.0
+        } else {
+            savers.iter().sum::<f64>() / savers.len() as f64
+        }
+    }
+
+    /// Maximum percentage saved over all pairings (the paper's "up to
+    /// 68.8%").
+    pub fn max_percent_saved(&self) -> f64 {
+        self.pairings
+            .iter()
+            .map(|p| self.percent_saved(p))
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for CoreOccupationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Core occupation efficiency ({} spf, {} cores/copy)",
+            self.spf, self.cores_per_copy
+        )?;
+        writeln!(
+            f,
+            "{:<6} {:<9} {:<6} {:<9} {:>12} {:>8}",
+            "N#", "acc(N)", "B#", "acc(B)", "saved cores", "saved%"
+        )?;
+        for p in &self.pairings {
+            match (p.biased_level, p.biased_accuracy) {
+                (Some(b), Some(acc)) => writeln!(
+                    f,
+                    "N{:<5} {:<9.4} B{:<5} {:<9.4} {:>12} {:>7.1}%",
+                    p.baseline_level,
+                    p.baseline_accuracy,
+                    b,
+                    acc,
+                    self.cores_saved(p),
+                    self.percent_saved(p)
+                )?,
+                _ => writeln!(
+                    f,
+                    "N{:<5} {:<9.4} {:<6} {:<9} {:>12} {:>8}",
+                    p.baseline_level, p.baseline_accuracy, "-", "-", "-", "-"
+                )?,
+            }
+        }
+        writeln!(
+            f,
+            "average saved: {:.1}%   max saved: {:.1}%",
+            self.average_percent_saved(),
+            self.max_percent_saved()
+        )
+    }
+}
+
+/// Table 2(b): performance (spf) efficiency at a fixed copy count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupReport {
+    /// Network copies the ladders were measured at.
+    pub copies: usize,
+    /// The pairings, one per baseline spf.
+    pub pairings: Vec<Pairing>,
+}
+
+impl SpeedupReport {
+    /// Build from accuracy ladders over the spf axis.
+    pub fn new(baseline: &[f32], biased: &[f32], copies: usize) -> Self {
+        Self {
+            copies,
+            pairings: pair_ladders(baseline, biased),
+        }
+    }
+
+    /// Speedup for one pairing: `spf_N / spf_B` (1.0 when unmatched or not
+    /// faster).
+    pub fn speedup(&self, p: &Pairing) -> f64 {
+        match p.biased_level {
+            Some(b) if b < p.baseline_level => p.baseline_level as f64 / b as f64,
+            _ => 1.0,
+        }
+    }
+
+    /// Maximum speedup over all pairings (the paper's "6.5×").
+    pub fn max_speedup(&self) -> f64 {
+        self.pairings
+            .iter()
+            .map(|p| self.speedup(p))
+            .fold(1.0, f64::max)
+    }
+}
+
+impl fmt::Display for SpeedupReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Performance efficiency ({} network copies)", self.copies)?;
+        writeln!(
+            f,
+            "{:<8} {:<9} {:<8} {:<9} {:>8}",
+            "spf(N)", "acc(N)", "spf(B)", "acc(B)", "speedup"
+        )?;
+        for p in &self.pairings {
+            match (p.biased_level, p.biased_accuracy) {
+                (Some(b), Some(acc)) => writeln!(
+                    f,
+                    "{:<8} {:<9.4} {:<8} {:<9.4} {:>7.2}x",
+                    p.baseline_level,
+                    p.baseline_accuracy,
+                    b,
+                    acc,
+                    self.speedup(p)
+                )?,
+                _ => writeln!(
+                    f,
+                    "{:<8} {:<9.4} {:<8} {:<9} {:>8}",
+                    p.baseline_level, p.baseline_accuracy, "-", "-", "-"
+                )?,
+            }
+        }
+        writeln!(f, "max speedup: {:.2}x", self.max_speedup())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ladders shaped like the paper's Table 2: biased reaches any given
+    /// accuracy at a much lower level.
+    fn paper_like_ladders() -> (Vec<f32>, Vec<f32>) {
+        let baseline = vec![
+            0.904, 0.924, 0.935, 0.939, 0.942, 0.9425, 0.943, 0.9435, 0.944, 0.946, 0.9462, 0.9465,
+            0.9468, 0.947, 0.9471, 0.9472,
+        ];
+        let biased = vec![
+            0.929, 0.938, 0.942, 0.945, 0.947, 0.9475, 0.9478, 0.948, 0.9482, 0.9484, 0.9485,
+            0.9486, 0.9487, 0.9488, 0.9489, 0.949,
+        ];
+        (baseline, biased)
+    }
+
+    #[test]
+    fn pairing_finds_cheapest_match() {
+        let (n, b) = paper_like_ladders();
+        let pairings = pair_ladders(&n, &b);
+        // N1 (0.904) is already beaten by B1 (0.929).
+        assert_eq!(pairings[0].biased_level, Some(1));
+        // N16 (0.9472) first matched by B5 (0.947)? B5 = 0.947 < 0.9472,
+        // so B6 (0.9475) is the cheapest ≥.
+        assert_eq!(pairings[15].biased_level, Some(6));
+        // Accuracy guarantee: every matched pairing is equal-or-better.
+        for p in &pairings {
+            if let Some(acc) = p.biased_accuracy {
+                assert!(acc >= p.baseline_accuracy);
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_accuracy_is_unmatched() {
+        let pairings = pair_ladders(&[0.99], &[0.90, 0.95]);
+        assert_eq!(pairings[0].biased_level, None);
+        let report = CoreOccupationReport::new(&[0.99], &[0.90, 0.95], 4, 1);
+        assert_eq!(report.cores_saved(&report.pairings[0]), 0);
+        assert_eq!(report.average_percent_saved(), 0.0);
+    }
+
+    #[test]
+    fn core_savings_match_paper_arithmetic() {
+        // The paper's headline: N16 matched by B5 ⇒ 44 cores saved, 68.8%.
+        let report = CoreOccupationReport {
+            cores_per_copy: 4,
+            spf: 1,
+            pairings: vec![Pairing {
+                baseline_level: 16,
+                baseline_accuracy: 0.947,
+                biased_level: Some(5),
+                biased_accuracy: Some(0.947),
+            }],
+        };
+        assert_eq!(report.cores_saved(&report.pairings[0]), 44);
+        assert!((report.percent_saved(&report.pairings[0]) - 68.75).abs() < 0.01);
+    }
+
+    #[test]
+    fn speedup_matches_paper_arithmetic() {
+        // The paper's 6.5×: N13 matched by B2.
+        let report = SpeedupReport {
+            copies: 1,
+            pairings: vec![Pairing {
+                baseline_level: 13,
+                baseline_accuracy: 0.934,
+                biased_level: Some(2),
+                biased_accuracy: Some(0.940),
+            }],
+        };
+        assert!((report.speedup(&report.pairings[0]) - 6.5).abs() < 1e-9);
+        assert!((report.max_speedup() - 6.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn biased_worse_than_baseline_saves_nothing() {
+        let report = CoreOccupationReport::new(&[0.90], &[0.85, 0.91], 4, 1);
+        // Matched at level 2 > baseline level 1: no saving, no negative.
+        assert_eq!(report.cores_saved(&report.pairings[0]), 0);
+        assert_eq!(report.percent_saved(&report.pairings[0]), 0.0);
+        let sp = SpeedupReport::new(&[0.90], &[0.85, 0.91], 1);
+        assert_eq!(sp.speedup(&sp.pairings[0]), 1.0);
+    }
+
+    #[test]
+    fn savings_grow_with_accuracy_level() {
+        // The paper observes larger savings at higher accuracy demands.
+        let (n, b) = paper_like_ladders();
+        let report = CoreOccupationReport::new(&n, &b, 4, 1);
+        let low = report.percent_saved(&report.pairings[1]);
+        let high = report.percent_saved(&report.pairings[15]);
+        assert!(high > low, "{high} !> {low}");
+        assert!(report.max_percent_saved() >= high);
+        assert!(report.average_percent_saved() > 0.0);
+    }
+
+    #[test]
+    fn reports_render_tables() {
+        let (n, b) = paper_like_ladders();
+        let core = CoreOccupationReport::new(&n, &b, 4, 1).to_string();
+        assert!(core.contains("Core occupation"));
+        assert!(core.contains("N1"));
+        let speed = SpeedupReport::new(&n, &b, 1).to_string();
+        assert!(speed.contains("speedup"));
+    }
+}
+
+/// Resource comparison at explicit accuracy *targets* rather than at the
+/// baseline ladder's own rungs.
+///
+/// The paper's Table-2 pairing walks the baseline ladder; when that ladder
+/// jumps in large steps, real savings between the rungs are invisible.
+/// This report asks instead: "to reach accuracy ≥ t, how many duplication
+/// levels does each method need?" for a sweep of targets — the question a
+/// deployment engineer actually has.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TargetSavingsReport {
+    /// Cores per network copy.
+    pub cores_per_copy: usize,
+    /// `(target, baseline_levels, biased_levels)`; levels are `None` when
+    /// the method never reaches the target.
+    pub rows: Vec<(f32, Option<usize>, Option<usize>)>,
+}
+
+impl TargetSavingsReport {
+    /// Sweep accuracy targets from `lo` to `hi` in steps of `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step <= 0`.
+    pub fn sweep(
+        baseline: &[f32],
+        biased: &[f32],
+        lo: f32,
+        hi: f32,
+        step: f32,
+        cores_per_copy: usize,
+    ) -> Self {
+        assert!(step > 0.0, "target step must be positive");
+        let cheapest = |ladder: &[f32], t: f32| -> Option<usize> {
+            ladder.iter().position(|&a| a >= t).map(|i| i + 1)
+        };
+        let mut rows = Vec::new();
+        let mut t = lo;
+        while t <= hi + 1e-9 {
+            rows.push((t, cheapest(baseline, t), cheapest(biased, t)));
+            t += step;
+        }
+        Self {
+            cores_per_copy,
+            rows,
+        }
+    }
+
+    /// Percentage of cores saved at one row (0 when either side is
+    /// unmatched or the biased level is not cheaper).
+    pub fn percent_saved(&self, row: &(f32, Option<usize>, Option<usize>)) -> f64 {
+        match (row.1, row.2) {
+            (Some(n), Some(b)) if b < n => 100.0 * (n - b) as f64 / n as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Maximum percentage saved across all targets.
+    pub fn max_percent_saved(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| self.percent_saved(r))
+            .fold(0.0, f64::max)
+    }
+
+    /// Average percentage saved over targets both methods reach.
+    pub fn average_percent_saved(&self) -> f64 {
+        let vals: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.1.is_some() && r.2.is_some())
+            .map(|r| self.percent_saved(r))
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for TargetSavingsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:>8} {:>10} {:>10} {:>12} {:>8}",
+            "target", "tea needs", "bias needs", "saved cores", "saved%"
+        )?;
+        for row in &self.rows {
+            let show = |v: Option<usize>| v.map_or("-".to_string(), |n| n.to_string());
+            let saved = match (row.1, row.2) {
+                (Some(n), Some(b)) if b < n => ((n - b) * self.cores_per_copy).to_string(),
+                _ => "0".to_string(),
+            };
+            writeln!(
+                f,
+                "{:>8.3} {:>10} {:>10} {:>12} {:>7.1}%",
+                row.0,
+                show(row.1),
+                show(row.2),
+                saved,
+                self.percent_saved(row)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod target_tests {
+    use super::*;
+
+    #[test]
+    fn targets_between_rungs_reveal_savings() {
+        // Tea jumps 0.92 → 0.946; biased reaches 0.939 at one copy. The
+        // rung-indexed pairing sees nothing, the target sweep sees 50%.
+        let tea = [0.920_f32, 0.946, 0.955];
+        let biased = [0.939_f32, 0.949, 0.956];
+        let report = TargetSavingsReport::sweep(&tea, &biased, 0.93, 0.93, 0.01, 4);
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].1, Some(2));
+        assert_eq!(report.rows[0].2, Some(1));
+        assert!((report.max_percent_saved() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_targets_save_nothing() {
+        let report = TargetSavingsReport::sweep(&[0.9], &[0.85], 0.95, 0.96, 0.01, 4);
+        assert_eq!(report.max_percent_saved(), 0.0);
+        assert_eq!(report.average_percent_saved(), 0.0);
+    }
+
+    #[test]
+    fn renders_table() {
+        let report = TargetSavingsReport::sweep(&[0.9, 0.95], &[0.94, 0.96], 0.90, 0.95, 0.01, 4);
+        let s = report.to_string();
+        assert!(s.contains("target"));
+        assert!(s.contains("saved%"));
+    }
+}

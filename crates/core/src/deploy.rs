@@ -1,0 +1,197 @@
+//! Conversion of a trained [`Network`] into the chip's deployment spec.
+//!
+//! This is the "deploy" arrow of the paper's Fig. 2: the learned
+//! connectivity probabilities leave the training framework and become a
+//! [`NetworkDeploySpec`] that the NSCS-style toolchain samples onto
+//! hardware. The conversion is purely structural — sampling randomness
+//! happens later, per spatial copy, inside
+//! [`tn_chip::nscs::Deployment::build`].
+
+use tn_chip::nscs::{CoreDeploySpec, InputSource, NetworkDeploySpec};
+use tn_learn::layer::Layer;
+use tn_learn::model::Network;
+
+/// Errors from spec extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtractError {
+    /// The network contains a non-TrueNorth (dense float) layer.
+    NotDeployable {
+        /// Index of the offending layer.
+        layer: usize,
+    },
+}
+
+impl std::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtractError::NotDeployable { layer } => write!(
+                f,
+                "layer {layer} is a float dense layer and cannot be deployed to TrueNorth"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+/// Extract the hardware deployment spec from a trained network.
+///
+/// Layer-0 axons read external input channels (their block pixels); deeper
+/// axons read the previous layer's neurons resolved through the chunked
+/// axon maps; the readout becomes the output-tap list.
+///
+/// # Errors
+///
+/// Returns [`ExtractError::NotDeployable`] if any layer is a dense float
+/// layer.
+///
+/// # Examples
+///
+/// ```
+/// use truenorth::arch::ArchSpec;
+/// use truenorth::deploy::extract_spec;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = ArchSpec::test_bench(1, 7).build()?;
+/// let spec = extract_spec(&net)?;
+/// assert_eq!(spec.cores.len(), 4);          // Fig. 3's 4 cores
+/// assert_eq!(spec.n_inputs, 784);
+/// assert_eq!(spec.n_classes, 10);
+/// spec.validate()?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn extract_spec(net: &Network) -> Result<NetworkDeploySpec, ExtractError> {
+    // Global core index bases per layer, plus per-layer output offsets so a
+    // global output index resolves to (core, neuron).
+    let mut cores = Vec::new();
+    let mut prev_layer_outputs: Vec<(usize, usize)> = Vec::new(); // global output -> (spec core, neuron)
+    let mut core_base = 0usize;
+
+    for (li, layer) in net.layers().iter().enumerate() {
+        let tn = match layer {
+            Layer::TnCore(t) => t,
+            Layer::Dense(_) => return Err(ExtractError::NotDeployable { layer: li }),
+        };
+        let mut this_layer_outputs = Vec::with_capacity(tn.out_dim());
+        for (ci, cb) in tn.cores.iter().enumerate() {
+            let axon_sources = cb
+                .axon_map
+                .iter()
+                .map(|&src| {
+                    if li == 0 {
+                        InputSource::External(src)
+                    } else {
+                        let (core, neuron) = prev_layer_outputs[src];
+                        InputSource::Core { core, neuron }
+                    }
+                })
+                .collect();
+            cores.push(CoreDeploySpec {
+                layer: li,
+                weights: cb.weights.as_slice().to_vec(),
+                n_axons: cb.n_axons(),
+                n_neurons: cb.n_out,
+                biases: cb.bias.clone(),
+                axon_sources,
+            });
+            for n in 0..cb.n_out {
+                this_layer_outputs.push((core_base + ci, n));
+            }
+        }
+        core_base += tn.cores.len();
+        prev_layer_outputs = this_layer_outputs;
+    }
+
+    let readout = net.readout();
+    let output_taps = prev_layer_outputs
+        .iter()
+        .enumerate()
+        .map(|(g, &(core, neuron))| (core, neuron, readout.class_of(g)))
+        .collect();
+
+    Ok(NetworkDeploySpec {
+        cores,
+        n_inputs: net.in_dim(),
+        n_classes: net.n_classes(),
+        output_taps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ArchSpec;
+    use tn_learn::activation::Activation;
+    use tn_learn::layer::DenseLayer;
+    use tn_learn::loss::Readout;
+
+    #[test]
+    fn bench1_spec_is_valid_and_shaped() {
+        let net = ArchSpec::test_bench(1, 3).build().expect("build");
+        let spec = extract_spec(&net).expect("extract");
+        spec.validate().expect("valid");
+        assert_eq!(spec.cores.len(), 4);
+        assert_eq!(spec.depth(), 1);
+        assert_eq!(spec.output_taps.len(), 4 * 256);
+        // Every class is tapped.
+        for class in 0..10 {
+            assert!(spec.output_taps.iter().any(|&(_, _, c)| c == class));
+        }
+    }
+
+    #[test]
+    fn bench3_multilayer_wiring_resolves() {
+        let net = ArchSpec::test_bench(3, 5).build().expect("build");
+        let spec = extract_spec(&net).expect("extract");
+        spec.validate().expect("valid");
+        assert_eq!(spec.depth(), 3);
+        assert_eq!(spec.cores.len(), 62);
+        // Layer-1 cores must read layer-0 cores only.
+        for c in spec.cores.iter().filter(|c| c.layer == 1) {
+            for src in &c.axon_sources {
+                match *src {
+                    InputSource::Core { core, .. } => {
+                        assert_eq!(spec.cores[core].layer, 0);
+                    }
+                    InputSource::External(_) => panic!("layer 1 reading external input"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weights_survive_extraction_exactly() {
+        let net = ArchSpec::test_bench(1, 9).build().expect("build");
+        let spec = extract_spec(&net).expect("extract");
+        if let Layer::TnCore(t) = &net.layers()[0] {
+            assert_eq!(
+                spec.cores[0].weights,
+                t.cores[0].weights.as_slice().to_vec()
+            );
+            assert_eq!(spec.cores[0].biases, t.cores[0].bias);
+        } else {
+            unreachable!();
+        }
+    }
+
+    #[test]
+    fn dense_layers_are_rejected() {
+        let dense = DenseLayer::new(4, 2, Activation::Sigmoid, 0);
+        let net = crate::prelude::Network::new(vec![Layer::Dense(dense)], Readout::identity(2));
+        assert_eq!(
+            extract_spec(&net).unwrap_err(),
+            ExtractError::NotDeployable { layer: 0 }
+        );
+    }
+
+    #[test]
+    fn taps_follow_round_robin_readout() {
+        let net = ArchSpec::test_bench(1, 1).build().expect("build");
+        let spec = extract_spec(&net).expect("extract");
+        // Global output g is neuron g%256 of core g/256 and class g%10.
+        assert_eq!(spec.output_taps[0], (0, 0, 0));
+        assert_eq!(spec.output_taps[11], (0, 11, 1));
+        assert_eq!(spec.output_taps[256], (1, 0, 6)); // 256 % 10
+    }
+}

@@ -1,0 +1,508 @@
+//! High-level experiment runners for every table and figure in the paper.
+//!
+//! Each runner trains the required models (once — the paper's averaging is
+//! over *deployment* randomness, not training randomness), deploys them,
+//! and returns structured results. The `repro_*` binaries in `tn-bench`
+//! print these structures in the paper's row/series format; the integration
+//! tests assert their qualitative shape.
+
+use crate::arch::ArchError;
+use crate::deploy::{extract_spec, ExtractError};
+use crate::eval::{evaluate_grid, EvalConfig, GridAccuracy};
+use crate::surface::AccuracySurface;
+use crate::testbench::{BenchData, BenchError, RunScale, TestBench};
+use crate::variance::{DeviationStats, ProbabilityHistogram};
+use tn_chip::nscs::{ConnectivityMode, DeployError, Deployment, NetworkDeploySpec};
+use tn_learn::model::Network;
+use tn_learn::penalty::Penalty;
+
+/// Errors from experiment runners.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// Bench construction or training failed.
+    Bench(BenchError),
+    /// Spec extraction failed.
+    Extract(ExtractError),
+    /// Deployment/evaluation failed.
+    Deploy(DeployError),
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::Bench(e) => write!(f, "bench: {e}"),
+            ExperimentError::Extract(e) => write!(f, "extract: {e}"),
+            ExperimentError::Deploy(e) => write!(f, "deploy: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<BenchError> for ExperimentError {
+    fn from(e: BenchError) -> Self {
+        ExperimentError::Bench(e)
+    }
+}
+
+impl From<ArchError> for ExperimentError {
+    fn from(e: ArchError) -> Self {
+        ExperimentError::Bench(BenchError::Arch(e))
+    }
+}
+
+impl From<ExtractError> for ExperimentError {
+    fn from(e: ExtractError) -> Self {
+        ExperimentError::Extract(e)
+    }
+}
+
+impl From<DeployError> for ExperimentError {
+    fn from(e: DeployError) -> Self {
+        ExperimentError::Deploy(e)
+    }
+}
+
+/// A trained model with its float ("in Caffe") test accuracy and its
+/// deployment spec.
+#[derive(Debug, Clone)]
+pub struct TrainedModel {
+    /// Penalty used during training.
+    pub penalty: Penalty,
+    /// The trained network.
+    pub network: Network,
+    /// Float-precision test accuracy (Eq. 11 forward).
+    pub float_accuracy: f32,
+    /// Extracted hardware spec.
+    pub spec: NetworkDeploySpec,
+}
+
+/// Train one model on a bench under a penalty and extract its spec.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] on training or extraction failure.
+pub fn train_model(
+    bench: &TestBench,
+    data: &BenchData,
+    penalty: Penalty,
+    scale: &RunScale,
+    seed: u64,
+) -> Result<TrainedModel, ExperimentError> {
+    let (network, _) = bench.train(data, penalty, scale.epochs, seed)?;
+    let float_accuracy = network.accuracy(&data.test_x, &data.test_y);
+    let spec = extract_spec(&network)?;
+    Ok(TrainedModel {
+        penalty,
+        network,
+        float_accuracy,
+        spec,
+    })
+}
+
+/// Evaluate a spec over the duplication grid for several deployment seeds
+/// and average into a surface (the paper's "averaged over ten results").
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Deploy`] on evaluation failure.
+pub fn averaged_surface(
+    model: &TrainedModel,
+    data: &BenchData,
+    copies_max: usize,
+    spf_max: usize,
+    scale: &RunScale,
+    base_seed: u64,
+) -> Result<AccuracySurface, ExperimentError> {
+    let grids = seeded_grids(model, data, copies_max, spf_max, scale, base_seed)?;
+    Ok(AccuracySurface::from_grids(&grids))
+}
+
+/// The per-seed grids behind [`averaged_surface`] (exposed for reports that
+/// need seed-level spread).
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Deploy`] on evaluation failure.
+pub fn seeded_grids(
+    model: &TrainedModel,
+    data: &BenchData,
+    copies_max: usize,
+    spf_max: usize,
+    scale: &RunScale,
+    base_seed: u64,
+) -> Result<Vec<GridAccuracy>, ExperimentError> {
+    let mut grids = Vec::with_capacity(scale.seeds);
+    for s in 0..scale.seeds {
+        let cfg = EvalConfig {
+            copies: copies_max,
+            spf: spf_max,
+            seed: base_seed
+                .wrapping_add(s as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            threads: scale.threads,
+            connectivity: ConnectivityMode::IndependentPerCopy,
+        };
+        grids.push(evaluate_grid(
+            &model.spec,
+            &data.test_x,
+            &data.test_y,
+            &cfg,
+        )?);
+    }
+    Ok(grids)
+}
+
+/// The §3.1/Fig.-3 baseline numbers: float accuracy, deployed accuracy at
+/// one copy, and deployed accuracy recovered with 16 copies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineResult {
+    /// Float ("Caffe") test accuracy.
+    pub float_accuracy: f32,
+    /// Deployed accuracy, 1 copy, 1 spf.
+    pub deployed_one_copy: f32,
+    /// Deployed accuracy, 16 copies, 1 spf.
+    pub deployed_sixteen_copies: f32,
+    /// Cores for 1 copy / for 16 copies.
+    pub cores: (usize, usize),
+}
+
+/// Run the §3.1 baseline study on test bench 1 with plain Tea learning.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] on any stage failure.
+pub fn baseline_study(scale: &RunScale, seed: u64) -> Result<BaselineResult, ExperimentError> {
+    let bench = TestBench::new(1, seed);
+    let data = bench.load_data(scale, seed);
+    let model = train_model(&bench, &data, Penalty::None, scale, seed)?;
+    let surface = averaged_surface(&model, &data, 16, 1, scale, seed)?;
+    Ok(BaselineResult {
+        float_accuracy: model.float_accuracy,
+        deployed_one_copy: surface.at(1, 1) as f32,
+        deployed_sixteen_copies: surface.at(16, 1) as f32,
+        cores: (bench.arch.total_cores(), 16 * bench.arch.total_cores()),
+    })
+}
+
+/// The Fig.-5 penalty comparison: histogram + float + deployed accuracy per
+/// penalty.
+#[derive(Debug, Clone)]
+pub struct PenaltyComparison {
+    /// Penalty name (`none`, `l1`, `biasing`).
+    pub name: &'static str,
+    /// Probability histogram of the trained weights.
+    pub histogram: ProbabilityHistogram,
+    /// Float test accuracy.
+    pub float_accuracy: f32,
+    /// Deployed accuracy at 1 copy / 1 spf (averaged over seeds).
+    pub deployed_accuracy: f64,
+    /// Mass within 0.1 of a pole.
+    pub pole_mass: f64,
+    /// Mass within 0.1 of the worst point p = 0.5.
+    pub centroid_mass: f64,
+}
+
+/// Run the Fig.-5 comparison (None vs L1 vs Biasing) on test bench 1.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] on any stage failure.
+pub fn penalty_comparison(
+    scale: &RunScale,
+    seed: u64,
+    l1_lambda: f32,
+    biasing_lambda: f32,
+) -> Result<Vec<PenaltyComparison>, ExperimentError> {
+    let bench = TestBench::new(1, seed);
+    let data = bench.load_data(scale, seed);
+    let penalties = [
+        ("none", Penalty::None),
+        ("l1", Penalty::l1(l1_lambda)),
+        ("biasing", Penalty::biasing(biasing_lambda)),
+    ];
+    let mut out = Vec::with_capacity(penalties.len());
+    for (name, p) in penalties {
+        let model = train_model(&bench, &data, p, scale, seed)?;
+        let surface = averaged_surface(&model, &data, 1, 1, scale, seed)?;
+        let histogram = ProbabilityHistogram::from_network(&model.network, 50);
+        out.push(PenaltyComparison {
+            name,
+            pole_mass: histogram.pole_mass(0.1),
+            centroid_mass: histogram.centroid_mass(0.1),
+            histogram,
+            float_accuracy: model.float_accuracy,
+            deployed_accuracy: surface.at(1, 1),
+        });
+    }
+    Ok(out)
+}
+
+/// The Fig.-4 deviation study: per-penalty deviation statistics of a
+/// deployed core.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] on any stage failure.
+pub fn deviation_study(
+    scale: &RunScale,
+    seed: u64,
+    biasing_lambda: f32,
+) -> Result<(DeviationStats, DeviationStats), ExperimentError> {
+    let bench = TestBench::new(1, seed);
+    let data = bench.load_data(scale, seed);
+    let tea = train_model(&bench, &data, Penalty::None, scale, seed)?;
+    let biased = train_model(&bench, &data, Penalty::biasing(biasing_lambda), scale, seed)?;
+    let stats = |m: &TrainedModel| -> Result<DeviationStats, ExperimentError> {
+        let dep = Deployment::build(&m.spec, 1, seed)?;
+        // Aggregate over every core of the copy (the paper shows one
+        // randomly selected core; the aggregate is strictly more
+        // informative and has the same normalization).
+        let mut all = Vec::new();
+        for core in 0..m.spec.cores.len() {
+            all.extend(dep.deviation_map(&m.spec, 0, core));
+        }
+        Ok(DeviationStats::from_map(&all))
+    };
+    Ok((stats(&tea)?, stats(&biased)?))
+}
+
+/// Tea-vs-biased duplication study on one bench: the engine behind Figs.
+/// 7-9 and both Table 2 ladders.
+#[derive(Debug, Clone)]
+pub struct DuplicationStudy {
+    /// Bench evaluated.
+    pub bench_id: usize,
+    /// Cores per network copy.
+    pub cores_per_copy: usize,
+    /// Tea-learning (no penalty) surface.
+    pub tea: AccuracySurface,
+    /// Probability-biased surface.
+    pub biased: AccuracySurface,
+    /// Float accuracies (tea, biased).
+    pub float_accuracies: (f32, f32),
+}
+
+/// Run the duplication study on bench `bench_id` over the given grid.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] on any stage failure.
+pub fn duplication_study(
+    bench_id: usize,
+    copies_max: usize,
+    spf_max: usize,
+    scale: &RunScale,
+    seed: u64,
+) -> Result<DuplicationStudy, ExperimentError> {
+    let bench = TestBench::new(bench_id, seed);
+    let data = bench.load_data(scale, seed);
+    let tea_model = train_model(&bench, &data, Penalty::None, scale, seed)?;
+    let biased_model = train_model(&bench, &data, bench.biasing_penalty(), scale, seed)?;
+    let tea = averaged_surface(&tea_model, &data, copies_max, spf_max, scale, seed)?;
+    let biased = averaged_surface(&biased_model, &data, copies_max, spf_max, scale, seed)?;
+    Ok(DuplicationStudy {
+        bench_id,
+        cores_per_copy: bench.arch.total_cores(),
+        tea,
+        biased,
+        float_accuracies: (tea_model.float_accuracy, biased_model.float_accuracy),
+    })
+}
+
+/// Table-3 row: float accuracy of one bench under both penalties.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table3Row {
+    /// Bench id.
+    pub bench_id: usize,
+    /// Block stride.
+    pub stride: usize,
+    /// Hidden layer count.
+    pub hidden_layers: usize,
+    /// Total cores per copy.
+    pub cores: usize,
+    /// Float accuracy without penalty.
+    pub float_accuracy_none: f32,
+    /// Float accuracy with the biasing penalty.
+    pub float_accuracy_biased: f32,
+}
+
+/// Compute a Table-3 row for one bench.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] on any stage failure.
+pub fn table3_row(
+    bench_id: usize,
+    scale: &RunScale,
+    seed: u64,
+) -> Result<Table3Row, ExperimentError> {
+    let bench = TestBench::new(bench_id, seed);
+    let data = bench.load_data(scale, seed);
+    let none = train_model(&bench, &data, Penalty::None, scale, seed)?;
+    let biased = train_model(&bench, &data, bench.biasing_penalty(), scale, seed)?;
+    Ok(Table3Row {
+        bench_id,
+        stride: bench.arch.block_stride,
+        hidden_layers: bench.arch.cores_per_layer.len(),
+        cores: bench.arch.total_cores(),
+        float_accuracy_none: none.float_accuracy,
+        float_accuracy_biased: biased.float_accuracy,
+    })
+}
+
+/// §3.3 L1-sparsity side experiment: train the LeNet-300-100 float MLP with
+/// and without L1, reporting per-layer zeroed-weight fractions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparsityResult {
+    /// Test accuracy without penalty.
+    pub accuracy_plain: f32,
+    /// Test accuracy with L1.
+    pub accuracy_l1: f32,
+    /// Per-layer fraction of weights with `|w| < threshold` under L1.
+    pub zeroed_fractions: Vec<f64>,
+}
+
+/// Run the §3.3 MLP sparsity experiment (MNIST, 300-100 hidden units).
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Bench`] on training failure.
+pub fn sparsity_study(
+    scale: &RunScale,
+    seed: u64,
+    l1_lambda: f32,
+    zero_threshold: f32,
+) -> Result<SparsityResult, ExperimentError> {
+    use tn_learn::activation::Activation;
+    use tn_learn::layer::{DenseLayer, Layer};
+    use tn_learn::loss::Readout;
+    use tn_learn::optimizer::{LrSchedule, SgdConfig};
+    use tn_learn::trainer::{TrainConfig, Trainer};
+
+    let bench = TestBench::new(1, seed); // MNIST data, dense architecture
+    let data = bench.load_data(scale, seed);
+
+    let build = || {
+        Network::new(
+            vec![
+                Layer::Dense(DenseLayer::new(784, 300, Activation::Relu, seed)),
+                Layer::Dense(DenseLayer::new(300, 100, Activation::Relu, seed + 1)),
+                Layer::Dense(DenseLayer::new(100, 10, Activation::Identity, seed + 2)),
+            ],
+            Readout::identity(10),
+        )
+    };
+    let cfg = |penalty: Penalty| TrainConfig {
+        epochs: scale.epochs,
+        batch_size: 32,
+        sgd: SgdConfig {
+            learning_rate: 0.05,
+            momentum: 0.9,
+            schedule: LrSchedule::StepDecay {
+                gamma: 0.7,
+                every: 3,
+            },
+        },
+        penalty,
+        score_scale: 1.0,
+        seed,
+    };
+
+    let mut plain = build();
+    Trainer::new(cfg(Penalty::None))
+        .fit(&mut plain, &data.train_x, &data.train_y, None)
+        .map_err(BenchError::Train)?;
+    let mut l1 = build();
+    Trainer::new(cfg(Penalty::l1(l1_lambda)))
+        .fit(&mut l1, &data.train_x, &data.train_y, None)
+        .map_err(BenchError::Train)?;
+
+    let zeroed_fractions = l1
+        .layers()
+        .iter()
+        .map(|layer| {
+            let mut total = 0usize;
+            let mut zeroed = 0usize;
+            layer.for_each_weight(|w| {
+                total += 1;
+                if w.abs() < zero_threshold {
+                    zeroed += 1;
+                }
+            });
+            zeroed as f64 / total.max(1) as f64
+        })
+        .collect();
+
+    Ok(SparsityResult {
+        accuracy_plain: plain.accuracy(&data.test_x, &data.test_y),
+        accuracy_l1: l1.accuracy(&data.test_x, &data.test_y),
+        zeroed_fractions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RunScale {
+        RunScale {
+            n_train: 200,
+            n_test: 80,
+            epochs: 3,
+            seeds: 1,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn baseline_study_produces_sane_numbers() {
+        let r = baseline_study(&tiny(), 1).expect("baseline");
+        assert!((0.0..=1.0).contains(&r.float_accuracy));
+        assert!((0.0..=1.0).contains(&r.deployed_one_copy));
+        assert!(r.float_accuracy > 0.2, "float acc {}", r.float_accuracy);
+        assert_eq!(r.cores, (4, 64));
+        // Duplication should not hurt substantially.
+        assert!(r.deployed_sixteen_copies + 0.05 >= r.deployed_one_copy);
+    }
+
+    #[test]
+    fn penalty_comparison_shapes_histograms() {
+        let rows = penalty_comparison(&tiny(), 2, 2e-4, 4e-4).expect("fig5");
+        assert_eq!(rows.len(), 3);
+        let by_name = |n: &str| rows.iter().find(|r| r.name == n).expect("present");
+        // The headline qualitative claim: biasing empties the centroid and
+        // fills the poles relative to plain Tea learning.
+        assert!(by_name("biasing").pole_mass >= by_name("none").pole_mass);
+        assert!(by_name("biasing").centroid_mass <= by_name("none").centroid_mass + 0.05);
+    }
+
+    #[test]
+    fn deviation_study_orders_penalties() {
+        let (tea, biased) = deviation_study(&tiny(), 3, 4e-4).expect("fig4");
+        assert!(
+            biased.zero_fraction >= tea.zero_fraction,
+            "biasing should increase exact-deploy synapses: {} vs {}",
+            biased.zero_fraction,
+            tea.zero_fraction
+        );
+    }
+
+    #[test]
+    fn sparsity_study_zeroes_weights() {
+        let r = sparsity_study(&tiny(), 4, 0.0008, 0.01).expect("sec3.3");
+        assert_eq!(r.zeroed_fractions.len(), 3);
+        assert!(r.accuracy_plain > 0.2);
+        // L1 should zero a visible share of the first layer.
+        assert!(r.zeroed_fractions[0] > 0.05, "{:?}", r.zeroed_fractions);
+    }
+
+    #[test]
+    fn table3_row_has_correct_structure() {
+        let row = table3_row(1, &tiny(), 5).expect("row");
+        assert_eq!(row.bench_id, 1);
+        assert_eq!(row.stride, 12);
+        assert_eq!(row.cores, 4);
+        assert!((0.0..=1.0).contains(&row.float_accuracy_none));
+    }
+}

@@ -1,0 +1,204 @@
+//! Energy accounting for deployed classification — an extension beyond the
+//! paper's accuracy/cores/speed triangle.
+//!
+//! The paper's §1 quotes TrueNorth at 58 GSOPS / 145 mW; `tn-chip`'s
+//! [`EnergyReport`] turns simulated synaptic-op counts into first-order
+//! joules. This module runs a deployed classifier over a workload and
+//! reports energy *per frame*, which exposes a subtlety of the biased
+//! method: polarizing probabilities toward `p = 1` wires more synapses ON,
+//! so a biased copy can cost more energy per frame even while needing far
+//! fewer copies — the co-optimization is genuinely multi-objective.
+
+use crate::cross_thread::parallel_chunks;
+use serde::{Deserialize, Serialize};
+use tn_chip::energy::EnergyReport;
+use tn_chip::nscs::{ConnectivityMode, DeployError, Deployment, NetworkDeploySpec};
+use tn_chip::prng::splitmix64;
+use tn_learn::loss::argmax;
+use tn_learn::matrix::Matrix;
+
+/// Energy and accuracy of one deployment configuration over a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyAnalysis {
+    /// Frames classified.
+    pub frames: usize,
+    /// Network copies deployed.
+    pub copies: usize,
+    /// Spikes per frame.
+    pub spf: usize,
+    /// Cores occupied.
+    pub cores: usize,
+    /// Classification accuracy over the workload.
+    pub accuracy: f32,
+    /// Total synaptic operations.
+    pub synaptic_ops: u64,
+    /// Energy proxy for the whole workload.
+    pub report: EnergyReport,
+}
+
+impl EnergyAnalysis {
+    /// Mean energy per classified frame, joules.
+    pub fn joules_per_frame(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.report.total_joules() / self.frames as f64
+        }
+    }
+
+    /// Mean synaptic operations per frame.
+    pub fn synops_per_frame(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.synaptic_ops as f64 / self.frames as f64
+        }
+    }
+}
+
+/// Classify a workload on chip and account the energy.
+///
+/// # Errors
+///
+/// Returns [`DeployError`] if the spec cannot be deployed.
+///
+/// # Panics
+///
+/// Panics if `inputs`/`labels` lengths disagree or `copies`/`spf` is zero.
+pub fn analyze_energy(
+    spec: &NetworkDeploySpec,
+    inputs: &Matrix,
+    labels: &[usize],
+    copies: usize,
+    spf: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<EnergyAnalysis, DeployError> {
+    assert_eq!(inputs.rows(), labels.len(), "inputs/labels length mismatch");
+    assert!(copies > 0 && spf > 0, "copies and spf must be nonzero");
+    let n_classes = spec.n_classes;
+
+    let worker = |range: std::ops::Range<usize>| -> Result<(usize, u64, u64, u64), DeployError> {
+        let mut dep =
+            Deployment::build_with_mode(spec, copies, seed, ConnectivityMode::IndependentPerCopy)?;
+        dep.chip.reset_counters();
+        let mut correct = 0usize;
+        for i in range.clone() {
+            let frame_seed = splitmix64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+            let per_tick = dep.run_frame(inputs.row(i), spf, frame_seed);
+            let mut votes = vec![0f32; n_classes];
+            for tick in &per_tick {
+                for copy in 0..copies {
+                    for (class, v) in votes.iter_mut().enumerate() {
+                        *v += tick[copy * n_classes + class] as f32;
+                    }
+                }
+            }
+            if argmax(&votes) == labels[i] {
+                correct += 1;
+            }
+        }
+        let cs = dep.chip.core_stats_total();
+        let ticks = dep.chip.stats().ticks;
+        Ok((correct, cs.synaptic_ops, ticks, range.len() as u64))
+    };
+
+    let partials = parallel_chunks(inputs.rows(), threads, worker)?;
+    let mut correct = 0usize;
+    let mut synops = 0u64;
+    let mut ticks = 0u64;
+    let mut frames = 0u64;
+    for (c, s, t, f) in partials {
+        correct += c;
+        synops += s;
+        ticks += t;
+        frames += f;
+    }
+    let cores = copies * spec.cores_per_copy();
+    Ok(EnergyAnalysis {
+        frames: frames as usize,
+        copies,
+        spf,
+        cores,
+        accuracy: correct as f32 / (frames as f32).max(1.0),
+        synaptic_ops: synops,
+        report: EnergyReport::from_counters(synops, ticks, cores),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_chip::nscs::{CoreDeploySpec, InputSource};
+
+    fn spec(weight: f32) -> NetworkDeploySpec {
+        NetworkDeploySpec {
+            cores: vec![CoreDeploySpec {
+                layer: 0,
+                weights: vec![weight, -weight, -weight, weight],
+                n_axons: 2,
+                n_neurons: 2,
+                biases: vec![-0.5, -0.5],
+                axon_sources: vec![InputSource::External(0), InputSource::External(1)],
+            }],
+            n_inputs: 2,
+            n_classes: 2,
+            output_taps: vec![(0, 0, 0), (0, 1, 1)],
+        }
+    }
+
+    fn workload(n: usize) -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            if i % 2 == 0 {
+                rows.push([0.9_f32, 0.1]);
+                labels.push(0);
+            } else {
+                rows.push([0.1_f32, 0.9]);
+                labels.push(1);
+            }
+        }
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Matrix::from_rows(&refs), labels)
+    }
+
+    #[test]
+    fn energy_scales_with_duplication() {
+        let spec = spec(1.0);
+        let (x, y) = workload(20);
+        let small = analyze_energy(&spec, &x, &y, 1, 1, 3, 1).expect("small");
+        let big = analyze_energy(&spec, &x, &y, 4, 4, 3, 1).expect("big");
+        assert!(big.synaptic_ops > small.synaptic_ops);
+        assert!(big.joules_per_frame() > small.joules_per_frame());
+        assert_eq!(big.cores, 4);
+        assert_eq!(small.frames, 20);
+    }
+
+    #[test]
+    fn denser_connectivity_costs_more_energy() {
+        // p = 1 wires every synapse; p = 0.3 wires ~30% — fewer synops.
+        let (x, y) = workload(30);
+        let dense = analyze_energy(&spec(1.0), &x, &y, 1, 2, 5, 1).expect("dense");
+        let sparse = analyze_energy(&spec(0.3), &x, &y, 1, 2, 5, 1).expect("sparse");
+        assert!(dense.synops_per_frame() > sparse.synops_per_frame());
+    }
+
+    #[test]
+    fn accuracy_matches_expectation_on_easy_workload() {
+        let spec = spec(1.0);
+        let (x, y) = workload(40);
+        let a = analyze_energy(&spec, &x, &y, 1, 8, 7, 2).expect("analyze");
+        assert!(a.accuracy > 0.9, "accuracy {}", a.accuracy);
+    }
+
+    #[test]
+    fn thread_partitioning_preserves_totals() {
+        let spec = spec(0.8);
+        let (x, y) = workload(24);
+        let one = analyze_energy(&spec, &x, &y, 2, 2, 9, 1).expect("one");
+        let four = analyze_energy(&spec, &x, &y, 2, 2, 9, 4).expect("four");
+        assert_eq!(one.accuracy, four.accuracy);
+        assert_eq!(one.synaptic_ops, four.synaptic_ops);
+    }
+}

@@ -1,0 +1,146 @@
+//! Small CSV/text report utilities shared by the `repro_*` binaries.
+//!
+//! Every reproduction binary prints the paper's row/series structure to
+//! stdout and also drops a CSV under `target/repro/` so EXPERIMENTS.md can
+//! be assembled from machine-readable artifacts.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Default artifact directory (`target/repro`), created on demand.
+pub fn repro_dir() -> PathBuf {
+    PathBuf::from("target").join("repro")
+}
+
+/// A simple CSV table accumulated row by row.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CsvTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// A table with the given column names.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header.
+    pub fn push_row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as CSV text (header + rows, comma-separated, quoted when a
+    /// cell contains a comma or quote).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            let encoded: Vec<String> = cells.iter().map(|c| quote(c)).collect();
+            out.push_str(&encoded.join(","));
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        for r in &self.rows {
+            write_row(&mut out, r);
+        }
+        out
+    }
+
+    /// Write the CSV to `dir/name.csv`, creating `dir` if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from directory creation or the write.
+    pub fn write_to(&self, dir: &Path, name: &str) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+fn quote(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Format a fraction as a percentage with two decimals (report style).
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Format an accuracy as the paper's 4-decimal style (e.g. `0.9472`).
+pub fn acc4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip_structure() {
+        let mut t = CsvTable::new(vec!["a", "b"]);
+        t.push_row(vec!["1", "2"]);
+        t.push_row(vec!["x,y", "q\"z"]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "1,2");
+        assert_eq!(lines[2], "\"x,y\",\"q\"\"z\"");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_rejected() {
+        let mut t = CsvTable::new(vec!["a", "b"]);
+        t.push_row(vec!["only one"]);
+    }
+
+    #[test]
+    fn write_creates_directory() {
+        let dir = std::env::temp_dir().join(format!("tn_repro_test_{}", std::process::id()));
+        let mut t = CsvTable::new(vec!["v"]);
+        t.push_row(vec!["42"]);
+        let path = t.write_to(&dir, "probe").expect("write");
+        let content = std::fs::read_to_string(&path).expect("read back");
+        assert!(content.contains("42"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.688), "68.80%");
+        assert_eq!(acc4(0.94718), "0.9472");
+    }
+}

@@ -1,0 +1,326 @@
+//! Accuracy surfaces over the (copies × spf) duplication grid — the
+//! paper's Fig. 7 (absolute surfaces) and Fig. 8 (boost surface).
+
+use crate::eval::GridAccuracy;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An accuracy surface over copies `1..=C` and spf `1..=S`, optionally
+/// averaged over several random repetitions (the paper averages ten).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccuracySurface {
+    copies_max: usize,
+    spf_max: usize,
+    /// `values[c-1][s-1]`, averaged over repetitions.
+    values: Vec<Vec<f64>>,
+    repetitions: usize,
+}
+
+impl AccuracySurface {
+    /// Average several grid evaluations (one per seed) into a surface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grids` is empty or shapes disagree.
+    pub fn from_grids(grids: &[GridAccuracy]) -> Self {
+        assert!(!grids.is_empty(), "need at least one grid");
+        let copies_max = grids[0].copies_max();
+        let spf_max = grids[0].spf_max();
+        for g in grids {
+            assert_eq!(g.copies_max(), copies_max, "grid shapes disagree");
+            assert_eq!(g.spf_max(), spf_max, "grid shapes disagree");
+        }
+        let mut values = vec![vec![0.0f64; spf_max]; copies_max];
+        for g in grids {
+            for c in 1..=copies_max {
+                for s in 1..=spf_max {
+                    values[c - 1][s - 1] += g.accuracy(c, s) as f64;
+                }
+            }
+        }
+        let n = grids.len() as f64;
+        for row in &mut values {
+            for v in row.iter_mut() {
+                *v /= n;
+            }
+        }
+        Self {
+            copies_max,
+            spf_max,
+            values,
+            repetitions: grids.len(),
+        }
+    }
+
+    /// Copies-axis size.
+    pub fn copies_max(&self) -> usize {
+        self.copies_max
+    }
+
+    /// Spf-axis size.
+    pub fn spf_max(&self) -> usize {
+        self.spf_max
+    }
+
+    /// Number of repetitions averaged.
+    pub fn repetitions(&self) -> usize {
+        self.repetitions
+    }
+
+    /// Accuracy at `(copies, spf)` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-grid coordinates.
+    pub fn at(&self, copies: usize, spf: usize) -> f64 {
+        assert!(
+            (1..=self.copies_max).contains(&copies) && (1..=self.spf_max).contains(&spf),
+            "({copies},{spf}) outside surface"
+        );
+        self.values[copies - 1][spf - 1]
+    }
+
+    /// Element-wise difference `self − other` (Fig. 8's boost map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn boost_over(&self, other: &AccuracySurface) -> BoostSurface {
+        assert_eq!(self.copies_max, other.copies_max, "shape mismatch");
+        assert_eq!(self.spf_max, other.spf_max, "shape mismatch");
+        let values = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| a.iter().zip(b).map(|(x, y)| x - y).collect())
+            .collect();
+        BoostSurface {
+            copies_max: self.copies_max,
+            spf_max: self.spf_max,
+            values,
+        }
+    }
+
+    /// Fraction of grid points where `self` is at least as accurate as
+    /// `other` (the paper's "our surface covers above" observation).
+    pub fn coverage_over(&self, other: &AccuracySurface) -> f64 {
+        let mut wins = 0usize;
+        let mut total = 0usize;
+        for c in 1..=self.copies_max {
+            for s in 1..=self.spf_max {
+                total += 1;
+                if self.at(c, s) >= other.at(c, s) - 1e-12 {
+                    wins += 1;
+                }
+            }
+        }
+        wins as f64 / total.max(1) as f64
+    }
+
+    /// The copies-axis accuracy ladder at a fixed spf, as `f32` (the input
+    /// format of the Table-2 pairing reports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spf` is outside the surface.
+    pub fn copies_ladder_f32(&self, spf: usize) -> Vec<f32> {
+        (1..=self.copies_max)
+            .map(|c| self.at(c, spf) as f32)
+            .collect()
+    }
+
+    /// The spf-axis accuracy ladder at a fixed copy count, as `f32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copies` is outside the surface.
+    pub fn spf_ladder_f32(&self, copies: usize) -> Vec<f32> {
+        (1..=self.spf_max)
+            .map(|s| self.at(copies, s) as f32)
+            .collect()
+    }
+
+    /// Maximum accuracy on the surface (the saturation plateau).
+    pub fn max_value(&self) -> f64 {
+        self.values
+            .iter()
+            .flatten()
+            .fold(f64::NEG_INFINITY, |m, &v| m.max(v))
+    }
+}
+
+impl fmt::Display for AccuracySurface {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "accuracy surface ({} copies x {} spf, {} reps)",
+            self.copies_max, self.spf_max, self.repetitions
+        )?;
+        write!(f, "{:>7}", "c\\spf")?;
+        for s in 1..=self.spf_max {
+            write!(f, " {s:>7}")?;
+        }
+        writeln!(f)?;
+        for c in 1..=self.copies_max {
+            write!(f, "{c:>7}")?;
+            for s in 1..=self.spf_max {
+                write!(f, " {:>7.4}", self.at(c, s))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// The difference of two accuracy surfaces (Fig. 8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoostSurface {
+    copies_max: usize,
+    spf_max: usize,
+    values: Vec<Vec<f64>>,
+}
+
+impl BoostSurface {
+    /// Boost at `(copies, spf)` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-grid coordinates.
+    pub fn at(&self, copies: usize, spf: usize) -> f64 {
+        assert!(
+            (1..=self.copies_max).contains(&copies) && (1..=self.spf_max).contains(&spf),
+            "({copies},{spf}) outside surface"
+        );
+        self.values[copies - 1][spf - 1]
+    }
+
+    /// The grid point with the largest boost and its value (the paper's
+    /// "highest gain (2.5%) at one copy and one spf").
+    pub fn max_boost(&self) -> (usize, usize, f64) {
+        let mut best = (1, 1, f64::NEG_INFINITY);
+        for c in 1..=self.copies_max {
+            for s in 1..=self.spf_max {
+                let v = self.at(c, s);
+                if v > best.2 {
+                    best = (c, s, v);
+                }
+            }
+        }
+        best
+    }
+
+    /// Mean boost over the grid.
+    pub fn mean_boost(&self) -> f64 {
+        let total: f64 = self.values.iter().flatten().sum();
+        total / (self.copies_max * self.spf_max) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{evaluate_grid, EvalConfig};
+    use tn_chip::nscs::{ConnectivityMode, CoreDeploySpec, InputSource, NetworkDeploySpec};
+    use tn_learn::matrix::Matrix;
+
+    fn toy_grid(weight: f32, seed: u64) -> GridAccuracy {
+        let spec = NetworkDeploySpec {
+            cores: vec![CoreDeploySpec {
+                layer: 0,
+                weights: vec![weight, -weight, -weight, weight],
+                n_axons: 2,
+                n_neurons: 2,
+                biases: vec![-0.5, -0.5],
+                axon_sources: vec![InputSource::External(0), InputSource::External(1)],
+            }],
+            n_inputs: 2,
+            n_classes: 2,
+            output_taps: vec![(0, 0, 0), (0, 1, 1)],
+        };
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..24 {
+            if i % 2 == 0 {
+                rows.push([0.9_f32, 0.1]);
+                y.push(0);
+            } else {
+                rows.push([0.1_f32, 0.9]);
+                y.push(1);
+            }
+        }
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        evaluate_grid(
+            &spec,
+            &x,
+            &y,
+            &EvalConfig {
+                copies: 3,
+                spf: 2,
+                seed,
+                threads: 1,
+                connectivity: ConnectivityMode::IndependentPerCopy,
+            },
+        )
+        .expect("grid")
+    }
+
+    #[test]
+    fn surface_averages_grids() {
+        let grids = vec![toy_grid(0.5, 1), toy_grid(0.5, 2), toy_grid(0.5, 3)];
+        let surf = AccuracySurface::from_grids(&grids);
+        assert_eq!(surf.repetitions(), 3);
+        let manual = grids.iter().map(|g| g.accuracy(2, 1) as f64).sum::<f64>() / 3.0;
+        assert!((surf.at(2, 1) - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_beats_noisy_surface() {
+        // Average several deploy seeds so the comparison is statistical,
+        // like the paper's ten-repetition surfaces.
+        let det =
+            AccuracySurface::from_grids(&[toy_grid(1.0, 1), toy_grid(1.0, 2), toy_grid(1.0, 3)]);
+        let noisy =
+            AccuracySurface::from_grids(&[toy_grid(0.3, 1), toy_grid(0.3, 2), toy_grid(0.3, 3)]);
+        assert!(det.coverage_over(&noisy) >= 0.5);
+        let boost = det.boost_over(&noisy);
+        assert!(
+            boost.mean_boost() >= 0.0,
+            "mean boost {}",
+            boost.mean_boost()
+        );
+        let (_, _, max) = boost.max_boost();
+        assert!(max >= boost.mean_boost());
+    }
+
+    #[test]
+    fn display_renders_grid() {
+        let surf = AccuracySurface::from_grids(&[toy_grid(1.0, 1)]);
+        let s = surf.to_string();
+        assert!(s.contains("accuracy surface"));
+        assert!(s.contains("c\\spf"));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside surface")]
+    fn out_of_grid_panics() {
+        let surf = AccuracySurface::from_grids(&[toy_grid(1.0, 1)]);
+        let _ = surf.at(4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_boost_panics() {
+        let a = AccuracySurface::from_grids(&[toy_grid(1.0, 1)]);
+        let mut b = a.clone();
+        b.copies_max = 99;
+        let _ = a.boost_over(&b);
+    }
+
+    #[test]
+    fn max_value_is_plateau() {
+        let surf = AccuracySurface::from_grids(&[toy_grid(1.0, 1)]);
+        assert!(surf.max_value() <= 1.0);
+        assert!(surf.max_value() >= surf.at(1, 1));
+    }
+}

@@ -1,0 +1,273 @@
+//! The Tea-learning formulation: probability/weight duality and the
+//! expectation/variance analysis of the paper's §3.1-3.2 (Eqs. 5-15).
+//!
+//! TrueNorth deploys a trained weight `w ∈ [−1, 1]` as a Bernoulli synapse:
+//! connected with probability `p = |w|`, contributing the integer
+//! `c = sgn(w)` when ON (Eqs. 6-7, with the per-connection `c_i` the paper
+//! uses). The input `x ∈ [0, 1]` is likewise a Bernoulli spike (Eq. 8).
+//! This module provides the closed forms for the moments of the deployed
+//! computation, which both the trainer's activation and the §3.2 accuracy
+//! analysis rely on, each validated against Monte-Carlo simulation in the
+//! tests.
+
+use serde::{Deserialize, Serialize};
+
+/// Connectivity probability of a trained weight: `p = |w|` (Eq. 7 solved
+/// for `p` with `|c| = 1`).
+///
+/// ```
+/// use truenorth::tea::connection_probability;
+/// assert_eq!(connection_probability(-0.25), 0.25);
+/// assert_eq!(connection_probability(1.0), 1.0);
+/// ```
+pub fn connection_probability(w: f32) -> f32 {
+    w.abs()
+}
+
+/// Synaptic integer of a trained weight: `c = sgn(w)` (0 for exactly-zero
+/// weights, which never connect).
+pub fn synaptic_integer(w: f32) -> i32 {
+    if w > 0.0 {
+        1
+    } else if w < 0.0 {
+        -1
+    } else {
+        0
+    }
+}
+
+/// Variance of the deployed synaptic weight `w' ` (Eq. 15):
+/// `var{w'} = c² p (1 − p)`.
+///
+/// Maximal at `p = 0.5`, zero at the deterministic poles — the quantity the
+/// biasing penalty minimizes.
+///
+/// ```
+/// use truenorth::tea::synaptic_variance;
+/// assert_eq!(synaptic_variance(0.0), 0.0);
+/// assert_eq!(synaptic_variance(1.0), 0.0);
+/// assert_eq!(synaptic_variance(0.5), 0.25);
+/// assert_eq!(synaptic_variance(-0.5), 0.25);
+/// ```
+pub fn synaptic_variance(w: f32) -> f32 {
+    let p = w.abs();
+    p * (1.0 - p)
+}
+
+/// Variance of one deployed product term `w'·x'` for weight `w` and spike
+/// probability `x` (the summand of Eq. 14):
+/// `var{w'x'} = E[w'²x'²] − E[w'x']² = p·x − p²x²` (with `|c| = 1` and
+/// Bernoulli `x'`).
+pub fn product_variance(w: f32, x: f32) -> f32 {
+    let p = w.abs();
+    p * x - p * p * x * x
+}
+
+/// Moments of the deployed weighted sum `y' = Σ w'_i x'_i − λ` (Eqs. 9 and
+/// 14) for a whole dot product.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SumMoments {
+    /// Expectation `E{y'} = Σ w_i x_i − λ` — equals the float model's `y`
+    /// (Eq. 9), the unbiasedness property.
+    pub mean: f32,
+    /// Variance `var{Δy} = Σ var{w'_i x'_i}` (Eq. 14).
+    pub variance: f32,
+}
+
+/// Compute the deployed-sum moments for weights, spike probabilities and a
+/// leak λ.
+///
+/// # Panics
+///
+/// Panics if slices differ in length.
+pub fn sum_moments(weights: &[f32], inputs: &[f32], leak: f32) -> SumMoments {
+    assert_eq!(
+        weights.len(),
+        inputs.len(),
+        "weights/inputs length mismatch"
+    );
+    let mut mean = -leak;
+    let mut variance = 0.0;
+    for (&w, &x) in weights.iter().zip(inputs) {
+        mean += w * x;
+        variance += product_variance(w, x);
+    }
+    SumMoments { mean, variance }
+}
+
+/// Spike probability of a McCulloch-Pitts neuron under deployment (Eq. 11):
+/// `E{z'} = P(y' ≥ 0) = Φ(µ/σ)` by the central limit theorem.
+///
+/// A zero-variance (fully deterministic) sum degenerates to the step
+/// function of Eq. (4).
+pub fn spike_probability(m: SumMoments) -> f32 {
+    if m.variance <= 0.0 {
+        return if m.mean >= 0.0 { 1.0 } else { 0.0 };
+    }
+    tn_learn::math::normal_cdf_f32(m.mean / m.variance.sqrt())
+}
+
+/// Theoretical number of averaged copies needed to shrink the deviation's
+/// standard error below `target_sigma` (copies-vs-variance trade-off of
+/// §3.2: averaging `n` independent copies divides the variance by `n`).
+///
+/// Returns 1 when a single copy already meets the target.
+///
+/// ```
+/// use truenorth::tea::copies_for_target_sigma;
+/// // σ = 2.0 halves per 4 copies: target 1.0 ⇒ 4 copies.
+/// assert_eq!(copies_for_target_sigma(4.0, 1.0), 4);
+/// assert_eq!(copies_for_target_sigma(0.5, 1.0), 1);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `target_sigma_sq` is not positive.
+pub fn copies_for_target_sigma(variance: f32, target_sigma_sq: f32) -> usize {
+    assert!(target_sigma_sq > 0.0, "target variance must be positive");
+    (variance / target_sigma_sq).ceil().max(1.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    /// Monte-Carlo sample of the deployed sum for given weights/inputs.
+    fn simulate_sum(weights: &[f32], inputs: &[f32], leak: f32, rng: &mut StdRng) -> f32 {
+        let mut y = -leak;
+        for (&w, &x) in weights.iter().zip(inputs) {
+            let connected = rng.gen::<f32>() < w.abs();
+            let spiked = rng.gen::<f32>() < x;
+            if connected && spiked {
+                y += if w >= 0.0 { 1.0 } else { -1.0 };
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn moments_match_monte_carlo() {
+        let weights = [0.8_f32, -0.3, 0.5, -0.9, 0.1, 0.6];
+        let inputs = [0.7_f32, 0.9, 0.2, 0.5, 1.0, 0.4];
+        let leak = 0.3;
+        let m = sum_moments(&weights, &inputs, leak);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200_000;
+        let samples: Vec<f32> = (0..n)
+            .map(|_| simulate_sum(&weights, &inputs, leak, &mut rng))
+            .collect();
+        let emp_mean = samples.iter().sum::<f32>() / n as f32;
+        let emp_var = samples.iter().map(|s| (s - emp_mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(
+            (m.mean - emp_mean).abs() < 0.01,
+            "mean {} vs {}",
+            m.mean,
+            emp_mean
+        );
+        assert!(
+            (m.variance - emp_var).abs() < 0.02,
+            "var {} vs {}",
+            m.variance,
+            emp_var
+        );
+    }
+
+    #[test]
+    fn expectation_is_unbiased() {
+        // Eq. 9/13: E{y'} equals the float dot product — E{Δy} = 0.
+        let weights = [0.4_f32, -0.7];
+        let inputs = [0.5_f32, 0.25];
+        let m = sum_moments(&weights, &inputs, 0.0);
+        let float_y: f32 = weights.iter().zip(inputs).map(|(w, x)| w * x).sum();
+        assert!((m.mean - float_y).abs() < 1e-7);
+    }
+
+    #[test]
+    fn spike_probability_matches_monte_carlo() {
+        // The CLT needs a reasonable term count (a real core sums over
+        // hundreds of axons); use 48 pseudo-random weights/inputs.
+        let mut gen_state = 0x1234_5678_u64;
+        let mut next = || {
+            gen_state ^= gen_state << 13;
+            gen_state ^= gen_state >> 7;
+            gen_state ^= gen_state << 17;
+            (gen_state % 1000) as f32 / 1000.0
+        };
+        let weights: Vec<f32> = (0..48)
+            .map(|i| (next() - 0.5) * if i % 2 == 0 { 2.0 } else { 1.0 })
+            .collect();
+        let inputs: Vec<f32> = (0..48).map(|_| next()).collect();
+        let m = sum_moments(&weights, &inputs, 0.1);
+        let p = spike_probability(m);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let hits = (0..n)
+            .filter(|_| simulate_sum(&weights, &inputs, 0.1, &mut rng) >= 0.0)
+            .count();
+        let emp = hits as f32 / n as f32;
+        // The deployed sum is lattice-valued, so the continuous CLT carries
+        // an O(1/σ) discretization error; Eq. 11 accepts that.
+        assert!((p - emp).abs() < 0.06, "Φ {} vs empirical {}", p, emp);
+    }
+
+    #[test]
+    fn variance_peaks_at_half() {
+        let at_half = synaptic_variance(0.5);
+        for w in [-1.0_f32, -0.8, -0.2, 0.0, 0.3, 0.9, 1.0] {
+            assert!(synaptic_variance(w) <= at_half + 1e-7, "w = {w}");
+        }
+    }
+
+    #[test]
+    fn poles_are_deterministic() {
+        // Biased-to-pole weights contribute no randomness at all.
+        let weights = [1.0_f32, -1.0, 0.0];
+        let inputs = [1.0_f32, 1.0, 1.0]; // deterministic spikes too
+        let m = sum_moments(&weights, &inputs, 0.0);
+        assert_eq!(m.variance, 0.0);
+        assert_eq!(spike_probability(m), 1.0); // 1 − 1 + 0 = 0 ≥ 0 fires
+    }
+
+    #[test]
+    fn zero_variance_negative_mean_never_spikes() {
+        let m = SumMoments {
+            mean: -0.1,
+            variance: 0.0,
+        };
+        assert_eq!(spike_probability(m), 0.0);
+    }
+
+    #[test]
+    fn product_variance_zero_cases() {
+        assert_eq!(product_variance(0.0, 0.7), 0.0); // never connected
+        assert_eq!(product_variance(0.5, 0.0), 0.0); // never spikes
+        assert_eq!(product_variance(1.0, 1.0), 0.0); // fully deterministic
+        assert!(product_variance(0.5, 1.0) > 0.0);
+        assert!(product_variance(1.0, 0.5) > 0.0);
+    }
+
+    #[test]
+    fn biased_weights_need_fewer_copies() {
+        // The headline mechanism: biasing reduces per-copy variance, which
+        // reduces the copies needed for a fixed certainty target.
+        let unbiased = [0.5_f32; 64];
+        let biased = [1.0_f32, 0.0].repeat(32);
+        let x = [0.8_f32; 64];
+        let var_u = sum_moments(&unbiased, &x, 0.0).variance;
+        let var_b = sum_moments(&biased, &x, 0.0).variance;
+        assert!(var_b < var_u);
+        let copies_u = copies_for_target_sigma(var_u, 1.0);
+        let copies_b = copies_for_target_sigma(var_b, 1.0);
+        assert!(copies_b < copies_u, "{copies_b} !< {copies_u}");
+    }
+
+    #[test]
+    fn synaptic_integer_signs() {
+        assert_eq!(synaptic_integer(0.4), 1);
+        assert_eq!(synaptic_integer(-0.4), -1);
+        assert_eq!(synaptic_integer(0.0), 0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Variance and deviation analyses: the paper's Fig. 4 (synaptic weight
+//! deviation maps) and Fig. 5 (connectivity-probability histograms).
+
+use crate::tea::synaptic_variance;
+use serde::{Deserialize, Serialize};
+use tn_chip::nscs::{Deployment, NetworkDeploySpec};
+use tn_learn::model::Network;
+
+/// Histogram of connectivity probabilities `p = |w|` over `[0, 1]`
+/// (Fig. 5).
+///
+/// # Examples
+///
+/// ```
+/// use truenorth::variance::ProbabilityHistogram;
+/// let h = ProbabilityHistogram::from_weights(&[0.0, 0.04, 0.5, -0.97, 1.0], 10);
+/// assert_eq!(h.total(), 5);
+/// assert_eq!(h.count(0), 2);       // 0.0 and 0.04
+/// assert_eq!(h.count(9), 2);       // 0.97 and 1.0
+/// assert!(h.pole_mass(0.1) >= 0.6); // 3 of 5 within 0.1 of a pole
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbabilityHistogram {
+    bins: Vec<usize>,
+    total: usize,
+}
+
+impl ProbabilityHistogram {
+    /// Histogram of `p = |w|` with `n_bins` equal bins over `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bins == 0`.
+    pub fn from_weights(weights: &[f32], n_bins: usize) -> Self {
+        assert!(n_bins > 0, "histogram needs at least one bin");
+        let mut bins = vec![0usize; n_bins];
+        for &w in weights {
+            let p = w.abs().clamp(0.0, 1.0);
+            let bin = ((p * n_bins as f32) as usize).min(n_bins - 1);
+            bins[bin] += 1;
+        }
+        Self {
+            total: weights.len(),
+            bins,
+        }
+    }
+
+    /// Histogram over all synaptic weights of a network.
+    pub fn from_network(net: &Network, n_bins: usize) -> Self {
+        Self::from_weights(&net.all_weights(), n_bins)
+    }
+
+    /// Number of bins.
+    pub fn n_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Count in bin `i`.
+    pub fn count(&self, i: usize) -> usize {
+        self.bins[i]
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Normalized bin heights.
+    pub fn densities(&self) -> Vec<f64> {
+        self.bins
+            .iter()
+            .map(|&c| c as f64 / self.total.max(1) as f64)
+            .collect()
+    }
+
+    /// Fraction of probabilities within `margin` of a deterministic pole
+    /// (p ≤ margin or p ≥ 1 − margin) — the paper's "almost all
+    /// probabilities biased to deterministic states" measure.
+    pub fn pole_mass(&self, margin: f32) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n = self.bins.len() as f32;
+        let mut mass = 0usize;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let lo = i as f32 / n;
+            let hi = (i + 1) as f32 / n;
+            if hi <= margin + 1e-6 || lo >= 1.0 - margin - 1e-6 {
+                mass += c;
+            }
+        }
+        mass as f64 / self.total as f64
+    }
+
+    /// Fraction of probabilities in the worst-variance region
+    /// `|p − 0.5| ≤ margin`.
+    pub fn centroid_mass(&self, margin: f32) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n = self.bins.len() as f32;
+        let mut mass = 0usize;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let center = (i as f32 + 0.5) / n;
+            if (center - 0.5).abs() <= margin {
+                mass += c;
+            }
+        }
+        mass as f64 / self.total as f64
+    }
+}
+
+/// Mean per-synapse Bernoulli variance of a network (Eq. 15 averaged) —
+/// the quantity the biasing penalty minimizes.
+pub fn mean_synaptic_variance(net: &Network) -> f64 {
+    let ws = net.all_weights();
+    if ws.is_empty() {
+        return 0.0;
+    }
+    ws.iter().map(|&w| synaptic_variance(w) as f64).sum::<f64>() / ws.len() as f64
+}
+
+/// Summary statistics of a Fig.-4 deviation map.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviationStats {
+    /// Synapses inspected.
+    pub synapses: usize,
+    /// Fraction with exactly zero deviation (the paper reports 98.45% for
+    /// the biased model).
+    pub zero_fraction: f64,
+    /// Fraction deviating by more than 50% of the max synaptic weight
+    /// (24.01% for Tea learning in the paper).
+    pub over_half_fraction: f64,
+    /// Mean absolute deviation.
+    pub mean: f64,
+    /// Maximum absolute deviation.
+    pub max: f64,
+}
+
+/// Deviations below this fraction of the max synaptic weight count as
+/// "zero" in [`DeviationStats`] (the rendering resolution of the paper's
+/// Fig.-4 maps; also the practical floor of the 16-bit sampling PRNG over a
+/// frame).
+pub const ZERO_TOLERANCE: f32 = 0.01;
+
+impl DeviationStats {
+    /// Compute statistics from a raw deviation map (normalized absolute
+    /// deviations as produced by [`Deployment::deviation_map`]).
+    pub fn from_map(map: &[f32]) -> Self {
+        let n = map.len().max(1);
+        let zero = map.iter().filter(|&&d| d <= ZERO_TOLERANCE).count();
+        let over_half = map.iter().filter(|&&d| d > 0.5).count();
+        let mean = map.iter().map(|&d| d as f64).sum::<f64>() / n as f64;
+        let max = map.iter().fold(0.0_f32, |m, &d| m.max(d)) as f64;
+        Self {
+            synapses: map.len(),
+            zero_fraction: zero as f64 / n as f64,
+            over_half_fraction: over_half as f64 / n as f64,
+            mean,
+            max,
+        }
+    }
+
+    /// Deviation statistics for one deployed core of one copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the copy/core indices are out of range.
+    pub fn of_core(dep: &Deployment, spec: &NetworkDeploySpec, copy: usize, core: usize) -> Self {
+        Self::from_map(&dep.deviation_map(spec, copy, core))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_chip::nscs::{CoreDeploySpec, InputSource};
+
+    #[test]
+    fn histogram_bins_cover_unit_interval() {
+        let h = ProbabilityHistogram::from_weights(&[0.0, 0.5, 1.0, -1.0], 4);
+        assert_eq!(h.n_bins(), 4);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(2), 1); // 0.5 in bin [0.5, 0.75)
+        assert_eq!(h.count(3), 2); // 1.0 and |-1.0| clamp into the last bin
+        let d: f64 = h.densities().iter().sum();
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pole_and_centroid_masses_partition_extremes() {
+        // All weights at poles.
+        let h = ProbabilityHistogram::from_weights(&[0.0, 1.0, -1.0, 0.02], 50);
+        assert!(h.pole_mass(0.1) > 0.99);
+        assert!(h.centroid_mass(0.1) < 0.01);
+        // All weights at the centroid.
+        let h = ProbabilityHistogram::from_weights(&[0.5, -0.48, 0.52], 50);
+        assert!(h.centroid_mass(0.1) > 0.99);
+        assert!(h.pole_mass(0.1) < 0.01);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = ProbabilityHistogram::from_weights(&[], 10);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.pole_mass(0.1), 0.0);
+    }
+
+    #[test]
+    fn mean_variance_orders_biased_below_uniform() {
+        use tn_learn::layer::{Layer, TnCoreLayer};
+        use tn_learn::loss::Readout;
+        use tn_learn::matrix::Matrix;
+        use tn_learn::model::Network;
+        let make = |w: &[f32]| {
+            let mut t = TnCoreLayer::new(2, vec![vec![0, 1]], 2, 0);
+            t.cores[0].weights = Matrix::from_vec(2, 2, w.to_vec());
+            Network::new(vec![Layer::TnCore(t)], Readout::round_robin(2, 2))
+        };
+        let biased = make(&[1.0, 0.0, -1.0, 1.0]);
+        let worst = make(&[0.5, 0.5, -0.5, 0.5]);
+        assert_eq!(mean_synaptic_variance(&biased), 0.0);
+        assert!((mean_synaptic_variance(&worst) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deviation_stats_from_known_map() {
+        let map = [0.0_f32, 0.0, 0.6, 0.2, 1.0];
+        let s = DeviationStats::from_map(&map);
+        assert_eq!(s.synapses, 5);
+        assert!((s.zero_fraction - 0.4).abs() < 1e-9);
+        assert!((s.over_half_fraction - 0.4).abs() < 1e-9);
+        assert!((s.max - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pole_weights_deploy_with_zero_deviation() {
+        // The paper's core claim in miniature: ±1/0 weights sample exactly.
+        let spec = NetworkDeploySpec {
+            cores: vec![CoreDeploySpec {
+                layer: 0,
+                weights: vec![1.0, 0.0, -1.0, 1.0],
+                n_axons: 2,
+                n_neurons: 2,
+                biases: vec![0.0, 0.0],
+                axon_sources: vec![InputSource::External(0), InputSource::External(1)],
+            }],
+            n_inputs: 2,
+            n_classes: 2,
+            output_taps: vec![(0, 0, 0), (0, 1, 1)],
+        };
+        let dep = Deployment::build(&spec, 1, 123).expect("deploy");
+        let stats = DeviationStats::of_core(&dep, &spec, 0, 0);
+        assert_eq!(stats.zero_fraction, 1.0);
+        assert_eq!(stats.over_half_fraction, 0.0);
+    }
+
+    #[test]
+    fn half_probability_weights_deviate_half() {
+        let spec = NetworkDeploySpec {
+            cores: vec![CoreDeploySpec {
+                layer: 0,
+                weights: vec![0.5; 4],
+                n_axons: 2,
+                n_neurons: 2,
+                biases: vec![0.0, 0.0],
+                axon_sources: vec![InputSource::External(0), InputSource::External(1)],
+            }],
+            n_inputs: 2,
+            n_classes: 2,
+            output_taps: vec![(0, 0, 0), (0, 1, 1)],
+        };
+        let dep = Deployment::build(&spec, 1, 7).expect("deploy");
+        let stats = DeviationStats::of_core(&dep, &spec, 0, 0);
+        // Every synapse deviates by exactly 0.5 (ON → |1−0.5|, OFF → 0.5).
+        assert_eq!(stats.zero_fraction, 0.0);
+        assert!((stats.mean - 0.5).abs() < 1e-6);
+    }
+}

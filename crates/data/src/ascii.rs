@@ -1,0 +1,99 @@
+//! ASCII rendering of grayscale frames — a zero-dependency way to eyeball
+//! the synthetic digits and deviation maps in a terminal.
+
+/// Intensity ramp from dark to bright.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Render a row-major grayscale frame (`values ∈ [0, 1]`) as ASCII art,
+/// one text row per pixel row.
+///
+/// # Panics
+///
+/// Panics if `values.len() != width * height`.
+///
+/// # Examples
+///
+/// ```
+/// use tn_data::ascii::render_frame;
+/// let art = render_frame(&[0.0, 1.0, 1.0, 0.0], 2, 2);
+/// assert_eq!(art.lines().count(), 2);
+/// assert!(art.contains('@'));
+/// ```
+pub fn render_frame(values: &[f32], width: usize, height: usize) -> String {
+    assert_eq!(
+        values.len(),
+        width * height,
+        "{} values cannot fill a {width}x{height} frame",
+        values.len()
+    );
+    let mut out = String::with_capacity(height * (width + 1));
+    for r in 0..height {
+        for c in 0..width {
+            let v = values[r * width + c].clamp(0.0, 1.0);
+            let idx = ((v * (RAMP.len() - 1) as f32).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render with a title line and a border, for labelled terminal dumps.
+///
+/// # Panics
+///
+/// Panics like [`render_frame`].
+pub fn render_labelled(title: &str, values: &[f32], width: usize, height: usize) -> String {
+    let body = render_frame(values, width, height);
+    let bar = "-".repeat(width.max(title.len()));
+    format!("{title}\n{bar}\n{body}{bar}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_is_respected() {
+        let art = render_frame(&[0.5; 12], 4, 3);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.len() == 4));
+    }
+
+    #[test]
+    fn extremes_map_to_ramp_ends() {
+        let art = render_frame(&[0.0, 1.0], 2, 1);
+        assert_eq!(art.trim_end(), " @");
+    }
+
+    #[test]
+    fn out_of_range_values_are_clamped() {
+        let art = render_frame(&[-2.0, 5.0], 2, 1);
+        assert_eq!(art.trim_end(), " @");
+    }
+
+    #[test]
+    fn labelled_render_includes_title() {
+        let s = render_labelled("digit 7", &[0.0; 4], 2, 2);
+        assert!(s.starts_with("digit 7\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fill")]
+    fn wrong_size_panics() {
+        let _ = render_frame(&[0.0; 5], 2, 2);
+    }
+
+    #[test]
+    fn synthetic_digit_renders_with_ink() {
+        use crate::mnist_synth::{generate, MnistSynthConfig};
+        let ds = generate(1, 3, &MnistSynthConfig::default());
+        let art = render_frame(ds.row(0), 28, 28);
+        assert!(
+            art.contains('@') || art.contains('%'),
+            "digit should have ink"
+        );
+        assert!(art.contains(' '), "digit should have background");
+    }
+}

@@ -1,0 +1,250 @@
+//! Image-to-core block mapping (the wiring of the paper's Fig. 3 and the
+//! "block stride" column of Table 3).
+//!
+//! A TrueNorth core has 256 axons, so each core receives one 16×16 block of
+//! the input image. The block anchor positions step by a configurable
+//! *stride*: stride 12 on a 28×28 image yields the 2×2 = 4 cores of test
+//! bench 1; stride 4 yields 16 cores; stride 2 yields 49. RS130's 357
+//! features are padded into a 19×19 frame (stride 3 → 4 cores, stride 1 →
+//! 16).
+
+use serde::{Deserialize, Serialize};
+
+/// Block side length — fixed at 16 so a block exactly fills a core's 256
+/// axons.
+pub const BLOCK_SIDE: usize = 16;
+
+/// Specification of the block decomposition of a 2-D input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockSpec {
+    /// Input frame height in pixels.
+    pub height: usize,
+    /// Input frame width in pixels.
+    pub width: usize,
+    /// Anchor stride in both axes.
+    pub stride: usize,
+}
+
+/// Errors from block-spec validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockError {
+    /// The frame is smaller than one 16×16 block.
+    FrameTooSmall {
+        /// Frame height.
+        height: usize,
+        /// Frame width.
+        width: usize,
+    },
+    /// Stride of zero would loop forever.
+    ZeroStride,
+}
+
+impl std::fmt::Display for BlockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockError::FrameTooSmall { height, width } => {
+                write!(
+                    f,
+                    "frame {height}x{width} smaller than a {BLOCK_SIDE}x{BLOCK_SIDE} block"
+                )
+            }
+            BlockError::ZeroStride => write!(f, "block stride must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for BlockError {}
+
+impl BlockSpec {
+    /// Create a validated block specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlockError`] if the frame cannot hold one block or the
+    /// stride is zero.
+    pub fn new(height: usize, width: usize, stride: usize) -> Result<Self, BlockError> {
+        if stride == 0 {
+            return Err(BlockError::ZeroStride);
+        }
+        if height < BLOCK_SIDE || width < BLOCK_SIDE {
+            return Err(BlockError::FrameTooSmall { height, width });
+        }
+        Ok(Self {
+            height,
+            width,
+            stride,
+        })
+    }
+
+    /// Anchor offsets along one axis of length `extent`.
+    fn anchors(&self, extent: usize) -> Vec<usize> {
+        (0..)
+            .map(|i| i * self.stride)
+            .take_while(|&a| a + BLOCK_SIDE <= extent)
+            .collect()
+    }
+
+    /// Number of blocks along the vertical axis.
+    pub fn blocks_down(&self) -> usize {
+        self.anchors(self.height).len()
+    }
+
+    /// Number of blocks along the horizontal axis.
+    pub fn blocks_across(&self) -> usize {
+        self.anchors(self.width).len()
+    }
+
+    /// Total block (= core) count.
+    pub fn block_count(&self) -> usize {
+        self.blocks_down() * self.blocks_across()
+    }
+
+    /// Per-block axon maps: for each block, the 256 row-major pixel indices
+    /// it covers, in raster order within the block.
+    ///
+    /// These are exactly the `axon_map`s consumed by the training layer and
+    /// the chip deployment.
+    pub fn axon_maps(&self) -> Vec<Vec<usize>> {
+        let mut maps = Vec::with_capacity(self.block_count());
+        for &r0 in &self.anchors(self.height) {
+            for &c0 in &self.anchors(self.width) {
+                let mut map = Vec::with_capacity(BLOCK_SIDE * BLOCK_SIDE);
+                for dr in 0..BLOCK_SIDE {
+                    for dc in 0..BLOCK_SIDE {
+                        map.push((r0 + dr) * self.width + (c0 + dc));
+                    }
+                }
+                maps.push(map);
+            }
+        }
+        maps
+    }
+
+    /// Fraction of pixels covered by at least one block.
+    pub fn coverage(&self) -> f64 {
+        let mut covered = vec![false; self.height * self.width];
+        for map in self.axon_maps() {
+            for i in map {
+                covered[i] = true;
+            }
+        }
+        covered.iter().filter(|&&b| b).count() as f64 / covered.len() as f64
+    }
+}
+
+/// Pad a flat feature vector into a square frame of side `side`, appending
+/// zeros (used to reshape RS130's 357 features into 19×19 = 361).
+///
+/// # Panics
+///
+/// Panics if `features.len() > side * side`.
+pub fn pad_to_frame(features: &[f32], side: usize) -> Vec<f32> {
+    assert!(
+        features.len() <= side * side,
+        "{} features cannot fit a {side}x{side} frame",
+        features.len()
+    );
+    let mut out = vec![0.0_f32; side * side];
+    out[..features.len()].copy_from_slice(features);
+    out
+}
+
+/// The smallest square side that holds `n` features.
+///
+/// ```
+/// use tn_data::blocks::frame_side_for;
+/// assert_eq!(frame_side_for(357), 19); // RS130
+/// assert_eq!(frame_side_for(784), 28); // MNIST
+/// ```
+pub fn frame_side_for(n: usize) -> usize {
+    let mut side = (n as f64).sqrt().floor() as usize;
+    while side * side < n {
+        side += 1;
+    }
+    side
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_mnist_block_counts() {
+        // Table 3 rows: stride 12 → 4 cores; stride 4 → 16; stride 2 → 49.
+        assert_eq!(BlockSpec::new(28, 28, 12).unwrap().block_count(), 4);
+        assert_eq!(BlockSpec::new(28, 28, 4).unwrap().block_count(), 16);
+        assert_eq!(BlockSpec::new(28, 28, 2).unwrap().block_count(), 49);
+    }
+
+    #[test]
+    fn table3_rs130_block_counts() {
+        // RS130 reshaped to 19×19: stride 3 → 4 cores; stride 1 → 16.
+        assert_eq!(BlockSpec::new(19, 19, 3).unwrap().block_count(), 4);
+        assert_eq!(BlockSpec::new(19, 19, 1).unwrap().block_count(), 16);
+    }
+
+    #[test]
+    fn axon_maps_have_core_capacity() {
+        let spec = BlockSpec::new(28, 28, 12).unwrap();
+        let maps = spec.axon_maps();
+        assert_eq!(maps.len(), 4);
+        for map in &maps {
+            assert_eq!(map.len(), 256);
+            assert!(map.iter().all(|&i| i < 28 * 28));
+        }
+    }
+
+    #[test]
+    fn stride12_blocks_anchor_correctly() {
+        let spec = BlockSpec::new(28, 28, 12).unwrap();
+        let maps = spec.axon_maps();
+        // First block starts at pixel 0; second at column 12; third at row 12.
+        assert_eq!(maps[0][0], 0);
+        assert_eq!(maps[1][0], 12);
+        assert_eq!(maps[2][0], 12 * 28);
+        assert_eq!(maps[3][0], 12 * 28 + 12);
+    }
+
+    #[test]
+    fn overlapping_strides_cover_more() {
+        let sparse = BlockSpec::new(28, 28, 12).unwrap();
+        let dense = BlockSpec::new(28, 28, 2).unwrap();
+        assert!(dense.coverage() >= sparse.coverage());
+        assert!(sparse.coverage() > 0.9); // stride 12 still covers 28×28 well
+    }
+
+    #[test]
+    fn zero_stride_rejected() {
+        assert_eq!(
+            BlockSpec::new(28, 28, 0).unwrap_err(),
+            BlockError::ZeroStride
+        );
+    }
+
+    #[test]
+    fn tiny_frame_rejected() {
+        assert!(matches!(
+            BlockSpec::new(8, 28, 1),
+            Err(BlockError::FrameTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn pad_to_frame_appends_zeros() {
+        let padded = pad_to_frame(&[1.0, 2.0], 2);
+        assert_eq!(padded, vec![1.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn pad_to_frame_rejects_overflow() {
+        let _ = pad_to_frame(&[0.0; 10], 3);
+    }
+
+    #[test]
+    fn frame_side_is_minimal() {
+        assert_eq!(frame_side_for(1), 1);
+        assert_eq!(frame_side_for(361), 19);
+        assert_eq!(frame_side_for(362), 20);
+    }
+}

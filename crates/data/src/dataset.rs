@@ -1,0 +1,416 @@
+//! The [`Dataset`] container: flat row-major features plus integer labels.
+//!
+//! Kept dependency-free (plain `Vec<f32>` storage) so every crate in the
+//! workspace can consume it; the `truenorth` crate adapts rows into its
+//! training matrices.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A labeled classification dataset with dense `f32` features in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use tn_data::dataset::Dataset;
+/// let ds = Dataset::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]], vec![0, 1], 2)?;
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.n_features(), 2);
+/// assert_eq!(ds.row(1), &[1.0, 0.0]);
+/// # Ok::<(), tn_data::dataset::DatasetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Vec<f32>,
+    labels: Vec<usize>,
+    n_features: usize,
+    n_classes: usize,
+}
+
+/// Errors from dataset construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// Rows had inconsistent widths.
+    RaggedRows {
+        /// Expected width (from the first row).
+        expected: usize,
+        /// Offending width.
+        found: usize,
+    },
+    /// Feature and label counts differ.
+    LengthMismatch {
+        /// Number of feature rows.
+        rows: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// A label is `≥ n_classes`.
+    LabelOutOfRange {
+        /// Offending label.
+        label: usize,
+        /// Declared class count.
+        n_classes: usize,
+    },
+    /// Requested a split larger than the dataset.
+    SplitTooLarge {
+        /// Requested size.
+        requested: usize,
+        /// Available samples.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::RaggedRows { expected, found } => {
+                write!(f, "ragged rows: expected width {expected}, found {found}")
+            }
+            DatasetError::LengthMismatch { rows, labels } => {
+                write!(f, "feature rows ({rows}) and labels ({labels}) differ")
+            }
+            DatasetError::LabelOutOfRange { label, n_classes } => {
+                write!(f, "label {label} out of range for {n_classes} classes")
+            }
+            DatasetError::SplitTooLarge {
+                requested,
+                available,
+            } => {
+                write!(f, "requested split of {requested} from {available} samples")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl Dataset {
+    /// Build a dataset from per-sample feature rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError`] on ragged rows, mismatched lengths, or
+    /// out-of-range labels.
+    pub fn from_rows(
+        rows: Vec<Vec<f32>>,
+        labels: Vec<usize>,
+        n_classes: usize,
+    ) -> Result<Self, DatasetError> {
+        if rows.len() != labels.len() {
+            return Err(DatasetError::LengthMismatch {
+                rows: rows.len(),
+                labels: labels.len(),
+            });
+        }
+        let n_features = rows.first().map_or(0, |r| r.len());
+        let mut features = Vec::with_capacity(rows.len() * n_features);
+        for r in &rows {
+            if r.len() != n_features {
+                return Err(DatasetError::RaggedRows {
+                    expected: n_features,
+                    found: r.len(),
+                });
+            }
+            features.extend_from_slice(r);
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= n_classes) {
+            return Err(DatasetError::LabelOutOfRange {
+                label: bad,
+                n_classes,
+            });
+        }
+        Ok(Self {
+            features,
+            labels,
+            n_features,
+            n_classes,
+        })
+    }
+
+    /// Build from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError`] if the buffer size is inconsistent or labels
+    /// are invalid.
+    pub fn from_flat(
+        features: Vec<f32>,
+        n_features: usize,
+        labels: Vec<usize>,
+        n_classes: usize,
+    ) -> Result<Self, DatasetError> {
+        if n_features == 0 || features.len() != labels.len() * n_features {
+            return Err(DatasetError::LengthMismatch {
+                rows: features.len().checked_div(n_features).unwrap_or(0),
+                labels: labels.len(),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= n_classes) {
+            return Err(DatasetError::LabelOutOfRange {
+                label: bad,
+                n_classes,
+            });
+        }
+        Ok(Self {
+            features,
+            labels,
+            n_features,
+            n_classes,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Feature row of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert!(i < self.len(), "sample {i} out of range");
+        &self.features[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// Label of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Flat row-major feature buffer.
+    pub fn features(&self) -> &[f32] {
+        &self.features
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Deterministically shuffle samples in place.
+    pub fn shuffle(&mut self, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(&mut rng);
+        self.reorder(&order);
+    }
+
+    fn reorder(&mut self, order: &[usize]) {
+        let mut features = Vec::with_capacity(self.features.len());
+        let mut labels = Vec::with_capacity(self.labels.len());
+        for &i in order {
+            features.extend_from_slice(self.row(i));
+            labels.push(self.labels[i]);
+        }
+        self.features = features;
+        self.labels = labels;
+    }
+
+    /// Take the first `n` samples into a new dataset (after an external
+    /// shuffle if randomness is wanted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::SplitTooLarge`] if `n > len()`.
+    pub fn take(&self, n: usize) -> Result<Dataset, DatasetError> {
+        if n > self.len() {
+            return Err(DatasetError::SplitTooLarge {
+                requested: n,
+                available: self.len(),
+            });
+        }
+        Ok(Dataset {
+            features: self.features[..n * self.n_features].to_vec(),
+            labels: self.labels[..n].to_vec(),
+            n_features: self.n_features,
+            n_classes: self.n_classes,
+        })
+    }
+
+    /// Split into `(front, back)` at sample `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::SplitTooLarge`] if `n > len()`.
+    pub fn split(&self, n: usize) -> Result<(Dataset, Dataset), DatasetError> {
+        if n > self.len() {
+            return Err(DatasetError::SplitTooLarge {
+                requested: n,
+                available: self.len(),
+            });
+        }
+        let front = self.take(n)?;
+        let back = Dataset {
+            features: self.features[n * self.n_features..].to_vec(),
+            labels: self.labels[n..].to_vec(),
+            n_features: self.n_features,
+            n_classes: self.n_classes,
+        };
+        Ok((front, back))
+    }
+
+    /// Minimum and maximum feature values (0,0 for empty).
+    pub fn feature_range(&self) -> (f32, f32) {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &x in &self.features {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        if self.features.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (lo, hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::from_rows(
+            vec![
+                vec![0.0, 0.1],
+                vec![0.2, 0.3],
+                vec![0.4, 0.5],
+                vec![0.6, 0.7],
+            ],
+            vec![0, 1, 0, 1],
+            2,
+        )
+        .expect("valid dataset")
+    }
+
+    #[test]
+    fn accessors() {
+        let ds = sample();
+        assert_eq!(ds.len(), 4);
+        assert_eq!(ds.n_features(), 2);
+        assert_eq!(ds.n_classes(), 2);
+        assert_eq!(ds.row(2), &[0.4, 0.5]);
+        assert_eq!(ds.label(3), 1);
+        assert_eq!(ds.class_counts(), vec![2, 2]);
+    }
+
+    #[test]
+    fn shuffle_is_seeded_permutation() {
+        let mut a = sample();
+        let mut b = sample();
+        a.shuffle(9);
+        b.shuffle(9);
+        assert_eq!(a, b);
+        // Same multiset of labels.
+        let mut la = a.labels().to_vec();
+        la.sort_unstable();
+        assert_eq!(la, vec![0, 0, 1, 1]);
+        // Rows stay attached to their labels: row content determines label
+        // in `sample()` (even first feature digit → label pattern).
+        for i in 0..a.len() {
+            let first = a.row(i)[0];
+            let expected = if first == 0.0 || first == 0.4 { 0 } else { 1 };
+            assert_eq!(a.label(i), expected);
+        }
+    }
+
+    #[test]
+    fn split_preserves_all_samples() {
+        let ds = sample();
+        let (front, back) = ds.split(1).expect("split");
+        assert_eq!(front.len(), 1);
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.row(0), &[0.2, 0.3]);
+    }
+
+    #[test]
+    fn take_too_many_is_error() {
+        let ds = sample();
+        assert!(matches!(
+            ds.take(99),
+            Err(DatasetError::SplitTooLarge {
+                requested: 99,
+                available: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = Dataset::from_rows(vec![vec![0.0], vec![0.0, 1.0]], vec![0, 0], 1).unwrap_err();
+        assert!(matches!(
+            err,
+            DatasetError::RaggedRows {
+                expected: 1,
+                found: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn label_out_of_range_rejected() {
+        let err = Dataset::from_rows(vec![vec![0.0]], vec![7], 3).unwrap_err();
+        assert!(matches!(
+            err,
+            DatasetError::LabelOutOfRange {
+                label: 7,
+                n_classes: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn from_flat_checks_sizes() {
+        assert!(Dataset::from_flat(vec![0.0; 6], 2, vec![0, 0, 0], 1).is_ok());
+        assert!(Dataset::from_flat(vec![0.0; 5], 2, vec![0, 0, 0], 1).is_err());
+        assert!(Dataset::from_flat(vec![], 0, vec![], 1).is_err());
+    }
+
+    #[test]
+    fn feature_range_reports_extremes() {
+        let ds = sample();
+        assert_eq!(ds.feature_range(), (0.0, 0.7));
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let e = DatasetError::SplitTooLarge {
+            requested: 5,
+            available: 2,
+        };
+        assert!(e.to_string().contains("5"));
+        assert!(e.to_string().contains("2"));
+    }
+}

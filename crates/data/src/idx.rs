@@ -1,0 +1,259 @@
+//! Reader/writer for the IDX binary format used by the real MNIST
+//! distribution.
+//!
+//! The reproduction ships a synthetic MNIST substitute, but users who have
+//! the original `train-images-idx3-ubyte` / `train-labels-idx1-ubyte` files
+//! can load them through this module and run every experiment on real data.
+
+use crate::dataset::{Dataset, DatasetError};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// IDX magic data-type code for unsigned bytes.
+const TYPE_U8: u8 = 0x08;
+
+/// Errors from IDX parsing.
+#[derive(Debug)]
+pub enum IdxError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The magic number is malformed.
+    BadMagic {
+        /// The four magic bytes read.
+        magic: [u8; 4],
+    },
+    /// Only `u8` element data is supported.
+    UnsupportedType {
+        /// Type code found in the header.
+        type_code: u8,
+    },
+    /// Dimension count outside 1..=3.
+    UnsupportedRank {
+        /// Rank found in the header.
+        rank: u8,
+    },
+    /// Images and labels disagree.
+    Dataset(DatasetError),
+}
+
+impl fmt::Display for IdxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdxError::Io(e) => write!(f, "i/o error: {e}"),
+            IdxError::BadMagic { magic } => write!(f, "bad IDX magic {magic:02x?}"),
+            IdxError::UnsupportedType { type_code } => {
+                write!(f, "unsupported IDX element type 0x{type_code:02x}")
+            }
+            IdxError::UnsupportedRank { rank } => write!(f, "unsupported IDX rank {rank}"),
+            IdxError::Dataset(e) => write!(f, "inconsistent dataset: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IdxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IdxError::Io(e) => Some(e),
+            IdxError::Dataset(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for IdxError {
+    fn from(e: io::Error) -> Self {
+        IdxError::Io(e)
+    }
+}
+
+impl From<DatasetError> for IdxError {
+    fn from(e: DatasetError) -> Self {
+        IdxError::Dataset(e)
+    }
+}
+
+/// A parsed IDX tensor of unsigned bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdxTensor {
+    /// Dimension sizes (1 to 3 dims supported).
+    pub dims: Vec<usize>,
+    /// Flat element data.
+    pub data: Vec<u8>,
+}
+
+impl IdxTensor {
+    /// Number of records (size of the first dimension).
+    pub fn records(&self) -> usize {
+        self.dims.first().copied().unwrap_or(0)
+    }
+
+    /// Elements per record.
+    pub fn record_len(&self) -> usize {
+        self.dims.iter().skip(1).product::<usize>().max(1)
+    }
+}
+
+/// Read an IDX tensor from any reader (pass `&mut file` for files).
+///
+/// # Errors
+///
+/// Returns [`IdxError`] on I/O failure or a malformed header.
+pub fn read_idx<R: Read>(mut reader: R) -> Result<IdxTensor, IdxError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if magic[0] != 0 || magic[1] != 0 {
+        return Err(IdxError::BadMagic { magic });
+    }
+    if magic[2] != TYPE_U8 {
+        return Err(IdxError::UnsupportedType {
+            type_code: magic[2],
+        });
+    }
+    let rank = magic[3];
+    if !(1..=3).contains(&rank) {
+        return Err(IdxError::UnsupportedRank { rank });
+    }
+    let mut dims = Vec::with_capacity(rank as usize);
+    for _ in 0..rank {
+        let mut b = [0u8; 4];
+        reader.read_exact(&mut b)?;
+        dims.push(u32::from_be_bytes(b) as usize);
+    }
+    let total: usize = dims.iter().product();
+    let mut data = vec![0u8; total];
+    reader.read_exact(&mut data)?;
+    Ok(IdxTensor { dims, data })
+}
+
+/// Write an IDX tensor of unsigned bytes.
+///
+/// # Errors
+///
+/// Returns [`IdxError::Io`] on write failure.
+pub fn write_idx<W: Write>(mut writer: W, tensor: &IdxTensor) -> Result<(), IdxError> {
+    let rank = tensor.dims.len() as u8;
+    writer.write_all(&[0, 0, TYPE_U8, rank])?;
+    for &d in &tensor.dims {
+        writer.write_all(&(d as u32).to_be_bytes())?;
+    }
+    writer.write_all(&tensor.data)?;
+    Ok(())
+}
+
+/// Combine an images tensor and a labels tensor into a [`Dataset`], scaling
+/// pixels into `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`IdxError::Dataset`] if record counts disagree or labels exceed
+/// `n_classes`.
+pub fn to_dataset(
+    images: &IdxTensor,
+    labels: &IdxTensor,
+    n_classes: usize,
+) -> Result<Dataset, IdxError> {
+    let features: Vec<f32> = images.data.iter().map(|&b| b as f32 / 255.0).collect();
+    let labels: Vec<usize> = labels.data.iter().map(|&b| b as usize).collect();
+    Ok(Dataset::from_flat(
+        features,
+        images.record_len(),
+        labels,
+        n_classes,
+    )?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn tiny_images() -> IdxTensor {
+        IdxTensor {
+            dims: vec![2, 2, 2],
+            data: vec![0, 255, 128, 64, 255, 0, 32, 16],
+        }
+    }
+
+    fn tiny_labels() -> IdxTensor {
+        IdxTensor {
+            dims: vec![2],
+            data: vec![1, 0],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_tensor() {
+        let t = tiny_images();
+        let mut buf = Vec::new();
+        write_idx(&mut buf, &t).expect("write");
+        let back = read_idx(Cursor::new(buf)).expect("read");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn record_geometry() {
+        let t = tiny_images();
+        assert_eq!(t.records(), 2);
+        assert_eq!(t.record_len(), 4);
+        assert_eq!(tiny_labels().record_len(), 1);
+    }
+
+    #[test]
+    fn to_dataset_scales_pixels() {
+        let ds = to_dataset(&tiny_images(), &tiny_labels(), 2).expect("dataset");
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.n_features(), 4);
+        assert!((ds.row(0)[1] - 1.0).abs() < 1e-6);
+        assert!((ds.row(0)[3] - 64.0 / 255.0).abs() < 1e-6);
+        assert_eq!(ds.label(0), 1);
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let buf = vec![1, 0, TYPE_U8, 1, 0, 0, 0, 0];
+        assert!(matches!(
+            read_idx(Cursor::new(buf)),
+            Err(IdxError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn unsupported_type_detected() {
+        let buf = vec![0, 0, 0x0D, 1, 0, 0, 0, 0];
+        assert!(matches!(
+            read_idx(Cursor::new(buf)),
+            Err(IdxError::UnsupportedType { type_code: 0x0D })
+        ));
+    }
+
+    #[test]
+    fn unsupported_rank_detected() {
+        let buf = vec![0, 0, TYPE_U8, 4];
+        assert!(matches!(
+            read_idx(Cursor::new(buf)),
+            Err(IdxError::UnsupportedRank { rank: 4 })
+        ));
+    }
+
+    #[test]
+    fn truncated_data_is_io_error() {
+        let t = tiny_images();
+        let mut buf = Vec::new();
+        write_idx(&mut buf, &t).expect("write");
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(read_idx(Cursor::new(buf)), Err(IdxError::Io(_))));
+    }
+
+    #[test]
+    fn mismatched_labels_rejected() {
+        let images = tiny_images();
+        let labels = IdxTensor {
+            dims: vec![3],
+            data: vec![0, 1, 0],
+        };
+        assert!(matches!(
+            to_dataset(&images, &labels, 2),
+            Err(IdxError::Dataset(_))
+        ));
+    }
+}

@@ -1,0 +1,44 @@
+//! # tn-data — datasets for the TrueNorth reproduction
+//!
+//! Provides the two evaluation datasets of Wen et al. (DAC 2016), Table 1:
+//!
+//! * [`mnist_synth`] — a deterministic synthetic substitute for MNIST
+//!   (28×28 grayscale digits, 10 classes). A loader for real MNIST IDX
+//!   files is in [`idx`] for users who have the originals.
+//! * [`rs130_synth`] — a synthetic substitute for the RS130 protein
+//!   secondary-structure dataset (357 one-hot features, 3 classes),
+//!   generated from a 3-state Markov model with Chou–Fasman-style residue
+//!   propensities.
+//!
+//! [`ascii`] renders frames in the terminal; [`blocks`] implements the 16×16 block-to-core mapping ("block stride" in
+//! the paper's Table 3), and [`dataset`] the shared container type.
+//!
+//! ```
+//! use tn_data::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ds = tn_data::mnist_synth::generate(100, 42, &MnistSynthConfig::default());
+//! let spec = BlockSpec::new(28, 28, 12)?; // test bench 1 wiring
+//! assert_eq!(spec.block_count(), 4);      // the 4 cores of Fig. 3
+//! assert_eq!(ds.n_features(), 784);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ascii;
+pub mod blocks;
+pub mod dataset;
+pub mod idx;
+pub mod mnist_synth;
+pub mod rs130_synth;
+
+/// Convenient glob-import of the commonly used types.
+pub mod prelude {
+    pub use crate::blocks::{frame_side_for, pad_to_frame, BlockSpec, BLOCK_SIDE};
+    pub use crate::dataset::{Dataset, DatasetError};
+    pub use crate::mnist_synth::MnistSynthConfig;
+    pub use crate::rs130_synth::Rs130SynthConfig;
+}

@@ -1,0 +1,278 @@
+//! Activation functions, including the Tea activation of Eq. (11).
+//!
+//! The Tea activation is the key piece of TrueNorth-compatible training: a
+//! deployed McCulloch-Pitts neuron spikes when its stochastic weighted sum
+//! `y'` is non-negative, and by the central limit theorem
+//! `P(y' ≥ 0) = Φ(µ_y'/σ_y')` (Eq. 10-11). Training therefore uses the
+//! Gaussian CDF of the *mean-to-deviation ratio* as a differentiable
+//! activation, with gradients flowing through both µ and σ.
+
+use crate::math::{normal_cdf_f32, normal_pdf_f32};
+use serde::{Deserialize, Serialize};
+
+/// Lower clamp applied to σ so the ratio µ/σ stays finite even when every
+/// connectivity probability saturates to a pole (zero variance).
+pub const SIGMA_FLOOR: f32 = 1e-3;
+
+/// Classic element-wise activations for conventional (non-TrueNorth) layers,
+/// used by the paper's §3.3 L1-sparsity experiment on a float MLP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Identity (linear layer).
+    Identity,
+    /// Logistic sigmoid `1/(1+e^{-x})`.
+    Sigmoid,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Apply the activation to a single pre-activation value.
+    ///
+    /// ```
+    /// use tn_learn::activation::Activation;
+    /// assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+    /// assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-6);
+    /// ```
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => x,
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* `y = apply(x)`.
+    ///
+    /// All four activations admit this form, which lets backprop avoid
+    /// storing pre-activations.
+    pub fn derivative_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+        }
+    }
+}
+
+/// Output of a [`TeaActivation`] forward pass for one neuron.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TeaForward {
+    /// Spike probability `z = Φ(µ/σ)`.
+    pub z: f32,
+    /// Clamped deviation σ actually used.
+    pub sigma: f32,
+    /// Ratio `u = µ/σ`.
+    pub u: f32,
+}
+
+/// Gradients of `z = Φ(µ/σ)` with respect to µ and σ².
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TeaGrad {
+    /// `∂z/∂µ = φ(u)/σ`.
+    pub dz_dmu: f32,
+    /// `∂z/∂σ² = −φ(u)·µ/(2σ³)`.
+    pub dz_dvar: f32,
+}
+
+/// The Tea activation `z = Φ(µ/σ)` (Eq. 11) with analytic gradients.
+///
+/// When `variance_aware` is `false` the deviation is pinned to
+/// `fixed_sigma`, reducing the activation to a plain probit with a constant
+/// temperature; this is the ablation knob for "does training through σ
+/// matter?" (see DESIGN.md §7.1).
+///
+/// # Examples
+///
+/// ```
+/// use tn_learn::activation::TeaActivation;
+/// let act = TeaActivation::new();
+/// let fwd = act.forward(-0.5, 1.0);
+/// assert!((fwd.z - 0.5).abs() < 1e-6); // lattice-corrected midpoint
+/// let fwd = act.forward(5.0, 0.01);
+/// assert!(fwd.z > 0.999); // strong certain input: always spikes
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TeaActivation {
+    /// Whether σ is computed from the synaptic/spike variance (true) or
+    /// pinned to `fixed_sigma` (ablation).
+    pub variance_aware: bool,
+    /// Deviation used when `variance_aware` is false.
+    pub fixed_sigma: f32,
+    /// Lattice continuity correction added to µ. The deployed sum `y'` is
+    /// integer-valued (±1 synapses) and the neuron fires when `y' ≥ 0`
+    /// (Eq. 4), i.e. when the lattice variable exceeds −1; the half-integer
+    /// correction `Φ((µ + ½)/σ)` aligns the Gaussian tail with that
+    /// lattice. Without it, training systematically underestimates the
+    /// firing rate of small-µ neurons and the deployed model drifts from
+    /// the trained one.
+    pub continuity_correction: f32,
+}
+
+impl Default for TeaActivation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TeaActivation {
+    /// Canonical variance-aware Tea activation with the half-integer
+    /// lattice correction.
+    pub fn new() -> Self {
+        Self {
+            variance_aware: true,
+            fixed_sigma: 1.0,
+            continuity_correction: 0.5,
+        }
+    }
+
+    /// Ablation variant with σ pinned to `sigma`.
+    pub fn fixed(sigma: f32) -> Self {
+        Self {
+            variance_aware: false,
+            fixed_sigma: sigma.max(SIGMA_FLOOR),
+            continuity_correction: 0.5,
+        }
+    }
+
+    /// The textbook Eq. 11 without the lattice correction (ablation).
+    pub fn uncorrected() -> Self {
+        Self {
+            variance_aware: true,
+            fixed_sigma: 1.0,
+            continuity_correction: 0.0,
+        }
+    }
+
+    /// Forward pass: spike probability from mean µ and variance σ².
+    ///
+    /// σ is clamped to [`SIGMA_FLOOR`] so saturated (deterministic) neurons
+    /// stay differentiable.
+    pub fn forward(&self, mu: f32, var: f32) -> TeaForward {
+        let sigma = if self.variance_aware {
+            var.max(0.0).sqrt().max(SIGMA_FLOOR)
+        } else {
+            self.fixed_sigma
+        };
+        let u = (mu + self.continuity_correction) / sigma;
+        TeaForward {
+            z: normal_cdf_f32(u),
+            sigma,
+            u,
+        }
+    }
+
+    /// Gradients at a previously computed forward point.
+    ///
+    /// When not variance-aware, `dz_dvar` is 0 (σ is a constant).
+    pub fn gradients(&self, fwd: &TeaForward, mu: f32) -> TeaGrad {
+        let pdf = normal_pdf_f32(fwd.u);
+        let dz_dmu = pdf / fwd.sigma;
+        let dz_dvar = if self.variance_aware {
+            // dσ/dσ² = 1/(2σ); dz/dσ = −φ(u)·(µ+c)/σ².
+            -pdf * (mu + self.continuity_correction) / (2.0 * fwd.sigma * fwd.sigma * fwd.sigma)
+        } else {
+            0.0
+        };
+        TeaGrad { dz_dmu, dz_dvar }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_activations_apply() {
+        assert_eq!(Activation::Identity.apply(2.5), 2.5);
+        assert_eq!(Activation::Relu.apply(2.5), 2.5);
+        assert_eq!(Activation::Relu.apply(-2.5), 0.0);
+        assert!((Activation::Tanh.apply(0.0)).abs() < 1e-7);
+        assert!(Activation::Sigmoid.apply(10.0) > 0.99);
+    }
+
+    #[test]
+    fn classic_derivatives_match_numeric() {
+        let h = 1e-3_f32;
+        for act in [Activation::Identity, Activation::Sigmoid, Activation::Tanh] {
+            for x in [-1.5_f32, -0.3, 0.2, 1.1] {
+                let y = act.apply(x);
+                let num = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
+                let ana = act.derivative_from_output(y);
+                assert!((num - ana).abs() < 1e-2, "{act:?} at {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn tea_forward_is_probability() {
+        let act = TeaActivation::new();
+        for mu in [-3.0_f32, -0.5, 0.0, 0.7, 4.0] {
+            for var in [0.0_f32, 0.1, 1.0, 25.0] {
+                let f = act.forward(mu, var);
+                assert!((0.0..=1.0).contains(&f.z), "z out of range: {f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tea_zero_variance_becomes_step_function() {
+        // With the lattice correction the step sits at µ = −0.5 (firing on
+        // integer sums ≥ 0 means the continuous threshold is −0.5).
+        let act = TeaActivation::new();
+        assert!(act.forward(0.0, 0.0).z > 0.999_9);
+        assert!(act.forward(-1.0, 0.0).z < 1e-4);
+    }
+
+    #[test]
+    fn tea_more_variance_pulls_probability_to_half() {
+        let act = TeaActivation::new();
+        let tight = act.forward(1.0, 0.1).z;
+        let loose = act.forward(1.0, 10.0).z;
+        assert!(tight > loose);
+        assert!(loose > 0.5);
+    }
+
+    #[test]
+    fn tea_gradients_match_numeric() {
+        let act = TeaActivation::new();
+        let h = 1e-3_f32;
+        for (mu, var) in [(0.3_f32, 0.5_f32), (-1.2, 1.3), (2.0, 0.2), (0.0, 1.0)] {
+            let fwd = act.forward(mu, var);
+            let g = act.gradients(&fwd, mu);
+            let num_mu = (act.forward(mu + h, var).z - act.forward(mu - h, var).z) / (2.0 * h);
+            let num_var = (act.forward(mu, var + h).z - act.forward(mu, var - h).z) / (2.0 * h);
+            assert!((g.dz_dmu - num_mu).abs() < 1e-2, "dz/dµ at ({mu},{var})");
+            assert!((g.dz_dvar - num_var).abs() < 1e-2, "dz/dσ² at ({mu},{var})");
+        }
+    }
+
+    #[test]
+    fn fixed_sigma_ablation_ignores_variance() {
+        let act = TeaActivation::fixed(1.0);
+        let a = act.forward(0.7, 0.01);
+        let b = act.forward(0.7, 9.0);
+        assert_eq!(a.z, b.z);
+        assert_eq!(act.gradients(&a, 0.7).dz_dvar, 0.0);
+    }
+
+    #[test]
+    fn sigma_floor_prevents_division_blowup() {
+        let act = TeaActivation::new();
+        let f = act.forward(1e-6, 0.0);
+        assert!(f.sigma >= SIGMA_FLOOR);
+        assert!(f.z.is_finite());
+        let g = act.gradients(&f, 1e-6);
+        assert!(g.dz_dmu.is_finite() && g.dz_dvar.is_finite());
+    }
+}

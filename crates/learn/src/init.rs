@@ -1,0 +1,133 @@
+//! Seeded weight initializers.
+//!
+//! Tea learning trains connectivity probabilities `p = |w|` with `w ∈ [−1, 1]`
+//! (see the crate docs), so initializers here produce values already inside
+//! that box. All initializers are deterministic given a seed, which the
+//! experiment harness relies on for the paper's "averaged over ten results"
+//! style repetition.
+
+use crate::matrix::Matrix;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Weight initialization scheme.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum Init {
+    /// All zeros (useful for biases).
+    Zeros,
+    /// Every element set to the given constant.
+    Constant(f32),
+    /// Uniform in `[-limit, limit]`.
+    Uniform {
+        /// Half-width of the symmetric interval.
+        limit: f32,
+    },
+    /// Xavier/Glorot uniform: `limit = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// Xavier scaled into the TrueNorth box `[-1, 1]` and clipped.
+    #[default]
+    TrueNorthXavier,
+}
+
+impl Init {
+    /// Materialize a `fan_in × fan_out` weight matrix.
+    ///
+    /// `fan_in` is the row count (one row per input/axon), `fan_out` the
+    /// column count (one column per output neuron).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tn_learn::init::Init;
+    /// let w = Init::XavierUniform.materialize(256, 256, 42);
+    /// assert_eq!(w.shape(), (256, 256));
+    /// let limit = (6.0_f32 / 512.0).sqrt();
+    /// assert!(w.as_slice().iter().all(|&x| x.abs() <= limit));
+    /// ```
+    pub fn materialize(self, fan_in: usize, fan_out: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self {
+            Init::Zeros => Matrix::zeros(fan_in, fan_out),
+            Init::Constant(c) => Matrix::filled(fan_in, fan_out, c),
+            Init::Uniform { limit } => sample_uniform(fan_in, fan_out, limit.abs(), &mut rng),
+            Init::XavierUniform => {
+                let limit = xavier_limit(fan_in, fan_out);
+                sample_uniform(fan_in, fan_out, limit, &mut rng)
+            }
+            Init::TrueNorthXavier => {
+                let limit = xavier_limit(fan_in, fan_out).min(1.0);
+                let mut m = sample_uniform(fan_in, fan_out, limit, &mut rng);
+                m.clamp_in_place(-1.0, 1.0);
+                m
+            }
+        }
+    }
+}
+
+fn xavier_limit(fan_in: usize, fan_out: usize) -> f32 {
+    let denom = (fan_in + fan_out).max(1) as f32;
+    (6.0 / denom).sqrt()
+}
+
+fn sample_uniform(rows: usize, cols: usize, limit: f32, rng: &mut StdRng) -> Matrix {
+    if limit == 0.0 {
+        return Matrix::zeros(rows, cols);
+    }
+    let dist = Uniform::new_inclusive(-limit, limit);
+    let data = (0..rows * cols).map(|_| dist.sample(rng)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_weights() {
+        let a = Init::XavierUniform.materialize(16, 8, 7);
+        let b = Init::XavierUniform.materialize(16, 8, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_weights() {
+        let a = Init::XavierUniform.materialize(16, 8, 7);
+        let b = Init::XavierUniform.materialize(16, 8, 8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zeros_and_constant() {
+        assert!(Init::Zeros
+            .materialize(3, 3, 0)
+            .as_slice()
+            .iter()
+            .all(|&x| x == 0.0));
+        assert!(Init::Constant(0.25)
+            .materialize(3, 3, 0)
+            .as_slice()
+            .iter()
+            .all(|&x| x == 0.25));
+    }
+
+    #[test]
+    fn truenorth_xavier_stays_in_unit_box() {
+        let w = Init::TrueNorthXavier.materialize(4, 2, 3);
+        assert!(w.as_slice().iter().all(|&x| (-1.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn xavier_limit_shrinks_with_fan() {
+        let small = Init::XavierUniform.materialize(8, 8, 1);
+        let large = Init::XavierUniform.materialize(512, 512, 1);
+        assert!(small.max_abs() > large.max_abs());
+    }
+
+    #[test]
+    fn uniform_respects_custom_limit() {
+        let w = Init::Uniform { limit: 0.1 }.materialize(32, 32, 5);
+        assert!(w.max_abs() <= 0.1);
+        assert!(w.max_abs() > 0.0);
+    }
+}

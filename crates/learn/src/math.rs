@@ -1,0 +1,245 @@
+//! Scalar special functions used by the Tea activation (Eq. 11 of the paper).
+//!
+//! The paper's differentiable activation is the Gaussian CDF
+//! `z = P(y' ≥ 0) = ½(1 + erf(µ/(σ√2)))`, so training needs `erf`, the
+//! standard-normal PDF `φ`, and CDF `Φ`. Rust's standard library does not
+//! provide `erf`; we implement the Abramowitz–Stegun 7.1.26 rational
+//! approximation, whose absolute error is below `1.5e-7` — far below the
+//! noise floor of stochastic spiking inference.
+
+/// Maximum absolute error of [`erf`] (Abramowitz–Stegun 7.1.26 bound).
+pub const ERF_MAX_ABS_ERROR: f64 = 1.5e-7;
+
+/// Error function `erf(x) = 2/√π ∫₀ˣ e^(−t²) dt`.
+///
+/// Uses the Abramowitz–Stegun 7.1.26 rational approximation with the odd
+/// symmetry `erf(−x) = −erf(x)`.
+///
+/// # Examples
+///
+/// ```
+/// use tn_learn::math::erf;
+/// assert!((erf(0.0)).abs() < 1e-8);
+/// assert!((erf(1.0) - 0.8427007929).abs() < 2e-7);
+/// assert!((erf(-1.0) + 0.8427007929).abs() < 2e-7);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    // A&S 7.1.26 coefficients.
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Complementary error function `erfc(x) = 1 − erf(x)`.
+///
+/// ```
+/// use tn_learn::math::{erf, erfc};
+/// let x = 0.7;
+/// assert!((erfc(x) - (1.0 - erf(x))).abs() < 1e-12);
+/// ```
+pub fn erfc(x: f64) -> f64 {
+    1.0 - erf(x)
+}
+
+/// Standard normal probability density `φ(x) = e^(−x²/2)/√(2π)`.
+///
+/// ```
+/// use tn_learn::math::normal_pdf;
+/// assert!((normal_pdf(0.0) - 0.3989422804014327).abs() < 1e-12);
+/// ```
+pub fn normal_pdf(x: f64) -> f64 {
+    const INV_SQRT_2PI: f64 = 0.3989422804014327;
+    INV_SQRT_2PI * (-0.5 * x * x).exp()
+}
+
+/// Standard normal cumulative distribution `Φ(x) = ½(1 + erf(x/√2))`.
+///
+/// This is exactly the paper's Eq. (11) spike probability with `x = µ/σ`.
+///
+/// ```
+/// use tn_learn::math::normal_cdf;
+/// assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+/// assert!(normal_cdf(5.0) > 0.999_999);
+/// assert!(normal_cdf(-5.0) < 1e-6);
+/// ```
+pub fn normal_cdf(x: f64) -> f64 {
+    const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+    0.5 * (1.0 + erf(x * FRAC_1_SQRT_2))
+}
+
+/// Single-precision convenience wrapper over [`erf`].
+pub fn erf_f32(x: f32) -> f32 {
+    erf(x as f64) as f32
+}
+
+/// Single-precision convenience wrapper over [`normal_pdf`].
+pub fn normal_pdf_f32(x: f32) -> f32 {
+    normal_pdf(x as f64) as f32
+}
+
+/// Single-precision convenience wrapper over [`normal_cdf`].
+pub fn normal_cdf_f32(x: f32) -> f32 {
+    normal_cdf(x as f64) as f32
+}
+
+/// Numerically stable `log(Σ exp(x_i))` over a slice.
+///
+/// Used by the softmax cross-entropy loss. Returns `f32::NEG_INFINITY` for an
+/// empty slice.
+///
+/// ```
+/// use tn_learn::math::log_sum_exp;
+/// let v = [1.0_f32, 2.0, 3.0];
+/// let lse = log_sum_exp(&v);
+/// let direct = (1f32.exp() + 2f32.exp() + 3f32.exp()).ln();
+/// assert!((lse - direct).abs() < 1e-5);
+/// ```
+pub fn log_sum_exp(xs: &[f32]) -> f32 {
+    let m = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if !m.is_finite() {
+        return m;
+    }
+    let s: f32 = xs.iter().map(|&x| (x - m).exp()).sum();
+    m + s.ln()
+}
+
+/// In-place numerically stable softmax.
+///
+/// ```
+/// use tn_learn::math::softmax_in_place;
+/// let mut v = [0.0_f32, 0.0, 0.0];
+/// softmax_in_place(&mut v);
+/// assert!(v.iter().all(|&p| (p - 1.0 / 3.0).abs() < 1e-6));
+/// ```
+pub fn softmax_in_place(xs: &mut [f32]) {
+    if xs.is_empty() {
+        return;
+    }
+    let m = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0_f32;
+    for x in xs.iter_mut() {
+        *x = (*x - m).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in xs.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// High-precision erf reference values (from standard tables).
+    const ERF_TABLE: &[(f64, f64)] = &[
+        (0.0, 0.0),
+        (0.1, 0.1124629160),
+        (0.5, 0.5204998778),
+        (1.0, 0.8427007929),
+        (1.5, 0.9661051465),
+        (2.0, 0.9953222650),
+        (3.0, 0.9999779095),
+    ];
+
+    #[test]
+    fn erf_matches_reference_table() {
+        for &(x, want) in ERF_TABLE {
+            let got = erf(x);
+            assert!(
+                (got - want).abs() <= ERF_MAX_ABS_ERROR * 2.0,
+                "erf({x}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn erf_is_odd() {
+        // The A&S polynomial leaves a ~1e-9 residue at 0; the sign-flip
+        // construction makes the approximation odd to that same precision.
+        for i in 0..100 {
+            let x = (i as f64) * 0.05;
+            assert!((erf(x) + erf(-x)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn erf_is_monotone_and_bounded() {
+        // Strictly monotone in the non-saturated range; ties allowed once
+        // exp(−x²) underflows in the tails.
+        let mut prev = -1.1;
+        for i in -50..=50 {
+            let x = (i as f64) * 0.1;
+            let y = erf(x);
+            assert!(y > prev, "erf not monotone at {x}");
+            assert!((-1.0..=1.0).contains(&y));
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn erf_saturates_at_tails() {
+        assert!((erf(6.0) - 1.0).abs() < 1e-9);
+        assert!((erf(-6.0) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_cdf_complementary_symmetry() {
+        for i in 0..60 {
+            let x = (i as f64) * 0.1;
+            assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn normal_pdf_is_derivative_of_cdf() {
+        // Central difference check of dΦ/dx = φ.
+        let h = 1e-5;
+        for i in -30..=30 {
+            let x = (i as f64) * 0.1;
+            let num = (normal_cdf(x + h) - normal_cdf(x - h)) / (2.0 * h);
+            assert!(
+                (num - normal_pdf(x)).abs() < 1e-2,
+                "pdf/cdf mismatch at {x}: num {num} vs pdf {}",
+                normal_pdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn log_sum_exp_handles_large_values() {
+        let v = [1000.0_f32, 1000.0];
+        let lse = log_sum_exp(&v);
+        assert!((lse - (1000.0 + 2f32.ln())).abs() < 1e-3);
+    }
+
+    #[test]
+    fn log_sum_exp_empty_is_neg_infinity() {
+        assert_eq!(log_sum_exp(&[]), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let mut v = [1.0_f32, 3.0, 2.0];
+        softmax_in_place(&mut v);
+        let s: f32 = v.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert!(v[1] > v[2] && v[2] > v[0]);
+    }
+
+    #[test]
+    fn softmax_of_empty_is_noop() {
+        let mut v: [f32; 0] = [];
+        softmax_in_place(&mut v);
+    }
+}

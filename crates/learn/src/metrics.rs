@@ -1,0 +1,192 @@
+//! Classification metrics: accuracy, confusion matrix, per-class recall.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A `K × K` confusion matrix (rows: true class, columns: predicted class).
+///
+/// # Examples
+///
+/// ```
+/// use tn_learn::metrics::ConfusionMatrix;
+/// let mut cm = ConfusionMatrix::new(2);
+/// cm.record(0, 0);
+/// cm.record(0, 1);
+/// cm.record(1, 1);
+/// assert_eq!(cm.total(), 3);
+/// assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-6);
+/// assert!((cm.recall(0) - 0.5).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Empty confusion matrix for `n_classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_classes == 0`.
+    pub fn new(n_classes: usize) -> Self {
+        assert!(n_classes > 0, "need at least one class");
+        Self {
+            n_classes,
+            counts: vec![0; n_classes * n_classes],
+        }
+    }
+
+    /// Record one (true, predicted) observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either class index is out of range.
+    pub fn record(&mut self, truth: usize, pred: usize) {
+        assert!(
+            truth < self.n_classes && pred < self.n_classes,
+            "class out of range"
+        );
+        self.counts[truth * self.n_classes + pred] += 1;
+    }
+
+    /// Record a batch of predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slices differ in length.
+    pub fn record_batch(&mut self, truths: &[usize], preds: &[usize]) {
+        assert_eq!(truths.len(), preds.len(), "batch length mismatch");
+        for (&t, &p) in truths.iter().zip(preds) {
+            self.record(t, p);
+        }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Count at `(truth, pred)`.
+    pub fn count(&self, truth: usize, pred: usize) -> u64 {
+        self.counts[truth * self.n_classes + pred]
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.n_classes).map(|c| self.count(c, c)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Recall (true-positive rate) for class `c`; 0 if the class never
+    /// appears.
+    pub fn recall(&self, c: usize) -> f64 {
+        let row: u64 = (0..self.n_classes).map(|p| self.count(c, p)).sum();
+        if row == 0 {
+            return 0.0;
+        }
+        self.count(c, c) as f64 / row as f64
+    }
+
+    /// Precision for class `c`; 0 if the class is never predicted.
+    pub fn precision(&self, c: usize) -> f64 {
+        let col: u64 = (0..self.n_classes).map(|t| self.count(t, c)).sum();
+        if col == 0 {
+            return 0.0;
+        }
+        self.count(c, c) as f64 / col as f64
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "confusion ({} classes, {} samples):",
+            self.n_classes,
+            self.total()
+        )?;
+        for t in 0..self.n_classes {
+            write!(f, "  t{t}:")?;
+            for p in 0..self.n_classes {
+                write!(f, " {:6}", self.count(t, p))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-epoch training telemetry emitted by the trainer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// Mean data loss over the epoch.
+    pub train_loss: f32,
+    /// Penalty term value at epoch end.
+    pub penalty_loss: f32,
+    /// Training accuracy over the epoch.
+    pub train_accuracy: f32,
+    /// Held-out accuracy (if an eval set was supplied).
+    pub eval_accuracy: Option<f32>,
+    /// Learning rate used this epoch.
+    pub learning_rate: f32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_has_zero_accuracy() {
+        let cm = ConfusionMatrix::new(3);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.total(), 0);
+    }
+
+    #[test]
+    fn perfect_predictions_are_100_percent() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record_batch(&[0, 1, 0, 1], &[0, 1, 0, 1]);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.recall(0), 1.0);
+        assert_eq!(cm.precision(1), 1.0);
+    }
+
+    #[test]
+    fn precision_recall_asymmetry() {
+        let mut cm = ConfusionMatrix::new(2);
+        // Class 1 is always predicted as 0.
+        cm.record_batch(&[1, 1, 0], &[0, 0, 0]);
+        assert_eq!(cm.recall(1), 0.0);
+        assert_eq!(cm.recall(0), 1.0);
+        assert!((cm.precision(0) - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(cm.precision(1), 0.0);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 1);
+        let s = cm.to_string();
+        assert!(s.contains("2 classes"));
+        assert!(s.contains('1'));
+    }
+
+    #[test]
+    #[should_panic(expected = "class out of range")]
+    fn record_rejects_bad_class() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 2);
+    }
+}

@@ -1,0 +1,223 @@
+//! Stochastic gradient descent with momentum and learning-rate schedules.
+//!
+//! The paper trains in Caffe with plain SGD; we reproduce that with optional
+//! classical momentum and a step-decay schedule. Velocity buffers are shaped
+//! like [`LayerGrads`] so the optimizer works for both dense and TrueNorth
+//! layers.
+
+use crate::layer::{Layer, LayerGrads};
+use serde::{Deserialize, Serialize};
+
+/// Learning-rate schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply the rate by `gamma` every `every` epochs.
+    StepDecay {
+        /// Decay factor in `(0, 1]`.
+        gamma: f32,
+        /// Epoch interval between decays.
+        every: usize,
+    },
+    /// `lr / (1 + k·epoch)` inverse decay.
+    InverseDecay {
+        /// Decay speed `k ≥ 0`.
+        k: f32,
+    },
+}
+
+impl LrSchedule {
+    /// Effective learning rate at `epoch` (0-based) given the base rate.
+    ///
+    /// ```
+    /// use tn_learn::optimizer::LrSchedule;
+    /// let s = LrSchedule::StepDecay { gamma: 0.5, every: 2 };
+    /// assert_eq!(s.rate_at(0, 0.1), 0.1);
+    /// assert_eq!(s.rate_at(2, 0.1), 0.05);
+    /// assert_eq!(s.rate_at(4, 0.1), 0.025);
+    /// ```
+    pub fn rate_at(&self, epoch: usize, base: f32) -> f32 {
+        match *self {
+            LrSchedule::Constant => base,
+            LrSchedule::StepDecay { gamma, every } => {
+                let steps = epoch.checked_div(every).unwrap_or(0);
+                base * gamma.powi(steps as i32)
+            }
+            LrSchedule::InverseDecay { k } => base / (1.0 + k * epoch as f32),
+        }
+    }
+}
+
+/// SGD hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SgdConfig {
+    /// Base learning rate.
+    pub learning_rate: f32,
+    /// Classical momentum coefficient in `[0, 1)`.
+    pub momentum: f32,
+    /// Learning-rate schedule.
+    pub schedule: LrSchedule,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.1,
+            momentum: 0.9,
+            schedule: LrSchedule::StepDecay {
+                gamma: 0.7,
+                every: 3,
+            },
+        }
+    }
+}
+
+/// SGD optimizer state: one velocity buffer per layer.
+#[derive(Debug)]
+pub struct Sgd {
+    config: SgdConfig,
+    velocity: Vec<LayerGrads>,
+}
+
+impl Sgd {
+    /// Create an optimizer for the given layer stack.
+    pub fn new(config: SgdConfig, layers: &[Layer]) -> Self {
+        Self {
+            config,
+            velocity: layers.iter().map(LayerGrads::zeros_like).collect(),
+        }
+    }
+
+    /// Optimizer configuration.
+    pub fn config(&self) -> &SgdConfig {
+        &self.config
+    }
+
+    /// Apply one SGD(+momentum) step to every layer from its gradients.
+    ///
+    /// `v ← m·v + g; θ ← θ − lr·v`. TrueNorth weights are re-projected into
+    /// `[−1, 1]` by [`Layer::apply_step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers`/`grads` do not match the stack given to
+    /// [`Sgd::new`].
+    pub fn step(&mut self, layers: &mut [Layer], grads: &[LayerGrads], epoch: usize) {
+        assert_eq!(layers.len(), self.velocity.len(), "layer count changed");
+        assert_eq!(grads.len(), self.velocity.len(), "gradient count mismatch");
+        let lr = self
+            .config
+            .schedule
+            .rate_at(epoch, self.config.learning_rate);
+        let m = self.config.momentum;
+        for ((layer, g), v) in layers.iter_mut().zip(grads).zip(&mut self.velocity) {
+            for (vw, gw) in v.weights.iter_mut().zip(&g.weights) {
+                vw.scale(m);
+                vw.add_assign(gw);
+            }
+            for (vb, gb) in v.biases.iter_mut().zip(&g.biases) {
+                for (x, &y) in vb.iter_mut().zip(gb) {
+                    *x = m * *x + y;
+                }
+            }
+            layer.apply_step(v, lr);
+        }
+    }
+
+    /// Reset all momentum buffers to zero.
+    pub fn reset(&mut self) {
+        for v in &mut self.velocity {
+            v.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::layer::DenseLayer;
+    use crate::matrix::Matrix;
+
+    fn one_layer() -> Vec<Layer> {
+        let mut d = DenseLayer::new(1, 1, Activation::Identity, 0);
+        d.weights = Matrix::from_rows(&[&[1.0]]);
+        vec![Layer::Dense(d)]
+    }
+
+    fn grad_of(v: f32, layers: &[Layer]) -> Vec<LayerGrads> {
+        let mut g = vec![LayerGrads::zeros_like(&layers[0])];
+        g[0].weights[0][(0, 0)] = v;
+        g
+    }
+
+    fn weight(layers: &[Layer]) -> f32 {
+        match &layers[0] {
+            Layer::Dense(d) => d.weights[(0, 0)],
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn plain_sgd_moves_against_gradient() {
+        let mut layers = one_layer();
+        let cfg = SgdConfig {
+            learning_rate: 0.5,
+            momentum: 0.0,
+            schedule: LrSchedule::Constant,
+        };
+        let mut opt = Sgd::new(cfg, &layers);
+        let g = grad_of(2.0, &layers);
+        opt.step(&mut layers, &g, 0);
+        assert!((weight(&layers) - 0.0).abs() < 1e-6); // 1.0 - 0.5*2.0
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut layers = one_layer();
+        let cfg = SgdConfig {
+            learning_rate: 0.1,
+            momentum: 0.5,
+            schedule: LrSchedule::Constant,
+        };
+        let mut opt = Sgd::new(cfg, &layers);
+        let g = grad_of(1.0, &layers);
+        opt.step(&mut layers, &g, 0); // v = 1.0, w = 1 - 0.1
+        opt.step(&mut layers, &g, 0); // v = 1.5, w = 0.9 - 0.15
+        assert!((weight(&layers) - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_clears_momentum() {
+        let mut layers = one_layer();
+        let cfg = SgdConfig {
+            learning_rate: 0.1,
+            momentum: 0.9,
+            schedule: LrSchedule::Constant,
+        };
+        let mut opt = Sgd::new(cfg, &layers);
+        let g = grad_of(1.0, &layers);
+        opt.step(&mut layers, &g, 0);
+        opt.reset();
+        let w_before = weight(&layers);
+        let zero_grad = grad_of(0.0, &layers);
+        opt.step(&mut layers, &zero_grad, 0);
+        // With zero gradient and cleared velocity, nothing moves.
+        assert_eq!(weight(&layers), w_before);
+    }
+
+    #[test]
+    fn schedules_decay_as_documented() {
+        let inv = LrSchedule::InverseDecay { k: 1.0 };
+        assert_eq!(inv.rate_at(0, 1.0), 1.0);
+        assert_eq!(inv.rate_at(1, 1.0), 0.5);
+        assert_eq!(LrSchedule::Constant.rate_at(99, 0.3), 0.3);
+        // every == 0 must not divide by zero.
+        let s = LrSchedule::StepDecay {
+            gamma: 0.5,
+            every: 0,
+        };
+        assert_eq!(s.rate_at(10, 1.0), 1.0);
+    }
+}

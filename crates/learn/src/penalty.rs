@@ -1,0 +1,299 @@
+//! Weight-penalty (regularization) functions — Eqs. (16) and (17) of the
+//! paper.
+//!
+//! The training objective is `Ê(w) = E_D(w) + λ·E_W(w)` (Eq. 16). The paper
+//! compares three choices of `E_W`:
+//!
+//! * **None** — plain Tea learning;
+//! * **L1** — `Σ|w_k|`, zeroes weights but *keeps probability mass near the
+//!   worst point p = 0.5* (Fig. 5b), so deployed accuracy actually drops;
+//! * **Biasing** (the contribution, Eq. 17) —
+//!   `E_b(w) = Σ | |p_k − a| − b |` with `p = |w|` and `a = b = 0.5`, which
+//!   pushes every connectivity probability to a deterministic pole
+//!   (`p = 0` or `p = 1`) and thereby minimizes the per-copy synaptic
+//!   variance `c²p(1−p)` of Eq. (15).
+//!
+//! Penalties report a value and a subgradient; the optimizer adds
+//! `λ · subgradient` to the data gradient.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A weight penalty `E_W(w)` with regularization strength λ.
+///
+/// # Examples
+///
+/// ```
+/// use tn_learn::penalty::Penalty;
+/// let p = Penalty::biasing(0.001);
+/// // p = |0.5| sits exactly at the worst-variance point: maximal penalty.
+/// assert!(p.value(&[0.5]) > p.value(&[0.0]));
+/// assert!(p.value(&[0.5]) > p.value(&[1.0]));
+/// assert!(p.value(&[0.5]) > p.value(&[-1.0]));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum Penalty {
+    /// No penalty (plain Tea learning).
+    #[default]
+    None,
+    /// L1 norm `λ Σ |w_k|`.
+    L1 {
+        /// Regularization coefficient λ.
+        lambda: f32,
+    },
+    /// L2 norm `λ/2 Σ w_k²` (weight decay; included for completeness).
+    L2 {
+        /// Regularization coefficient λ.
+        lambda: f32,
+    },
+    /// The paper's probability-biasing penalty `λ Σ ||p_k − a| − b|` applied
+    /// to `p = |w|`. The special case `a = b = 0.5` pulls probabilities to
+    /// the deterministic poles 0 and 1.
+    Biasing {
+        /// Regularization coefficient λ.
+        lambda: f32,
+        /// Centroid the penalty biases away from (paper: 0.5).
+        a: f32,
+        /// Distance from the centroid to the attracting poles (paper: 0.5).
+        b: f32,
+    },
+}
+
+impl Penalty {
+    /// The paper's biasing penalty with the canonical `a = b = 0.5`.
+    pub fn biasing(lambda: f32) -> Self {
+        Penalty::Biasing {
+            lambda,
+            a: 0.5,
+            b: 0.5,
+        }
+    }
+
+    /// L1 penalty with strength λ.
+    pub fn l1(lambda: f32) -> Self {
+        Penalty::L1 { lambda }
+    }
+
+    /// L2 penalty with strength λ.
+    pub fn l2(lambda: f32) -> Self {
+        Penalty::L2 { lambda }
+    }
+
+    /// The same penalty with λ multiplied by `factor` (used to keep the
+    /// *total* penalty displacement invariant when the number of SGD
+    /// updates changes with dataset size or epoch count).
+    pub fn scaled(&self, factor: f32) -> Penalty {
+        match *self {
+            Penalty::None => Penalty::None,
+            Penalty::L1 { lambda } => Penalty::L1 {
+                lambda: lambda * factor,
+            },
+            Penalty::L2 { lambda } => Penalty::L2 {
+                lambda: lambda * factor,
+            },
+            Penalty::Biasing { lambda, a, b } => Penalty::Biasing {
+                lambda: lambda * factor,
+                a,
+                b,
+            },
+        }
+    }
+
+    /// Regularization coefficient λ (0 for [`Penalty::None`]).
+    pub fn lambda(&self) -> f32 {
+        match *self {
+            Penalty::None => 0.0,
+            Penalty::L1 { lambda } | Penalty::L2 { lambda } | Penalty::Biasing { lambda, .. } => {
+                lambda
+            }
+        }
+    }
+
+    /// Short name used in reports: `none`, `l1`, `l2`, `biasing`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Penalty::None => "none",
+            Penalty::L1 { .. } => "l1",
+            Penalty::L2 { .. } => "l2",
+            Penalty::Biasing { .. } => "biasing",
+        }
+    }
+
+    /// Penalty value `λ · E_W(w)` over a weight slice.
+    pub fn value(&self, weights: &[f32]) -> f32 {
+        match *self {
+            Penalty::None => 0.0,
+            Penalty::L1 { lambda } => lambda * weights.iter().map(|w| w.abs()).sum::<f32>(),
+            Penalty::L2 { lambda } => 0.5 * lambda * weights.iter().map(|w| w * w).sum::<f32>(),
+            Penalty::Biasing { lambda, a, b } => {
+                lambda
+                    * weights
+                        .iter()
+                        .map(|w| ((w.abs() - a).abs() - b).abs())
+                        .sum::<f32>()
+            }
+        }
+    }
+
+    /// Subgradient `λ · ∂E_W/∂w` for a single weight.
+    ///
+    /// For the biasing penalty on `p = |w|` the chain rule gives
+    /// `sgn(||p − a| − b|') = sgn(|p − a| − b) · sgn(p − a) · sgn(w)`.
+    /// At non-differentiable points the subgradient 0 is returned.
+    pub fn subgradient(&self, w: f32) -> f32 {
+        match *self {
+            Penalty::None => 0.0,
+            Penalty::L1 { lambda } => lambda * sgn(w),
+            Penalty::L2 { lambda } => lambda * w,
+            Penalty::Biasing { lambda, a, b } => {
+                let p = w.abs();
+                lambda * sgn((p - a).abs() - b) * sgn(p - a) * sgn(w)
+            }
+        }
+    }
+
+    /// Accumulate `λ · ∂E_W/∂w` into a gradient matrix: `grad += subgrad(w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad` and `weights` have different shapes.
+    pub fn accumulate_gradient(&self, weights: &Matrix, grad: &mut Matrix) {
+        assert_eq!(
+            weights.shape(),
+            grad.shape(),
+            "penalty gradient shape mismatch"
+        );
+        if matches!(self, Penalty::None) {
+            return;
+        }
+        for (g, &w) in grad.as_mut_slice().iter_mut().zip(weights.as_slice()) {
+            *g += self.subgradient(w);
+        }
+    }
+}
+
+fn sgn(x: f32) -> f32 {
+    if x > 0.0 {
+        1.0
+    } else if x < 0.0 {
+        -1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_grad(p: &Penalty, w: f32) -> f32 {
+        let h = 1e-4;
+        (p.value(&[w + h]) - p.value(&[w - h])) / (2.0 * h)
+    }
+
+    #[test]
+    fn none_is_free() {
+        let p = Penalty::None;
+        assert_eq!(p.value(&[1.0, -3.0]), 0.0);
+        assert_eq!(p.subgradient(0.7), 0.0);
+        assert_eq!(p.lambda(), 0.0);
+    }
+
+    #[test]
+    fn l1_value_and_gradient() {
+        let p = Penalty::l1(2.0);
+        assert_eq!(p.value(&[1.0, -0.5]), 3.0);
+        assert_eq!(p.subgradient(0.3), 2.0);
+        assert_eq!(p.subgradient(-0.3), -2.0);
+        assert_eq!(p.subgradient(0.0), 0.0);
+    }
+
+    #[test]
+    fn l2_value_and_gradient() {
+        let p = Penalty::l2(1.0);
+        assert_eq!(p.value(&[2.0]), 2.0);
+        assert_eq!(p.subgradient(2.0), 2.0);
+    }
+
+    #[test]
+    fn biasing_is_zero_at_poles_and_max_at_centroid() {
+        let p = Penalty::biasing(1.0);
+        // Poles p = 0 and p = 1 (w = 0, ±1) carry no penalty.
+        assert!(p.value(&[0.0]) < 1e-7);
+        assert!(p.value(&[1.0]) < 1e-7);
+        assert!(p.value(&[-1.0]) < 1e-7);
+        // Worst point p = 0.5 carries penalty b = 0.5.
+        assert!((p.value(&[0.5]) - 0.5).abs() < 1e-7);
+        assert!((p.value(&[-0.5]) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn biasing_gradient_points_away_from_centroid() {
+        let p = Penalty::biasing(1.0);
+        // p = |w| slightly above 0.5 should be pushed to 1 (gradient < 0 for
+        // positive w means descending increases w).
+        assert!(p.subgradient(0.6) < 0.0);
+        // p slightly below 0.5 pushed toward 0 (gradient > 0 shrinks w).
+        assert!(p.subgradient(0.4) > 0.0);
+        // Mirror for negative weights.
+        assert!(p.subgradient(-0.6) > 0.0);
+        assert!(p.subgradient(-0.4) < 0.0);
+    }
+
+    #[test]
+    fn subgradients_match_numeric_gradients_away_from_kinks() {
+        let penalties = [
+            Penalty::l1(0.7),
+            Penalty::l2(0.7),
+            Penalty::biasing(0.7),
+            Penalty::Biasing {
+                lambda: 0.3,
+                a: 0.4,
+                b: 0.2,
+            },
+        ];
+        // Avoid the kinks of |·|.
+        let probes = [-0.93, -0.61, -0.37, -0.12, 0.08, 0.33, 0.66, 0.97];
+        for p in &penalties {
+            for &w in &probes {
+                let got = p.subgradient(w);
+                let want = numeric_grad(p, w);
+                assert!(
+                    (got - want).abs() < 1e-2,
+                    "{p:?} at w={w}: analytic {got} vs numeric {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn l1_equivalence_special_case() {
+        // Eq. 17 note: with a = b = 0 the biasing penalty degenerates to L1.
+        let bias = Penalty::Biasing {
+            lambda: 1.0,
+            a: 0.0,
+            b: 0.0,
+        };
+        let l1 = Penalty::l1(1.0);
+        for w in [-0.8_f32, -0.2, 0.0, 0.4, 1.0] {
+            assert!((bias.value(&[w]) - l1.value(&[w])).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn accumulate_gradient_adds_in_place() {
+        let p = Penalty::l1(1.0);
+        let w = Matrix::from_rows(&[&[0.5, -0.5]]);
+        let mut g = Matrix::from_rows(&[&[1.0, 1.0]]);
+        p.accumulate_gradient(&w, &mut g);
+        assert_eq!(g.as_slice(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Penalty::None.name(), "none");
+        assert_eq!(Penalty::l1(0.1).name(), "l1");
+        assert_eq!(Penalty::l2(0.1).name(), "l2");
+        assert_eq!(Penalty::biasing(0.1).name(), "biasing");
+    }
+}

@@ -1,0 +1,460 @@
+//! Binary save/load for trained networks.
+//!
+//! The allowed dependency set has no serde *format* crate, so this module
+//! defines a small versioned little-endian binary format ("TNM1"). It
+//! round-trips every [`Network`] the workspace can build — dense and
+//! TrueNorth layers, arbitrary readouts — so trained models can be stored,
+//! shipped, and redeployed without retraining.
+//!
+//! Generic readers/writers are taken by value; pass `&mut file` to keep
+//! using the handle afterwards.
+
+use crate::activation::{Activation, TeaActivation};
+use crate::layer::{CoreBlock, DenseLayer, Layer, TnCoreLayer};
+use crate::loss::Readout;
+use crate::matrix::Matrix;
+use crate::model::Network;
+use std::io::{self, Read, Write};
+
+/// Format magic ("TrueNorth Model").
+const MAGIC: &[u8; 4] = b"TNM1";
+/// Current format version.
+const VERSION: u32 = 1;
+/// Sanity cap on any encoded length (guards against corrupt files
+/// allocating absurd buffers).
+const MAX_LEN: u64 = 1 << 28;
+
+/// Errors from model (de)serialization.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with the `TNM1` magic.
+    BadMagic {
+        /// Bytes actually read.
+        found: [u8; 4],
+    },
+    /// The file's format version is not supported.
+    UnsupportedVersion {
+        /// Version found.
+        version: u32,
+    },
+    /// A structural field is out of range (corrupt or truncated file).
+    Corrupt {
+        /// What was being decoded.
+        context: &'static str,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::BadMagic { found } => write!(f, "bad model magic {found:02x?}"),
+            PersistError::UnsupportedVersion { version } => {
+                write!(f, "unsupported model format version {version}")
+            }
+            PersistError::Corrupt { context } => write!(f, "corrupt model file at {context}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+struct Encoder<W: Write> {
+    w: W,
+}
+
+impl<W: Write> Encoder<W> {
+    fn u32(&mut self, v: u32) -> Result<(), PersistError> {
+        Ok(self.w.write_all(&v.to_le_bytes())?)
+    }
+
+    fn u64(&mut self, v: u64) -> Result<(), PersistError> {
+        Ok(self.w.write_all(&v.to_le_bytes())?)
+    }
+
+    fn f32(&mut self, v: f32) -> Result<(), PersistError> {
+        Ok(self.w.write_all(&v.to_le_bytes())?)
+    }
+
+    fn usize(&mut self, v: usize) -> Result<(), PersistError> {
+        self.u64(v as u64)
+    }
+
+    fn f32_slice(&mut self, xs: &[f32]) -> Result<(), PersistError> {
+        self.usize(xs.len())?;
+        for &x in xs {
+            self.f32(x)?;
+        }
+        Ok(())
+    }
+
+    fn usize_slice(&mut self, xs: &[usize]) -> Result<(), PersistError> {
+        self.usize(xs.len())?;
+        for &x in xs {
+            self.usize(x)?;
+        }
+        Ok(())
+    }
+
+    fn matrix(&mut self, m: &Matrix) -> Result<(), PersistError> {
+        self.usize(m.rows())?;
+        self.usize(m.cols())?;
+        for &x in m.as_slice() {
+            self.f32(x)?;
+        }
+        Ok(())
+    }
+}
+
+struct Decoder<R: Read> {
+    r: R,
+}
+
+impl<R: Read> Decoder<R> {
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        let mut b = [0u8; 4];
+        self.r.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        let mut b = [0u8; 8];
+        self.r.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn f32(&mut self) -> Result<f32, PersistError> {
+        let mut b = [0u8; 4];
+        self.r.read_exact(&mut b)?;
+        Ok(f32::from_le_bytes(b))
+    }
+
+    fn usize(&mut self, context: &'static str) -> Result<usize, PersistError> {
+        let v = self.u64()?;
+        if v > MAX_LEN {
+            return Err(PersistError::Corrupt { context });
+        }
+        Ok(v as usize)
+    }
+
+    fn f32_vec(&mut self, context: &'static str) -> Result<Vec<f32>, PersistError> {
+        let n = self.usize(context)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f32()?);
+        }
+        Ok(out)
+    }
+
+    fn usize_vec(&mut self, context: &'static str) -> Result<Vec<usize>, PersistError> {
+        let n = self.usize(context)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.usize(context)?);
+        }
+        Ok(out)
+    }
+
+    fn matrix(&mut self, context: &'static str) -> Result<Matrix, PersistError> {
+        let rows = self.usize(context)?;
+        let cols = self.usize(context)?;
+        if rows.saturating_mul(cols) as u64 > MAX_LEN {
+            return Err(PersistError::Corrupt { context });
+        }
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push(self.f32()?);
+        }
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
+}
+
+const TAG_DENSE: u32 = 0;
+const TAG_TN_CORE: u32 = 1;
+
+fn activation_tag(a: Activation) -> u32 {
+    match a {
+        Activation::Identity => 0,
+        Activation::Sigmoid => 1,
+        Activation::Relu => 2,
+        Activation::Tanh => 3,
+    }
+}
+
+fn activation_from_tag(t: u32) -> Result<Activation, PersistError> {
+    Ok(match t {
+        0 => Activation::Identity,
+        1 => Activation::Sigmoid,
+        2 => Activation::Relu,
+        3 => Activation::Tanh,
+        _ => {
+            return Err(PersistError::Corrupt {
+                context: "activation tag",
+            })
+        }
+    })
+}
+
+/// Serialize a network to any writer.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on write failure.
+pub fn save_network<W: Write>(net: &Network, writer: W) -> Result<(), PersistError> {
+    let mut e = Encoder { w: writer };
+    e.w.write_all(MAGIC)?;
+    e.u32(VERSION)?;
+    e.usize(net.layers().len())?;
+    for layer in net.layers() {
+        match layer {
+            Layer::Dense(d) => {
+                e.u32(TAG_DENSE)?;
+                e.matrix(&d.weights)?;
+                e.f32_slice(&d.bias)?;
+                e.u32(activation_tag(d.activation))?;
+            }
+            Layer::TnCore(t) => {
+                e.u32(TAG_TN_CORE)?;
+                e.usize(t.in_dim)?;
+                e.u32(if t.activation.variance_aware { 1 } else { 0 })?;
+                e.f32(t.activation.fixed_sigma)?;
+                e.f32(t.activation.continuity_correction)?;
+                e.usize(t.cores.len())?;
+                for c in &t.cores {
+                    e.usize_slice(&c.axon_map)?;
+                    e.usize(c.n_out)?;
+                    e.matrix(&c.weights)?;
+                    e.f32_slice(&c.bias)?;
+                }
+            }
+        }
+    }
+    // Readout: explicit assignment vector.
+    let readout = net.readout();
+    e.usize(readout.n_classes())?;
+    let assignment: Vec<usize> = (0..readout.n_neurons())
+        .map(|j| readout.class_of(j))
+        .collect();
+    e.usize_slice(&assignment)?;
+    Ok(())
+}
+
+/// Deserialize a network from any reader.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on I/O failure, bad magic, unsupported version,
+/// or structural corruption.
+pub fn load_network<R: Read>(reader: R) -> Result<Network, PersistError> {
+    let mut d = Decoder { r: reader };
+    let mut magic = [0u8; 4];
+    d.r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PersistError::BadMagic { found: magic });
+    }
+    let version = d.u32()?;
+    if version != VERSION {
+        return Err(PersistError::UnsupportedVersion { version });
+    }
+    let n_layers = d.usize("layer count")?;
+    let mut layers = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        match d.u32()? {
+            TAG_DENSE => {
+                let weights = d.matrix("dense weights")?;
+                let bias = d.f32_vec("dense bias")?;
+                if bias.len() != weights.cols() {
+                    return Err(PersistError::Corrupt {
+                        context: "dense bias width",
+                    });
+                }
+                let activation = activation_from_tag(d.u32()?)?;
+                layers.push(Layer::Dense(DenseLayer {
+                    weights,
+                    bias,
+                    activation,
+                }));
+            }
+            TAG_TN_CORE => {
+                let in_dim = d.usize("tn in_dim")?;
+                let variance_aware = d.u32()? == 1;
+                let fixed_sigma = d.f32()?;
+                let continuity_correction = d.f32()?;
+                let n_cores = d.usize("core count")?;
+                let mut cores = Vec::with_capacity(n_cores);
+                for _ in 0..n_cores {
+                    let axon_map = d.usize_vec("axon map")?;
+                    if axon_map.iter().any(|&i| i >= in_dim) {
+                        return Err(PersistError::Corrupt {
+                            context: "axon map index",
+                        });
+                    }
+                    let n_out = d.usize("core n_out")?;
+                    let weights = d.matrix("core weights")?;
+                    let bias = d.f32_vec("core bias")?;
+                    if weights.shape() != (axon_map.len(), n_out) || bias.len() != n_out {
+                        return Err(PersistError::Corrupt {
+                            context: "core shapes",
+                        });
+                    }
+                    cores.push(CoreBlock {
+                        axon_map,
+                        n_out,
+                        weights,
+                        bias,
+                    });
+                }
+                layers.push(Layer::TnCore(TnCoreLayer {
+                    cores,
+                    in_dim,
+                    activation: TeaActivation {
+                        variance_aware,
+                        fixed_sigma,
+                        continuity_correction,
+                    },
+                }));
+            }
+            _ => {
+                return Err(PersistError::Corrupt {
+                    context: "layer tag",
+                })
+            }
+        }
+    }
+    let n_classes = d.usize("class count")?;
+    let assignment = d.usize_vec("readout assignment")?;
+    if n_classes == 0 || assignment.iter().any(|&c| c >= n_classes) {
+        return Err(PersistError::Corrupt {
+            context: "readout classes",
+        });
+    }
+    for c in 0..n_classes {
+        if !assignment.contains(&c) {
+            return Err(PersistError::Corrupt {
+                context: "readout coverage",
+            });
+        }
+    }
+    let expected = layers.last().map(Layer::out_dim).unwrap_or(0);
+    if assignment.len() != expected {
+        return Err(PersistError::Corrupt {
+            context: "readout width",
+        });
+    }
+    let readout = Readout::from_assignment(assignment, n_classes);
+    Ok(Network::new(layers, readout))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::Readout;
+
+    fn tn_network() -> Network {
+        let layer = TnCoreLayer::new(6, vec![vec![0, 1, 2], vec![3, 4, 5]], 4, 11);
+        Network::new(vec![Layer::TnCore(layer)], Readout::round_robin(8, 2))
+    }
+
+    fn mixed_network() -> Network {
+        let tn = TnCoreLayer::new(4, vec![vec![0, 1, 2, 3]], 6, 5);
+        let dense = DenseLayer::new(6, 3, Activation::Tanh, 7);
+        Network::new(
+            vec![Layer::TnCore(tn), Layer::Dense(dense)],
+            Readout::identity(3),
+        )
+    }
+
+    fn roundtrip(net: &Network) -> Network {
+        let mut buf = Vec::new();
+        save_network(net, &mut buf).expect("save");
+        load_network(buf.as_slice()).expect("load")
+    }
+
+    #[test]
+    fn tn_network_roundtrips_exactly() {
+        let net = tn_network();
+        assert_eq!(roundtrip(&net), net);
+    }
+
+    #[test]
+    fn mixed_network_roundtrips_exactly() {
+        let net = mixed_network();
+        assert_eq!(roundtrip(&net), net);
+    }
+
+    #[test]
+    fn loaded_network_predicts_identically() {
+        let net = tn_network();
+        let loaded = roundtrip(&net);
+        let x = Matrix::from_rows(&[&[0.1, 0.9, 0.4, 0.2, 0.8, 0.5]]);
+        assert_eq!(net.scores(&x), loaded.scores(&x));
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let mut buf = Vec::new();
+        save_network(&tn_network(), &mut buf).expect("save");
+        buf[0] = b'X';
+        assert!(matches!(
+            load_network(buf.as_slice()),
+            Err(PersistError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut buf = Vec::new();
+        save_network(&tn_network(), &mut buf).expect("save");
+        buf[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            load_network(buf.as_slice()),
+            Err(PersistError::UnsupportedVersion { version: 99 })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_io_error() {
+        let mut buf = Vec::new();
+        save_network(&tn_network(), &mut buf).expect("save");
+        buf.truncate(buf.len() / 2);
+        assert!(matches!(
+            load_network(buf.as_slice()),
+            Err(PersistError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn absurd_length_is_corrupt_not_oom() {
+        let mut buf = Vec::new();
+        save_network(&tn_network(), &mut buf).expect("save");
+        // Overwrite the layer count (bytes 8..16) with an absurd value.
+        buf[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            load_network(buf.as_slice()),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = PersistError::Corrupt {
+            context: "axon map index",
+        };
+        assert!(e.to_string().contains("axon map index"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Co-design sweep: given an accuracy target, find the cheapest deployment
+//! (copies × spf) for Tea vs biased models — the engineering question the
+//! paper's co-optimization answers.
+//!
+//! Run with: `cargo run --release --example codesign_sweep`
+
+use tn_chip::nscs::ConnectivityMode;
+use truenorth::eval::{evaluate_grid, EvalConfig};
+use truenorth::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = RunScale {
+        n_train: 2000,
+        n_test: 400,
+        epochs: 8,
+        seeds: 1,
+        threads: 2,
+    };
+    let bench = TestBench::new(1, 11);
+    let data = bench.load_data(&scale, 11);
+    let tea = train_model(&bench, &data, Penalty::None, &scale, 11)?;
+    let biased = train_model(&bench, &data, bench.biasing_penalty(), &scale, 11)?;
+
+    let grid_of = |m: &TrainedModel| {
+        evaluate_grid(
+            &m.spec,
+            &data.test_x,
+            &data.test_y,
+            &EvalConfig {
+                copies: 8,
+                spf: 4,
+                seed: 31,
+                threads: 2,
+                connectivity: ConnectivityMode::IndependentPerCopy,
+            },
+        )
+    };
+    let tea_grid = grid_of(&tea)?;
+    let biased_grid = grid_of(&biased)?;
+    let cores_per_copy = bench.arch.total_cores();
+
+    println!("cheapest deployment meeting each accuracy target");
+    println!(
+        "{:>8} | {:>24} | {:>24}",
+        "target", "tea (cores, ms/frame)", "biased (cores, ms/frame)"
+    );
+    for target in [0.80_f32, 0.85, 0.88, 0.90] {
+        let pick = |grid: &GridAccuracy| -> Option<(usize, usize)> {
+            // Cheapest = fewest cores, then fewest spf.
+            let mut best: Option<(usize, usize)> = None;
+            for copies in 1..=8 {
+                for spf in 1..=4 {
+                    if grid.accuracy(copies, spf) >= target {
+                        let cand = (copies, spf);
+                        best = match best {
+                            None => Some(cand),
+                            Some(b) if (cand.0, cand.1) < b => Some(cand),
+                            keep => keep,
+                        };
+                    }
+                }
+            }
+            best
+        };
+        let show = |choice: Option<(usize, usize)>| match choice {
+            Some((c, s)) => format!("{:>3} cores, {s} ms", c * cores_per_copy),
+            None => "unreachable".to_string(),
+        };
+        println!(
+            "{:>7.0}% | {:>24} | {:>24}",
+            target * 100.0,
+            show(pick(&tea_grid)),
+            show(pick(&biased_grid))
+        );
+    }
+    println!(
+        "\nfloat ceilings: tea {:.4}, biased {:.4}",
+        tea.float_accuracy, biased.float_accuracy
+    );
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Handwritten digit recognition on the simulated TrueNorth chip — the
+//! workload of the paper's Fig. 3 — with a per-class breakdown and the
+//! accuracy/cores/speed trade-off spelled out.
+//!
+//! Run with: `cargo run --release --example digit_recognition`
+
+use tn_chip::nscs::ConnectivityMode;
+use tn_learn::metrics::ConfusionMatrix;
+use truenorth::eval::{evaluate_grid, EvalConfig};
+use truenorth::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = RunScale {
+        n_train: 2000,
+        n_test: 400,
+        epochs: 8,
+        seeds: 1,
+        threads: 2,
+    };
+    let bench = TestBench::new(1, 3);
+    let data = bench.load_data(&scale, 3);
+    let model = train_model(&bench, &data, bench.biasing_penalty(), &scale, 3)?;
+    println!(
+        "trained biased model: float accuracy {:.4}",
+        model.float_accuracy
+    );
+
+    // Deploy once and look at the decisions a single 4-core network makes.
+    let mut dep = Deployment::build(&model.spec, 1, 5)?;
+    let mut cm = ConfusionMatrix::new(10);
+    for i in 0..data.test_y.len() {
+        let votes = dep.run_frame(data.test_x.row(i), 1, i as u64);
+        let mut scores = vec![0u64; 10];
+        for tick in &votes {
+            for (c, s) in scores.iter_mut().enumerate() {
+                *s += tick[c];
+            }
+        }
+        let pred = scores
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &s)| s)
+            .map(|(c, _)| c)
+            .unwrap_or(0);
+        cm.record(data.test_y[i], pred);
+    }
+    println!("\nsingle copy, 1 spf on chip:\n{cm}");
+    println!("per-digit recall:");
+    for d in 0..10 {
+        println!("  digit {d}: {:.3}", cm.recall(d));
+    }
+
+    // The co-optimization knobs: what duplication buys, and what it costs.
+    let grid = evaluate_grid(
+        &model.spec,
+        &data.test_x,
+        &data.test_y,
+        &EvalConfig {
+            copies: 8,
+            spf: 4,
+            seed: 11,
+            threads: 2,
+            connectivity: ConnectivityMode::IndependentPerCopy,
+        },
+    )?;
+    println!("\nduplication trade-off (accuracy / cores / frame latency):");
+    for (copies, spf) in [(1usize, 1usize), (1, 4), (4, 1), (8, 4)] {
+        let cores = copies * bench.arch.total_cores();
+        let latency_ms = spf as f64; // 1 kHz ticks
+        println!(
+            "  {copies} copies x {spf} spf: accuracy {:.4}, {cores:>3} cores, {latency_ms:.0} ms/frame",
+            grid.accuracy(copies, spf)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Train once, save the model, reload it later, and deploy — the normal
+//! lifecycle of a production model, demonstrating `tn_learn::persist`.
+//!
+//! Run with: `cargo run --release --example model_persistence`
+
+use std::fs::File;
+use tn_learn::persist::{load_network, save_network};
+use truenorth::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = RunScale {
+        n_train: 1200,
+        n_test: 300,
+        epochs: 5,
+        seeds: 1,
+        threads: 2,
+    };
+    let bench = TestBench::new(1, 77);
+    let data = bench.load_data(&scale, 77);
+
+    // Train and persist.
+    let model = train_model(&bench, &data, bench.biasing_penalty(), &scale, 77)?;
+    let path = std::env::temp_dir().join("truenorth_fig3_biased.tnm");
+    save_network(&model.network, File::create(&path)?)?;
+    let bytes = std::fs::metadata(&path)?.len();
+    println!("saved trained model to {} ({bytes} bytes)", path.display());
+
+    // Reload and verify it is bit-identical in behaviour.
+    let restored = load_network(File::open(&path)?)?;
+    assert_eq!(restored, model.network, "roundtrip must be exact");
+    println!(
+        "restored model float accuracy: {:.4} (original {:.4})",
+        restored.accuracy(&data.test_x, &data.test_y),
+        model.float_accuracy
+    );
+
+    // Deploy the restored model to the chip.
+    let spec = truenorth::deploy::extract_spec(&restored)?;
+    let acc = evaluate_accuracy(&spec, &data.test_x, &data.test_y, 2, 2, 5)?;
+    println!("restored model deployed (2 copies, 2 spf): {acc:.4}");
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Protein secondary-structure prediction (the paper's RS130 benchmark,
+//! test benches 4-5): a life-science workload on neuromorphic hardware.
+//!
+//! Run with: `cargo run --release --example protein_structure`
+
+use truenorth::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = RunScale {
+        n_train: 2000,
+        n_test: 500,
+        epochs: 8,
+        seeds: 1,
+        threads: 2,
+    };
+
+    // Test bench 4: 357 one-hot window features reshaped to a 19×19 frame,
+    // stride 3 → four neuro-synaptic cores, three classes.
+    let bench = TestBench::new(4, 17);
+    let data = bench.load_data(&scale, 17);
+    println!(
+        "RS130-synth: {} train / {} test windows, {} features each",
+        data.train_y.len(),
+        data.test_y.len(),
+        tn_data::rs130_synth::N_FEATURES,
+    );
+
+    let tea = train_model(&bench, &data, Penalty::None, &scale, 17)?;
+    let biased = train_model(&bench, &data, bench.biasing_penalty(), &scale, 17)?;
+    println!(
+        "float accuracy: tea {:.4}, biased {:.4} (paper's bench-4 Caffe accuracy: 0.6909)",
+        tea.float_accuracy, biased.float_accuracy
+    );
+
+    let classes = ["alpha-helix", "beta-sheet", "coil"];
+    for m in [&tea, &biased] {
+        let acc = evaluate_accuracy(&m.spec, &data.test_x, &data.test_y, 2, 2, 23)?;
+        println!(
+            "deployed ({}), 2 copies x 2 spf: {:.4}",
+            m.penalty.name(),
+            acc
+        );
+    }
+
+    // Classify one window end to end and name the class.
+    let mut dep = Deployment::build(&biased.spec, 1, 23)?;
+    let votes = dep.run_frame(data.test_x.row(0), 4, 1);
+    let mut scores = [0u64; 3];
+    for tick in &votes {
+        for (c, s) in scores.iter_mut().enumerate() {
+            *s += tick[c];
+        }
+    }
+    let pred = (0..3).max_by_key(|&c| scores[c]).unwrap_or(0);
+    println!(
+        "first test window: predicted {} (truth {}), votes {scores:?}",
+        classes[pred], classes[data.test_y[0]]
+    );
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: train the paper's Fig. 3 network with probability-biased
+//! learning, deploy it to the simulated TrueNorth chip, and classify.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use truenorth::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small run so the example finishes in well under a minute.
+    let scale = RunScale {
+        n_train: 2500,
+        n_test: 500,
+        epochs: 8,
+        seeds: 1,
+        threads: 2,
+    };
+
+    // Test bench 1: synthetic MNIST through four neuro-synaptic cores.
+    let bench = TestBench::new(1, 7);
+    let data = bench.load_data(&scale, 7);
+    println!(
+        "dataset: {} train / {} test images, {} cores per network copy",
+        data.train_y.len(),
+        data.test_y.len(),
+        bench.arch.total_cores()
+    );
+
+    // Tea learning (the stock flow) vs the paper's biased learning.
+    let tea = train_model(&bench, &data, Penalty::None, &scale, 7)?;
+    let biased = train_model(&bench, &data, bench.biasing_penalty(), &scale, 7)?;
+    println!(
+        "float accuracy: tea {:.4}, biased {:.4}",
+        tea.float_accuracy, biased.float_accuracy
+    );
+
+    // Deploy each to the chip (1 copy, 1 spike per frame) and compare.
+    for m in [&tea, &biased] {
+        let acc = evaluate_accuracy(&m.spec, &data.test_x, &data.test_y, 1, 1, 99)?;
+        println!(
+            "deployed ({}): {:.4}  [synaptic variance {:.4}]",
+            m.penalty.name(),
+            acc,
+            mean_synaptic_variance(&m.network)
+        );
+    }
+
+    // The biased model deploys with almost no sampling deviation (Fig. 4).
+    let dep = Deployment::build(&biased.spec, 1, 99)?;
+    let stats = DeviationStats::of_core(&dep, &biased.spec, 0, 0);
+    println!(
+        "biased model, core 0: {:.1}% of synapses deploy with zero deviation",
+        100.0 * stats.zero_fraction
+    );
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Co-optimization integration: the Table-2 pairing machinery applied to
+//! real (tiny-scale) trained models, plus report rendering.
+
+use truenorth::cooptimize::{CoreOccupationReport, SpeedupReport};
+use truenorth::prelude::*;
+
+fn tiny_scale() -> RunScale {
+    RunScale {
+        n_train: 400,
+        n_test: 150,
+        epochs: 4,
+        seeds: 2,
+        threads: 2,
+    }
+}
+
+#[test]
+fn duplication_study_produces_consistent_reports() {
+    let scale = tiny_scale();
+    let study = duplication_study(1, 6, 2, &scale, 31).expect("study");
+    assert_eq!(study.cores_per_copy, 4);
+
+    // Table 2(a)-style pairing from the measured ladders.
+    let tea = study.tea.copies_ladder_f32(1);
+    let biased = study.biased.copies_ladder_f32(1);
+    let report = CoreOccupationReport::new(&tea, &biased, study.cores_per_copy, 1);
+    assert_eq!(report.pairings.len(), 6);
+    // Pairing guarantee: matched biased accuracy ≥ baseline accuracy.
+    for p in &report.pairings {
+        if let Some(acc) = p.biased_accuracy {
+            assert!(acc >= p.baseline_accuracy);
+        }
+    }
+    // Percentages are well-formed.
+    assert!(report.average_percent_saved() >= 0.0);
+    assert!(report.max_percent_saved() <= 100.0);
+    let rendered = report.to_string();
+    assert!(rendered.contains("Core occupation"));
+
+    // Table 2(b)-style pairing along spf.
+    let sp = SpeedupReport::new(
+        &study.tea.spf_ladder_f32(1),
+        &study.biased.spf_ladder_f32(1),
+        1,
+    );
+    assert!(sp.max_speedup() >= 1.0);
+}
+
+#[test]
+fn boost_surface_is_consistent_with_parent_surfaces() {
+    let scale = tiny_scale();
+    let study = duplication_study(1, 4, 2, &scale, 37).expect("study");
+    let boost = study.biased.boost_over(&study.tea);
+    for c in 1..=4 {
+        for s in 1..=2 {
+            let direct = study.biased.at(c, s) - study.tea.at(c, s);
+            assert!((boost.at(c, s) - direct).abs() < 1e-12);
+        }
+    }
+    let (bc, bs, bv) = boost.max_boost();
+    assert!((1..=4).contains(&bc) && (1..=2).contains(&bs));
+    assert!(bv >= boost.mean_boost());
+}
+
+#[test]
+fn surfaces_saturate_with_duplication() {
+    // The paper's Fig.-7 observation: accuracy rises toward a plateau.
+    let scale = tiny_scale();
+    let study = duplication_study(1, 6, 2, &scale, 41).expect("study");
+    for surf in [&study.tea, &study.biased] {
+        let low = surf.at(1, 1);
+        let high = surf.at(6, 2);
+        assert!(high + 0.05 >= low, "duplication hurt: {low} -> {high}");
+        assert!(surf.max_value() <= 1.0);
+    }
+}

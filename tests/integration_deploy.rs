@@ -1,0 +1,206 @@
+//! Deployment-layer integration: spec extraction fidelity, chip-side
+//! behaviour of deployed networks, copies/core accounting, deviation maps.
+
+use tn_chip::nscs::{Deployment, InputSource};
+use truenorth::prelude::*;
+
+fn tiny_scale() -> RunScale {
+    RunScale {
+        n_train: 300,
+        n_test: 100,
+        epochs: 3,
+        seeds: 1,
+        threads: 2,
+    }
+}
+
+#[test]
+fn spec_matches_architecture_for_every_bench() {
+    for bench_id in 1..=5 {
+        let bench = TestBench::new(bench_id, 1);
+        let net = {
+            let mut arch = bench.arch.clone();
+            arch.seed = 1;
+            arch.build().expect("arch")
+        };
+        let spec = truenorth::deploy::extract_spec(&net).expect("spec");
+        spec.validate()
+            .unwrap_or_else(|e| panic!("bench {bench_id}: {e}"));
+        assert_eq!(
+            spec.cores.len(),
+            bench.arch.total_cores(),
+            "bench {bench_id}"
+        );
+        assert_eq!(spec.n_classes, bench.arch.n_classes);
+        assert_eq!(spec.depth(), bench.arch.cores_per_layer.len());
+    }
+}
+
+#[test]
+fn deployment_occupies_exactly_copies_times_cores() {
+    let bench = TestBench::new(1, 2);
+    let mut arch = bench.arch.clone();
+    arch.seed = 2;
+    let net = arch.build().expect("arch");
+    let spec = truenorth::deploy::extract_spec(&net).expect("spec");
+    for copies in [1usize, 3, 7] {
+        let dep = Deployment::build(&spec, copies, 5).expect("deploy");
+        assert_eq!(dep.chip.core_count(), copies * 4);
+        assert_eq!(dep.copies(), copies);
+    }
+}
+
+#[test]
+fn chip_capacity_limits_copies() {
+    // Test bench 3 uses 62 cores per copy; 67 copies exceed 4096 cores.
+    let bench = TestBench::new(3, 2);
+    let mut arch = bench.arch.clone();
+    arch.seed = 2;
+    let net = arch.build().expect("arch");
+    let spec = truenorth::deploy::extract_spec(&net).expect("spec");
+    assert!(Deployment::build(&spec, 66, 1).is_ok());
+    assert!(Deployment::build(&spec, 67, 1).is_err());
+}
+
+#[test]
+fn layer0_axons_read_block_pixels() {
+    let bench = TestBench::new(1, 3);
+    let mut arch = bench.arch.clone();
+    arch.seed = 3;
+    let net = arch.build().expect("arch");
+    let spec = truenorth::deploy::extract_spec(&net).expect("spec");
+    // Core 0's first axon reads pixel (0,0); core 3's first axon reads
+    // pixel (12,12) of the 28-wide image (stride-12 blocks).
+    assert_eq!(spec.cores[0].axon_sources[0], InputSource::External(0));
+    assert_eq!(
+        spec.cores[3].axon_sources[0],
+        InputSource::External(12 * 28 + 12)
+    );
+}
+
+#[test]
+fn deviation_improves_with_biasing_end_to_end() {
+    let scale = tiny_scale();
+    let bench = TestBench::new(1, 4);
+    let data = bench.load_data(&scale, 4);
+    let tea = train_model(&bench, &data, Penalty::None, &scale, 4).expect("tea");
+    let biased = train_model(&bench, &data, bench.biasing_penalty(), &scale, 4).expect("biased");
+    let stats = |m: &TrainedModel| {
+        let dep = Deployment::build(&m.spec, 1, 11).expect("deploy");
+        DeviationStats::of_core(&dep, &m.spec, 0, 0)
+    };
+    let (s_tea, s_biased) = (stats(&tea), stats(&biased));
+    assert!(
+        s_biased.zero_fraction > s_tea.zero_fraction,
+        "biasing should increase exact deployments: {} vs {}",
+        s_biased.zero_fraction,
+        s_tea.zero_fraction
+    );
+    assert!(s_biased.mean < s_tea.mean);
+}
+
+#[test]
+fn multilayer_bench_deploys_and_classifies() {
+    // Test bench 5 (RS130, two layers) exercises inter-core routing.
+    let scale = tiny_scale();
+    let bench = TestBench::new(5, 6);
+    let data = bench.load_data(&scale, 6);
+    let model = train_model(&bench, &data, Penalty::None, &scale, 6).expect("train");
+    assert_eq!(model.spec.depth(), 2);
+    let acc = evaluate_accuracy(&model.spec, &data.test_x, &data.test_y, 1, 2, 3).expect("eval");
+    assert!(acc > 0.25, "two-layer deployed accuracy {acc} below chance");
+}
+
+#[test]
+fn grid_monotonicity_in_expectation() {
+    // Averaged over seeds, more duplication should never *hurt* much.
+    let scale = RunScale {
+        seeds: 3,
+        ..tiny_scale()
+    };
+    let bench = TestBench::new(1, 9);
+    let data = bench.load_data(&scale, 9);
+    let model = train_model(&bench, &data, Penalty::None, &scale, 9).expect("train");
+    let surface =
+        truenorth::experiment::averaged_surface(&model, &data, 6, 2, &scale, 3).expect("surface");
+    assert!(surface.at(6, 2) + 0.03 >= surface.at(1, 1));
+}
+
+#[test]
+fn runtime_stochastic_mode_classifies_end_to_end() {
+    use tn_chip::nscs::ConnectivityMode;
+    use truenorth::eval::{evaluate_grid, EvalConfig};
+    let scale = tiny_scale();
+    let bench = TestBench::new(1, 19);
+    let data = bench.load_data(&scale, 19);
+    let model = train_model(&bench, &data, Penalty::None, &scale, 19).expect("train");
+    let grid = evaluate_grid(
+        &model.spec,
+        &data.test_x,
+        &data.test_y,
+        &EvalConfig {
+            copies: 1,
+            spf: 4,
+            seed: 3,
+            threads: 2,
+            connectivity: ConnectivityMode::RuntimeStochastic,
+        },
+    )
+    .expect("eval");
+    // Runtime stochastic synapses at 4 spf should land in the same regime
+    // as sampled connectivity — the two mechanisms average the same noise.
+    assert!(grid.accuracy(1, 4) > 0.3, "runtime mode accuracy {}", grid.accuracy(1, 4));
+}
+
+#[test]
+fn energy_analysis_runs_on_trained_model() {
+    use truenorth::power::analyze_energy;
+    let scale = tiny_scale();
+    let bench = TestBench::new(1, 23);
+    let data = bench.load_data(&scale, 23);
+    let model = train_model(&bench, &data, Penalty::None, &scale, 23).expect("train");
+    let a = analyze_energy(&model.spec, &data.test_x, &data.test_y, 2, 1, 5, 2).expect("energy");
+    assert_eq!(a.frames, data.test_y.len());
+    assert_eq!(a.cores, 8);
+    assert!(a.synaptic_ops > 0);
+    assert!(a.joules_per_frame() > 0.0);
+    assert!((0.0..=1.0).contains(&a.accuracy));
+}
+
+#[test]
+fn long_core_chain_propagates_with_exact_latency() {
+    // A 64-core relay chain across the mesh: spike enters core 0 and must
+    // arrive at the output exactly 64 ticks later, accumulating mesh hops.
+    use tn_chip::chip::{SpikeTarget, TrueNorthChip};
+    use tn_chip::neuro_core::NeuroSynapticCore;
+    use tn_chip::neuron::{NeuronConfig, ResetMode};
+
+    let n = 64usize;
+    let mut chip = TrueNorthChip::new(8, 8, 1);
+    let mut cfg = NeuronConfig::mcculloch_pitts(0, 0.0, 1);
+    cfg.threshold = 1;
+    cfg.reset = ResetMode::ToValue(0);
+    for i in 0..n {
+        let mut core = NeuroSynapticCore::new(i, cfg, 1);
+        core.crossbar_mut().set(0, 0, true);
+        core.set_axon_type(0, 0);
+        let target = if i + 1 < n {
+            SpikeTarget::Axon { core: i + 1, axon: 0 }
+        } else {
+            SpikeTarget::Output { channel: 0 }
+        };
+        chip.add_core(core, vec![target]).expect("add");
+    }
+    chip.validate().expect("wiring");
+    chip.inject(0, 0).expect("inject");
+    for t in 1..n {
+        chip.tick();
+        assert_eq!(chip.output_counts()[0], 0, "premature output at tick {t}");
+    }
+    chip.tick();
+    assert_eq!(chip.output_counts()[0], 1, "spike must arrive at tick {n}");
+    assert_eq!(chip.stats().routed_spikes, (n - 1) as u64);
+    // Row-major 8×8 placement: consecutive cores are 1 hop apart except at
+    // row wraps (7 wraps × ... still ≥ n-1 hops in total).
+    assert!(chip.stats().mesh_hops >= (n - 1) as u64);
+}

@@ -1,0 +1,120 @@
+//! End-to-end pipeline integration: dataset synthesis → architecture →
+//! two-phase training → spec extraction → chip deployment → evaluation.
+//!
+//! These tests run at a deliberately tiny scale; they assert *qualitative*
+//! invariants (orderings, ranges, determinism), not paper magnitudes — the
+//! `repro_*` binaries cover those at full scale.
+
+use truenorth::prelude::*;
+
+fn tiny_scale() -> RunScale {
+    RunScale {
+        n_train: 800,
+        n_test: 150,
+        epochs: 6,
+        seeds: 1,
+        threads: 2,
+    }
+}
+
+#[test]
+fn full_pipeline_beats_chance_on_mnist() {
+    let scale = tiny_scale();
+    let bench = TestBench::new(1, 5);
+    let data = bench.load_data(&scale, 5);
+    let model = train_model(&bench, &data, Penalty::None, &scale, 5).expect("train");
+    assert!(
+        model.float_accuracy > 0.4,
+        "float accuracy {} far too low",
+        model.float_accuracy
+    );
+    let deployed =
+        evaluate_accuracy(&model.spec, &data.test_x, &data.test_y, 1, 1, 9).expect("deployed eval");
+    assert!(deployed > 0.3, "deployed accuracy {deployed} near chance");
+    // Quantization costs accuracy but not everything.
+    assert!(deployed <= model.float_accuracy + 0.05);
+}
+
+#[test]
+fn full_pipeline_beats_chance_on_rs130() {
+    let scale = RunScale {
+        n_train: 1500,
+        ..tiny_scale()
+    };
+    let bench = TestBench::new(4, 5);
+    let data = bench.load_data(&scale, 5);
+    let model = train_model(&bench, &data, Penalty::None, &scale, 5).expect("train");
+    // 3-class problem, chance = 1/3.
+    assert!(
+        model.float_accuracy > 0.40,
+        "RS130 float accuracy {}",
+        model.float_accuracy
+    );
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let scale = tiny_scale();
+    let bench = TestBench::new(1, 8);
+    let data = bench.load_data(&scale, 8);
+    let a = train_model(&bench, &data, Penalty::None, &scale, 8).expect("a");
+    let b = train_model(&bench, &data, Penalty::None, &scale, 8).expect("b");
+    assert_eq!(a.network, b.network, "training must be reproducible");
+    let ga = evaluate_accuracy(&a.spec, &data.test_x, &data.test_y, 2, 2, 3).expect("a eval");
+    let gb = evaluate_accuracy(&b.spec, &data.test_x, &data.test_y, 2, 2, 3).expect("b eval");
+    assert_eq!(ga, gb, "deployment must be reproducible");
+}
+
+#[test]
+fn biasing_reduces_synaptic_variance_without_killing_accuracy() {
+    let scale = tiny_scale();
+    let bench = TestBench::new(1, 13);
+    let data = bench.load_data(&scale, 13);
+    let tea = train_model(&bench, &data, Penalty::None, &scale, 13).expect("tea");
+    let biased = train_model(&bench, &data, bench.biasing_penalty(), &scale, 13).expect("biased");
+    let var_tea = mean_synaptic_variance(&tea.network);
+    let var_biased = mean_synaptic_variance(&biased.network);
+    assert!(
+        var_biased < var_tea * 0.7,
+        "biasing should cut variance substantially: {var_biased} vs {var_tea}"
+    );
+    assert!(
+        biased.float_accuracy > tea.float_accuracy - 0.25,
+        "biasing may cost some float accuracy but not collapse: {} vs {}",
+        biased.float_accuracy,
+        tea.float_accuracy
+    );
+}
+
+#[test]
+fn histograms_reflect_penalty_choice() {
+    let scale = tiny_scale();
+    let bench = TestBench::new(1, 21);
+    let data = bench.load_data(&scale, 21);
+    let tea = train_model(&bench, &data, Penalty::None, &scale, 21).expect("tea");
+    let biased = train_model(&bench, &data, bench.biasing_penalty(), &scale, 21).expect("biased");
+    let h_tea = ProbabilityHistogram::from_network(&tea.network, 50);
+    let h_biased = ProbabilityHistogram::from_network(&biased.network, 50);
+    assert!(h_biased.pole_mass(0.1) > h_tea.pole_mass(0.1));
+    assert!(h_biased.centroid_mass(0.1) < h_tea.centroid_mass(0.1));
+}
+
+#[test]
+fn persisted_model_deploys_identically() {
+    use tn_learn::persist::{load_network, save_network};
+    let scale = tiny_scale();
+    let bench = TestBench::new(1, 29);
+    let data = bench.load_data(&scale, 29);
+    let model = train_model(&bench, &data, bench.biasing_penalty(), &scale, 29).expect("train");
+
+    let mut buf = Vec::new();
+    save_network(&model.network, &mut buf).expect("save");
+    let restored = load_network(buf.as_slice()).expect("load");
+    assert_eq!(restored, model.network);
+
+    let spec_restored = truenorth::deploy::extract_spec(&restored).expect("spec");
+    assert_eq!(spec_restored, model.spec, "spec extraction must be stable");
+    let a = evaluate_accuracy(&model.spec, &data.test_x, &data.test_y, 1, 2, 7).expect("a");
+    let b = evaluate_accuracy(&spec_restored, &data.test_x, &data.test_y, 1, 2, 7).expect("b");
+    assert_eq!(a, b, "restored model must classify identically");
+}

@@ -1,0 +1,161 @@
+//! Cross-crate property-based tests (proptest): invariants of the Tea
+//! formulation, penalties, codecs, chip sampling, and the pairing rule
+//! under arbitrary inputs.
+
+use proptest::prelude::*;
+use tn_chip::nscs::{CoreDeploySpec, Deployment, InputSource, NetworkDeploySpec};
+use tn_codec::codes::{PopulationCode, RateCode, TimeToSpikeCode};
+use tn_learn::penalty::Penalty;
+use truenorth::cooptimize::pair_ladders;
+use truenorth::tea::{spike_probability, sum_moments, synaptic_variance};
+
+proptest! {
+    /// Eq. 9: the deployed expectation always equals the float dot product.
+    #[test]
+    fn deployed_expectation_is_unbiased(
+        ws in proptest::collection::vec(-1.0f32..=1.0, 1..40),
+        xs_seed in proptest::collection::vec(0.0f32..=1.0, 40),
+        leak in -2.0f32..=2.0,
+    ) {
+        let xs = &xs_seed[..ws.len()];
+        let m = sum_moments(&ws, xs, leak);
+        let float_y: f32 = ws.iter().zip(xs).map(|(w, x)| w * x).sum::<f32>() - leak;
+        prop_assert!((m.mean - float_y).abs() < 1e-4);
+        prop_assert!(m.variance >= -1e-6);
+    }
+
+    /// Eq. 15: synaptic variance is bounded by 1/4 and zero exactly at the
+    /// poles.
+    #[test]
+    fn synaptic_variance_bounds(w in -1.0f32..=1.0) {
+        let v = synaptic_variance(w);
+        prop_assert!((0.0..=0.25 + 1e-6).contains(&v));
+        if w.abs() == 1.0 || w == 0.0 {
+            prop_assert!(v == 0.0);
+        }
+    }
+
+    /// Spike probability is a valid probability and monotone in the mean.
+    #[test]
+    fn spike_probability_monotone_in_mean(
+        mu in -5.0f32..=5.0,
+        delta in 0.01f32..=2.0,
+        var in 0.0f32..=10.0,
+    ) {
+        let lo = spike_probability(truenorth::tea::SumMoments { mean: mu, variance: var });
+        let hi = spike_probability(truenorth::tea::SumMoments { mean: mu + delta, variance: var });
+        prop_assert!((0.0..=1.0).contains(&lo));
+        prop_assert!(hi >= lo - 1e-6);
+    }
+
+    /// The biasing penalty is always nonnegative, zero only at poles when
+    /// a = b = 0.5.
+    #[test]
+    fn biasing_penalty_nonnegative(w in -1.0f32..=1.0) {
+        let p = Penalty::biasing(1.0);
+        let v = p.value(&[w]);
+        prop_assert!(v >= 0.0);
+        let at_pole = w == 0.0 || w.abs() == 1.0;
+        if at_pole {
+            prop_assert!(v < 1e-6);
+        }
+    }
+
+    /// Penalty subgradients never point *toward* the worst point p = 0.5
+    /// for the biasing penalty (descending the penalty moves p away).
+    #[test]
+    fn biasing_descent_leaves_centroid(w in 0.05f32..=0.95) {
+        prop_assume!((w - 0.5).abs() > 0.01);
+        let p = Penalty::biasing(1.0);
+        let g = p.subgradient(w);
+        let w_next = w - 0.01 * g;
+        prop_assert!((w_next - 0.5).abs() >= (w - 0.5).abs() - 1e-6);
+    }
+
+    /// Rate-code roundtrip error is bounded by half a quantization step.
+    #[test]
+    fn rate_code_roundtrip(
+        values in proptest::collection::vec(0.0f32..=1.0, 1..20),
+        steps in 1usize..64,
+    ) {
+        let t = RateCode.encode(&values, steps);
+        for (v, d) in values.iter().zip(RateCode.decode(&t)) {
+            prop_assert!((v - d).abs() <= 0.5 / steps as f32 + 1e-5);
+        }
+    }
+
+    /// Population-code roundtrip error is bounded by half a pool step.
+    #[test]
+    fn population_code_roundtrip(
+        values in proptest::collection::vec(0.0f32..=1.0, 1..10),
+        pool in 1usize..64,
+    ) {
+        let code = PopulationCode::new(pool);
+        for (v, d) in values.iter().zip(code.decode(&code.encode(&values))) {
+            prop_assert!((v - d).abs() <= 0.5 / pool as f32 + 1e-5);
+        }
+    }
+
+    /// Time-to-spike decodes within one latency step.
+    #[test]
+    fn time_to_spike_roundtrip(
+        values in proptest::collection::vec(0.0f32..=1.0, 1..10),
+        steps in 2usize..64,
+    ) {
+        let code = TimeToSpikeCode;
+        let t = code.encode(&values, steps);
+        for (v, d) in values.iter().zip(code.decode(&t)) {
+            prop_assert!((v - d).abs() <= 1.0 / (steps - 1) as f32 + 1e-5);
+        }
+    }
+
+    /// The Table-2 pairing rule never matches a biased level with lower
+    /// accuracy than the baseline, and picks the cheapest such level.
+    #[test]
+    fn pairing_rule_invariants(
+        baseline in proptest::collection::vec(0.0f32..=1.0, 1..12),
+        biased in proptest::collection::vec(0.0f32..=1.0, 1..12),
+    ) {
+        let pairings = pair_ladders(&baseline, &biased);
+        prop_assert_eq!(pairings.len(), baseline.len());
+        for p in &pairings {
+            if let (Some(level), Some(acc)) = (p.biased_level, p.biased_accuracy) {
+                prop_assert!(acc >= p.baseline_accuracy);
+                // Cheapest: every cheaper biased level is worse.
+                for cheaper in 0..level - 1 {
+                    prop_assert!(biased[cheaper] < p.baseline_accuracy);
+                }
+            } else {
+                // Unmatched: no biased level reaches the baseline accuracy.
+                prop_assert!(biased.iter().all(|&b| b < p.baseline_accuracy));
+            }
+        }
+    }
+
+    /// Deployed connection density tracks the mean connection probability.
+    #[test]
+    fn sampling_density_tracks_probability(p in 0.05f32..=0.95, seed in 0u64..1000) {
+        let n_axons = 32usize;
+        let n_neurons = 32usize;
+        let spec = NetworkDeploySpec {
+            cores: vec![CoreDeploySpec {
+                layer: 0,
+                weights: vec![p; n_axons * n_neurons],
+                n_axons,
+                n_neurons,
+                biases: vec![0.0; n_neurons],
+                axon_sources: (0..n_axons).map(InputSource::External).collect(),
+            }],
+            n_inputs: n_axons,
+            n_classes: 2,
+            output_taps: (0..n_neurons).map(|n| (0, n, n % 2)).collect(),
+        };
+        let dep = Deployment::build(&spec, 1, seed).expect("deploy");
+        let core = dep.chip.core(0).expect("core 0");
+        let density = core.crossbar().connection_count() as f32 / (n_axons * n_neurons) as f32;
+        // 1024 Bernoulli(p) samples: allow 5 sigma.
+        let sigma = (p * (1.0 - p) / (n_axons * n_neurons) as f32).sqrt();
+        prop_assert!((density - p).abs() < 5.0 * sigma + 0.02,
+            "density {} vs p {}", density, p);
+    }
+}

@@ -1,0 +1,99 @@
+//! Table-3 structural integration: all five benches train and respect the
+//! hardware budget.
+
+use tn_learn::layer::{Layer, AXONS_PER_CORE, NEURONS_PER_CORE};
+use truenorth::prelude::*;
+
+#[test]
+fn table3_structure_matches_paper() {
+    // (bench, stride, layer core counts, classes)
+    let expected: [(usize, usize, &[usize], usize); 5] = [
+        (1, 12, &[4], 10),
+        (2, 4, &[16], 10),
+        (3, 2, &[49, 9, 4], 10),
+        (4, 3, &[4], 3),
+        (5, 1, &[16, 9], 3),
+    ];
+    for (id, stride, cores, classes) in expected {
+        let bench = TestBench::new(id, 0);
+        assert_eq!(bench.arch.block_stride, stride, "bench {id} stride");
+        assert_eq!(bench.arch.cores_per_layer, cores, "bench {id} cores");
+        assert_eq!(bench.arch.n_classes, classes, "bench {id} classes");
+    }
+}
+
+#[test]
+fn every_bench_trains_above_chance_and_respects_hardware() {
+    for id in 1..=5 {
+        let bench = TestBench::new(id, id as u64);
+        // RS130 benches (sparse one-hot windows, 2-layer TB5) need more
+        // samples/epochs than the MNIST ones to clear chance.
+        let scale = match bench.dataset {
+            DatasetKind::Mnist => RunScale {
+                n_train: 300,
+                n_test: 120,
+                epochs: 3,
+                seeds: 1,
+                threads: 2,
+            },
+            DatasetKind::Rs130 => RunScale {
+                n_train: 2500,
+                n_test: 150,
+                epochs: 8,
+                seeds: 1,
+                threads: 2,
+            },
+        };
+        let data = bench.load_data(&scale, id as u64);
+        let (net, stats) = bench
+            .train(&data, Penalty::None, scale.epochs, id as u64)
+            .unwrap_or_else(|e| panic!("bench {id}: {e}"));
+        let chance = 1.0 / bench.arch.n_classes as f32;
+        let acc = net.accuracy(&data.test_x, &data.test_y);
+        assert!(
+            acc > chance + 0.05,
+            "bench {id} accuracy {acc} vs chance {chance}"
+        );
+        assert!(!stats.is_empty());
+        for layer in net.layers() {
+            if let Layer::TnCore(t) = layer {
+                for core in &t.cores {
+                    assert!(core.n_axons() <= AXONS_PER_CORE);
+                    assert!(core.n_out <= NEURONS_PER_CORE);
+                    assert!(core
+                        .weights
+                        .as_slice()
+                        .iter()
+                        .all(|w| (-1.0..=1.0).contains(w)));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mnist_benches_outperform_rs130_benches() {
+    // Table 3's qualitative gap: digit recognition is much easier than
+    // secondary-structure prediction (95-97% vs ~69%).
+    let scale = RunScale {
+        n_train: 600,
+        n_test: 200,
+        epochs: 4,
+        seeds: 1,
+        threads: 2,
+    };
+    let run = |id: usize| {
+        let bench = TestBench::new(id, 9);
+        let data = bench.load_data(&scale, 9);
+        let (net, _) = bench
+            .train(&data, Penalty::None, scale.epochs, 9)
+            .expect("train");
+        net.accuracy(&data.test_x, &data.test_y)
+    };
+    let mnist = run(1);
+    let rs = run(4);
+    assert!(
+        mnist > rs,
+        "MNIST bench ({mnist}) should beat RS130 bench ({rs})"
+    );
+}
