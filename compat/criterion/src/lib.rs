@@ -1,0 +1,289 @@
+//! Offline mini benchmark harness.
+//!
+//! Source-compatible with the slice of the `criterion` 0.5 API this
+//! workspace's benches use: `Criterion`, `benchmark_group` with
+//! `sample_size`/`measurement_time`, `bench_function`, `Bencher::{iter,
+//! iter_batched, iter_batched_ref}`, [`BatchSize`], [`black_box`], and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery it takes `sample_size`
+//! timed samples (after a short warm-up) within the configured measurement
+//! time and reports the median, min, and max time per iteration on
+//! stdout. Good enough to track relative regressions by eye and to keep
+//! `cargo bench` runnable without crates.io access.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a value or the work producing it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; the shim treats every variant as
+/// per-iteration setup excluded from timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Collects timed samples for one benchmark function.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    /// Iterations folded into each timed sample.
+    iters_per_sample: u64,
+    target_samples: usize,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(target_samples: usize, budget: Duration) -> Self {
+        Self {
+            samples: Vec::with_capacity(target_samples),
+            iters_per_sample: 1,
+            target_samples,
+            budget,
+        }
+    }
+
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: aim for samples of >= ~50 µs so the
+        // timer overhead disappears.
+        let t0 = Instant::now();
+        let one = {
+            let s = Instant::now();
+            black_box(routine());
+            s.elapsed()
+        };
+        let per_ns = one.as_nanos().max(1);
+        self.iters_per_sample = ((50_000 / per_ns) as u64).max(1);
+        let deadline = t0 + self.budget;
+        while self.samples.len() < self.target_samples && Instant::now() < deadline {
+            let s = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(s.elapsed() / self.iters_per_sample as u32);
+        }
+        if self.samples.is_empty() {
+            self.samples.push(one);
+        }
+    }
+
+    /// Time `routine` on a fresh `setup()` value each iteration; setup is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let t0 = Instant::now();
+        let deadline = t0 + self.budget;
+        while self.samples.len() < self.target_samples && Instant::now() < deadline {
+            let input = setup();
+            let s = Instant::now();
+            black_box(routine(input));
+            self.samples.push(s.elapsed());
+        }
+        if self.samples.is_empty() {
+            let input = setup();
+            let s = Instant::now();
+            black_box(routine(input));
+            self.samples.push(s.elapsed());
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but hands the routine `&mut` access
+    /// to the setup value.
+    pub fn iter_batched_ref<I, O, S: FnMut() -> I, R: FnMut(&mut I) -> O>(
+        &mut self,
+        setup: S,
+        mut routine: R,
+        size: BatchSize,
+    ) {
+        self.iter_batched(
+            setup,
+            |mut input| {
+                routine(&mut input);
+                input
+            },
+            size,
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn report(name: &str, samples: &mut [Duration]) {
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+    println!(
+        "{name:<50} median {:>12}   [{} .. {}]  ({} samples)",
+        fmt_duration(median),
+        fmt_duration(lo),
+        fmt_duration(hi),
+        samples.len(),
+    );
+}
+
+/// A named group of benchmarks sharing sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the per-benchmark measurement time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let mut b = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into()), &mut b.samples);
+    }
+
+    /// Finish the group (printing happens eagerly; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 30,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accept (and ignore) command-line configuration; kept for parity
+    /// with `criterion_main!`-generated code.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            measurement_time,
+            _criterion: self,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let mut b = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut b);
+        report(&id.into(), &mut b.samples);
+    }
+
+    /// Final summary hook (no-op; kept for API parity).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Bundle benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` for a set of [`criterion_group!`] runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new(5, Duration::from_millis(200));
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert!(!b.samples.is_empty());
+    }
+
+    #[test]
+    fn batched_runs_setup_per_sample() {
+        let mut b = Bencher::new(3, Duration::from_millis(200));
+        let mut setups = 0;
+        b.iter_batched_ref(
+            || {
+                setups += 1;
+                vec![0u8; 64]
+            },
+            |v| v[0] = 1,
+            BatchSize::SmallInput,
+        );
+        assert!(setups >= 1);
+        assert_eq!(setups, b.samples.len());
+    }
+
+    #[test]
+    fn groups_run_to_completion() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2).measurement_time(Duration::from_millis(50));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

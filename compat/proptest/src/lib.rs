@@ -1,0 +1,108 @@
+//! Offline mini property-testing harness.
+//!
+//! Source-compatible with the slice of the `proptest` API this workspace
+//! uses: the [`proptest!`] macro (`arg in strategy` bindings), range and
+//! collection strategies, `prop_map`/`prop_flat_map` combinators, and the
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the standard assert
+//!   message; the run is deterministic (the RNG is seeded from the test
+//!   name), so failures reproduce exactly.
+//! * **Fixed case count** — 64 cases per property, overridable with the
+//!   `PROPTEST_CASES` environment variable.
+//! * `prop_assume!` skips the current case rather than resampling.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Common imports for property tests: the [`strategy::Strategy`] trait and
+/// the test macros.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Define property tests.
+///
+/// Each function runs [`test_runner::cases`] times with every `arg in
+/// strategy` binding freshly sampled from a per-test deterministic RNG.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::cases();
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for _case in 0..cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    // A closure per case lets `prop_assume!` skip via
+                    // `return` without ending the whole test.
+                    let case = move || { $body };
+                    case();
+                }
+            }
+        )+
+    };
+}
+
+/// Assert a condition inside a property (plain `assert!` here — no
+/// shrinking, the seeded run already reproduces).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+
+    proptest! {
+        /// The harness itself: bindings sample in range, assume skips.
+        #[test]
+        fn harness_samples_in_range(x in 0.0f32..=1.0, n in 1usize..10) {
+            prop_assume!(n != 3);
+            prop_assert!((0.0..=1.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+            prop_assert_eq!(n == 3, false);
+        }
+
+        /// Combinators compose.
+        #[test]
+        fn harness_combinators(v in crate::collection::vec(0u64..100, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn properties_are_deterministic() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::for_test("t");
+        let mut b = crate::test_runner::TestRng::for_test("t");
+        let s = 0.0f64..1.0;
+        for _ in 0..20 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+}

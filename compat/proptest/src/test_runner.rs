@@ -1,0 +1,59 @@
+//! Deterministic per-test RNG and case-count policy.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Number of cases each property runs: `PROPTEST_CASES` env var, or 64.
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// The RNG handed to strategies: seeded from the test name (FNV-1a), so a
+/// property's inputs are identical on every run and every platform.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG for the named test.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Access the underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn name_determines_stream() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        let mut c = TestRng::for_test("y");
+        assert_eq!(a.rng().next_u64(), b.rng().next_u64());
+        assert_ne!(TestRng::for_test("x").rng().next_u64(), c.rng().next_u64());
+    }
+
+    #[test]
+    fn cases_is_positive() {
+        assert!(cases() > 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Distribution objects (`Uniform`).
+
+use crate::{RngCore, SampleUniform};
+
+/// Types that can be sampled repeatedly from a distribution object.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// A uniform distribution over a fixed interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+    inclusive: bool,
+}
+
+impl<T: SampleUniform> Uniform<T> {
+    /// Uniform over the half-open interval `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when sampling if `lo >= hi`.
+    pub fn new(lo: T, hi: T) -> Self {
+        Self {
+            lo,
+            hi,
+            inclusive: false,
+        }
+    }
+
+    /// Uniform over the closed interval `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when sampling if `lo > hi`.
+    pub fn new_inclusive(lo: T, hi: T) -> Self {
+        Self {
+            lo,
+            hi,
+            inclusive: true,
+        }
+    }
+}
+
+impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_between(self.lo, self.hi, self.inclusive, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn inclusive_uniform_is_symmetric() {
+        let dist = Uniform::new_inclusive(-0.5f32, 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sum = 0.0f64;
+        for _ in 0..10_000 {
+            let x = dist.sample(&mut rng);
+            assert!((-0.5..=0.5).contains(&x));
+            sum += x as f64;
+        }
+        assert!(sum.abs() / 10_000.0 < 0.01);
+    }
+
+    #[test]
+    fn integer_uniform_hits_bounds() {
+        let dist = Uniform::new_inclusive(0usize, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 4];
+        for _ in 0..400 {
+            seen[dist.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,49 @@
+//! Sequence-related helpers (`SliceRandom`).
+
+use crate::{RngCore, SampleUniform};
+
+/// Randomized operations on slices.
+pub trait SliceRandom {
+    /// Shuffle the slice in place (Fisher–Yates), deterministically for a
+    /// fixed generator state.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = usize::sample_between(0, i, true, rng);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_seeded_permutation() {
+        let mut a: Vec<usize> = (0..50).collect();
+        let mut b: Vec<usize> = (0..50).collect();
+        a.shuffle(&mut StdRng::seed_from_u64(9));
+        b.shuffle(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(a, sorted, "50 elements almost surely move");
+    }
+
+    #[test]
+    fn tiny_slices_are_fine() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut empty: [usize; 0] = [];
+        empty.shuffle(&mut rng);
+        let mut one = [42];
+        one.shuffle(&mut rng);
+        assert_eq!(one, [42]);
+    }
+}

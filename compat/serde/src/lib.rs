@@ -1,0 +1,24 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public data
+//! types to document intent and keep the door open for a real format
+//! crate, but it never routes data through serde (model persistence is a
+//! hand-rolled binary format in `tn-learn::persist`). Since the build
+//! environment has no crates.io access, this crate supplies just enough
+//! surface for those derives to compile: marker traits and no-op derive
+//! macros re-exported under the `derive` feature.
+
+#![warn(missing_docs)]
+
+/// Marker for types that declare themselves serializable.
+///
+/// No serializer exists in this workspace; the trait carries no methods.
+pub trait Serialize {}
+
+/// Marker for types that declare themselves deserializable.
+///
+/// No deserializer exists in this workspace; the trait carries no methods.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op derive macros for the offline `serde` stand-in.
+//!
+//! `#[derive(Serialize, Deserialize)]` expands to nothing: the workspace
+//! only uses the derives as machine-checked annotations (and to stay
+//! source-compatible with real serde), never for actual serialization.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepted anywhere real serde's derive would be.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepted anywhere real serde's derive would be.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

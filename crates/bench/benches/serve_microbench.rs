@@ -1,0 +1,119 @@
+//! Criterion microbenchmarks of the serving runtime: end-to-end request
+//! throughput at 1/2/4 replicas on fractional (Tea-like) vs polarized
+//! (biased-like) synthetic specs, the chip-level `run_frame_votes` fast
+//! path, and bare queue round-trips.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+use tn_chip::nscs::{CoreDeploySpec, Deployment, InputSource, NetworkDeploySpec};
+use tn_serve::{BoundedQueue, ServeConfig, ServeRuntime};
+
+/// A 16-input / 4-class single-core spec. `polarized` drives every
+/// weight magnitude to 1 (what probability-biased training produces);
+/// otherwise magnitudes are fractional (Tea-like) so each replica's
+/// crossbar is a distinct Bernoulli sample.
+fn synthetic_spec(polarized: bool) -> NetworkDeploySpec {
+    let (n_inputs, n_classes) = (16usize, 4usize);
+    let weights: Vec<f32> = (0..n_inputs * n_classes)
+        .map(|i| {
+            let sign = if (i / n_classes + i % n_classes) % 2 == 0 { 1.0 } else { -1.0 };
+            let mag = if polarized { 1.0 } else { 0.3 + 0.05 * (i % 9) as f32 };
+            sign * mag
+        })
+        .collect();
+    NetworkDeploySpec {
+        cores: vec![CoreDeploySpec {
+            layer: 0,
+            weights,
+            n_axons: n_inputs,
+            n_neurons: n_classes,
+            biases: vec![-0.5; n_classes],
+            axon_sources: (0..n_inputs).map(InputSource::External).collect(),
+        }],
+        n_inputs,
+        n_classes,
+        output_taps: (0..n_classes).map(|c| (0, c, c)).collect(),
+    }
+}
+
+fn frame(n_inputs: usize) -> Vec<f32> {
+    (0..n_inputs).map(|i| ((i * 13) % 10) as f32 / 10.0).collect()
+}
+
+fn bench_serve_requests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_request");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+    for polarized in [false, true] {
+        let label = if polarized { "polarized" } else { "fractional" };
+        for replicas in [1usize, 2, 4] {
+            let spec = synthetic_spec(polarized);
+            let rt = ServeRuntime::new(
+                &spec,
+                ServeConfig::new(7)
+                    .with_replicas(replicas)
+                    .with_workers(2)
+                    .with_spf(8),
+            )
+            .expect("runtime");
+            let inputs = frame(spec.n_inputs);
+            group.bench_function(format!("{label}/{replicas}_replicas"), |b| {
+                b.iter(|| rt.classify(inputs.clone()).expect("serve"))
+            });
+            rt.shutdown();
+        }
+    }
+    group.finish();
+}
+
+fn bench_run_frame_votes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run_frame_votes");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    let spec = synthetic_spec(false);
+    let inputs = frame(spec.n_inputs);
+    for replicas in [1usize, 4] {
+        let mut dep = Deployment::build(&spec, replicas, 7).expect("deploy");
+        let mut votes = vec![0u64; replicas * spec.n_classes];
+        let mut seed = 0u64;
+        group.bench_function(format!("{replicas}_replicas_8spf"), |b| {
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                dep.run_frame_votes(&inputs, 8, seed, &mut votes)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_queue_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounded_queue");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("push_pop_batch_16", |b| {
+        let queue = BoundedQueue::new(64);
+        let mut buf = Vec::with_capacity(16);
+        b.iter_batched_ref(
+            || (),
+            |_| {
+                for i in 0..16u64 {
+                    queue.try_push(i).expect("capacity");
+                }
+                queue.pop_batch(16, &mut buf)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_serve_requests,
+    bench_run_frame_votes,
+    bench_queue_roundtrip
+);
+criterion_main!(benches);

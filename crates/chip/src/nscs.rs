@@ -286,7 +286,12 @@ impl NetworkDeploySpec {
 }
 
 /// A network deployed onto a chip as one or more spatial copies.
-#[derive(Debug)]
+///
+/// `Deployment` is `Clone`: a long-lived serving pool builds (and thereby
+/// samples) one deployment, then clones it per worker thread — much
+/// cheaper than re-running Bernoulli sampling and placement per worker,
+/// and it guarantees every worker carries bit-identical replicas.
+#[derive(Debug, Clone)]
 pub struct Deployment {
     /// The chip carrying all copies.
     pub chip: TrueNorthChip,
@@ -448,6 +453,11 @@ impl Deployment {
         self.depth
     }
 
+    /// External input channels expected by [`Deployment::run_frame`].
+    pub fn n_inputs(&self) -> usize {
+        self.input_routes.first().map_or(0, Vec::len)
+    }
+
     /// Core handles of one copy.
     ///
     /// # Panics
@@ -522,6 +532,86 @@ impl Deployment {
         self.chip.flush_in_flight();
         debug_assert_eq!(per_sample.len(), spf);
         per_sample
+    }
+
+    /// Run one frame and write the frame's aggregate class votes into
+    /// `votes` (layout `[copy * n_classes + class]`, overwritten).
+    ///
+    /// Identical semantics to summing [`Deployment::run_frame`]'s
+    /// per-sample rows — output taps only exist on the final layer, so the
+    /// post-transient total equals `counts(total_ticks) − counts(depth−1)`
+    /// — but without the per-tick allocations. This is the hot path for
+    /// the `tn-serve` runtime, where one call per request is made on a
+    /// long-lived deployment.
+    ///
+    /// Returns the number of chip ticks executed (`spf + depth − 1`), so
+    /// callers can account energy per frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` has the wrong width, holds values outside
+    /// `[0, 1]`, or `votes.len() != copies() * n_classes()`.
+    pub fn run_frame_votes(
+        &mut self,
+        inputs: &[f32],
+        spf: usize,
+        frame_seed: u64,
+        votes: &mut [u64],
+    ) -> u64 {
+        let n_inputs = self.n_inputs();
+        assert_eq!(
+            inputs.len(),
+            n_inputs,
+            "input width mismatch: {n_inputs} channels expected"
+        );
+        assert!(
+            inputs.iter().all(|v| (0.0..=1.0).contains(v)),
+            "inputs must be normalized probabilities"
+        );
+        assert_eq!(
+            votes.len(),
+            self.chip.output_counts().len(),
+            "votes buffer must hold copies() * n_classes() lanes"
+        );
+        // Same RNG construction and draw order as `run_frame`, so a given
+        // `frame_seed` yields bit-identical spike trains on either path.
+        let mut rng = StdRng::seed_from_u64(splitmix64(frame_seed));
+        self.chip
+            .set_seed(splitmix64(frame_seed ^ 0xC0DE_C0DE_C0DE_C0DE));
+        let depth = self.depth.max(1);
+        let total_ticks = spf + depth - 1;
+        self.chip.clear_outputs();
+        for t in 0..total_ticks {
+            if t < spf {
+                for copy_routes in &self.input_routes {
+                    for (ch, &x) in inputs.iter().enumerate() {
+                        if x > 0.0 && rng.gen::<f32>() < x {
+                            for &(core, axon) in &copy_routes[ch] {
+                                self.chip
+                                    .inject(core, axon)
+                                    .expect("validated routes cannot dangle");
+                            }
+                        }
+                    }
+                }
+            }
+            self.chip.tick();
+            if t + 2 == depth {
+                // Snapshot the pipeline-fill transient (counts after the
+                // first depth−1 ticks); everything beyond it is signal.
+                votes.copy_from_slice(self.chip.output_counts());
+            }
+        }
+        let finals = self.chip.output_counts();
+        if depth > 1 {
+            for (v, &f) in votes.iter_mut().zip(finals) {
+                *v = f - *v;
+            }
+        } else {
+            votes.copy_from_slice(finals);
+        }
+        self.chip.flush_in_flight();
+        total_ticks as u64
     }
 
     /// The synaptic-weight deviation map of one deployed core against its
@@ -615,6 +705,65 @@ mod tests {
         let class0: u64 = votes.iter().map(|v| v[0]).sum();
         let class1: u64 = votes.iter().map(|v| v[1]).sum();
         assert!(class1 > class0);
+    }
+
+    #[test]
+    fn run_frame_votes_matches_run_frame_totals() {
+        // Fractional weights + 2 copies so both stochastic paths (input
+        // Bernoulli and per-copy sampling) are exercised; run_frame_votes
+        // must reproduce run_frame's post-transient totals bit-exactly.
+        let mut spec = tiny_spec();
+        for w in &mut spec.cores[0].weights {
+            *w *= 0.6;
+        }
+        for (copies, spf, seed) in [(1usize, 8usize, 7u64), (2, 16, 13), (3, 4, 99)] {
+            let mut a = Deployment::build(&spec, copies, 21).expect("deploy");
+            let mut b = a.clone();
+            let per_sample = a.run_frame(&[0.9, 0.4], spf, seed);
+            let mut expected = vec![0u64; copies * spec.n_classes];
+            for row in &per_sample {
+                for (e, v) in expected.iter_mut().zip(row) {
+                    *e += v;
+                }
+            }
+            let mut votes = vec![u64::MAX; copies * spec.n_classes];
+            let ticks = b.run_frame_votes(&[0.9, 0.4], spf, seed, &mut votes);
+            assert_eq!(votes, expected, "copies {copies} spf {spf} seed {seed}");
+            assert_eq!(ticks, spf as u64, "depth-1 spec runs spf ticks");
+        }
+    }
+
+    #[test]
+    fn run_frame_votes_compensates_pipeline_depth() {
+        // Two-layer relay (depth 2): the transient tick must be excluded.
+        let spec = NetworkDeploySpec {
+            cores: vec![
+                CoreDeploySpec {
+                    layer: 0,
+                    weights: vec![1.0],
+                    n_axons: 1,
+                    n_neurons: 1,
+                    biases: vec![-0.5],
+                    axon_sources: vec![InputSource::External(0)],
+                },
+                CoreDeploySpec {
+                    layer: 1,
+                    weights: vec![1.0],
+                    n_axons: 1,
+                    n_neurons: 1,
+                    biases: vec![-0.5],
+                    axon_sources: vec![InputSource::Core { core: 0, neuron: 0 }],
+                },
+            ],
+            n_inputs: 1,
+            n_classes: 1,
+            output_taps: vec![(1, 0, 0)],
+        };
+        let mut dep = Deployment::build(&spec, 1, 3).expect("deploy");
+        let mut votes = vec![0u64; 1];
+        let ticks = dep.run_frame_votes(&[1.0], 4, 1, &mut votes);
+        assert_eq!(votes, vec![4], "all 4 samples arrive despite latency");
+        assert_eq!(ticks, 5, "spf + depth - 1");
     }
 
     #[test]

@@ -1,10 +1,10 @@
-//! Tiny scoped-thread fan-out helper built on crossbeam.
+//! Tiny scoped-thread fan-out helper built on `std::thread::scope`.
 //!
 //! The evaluator and the experiment harness both split a sample range
 //! across workers that each own a cloned chip; this helper centralizes the
-//! chunking and error plumbing.
-
-use crossbeam::thread;
+//! chunking and error plumbing. (The serving runtime in `tn-serve` owns
+//! its own long-lived worker pool instead — this helper stays the right
+//! tool for one-shot offline fan-outs.)
 
 /// Split `0..n` into up to `threads` contiguous chunks and run `worker` on
 /// each in parallel, collecting results in chunk order.
@@ -19,7 +19,8 @@ use crossbeam::thread;
 ///
 /// # Panics
 ///
-/// Panics if a worker thread panics.
+/// Panics if a worker thread panics; the re-raised panic text includes the
+/// worker's own panic message so parallel failures stay diagnosable.
 pub fn parallel_chunks<T, E, F>(n: usize, threads: usize, worker: F) -> Result<Vec<T>, E>
 where
     T: Send,
@@ -35,22 +36,40 @@ where
         .map(|t| (t * chunk).min(n)..((t + 1) * chunk).min(n))
         .filter(|r| !r.is_empty())
         .collect();
-    let results = thread::scope(|s| {
+    let results = std::thread::scope(|s| {
         let handles: Vec<_> = ranges
             .iter()
             .map(|r| {
                 let r = r.clone();
                 let worker = &worker;
-                s.spawn(move |_| worker(r))
+                s.spawn(move || worker(r))
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                Err(payload) => panic!(
+                    "parallel_chunks worker panicked: {}",
+                    panic_payload_message(payload.as_ref())
+                ),
+            })
             .collect::<Vec<Result<T, E>>>()
-    })
-    .expect("thread scope panicked");
+    });
     results.into_iter().collect()
+}
+
+/// Best-effort extraction of the human-readable message from a panic
+/// payload (`&str` and `String` cover everything `panic!`/`assert!`
+/// produce; anything else reports its opacity rather than nothing).
+fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -97,5 +116,34 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(err, "first chunk failed");
+    }
+
+    #[test]
+    fn worker_panic_message_is_surfaced() {
+        let result = std::panic::catch_unwind(|| {
+            let _ = parallel_chunks(8, 2, |r| {
+                if r.start == 0 {
+                    panic!("chunk {}..{} exploded on sample 3", r.start, r.end);
+                }
+                Ok::<_, ()>(())
+            });
+        });
+        let payload = result.expect_err("worker panic must propagate");
+        let msg = panic_payload_message(payload.as_ref());
+        assert!(
+            msg.contains("parallel_chunks worker panicked")
+                && msg.contains("exploded on sample 3"),
+            "panic text should carry the worker payload, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn payload_messages_cover_common_shapes() {
+        assert_eq!(panic_payload_message(&"static"), "static");
+        assert_eq!(
+            panic_payload_message(&"owned".to_string()),
+            "owned"
+        );
+        assert_eq!(panic_payload_message(&42usize), "<non-string panic payload>");
     }
 }

@@ -28,7 +28,9 @@
 //! * [`cooptimize`] — Table-2 pairing: core savings and speedups;
 //! * [`experiment`] — one runner per table/figure;
 //! * [`power`] — energy-per-frame accounting (extension);
-//! * [`report`] — CSV artifacts for EXPERIMENTS.md.
+//! * [`report`] — CSV artifacts for EXPERIMENTS.md;
+//! * [`serving`] — glue onto `tn-serve`, the persistent multi-threaded
+//!   inference runtime (replica pools, batching, backpressure, metrics).
 //!
 //! ## Quickstart
 //!
@@ -67,6 +69,7 @@ pub mod eval;
 pub mod experiment;
 pub mod power;
 pub mod report;
+pub mod serving;
 pub mod surface;
 pub mod tea;
 pub mod testbench;
@@ -83,6 +86,7 @@ pub mod prelude {
         table3_row, train_model, DuplicationStudy, ExperimentError, TrainedModel,
     };
     pub use crate::power::{analyze_energy, EnergyAnalysis};
+    pub use crate::serving::{serve_network, serve_persisted, serve_spec, ServingError};
     pub use crate::surface::{AccuracySurface, BoostSurface};
     pub use crate::tea::{
         connection_probability, spike_probability, sum_moments, synaptic_variance, SumMoments,
@@ -92,4 +96,7 @@ pub mod prelude {
     pub use tn_chip::nscs::{ConnectivityMode, Deployment, NetworkDeploySpec};
     pub use tn_learn::model::Network;
     pub use tn_learn::penalty::Penalty;
+    pub use tn_serve::{
+        Backpressure, MetricsSnapshot, Response, ServeConfig, ServeError, ServeRuntime,
+    };
 }

@@ -1,0 +1,170 @@
+//! Glue from trained (or persisted) models to the `tn-serve` runtime.
+//!
+//! `tn-serve` itself depends only on `tn-chip` — it serves any
+//! [`NetworkDeploySpec`]. This module closes the loop for the common
+//! workflows: spin up a runtime straight from a trained
+//! [`Network`], or from a model file written by
+//! [`tn_learn::persist::save_network`].
+
+use std::path::Path;
+
+use tn_learn::model::Network;
+use tn_learn::persist::{load_network, PersistError};
+use tn_serve::{ServeConfig, ServeError, ServeRuntime};
+
+use crate::deploy::{extract_spec, ExtractError};
+use tn_chip::nscs::NetworkDeploySpec;
+
+/// Failures on the model → runtime path.
+#[derive(Debug)]
+pub enum ServingError {
+    /// The trained network has a layer that cannot deploy to TrueNorth.
+    Extract(ExtractError),
+    /// The persisted model file could not be read or decoded.
+    Persist(PersistError),
+    /// The runtime itself refused the spec or configuration.
+    Serve(ServeError),
+}
+
+impl std::fmt::Display for ServingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Extract(e) => write!(f, "cannot extract deploy spec: {e}"),
+            Self::Persist(e) => write!(f, "cannot load persisted model: {e}"),
+            Self::Serve(e) => write!(f, "cannot start serve runtime: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Extract(e) => Some(e),
+            Self::Persist(e) => Some(e),
+            Self::Serve(e) => Some(e),
+        }
+    }
+}
+
+impl From<ExtractError> for ServingError {
+    fn from(e: ExtractError) -> Self {
+        Self::Extract(e)
+    }
+}
+
+impl From<PersistError> for ServingError {
+    fn from(e: PersistError) -> Self {
+        Self::Persist(e)
+    }
+}
+
+impl From<ServeError> for ServingError {
+    fn from(e: ServeError) -> Self {
+        Self::Serve(e)
+    }
+}
+
+/// Start a serving runtime for an already-extracted hardware spec.
+///
+/// # Errors
+///
+/// [`ServingError::Serve`] if the config is inconsistent or the spec does
+/// not fit the chip at the requested replica count.
+pub fn serve_spec(spec: &NetworkDeploySpec, cfg: ServeConfig) -> Result<ServeRuntime, ServingError> {
+    Ok(ServeRuntime::new(spec, cfg)?)
+}
+
+/// Extract the hardware spec from a trained network and start serving it.
+///
+/// # Errors
+///
+/// [`ServingError::Extract`] for non-deployable networks, plus everything
+/// [`serve_spec`] can return.
+pub fn serve_network(net: &Network, cfg: ServeConfig) -> Result<ServeRuntime, ServingError> {
+    let spec = extract_spec(net)?;
+    serve_spec(&spec, cfg)
+}
+
+/// Load a model persisted with [`tn_learn::persist::save_network`] and
+/// start serving it — the deploy-from-disk path of the serving story.
+///
+/// # Errors
+///
+/// [`ServingError::Persist`] for unreadable or corrupt model files, plus
+/// everything [`serve_network`] can return.
+pub fn serve_persisted(path: &Path, cfg: ServeConfig) -> Result<ServeRuntime, ServingError> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| ServingError::Persist(PersistError::Io(e)))?;
+    let net = load_network(std::io::BufReader::new(file))?;
+    serve_network(&net, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use tn_learn::persist::save_network;
+
+    fn tiny_trained() -> (Network, BenchData) {
+        let scale = RunScale {
+            n_train: 120,
+            n_test: 40,
+            epochs: 2,
+            seeds: 1,
+            threads: 1,
+        };
+        let bench = TestBench::new(1, 31);
+        let data = bench.load_data(&scale, 31);
+        let (net, _) = bench
+            .train(&data, Penalty::None, scale.epochs, 31)
+            .expect("train");
+        (net, data)
+    }
+
+    #[test]
+    fn trained_network_round_trips_through_serving() {
+        let (net, data) = tiny_trained();
+        let rt = serve_network(&net, ServeConfig::new(5).with_workers(2)).expect("serve");
+        assert_eq!(rt.n_inputs(), 28 * 28);
+        assert_eq!(rt.n_classes(), 10);
+        let r = rt.classify(data.test_x.row(0).to_vec()).expect("classify");
+        assert!(r.predicted < 10);
+        let snap = rt.shutdown();
+        assert_eq!(snap.completed, 1);
+    }
+
+    #[test]
+    fn persisted_model_serves_from_disk() {
+        let (net, data) = tiny_trained();
+        let dir = std::env::temp_dir().join("tn-serve-persist-test");
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        let path = dir.join("bench1.tnm");
+        let mut bytes = Vec::new();
+        save_network(&net, &mut bytes).expect("encode");
+        std::fs::write(&path, &bytes).expect("write");
+
+        let rt = serve_persisted(&path, ServeConfig::new(5)).expect("serve");
+        let from_disk = rt.classify(data.test_x.row(0).to_vec()).expect("classify");
+        rt.shutdown();
+
+        // Same request seq + seed via a fresh in-memory runtime: identical.
+        let rt = serve_network(&net, ServeConfig::new(5)).expect("serve");
+        let in_memory = rt.classify(data.test_x.row(0).to_vec()).expect("classify");
+        rt.shutdown();
+        assert_eq!(from_disk.predicted, in_memory.predicted);
+        assert_eq!(from_disk.votes, in_memory.votes);
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_a_persist_error() {
+        let err = serve_persisted(
+            Path::new("/nonexistent/model.tnm"),
+            ServeConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ServingError::Persist(PersistError::Io(_))));
+        assert!(err.to_string().contains("persisted model"));
+    }
+}

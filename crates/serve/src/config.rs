@@ -1,0 +1,179 @@
+//! Runtime configuration and its builder.
+
+use tn_chip::nscs::ConnectivityMode;
+
+use crate::error::ServeError;
+
+/// What `submit` does when the bounded queue is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backpressure {
+    /// Block the submitting thread until a slot frees up (default; keeps
+    /// every accepted request and throttles the producer instead).
+    #[default]
+    Block,
+    /// Fail fast with [`ServeError::QueueFull`] so the caller can shed
+    /// load or retry.
+    Reject,
+}
+
+/// Configuration for a [`crate::ServeRuntime`].
+///
+/// Builder-style: start from [`ServeConfig::default`] (or
+/// [`ServeConfig::new`]) and chain `with_*` setters.
+///
+/// ```
+/// use tn_serve::{Backpressure, ServeConfig};
+/// let cfg = ServeConfig::new(7)
+///     .with_replicas(4)
+///     .with_workers(2)
+///     .with_backpressure(Backpressure::Reject);
+/// assert_eq!(cfg.replicas, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Spatial copies deployed per worker chip; each casts one vote per
+    /// request (the paper's duplication axis).
+    pub replicas: usize,
+    /// Worker threads, each owning a full replica set (a cloned
+    /// deployment, so every worker holds bit-identical replicas).
+    pub workers: usize,
+    /// Stochastic input samples (spikes per frame) per request.
+    pub spf: usize,
+    /// Master seed: drives replica Bernoulli sampling at build time and,
+    /// combined with each request's sequence number, the per-frame spike
+    /// trains. Results are a pure function of `(seed, seq)` — never of
+    /// worker count or scheduling.
+    pub seed: u64,
+    /// Bounded submission-queue capacity.
+    pub queue_capacity: usize,
+    /// Max requests a worker drains per queue lock (micro-batch size).
+    pub batch_max: usize,
+    /// Full-queue behaviour.
+    pub backpressure: Backpressure,
+    /// How replica crossbars realize fractional weights.
+    pub connectivity: ConnectivityMode,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            replicas: 2,
+            workers: 2,
+            spf: 8,
+            seed: 7,
+            queue_capacity: 256,
+            batch_max: 16,
+            backpressure: Backpressure::Block,
+            connectivity: ConnectivityMode::IndependentPerCopy,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Default configuration under the given master seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Set the replica (spatial copy) count per worker.
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Set the worker-thread count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Set spikes per frame.
+    pub fn with_spf(mut self, spf: usize) -> Self {
+        self.spf = spf;
+        self
+    }
+
+    /// Set the submission-queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Set the per-worker micro-batch size.
+    pub fn with_batch_max(mut self, batch_max: usize) -> Self {
+        self.batch_max = batch_max;
+        self
+    }
+
+    /// Set the full-queue behaviour.
+    pub fn with_backpressure(mut self, backpressure: Backpressure) -> Self {
+        self.backpressure = backpressure;
+        self
+    }
+
+    /// Set the connectivity mode for replica sampling.
+    pub fn with_connectivity(mut self, connectivity: ConnectivityMode) -> Self {
+        self.connectivity = connectivity;
+        self
+    }
+
+    /// Check internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        for (name, v) in [
+            ("replicas", self.replicas),
+            ("workers", self.workers),
+            ("spf", self.spf),
+            ("queue_capacity", self.queue_capacity),
+            ("batch_max", self.batch_max),
+        ] {
+            if v == 0 {
+                return Err(ServeError::BadConfig(format!("{name} must be >= 1")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains_and_validates() {
+        let cfg = ServeConfig::new(42)
+            .with_replicas(4)
+            .with_workers(3)
+            .with_spf(16)
+            .with_queue_capacity(8)
+            .with_batch_max(2)
+            .with_backpressure(Backpressure::Reject);
+        cfg.validate().expect("valid");
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.replicas, 4);
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.spf, 16);
+        assert_eq!(cfg.queue_capacity, 8);
+        assert_eq!(cfg.batch_max, 2);
+        assert_eq!(cfg.backpressure, Backpressure::Reject);
+    }
+
+    #[test]
+    fn zero_fields_are_rejected() {
+        for cfg in [
+            ServeConfig::default().with_replicas(0),
+            ServeConfig::default().with_workers(0),
+            ServeConfig::default().with_spf(0),
+            ServeConfig::default().with_queue_capacity(0),
+            ServeConfig::default().with_batch_max(0),
+        ] {
+            assert!(matches!(cfg.validate(), Err(ServeError::BadConfig(_))));
+        }
+    }
+}

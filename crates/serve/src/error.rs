@@ -1,0 +1,87 @@
+//! Error taxonomy for the serving runtime.
+
+use tn_chip::nscs::DeployError;
+
+/// Everything that can go wrong between [`crate::ServeRuntime::new`] and a
+/// completed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The network spec could not be deployed onto replica chips.
+    Deploy(DeployError),
+    /// The [`crate::ServeConfig`] is internally inconsistent.
+    BadConfig(String),
+    /// The submission queue is full and the runtime is configured with
+    /// [`crate::Backpressure::Reject`].
+    QueueFull,
+    /// The runtime is shutting down and no longer accepts submissions.
+    ShuttingDown,
+    /// The request was accepted but the runtime shut down before a worker
+    /// served it (only possible on non-draining teardown paths).
+    Cancelled,
+    /// The request's input vector does not match the deployed network.
+    BadInput {
+        /// Channels the deployed network expects.
+        expected: usize,
+        /// Channels the request supplied.
+        got: usize,
+    },
+    /// An input value fell outside the normalized `[0, 1]` range.
+    InputOutOfRange {
+        /// Index of the offending channel.
+        channel: usize,
+        /// The offending value.
+        value: f32,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Deploy(e) => write!(f, "replica deployment failed: {e}"),
+            Self::BadConfig(msg) => write!(f, "invalid serve config: {msg}"),
+            Self::QueueFull => write!(f, "submission queue full (backpressure: reject)"),
+            Self::ShuttingDown => write!(f, "runtime is shutting down"),
+            Self::Cancelled => write!(f, "request cancelled before it was served"),
+            Self::BadInput { expected, got } => {
+                write!(f, "input width mismatch: expected {expected} channels, got {got}")
+            }
+            Self::InputOutOfRange { channel, value } => {
+                write!(
+                    f,
+                    "input channel {channel} = {value} outside normalized [0, 1]"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Deploy(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeployError> for ServeError {
+    fn from(e: DeployError) -> Self {
+        Self::Deploy(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServeError::BadInput {
+            expected: 784,
+            got: 10,
+        };
+        let text = e.to_string();
+        assert!(text.contains("784") && text.contains("10"), "{text}");
+        assert!(ServeError::QueueFull.to_string().contains("full"));
+    }
+}

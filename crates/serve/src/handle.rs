@@ -1,0 +1,173 @@
+//! Per-request completion handles.
+//!
+//! Submission returns a [`RequestHandle`]; the worker that serves the
+//! request fulfils the paired [`Completer`]. One-shot semantics are
+//! enforced by construction: the completer is moved into exactly one
+//! worker job and consumed by [`Completer::complete`], and the handle's
+//! [`RequestHandle::wait`] consumes the handle.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::error::ServeError;
+
+/// The outcome of one served inference request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Monotonic submission sequence number (also the determinism key:
+    /// the frame seed is a pure function of it).
+    pub seq: u64,
+    /// Predicted class: argmax of the replica-pooled votes.
+    pub predicted: usize,
+    /// Per-class votes summed across replicas (`[n_classes]`).
+    pub votes: Vec<u64>,
+    /// Each replica's individual argmax (`[replicas]`).
+    pub replica_predictions: Vec<usize>,
+    /// Fraction of replicas whose individual argmax matches `predicted`.
+    pub agreement: f32,
+    /// Index of the worker thread that served the request.
+    pub worker: usize,
+    /// Chip ticks spent on this frame (spf + pipeline depth − 1).
+    pub ticks: u64,
+    /// Wall-clock latency from submission to completion.
+    pub latency: Duration,
+}
+
+#[derive(Debug)]
+struct Cell {
+    slot: Mutex<Option<Result<Response, ServeError>>>,
+    done: Condvar,
+}
+
+/// Awaitable handle for one submitted request.
+#[derive(Debug)]
+pub struct RequestHandle {
+    cell: Arc<Cell>,
+    seq: u64,
+}
+
+/// Worker-side completion token paired with one [`RequestHandle`].
+#[derive(Debug)]
+pub(crate) struct Completer {
+    cell: Arc<Cell>,
+}
+
+/// Create a connected handle/completer pair for submission `seq`.
+pub(crate) fn pair(seq: u64) -> (RequestHandle, Completer) {
+    let cell = Arc::new(Cell {
+        slot: Mutex::new(None),
+        done: Condvar::new(),
+    });
+    (
+        RequestHandle {
+            cell: Arc::clone(&cell),
+            seq,
+        },
+        Completer { cell },
+    )
+}
+
+impl RequestHandle {
+    /// The request's submission sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Block until the request completes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the worker-side [`ServeError`], or
+    /// [`ServeError::Cancelled`] if every completer was dropped unfulfilled.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        let mut slot = self.cell.slot.lock().expect("handle lock");
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            // Completer dropped without completing and nothing stored:
+            // only this handle holds the cell now.
+            if Arc::strong_count(&self.cell) == 1 {
+                return Err(ServeError::Cancelled);
+            }
+            slot = self.cell.done.wait(slot).expect("handle lock");
+        }
+    }
+
+    /// Non-blocking poll; returns the result once, `None` while pending.
+    pub fn try_take(&self) -> Option<Result<Response, ServeError>> {
+        self.cell.slot.lock().expect("handle lock").take()
+    }
+}
+
+impl Completer {
+    /// Fulfil the paired handle (idempotence is unreachable by
+    /// construction; a second call would simply overwrite).
+    pub(crate) fn complete(self, result: Result<Response, ServeError>) {
+        *self.cell.slot.lock().expect("handle lock") = Some(result);
+        self.cell.done.notify_all();
+    }
+}
+
+impl Drop for Completer {
+    fn drop(&mut self) {
+        // Wake a waiter so it can observe abandonment (strong_count == 1)
+        // instead of blocking forever. A fulfilled cell is unaffected.
+        self.cell.done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_response(seq: u64) -> Response {
+        Response {
+            seq,
+            predicted: 1,
+            votes: vec![0, 5],
+            replica_predictions: vec![1, 1],
+            agreement: 1.0,
+            worker: 0,
+            ticks: 8,
+            latency: Duration::from_micros(10),
+        }
+    }
+
+    #[test]
+    fn wait_returns_completed_result() {
+        let (handle, completer) = pair(3);
+        assert_eq!(handle.seq(), 3);
+        completer.complete(Ok(dummy_response(3)));
+        let r = handle.wait().expect("completed");
+        assert_eq!(r.seq, 3);
+        assert_eq!(r.predicted, 1);
+    }
+
+    #[test]
+    fn wait_blocks_until_cross_thread_completion() {
+        let (handle, completer) = pair(0);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            completer.complete(Ok(dummy_response(0)));
+        });
+        assert!(handle.wait().is_ok());
+        t.join().expect("join");
+    }
+
+    #[test]
+    fn dropped_completer_yields_cancelled() {
+        let (handle, completer) = pair(9);
+        drop(completer);
+        assert_eq!(handle.wait(), Err(ServeError::Cancelled));
+    }
+
+    #[test]
+    fn try_take_polls_without_blocking() {
+        let (handle, completer) = pair(1);
+        assert!(handle.try_take().is_none());
+        completer.complete(Err(ServeError::QueueFull));
+        assert_eq!(handle.try_take(), Some(Err(ServeError::QueueFull)));
+        assert!(handle.try_take().is_none(), "result is taken once");
+    }
+}

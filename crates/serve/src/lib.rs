@@ -1,0 +1,91 @@
+//! `tn-serve` — a concurrent, batched inference runtime over deployed
+//! TrueNorth chip replicas.
+//!
+//! The offline layers of this workspace answer "how accurate is a
+//! deployment?" by sweeping frames over a grid. This crate answers the
+//! *serving* question: keep trained networks resident on chip replicas
+//! and answer a stream of classification requests with bounded memory,
+//! backpressure, and deterministic results.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  submit()/classify()         BoundedQueue            worker threads
+//!  ┌──────────────┐   push   ┌─────────────┐ pop_batch ┌─────────────────┐
+//!  │ callers (any │ ───────► │ bounded MPMC│ ────────► │ worker 0        │
+//!  │   thread)    │  block/  │   queue     │  (micro-  │  Deployment     │
+//!  └──────┬───────┘  reject  └─────────────┘  batches) │  (R replicas)   │
+//!         │                                            ├─────────────────┤
+//!         │ RequestHandle::wait()                      │ worker 1 …      │
+//!         ▼                                            │  (bit-identical │
+//!  ┌──────────────┐      Completer::complete()         │   clone)        │
+//!  │   Response   │ ◄───────────────────────────────── └─────────────────┘
+//!  └──────────────┘   votes pooled across replicas
+//! ```
+//!
+//! * **Replicas** are the paper's duplication axis: each worker's
+//!   [`tn_chip::nscs::Deployment`] carries `cfg.replicas` independently
+//!   Bernoulli-sampled spatial copies of the network, and a request's
+//!   prediction is the argmax of their pooled votes.
+//!   [`Response::agreement`] reports how unanimously the replicas voted —
+//!   a live estimate of how much duplication the model still needs.
+//! * **Workers** are OS threads that each own a *clone* of one prototype
+//!   deployment, so every worker holds bit-identical replicas and any
+//!   worker can serve any request.
+//! * **Determinism**: a request's spike trains are seeded by
+//!   `(cfg.seed, seq)` alone — the same per-frame derivation the offline
+//!   evaluator uses — so results never depend on worker count, queue
+//!   timing, or OS scheduling. See
+//!   `results_are_a_function_of_seq_not_worker_count` in `runtime.rs`.
+//! * **Backpressure**: the submission queue is bounded;
+//!   [`Backpressure::Block`] throttles producers, [`Backpressure::Reject`]
+//!   sheds load with [`ServeError::QueueFull`].
+//! * **Shutdown**: [`ServeRuntime::shutdown`] refuses new submissions,
+//!   drains every queued request, joins the workers, and returns the
+//!   final [`MetricsSnapshot`] (throughput, p50/p99 latency, queue depth,
+//!   per-worker tick counts, energy per frame via [`tn_chip::energy`]).
+//!
+//! # Example
+//!
+//! ```
+//! use tn_chip::nscs::{CoreDeploySpec, InputSource, NetworkDeploySpec};
+//! use tn_serve::{ServeConfig, ServeRuntime};
+//!
+//! // A toy 2-input / 2-class network; real callers extract a spec from a
+//! // trained model (see `truenorth::serving`).
+//! let spec = NetworkDeploySpec {
+//!     cores: vec![CoreDeploySpec {
+//!         layer: 0,
+//!         weights: vec![1.0, -1.0, -1.0, 1.0],
+//!         n_axons: 2,
+//!         n_neurons: 2,
+//!         biases: vec![-0.5, -0.5],
+//!         axon_sources: vec![InputSource::External(0), InputSource::External(1)],
+//!     }],
+//!     n_inputs: 2,
+//!     n_classes: 2,
+//!     output_taps: vec![(0, 0, 0), (0, 1, 1)],
+//! };
+//! let rt = ServeRuntime::new(&spec, ServeConfig::new(7)).expect("deploy");
+//! let response = rt.classify(vec![1.0, 0.0]).expect("serve");
+//! assert_eq!(response.predicted, 0);
+//! let metrics = rt.shutdown();
+//! assert_eq!(metrics.completed, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod error;
+mod handle;
+mod metrics;
+mod queue;
+mod runtime;
+
+pub use config::{Backpressure, ServeConfig};
+pub use error::ServeError;
+pub use handle::{RequestHandle, Response};
+pub use metrics::MetricsSnapshot;
+pub use queue::{BoundedQueue, PushError};
+pub use runtime::ServeRuntime;

@@ -1,0 +1,250 @@
+//! Lock-free runtime statistics.
+//!
+//! Counters are plain relaxed atomics (they feed monitoring, not control
+//! flow). Latency quantiles come from a fixed power-of-two-bucket
+//! histogram: bucket *i* covers `[2^i, 2^(i+1))` nanoseconds, giving
+//! ≤ 2× quantile error over 1 ns .. ~18 s with zero allocation and no
+//! locks on the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use tn_chip::energy::EnergyReport;
+
+const BUCKETS: usize = 64;
+
+/// Shared mutable counters updated by workers and submitters.
+#[derive(Debug)]
+pub(crate) struct Metrics {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub rejected: AtomicU64,
+    pub batches: AtomicU64,
+    pub ticks: AtomicU64,
+    pub synaptic_ops: AtomicU64,
+    /// Latency histogram; bucket i counts requests in [2^i, 2^{i+1}) ns.
+    latency: [AtomicU64; BUCKETS],
+    latency_sum_ns: AtomicU64,
+    /// Frames served per worker thread.
+    per_worker_frames: Vec<AtomicU64>,
+    /// Chip ticks executed per worker thread.
+    per_worker_ticks: Vec<AtomicU64>,
+}
+
+impl Metrics {
+    pub(crate) fn new(workers: usize) -> Self {
+        Self {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            ticks: AtomicU64::new(0),
+            synaptic_ops: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_sum_ns: AtomicU64::new(0),
+            per_worker_frames: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            per_worker_ticks: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    pub(crate) fn record_completion(&self, worker: usize, ticks: u64, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.ticks.fetch_add(ticks, Ordering::Relaxed);
+        self.per_worker_frames[worker].fetch_add(1, Ordering::Relaxed);
+        self.per_worker_ticks[worker].fetch_add(ticks, Ordering::Relaxed);
+        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX).max(1);
+        let bucket = (63 - ns.leading_zeros()) as usize;
+        self.latency[bucket.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(
+        &self,
+        queue_depth: usize,
+        elapsed: Duration,
+        cores: usize,
+    ) -> MetricsSnapshot {
+        let counts: Vec<u64> = self
+            .latency
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let completed = self.completed.load(Ordering::Relaxed);
+        let ticks = self.ticks.load(Ordering::Relaxed);
+        let synops = self.synaptic_ops.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queue_depth,
+            batches: self.batches.load(Ordering::Relaxed),
+            ticks,
+            per_worker_frames: self
+                .per_worker_frames
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            per_worker_ticks: self
+                .per_worker_ticks
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            p50_latency: quantile(&counts, 0.50),
+            p99_latency: quantile(&counts, 0.99),
+            mean_latency: self
+                .latency_sum_ns
+                .load(Ordering::Relaxed)
+                .checked_div(completed)
+                .map_or(Duration::ZERO, Duration::from_nanos),
+            elapsed,
+            throughput_rps: if elapsed.as_secs_f64() > 0.0 {
+                completed as f64 / elapsed.as_secs_f64()
+            } else {
+                0.0
+            },
+            energy: EnergyReport::from_counters(synops, ticks, cores),
+        }
+    }
+}
+
+/// Upper bound of the histogram bucket containing quantile `q`.
+fn quantile(counts: &[u64], q: f64) -> Duration {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return Duration::ZERO;
+    }
+    let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return Duration::from_nanos(1u64 << (i + 1).min(63));
+        }
+    }
+    Duration::from_nanos(u64::MAX)
+}
+
+/// A point-in-time view of the runtime's counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests fully served.
+    pub completed: u64,
+    /// Requests refused by [`crate::Backpressure::Reject`].
+    pub rejected: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// Micro-batches drained by workers.
+    pub batches: u64,
+    /// Total chip ticks across all workers.
+    pub ticks: u64,
+    /// Frames served per worker thread.
+    pub per_worker_frames: Vec<u64>,
+    /// Chip ticks executed per worker thread.
+    pub per_worker_ticks: Vec<u64>,
+    /// Median request latency (bucketed; ≤ 2× resolution).
+    pub p50_latency: Duration,
+    /// 99th-percentile request latency (bucketed; ≤ 2× resolution).
+    pub p99_latency: Duration,
+    /// Mean request latency (exact).
+    pub mean_latency: Duration,
+    /// Wall-clock time since the runtime started.
+    pub elapsed: Duration,
+    /// Completed requests per wall-clock second.
+    pub throughput_rps: f64,
+    /// TrueNorth energy model applied to the served workload
+    /// (synaptic-op and tick counters aggregated across workers).
+    pub energy: EnergyReport,
+}
+
+impl MetricsSnapshot {
+    /// Model-estimated chip energy per served frame, in joules.
+    pub fn joules_per_frame(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.energy.total_joules() / self.completed as f64
+        }
+    }
+
+    /// Mean micro-batch size (requests per queue drain).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.batches as f64
+        }
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "served {}/{} requests ({} rejected) in {:.2?}  —  {:.1} req/s",
+            self.completed, self.submitted, self.rejected, self.elapsed, self.throughput_rps
+        )?;
+        writeln!(
+            f,
+            "latency p50 {:?}  p99 {:?}  mean {:?}  |  queue depth {}  mean batch {:.2}",
+            self.p50_latency,
+            self.p99_latency,
+            self.mean_latency,
+            self.queue_depth,
+            self.mean_batch_size()
+        )?;
+        writeln!(
+            f,
+            "chip ticks {}  per-worker frames {:?}  energy/frame {:.3e} J",
+            self.ticks,
+            self.per_worker_frames,
+            self.joules_per_frame()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_track_recorded_latencies() {
+        let m = Metrics::new(2);
+        for _ in 0..99 {
+            m.record_completion(0, 8, Duration::from_micros(100));
+        }
+        m.record_completion(1, 8, Duration::from_millis(50));
+        let snap = m.snapshot(0, Duration::from_secs(1), 4);
+        assert_eq!(snap.completed, 100);
+        assert_eq!(snap.ticks, 800);
+        assert_eq!(snap.per_worker_frames, vec![99, 1]);
+        // p50 in the ~100 µs bucket (≤ 2× error), p99 near the outlier.
+        assert!(snap.p50_latency >= Duration::from_micros(100));
+        assert!(snap.p50_latency < Duration::from_micros(400));
+        assert!(snap.p99_latency >= Duration::from_micros(100));
+        assert!(snap.mean_latency > Duration::from_micros(100));
+        assert!((snap.throughput_rps - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_metrics_snapshot_is_all_zero() {
+        let m = Metrics::new(1);
+        let snap = m.snapshot(3, Duration::ZERO, 4);
+        assert_eq!(snap.completed, 0);
+        assert_eq!(snap.queue_depth, 3);
+        assert_eq!(snap.p50_latency, Duration::ZERO);
+        assert_eq!(snap.mean_latency, Duration::ZERO);
+        assert_eq!(snap.throughput_rps, 0.0);
+        assert_eq!(snap.joules_per_frame(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_throughput_and_energy() {
+        let m = Metrics::new(1);
+        m.record_completion(0, 8, Duration::from_micros(10));
+        let text = m.snapshot(0, Duration::from_secs(1), 4).to_string();
+        assert!(text.contains("req/s"), "{text}");
+        assert!(text.contains("energy/frame"), "{text}");
+    }
+}

@@ -1,0 +1,438 @@
+//! The serving runtime: worker pool, submission path, voting, shutdown.
+//!
+//! # Determinism contract
+//!
+//! Every worker owns a *clone* of one prototype [`Deployment`], built
+//! (and Bernoulli-sampled) exactly once from `(spec, cfg.seed)`. A
+//! request's spike trains are seeded purely by `(cfg.seed, seq)` — the
+//! same derivation the offline evaluator uses per frame — so the result
+//! of serving request `seq` is a pure function of the config and the
+//! submission order, never of worker count, queue timing, or OS
+//! scheduling.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use tn_chip::nscs::{Deployment, NetworkDeploySpec};
+use tn_chip::prng::splitmix64;
+
+use crate::config::{Backpressure, ServeConfig};
+use crate::error::ServeError;
+use crate::handle::{pair, Completer, RequestHandle, Response};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::queue::{BoundedQueue, PushError};
+
+/// One queued inference request.
+#[derive(Debug)]
+struct Job {
+    seq: u64,
+    inputs: Vec<f32>,
+    submitted: Instant,
+    completer: Completer,
+}
+
+/// A persistent multi-threaded inference runtime over deployed chip
+/// replicas.
+///
+/// See the crate docs for the architecture; in short: bounded MPMC
+/// queue → worker pool (one cloned deployment each) → per-request
+/// replica voting → completion handles.
+#[derive(Debug)]
+pub struct ServeRuntime {
+    queue: Arc<BoundedQueue<Job>>,
+    metrics: Arc<Metrics>,
+    workers: Vec<JoinHandle<()>>,
+    next_seq: AtomicU64,
+    started: Instant,
+    cfg: ServeConfig,
+    n_inputs: usize,
+    n_classes: usize,
+    /// Physical cores of one worker's chip (for the energy model).
+    cores: usize,
+}
+
+impl ServeRuntime {
+    /// Deploy `spec` and start the worker pool.
+    ///
+    /// Building samples the replica crossbars once; each worker then
+    /// clones the prototype so all workers hold bit-identical replicas.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadConfig`] for inconsistent configs,
+    /// [`ServeError::Deploy`] if the spec cannot be placed on a chip.
+    pub fn new(spec: &NetworkDeploySpec, cfg: ServeConfig) -> Result<Self, ServeError> {
+        cfg.validate()?;
+        let proto =
+            Deployment::build_with_mode(spec, cfg.replicas, cfg.seed, cfg.connectivity)?;
+        let n_inputs = proto.n_inputs();
+        let n_classes = proto.n_classes();
+        let cores = proto.chip.core_count();
+        let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
+        let metrics = Arc::new(Metrics::new(cfg.workers));
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for w in 0..cfg.workers {
+            let dep = proto.clone();
+            let queue = Arc::clone(&queue);
+            let metrics = Arc::clone(&metrics);
+            let cfg = cfg.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("tn-serve-worker-{w}"))
+                .spawn(move || worker_loop(w, dep, &cfg, &queue, &metrics))
+                .expect("spawn serve worker");
+            workers.push(handle);
+        }
+        Ok(Self {
+            queue,
+            metrics,
+            workers,
+            next_seq: AtomicU64::new(0),
+            started: Instant::now(),
+            cfg,
+            n_inputs,
+            n_classes,
+            cores,
+        })
+    }
+
+    /// Input channels each request must provide.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Classes voted on per request.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Submit one inference request; returns an awaitable handle.
+    ///
+    /// With [`Backpressure::Block`] this blocks while the queue is full;
+    /// with [`Backpressure::Reject`] it fails fast instead.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadInput`] / [`ServeError::InputOutOfRange`] on
+    /// malformed inputs, [`ServeError::QueueFull`] under rejecting
+    /// backpressure, [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, inputs: Vec<f32>) -> Result<RequestHandle, ServeError> {
+        if inputs.len() != self.n_inputs {
+            return Err(ServeError::BadInput {
+                expected: self.n_inputs,
+                got: inputs.len(),
+            });
+        }
+        if let Some(channel) = inputs.iter().position(|v| !(0.0..=1.0).contains(v)) {
+            return Err(ServeError::InputOutOfRange {
+                channel,
+                value: inputs[channel],
+            });
+        }
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let (handle, completer) = pair(seq);
+        let job = Job {
+            seq,
+            inputs,
+            submitted: Instant::now(),
+            completer,
+        };
+        let outcome = match self.cfg.backpressure {
+            Backpressure::Block => self.queue.push(job),
+            Backpressure::Reject => self.queue.try_push(job),
+        };
+        match outcome {
+            Ok(()) => {
+                self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(handle)
+            }
+            Err(PushError::Full(_)) => {
+                self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::QueueFull)
+            }
+            Err(PushError::Closed(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Submit and block for the result (convenience wrapper).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServeRuntime::submit`], plus any worker-side failure.
+    pub fn classify(&self, inputs: Vec<f32>) -> Result<Response, ServeError> {
+        self.submit(inputs)?.wait()
+    }
+
+    /// Snapshot the runtime's counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics
+            .snapshot(self.queue.len(), self.started.elapsed(), self.cores)
+    }
+
+    /// Graceful shutdown: refuse new submissions, drain every queued
+    /// request, join the workers, and return the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.close_and_join();
+        self.metrics()
+    }
+
+    fn close_and_join(&mut self) {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            // A panicked worker already poisoned its requests' handles
+            // (dropped completers → Cancelled); propagate for visibility.
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+impl Drop for ServeRuntime {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+/// Per-worker serving loop: drain micro-batches until closed-and-empty.
+fn worker_loop(
+    worker: usize,
+    mut dep: Deployment,
+    cfg: &ServeConfig,
+    queue: &BoundedQueue<Job>,
+    metrics: &Metrics,
+) {
+    let n_classes = dep.n_classes();
+    let replicas = dep.copies();
+    let mut votes = vec![0u64; replicas * n_classes];
+    let mut batch: Vec<Job> = Vec::with_capacity(cfg.batch_max);
+    let mut last_synops = dep.chip.core_stats_total().synaptic_ops;
+    while queue.pop_batch(cfg.batch_max, &mut batch) {
+        metrics.batches.fetch_add(1, Ordering::Relaxed);
+        for job in batch.drain(..) {
+            // Same per-frame derivation as the offline evaluator: the
+            // request's sequence number plays the role of the frame index.
+            let frame_seed = splitmix64(cfg.seed ^ job.seq.wrapping_mul(0x9E37_79B9));
+            let ticks = dep.run_frame_votes(&job.inputs, cfg.spf, frame_seed, &mut votes);
+            let response = tally(job.seq, worker, ticks, n_classes, &votes, job.submitted);
+            metrics.record_completion(worker, ticks, response.latency);
+            job.completer.complete(Ok(response));
+        }
+        // Fold this batch's synaptic work into the global energy counters.
+        let synops = dep.chip.core_stats_total().synaptic_ops;
+        metrics
+            .synaptic_ops
+            .fetch_add(synops - last_synops, Ordering::Relaxed);
+        last_synops = synops;
+    }
+}
+
+/// Pool replica votes into a [`Response`]. Ties break toward the lowest
+/// class index, which keeps tallies deterministic.
+fn tally(
+    seq: u64,
+    worker: usize,
+    ticks: u64,
+    n_classes: usize,
+    votes: &[u64],
+    submitted: Instant,
+) -> Response {
+    let replicas = votes.len() / n_classes;
+    let argmax = |lane: &[u64]| {
+        lane.iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
+            .map_or(0, |(i, _)| i)
+    };
+    let mut pooled = vec![0u64; n_classes];
+    let mut replica_predictions = Vec::with_capacity(replicas);
+    for r in 0..replicas {
+        let lane = &votes[r * n_classes..(r + 1) * n_classes];
+        replica_predictions.push(argmax(lane));
+        for (p, &v) in pooled.iter_mut().zip(lane) {
+            *p += v;
+        }
+    }
+    let predicted = argmax(&pooled);
+    let agreeing = replica_predictions.iter().filter(|&&p| p == predicted).count();
+    Response {
+        seq,
+        predicted,
+        votes: pooled,
+        replica_predictions,
+        agreement: agreeing as f32 / replicas.max(1) as f32,
+        worker,
+        ticks,
+        latency: submitted.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_chip::nscs::{CoreDeploySpec, InputSource};
+
+    /// 2-input, 2-class, single-core spec with deterministic ±1 weights:
+    /// input channel k drives class k.
+    fn xor_free_spec() -> NetworkDeploySpec {
+        NetworkDeploySpec {
+            cores: vec![CoreDeploySpec {
+                layer: 0,
+                weights: vec![1.0, -1.0, -1.0, 1.0],
+                n_axons: 2,
+                n_neurons: 2,
+                biases: vec![-0.5, -0.5],
+                axon_sources: vec![InputSource::External(0), InputSource::External(1)],
+            }],
+            n_inputs: 2,
+            n_classes: 2,
+            output_taps: vec![(0, 0, 0), (0, 1, 1)],
+        }
+    }
+
+    fn runtime(cfg: ServeConfig) -> ServeRuntime {
+        ServeRuntime::new(&xor_free_spec(), cfg).expect("runtime")
+    }
+
+    #[test]
+    fn classifies_by_hot_channel() {
+        let rt = runtime(ServeConfig::new(5).with_replicas(2).with_workers(2));
+        let r0 = rt.classify(vec![1.0, 0.0]).expect("serve");
+        assert_eq!(r0.predicted, 0, "votes {:?}", r0.votes);
+        let r1 = rt.classify(vec![0.0, 1.0]).expect("serve");
+        assert_eq!(r1.predicted, 1, "votes {:?}", r1.votes);
+        assert_eq!(r1.replica_predictions.len(), 2);
+        assert!(r1.agreement > 0.0);
+        assert_eq!(r1.ticks, 8, "spf 8, depth 1");
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        let rt = runtime(ServeConfig::new(5));
+        assert_eq!(
+            rt.submit(vec![0.5]).unwrap_err(),
+            ServeError::BadInput {
+                expected: 2,
+                got: 1
+            }
+        );
+        assert_eq!(
+            rt.submit(vec![0.5, 1.5]).unwrap_err(),
+            ServeError::InputOutOfRange {
+                channel: 1,
+                value: 1.5
+            }
+        );
+    }
+
+    #[test]
+    fn results_are_a_function_of_seq_not_worker_count() {
+        let serve_all = |workers: usize| {
+            let rt = runtime(
+                ServeConfig::new(11)
+                    .with_replicas(3)
+                    .with_workers(workers)
+                    .with_batch_max(4),
+            );
+            let handles: Vec<_> = (0..24)
+                .map(|i| {
+                    let x = (i % 5) as f32 / 4.0;
+                    rt.submit(vec![x, 1.0 - x]).expect("submit")
+                })
+                .collect();
+            let results: Vec<_> = handles
+                .into_iter()
+                .map(|h| {
+                    let r = h.wait().expect("serve");
+                    (r.seq, r.predicted, r.votes, r.replica_predictions)
+                })
+                .collect();
+            rt.shutdown();
+            results
+        };
+        assert_eq!(serve_all(1), serve_all(4));
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests() {
+        // One slow-ish worker, many queued requests: shutdown must serve
+        // them all, not drop them.
+        let rt = runtime(
+            ServeConfig::new(3)
+                .with_workers(1)
+                .with_spf(32)
+                .with_queue_capacity(64),
+        );
+        let handles: Vec<_> = (0..32)
+            .map(|_| rt.submit(vec![1.0, 0.0]).expect("submit"))
+            .collect();
+        let snap = rt.shutdown();
+        assert_eq!(snap.completed, 32);
+        assert_eq!(snap.queue_depth, 0);
+        for h in handles {
+            assert!(h.wait().is_ok(), "drained request must have completed");
+        }
+    }
+
+    #[test]
+    fn reject_backpressure_sheds_load() {
+        // Capacity-1 queue with a slow worker: a burst must trip QueueFull.
+        let rt = runtime(
+            ServeConfig::new(3)
+                .with_workers(1)
+                .with_spf(256)
+                .with_queue_capacity(1)
+                .with_backpressure(Backpressure::Reject),
+        );
+        let mut rejected = 0;
+        let mut handles = Vec::new();
+        for _ in 0..64 {
+            match rt.submit(vec![1.0, 0.0]) {
+                Ok(h) => handles.push(h),
+                Err(ServeError::QueueFull) => rejected += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(rejected > 0, "burst should overflow a capacity-1 queue");
+        let snap = rt.metrics();
+        assert_eq!(snap.rejected, rejected);
+        for h in handles {
+            h.wait().expect("accepted requests still complete");
+        }
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_refused() {
+        let rt = runtime(ServeConfig::new(2));
+        let snap = {
+            let queue = Arc::clone(&rt.queue);
+            queue.close();
+            rt.metrics()
+        };
+        assert_eq!(rt.submit(vec![0.5, 0.5]).unwrap_err(), ServeError::ShuttingDown);
+        assert_eq!(snap.rejected, 0, "shutdown refusals are not load shedding");
+    }
+
+    #[test]
+    fn metrics_account_every_request() {
+        let rt = runtime(ServeConfig::new(8).with_workers(2).with_replicas(2));
+        for i in 0..20 {
+            let x = (i % 3) as f32 / 2.0;
+            rt.classify(vec![x, 1.0 - x]).expect("serve");
+        }
+        let snap = rt.shutdown();
+        assert_eq!(snap.submitted, 20);
+        assert_eq!(snap.completed, 20);
+        assert_eq!(snap.per_worker_frames.iter().sum::<u64>(), 20);
+        assert_eq!(snap.ticks, 20 * 8);
+        assert!(snap.p50_latency > std::time::Duration::ZERO);
+        assert!(snap.energy.synaptic_ops > 0);
+        assert!(snap.joules_per_frame() > 0.0);
+    }
+}

@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cm = ConfusionMatrix::new(10);
     for i in 0..data.test_y.len() {
         let votes = dep.run_frame(data.test_x.row(i), 1, i as u64);
-        let mut scores = vec![0u64; 10];
+        let mut scores = [0u64; 10];
         for tick in &votes {
             for (c, s) in scores.iter_mut().enumerate() {
                 *s += tick[c];

@@ -1,0 +1,226 @@
+//! Load-generate against the `tn-serve` runtime: train test bench 1 with
+//! Tea and with probability-biased learning, persist the models, reload
+//! them from disk, and serve ≥ 1000 synthetic-MNIST requests per
+//! (model × replica-count) cell, reporting throughput, latency
+//! percentiles, replica vote agreement, energy per frame — and the
+//! paper's co-optimization claim live: the biased model reaches the Tea
+//! model's accuracy with no more replicas.
+//!
+//! Run with: `cargo run --release --example serve_throughput`
+//!
+//! Knobs: `TN_SERVE_REQUESTS` (default 1000), `TN_SERVE_WORKERS` (2),
+//! `TN_SERVE_SPF` (8), `TN_SERVE_JSON` (write a machine-readable summary
+//! to this path), plus the usual `TN_TRAIN`/`TN_TEST`/`TN_EPOCHS`.
+
+use std::fs::File;
+use std::io::Write as _;
+use std::time::Instant;
+
+use tn_learn::persist::save_network;
+use truenorth::prelude::*;
+
+const SEED: u64 = 77;
+const REPLICA_SWEEP: [usize; 3] = [1, 2, 4];
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One (model × replicas) measurement.
+struct Cell {
+    model: &'static str,
+    replicas: usize,
+    requests: u64,
+    accuracy: f32,
+    mean_agreement: f32,
+    throughput_rps: f64,
+    p50_us: u128,
+    p99_us: u128,
+    joules_per_frame: f64,
+}
+
+fn serve_cell(
+    model: &'static str,
+    path: &std::path::Path,
+    replicas: usize,
+    workers: usize,
+    spf: usize,
+    n_requests: usize,
+    data: &BenchData,
+) -> Result<Cell, Box<dyn std::error::Error>> {
+    // The production path: deploy a *persisted* model from disk.
+    let rt = serve_persisted(
+        path,
+        ServeConfig::new(SEED)
+            .with_replicas(replicas)
+            .with_workers(workers)
+            .with_spf(spf)
+            .with_queue_capacity(512)
+            .with_batch_max(32),
+    )?;
+    let n_test = data.test_y.len();
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..n_requests)
+        .map(|i| rt.submit(data.test_x.row(i % n_test).to_vec()))
+        .collect::<Result<_, _>>()?;
+    let mut correct = 0u64;
+    let mut agreement_sum = 0.0f32;
+    for (i, h) in handles.into_iter().enumerate() {
+        let r = h.wait()?;
+        agreement_sum += r.agreement;
+        if r.predicted == data.test_y[i % n_test] {
+            correct += 1;
+        }
+    }
+    let wall = t0.elapsed();
+    let snap = rt.shutdown();
+    assert_eq!(snap.completed, n_requests as u64, "drain served everything");
+    Ok(Cell {
+        model,
+        replicas,
+        requests: snap.completed,
+        accuracy: correct as f32 / n_requests as f32,
+        mean_agreement: agreement_sum / n_requests as f32,
+        throughput_rps: n_requests as f64 / wall.as_secs_f64(),
+        p50_us: snap.p50_latency.as_micros(),
+        p99_us: snap.p99_latency.as_micros(),
+        joules_per_frame: snap.joules_per_frame(),
+    })
+}
+
+/// Smallest replica count in the sweep reaching `target` accuracy.
+fn replicas_needed(cells: &[Cell], model: &str, target: f32) -> Option<usize> {
+    cells
+        .iter()
+        .filter(|c| c.model == model && c.accuracy >= target)
+        .map(|c| c.replicas)
+        .min()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = RunScale {
+        n_train: env_usize("TN_TRAIN", 1200),
+        n_test: env_usize("TN_TEST", 300),
+        epochs: env_usize("TN_EPOCHS", 5),
+        seeds: 1,
+        threads: 2,
+    };
+    let n_requests = env_usize("TN_SERVE_REQUESTS", 1000);
+    let workers = env_usize("TN_SERVE_WORKERS", 2).max(2);
+    let spf = env_usize("TN_SERVE_SPF", 8);
+
+    println!("== training test bench 1 (Tea vs probability-biased) ==");
+    let bench = TestBench::new(1, SEED);
+    let data = bench.load_data(&scale, SEED);
+    let tea = train_model(&bench, &data, Penalty::None, &scale, SEED)?;
+    let biased = train_model(&bench, &data, bench.biasing_penalty(), &scale, SEED)?;
+    println!(
+        "float accuracy: tea {:.4}, biased {:.4}",
+        tea.float_accuracy, biased.float_accuracy
+    );
+
+    // Persist both, then serve strictly from disk.
+    let dir = std::env::temp_dir();
+    let tea_path = dir.join("tn_serve_tea.tnm");
+    let biased_path = dir.join("tn_serve_biased.tnm");
+    save_network(&tea.network, File::create(&tea_path)?)?;
+    save_network(&biased.network, File::create(&biased_path)?)?;
+
+    println!(
+        "\n== serving {n_requests} requests per cell ({workers} workers, {spf} spf) ==\n"
+    );
+    println!(
+        "{:<8} {:>8} {:>10} {:>10} {:>11} {:>9} {:>9} {:>12}",
+        "model", "replicas", "accuracy", "agreement", "req/s", "p50 µs", "p99 µs", "J/frame"
+    );
+    let mut cells = Vec::new();
+    for (model, path) in [("tea", &tea_path), ("biased", &biased_path)] {
+        for replicas in REPLICA_SWEEP {
+            let cell = serve_cell(model, path, replicas, workers, spf, n_requests, &data)?;
+            println!(
+                "{:<8} {:>8} {:>10.4} {:>10.3} {:>11.1} {:>9} {:>9} {:>12.3e}",
+                cell.model,
+                cell.replicas,
+                cell.accuracy,
+                cell.mean_agreement,
+                cell.throughput_rps,
+                cell.p50_us,
+                cell.p99_us,
+                cell.joules_per_frame,
+            );
+            cells.push(cell);
+        }
+    }
+
+    // Co-optimization, served live. Deploying to stochastic crossbars
+    // costs each model accuracy relative to its own float baseline;
+    // replicas buy that gap back. The paper's claim is that the biasing
+    // penalty shrinks per-copy variance, so the biased model recovers its
+    // float accuracy with no more replicas than Tea needs for its own.
+    const RECOVERY_GAP: f32 = 0.03;
+    let needs = |model: &'static str, float_acc: f32| {
+        let target = float_acc - RECOVERY_GAP;
+        let n = replicas_needed(&cells, model, target);
+        println!(
+            "{model}: float {float_acc:.4}, recovery target {target:.4} → needs {} replica(s)",
+            n.map_or_else(
+                || format!("more than {}", REPLICA_SWEEP[REPLICA_SWEEP.len() - 1]),
+                |r| r.to_string()
+            )
+        );
+        n.unwrap_or(usize::MAX)
+    };
+    println!();
+    let tea_needs = needs("tea", tea.float_accuracy);
+    let biased_needs = needs("biased", biased.float_accuracy);
+    assert!(
+        biased_needs <= tea_needs,
+        "co-optimization violated: biased needs {biased_needs} replicas vs tea {tea_needs}"
+    );
+    println!("co-optimization holds: biased recovers float accuracy at no extra replica cost");
+
+    if let Ok(json_path) = std::env::var("TN_SERVE_JSON") {
+        let mut rows = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "    {{\"model\": \"{}\", \"replicas\": {}, \"requests\": {}, \"accuracy\": {:.4}, \"agreement\": {:.4}, \"req_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \"joules_per_frame\": {:.4e}}}",
+                c.model,
+                c.replicas,
+                c.requests,
+                c.accuracy,
+                c.mean_agreement,
+                c.throughput_rps,
+                c.p50_us,
+                c.p99_us,
+                c.joules_per_frame,
+            ));
+        }
+        let fmt_needs = |n: usize| {
+            if n == usize::MAX {
+                "null".to_string()
+            } else {
+                n.to_string()
+            }
+        };
+        let json = format!(
+            "{{\n  \"bench\": 1,\n  \"seed\": {SEED},\n  \"spf\": {spf},\n  \"workers\": {workers},\n  \"requests_per_cell\": {n_requests},\n  \"float_accuracy\": {{\"tea\": {:.4}, \"biased\": {:.4}}},\n  \"replicas_needed_for_recovery\": {{\"tea\": {}, \"biased\": {}}},\n  \"cells\": [\n{rows}\n  ]\n}}\n",
+            tea.float_accuracy,
+            biased.float_accuracy,
+            fmt_needs(tea_needs),
+            fmt_needs(biased_needs),
+        );
+        let mut f = File::create(&json_path)?;
+        f.write_all(json.as_bytes())?;
+        println!("wrote {json_path}");
+    }
+
+    std::fs::remove_file(&tea_path).ok();
+    std::fs::remove_file(&biased_path).ok();
+    Ok(())
+}

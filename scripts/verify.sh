@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo verification gate: tier-1 (build + tests, see ROADMAP.md) plus the
+# workspace lint gate. Run from anywhere; exits non-zero on any failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: release build =="
+cargo build --release
+
+echo "== tier 1: workspace tests =="
+cargo test -q
+
+echo "== lint gate: clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify OK"

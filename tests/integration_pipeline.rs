@@ -37,8 +37,13 @@ fn full_pipeline_beats_chance_on_mnist() {
 
 #[test]
 fn full_pipeline_beats_chance_on_rs130() {
+    // RS130 windows are drawn from whole protein chains (~120 residues), so
+    // a held-out set needs several chains' worth of windows: at 150 samples
+    // (~1 chain) the accuracy estimate is dominated by chain-level
+    // correlation and swings from 0.34 to 0.65 across seeds.
     let scale = RunScale {
         n_train: 1500,
+        n_test: 600,
         ..tiny_scale()
     };
     let bench = TestBench::new(4, 5);

@@ -122,8 +122,8 @@ proptest! {
             if let (Some(level), Some(acc)) = (p.biased_level, p.biased_accuracy) {
                 prop_assert!(acc >= p.baseline_accuracy);
                 // Cheapest: every cheaper biased level is worse.
-                for cheaper in 0..level - 1 {
-                    prop_assert!(biased[cheaper] < p.baseline_accuracy);
+                for &cheaper in biased.iter().take(level.saturating_sub(1)) {
+                    prop_assert!(cheaper < p.baseline_accuracy);
                 }
             } else {
                 // Unmatched: no biased level reaches the baseline accuracy.

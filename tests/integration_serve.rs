@@ -1,0 +1,199 @@
+//! Serving-runtime integration: determinism across worker counts,
+//! equivalence with the offline deployment path, backpressure, and
+//! graceful drain — the `tn-serve` acceptance contract.
+
+use tn_chip::nscs::{CoreDeploySpec, InputSource};
+use tn_chip::prng::splitmix64;
+use truenorth::prelude::*;
+
+/// A single-core 2-class spec with fractional weights so replica
+/// sampling and input Bernoulli noise are both in play.
+fn fractional_spec() -> NetworkDeploySpec {
+    NetworkDeploySpec {
+        cores: vec![CoreDeploySpec {
+            layer: 0,
+            weights: vec![0.8, -0.6, -0.6, 0.8],
+            n_axons: 2,
+            n_neurons: 2,
+            biases: vec![-0.4, -0.4],
+            axon_sources: vec![InputSource::External(0), InputSource::External(1)],
+        }],
+        n_inputs: 2,
+        n_classes: 2,
+        output_taps: vec![(0, 0, 0), (0, 1, 1)],
+    }
+}
+
+fn request_inputs(i: usize) -> Vec<f32> {
+    let x = (i % 7) as f32 / 6.0;
+    vec![x, 1.0 - x]
+}
+
+#[test]
+fn serving_is_deterministic_across_worker_counts() {
+    let serve_all = |workers: usize| -> Vec<(u64, usize, Vec<u64>)> {
+        let rt = ServeRuntime::new(
+            &fractional_spec(),
+            ServeConfig::new(17)
+                .with_replicas(3)
+                .with_workers(workers)
+                .with_batch_max(4),
+        )
+        .expect("runtime");
+        let handles: Vec<_> = (0..48)
+            .map(|i| rt.submit(request_inputs(i)).expect("submit"))
+            .collect();
+        let out = handles
+            .into_iter()
+            .map(|h| {
+                let r = h.wait().expect("serve");
+                (r.seq, r.predicted, r.votes)
+            })
+            .collect();
+        rt.shutdown();
+        out
+    };
+    let single = serve_all(1);
+    for workers in [2usize, 4] {
+        assert_eq!(
+            single,
+            serve_all(workers),
+            "bit-identical results required at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn serving_matches_offline_deployment_bit_exactly() {
+    // The runtime promises: result of request `seq` == running the same
+    // frame on an offline deployment built from (spec, seed, replicas),
+    // with frame seed splitmix64(seed ^ seq · 0x9E37_79B9).
+    let spec = fractional_spec();
+    let (seed, replicas, spf) = (23u64, 2usize, 8usize);
+    let rt = ServeRuntime::new(
+        &spec,
+        ServeConfig::new(seed)
+            .with_replicas(replicas)
+            .with_spf(spf)
+            .with_workers(3),
+    )
+    .expect("runtime");
+    let mut offline = Deployment::build(&spec, replicas, seed).expect("deploy");
+    for i in 0..12usize {
+        let inputs = request_inputs(i);
+        let served = rt.classify(inputs.clone()).expect("serve");
+        let frame_seed = splitmix64(seed ^ served.seq.wrapping_mul(0x9E37_79B9));
+        let mut votes = vec![0u64; replicas * spec.n_classes];
+        offline.run_frame_votes(&inputs, spf, frame_seed, &mut votes);
+        let pooled: Vec<u64> = (0..spec.n_classes)
+            .map(|c| (0..replicas).map(|r| votes[r * spec.n_classes + c]).sum())
+            .collect();
+        assert_eq!(served.votes, pooled, "request {i}");
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn reject_backpressure_bounds_queue_and_block_completes_all() {
+    // Reject mode: a burst into a tiny queue with slow frames must shed.
+    let rt = ServeRuntime::new(
+        &fractional_spec(),
+        ServeConfig::new(5)
+            .with_workers(1)
+            .with_spf(512)
+            .with_queue_capacity(2)
+            .with_backpressure(Backpressure::Reject),
+    )
+    .expect("runtime");
+    let outcomes: Vec<_> = (0..64).map(|i| rt.submit(request_inputs(i))).collect();
+    let rejected = outcomes
+        .iter()
+        .filter(|o| matches!(o, Err(ServeError::QueueFull)))
+        .count();
+    assert!(rejected > 0, "burst must overflow the capacity-2 queue");
+    let snap = rt.shutdown();
+    assert_eq!(snap.rejected, rejected as u64);
+    assert_eq!(snap.completed + snap.rejected, 64);
+
+    // Block mode: same burst, nothing is lost.
+    let rt = ServeRuntime::new(
+        &fractional_spec(),
+        ServeConfig::new(5)
+            .with_workers(2)
+            .with_queue_capacity(2)
+            .with_backpressure(Backpressure::Block),
+    )
+    .expect("runtime");
+    let handles: Vec<_> = (0..64)
+        .map(|i| rt.submit(request_inputs(i)).expect("block-mode submit"))
+        .collect();
+    for h in handles {
+        h.wait().expect("every accepted request completes");
+    }
+    let snap = rt.shutdown();
+    assert_eq!(snap.completed, 64);
+    assert_eq!(snap.rejected, 0);
+}
+
+#[test]
+fn shutdown_drains_every_inflight_request() {
+    let rt = ServeRuntime::new(
+        &fractional_spec(),
+        ServeConfig::new(9)
+            .with_workers(1)
+            .with_spf(64)
+            .with_queue_capacity(128),
+    )
+    .expect("runtime");
+    let handles: Vec<_> = (0..40)
+        .map(|i| rt.submit(request_inputs(i)).expect("submit"))
+        .collect();
+    let snap = rt.shutdown();
+    assert_eq!(snap.completed, 40, "drain must serve the whole queue");
+    assert_eq!(snap.queue_depth, 0);
+    assert_eq!(snap.per_worker_frames, vec![40]);
+    for h in handles {
+        assert!(h.wait().is_ok());
+    }
+}
+
+#[test]
+fn trained_model_serves_with_vote_agreement_metrics() {
+    // End-to-end over a real (tiny) trained bench-1 model.
+    let scale = RunScale {
+        n_train: 200,
+        n_test: 30,
+        epochs: 2,
+        seeds: 1,
+        threads: 2,
+    };
+    let bench = TestBench::new(1, 41);
+    let data = bench.load_data(&scale, 41);
+    let model = train_model(&bench, &data, bench.biasing_penalty(), &scale, 41).expect("train");
+    let rt = serve_network(
+        &model.network,
+        ServeConfig::new(41).with_replicas(2).with_workers(2),
+    )
+    .expect("serve");
+    let mut correct = 0usize;
+    let mut agreement_sum = 0.0f32;
+    for i in 0..data.test_y.len() {
+        let r = rt.classify(data.test_x.row(i).to_vec()).expect("classify");
+        agreement_sum += r.agreement;
+        assert_eq!(r.replica_predictions.len(), 2);
+        if r.predicted == data.test_y[i] {
+            correct += 1;
+        }
+    }
+    let snap = rt.shutdown();
+    let n = data.test_y.len();
+    assert_eq!(snap.completed, n as u64);
+    assert!(snap.energy.synaptic_ops > 0, "energy accounting is live");
+    let accuracy = correct as f32 / n as f32;
+    let mean_agreement = agreement_sum / n as f32;
+    assert!(accuracy > 0.15, "served accuracy {accuracy} at/below chance");
+    assert!(
+        (0.0..=1.0).contains(&mean_agreement) && mean_agreement > 0.3,
+        "replica agreement {mean_agreement} implausibly low"
+    );
+}
