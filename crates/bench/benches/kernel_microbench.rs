@@ -1,0 +1,146 @@
+//! Criterion microbenchmarks of the compiled tick kernel vs the reference
+//! interpreter: single-core det/stochastic ticks and a routed multi-core
+//! chip at 1 and 4 threads. `cargo bench -p tn-bench --bench
+//! kernel_microbench`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+use tn_chip::kernel::CompiledChip;
+use tn_chip::prelude::*;
+
+/// A 256×256 core at ~50% density, optionally with stochastic gates.
+fn dense_core(seed: u16, stochastic: bool) -> NeuroSynapticCore {
+    let mut cfg = NeuronConfig::mcculloch_pitts(0, 0.0, 1);
+    cfg.threshold = 64;
+    cfg.reset = ResetMode::ToValue(0);
+    let mut core = NeuroSynapticCore::new(0, cfg, 256);
+    let mut prng = LfsrPrng::new(seed);
+    for a in 0..256 {
+        core.set_axon_type(a, (a % 4) as u8);
+        for n in 0..256 {
+            if prng.gen_bool(0.5) {
+                core.crossbar_mut().set(a, n, true);
+                if stochastic && prng.gen_bool(0.5) {
+                    core.set_stochastic_probability(a, n, 0.5);
+                }
+            }
+        }
+    }
+    core
+}
+
+fn single_core_chip(stochastic: bool) -> TrueNorthChip {
+    let mut chip = TrueNorthChip::truenorth(4);
+    chip.add_core(
+        dense_core(0xACE1, stochastic),
+        (0..256)
+            .map(|n| SpikeTarget::Output { channel: n % 4 })
+            .collect(),
+    )
+    .expect("add");
+    chip
+}
+
+fn ring_chip(cores: usize) -> TrueNorthChip {
+    let mut chip = TrueNorthChip::truenorth(4);
+    for c in 0..cores {
+        let mut core = dense_core(c as u16 + 1, false);
+        for a in 0..256 {
+            core.set_axon_delay(a, (a % 16) as u8);
+        }
+        let targets = (0..256)
+            .map(|n| SpikeTarget::Axon {
+                core: (c + 1) % cores,
+                axon: n,
+            })
+            .collect();
+        chip.add_core(core, targets).expect("add");
+    }
+    chip
+}
+
+fn inject_half(chip: &mut TrueNorthChip) {
+    for c in 0..chip.core_count() {
+        for a in (0..256).step_by(2) {
+            chip.inject(c, a).expect("inject");
+        }
+    }
+}
+
+fn inject_half_fast(fast: &mut CompiledChip) {
+    for c in 0..fast.core_count() {
+        for a in (0..256).step_by(2) {
+            fast.inject(c, a);
+        }
+    }
+}
+
+fn bench_single_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_single_core");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    for (name, stochastic) in [("det", false), ("stoch", true)] {
+        group.bench_function(format!("reference_{name}"), |b| {
+            b.iter_batched_ref(
+                || {
+                    let mut chip = single_core_chip(stochastic);
+                    inject_half(&mut chip);
+                    chip
+                },
+                |chip| chip.tick(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("compiled_{name}"), |b| {
+            b.iter_batched_ref(
+                || {
+                    let chip = single_core_chip(stochastic);
+                    let mut fast = CompiledChip::compile(&chip).expect("compile");
+                    inject_half_fast(&mut fast);
+                    fast
+                },
+                |fast| fast.tick(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_routed_chip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_chip_16_cores");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("reference", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut chip = ring_chip(16);
+                inject_half(&mut chip);
+                chip
+            },
+            |chip| chip.tick(),
+            BatchSize::SmallInput,
+        )
+    });
+    for threads in [1usize, 4] {
+        group.bench_function(format!("compiled_{threads}t"), |b| {
+            b.iter_batched_ref(
+                || {
+                    let chip = ring_chip(16);
+                    let mut fast = CompiledChip::compile(&chip).expect("compile");
+                    fast.set_threads(threads);
+                    inject_half_fast(&mut fast);
+                    fast
+                },
+                |fast| fast.tick(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_core, bench_routed_chip);
+criterion_main!(benches);

@@ -1,0 +1,239 @@
+//! Raw tick throughput: reference interpreter vs compiled kernel.
+//!
+//! Measures steady-state ticks/second on three workloads — one dense
+//! deterministic core, one dense core with stochastic synapses (PRNG
+//! draws on the hot path), and a 64-core chip with cross-core routing —
+//! under the reference `TrueNorthChip::tick` and the compiled
+//! `CompiledChip` at 1 and N threads. Both paths are bit-identical (see
+//! `tests/integration_kernel.rs`); this bin quantifies what the
+//! compilation buys.
+//!
+//! Knobs: `TN_BENCH_TICKS` (measured ticks per cell, default 2000),
+//! `TN_BENCH_JSON` (write a machine-readable summary to this path).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tn_chip::chip::{SpikeTarget, TrueNorthChip};
+use tn_chip::kernel::CompiledChip;
+use tn_chip::neuro_core::NeuroSynapticCore;
+use tn_chip::neuron::{NeuronConfig, ResetMode};
+
+const SEED: u64 = 0xACE1;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A 256×256 core at ~50% crossbar density.
+fn dense_core(seed_index: usize, stochastic: bool) -> NeuroSynapticCore {
+    let mut cfg = NeuronConfig::mcculloch_pitts(0, 0.0, 1);
+    cfg.threshold = 64;
+    cfg.reset = ResetMode::ToValue(0);
+    let mut core = NeuroSynapticCore::new(seed_index, cfg, 256);
+    let mut rng = StdRng::seed_from_u64(SEED + seed_index as u64);
+    for a in 0..256 {
+        core.set_axon_type(a, (a % 4) as u8);
+        for n in 0..256 {
+            if rng.gen_bool(0.5) {
+                core.crossbar_mut().set(a, n, true);
+                if stochastic && rng.gen_bool(0.5) {
+                    core.set_stochastic_probability(a, n, 0.5);
+                }
+            }
+        }
+    }
+    core
+}
+
+/// One core, every neuron routed to an output channel.
+fn single_core_chip(stochastic: bool) -> TrueNorthChip {
+    let mut chip = TrueNorthChip::truenorth(4);
+    chip.add_core(
+        dense_core(0, stochastic),
+        (0..256)
+            .map(|n| SpikeTarget::Output { channel: n % 4 })
+            .collect(),
+    )
+    .expect("add core");
+    chip.set_seed(SEED);
+    chip
+}
+
+/// 64 dense cores in a ring: each neuron feeds the next core's matching
+/// axon (with a small delay spread) so activity recirculates.
+fn ring_chip(cores: usize, stochastic: bool) -> TrueNorthChip {
+    let mut chip = TrueNorthChip::truenorth(4);
+    for c in 0..cores {
+        let mut core = dense_core(c, stochastic);
+        for a in 0..256 {
+            core.set_axon_delay(a, (a % 16) as u8);
+        }
+        let targets = (0..256)
+            .map(|n| SpikeTarget::Axon {
+                core: (c + 1) % cores,
+                axon: n,
+            })
+            .collect();
+        chip.add_core(core, targets).expect("add core");
+    }
+    chip.set_seed(SEED);
+    chip
+}
+
+/// Injection schedule keeping the workload active: ~half of each core's
+/// axons per tick.
+fn injections(cores: usize) -> Vec<(usize, usize)> {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xF00D);
+    let mut v = Vec::new();
+    for c in 0..cores {
+        for a in 0..256 {
+            if rng.gen_bool(0.5) {
+                v.push((c, a));
+            }
+        }
+    }
+    v
+}
+
+/// Measured ticks/second for one (workload × backend) cell.
+struct Cell {
+    workload: &'static str,
+    backend: String,
+    ticks: usize,
+    ticks_per_sec: f64,
+    synops_per_sec: f64,
+}
+
+fn measure<F: FnMut()>(ticks: usize, mut one_tick: F) -> f64 {
+    for _ in 0..ticks / 10 {
+        one_tick(); // warmup
+    }
+    let t0 = Instant::now();
+    for _ in 0..ticks {
+        one_tick();
+    }
+    ticks as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn bench_reference(workload: &'static str, mut chip: TrueNorthChip, ticks: usize) -> Cell {
+    let inj = injections(chip.core_count());
+    let rate = measure(ticks, || {
+        for &(c, a) in &inj {
+            chip.inject(c, a).expect("inject");
+        }
+        chip.tick();
+    });
+    let stats = chip.core_stats_total();
+    let synops_per_tick = stats.synaptic_ops as f64 / chip.stats().ticks.max(1) as f64;
+    Cell {
+        workload,
+        backend: "reference".to_string(),
+        ticks,
+        ticks_per_sec: rate,
+        synops_per_sec: rate * synops_per_tick,
+    }
+}
+
+fn bench_compiled(
+    workload: &'static str,
+    chip: &TrueNorthChip,
+    threads: usize,
+    ticks: usize,
+) -> Cell {
+    let mut fast = CompiledChip::compile(chip).expect("compile");
+    fast.set_threads(threads);
+    let inj = injections(fast.core_count());
+    let rate = measure(ticks, || {
+        for &(c, a) in &inj {
+            fast.inject(c, a);
+        }
+        fast.tick();
+    });
+    let stats = fast.core_stats_total();
+    let synops_per_tick = stats.synaptic_ops as f64 / fast.stats().ticks.max(1) as f64;
+    Cell {
+        workload,
+        backend: format!("compiled_{threads}t"),
+        ticks,
+        ticks_per_sec: rate,
+        synops_per_sec: rate * synops_per_tick,
+    }
+}
+
+fn main() {
+    let ticks = env_usize("TN_BENCH_TICKS", 2000);
+    let threads = std::thread::available_parallelism().map_or(4, usize::from).min(8);
+    println!("== raw tick throughput ({ticks} measured ticks per cell) ==\n");
+    println!(
+        "{:<18} {:<14} {:>12} {:>14}",
+        "workload", "backend", "ticks/s", "synops/s"
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for (workload, stochastic) in [("single_core_det", false), ("single_core_stoch", true)] {
+        cells.push(bench_reference(workload, single_core_chip(stochastic), ticks));
+        cells.push(bench_compiled(workload, &single_core_chip(stochastic), 1, ticks));
+    }
+    // The 64-core chip amortizes per-tick overhead and exercises routing +
+    // the delay ring; fewer measured ticks keep the run short.
+    let chip_ticks = (ticks / 8).max(50);
+    let ring = ring_chip(64, false);
+    cells.push(bench_reference("chip_64_cores", ring.clone(), chip_ticks));
+    cells.push(bench_compiled("chip_64_cores", &ring, 1, chip_ticks));
+    if threads > 1 {
+        cells.push(bench_compiled("chip_64_cores", &ring, threads, chip_ticks));
+    }
+
+    for c in &cells {
+        println!(
+            "{:<18} {:<14} {:>12.0} {:>14.3e}",
+            c.workload, c.backend, c.ticks_per_sec, c.synops_per_sec
+        );
+    }
+    let speedup = |w: &str| {
+        let of = |b: &str| {
+            cells
+                .iter()
+                .find(|c| c.workload == w && c.backend == b)
+                .map_or(0.0, |c| c.ticks_per_sec)
+        };
+        let r = of("reference");
+        if r > 0.0 {
+            of("compiled_1t") / r
+        } else {
+            0.0
+        }
+    };
+    println!();
+    for w in ["single_core_det", "single_core_stoch", "chip_64_cores"] {
+        println!("{w}: compiled/reference = {:.2}x (single-threaded)", speedup(w));
+    }
+
+    if let Ok(path) = std::env::var("TN_BENCH_JSON") {
+        let mut rows = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"backend\": \"{}\", \"ticks\": {}, \"ticks_per_sec\": {:.1}, \"synops_per_sec\": {:.4e}}}",
+                c.workload, c.backend, c.ticks, c.ticks_per_sec, c.synops_per_sec
+            ));
+        }
+        let json = format!(
+            "{{\n  \"seed\": {SEED},\n  \"threads\": {threads},\n  \"speedup_single_threaded\": {{\"single_core_det\": {:.2}, \"single_core_stoch\": {:.2}, \"chip_64_cores\": {:.2}}},\n  \"cells\": [\n{rows}\n  ]\n}}\n",
+            speedup("single_core_det"),
+            speedup("single_core_stoch"),
+            speedup("chip_64_cores"),
+        );
+        let mut f = std::fs::File::create(&path).expect("create json");
+        f.write_all(json.as_bytes()).expect("write json");
+        println!("\nwrote {path}");
+    }
+}

@@ -100,7 +100,17 @@ pub struct ChipStats {
     pub output_spikes: u64,
     /// Ticks simulated.
     pub ticks: u64,
+    /// In-flight spikes dropped by [`TrueNorthChip::flush_in_flight`] at
+    /// frame boundaries. Nonzero when axonal delays (or the base routing
+    /// latency) carried spikes past the end of a frame — dropped by design
+    /// to keep frames independent, but accounted here so the loss is never
+    /// silent.
+    pub flushed_spikes: u64,
 }
+
+/// Delay-ring slots: base 1-tick routing latency + up to 15 extra ticks of
+/// axonal delay means every in-flight spike is due within the next 16 ticks.
+pub(crate) const RING_SLOTS: usize = 16;
 
 /// A simulated TrueNorth chip.
 ///
@@ -130,10 +140,16 @@ pub struct TrueNorthChip {
     coords: Vec<CoreCoord>,
     targets: Vec<Vec<SpikeTarget>>,
     placer: Placer,
-    /// Spikes awaiting delivery: `(remaining_extra_ticks, core, axon)` —
-    /// 0 means deliver at the start of the next tick (the base one-tick
-    /// network latency); axonal delays add extra ticks on top.
-    in_flight: Vec<(u8, usize, usize)>,
+    /// Spikes awaiting delivery, bucketed by due tick: a spike fired at
+    /// tick `t` with extra axonal delay `d` lands in slot
+    /// `(t + 1 + d) % RING_SLOTS` and is drained at the start of tick
+    /// `t + 1 + d`. Replaces the old per-tick re-push churn (O(in-flight)
+    /// per tick) with O(due-now) draining.
+    ring: Vec<Vec<(u32, u16)>>,
+    /// Current ring slot == tick index modulo `RING_SLOTS`.
+    ring_pos: usize,
+    /// Reusable fired-neuron scratch shared across cores and ticks.
+    fired_scratch: Vec<u16>,
     outputs: Vec<u64>,
     stats: ChipStats,
     seed: u64,
@@ -152,7 +168,9 @@ impl TrueNorthChip {
             coords: Vec::new(),
             targets: Vec::new(),
             placer: Placer::new(width, height),
-            in_flight: Vec::new(),
+            ring: (0..RING_SLOTS).map(|_| Vec::new()).collect(),
+            ring_pos: 0,
+            fired_scratch: Vec::new(),
             outputs: vec![0; output_channels],
             stats: ChipStats::default(),
             seed: 0,
@@ -289,28 +307,31 @@ impl TrueNorthChip {
     /// Advance the chip one tick. Returns the number of output spikes
     /// emitted this tick.
     pub fn tick(&mut self) -> u64 {
-        // Deliver matured spikes; age the rest.
-        let in_flight = std::mem::take(&mut self.in_flight);
-        for (remaining, core, axon) in in_flight {
-            if remaining == 0 {
-                self.cores[core].inject(axon);
-            } else {
-                self.in_flight.push((remaining - 1, core, axon));
-            }
+        // Deliver the spikes due this tick; the drained buffer goes back
+        // into the ring so its allocation is reused (a spike fired this
+        // tick with the maximum delay of 15 lands back in this very slot,
+        // due RING_SLOTS ticks from now).
+        let mut due = std::mem::take(&mut self.ring[self.ring_pos]);
+        for &(core, axon) in &due {
+            self.cores[core as usize].inject(axon as usize);
         }
-        // Run every core, collecting newly fired spikes.
+        due.clear();
+        self.ring[self.ring_pos] = due;
+        // Run every core, routing newly fired spikes.
         let mut out_this_tick = 0u64;
+        let mut fired = std::mem::take(&mut self.fired_scratch);
         for c in 0..self.cores.len() {
-            let fired = self.cores[c].tick();
-            for n in fired {
-                match self.targets[c][n] {
+            self.cores[c].tick_into(&mut fired);
+            for &n in &fired {
+                match self.targets[c][n as usize] {
                     SpikeTarget::None => {}
                     SpikeTarget::Axon { core, axon } => {
                         debug_assert!(core < self.cores.len(), "dangling target");
                         self.stats.routed_spikes += 1;
                         self.stats.mesh_hops += self.coords[c].hops_to(self.coords[core]) as u64;
-                        let delay = self.cores[core].axon_delay(axon);
-                        self.in_flight.push((delay, core, axon));
+                        let delay = self.cores[core].axon_delay(axon) as usize;
+                        let slot = (self.ring_pos + 1 + delay) % RING_SLOTS;
+                        self.ring[slot].push((core as u32, axon as u16));
                     }
                     SpikeTarget::Output { channel } => {
                         self.outputs[channel] += 1;
@@ -320,6 +341,8 @@ impl TrueNorthChip {
                 }
             }
         }
+        self.fired_scratch = fired;
+        self.ring_pos = (self.ring_pos + 1) % RING_SLOTS;
         self.stats.ticks += 1;
         out_this_tick
     }
@@ -341,9 +364,24 @@ impl TrueNorthChip {
         self.outputs.iter_mut().for_each(|c| *c = 0);
     }
 
-    /// Drop any spikes still in flight (frame boundary).
-    pub fn flush_in_flight(&mut self) {
-        self.in_flight.clear();
+    /// Drop any spikes still in flight (frame boundary) and return how many
+    /// were dropped. The count is also accumulated into
+    /// [`ChipStats::flushed_spikes`], so a frame driver that flushes between
+    /// frames never loses delayed spikes *silently*: spikes that axonal
+    /// delays would have carried across the boundary show up in the stats.
+    pub fn flush_in_flight(&mut self) -> u64 {
+        let mut dropped = 0u64;
+        for slot in &mut self.ring {
+            dropped += slot.len() as u64;
+            slot.clear();
+        }
+        self.stats.flushed_spikes += dropped;
+        dropped
+    }
+
+    /// Number of spikes currently in flight (fired but not yet delivered).
+    pub fn in_flight_len(&self) -> usize {
+        self.ring.iter().map(Vec::len).sum()
     }
 
     /// Chip-level statistics.
@@ -377,7 +415,39 @@ impl TrueNorthChip {
         }
         self.stats = ChipStats::default();
         self.clear_outputs();
-        self.in_flight.clear();
+        for slot in &mut self.ring {
+            slot.clear();
+        }
+    }
+
+    // --- pub(crate) views for the kernel compiler (`crate::kernel`) ---
+
+    pub(crate) fn cores_ref(&self) -> &[NeuroSynapticCore] {
+        &self.cores
+    }
+
+    pub(crate) fn targets_ref(&self) -> &[Vec<SpikeTarget>] {
+        &self.targets
+    }
+
+    pub(crate) fn coords_ref(&self) -> &[CoreCoord] {
+        &self.coords
+    }
+
+    /// In-flight spikes as (ticks-until-due − 1, core, axon) triples:
+    /// offset 0 is due at the start of the next tick. Lets the compiler
+    /// snapshot a chip mid-run without losing routed spikes.
+    pub(crate) fn ring_snapshot(&self) -> Vec<(usize, u32, u16)> {
+        let mut out = Vec::new();
+        for offset in 0..RING_SLOTS {
+            // `ring_pos` is incremented at the end of tick(), so between
+            // ticks the slot drained next is `ring_pos` itself.
+            let slot = (self.ring_pos + offset) % RING_SLOTS;
+            for &(core, axon) in &self.ring[slot] {
+                out.push((offset, core, axon));
+            }
+        }
+        out
     }
 }
 
@@ -492,6 +562,65 @@ mod tests {
         }
         chip.tick();
         assert_eq!(chip.output_counts()[0], 1);
+    }
+
+    #[test]
+    fn max_delay_wraps_the_ring() {
+        // Delay 15 (the hardware max) lands back in the slot being drained
+        // when pushed — it must be delivered RING_SLOTS ticks later, not
+        // immediately.
+        let mut chip = TrueNorthChip::new(2, 2, 1);
+        let h0 = chip
+            .add_core(
+                passthrough_core(1),
+                vec![SpikeTarget::Axon { core: 1, axon: 0 }],
+            )
+            .expect("c0");
+        let mut delayed = passthrough_core(1);
+        delayed.set_axon_delay(0, 15);
+        chip.add_core(delayed, vec![SpikeTarget::Output { channel: 0 }])
+            .expect("c1");
+        chip.inject(h0, 0).expect("inject");
+        // Fire tick 1, deliver at tick 1 + 1 + 15 = 17, output that tick.
+        for t in 1..=16 {
+            chip.tick();
+            assert_eq!(chip.output_counts()[0], 0, "too early at tick {t}");
+        }
+        chip.tick();
+        assert_eq!(chip.output_counts()[0], 1);
+    }
+
+    #[test]
+    fn flush_accounts_spikes_crossing_a_frame_edge() {
+        // A delayed spike still in flight when the frame ends must be
+        // dropped *visibly*: flush returns the count, the stats record it,
+        // and the next frame does not receive it.
+        let mut chip = TrueNorthChip::new(2, 2, 1);
+        let h0 = chip
+            .add_core(
+                passthrough_core(1),
+                vec![SpikeTarget::Axon { core: 1, axon: 0 }],
+            )
+            .expect("c0");
+        let mut delayed = passthrough_core(1);
+        delayed.set_axon_delay(0, 4);
+        chip.add_core(delayed, vec![SpikeTarget::Output { channel: 0 }])
+            .expect("c1");
+        chip.inject(h0, 0).expect("inject");
+        chip.tick(); // frame of 1 tick: the routed spike is now in flight
+        assert_eq!(chip.in_flight_len(), 1);
+        let dropped = chip.flush_in_flight();
+        assert_eq!(dropped, 1, "frame boundary dropped the delayed spike");
+        assert_eq!(chip.stats().flushed_spikes, 1);
+        assert_eq!(chip.in_flight_len(), 0);
+        // Next frame: nothing left over from the flushed spike.
+        for _ in 0..8 {
+            chip.tick();
+        }
+        assert_eq!(chip.output_counts()[0], 0, "flushed spike must not leak");
+        // A quiescent flush is free.
+        assert_eq!(chip.flush_in_flight(), 0);
+        assert_eq!(chip.stats().flushed_spikes, 1);
     }
 
     #[test]

@@ -1,0 +1,837 @@
+//! Compiled tick kernels: the chip simulator's fast path.
+//!
+//! [`CompiledChip::compile`] snapshots a configured [`TrueNorthChip`] into a
+//! flat, cache-friendly program and executes it bit-identically to the
+//! reference interpreter (`TrueNorthChip::tick`) — same spike trains, same
+//! output counts, same `synaptic_ops`/energy statistics, same PRNG streams.
+//! Three coordinated optimizations pay for the compile step many times over
+//! on deployed networks:
+//!
+//! 1. **Row compilation** — each core's crossbar is precompiled into packed
+//!    per-axon rows of `(neuron, signed_weight)` contributions, resolving
+//!    the axon-type weight table and the sign-flip plane once at compile
+//!    time. Fully deterministic synapses (`q == u16::MAX`, which includes
+//!    every synapse of a core without a stochastic plane) go into a *flat*
+//!    row the tick loop accumulates without touching the PRNG; only residual
+//!    stochastic synapses take a gated row. Both rows keep ascending neuron
+//!    order, so the PRNG draw sequence is exactly the interpreter's (which
+//!    only draws at gated synapses). The paper's biased penalty concentrates
+//!    connectivity probabilities at the poles p ∈ {0, 1} (Eq. 15), so a
+//!    deployed biased network is mostly deterministic synapses — this is
+//!    where the co-optimization result becomes a simulator win too.
+//! 2. **Allocation-free ticking** — per-core scratch state (membrane
+//!    potentials, fired list, input bits) and a 16-slot delay ring are
+//!    reused across ticks; the steady-state tick loop performs no heap
+//!    allocation.
+//! 3. **Parallel core execution** — cores are independent within a tick
+//!    (spikes route *between* ticks), so per-core kernels run across threads
+//!    via [`crate::exec::parallel_slices`], with routing applied after the
+//!    join. Results are bit-identical for any thread count.
+//!
+//! # Eligibility
+//!
+//! The interpreter saturates every membrane addition; the compiled kernel
+//! uses plain adds. [`CompiledChip::compile`] therefore proves at compile
+//! time that no addition can leave `i32` range — weights and leak bounded by
+//! 2^20, thresholds/reset values by 2^24, floors and starting potentials
+//! within ±2^29 — so plain and saturating arithmetic coincide. With ≤ 256
+//! contributions of ≤ 2^20 per tick on top of a ≤ 2^29 starting magnitude,
+//! every intermediate stays below 2^30 ≪ `i32::MAX`. Configurations outside
+//! those bounds (or stateful neurons with `Linear`/`None` reset, whose
+//! potential is not provably bounded across ticks) are rejected with a
+//! [`CompileError`] and must use the interpreter. Every deployment the paper
+//! builds (history-free McCulloch-Pitts cores, |weights| ≤ 2) is eligible.
+
+use std::sync::Arc;
+
+use crate::chip::{ChipStats, SpikeTarget, TrueNorthChip, RING_SLOTS};
+use crate::crossbar::CROSSBAR_AXONS;
+use crate::energy::EnergyReport;
+use crate::exec::parallel_slices;
+use crate::neuro_core::CoreStats;
+use crate::neuron::{step_membrane, NeuronConfig, ResetMode};
+use crate::prng::LfsrPrng;
+
+/// Largest weight or leak magnitude the compiled kernel accepts.
+const MAX_WEIGHT: i32 = 1 << 20;
+/// Largest threshold / reset-value magnitude the compiled kernel accepts.
+const MAX_THRESHOLD: i32 = 1 << 24;
+/// Potential snapshot bound (also the lowest admissible floor; the default
+/// McCulloch-Pitts floor is exactly `i32::MIN / 4 == -2^29`).
+const MAX_POTENTIAL: i32 = 1 << 29;
+
+/// Why a chip could not be compiled. The reference interpreter remains
+/// available for any such chip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A neuron's configuration or current state falls outside the bounds
+    /// under which plain (non-saturating) arithmetic is provably exact.
+    UnsupportedNeuron {
+        /// Core handle.
+        core: usize,
+        /// Neuron index within the core.
+        neuron: usize,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A spike target references a core that does not exist.
+    DanglingTarget {
+        /// The referenced core handle.
+        core: usize,
+    },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::UnsupportedNeuron {
+                core,
+                neuron,
+                reason,
+            } => write!(f, "core {core} neuron {neuron} not compilable: {reason}"),
+            CompileError::DanglingTarget { core } => {
+                write!(f, "spike target references unknown core {core}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// One deterministic synaptic contribution: integrate `weight` into
+/// `neuron`'s membrane whenever the row's axon receives a spike.
+#[derive(Debug, Clone, Copy)]
+struct DetSynapse {
+    neuron: u16,
+    weight: i32,
+}
+
+/// One stochastically gated contribution: integrate only when a fresh PRNG
+/// draw falls below `q` (never `u16::MAX` here — those are deterministic).
+#[derive(Debug, Clone, Copy)]
+struct GatedSynapse {
+    neuron: u16,
+    weight: i32,
+    q: u16,
+}
+
+/// Where a compiled neuron's spike goes, with the destination axon's delay
+/// and mesh hop count resolved at compile time.
+#[derive(Debug, Clone, Copy)]
+enum CompiledTarget {
+    None,
+    Axon {
+        core: u32,
+        axon: u16,
+        delay: u8,
+        hops: u32,
+    },
+    Output {
+        channel: u32,
+    },
+}
+
+/// The immutable compiled program for one core: packed synapse rows plus
+/// per-neuron configurations.
+#[derive(Debug)]
+struct CoreKernel {
+    /// Deterministic synapses of all axons, concatenated in axon order,
+    /// ascending neuron order within each axon row.
+    det: Vec<DetSynapse>,
+    /// `det_index[a]..det_index[a + 1]` is axon `a`'s deterministic row.
+    det_index: Vec<u32>,
+    /// Stochastically gated synapses, same layout as `det`.
+    gated: Vec<GatedSynapse>,
+    /// `gated_index[a]..gated_index[a + 1]` is axon `a`'s gated row.
+    gated_index: Vec<u32>,
+    /// Synaptic ops charged per spike on each axon (row length — every
+    /// connected in-range synapse costs one op whether or not its gate
+    /// passes, matching the interpreter).
+    row_ops: Vec<u32>,
+    /// Per-neuron static configuration (shared with `step_membrane`).
+    configs: Vec<NeuronConfig>,
+    /// Per-neuron spike targets.
+    targets: Vec<CompiledTarget>,
+}
+
+/// The immutable, shareable part of a compiled chip. `CompiledChip` clones
+/// share it via [`Arc`], so cloning a compiled deployment per worker thread
+/// costs only the mutable state.
+#[derive(Debug)]
+struct ChipProgram {
+    kernels: Vec<CoreKernel>,
+}
+
+/// Mutable per-core execution state.
+#[derive(Debug, Clone)]
+struct CoreState {
+    potentials: Vec<i32>,
+    prng: LfsrPrng,
+    input: [u64; CROSSBAR_AXONS / 64],
+    stats: CoreStats,
+    /// Neurons fired this tick, ascending (reused scratch).
+    fired: Vec<u16>,
+}
+
+/// A chip compiled for fast execution. Behaviourally identical to the
+/// [`TrueNorthChip`] it was compiled from — a snapshot: later mutations of
+/// the source chip do not propagate.
+///
+/// # Examples
+///
+/// ```
+/// use tn_chip::chip::{SpikeTarget, TrueNorthChip};
+/// use tn_chip::kernel::CompiledChip;
+/// use tn_chip::neuro_core::NeuroSynapticCore;
+/// use tn_chip::neuron::NeuronConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut chip = TrueNorthChip::new(4, 4, 1);
+/// let mut core = NeuroSynapticCore::new(0, NeuronConfig::default(), 1);
+/// core.crossbar_mut().set(0, 0, true);
+/// let h = chip.add_core(core, vec![SpikeTarget::Output { channel: 0 }])?;
+/// let mut fast = CompiledChip::compile(&chip)?;
+/// fast.inject(h, 0);
+/// fast.tick();
+/// assert_eq!(fast.output_counts()[0], 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledChip {
+    program: Arc<ChipProgram>,
+    states: Vec<CoreState>,
+    /// Spikes awaiting delivery, bucketed by due tick (same discipline as
+    /// the interpreter's ring: slot `(tick + 1 + delay) % RING_SLOTS`).
+    ring: Vec<Vec<(u32, u16)>>,
+    ring_pos: usize,
+    outputs: Vec<u64>,
+    stats: ChipStats,
+    threads: usize,
+}
+
+fn check_config(core: usize, neuron: usize, cfg: &NeuronConfig) -> Result<(), CompileError> {
+    let err = |reason| {
+        Err(CompileError::UnsupportedNeuron {
+            core,
+            neuron,
+            reason,
+        })
+    };
+    if cfg.weights.iter().any(|w| !(-MAX_WEIGHT..=MAX_WEIGHT).contains(w)) {
+        return err("weight magnitude exceeds 2^20");
+    }
+    if !(-MAX_WEIGHT..=MAX_WEIGHT).contains(&cfg.leak) {
+        return err("leak magnitude exceeds 2^20");
+    }
+    if !(-MAX_THRESHOLD..=MAX_THRESHOLD).contains(&cfg.threshold) {
+        return err("threshold magnitude exceeds 2^24");
+    }
+    if !(-MAX_POTENTIAL..=MAX_THRESHOLD).contains(&cfg.floor) {
+        return err("floor outside [-2^29, 2^24]");
+    }
+    if !cfg.history_free {
+        // A stateful neuron's potential must stay provably bounded across
+        // ticks: ToValue reset pins it after every fire, and "didn't fire"
+        // bounds it by threshold + the 16-bit dither. Linear/None stateful
+        // resets can ratchet without bound, so they stay on the interpreter.
+        match cfg.reset {
+            ResetMode::ToValue(v) if (-MAX_THRESHOLD..=MAX_THRESHOLD).contains(&v) => {}
+            ResetMode::ToValue(_) => return err("stateful reset value exceeds 2^24"),
+            ResetMode::Linear | ResetMode::None => {
+                return err("stateful neuron with Linear/None reset")
+            }
+        }
+    }
+    Ok(())
+}
+
+impl CompiledChip {
+    /// Compile a chip into its fast-path program, snapshotting all dynamic
+    /// state (membrane potentials, PRNG streams, pending inputs, in-flight
+    /// spikes) so execution continues exactly where the source chip stands.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::UnsupportedNeuron`] when a neuron falls outside the
+    /// provably-exact arithmetic bounds (see module docs), or
+    /// [`CompileError::DanglingTarget`] on broken wiring.
+    pub fn compile(chip: &TrueNorthChip) -> Result<Self, CompileError> {
+        let cores = chip.cores_ref();
+        let all_targets = chip.targets_ref();
+        let coords = chip.coords_ref();
+        let mut kernels = Vec::with_capacity(cores.len());
+        let mut states = Vec::with_capacity(cores.len());
+        for (ci, core) in cores.iter().enumerate() {
+            let n_neurons = core.n_neurons();
+            let mut configs = Vec::with_capacity(n_neurons);
+            let mut potentials = Vec::with_capacity(n_neurons);
+            for n in 0..n_neurons {
+                let neuron = core.neuron(n);
+                check_config(ci, n, &neuron.config)?;
+                let p = neuron.state.potential;
+                if !(-MAX_POTENTIAL..=MAX_POTENTIAL).contains(&p) {
+                    return Err(CompileError::UnsupportedNeuron {
+                        core: ci,
+                        neuron: n,
+                        reason: "starting potential outside ±2^29",
+                    });
+                }
+                configs.push(neuron.config);
+                potentials.push(p);
+            }
+            let mut det = Vec::new();
+            let mut det_index = Vec::with_capacity(CROSSBAR_AXONS + 1);
+            let mut gated = Vec::new();
+            let mut gated_index = Vec::with_capacity(CROSSBAR_AXONS + 1);
+            let mut row_ops = Vec::with_capacity(CROSSBAR_AXONS);
+            det_index.push(0);
+            gated_index.push(0);
+            for axon in 0..CROSSBAR_AXONS {
+                let ty = core.axon_type(axon) as usize;
+                let mut ops = 0u32;
+                for neuron in core.crossbar().connected_neurons(axon) {
+                    if neuron >= n_neurons {
+                        continue;
+                    }
+                    ops += 1;
+                    let mut weight = configs[neuron].weights[ty];
+                    if core.sign_flip(axon, neuron) {
+                        weight = -weight;
+                    }
+                    let q = core.stochastic_q(axon, neuron);
+                    if q == u16::MAX {
+                        det.push(DetSynapse {
+                            neuron: neuron as u16,
+                            weight,
+                        });
+                    } else {
+                        gated.push(GatedSynapse {
+                            neuron: neuron as u16,
+                            weight,
+                            q,
+                        });
+                    }
+                }
+                det_index.push(det.len() as u32);
+                gated_index.push(gated.len() as u32);
+                row_ops.push(ops);
+            }
+            let mut targets = Vec::with_capacity(n_neurons);
+            for t in &all_targets[ci] {
+                targets.push(match *t {
+                    SpikeTarget::None => CompiledTarget::None,
+                    SpikeTarget::Axon { core: dst, axon } => {
+                        if dst >= cores.len() {
+                            return Err(CompileError::DanglingTarget { core: dst });
+                        }
+                        CompiledTarget::Axon {
+                            core: dst as u32,
+                            axon: axon as u16,
+                            delay: cores[dst].axon_delay(axon),
+                            hops: coords[ci].hops_to(coords[dst]),
+                        }
+                    }
+                    SpikeTarget::Output { channel } => CompiledTarget::Output {
+                        channel: channel as u32,
+                    },
+                });
+            }
+            kernels.push(CoreKernel {
+                det,
+                det_index,
+                gated,
+                gated_index,
+                row_ops,
+                configs,
+                targets,
+            });
+            states.push(CoreState {
+                potentials,
+                prng: LfsrPrng::new(core.prng_state()),
+                input: core.input_words(),
+                stats: core.stats(),
+                fired: Vec::new(),
+            });
+        }
+        let mut ring: Vec<Vec<(u32, u16)>> = (0..RING_SLOTS).map(|_| Vec::new()).collect();
+        for (offset, core, axon) in chip.ring_snapshot() {
+            // Compiled ring starts at position 0, so "due in `offset`
+            // ticks" is simply slot `offset`.
+            ring[offset % RING_SLOTS].push((core, axon));
+        }
+        Ok(Self {
+            program: Arc::new(ChipProgram { kernels }),
+            states,
+            ring,
+            ring_pos: 0,
+            outputs: chip.output_counts().to_vec(),
+            stats: chip.stats(),
+            threads: 1,
+        })
+    }
+
+    /// Number of worker threads ticks fan cores across (1 = inline).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Set the number of worker threads used per tick. Results are
+    /// bit-identical for any value; more threads only helps when the chip
+    /// has enough active cores to amortize the fan-out.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Number of compiled cores.
+    pub fn core_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Reseed every core's PRNG stream, exactly as
+    /// [`TrueNorthChip::set_seed`] does.
+    pub fn set_seed(&mut self, seed: u64) {
+        for (i, st) in self.states.iter_mut().enumerate() {
+            st.prng = LfsrPrng::for_core(seed, i);
+        }
+    }
+
+    /// Inject an external spike into `(core, axon)` for the next tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` or `axon` is out of range.
+    pub fn inject(&mut self, core: usize, axon: usize) {
+        assert!(core < self.states.len(), "no core with handle {core}");
+        assert!(axon < CROSSBAR_AXONS, "axon {axon} out of range");
+        let st = &mut self.states[core];
+        st.input[axon / 64] |= 1u64 << (axon % 64);
+        st.stats.spikes_in += 1;
+    }
+
+    /// Advance one tick. Returns the number of output spikes emitted.
+    pub fn tick(&mut self) -> u64 {
+        // Deliver spikes due this tick.
+        let mut due = std::mem::take(&mut self.ring[self.ring_pos]);
+        for &(core, axon) in &due {
+            let st = &mut self.states[core as usize];
+            st.input[axon as usize / 64] |= 1u64 << (axon as usize % 64);
+            st.stats.spikes_in += 1;
+        }
+        due.clear();
+        self.ring[self.ring_pos] = due;
+        // Integrate and fire every core; independent within a tick, so fan
+        // out across threads when asked to. Each worker touches only its
+        // own disjoint chunk of states.
+        let program = &self.program;
+        parallel_slices(&mut self.states, self.threads, |offset, chunk| {
+            for (i, st) in chunk.iter_mut().enumerate() {
+                core_tick(&program.kernels[offset + i], st);
+            }
+        });
+        // Route fired spikes sequentially after the join: counters and ring
+        // pushes happen in core order, so stats and in-flight contents are
+        // independent of the thread count.
+        let mut out_this_tick = 0u64;
+        for c in 0..self.states.len() {
+            let fired = std::mem::take(&mut self.states[c].fired);
+            for &n in &fired {
+                match self.program.kernels[c].targets[n as usize] {
+                    CompiledTarget::None => {}
+                    CompiledTarget::Axon {
+                        core,
+                        axon,
+                        delay,
+                        hops,
+                    } => {
+                        self.stats.routed_spikes += 1;
+                        self.stats.mesh_hops += hops as u64;
+                        let slot = (self.ring_pos + 1 + delay as usize) % RING_SLOTS;
+                        self.ring[slot].push((core, axon));
+                    }
+                    CompiledTarget::Output { channel } => {
+                        self.outputs[channel as usize] += 1;
+                        self.stats.output_spikes += 1;
+                        out_this_tick += 1;
+                    }
+                }
+            }
+            self.states[c].fired = fired;
+        }
+        self.ring_pos = (self.ring_pos + 1) % RING_SLOTS;
+        self.stats.ticks += 1;
+        out_this_tick
+    }
+
+    /// Run `n` ticks.
+    pub fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+
+    /// Accumulated output spike counts per channel.
+    pub fn output_counts(&self) -> &[u64] {
+        &self.outputs
+    }
+
+    /// Clear the output accumulators.
+    pub fn clear_outputs(&mut self) {
+        self.outputs.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Drop in-flight spikes (frame boundary), returning and accounting the
+    /// count exactly like [`TrueNorthChip::flush_in_flight`].
+    pub fn flush_in_flight(&mut self) -> u64 {
+        let mut dropped = 0u64;
+        for slot in &mut self.ring {
+            dropped += slot.len() as u64;
+            slot.clear();
+        }
+        self.stats.flushed_spikes += dropped;
+        dropped
+    }
+
+    /// Number of spikes currently in flight.
+    pub fn in_flight_len(&self) -> usize {
+        self.ring.iter().map(Vec::len).sum()
+    }
+
+    /// Membrane potential of `(core, neuron)` (equivalence testing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn potential(&self, core: usize, neuron: usize) -> i32 {
+        self.states[core].potentials[neuron]
+    }
+
+    /// Chip-level statistics.
+    pub fn stats(&self) -> ChipStats {
+        self.stats
+    }
+
+    /// Aggregate per-core statistics (same convention as
+    /// [`TrueNorthChip::core_stats_total`]: tick count is the max).
+    pub fn core_stats_total(&self) -> CoreStats {
+        let mut total = CoreStats::default();
+        for st in &self.states {
+            total.synaptic_ops += st.stats.synaptic_ops;
+            total.spikes_in += st.stats.spikes_in;
+            total.spikes_out += st.stats.spikes_out;
+            total.ticks = total.ticks.max(st.stats.ticks);
+        }
+        total
+    }
+
+    /// Statistics of one core (equivalence testing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core_stats(&self, core: usize) -> CoreStats {
+        self.states[core].stats
+    }
+
+    /// Energy/performance proxy for everything simulated so far.
+    pub fn energy_report(&self) -> EnergyReport {
+        let cs = self.core_stats_total();
+        EnergyReport::from_counters(cs.synaptic_ops, self.stats.ticks, self.core_count())
+    }
+
+    /// Reset all statistics, outputs, and in-flight spikes.
+    pub fn reset_counters(&mut self) {
+        for st in &mut self.states {
+            st.stats = CoreStats::default();
+        }
+        self.stats = ChipStats::default();
+        self.clear_outputs();
+        for slot in &mut self.ring {
+            slot.clear();
+        }
+    }
+}
+
+/// One core's tick: integrate pending axon rows, then run the shared
+/// membrane update per neuron. Mirrors `NeuroSynapticCore::tick_into`
+/// including its PRNG draw order: gated synapses in (axon asc, neuron asc)
+/// order, then per-neuron `step_membrane` draws in neuron order.
+fn core_tick(k: &CoreKernel, st: &mut CoreState) {
+    let CoreState {
+        potentials,
+        prng,
+        input,
+        stats,
+        fired,
+    } = st;
+    for (n, cfg) in k.configs.iter().enumerate() {
+        if cfg.history_free {
+            potentials[n] = 0;
+        }
+    }
+    for (w, &input_word) in input.iter().enumerate() {
+        let mut word = input_word;
+        while word != 0 {
+            let bit = word.trailing_zeros() as usize;
+            word &= word - 1;
+            let axon = w * 64 + bit;
+            stats.synaptic_ops += k.row_ops[axon] as u64;
+            let det = &k.det[k.det_index[axon] as usize..k.det_index[axon + 1] as usize];
+            for s in det {
+                potentials[s.neuron as usize] += s.weight;
+            }
+            let gated = &k.gated[k.gated_index[axon] as usize..k.gated_index[axon + 1] as usize];
+            for s in gated {
+                if prng.gen_bool_u16(s.q) {
+                    potentials[s.neuron as usize] += s.weight;
+                }
+            }
+        }
+    }
+    *input = [0; CROSSBAR_AXONS / 64];
+    fired.clear();
+    for (n, cfg) in k.configs.iter().enumerate() {
+        if step_membrane(cfg, &mut potentials[n], prng) {
+            fired.push(n as u16);
+        }
+    }
+    stats.spikes_out += fired.len() as u64;
+    stats.ticks += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neuro_core::NeuroSynapticCore;
+
+    fn strict_config() -> NeuronConfig {
+        let mut cfg = NeuronConfig::mcculloch_pitts(0, 0.0, 1);
+        cfg.threshold = 1;
+        cfg.reset = ResetMode::ToValue(0);
+        cfg
+    }
+
+    fn passthrough_core(n: usize) -> NeuroSynapticCore {
+        let mut core = NeuroSynapticCore::new(0, strict_config(), n);
+        for i in 0..n {
+            core.crossbar_mut().set(i, i, true);
+            core.set_axon_type(i, 0);
+        }
+        core
+    }
+
+    /// Two-core chain: core 0 forwards neuron 0 to core 1's axon 0 (with
+    /// the given delay), core 1 forwards to output 0.
+    fn chain_chip(delay: u8) -> (TrueNorthChip, usize) {
+        let mut chip = TrueNorthChip::new(2, 2, 1);
+        let h0 = chip
+            .add_core(
+                passthrough_core(1),
+                vec![SpikeTarget::Axon { core: 1, axon: 0 }],
+            )
+            .expect("c0");
+        let mut sink = passthrough_core(1);
+        sink.set_axon_delay(0, delay);
+        chip.add_core(sink, vec![SpikeTarget::Output { channel: 0 }])
+            .expect("c1");
+        (chip, h0)
+    }
+
+    #[test]
+    fn compiled_matches_reference_on_a_chain() {
+        for delay in [0u8, 3, 15] {
+            let (mut chip, h0) = chain_chip(delay);
+            let mut fast = CompiledChip::compile(&chip).expect("compile");
+            chip.inject(h0, 0).expect("inject");
+            fast.inject(h0, 0);
+            for t in 0..40 {
+                assert_eq!(chip.tick(), fast.tick(), "delay {delay} tick {t}");
+            }
+            assert_eq!(chip.output_counts(), fast.output_counts());
+            assert_eq!(chip.stats(), fast.stats());
+            assert_eq!(chip.core_stats_total(), fast.core_stats_total());
+        }
+    }
+
+    #[test]
+    fn stochastic_gates_preserve_draw_order() {
+        // Mixed rows: deterministic, always-pass plane entries, and real
+        // gates must produce the exact interpreter spike train.
+        let mut core = NeuroSynapticCore::new(0, strict_config(), 4);
+        for a in 0..3 {
+            for n in 0..4 {
+                core.crossbar_mut().set(a, n, true);
+            }
+            core.set_axon_type(a, 0);
+        }
+        core.set_stochastic_probability(0, 1, 0.5);
+        core.set_stochastic_probability(1, 0, 0.25);
+        core.set_stochastic_probability(1, 3, 0.0);
+        core.set_stochastic_probability(2, 2, 1.0); // exact "always"
+        let mut chip = TrueNorthChip::new(2, 2, 4);
+        let h = chip
+            .add_core(
+                core,
+                (0..4).map(|c| SpikeTarget::Output { channel: c }).collect(),
+            )
+            .expect("add");
+        chip.set_seed(0xDEAD_BEEF);
+        let mut fast = CompiledChip::compile(&chip).expect("compile");
+        for t in 0..500 {
+            for a in 0..3 {
+                chip.inject(h, a).expect("inject");
+                fast.inject(h, a);
+            }
+            assert_eq!(chip.tick(), fast.tick(), "tick {t}");
+            assert_eq!(
+                chip.core(h).expect("core").prng_state(),
+                fast.states[h].prng.state(),
+                "PRNG streams diverged at tick {t}"
+            );
+        }
+        assert_eq!(chip.output_counts(), fast.output_counts());
+        assert_eq!(chip.core_stats_total(), fast.core_stats_total());
+    }
+
+    #[test]
+    fn compile_snapshots_mid_run_state() {
+        // Compile while a spike is in flight and potentials are nonzero;
+        // both paths must continue identically.
+        let (mut chip, h0) = chain_chip(5);
+        chip.inject(h0, 0).expect("inject");
+        chip.tick(); // spike now in flight with 5 ticks of delay left
+        assert_eq!(chip.in_flight_len(), 1);
+        let mut fast = CompiledChip::compile(&chip).expect("compile");
+        assert_eq!(fast.in_flight_len(), 1);
+        for t in 0..10 {
+            assert_eq!(chip.tick(), fast.tick(), "tick {t}");
+        }
+        assert_eq!(chip.output_counts(), fast.output_counts());
+    }
+
+    #[test]
+    fn threads_do_not_change_results() {
+        let mut chip = TrueNorthChip::new(4, 4, 4);
+        for c in 0..8 {
+            let mut core = passthrough_core(4);
+            if c % 2 == 0 {
+                core.set_stochastic_probability(0, 0, 0.5);
+            }
+            let targets = (0..4)
+                .map(|n| {
+                    if n % 2 == 0 {
+                        SpikeTarget::Axon {
+                            core: (c + 1) % 8,
+                            axon: n,
+                        }
+                    } else {
+                        SpikeTarget::Output { channel: n % 4 }
+                    }
+                })
+                .collect();
+            chip.add_core(core, targets).expect("add");
+        }
+        chip.set_seed(7);
+        let run = |threads: usize| {
+            let mut fast = CompiledChip::compile(&chip).expect("compile");
+            fast.set_threads(threads);
+            for t in 0..64 {
+                for c in 0..8 {
+                    if (t + c) % 3 == 0 {
+                        fast.inject(c, t % 4);
+                    }
+                }
+                fast.tick();
+            }
+            (
+                fast.output_counts().to_vec(),
+                fast.stats(),
+                fast.core_stats_total(),
+            )
+        };
+        let base = run(1);
+        assert_eq!(base, run(3));
+        assert_eq!(base, run(8));
+    }
+
+    #[test]
+    fn stateful_linear_reset_is_rejected() {
+        let mut cfg = NeuronConfig::mcculloch_pitts(0, 0.0, 1);
+        cfg.history_free = false;
+        cfg.reset = ResetMode::Linear;
+        let core = NeuroSynapticCore::new(0, cfg, 1);
+        let mut chip = TrueNorthChip::new(2, 2, 1);
+        chip.add_core(core, vec![SpikeTarget::Output { channel: 0 }])
+            .expect("add");
+        let err = CompiledChip::compile(&chip).unwrap_err();
+        assert!(
+            matches!(err, CompileError::UnsupportedNeuron { core: 0, neuron: 0, .. }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn oversized_weight_is_rejected() {
+        let mut cfg = strict_config();
+        cfg.weights[0] = (1 << 20) + 1;
+        let core = NeuroSynapticCore::new(0, cfg, 1);
+        let mut chip = TrueNorthChip::new(2, 2, 1);
+        chip.add_core(core, vec![SpikeTarget::Output { channel: 0 }])
+            .expect("add");
+        assert!(CompiledChip::compile(&chip).is_err());
+    }
+
+    #[test]
+    fn stateful_to_value_is_accepted() {
+        let mut cfg = strict_config();
+        cfg.history_free = false;
+        cfg.threshold = 3;
+        let core = NeuroSynapticCore::new(0, cfg, 1);
+        let mut chip = TrueNorthChip::new(2, 2, 1);
+        chip.add_core(core, vec![SpikeTarget::Output { channel: 0 }])
+            .expect("add");
+        assert!(CompiledChip::compile(&chip).is_ok());
+    }
+
+    #[test]
+    fn set_seed_matches_reference_reseed() {
+        let (mut chip, h0) = chain_chip(0);
+        let mut fast = CompiledChip::compile(&chip).expect("compile");
+        chip.set_seed(42);
+        fast.set_seed(42);
+        chip.inject(h0, 0).expect("inject");
+        fast.inject(h0, 0);
+        for _ in 0..8 {
+            assert_eq!(chip.tick(), fast.tick());
+        }
+        assert_eq!(
+            chip.core(0).expect("core").prng_state(),
+            fast.states[0].prng.state()
+        );
+    }
+
+    #[test]
+    fn flush_and_reset_match_reference_semantics() {
+        let (mut chip, h0) = chain_chip(6);
+        let mut fast = CompiledChip::compile(&chip).expect("compile");
+        chip.inject(h0, 0).expect("inject");
+        fast.inject(h0, 0);
+        chip.tick();
+        fast.tick();
+        assert_eq!(chip.flush_in_flight(), fast.flush_in_flight());
+        assert_eq!(chip.stats().flushed_spikes, fast.stats().flushed_spikes);
+        chip.reset_counters();
+        fast.reset_counters();
+        assert_eq!(chip.stats(), fast.stats());
+        assert_eq!(chip.core_stats_total(), fast.core_stats_total());
+        assert_eq!(fast.in_flight_len(), 0);
+    }
+
+    #[test]
+    fn clone_shares_program_cheaply() {
+        let (chip, _) = chain_chip(0);
+        let fast = CompiledChip::compile(&chip).expect("compile");
+        let copy = fast.clone();
+        assert!(Arc::ptr_eq(&fast.program, &copy.program));
+    }
+}

@@ -15,6 +15,11 @@
 //!   signs (the per-connection `c_i` of Eq. 6);
 //! * [`chip`] — the 64×64 core mesh with one-tick spike routing and
 //!   external I/O;
+//! * [`kernel`] — the compiled fast path: precompiled synapse rows,
+//!   allocation-free ticking, and parallel core execution, bit-identical to
+//!   the reference interpreter;
+//! * [`exec`] — scoped-thread fan-out helpers shared by the kernel and the
+//!   workspace's offline evaluators;
 //! * [`placement`] — core-site allocation (the resource §4.3 economizes);
 //! * [`nscs`] — the deployment toolchain: Bernoulli connectivity sampling,
 //!   spatial copies, frame driving, and Fig.-4 deviation-map extraction;
@@ -44,6 +49,8 @@
 pub mod chip;
 pub mod crossbar;
 pub mod energy;
+pub mod exec;
+pub mod kernel;
 pub mod neuro_core;
 pub mod neuron;
 pub mod nscs;
@@ -55,6 +62,8 @@ pub mod prelude {
     pub use crate::chip::{ChipError, ChipStats, SpikeTarget, TrueNorthChip};
     pub use crate::crossbar::Crossbar;
     pub use crate::energy::EnergyReport;
+    pub use crate::exec::{parallel_chunks, parallel_slices};
+    pub use crate::kernel::{CompileError, CompiledChip};
     pub use crate::neuro_core::{CoreStats, NeuroSynapticCore};
     pub use crate::neuron::{LifNeuron, NeuronConfig, ResetMode};
     pub use crate::nscs::{

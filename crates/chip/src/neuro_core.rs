@@ -228,6 +228,16 @@ impl NeuroSynapticCore {
     /// Run one tick: integrate pending axon spikes, apply leak, fire.
     /// Returns indices of neurons that spiked, ascending.
     pub fn tick(&mut self) -> Vec<usize> {
+        let mut fired = Vec::new();
+        self.tick_into(&mut fired);
+        fired.iter().map(|&n| n as usize).collect()
+    }
+
+    /// Allocation-free variant of [`NeuroSynapticCore::tick`]: clears
+    /// `fired` and fills it with the indices of neurons that spiked,
+    /// ascending. The chip's tick loop reuses one scratch buffer across
+    /// ticks instead of allocating a fresh `Vec` per core per tick.
+    pub fn tick_into(&mut self, fired: &mut Vec<u16>) {
         for n in &mut self.neurons {
             n.begin_tick();
         }
@@ -263,15 +273,45 @@ impl NeuroSynapticCore {
             }
         }
         self.input = [0; CROSSBAR_AXONS / 64];
-        let mut fired = Vec::new();
+        fired.clear();
         for (i, n) in self.neurons.iter_mut().enumerate() {
             if n.end_tick(&mut self.prng) {
-                fired.push(i);
+                fired.push(i as u16);
             }
         }
         self.stats.spikes_out += fired.len() as u64;
         self.stats.ticks += 1;
-        fired
+    }
+
+    /// The 16-bit gate threshold of synapse `(axon, neuron)` under the
+    /// runtime stochastic mode: `u16::MAX` when the synapse integrates
+    /// unconditionally (no stochastic plane, or the plane entry says
+    /// "always"), otherwise the threshold a fresh PRNG draw is compared
+    /// against. Used by the kernel compiler to split deterministic from
+    /// gated rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of the 256x256 crossbar.
+    pub fn stochastic_q(&self, axon: usize, neuron: usize) -> u16 {
+        assert!(
+            axon < CROSSBAR_AXONS && neuron < CROSSBAR_NEURONS,
+            "synapse ({axon},{neuron}) outside the 256x256 crossbar"
+        );
+        self.stochastic
+            .as_ref()
+            .map_or(u16::MAX, |plane| plane[axon * CROSSBAR_NEURONS + neuron])
+    }
+
+    /// Current raw PRNG state (for snapshotting into a compiled kernel).
+    pub fn prng_state(&self) -> u16 {
+        self.prng.state()
+    }
+
+    /// Pending axon-input bit words (for snapshotting into a compiled
+    /// kernel; cleared by the next tick).
+    pub(crate) fn input_words(&self) -> [u64; CROSSBAR_AXONS / 64] {
+        self.input
     }
 
     /// The *effective* signed weight of synapse `(axon, neuron)`: the

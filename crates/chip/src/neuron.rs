@@ -161,31 +161,41 @@ impl LifNeuron {
     /// the threshold, reset, clamp to the floor. Returns `true` when the
     /// neuron spikes.
     pub fn end_tick(&mut self, prng: &mut LfsrPrng) -> bool {
-        let mut leak = self.config.leak;
-        if self.config.leak_frac_prob > 0.0 && prng.gen_bool(self.config.leak_frac_prob) {
-            leak = leak.saturating_add(self.config.leak_frac_sign);
-        }
-        self.state.potential = self.state.potential.saturating_add(leak);
-        let mut threshold = self.config.threshold;
-        if self.config.threshold_mask != 0 {
-            threshold =
-                threshold.saturating_add((prng.next_u16() & self.config.threshold_mask) as i32);
-        }
-        let fired = self.state.potential >= threshold;
-        if fired {
-            match self.config.reset {
-                ResetMode::ToValue(v) => self.state.potential = v,
-                ResetMode::Linear => {
-                    self.state.potential = self.state.potential.saturating_sub(threshold)
-                }
-                ResetMode::None => {}
-            }
-        }
-        if self.state.potential < self.config.floor {
-            self.state.potential = self.config.floor;
-        }
-        fired
+        step_membrane(&self.config, &mut self.state.potential, prng)
     }
+}
+
+/// The end-of-tick membrane update on a bare potential: leak (with the
+/// PRNG-gated fractional part), threshold comparison (with optional mask
+/// dither), reset, floor clamp. Returns `true` when the neuron fires.
+///
+/// This is the single source of truth for the firing decision — both the
+/// reference interpreter ([`LifNeuron::end_tick`]) and the compiled kernel
+/// ([`crate::kernel::CompiledChip`]) call it, so the two paths cannot drift.
+/// PRNG draw order: one optional leak draw, then one optional threshold
+/// draw, per neuron per tick.
+pub fn step_membrane(config: &NeuronConfig, potential: &mut i32, prng: &mut LfsrPrng) -> bool {
+    let mut leak = config.leak;
+    if config.leak_frac_prob > 0.0 && prng.gen_bool(config.leak_frac_prob) {
+        leak = leak.saturating_add(config.leak_frac_sign);
+    }
+    *potential = potential.saturating_add(leak);
+    let mut threshold = config.threshold;
+    if config.threshold_mask != 0 {
+        threshold = threshold.saturating_add((prng.next_u16() & config.threshold_mask) as i32);
+    }
+    let fired = *potential >= threshold;
+    if fired {
+        match config.reset {
+            ResetMode::ToValue(v) => *potential = v,
+            ResetMode::Linear => *potential = potential.saturating_sub(threshold),
+            ResetMode::None => {}
+        }
+    }
+    if *potential < config.floor {
+        *potential = config.floor;
+    }
+    fired
 }
 
 #[cfg(test)]

@@ -15,8 +15,10 @@
 //! 4. **inspects** deployed cores for the synaptic-weight deviation maps of
 //!    the paper's Fig. 4.
 
-use crate::chip::{ChipError, SpikeTarget, TrueNorthChip};
-use crate::neuro_core::NeuroSynapticCore;
+use crate::chip::{ChipError, ChipStats, SpikeTarget, TrueNorthChip};
+use crate::energy::EnergyReport;
+use crate::kernel::CompiledChip;
+use crate::neuro_core::{CoreStats, NeuroSynapticCore};
 use crate::neuron::NeuronConfig;
 use crate::prng::splitmix64;
 use rand::rngs::StdRng;
@@ -293,8 +295,19 @@ impl NetworkDeploySpec {
 /// and it guarantees every worker carries bit-identical replicas.
 #[derive(Debug, Clone)]
 pub struct Deployment {
-    /// The chip carrying all copies.
+    /// The chip carrying all copies — the reference interpreter, and the
+    /// single source of truth for the deployed *configuration* (crossbars,
+    /// weights, wiring). When the compiled fast path is active, frames run
+    /// on [`Deployment::is_compiled`]'s `CompiledChip` instead and this
+    /// chip is not ticked; mutating it directly does **not** propagate to
+    /// the fast path until [`Deployment::set_fast_path`] recompiles.
     pub chip: TrueNorthChip,
+    /// The compiled fast path (see [`crate::kernel`]): built at deploy time
+    /// whenever the network is eligible (every spec this toolchain deploys
+    /// is — history-free McCulloch-Pitts cores with unit weights), `None`
+    /// when compilation was declined and frames fall back to the
+    /// interpreter. Bit-identical to `chip` by construction.
+    fast: Option<CompiledChip>,
     /// Per copy, per external input channel: the `(core_handle, axon)`
     /// injection points. Kept per copy because each spatial copy draws an
     /// *independent* input spike sample — the paper's Eq. (14) variance
@@ -306,6 +319,166 @@ pub struct Deployment {
     copy_handles: Vec<Vec<usize>>,
     n_classes: usize,
     depth: usize,
+}
+
+/// The tick-level operations a frame driver needs, implemented by both the
+/// reference interpreter and the compiled fast path so
+/// [`Deployment::run_frame`]/[`Deployment::run_frame_votes`] drive either
+/// through one code path — same RNG construction, same injection order,
+/// same flush discipline — and cannot drift apart.
+trait FrameBackend {
+    fn set_seed(&mut self, seed: u64);
+    fn inject(&mut self, core: usize, axon: usize);
+    fn tick(&mut self);
+    fn outputs(&self) -> &[u64];
+    fn clear_outputs(&mut self);
+    fn flush_in_flight(&mut self) -> u64;
+}
+
+impl FrameBackend for TrueNorthChip {
+    fn set_seed(&mut self, seed: u64) {
+        TrueNorthChip::set_seed(self, seed);
+    }
+    fn inject(&mut self, core: usize, axon: usize) {
+        TrueNorthChip::inject(self, core, axon).expect("validated routes cannot dangle");
+    }
+    fn tick(&mut self) {
+        TrueNorthChip::tick(self);
+    }
+    fn outputs(&self) -> &[u64] {
+        self.output_counts()
+    }
+    fn clear_outputs(&mut self) {
+        TrueNorthChip::clear_outputs(self);
+    }
+    fn flush_in_flight(&mut self) -> u64 {
+        TrueNorthChip::flush_in_flight(self)
+    }
+}
+
+impl FrameBackend for CompiledChip {
+    fn set_seed(&mut self, seed: u64) {
+        CompiledChip::set_seed(self, seed);
+    }
+    fn inject(&mut self, core: usize, axon: usize) {
+        CompiledChip::inject(self, core, axon);
+    }
+    fn tick(&mut self) {
+        CompiledChip::tick(self);
+    }
+    fn outputs(&self) -> &[u64] {
+        self.output_counts()
+    }
+    fn clear_outputs(&mut self) {
+        CompiledChip::clear_outputs(self);
+    }
+    fn flush_in_flight(&mut self) -> u64 {
+        CompiledChip::flush_in_flight(self)
+    }
+}
+
+/// Generic frame driver behind [`Deployment::run_frame`]. Draw order is the
+/// determinism contract: one input RNG seeded from `frame_seed`, Bernoulli
+/// draws per copy per nonzero channel per sample tick, chip PRNGs reseeded
+/// per frame — identical for both backends.
+fn drive_frame<B: FrameBackend>(
+    backend: &mut B,
+    input_routes: &[Vec<Vec<(usize, usize)>>],
+    inputs: &[f32],
+    spf: usize,
+    frame_seed: u64,
+    depth: usize,
+) -> Vec<Vec<u64>> {
+    let mut rng = StdRng::seed_from_u64(splitmix64(frame_seed));
+    // Frames are fully independent: the on-chip stochastic-leak PRNGs
+    // restart from a frame-derived seed, so results do not depend on
+    // how frames are partitioned across evaluator threads.
+    backend.set_seed(splitmix64(frame_seed ^ 0xC0DE_C0DE_C0DE_C0DE));
+    let depth = depth.max(1);
+    let total_ticks = spf + depth - 1;
+    let mut per_sample = Vec::with_capacity(spf);
+    let mut prev = vec![0u64; backend.outputs().len()];
+    backend.clear_outputs();
+    for t in 0..total_ticks {
+        if t < spf {
+            // Stochastic code: Bernoulli(x) per channel per sample,
+            // drawn independently for every spatial copy.
+            for copy_routes in input_routes {
+                for (ch, &x) in inputs.iter().enumerate() {
+                    if x > 0.0 && rng.gen::<f32>() < x {
+                        for &(core, axon) in &copy_routes[ch] {
+                            backend.inject(core, axon);
+                        }
+                    }
+                }
+            }
+        }
+        backend.tick();
+        let now = backend.outputs().to_vec();
+        let delta: Vec<u64> = now.iter().zip(&prev).map(|(a, b)| a - b).collect();
+        prev = now;
+        if t + 1 >= depth {
+            // Output window: votes caused by sample t + 1 − depth.
+            // Earlier ticks carry pipeline-fill transients and are
+            // discarded.
+            per_sample.push(delta);
+        }
+    }
+    // Frame boundary: delayed spikes still in flight are dropped by design
+    // (frames are independent); the count lands in `ChipStats::flushed_spikes`
+    // so the loss is visible in the stats, never silent.
+    backend.flush_in_flight();
+    debug_assert_eq!(per_sample.len(), spf);
+    per_sample
+}
+
+/// Generic frame driver behind [`Deployment::run_frame_votes`] (same
+/// determinism contract as [`drive_frame`]).
+fn drive_frame_votes<B: FrameBackend>(
+    backend: &mut B,
+    input_routes: &[Vec<Vec<(usize, usize)>>],
+    inputs: &[f32],
+    spf: usize,
+    frame_seed: u64,
+    depth: usize,
+    votes: &mut [u64],
+) -> u64 {
+    // Same RNG construction and draw order as `drive_frame`, so a given
+    // `frame_seed` yields bit-identical spike trains on either path.
+    let mut rng = StdRng::seed_from_u64(splitmix64(frame_seed));
+    backend.set_seed(splitmix64(frame_seed ^ 0xC0DE_C0DE_C0DE_C0DE));
+    let depth = depth.max(1);
+    let total_ticks = spf + depth - 1;
+    backend.clear_outputs();
+    for t in 0..total_ticks {
+        if t < spf {
+            for copy_routes in input_routes {
+                for (ch, &x) in inputs.iter().enumerate() {
+                    if x > 0.0 && rng.gen::<f32>() < x {
+                        for &(core, axon) in &copy_routes[ch] {
+                            backend.inject(core, axon);
+                        }
+                    }
+                }
+            }
+        }
+        backend.tick();
+        if t + 2 == depth {
+            // Snapshot the pipeline-fill transient (counts after the
+            // first depth−1 ticks); everything beyond it is signal.
+            votes.copy_from_slice(backend.outputs());
+        }
+    }
+    let finals = backend.outputs();
+    if depth > 1 {
+        for (v, &f) in votes.iter_mut().zip(finals) {
+            *v = f - *v;
+        }
+    } else {
+        votes.copy_from_slice(finals);
+    }
+    backend.flush_in_flight();
+    total_ticks as u64
 }
 
 impl Deployment {
@@ -429,8 +602,14 @@ impl Deployment {
             copy_handles.push(handles);
         }
         chip.validate()?;
+        // Compile the fast path up front. Deployed cores are history-free
+        // McCulloch-Pitts with unit weights, so this cannot fail today; the
+        // fallback keeps the deployment usable if future specs outgrow the
+        // kernel's eligibility bounds.
+        let fast = CompiledChip::compile(&chip).ok();
         Ok(Self {
             chip,
+            fast,
             input_routes,
             copy_handles,
             n_classes: spec.n_classes,
@@ -474,7 +653,11 @@ impl Deployment {
     /// `[s][copy * n_classes + class]` counts the class votes produced by
     /// input sample `s` (the pipeline offset is compensated internally, so
     /// sample `s`'s votes are read `depth − 1` ticks later). In-flight state
-    /// is flushed afterwards, making frames independent.
+    /// is flushed afterwards (the dropped-spike count is recorded in
+    /// [`ChipStats::flushed_spikes`]), making frames independent.
+    ///
+    /// Runs on the compiled fast path when available (see
+    /// [`Deployment::is_compiled`]), bit-identically to the interpreter.
     ///
     /// # Panics
     ///
@@ -491,47 +674,17 @@ impl Deployment {
             inputs.iter().all(|v| (0.0..=1.0).contains(v)),
             "inputs must be normalized probabilities"
         );
-        let mut rng = StdRng::seed_from_u64(splitmix64(frame_seed));
-        // Frames are fully independent: the on-chip stochastic-leak PRNGs
-        // restart from a frame-derived seed, so results do not depend on
-        // how frames are partitioned across evaluator threads.
-        self.chip
-            .set_seed(splitmix64(frame_seed ^ 0xC0DE_C0DE_C0DE_C0DE));
-        let depth = self.depth.max(1);
-        let total_ticks = spf + depth - 1;
-        let mut per_sample = Vec::with_capacity(spf);
-        let mut prev = vec![0u64; self.chip.output_counts().len()];
-        self.chip.clear_outputs();
-        for t in 0..total_ticks {
-            if t < spf {
-                // Stochastic code: Bernoulli(x) per channel per sample,
-                // drawn independently for every spatial copy.
-                for copy_routes in &self.input_routes {
-                    for (ch, &x) in inputs.iter().enumerate() {
-                        if x > 0.0 && rng.gen::<f32>() < x {
-                            for &(core, axon) in &copy_routes[ch] {
-                                self.chip
-                                    .inject(core, axon)
-                                    .expect("validated routes cannot dangle");
-                            }
-                        }
-                    }
-                }
-            }
-            self.chip.tick();
-            let now = self.chip.output_counts().to_vec();
-            let delta: Vec<u64> = now.iter().zip(&prev).map(|(a, b)| a - b).collect();
-            prev = now;
-            if t + 1 >= depth {
-                // Output window: votes caused by sample t + 1 − depth.
-                // Earlier ticks carry pipeline-fill transients and are
-                // discarded.
-                per_sample.push(delta);
-            }
+        match &mut self.fast {
+            Some(fast) => drive_frame(fast, &self.input_routes, inputs, spf, frame_seed, self.depth),
+            None => drive_frame(
+                &mut self.chip,
+                &self.input_routes,
+                inputs,
+                spf,
+                frame_seed,
+                self.depth,
+            ),
         }
-        self.chip.flush_in_flight();
-        debug_assert_eq!(per_sample.len(), spf);
-        per_sample
     }
 
     /// Run one frame and write the frame's aggregate class votes into
@@ -545,7 +698,8 @@ impl Deployment {
     /// long-lived deployment.
     ///
     /// Returns the number of chip ticks executed (`spf + depth − 1`), so
-    /// callers can account energy per frame.
+    /// callers can account energy per frame. Runs on the compiled fast path
+    /// when available, bit-identically to the interpreter.
     ///
     /// # Panics
     ///
@@ -573,45 +727,93 @@ impl Deployment {
             self.chip.output_counts().len(),
             "votes buffer must hold copies() * n_classes() lanes"
         );
-        // Same RNG construction and draw order as `run_frame`, so a given
-        // `frame_seed` yields bit-identical spike trains on either path.
-        let mut rng = StdRng::seed_from_u64(splitmix64(frame_seed));
-        self.chip
-            .set_seed(splitmix64(frame_seed ^ 0xC0DE_C0DE_C0DE_C0DE));
-        let depth = self.depth.max(1);
-        let total_ticks = spf + depth - 1;
-        self.chip.clear_outputs();
-        for t in 0..total_ticks {
-            if t < spf {
-                for copy_routes in &self.input_routes {
-                    for (ch, &x) in inputs.iter().enumerate() {
-                        if x > 0.0 && rng.gen::<f32>() < x {
-                            for &(core, axon) in &copy_routes[ch] {
-                                self.chip
-                                    .inject(core, axon)
-                                    .expect("validated routes cannot dangle");
-                            }
-                        }
-                    }
-                }
-            }
-            self.chip.tick();
-            if t + 2 == depth {
-                // Snapshot the pipeline-fill transient (counts after the
-                // first depth−1 ticks); everything beyond it is signal.
-                votes.copy_from_slice(self.chip.output_counts());
-            }
+        match &mut self.fast {
+            Some(fast) => drive_frame_votes(
+                fast,
+                &self.input_routes,
+                inputs,
+                spf,
+                frame_seed,
+                self.depth,
+                votes,
+            ),
+            None => drive_frame_votes(
+                &mut self.chip,
+                &self.input_routes,
+                inputs,
+                spf,
+                frame_seed,
+                self.depth,
+                votes,
+            ),
         }
-        let finals = self.chip.output_counts();
-        if depth > 1 {
-            for (v, &f) in votes.iter_mut().zip(finals) {
-                *v = f - *v;
-            }
+    }
+
+    /// Whether frames run on the compiled fast path.
+    pub fn is_compiled(&self) -> bool {
+        self.fast.is_some()
+    }
+
+    /// Enable or disable the compiled fast path. Enabling (re)compiles from
+    /// the current state of [`Deployment::chip`] — including its counters —
+    /// so direct chip mutations made since deploy time are picked up;
+    /// disabling routes frames through the reference interpreter.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.fast = if enabled {
+            CompiledChip::compile(&self.chip).ok()
         } else {
-            votes.copy_from_slice(finals);
+            None
+        };
+    }
+
+    /// Number of worker threads the compiled path fans cores across per
+    /// tick (no effect on results, or on the interpreter path).
+    pub fn set_parallelism(&mut self, threads: usize) {
+        if let Some(fast) = &mut self.fast {
+            fast.set_threads(threads);
         }
-        self.chip.flush_in_flight();
-        total_ticks as u64
+    }
+
+    /// Cores occupied by this deployment.
+    pub fn core_count(&self) -> usize {
+        self.chip.core_count()
+    }
+
+    /// Aggregate per-core statistics from whichever backend frames run on.
+    pub fn core_stats_total(&self) -> CoreStats {
+        match &self.fast {
+            Some(fast) => fast.core_stats_total(),
+            None => self.chip.core_stats_total(),
+        }
+    }
+
+    /// Chip-level statistics from whichever backend frames run on.
+    pub fn chip_stats(&self) -> ChipStats {
+        match &self.fast {
+            Some(fast) => fast.stats(),
+            None => self.chip.stats(),
+        }
+    }
+
+    /// Synaptic operations simulated so far (energy accounting shorthand).
+    pub fn synaptic_ops(&self) -> u64 {
+        self.core_stats_total().synaptic_ops
+    }
+
+    /// Energy/performance proxy from whichever backend frames run on.
+    pub fn energy_report(&self) -> EnergyReport {
+        match &self.fast {
+            Some(fast) => fast.energy_report(),
+            None => self.chip.energy_report(),
+        }
+    }
+
+    /// Reset statistics and outputs on both backends.
+    pub fn reset_counters(&mut self) {
+        self.chip.reset_counters();
+        if let Some(fast) = &mut self.fast {
+            fast.reset_counters();
+        }
     }
 
     /// The synaptic-weight deviation map of one deployed core against its
@@ -930,6 +1132,81 @@ mod tests {
         for copy in 1..3 {
             assert_eq!(dep.deviation_map(&spec, copy, 0), first);
         }
+    }
+
+    #[test]
+    fn deployments_compile_by_default() {
+        let dep = Deployment::build(&tiny_spec(), 2, 42).expect("deploy");
+        assert!(dep.is_compiled(), "MP deployments are always eligible");
+    }
+
+    #[test]
+    fn fast_path_matches_interpreter_per_frame() {
+        // Fractional weights, multiple copies, both run_frame shapes: the
+        // compiled path must agree bit-for-bit with the interpreter on
+        // votes AND on the stats that feed energy accounting.
+        let mut spec = tiny_spec();
+        for w in &mut spec.cores[0].weights {
+            *w *= 0.6;
+        }
+        for mode in [
+            ConnectivityMode::IndependentPerCopy,
+            ConnectivityMode::RuntimeStochastic,
+        ] {
+            let mut fast = Deployment::build_with_mode(&spec, 2, 21, mode).expect("deploy");
+            let mut slow = fast.clone();
+            slow.set_fast_path(false);
+            assert!(fast.is_compiled() && !slow.is_compiled());
+            for seed in 0..8u64 {
+                assert_eq!(
+                    fast.run_frame(&[0.9, 0.4], 8, seed),
+                    slow.run_frame(&[0.9, 0.4], 8, seed),
+                    "mode {mode:?} seed {seed}"
+                );
+            }
+            let mut vf = vec![0u64; 2 * spec.n_classes];
+            let mut vs = vec![0u64; 2 * spec.n_classes];
+            assert_eq!(
+                fast.run_frame_votes(&[0.7, 0.2], 16, 5, &mut vf),
+                slow.run_frame_votes(&[0.7, 0.2], 16, 5, &mut vs)
+            );
+            assert_eq!(vf, vs);
+            assert_eq!(fast.core_stats_total(), slow.core_stats_total());
+            assert_eq!(fast.chip_stats(), slow.chip_stats());
+            assert_eq!(
+                fast.energy_report().synaptic_ops,
+                slow.energy_report().synaptic_ops
+            );
+        }
+    }
+
+    #[test]
+    fn parallelism_does_not_change_frames() {
+        let mut spec = tiny_spec();
+        for w in &mut spec.cores[0].weights {
+            *w *= 0.6;
+        }
+        let mut a = Deployment::build(&spec, 4, 9).expect("a");
+        let mut b = a.clone();
+        b.set_parallelism(4);
+        for seed in 0..4u64 {
+            assert_eq!(
+                a.run_frame(&[0.8, 0.3], 8, seed),
+                b.run_frame(&[0.8, 0.3], 8, seed)
+            );
+        }
+        assert_eq!(a.core_stats_total(), b.core_stats_total());
+        assert_eq!(a.chip_stats(), b.chip_stats());
+    }
+
+    #[test]
+    fn reset_counters_clears_both_backends() {
+        let mut dep = Deployment::build(&tiny_spec(), 1, 42).expect("deploy");
+        let _ = dep.run_frame(&[1.0, 0.0], 4, 7);
+        assert!(dep.synaptic_ops() > 0);
+        dep.reset_counters();
+        assert_eq!(dep.synaptic_ops(), 0);
+        assert_eq!(dep.chip_stats(), ChipStats::default());
     }
 
     #[test]

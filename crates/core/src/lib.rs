@@ -63,7 +63,7 @@
 
 pub mod arch;
 pub mod cooptimize;
-mod cross_thread;
+pub mod cross_thread;
 pub mod deploy;
 pub mod eval;
 pub mod experiment;

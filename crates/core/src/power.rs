@@ -81,7 +81,7 @@ pub fn analyze_energy(
     let worker = |range: std::ops::Range<usize>| -> Result<(usize, u64, u64, u64), DeployError> {
         let mut dep =
             Deployment::build_with_mode(spec, copies, seed, ConnectivityMode::IndependentPerCopy)?;
-        dep.chip.reset_counters();
+        dep.reset_counters();
         let mut correct = 0usize;
         for i in range.clone() {
             let frame_seed = splitmix64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
@@ -98,8 +98,8 @@ pub fn analyze_energy(
                 correct += 1;
             }
         }
-        let cs = dep.chip.core_stats_total();
-        let ticks = dep.chip.stats().ticks;
+        let cs = dep.core_stats_total();
+        let ticks = dep.chip_stats().ticks;
         Ok((correct, cs.synaptic_ops, ticks, range.len() as u64))
     };
 

@@ -5,6 +5,13 @@
 //! workflows: spin up a runtime straight from a trained
 //! [`Network`], or from a model file written by
 //! [`tn_learn::persist::save_network`].
+//!
+//! Runtimes built here tick replicas on the compiled fast path
+//! ([`tn_chip::kernel::CompiledChip`]) — the deployment compiles its chip
+//! at build time and the interpreter remains only as the reference
+//! implementation the kernel is proven bit-identical to. Raise
+//! [`ServeConfig::core_threads`] to additionally fan cores across threads
+//! inside each tick; neither knob changes any prediction.
 
 use std::path::Path;
 
@@ -155,6 +162,27 @@ mod tests {
         assert_eq!(from_disk.votes, in_memory.votes);
 
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn core_threads_do_not_change_predictions() {
+        // Intra-tick core parallelism is a pure throughput knob: the same
+        // (seed, seq) must yield the same votes at any thread count.
+        let (net, data) = tiny_trained();
+        let mut responses = Vec::new();
+        for core_threads in [1usize, 3] {
+            let rt = serve_network(
+                &net,
+                ServeConfig::new(5)
+                    .with_replicas(2)
+                    .with_core_threads(core_threads),
+            )
+            .expect("serve");
+            responses.push(rt.classify(data.test_x.row(1).to_vec()).expect("classify"));
+            rt.shutdown();
+        }
+        assert_eq!(responses[0].predicted, responses[1].predicted);
+        assert_eq!(responses[0].votes, responses[1].votes);
     }
 
     #[test]

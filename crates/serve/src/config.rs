@@ -52,6 +52,11 @@ pub struct ServeConfig {
     pub backpressure: Backpressure,
     /// How replica crossbars realize fractional weights.
     pub connectivity: ConnectivityMode,
+    /// Threads each worker's compiled chip fans cores across per tick
+    /// (1 = inline, the default — worker-level parallelism usually
+    /// saturates the machine first; raise this for few-worker,
+    /// many-replica setups). Never affects results.
+    pub core_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +70,7 @@ impl Default for ServeConfig {
             batch_max: 16,
             backpressure: Backpressure::Block,
             connectivity: ConnectivityMode::IndependentPerCopy,
+            core_threads: 1,
         }
     }
 }
@@ -120,6 +126,12 @@ impl ServeConfig {
         self
     }
 
+    /// Set the per-worker intra-tick core parallelism.
+    pub fn with_core_threads(mut self, core_threads: usize) -> Self {
+        self.core_threads = core_threads;
+        self
+    }
+
     /// Check internal consistency.
     ///
     /// # Errors
@@ -132,6 +144,7 @@ impl ServeConfig {
             ("spf", self.spf),
             ("queue_capacity", self.queue_capacity),
             ("batch_max", self.batch_max),
+            ("core_threads", self.core_threads),
         ] {
             if v == 0 {
                 return Err(ServeError::BadConfig(format!("{name} must be >= 1")));
@@ -172,6 +185,7 @@ mod tests {
             ServeConfig::default().with_spf(0),
             ServeConfig::default().with_queue_capacity(0),
             ServeConfig::default().with_batch_max(0),
+            ServeConfig::default().with_core_threads(0),
         ] {
             assert!(matches!(cfg.validate(), Err(ServeError::BadConfig(_))));
         }

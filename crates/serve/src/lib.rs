@@ -37,12 +37,18 @@
 //!   evaluator uses — so results never depend on worker count, queue
 //!   timing, or OS scheduling. See
 //!   `results_are_a_function_of_seq_not_worker_count` in `runtime.rs`.
+//! * **Fast path**: each worker ticks the compiled kernel
+//!   ([`tn_chip::kernel::CompiledChip`]) its deployment builds at deploy
+//!   time, and [`ServeConfig::core_threads`] optionally fans cores across
+//!   threads inside each tick — both bit-identical to the reference
+//!   interpreter, so the determinism contract above is unaffected.
 //! * **Backpressure**: the submission queue is bounded;
 //!   [`Backpressure::Block`] throttles producers, [`Backpressure::Reject`]
 //!   sheds load with [`ServeError::QueueFull`].
 //! * **Shutdown**: [`ServeRuntime::shutdown`] refuses new submissions,
 //!   drains every queued request, joins the workers, and returns the
-//!   final [`MetricsSnapshot`] (throughput, p50/p99 latency, queue depth,
+//!   final [`MetricsSnapshot`] (throughput, p50/p90/p99 latency, queue
+//!   depth,
 //!   per-worker tick counts, energy per frame via [`tn_chip::energy`]).
 //!
 //! # Example

@@ -1,17 +1,54 @@
 //! Lock-free runtime statistics.
 //!
 //! Counters are plain relaxed atomics (they feed monitoring, not control
-//! flow). Latency quantiles come from a fixed power-of-two-bucket
-//! histogram: bucket *i* covers `[2^i, 2^(i+1))` nanoseconds, giving
-//! ≤ 2× quantile error over 1 ns .. ~18 s with zero allocation and no
-//! locks on the hot path.
+//! flow). Latency quantiles come from a fixed log-linear histogram: exact
+//! 1 ns buckets below 16 ns, then 16 sub-buckets per power of two, giving
+//! ≤ 1/16 (6.25%) quantile error over 1 ns .. ~18 s with zero allocation
+//! and no locks on the hot path. (The previous power-of-two buckets had
+//! ≤ 2× error, which collapsed p50 and p99 onto the same value whenever a
+//! workload's latencies fit inside one octave — exactly what steady-state
+//! serving produces.)
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use tn_chip::energy::EnergyReport;
 
-const BUCKETS: usize = 64;
+/// Latencies below this many ns get exact single-ns buckets.
+const LINEAR_CUTOFF: u64 = 16;
+/// log2 of the sub-buckets per power of two.
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per power of two (relative error ≤ 1/SUB_BUCKETS).
+const SUB_BUCKETS: usize = 1 << SUB_BITS;
+/// Total bucket count: 16 linear + 16 per octave for exponents 4..=63.
+const BUCKETS: usize = LINEAR_CUTOFF as usize + (64 - SUB_BITS as usize) * SUB_BUCKETS;
+
+/// Histogram bucket holding latency `ns`.
+fn bucket_index(ns: u64) -> usize {
+    if ns < LINEAR_CUTOFF {
+        ns as usize
+    } else {
+        // ns >= 16 so the exponent e = floor(log2 ns) >= SUB_BITS; the
+        // mantissa's top SUB_BITS bits (below the leading 1) pick the
+        // sub-bucket within the octave.
+        let e = 63 - ns.leading_zeros();
+        let shift = e - SUB_BITS;
+        let m = ((ns >> shift) & (SUB_BUCKETS as u64 - 1)) as usize;
+        LINEAR_CUTOFF as usize + (shift as usize) * SUB_BUCKETS + m
+    }
+}
+
+/// Exclusive upper bound (ns) of bucket `i` — what quantiles report.
+fn bucket_upper_ns(i: usize) -> u64 {
+    if i < LINEAR_CUTOFF as usize {
+        i as u64 + 1
+    } else {
+        let shift = ((i - LINEAR_CUTOFF as usize) / SUB_BUCKETS) as u32;
+        let m = ((i - LINEAR_CUTOFF as usize) % SUB_BUCKETS) as u64;
+        let base = (SUB_BUCKETS as u64 + m) << shift;
+        base.saturating_add(1u64 << shift)
+    }
+}
 
 /// Shared mutable counters updated by workers and submitters.
 #[derive(Debug)]
@@ -22,7 +59,7 @@ pub(crate) struct Metrics {
     pub batches: AtomicU64,
     pub ticks: AtomicU64,
     pub synaptic_ops: AtomicU64,
-    /// Latency histogram; bucket i counts requests in [2^i, 2^{i+1}) ns.
+    /// Log-linear latency histogram (see [`bucket_index`]).
     latency: [AtomicU64; BUCKETS],
     latency_sum_ns: AtomicU64,
     /// Frames served per worker thread.
@@ -52,9 +89,8 @@ impl Metrics {
         self.ticks.fetch_add(ticks, Ordering::Relaxed);
         self.per_worker_frames[worker].fetch_add(1, Ordering::Relaxed);
         self.per_worker_ticks[worker].fetch_add(ticks, Ordering::Relaxed);
-        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX).max(1);
-        let bucket = (63 - ns.leading_zeros()) as usize;
-        self.latency[bucket.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.latency[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
         self.latency_sum_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
@@ -90,6 +126,7 @@ impl Metrics {
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
             p50_latency: quantile(&counts, 0.50),
+            p90_latency: quantile(&counts, 0.90),
             p99_latency: quantile(&counts, 0.99),
             mean_latency: self
                 .latency_sum_ns
@@ -113,12 +150,14 @@ fn quantile(counts: &[u64], q: f64) -> Duration {
     if total == 0 {
         return Duration::ZERO;
     }
-    let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
+    // floor(q·n) + 1: the smallest value with at most (1-q)·n samples
+    // above it, so p99 over {99 fast, 1 slow} reports the slow outlier.
+    let rank = ((total as f64 * q).floor() as u64 + 1).clamp(1, total);
     let mut seen = 0u64;
     for (i, &c) in counts.iter().enumerate() {
         seen += c;
         if seen >= rank {
-            return Duration::from_nanos(1u64 << (i + 1).min(63));
+            return Duration::from_nanos(bucket_upper_ns(i));
         }
     }
     Duration::from_nanos(u64::MAX)
@@ -143,9 +182,11 @@ pub struct MetricsSnapshot {
     pub per_worker_frames: Vec<u64>,
     /// Chip ticks executed per worker thread.
     pub per_worker_ticks: Vec<u64>,
-    /// Median request latency (bucketed; ≤ 2× resolution).
+    /// Median request latency (bucketed; ≤ 1/16 resolution).
     pub p50_latency: Duration,
-    /// 99th-percentile request latency (bucketed; ≤ 2× resolution).
+    /// 90th-percentile request latency (bucketed; ≤ 1/16 resolution).
+    pub p90_latency: Duration,
+    /// 99th-percentile request latency (bucketed; ≤ 1/16 resolution).
     pub p99_latency: Duration,
     /// Mean request latency (exact).
     pub mean_latency: Duration,
@@ -187,8 +228,9 @@ impl std::fmt::Display for MetricsSnapshot {
         )?;
         writeln!(
             f,
-            "latency p50 {:?}  p99 {:?}  mean {:?}  |  queue depth {}  mean batch {:.2}",
+            "latency p50 {:?}  p90 {:?}  p99 {:?}  mean {:?}  |  queue depth {}  mean batch {:.2}",
             self.p50_latency,
+            self.p90_latency,
             self.p99_latency,
             self.mean_latency,
             self.queue_depth,
@@ -219,12 +261,68 @@ mod tests {
         assert_eq!(snap.completed, 100);
         assert_eq!(snap.ticks, 800);
         assert_eq!(snap.per_worker_frames, vec![99, 1]);
-        // p50 in the ~100 µs bucket (≤ 2× error), p99 near the outlier.
-        assert!(snap.p50_latency >= Duration::from_micros(100));
-        assert!(snap.p50_latency < Duration::from_micros(400));
-        assert!(snap.p99_latency >= Duration::from_micros(100));
+        // p50/p90 within 1/16 of 100 µs; p99 within 1/16 of the 50 ms
+        // outlier — the quantiles must actually separate.
+        assert!(snap.p50_latency > Duration::from_micros(100));
+        assert!(snap.p50_latency <= Duration::from_micros(107));
+        assert!(snap.p90_latency <= Duration::from_micros(107));
+        assert!(snap.p99_latency > Duration::from_millis(50));
+        assert!(snap.p99_latency <= Duration::from_micros(53_200));
         assert!(snap.mean_latency > Duration::from_micros(100));
         assert!((snap.throughput_rps - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_separate_within_one_octave() {
+        // 1.0 ms and 1.9 ms share a power of two; the old power-of-two
+        // buckets reported p50 == p99 == 2.097 ms for this workload.
+        let m = Metrics::new(1);
+        for _ in 0..90 {
+            m.record_completion(0, 1, Duration::from_micros(1000));
+        }
+        for _ in 0..10 {
+            m.record_completion(0, 1, Duration::from_micros(1900));
+        }
+        let snap = m.snapshot(0, Duration::from_secs(1), 1);
+        assert!(snap.p50_latency < snap.p99_latency, "quantiles degenerate");
+        assert!(snap.p50_latency > Duration::from_micros(1000));
+        assert!(snap.p50_latency <= Duration::from_micros(1067));
+        assert!(snap.p99_latency > Duration::from_micros(1900));
+        assert!(snap.p99_latency <= Duration::from_micros(2027));
+    }
+
+    #[test]
+    fn bucket_math_bounds_relative_error() {
+        // Every latency lands in a bucket whose upper bound exceeds it by
+        // at most 1/16 (plus 1 ns of rounding).
+        for ns in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            100,
+            1_000,
+            99_999,
+            100_000,
+            1_000_000,
+            123_456_789,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let i = bucket_index(ns);
+            assert!(i < BUCKETS, "index {i} for {ns}");
+            let ub = bucket_upper_ns(i);
+            assert!(ub > ns || ub == u64::MAX, "ub {ub} for {ns}");
+            assert!(
+                ub.saturating_sub(ns) <= ns / 16 + 1,
+                "bucket too coarse: {ns} -> {ub}"
+            );
+            if i + 1 < BUCKETS {
+                // Buckets tile: the next bucket starts where this one ends.
+                assert_eq!(bucket_index(ub), i + 1, "gap after {ns}");
+            }
+        }
     }
 
     #[test]

@@ -69,7 +69,7 @@ impl ServeRuntime {
             Deployment::build_with_mode(spec, cfg.replicas, cfg.seed, cfg.connectivity)?;
         let n_inputs = proto.n_inputs();
         let n_classes = proto.n_classes();
-        let cores = proto.chip.core_count();
+        let cores = proto.core_count();
         let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
         let metrics = Arc::new(Metrics::new(cfg.workers));
         let mut workers = Vec::with_capacity(cfg.workers);
@@ -210,9 +210,13 @@ fn worker_loop(
 ) {
     let n_classes = dep.n_classes();
     let replicas = dep.copies();
+    // Frames run on the deployment's compiled fast path (built once in the
+    // prototype and shared by every worker clone); `core_threads` optionally
+    // fans each tick's cores across threads inside this worker.
+    dep.set_parallelism(cfg.core_threads);
     let mut votes = vec![0u64; replicas * n_classes];
     let mut batch: Vec<Job> = Vec::with_capacity(cfg.batch_max);
-    let mut last_synops = dep.chip.core_stats_total().synaptic_ops;
+    let mut last_synops = dep.synaptic_ops();
     while queue.pop_batch(cfg.batch_max, &mut batch) {
         metrics.batches.fetch_add(1, Ordering::Relaxed);
         for job in batch.drain(..) {
@@ -225,7 +229,7 @@ fn worker_loop(
             job.completer.complete(Ok(response));
         }
         // Fold this batch's synaptic work into the global energy counters.
-        let synops = dep.chip.core_stats_total().synaptic_ops;
+        let synops = dep.synaptic_ops();
         metrics
             .synaptic_ops
             .fetch_add(synops - last_synops, Ordering::Relaxed);

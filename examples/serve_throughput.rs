@@ -38,6 +38,7 @@ struct Cell {
     mean_agreement: f32,
     throughput_rps: f64,
     p50_us: u128,
+    p90_us: u128,
     p99_us: u128,
     joules_per_frame: f64,
 }
@@ -86,6 +87,7 @@ fn serve_cell(
         mean_agreement: agreement_sum / n_requests as f32,
         throughput_rps: n_requests as f64 / wall.as_secs_f64(),
         p50_us: snap.p50_latency.as_micros(),
+        p90_us: snap.p90_latency.as_micros(),
         p99_us: snap.p99_latency.as_micros(),
         joules_per_frame: snap.joules_per_frame(),
     })
@@ -133,21 +135,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\n== serving {n_requests} requests per cell ({workers} workers, {spf} spf) ==\n"
     );
     println!(
-        "{:<8} {:>8} {:>10} {:>10} {:>11} {:>9} {:>9} {:>12}",
-        "model", "replicas", "accuracy", "agreement", "req/s", "p50 µs", "p99 µs", "J/frame"
+        "{:<8} {:>8} {:>10} {:>10} {:>11} {:>9} {:>9} {:>9} {:>12}",
+        "model", "replicas", "accuracy", "agreement", "req/s", "p50 µs", "p90 µs", "p99 µs", "J/frame"
     );
     let mut cells = Vec::new();
     for (model, path) in [("tea", &tea_path), ("biased", &biased_path)] {
         for replicas in REPLICA_SWEEP {
             let cell = serve_cell(model, path, replicas, workers, spf, n_requests, &data)?;
             println!(
-                "{:<8} {:>8} {:>10.4} {:>10.3} {:>11.1} {:>9} {:>9} {:>12.3e}",
+                "{:<8} {:>8} {:>10.4} {:>10.3} {:>11.1} {:>9} {:>9} {:>9} {:>12.3e}",
                 cell.model,
                 cell.replicas,
                 cell.accuracy,
                 cell.mean_agreement,
                 cell.throughput_rps,
                 cell.p50_us,
+                cell.p90_us,
                 cell.p99_us,
                 cell.joules_per_frame,
             );
@@ -189,7 +192,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 rows.push_str(",\n");
             }
             rows.push_str(&format!(
-                "    {{\"model\": \"{}\", \"replicas\": {}, \"requests\": {}, \"accuracy\": {:.4}, \"agreement\": {:.4}, \"req_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \"joules_per_frame\": {:.4e}}}",
+                "    {{\"model\": \"{}\", \"replicas\": {}, \"requests\": {}, \"accuracy\": {:.4}, \"agreement\": {:.4}, \"req_per_sec\": {:.1}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"joules_per_frame\": {:.4e}}}",
                 c.model,
                 c.replicas,
                 c.requests,
@@ -197,6 +200,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 c.mean_agreement,
                 c.throughput_rps,
                 c.p50_us,
+                c.p90_us,
                 c.p99_us,
                 c.joules_per_frame,
             ));

@@ -10,6 +10,12 @@ cargo build --release
 echo "== tier 1: workspace tests =="
 cargo test -q
 
+echo "== kernel equivalence: compiled fast path vs reference interpreter =="
+cargo test -q -p truenorth --test integration_kernel
+
+echo "== bench smoke: compiled tick throughput =="
+TN_BENCH_TICKS=100 cargo run --release -q -p tn-bench --bin bench_tick
+
 echo "== lint gate: clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

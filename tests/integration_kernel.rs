@@ -1,0 +1,275 @@
+//! Property-based bit-equivalence tests for the compiled tick kernel
+//! (`tn_chip::kernel`): arbitrary chips — stochastic planes, sign flips,
+//! axon delays, random routing — must behave identically under the
+//! reference interpreter and the compiled fast path, tick by tick, in
+//! spikes, outputs, and every counter. This is the correctness anchor for
+//! the serving fast path: `Deployment` switches to the compiled backend by
+//! default, so any divergence here is a user-visible wrong answer.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tn_chip::chip::{SpikeTarget, TrueNorthChip};
+use tn_chip::kernel::CompiledChip;
+use tn_chip::neuro_core::NeuroSynapticCore;
+use tn_chip::neuron::{NeuronConfig, ResetMode};
+use tn_chip::nscs::{
+    ConnectivityMode, CoreDeploySpec, Deployment, InputSource, NetworkDeploySpec,
+};
+
+/// Axon rows the generator wires and injects (small for test speed; the
+/// kernel treats all 256 identically).
+const N_AXONS: usize = 24;
+
+/// Sample a compile-eligible neuron config: every weight/threshold stays
+/// far inside the kernel's no-saturation bounds, and stateful neurons use
+/// `ResetMode::ToValue` (the only stateful mode the compiler accepts).
+fn random_config(rng: &mut StdRng) -> NeuronConfig {
+    let mut cfg = NeuronConfig::mcculloch_pitts(rng.gen_range(-2..=2), 0.0, 1);
+    for w in &mut cfg.weights {
+        *w = rng.gen_range(-4..=4);
+    }
+    if rng.gen_bool(0.3) {
+        cfg.leak_frac_prob = rng.gen_range(0.1f32..0.9);
+        cfg.leak_frac_sign = if rng.gen_bool(0.5) { 1 } else { -1 };
+    }
+    cfg.threshold = rng.gen_range(1..=6);
+    if rng.gen_bool(0.3) {
+        cfg.threshold_mask = [0x1, 0x3, 0x7][rng.gen_range(0..3)];
+    }
+    cfg.history_free = rng.gen_bool(0.5);
+    cfg.reset = ResetMode::ToValue(rng.gen_range(-2..=2));
+    cfg
+}
+
+/// Build an arbitrary multi-core chip: random crossbars, axon types,
+/// delays, sign flips, stochastic gates, and routing (including
+/// core-to-core feedback loops), all derived from one seed.
+fn random_chip(seed: u64, n_cores: usize) -> TrueNorthChip {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chip = TrueNorthChip::new(4, 4, 4);
+    for c in 0..n_cores {
+        let n_neurons = rng.gen_range(1..=12);
+        let mut core = NeuroSynapticCore::new(c, random_config(&mut rng), n_neurons);
+        for n in 0..n_neurons {
+            core.neuron_mut(n).config = random_config(&mut rng);
+        }
+        for a in 0..N_AXONS {
+            core.set_axon_type(a, rng.gen_range(0..4u32) as u8);
+            core.set_axon_delay(a, rng.gen_range(0..16u32) as u8);
+            for n in 0..n_neurons {
+                if rng.gen_bool(0.4) {
+                    core.crossbar_mut().set(a, n, true);
+                    if rng.gen_bool(0.2) {
+                        core.set_sign_flip(a, n, true);
+                    }
+                    if rng.gen_bool(0.3) {
+                        // Mix exact endpoints with true gates.
+                        let p = [0.0, 0.25, 0.5, 0.75, 1.0][rng.gen_range(0..5)];
+                        core.set_stochastic_probability(a, n, p);
+                    }
+                }
+            }
+        }
+        let targets = (0..n_neurons)
+            .map(|_| match rng.gen_range(0..10) {
+                0..=3 => SpikeTarget::Axon {
+                    core: rng.gen_range(0..n_cores),
+                    axon: rng.gen_range(0..N_AXONS),
+                },
+                4..=6 => SpikeTarget::Output {
+                    channel: rng.gen_range(0..4),
+                },
+                _ => SpikeTarget::None,
+            })
+            .collect();
+        chip.add_core(core, targets).expect("add core");
+    }
+    chip.set_seed(seed ^ 0x5EED);
+    chip
+}
+
+/// Drive `chip` and its compiled counterpart with identical random
+/// injections for `ticks`, asserting bit-identical behaviour throughout.
+#[allow(clippy::needless_pass_by_value)]
+fn assert_equivalent(mut chip: TrueNorthChip, ticks: usize, inject_seed: u64) {
+    let mut fast = CompiledChip::compile(&chip).expect("random chips are compile-eligible");
+    let mut rng = StdRng::seed_from_u64(inject_seed);
+    let n_cores = chip.core_count();
+    for t in 0..ticks {
+        for c in 0..n_cores {
+            for a in 0..N_AXONS {
+                if rng.gen_bool(0.25) {
+                    chip.inject(c, a).expect("inject");
+                    fast.inject(c, a);
+                }
+            }
+        }
+        prop_assert_eq!(chip.tick(), fast.tick(), "spike count diverged at tick {}", t);
+    }
+    prop_assert_eq!(chip.output_counts(), fast.output_counts());
+    prop_assert_eq!(chip.stats(), fast.stats());
+    prop_assert_eq!(chip.core_stats_total(), fast.core_stats_total());
+    for c in 0..n_cores {
+        let core = chip.core(c).expect("core");
+        for n in 0..core.n_neurons() {
+            prop_assert_eq!(
+                core.neuron(n).state.potential,
+                fast.potential(c, n),
+                "potential diverged at core {} neuron {}",
+                c,
+                n
+            );
+        }
+    }
+    // Draining the in-flight ring must agree too (frame-boundary flushes).
+    prop_assert_eq!(chip.in_flight_len(), fast.in_flight_len());
+    prop_assert_eq!(chip.flush_in_flight(), fast.flush_in_flight());
+    prop_assert_eq!(chip.stats(), fast.stats());
+}
+
+/// The 2-core / 2-class spec used by the deployment-level property.
+fn tiny_spec(weight: f32) -> NetworkDeploySpec {
+    NetworkDeploySpec {
+        cores: vec![CoreDeploySpec {
+            layer: 0,
+            weights: vec![weight, -weight, 0.5, -0.3],
+            n_axons: 2,
+            n_neurons: 2,
+            biases: vec![-0.4, -0.4],
+            axon_sources: vec![InputSource::External(0), InputSource::External(1)],
+        }],
+        n_inputs: 2,
+        n_classes: 2,
+        output_taps: vec![(0, 0, 0), (0, 1, 1)],
+    }
+}
+
+proptest! {
+    /// Arbitrary chips (stochastic planes, delays, feedback routing) tick
+    /// bit-identically under the interpreter and the compiled kernel.
+    #[test]
+    fn compiled_kernel_matches_reference_on_arbitrary_chips(
+        seed in 0u64..u64::MAX,
+        n_cores in 1usize..=4,
+        inject_seed in 0u64..u64::MAX,
+    ) {
+        assert_equivalent(random_chip(seed, n_cores), 32, inject_seed);
+    }
+
+    /// The 16-slot delay ring: arbitrary `(delay ≤ 15, axon)` injection
+    /// schedules — including spikes still in flight when a frame flushes —
+    /// land on the same tick under both executors.
+    #[test]
+    fn delay_ring_schedules_arbitrary_delays_identically(
+        delays in proptest::collection::vec(0usize..16, N_AXONS),
+        schedule in proptest::collection::vec((0usize..48, 0usize..N_AXONS), 0..64),
+        flush_at in 1usize..48,
+    ) {
+        let mut cfg = NeuronConfig::mcculloch_pitts(0, 0.0, 1);
+        cfg.threshold = 1;
+        cfg.reset = ResetMode::ToValue(0);
+        let mut core = NeuroSynapticCore::new(0, cfg, N_AXONS);
+        for (a, &d) in delays.iter().enumerate() {
+            core.set_axon_type(a, 0);
+            core.set_axon_delay(a, d as u8);
+            core.crossbar_mut().set(a, a, true);
+        }
+        let mut chip = TrueNorthChip::new(2, 2, 4);
+        chip.add_core(
+            core,
+            (0..N_AXONS)
+                .map(|n| SpikeTarget::Output { channel: n % 4 })
+                .collect(),
+        )
+        .expect("add core");
+        let mut fast = CompiledChip::compile(&chip).expect("compile");
+        for t in 0..48 {
+            for &(at, axon) in &schedule {
+                if at == t {
+                    chip.inject(0, axon).expect("inject");
+                    fast.inject(0, axon);
+                }
+            }
+            prop_assert_eq!(chip.tick(), fast.tick(), "tick {}", t);
+            prop_assert_eq!(chip.output_counts(), fast.output_counts(), "outputs at tick {}", t);
+            if t == flush_at {
+                // A frame boundary mid-schedule: both rings drop the same
+                // still-in-flight spikes.
+                prop_assert_eq!(chip.flush_in_flight(), fast.flush_in_flight());
+                prop_assert_eq!(chip.in_flight_len(), 0);
+                prop_assert_eq!(fast.in_flight_len(), 0);
+            }
+        }
+        prop_assert_eq!(chip.stats(), fast.stats());
+    }
+
+    /// Fanning cores across threads never changes results — same spikes,
+    /// outputs, and counters at any thread count.
+    #[test]
+    fn core_parallelism_is_invisible(
+        seed in 0u64..u64::MAX,
+        threads in 2usize..=8,
+    ) {
+        let build = || {
+            let chip = random_chip(seed, 4);
+            CompiledChip::compile(&chip).expect("compile")
+        };
+        let mut serial = build();
+        let mut parallel = build();
+        parallel.set_threads(threads);
+        let mut rng = StdRng::seed_from_u64(seed.rotate_left(17));
+        for t in 0..24 {
+            for c in 0..4 {
+                for a in 0..N_AXONS {
+                    if rng.gen_bool(0.25) {
+                        serial.inject(c, a);
+                        parallel.inject(c, a);
+                    }
+                }
+            }
+            prop_assert_eq!(serial.tick(), parallel.tick(), "tick {}", t);
+        }
+        prop_assert_eq!(serial.output_counts(), parallel.output_counts());
+        prop_assert_eq!(serial.stats(), parallel.stats());
+        prop_assert_eq!(serial.core_stats_total(), parallel.core_stats_total());
+    }
+
+    /// End to end through the deployment toolchain: frames served by the
+    /// compiled backend equal the interpreter's, for every connectivity
+    /// mode, replica count, and frame seed.
+    #[test]
+    fn deployments_serve_identical_frames_on_both_backends(
+        weight in 0.1f32..=1.0,
+        copies in 1usize..=3,
+        spf in 1usize..=8,
+        frame_seed in 0u64..u64::MAX,
+    ) {
+        let spec = tiny_spec(weight);
+        for mode in [
+            ConnectivityMode::IndependentPerCopy,
+            ConnectivityMode::SharedAcrossCopies,
+            ConnectivityMode::RuntimeStochastic,
+        ] {
+            let mut fast = Deployment::build_with_mode(&spec, copies, 11, mode).expect("deploy");
+            let mut slow = Deployment::build_with_mode(&spec, copies, 11, mode).expect("deploy");
+            prop_assert!(fast.is_compiled());
+            slow.set_fast_path(false);
+            prop_assert!(!slow.is_compiled());
+            let inputs = [0.8f32, 0.2];
+            prop_assert_eq!(
+                fast.run_frame(&inputs, spf, frame_seed),
+                slow.run_frame(&inputs, spf, frame_seed)
+            );
+            let mut fast_votes = vec![0u64; copies * 2];
+            let mut slow_votes = vec![0u64; copies * 2];
+            prop_assert_eq!(
+                fast.run_frame_votes(&inputs, spf, frame_seed ^ 1, &mut fast_votes),
+                slow.run_frame_votes(&inputs, spf, frame_seed ^ 1, &mut slow_votes)
+            );
+            prop_assert_eq!(fast_votes, slow_votes);
+            prop_assert_eq!(fast.synaptic_ops(), slow.synaptic_ops());
+            prop_assert_eq!(fast.chip_stats(), slow.chip_stats());
+        }
+    }
+}
