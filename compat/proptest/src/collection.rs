@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use rand::Rng;
 
-/// A length specification for [`vec`]: an exact size, a half-open range,
+/// A length specification for [`vec()`]: an exact size, a half-open range,
 /// or an inclusive range.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SizeRange {
@@ -48,7 +48,7 @@ pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
     }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Debug, Clone, Copy)]
 pub struct VecStrategy<S> {
     elem: S,

@@ -1,11 +1,11 @@
 //! Criterion microbenchmarks of the serving runtime: end-to-end request
 //! throughput at 1/2/4 replicas on fractional (Tea-like) vs polarized
-//! (biased-like) synthetic specs, the chip-level `run_frame_votes` fast
-//! path, and bare queue round-trips.
+//! (biased-like) synthetic specs, the batch-first chip-level `run_frames`
+//! fast path at several lockstep batch sizes, and bare queue round-trips.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::time::Duration;
-use tn_chip::nscs::{CoreDeploySpec, Deployment, InputSource, NetworkDeploySpec};
+use tn_chip::nscs::{CoreDeploySpec, Deployment, FrameInput, InputSource, NetworkDeploySpec};
 use tn_serve::{BoundedQueue, ServeConfig, ServeRuntime};
 
 /// A 16-input / 4-class single-core spec. `polarized` drives every
@@ -51,10 +51,12 @@ fn bench_serve_requests(c: &mut Criterion) {
             let spec = synthetic_spec(polarized);
             let rt = ServeRuntime::new(
                 &spec,
-                ServeConfig::new(7)
-                    .with_replicas(replicas)
-                    .with_workers(2)
-                    .with_spf(8),
+                ServeConfig::builder(7)
+                    .replicas(replicas)
+                    .workers(2)
+                    .spf(8)
+                    .build()
+                    .expect("cfg"),
             )
             .expect("runtime");
             let inputs = frame(spec.n_inputs);
@@ -67,8 +69,8 @@ fn bench_serve_requests(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_run_frame_votes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("run_frame_votes");
+fn bench_run_frames(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run_frames");
     group
         .sample_size(20)
         .measurement_time(Duration::from_secs(2));
@@ -76,14 +78,22 @@ fn bench_run_frame_votes(c: &mut Criterion) {
     let inputs = frame(spec.n_inputs);
     for replicas in [1usize, 4] {
         let mut dep = Deployment::build(&spec, replicas, 7).expect("deploy");
-        let mut votes = vec![0u64; replicas * spec.n_classes];
         let mut seed = 0u64;
-        group.bench_function(format!("{replicas}_replicas_8spf"), |b| {
-            b.iter(|| {
-                seed = seed.wrapping_add(1);
-                dep.run_frame_votes(&inputs, 8, seed, &mut votes)
-            })
-        });
+        // Throughput per frame: batch size B serves B requests per call, so
+        // divide the per-iteration time by B when comparing rows.
+        for batch in [1usize, 8] {
+            group.bench_function(format!("{replicas}_replicas_8spf_batch{batch}"), |b| {
+                b.iter(|| {
+                    let frames: Vec<FrameInput> = (0..batch)
+                        .map(|i| {
+                            FrameInput::new(&inputs, 8, seed.wrapping_add(i as u64))
+                        })
+                        .collect();
+                    seed = seed.wrapping_add(batch as u64);
+                    dep.run_frames(&frames)
+                })
+            });
+        }
     }
     group.finish();
 }
@@ -113,7 +123,7 @@ fn bench_queue_roundtrip(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_serve_requests,
-    bench_run_frame_votes,
+    bench_run_frames,
     bench_queue_roundtrip
 );
 criterion_main!(benches);

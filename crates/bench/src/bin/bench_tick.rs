@@ -8,8 +8,15 @@
 //! `tests/integration_kernel.rs`); this bin quantifies what the
 //! compilation buys.
 //!
+//! The `compiled_batchB_*` cells tick B independent frames in lockstep
+//! lanes (`CompiledChip::begin_lanes`): one crossbar walk per tick serves
+//! all B lanes, and the reported ticks/s counts *frame* ticks (lockstep
+//! rate × B) so rows compare directly against the single-frame backends.
+//!
 //! Knobs: `TN_BENCH_TICKS` (measured ticks per cell, default 2000),
-//! `TN_BENCH_JSON` (write a machine-readable summary to this path).
+//! `TN_BENCH_JSON` (write a machine-readable summary to this path),
+//! `--batch N` (bench only lane batch size N instead of the default
+//! {2, 8} sweep — the CI smoke uses `--batch 8`).
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -101,10 +108,12 @@ fn injections(cores: usize) -> Vec<(usize, usize)> {
     v
 }
 
-/// Measured ticks/second for one (workload × backend) cell.
+/// Measured ticks/second for one (workload × backend × batch) cell.
 struct Cell {
     workload: &'static str,
     backend: String,
+    /// Lockstep lanes ticked together (1 = single-frame execution).
+    batch: usize,
     ticks: usize,
     ticks_per_sec: f64,
     synops_per_sec: f64,
@@ -134,6 +143,7 @@ fn bench_reference(workload: &'static str, mut chip: TrueNorthChip, ticks: usize
     Cell {
         workload,
         backend: "reference".to_string(),
+        batch: 1,
         ticks,
         ticks_per_sec: rate,
         synops_per_sec: rate * synops_per_tick,
@@ -160,18 +170,69 @@ fn bench_compiled(
     Cell {
         workload,
         backend: format!("compiled_{threads}t"),
+        batch: 1,
         ticks,
         ticks_per_sec: rate,
         synops_per_sec: rate * synops_per_tick,
     }
 }
 
+/// Tick `lanes` independent frames in lockstep on the compiled kernel.
+/// Reported ticks/s are *frame* ticks (lockstep rate × lanes), directly
+/// comparable with the single-frame cells.
+fn bench_lanes(
+    workload: &'static str,
+    chip: &TrueNorthChip,
+    threads: usize,
+    lanes: usize,
+    ticks: usize,
+) -> Cell {
+    let mut fast = CompiledChip::compile(chip).expect("compile");
+    fast.set_threads(threads);
+    assert!(fast.supports_lanes(), "bench chips are history-free");
+    let inj = injections(fast.core_count());
+    let lane_seeds: Vec<u64> = (0..lanes as u64).map(|l| SEED ^ (l << 8)).collect();
+    let mut batch = fast.begin_lanes(&lane_seeds);
+    let rate = measure(ticks, || {
+        for lane in 0..lanes {
+            for &(c, a) in &inj {
+                batch.inject(lane, c, a);
+            }
+        }
+        batch.tick();
+    });
+    batch.finish();
+    let stats = fast.core_stats_total();
+    // `ticks` counters advance by `lanes` per lockstep tick, so this is
+    // already synops per *frame* tick.
+    let synops_per_tick = stats.synaptic_ops as f64 / fast.stats().ticks.max(1) as f64;
+    let frame_rate = rate * lanes as f64;
+    Cell {
+        workload,
+        backend: format!("compiled_batch{lanes}_{threads}t"),
+        batch: lanes,
+        ticks,
+        ticks_per_sec: frame_rate,
+        synops_per_sec: frame_rate * synops_per_tick,
+    }
+}
+
 fn main() {
     let ticks = env_usize("TN_BENCH_TICKS", 2000);
     let threads = std::thread::available_parallelism().map_or(4, usize::from).min(8);
+    let args: Vec<String> = std::env::args().collect();
+    let batches: Vec<usize> = match args
+        .iter()
+        .position(|a| a == "--batch")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+    {
+        Some(b) => vec![b],
+        None => vec![2, 8],
+    };
     println!("== raw tick throughput ({ticks} measured ticks per cell) ==\n");
     println!(
-        "{:<18} {:<14} {:>12} {:>14}",
+        "{:<18} {:<20} {:>12} {:>14}",
         "workload", "backend", "ticks/s", "synops/s"
     );
 
@@ -179,6 +240,18 @@ fn main() {
     for (workload, stochastic) in [("single_core_det", false), ("single_core_stoch", true)] {
         cells.push(bench_reference(workload, single_core_chip(stochastic), ticks));
         cells.push(bench_compiled(workload, &single_core_chip(stochastic), 1, ticks));
+        for &b in &batches {
+            // A lockstep tick does ~b× the work; scale the tick count so
+            // every cell touches a similar amount of total work.
+            let lane_ticks = (ticks / b).max(50);
+            cells.push(bench_lanes(
+                workload,
+                &single_core_chip(stochastic),
+                1,
+                b,
+                lane_ticks,
+            ));
+        }
     }
     // The 64-core chip amortizes per-tick overhead and exercises routing +
     // the delay ring; fewer measured ticks keep the run short.
@@ -189,10 +262,13 @@ fn main() {
     if threads > 1 {
         cells.push(bench_compiled("chip_64_cores", &ring, threads, chip_ticks));
     }
+    for &b in &batches {
+        cells.push(bench_lanes("chip_64_cores", &ring, 1, b, (chip_ticks / b).max(25)));
+    }
 
     for c in &cells {
         println!(
-            "{:<18} {:<14} {:>12.0} {:>14.3e}",
+            "{:<18} {:<20} {:>12.0} {:>14.3e}",
             c.workload, c.backend, c.ticks_per_sec, c.synops_per_sec
         );
     }
@@ -214,6 +290,29 @@ fn main() {
     for w in ["single_core_det", "single_core_stoch", "chip_64_cores"] {
         println!("{w}: compiled/reference = {:.2}x (single-threaded)", speedup(w));
     }
+    let batch_speedup = |w: &str, b: usize| {
+        let base = cells
+            .iter()
+            .find(|c| c.workload == w && c.backend == "compiled_1t")
+            .map_or(0.0, |c| c.ticks_per_sec);
+        let lane = cells
+            .iter()
+            .find(|c| c.workload == w && c.backend == format!("compiled_batch{b}_1t"))
+            .map_or(0.0, |c| c.ticks_per_sec);
+        if base > 0.0 {
+            lane / base
+        } else {
+            0.0
+        }
+    };
+    for &b in &batches {
+        for w in ["single_core_det", "single_core_stoch", "chip_64_cores"] {
+            println!(
+                "{w}: batch{b}/single-frame = {:.2}x (frame ticks, single-threaded)",
+                batch_speedup(w, b)
+            );
+        }
+    }
 
     if let Ok(path) = std::env::var("TN_BENCH_JSON") {
         let mut rows = String::new();
@@ -222,8 +321,8 @@ fn main() {
                 rows.push_str(",\n");
             }
             rows.push_str(&format!(
-                "    {{\"workload\": \"{}\", \"backend\": \"{}\", \"ticks\": {}, \"ticks_per_sec\": {:.1}, \"synops_per_sec\": {:.4e}}}",
-                c.workload, c.backend, c.ticks, c.ticks_per_sec, c.synops_per_sec
+                "    {{\"workload\": \"{}\", \"backend\": \"{}\", \"batch\": {}, \"ticks\": {}, \"ticks_per_sec\": {:.1}, \"synops_per_sec\": {:.4e}}}",
+                c.workload, c.backend, c.batch, c.ticks, c.ticks_per_sec, c.synops_per_sec
             ));
         }
         let json = format!(

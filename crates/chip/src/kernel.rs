@@ -59,6 +59,11 @@ const MAX_THRESHOLD: i32 = 1 << 24;
 /// Potential snapshot bound (also the lowest admissible floor; the default
 /// McCulloch-Pitts floor is exactly `i32::MIN / 4 == -2^29`).
 const MAX_POTENTIAL: i32 = 1 << 29;
+/// Most lanes one [`LaneBatch`] can tick in lockstep: per-axon lane
+/// activity is tracked as a `u64` bitmask. Callers batching more frames
+/// split them into `MAX_LANES`-sized chunks (as
+/// [`crate::nscs::Deployment::run_frames`] does).
+pub const MAX_LANES: usize = 64;
 
 /// Why a chip could not be compiled. The reference interpreter remains
 /// available for any such chip.
@@ -160,6 +165,11 @@ struct CoreKernel {
 #[derive(Debug)]
 struct ChipProgram {
     kernels: Vec<CoreKernel>,
+    /// Whether every neuron is history-free (potential cleared at tick
+    /// start). When true, a frame's result cannot depend on the previous
+    /// frame's membrane state, which is what makes lockstep lane batching
+    /// ([`CompiledChip::begin_lanes`]) bit-exact.
+    all_history_free: bool,
 }
 
 /// Mutable per-core execution state.
@@ -360,8 +370,14 @@ impl CompiledChip {
             // ticks" is simply slot `offset`.
             ring[offset % RING_SLOTS].push((core, axon));
         }
+        let all_history_free = kernels
+            .iter()
+            .all(|k| k.configs.iter().all(|c| c.history_free));
         Ok(Self {
-            program: Arc::new(ChipProgram { kernels }),
+            program: Arc::new(ChipProgram {
+                kernels,
+                all_history_free,
+            }),
             states,
             ring,
             ring_pos: 0,
@@ -550,6 +566,299 @@ impl CompiledChip {
             slot.clear();
         }
     }
+
+    /// PRNG state of one core's LFSR stream (equivalence testing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn prng_state(&self, core: usize) -> u16 {
+        self.states[core].prng.state()
+    }
+
+    /// Whether this chip can tick independent frames in lockstep lanes
+    /// ([`CompiledChip::begin_lanes`]): true iff every neuron is
+    /// history-free, so a frame's spikes cannot depend on the membrane
+    /// state left behind by the previous frame. Every deployment the
+    /// paper's toolchain builds qualifies (McCulloch-Pitts cores).
+    pub fn supports_lanes(&self) -> bool {
+        self.program.all_history_free
+    }
+
+    /// Start a lockstep lane batch: `lane_seeds.len()` independent frames
+    /// tick together through one pass over the packed crossbar rows per
+    /// tick, each lane drawing from its own PRNG streams exactly as if it
+    /// were served alone (`lane_seeds[l]` plays the role of the
+    /// [`CompiledChip::set_seed`] call a solo frame would make).
+    ///
+    /// Lane 0 inherits the chip's pending inputs and in-flight spikes;
+    /// later lanes start from a clean frame boundary — the same state a
+    /// sequential frame-at-a-time run would see. Call [`LaneBatch::finish`]
+    /// to fold counters and end-state back into the chip; dropping the
+    /// batch without finishing discards its work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane_seeds` is empty or longer than [`MAX_LANES`], or if
+    /// the chip has stateful neurons (check
+    /// [`CompiledChip::supports_lanes`] first).
+    pub fn begin_lanes(&mut self, lane_seeds: &[u64]) -> LaneBatch<'_> {
+        assert!(!lane_seeds.is_empty(), "a lane batch needs at least one lane");
+        assert!(
+            lane_seeds.len() <= MAX_LANES,
+            "a lane batch holds at most {MAX_LANES} lanes (got {}); split into chunks",
+            lane_seeds.len()
+        );
+        assert!(
+            self.supports_lanes(),
+            "lane batching requires history-free neurons; use sequential frames"
+        );
+        let lanes = lane_seeds.len();
+        // Pad the lane slab to a power of two: the tick kernel is
+        // monomorphized per width, so its inner loops vectorize at exactly
+        // this width with no runtime-length remainder handling. Pad lanes
+        // are masked inactive everywhere and never observed.
+        let width = lanes.next_power_of_two();
+        let words = CROSSBAR_AXONS / 64;
+        let mut states = Vec::with_capacity(self.states.len());
+        for (core, st) in self.states.iter_mut().enumerate() {
+            let n_neurons = st.potentials.len();
+            // Replicate the core's current potentials per lane. History-free
+            // neurons clear them at tick start, so the value is semantically
+            // inert — replication just keeps "no ticks yet" states equal.
+            let mut potentials = vec![0i32; n_neurons * width];
+            for (n, &p) in st.potentials.iter().enumerate() {
+                potentials[n * width..n * width + lanes].fill(p);
+            }
+            // Lane 0 takes over the chip's pending input bits (a sequential
+            // run's first frame would consume them); the chip copy clears.
+            let mut input = vec![0u64; lanes * words];
+            input[..words].copy_from_slice(&st.input);
+            st.input = [0; CROSSBAR_AXONS / 64];
+            states.push(BatchCoreState {
+                potentials,
+                prngs: lane_seeds
+                    .iter()
+                    .map(|&seed| LfsrPrng::for_core(seed, core))
+                    .collect(),
+                input,
+                stats: CoreStats::default(),
+                fired: Vec::new(),
+            });
+        }
+        // Move the chip's in-flight spikes into lane 0 of the batch ring
+        // (slot offsets are relative to the batch's ring position 0).
+        let mut ring: Vec<Vec<(u32, u16, u16)>> = (0..RING_SLOTS).map(|_| Vec::new()).collect();
+        for (offset, slot) in self.ring.iter_mut().enumerate() {
+            let offset = (offset + RING_SLOTS - self.ring_pos) % RING_SLOTS;
+            for (core, axon) in slot.drain(..) {
+                ring[offset].push((core, axon, 0));
+            }
+        }
+        let channels = self.outputs.len();
+        LaneBatch {
+            chip: self,
+            lanes,
+            width,
+            states,
+            ring,
+            ring_pos: 0,
+            outputs: vec![0; lanes * channels],
+            stats: ChipStats::default(),
+            ticks_run: 0,
+        }
+    }
+}
+
+/// Mutable per-core scratch for one lockstep lane batch. Lane-minor
+/// layout (`[neuron * width + lane]`, `width` = lane count rounded up to a
+/// power of two) keeps each crossbar row's target writes for all lanes
+/// adjacent in memory, at a stride the monomorphized tick kernels compile
+/// to exact-width vector code.
+#[derive(Debug)]
+struct BatchCoreState {
+    /// Membrane potentials, `[neuron * width + lane]`.
+    potentials: Vec<i32>,
+    /// One PRNG stream per lane, seeded exactly as a solo frame would.
+    prngs: Vec<LfsrPrng>,
+    /// Pending input bits, `[lane * words + word]`.
+    input: Vec<u64>,
+    /// Aggregated counters (every field is a sum over lanes, and `ticks`
+    /// advances by `lanes` per lockstep tick, so the totals equal a
+    /// sequential frame-at-a-time run).
+    stats: CoreStats,
+    /// `(neuron, lane)` pairs fired this tick, neuron-major (reused).
+    fired: Vec<(u16, u16)>,
+}
+
+/// A batch of `B` independent frames ticking in lockstep lanes on one
+/// [`CompiledChip`] — the cross-request batching primitive behind
+/// [`crate::nscs::Deployment::run_frames`].
+///
+/// Each tick makes **one pass** over the packed crossbar rows: for every
+/// axon active on *any* lane, the row's synapses are walked once and
+/// applied to each active lane, so the row data is loaded once per batch
+/// instead of once per frame. Per-lane PRNG draw order is preserved
+/// exactly (gated synapses in (axon asc, neuron asc) order, then membrane
+/// draws in neuron order, per lane), so every lane's spike train, counters,
+/// and PRNG stream are bit-identical to serving that frame alone.
+#[derive(Debug)]
+pub struct LaneBatch<'c> {
+    chip: &'c mut CompiledChip,
+    lanes: usize,
+    /// Lane-slab stride: `lanes` rounded up to a power of two.
+    width: usize,
+    states: Vec<BatchCoreState>,
+    /// In-flight spikes `(core, axon, lane)` bucketed by due tick.
+    ring: Vec<Vec<(u32, u16, u16)>>,
+    ring_pos: usize,
+    /// Output spike counts, `[lane * channels + channel]`.
+    outputs: Vec<u64>,
+    stats: ChipStats,
+    ticks_run: u64,
+}
+
+impl LaneBatch<'_> {
+    /// Number of lanes (frames) in this batch.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Output channels per lane.
+    pub fn output_channels(&self) -> usize {
+        self.outputs.len() / self.lanes
+    }
+
+    /// Inject an external spike into `(core, axon)` of one lane for the
+    /// next tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane`, `core`, or `axon` is out of range.
+    pub fn inject(&mut self, lane: usize, core: usize, axon: usize) {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        assert!(core < self.states.len(), "no core with handle {core}");
+        assert!(axon < CROSSBAR_AXONS, "axon {axon} out of range");
+        let words = CROSSBAR_AXONS / 64;
+        let st = &mut self.states[core];
+        st.input[lane * words + axon / 64] |= 1u64 << (axon % 64);
+        st.stats.spikes_in += 1;
+    }
+
+    /// Advance every lane one tick. Returns the number of output spikes
+    /// emitted across all lanes.
+    pub fn tick(&mut self) -> u64 {
+        let lanes = self.lanes;
+        let width = self.width;
+        let words = CROSSBAR_AXONS / 64;
+        // Deliver spikes due this tick, into their lane's input plane.
+        let mut due = std::mem::take(&mut self.ring[self.ring_pos]);
+        for &(core, axon, lane) in &due {
+            let st = &mut self.states[core as usize];
+            st.input[lane as usize * words + axon as usize / 64] |= 1u64 << (axon as usize % 64);
+            st.stats.spikes_in += 1;
+        }
+        due.clear();
+        self.ring[self.ring_pos] = due;
+        // Integrate and fire every core across all lanes; same fan-out as
+        // the solo tick, with `lanes`× the work per core.
+        let program = Arc::clone(&self.chip.program);
+        parallel_slices(&mut self.states, self.chip.threads, |offset, chunk| {
+            for (i, st) in chunk.iter_mut().enumerate() {
+                core_tick_lanes(&program.kernels[offset + i], lanes, width, st);
+            }
+        });
+        // Route fired spikes sequentially after the join, in core order.
+        let channels = self.output_channels();
+        let mut out_this_tick = 0u64;
+        for c in 0..self.states.len() {
+            let fired = std::mem::take(&mut self.states[c].fired);
+            for &(n, lane) in &fired {
+                match program.kernels[c].targets[n as usize] {
+                    CompiledTarget::None => {}
+                    CompiledTarget::Axon {
+                        core,
+                        axon,
+                        delay,
+                        hops,
+                    } => {
+                        self.stats.routed_spikes += 1;
+                        self.stats.mesh_hops += hops as u64;
+                        let slot = (self.ring_pos + 1 + delay as usize) % RING_SLOTS;
+                        self.ring[slot].push((core, axon, lane));
+                    }
+                    CompiledTarget::Output { channel } => {
+                        self.outputs[lane as usize * channels + channel as usize] += 1;
+                        self.stats.output_spikes += 1;
+                        out_this_tick += 1;
+                    }
+                }
+            }
+            self.states[c].fired = fired;
+        }
+        self.ring_pos = (self.ring_pos + 1) % RING_SLOTS;
+        // One lockstep tick advances every lane one tick.
+        self.stats.ticks += lanes as u64;
+        self.ticks_run += 1;
+        out_this_tick
+    }
+
+    /// Accumulated output spike counts of all lanes,
+    /// `[lane * output_channels + channel]`.
+    pub fn outputs(&self) -> &[u64] {
+        &self.outputs
+    }
+
+    /// Accumulated output spike counts of one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn lane_outputs(&self, lane: usize) -> &[u64] {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        let channels = self.output_channels();
+        &self.outputs[lane * channels..(lane + 1) * channels]
+    }
+
+    /// End the batch at a frame boundary: drop in-flight spikes from every
+    /// lane (accounted in [`ChipStats::flushed_spikes`], like a sequential
+    /// run's per-frame flush), fold all counters back into the chip, and
+    /// leave the chip's potentials, PRNG streams, and output accumulators
+    /// exactly as a sequential frame-at-a-time run would — i.e. in the last
+    /// lane's end state. Returns the number of flushed spikes.
+    pub fn finish(mut self) -> u64 {
+        let lanes = self.lanes;
+        let mut flushed = 0u64;
+        for slot in &mut self.ring {
+            flushed += slot.len() as u64;
+            slot.clear();
+        }
+        self.stats.flushed_spikes += flushed;
+        for (chip_st, batch_st) in self.chip.states.iter_mut().zip(&self.states) {
+            chip_st.stats.synaptic_ops += batch_st.stats.synaptic_ops;
+            chip_st.stats.spikes_in += batch_st.stats.spikes_in;
+            chip_st.stats.spikes_out += batch_st.stats.spikes_out;
+            chip_st.stats.ticks += batch_st.stats.ticks;
+            for (n, p) in chip_st.potentials.iter_mut().enumerate() {
+                *p = batch_st.potentials[n * self.width + lanes - 1];
+            }
+            chip_st.prng = batch_st.prngs[lanes - 1].clone();
+        }
+        let channels = self.outputs.len() / lanes;
+        self.chip
+            .outputs
+            .copy_from_slice(&self.outputs[(lanes - 1) * channels..]);
+        self.chip.stats.routed_spikes += self.stats.routed_spikes;
+        self.chip.stats.mesh_hops += self.stats.mesh_hops;
+        self.chip.stats.output_spikes += self.stats.output_spikes;
+        self.chip.stats.ticks += self.stats.ticks;
+        self.chip.stats.flushed_spikes += self.stats.flushed_spikes;
+        // A sequential run of `lanes` frames advances the ring position by
+        // lanes × ticks; match it so post-batch solo frames line up.
+        self.chip.ring_pos =
+            (self.chip.ring_pos + (self.ticks_run as usize * lanes) % RING_SLOTS) % RING_SLOTS;
+        flushed
+    }
 }
 
 /// One core's tick: integrate pending axon rows, then run the shared
@@ -597,6 +906,127 @@ fn core_tick(k: &CoreKernel, st: &mut CoreState) {
     }
     stats.spikes_out += fired.len() as u64;
     stats.ticks += 1;
+}
+
+/// One core's lockstep tick over `lanes` independent frames. Each packed
+/// crossbar row is loaded once and applied to every lane it is active on
+/// (synapse-outer, lane-inner), which both amortizes the row walk across
+/// the batch and preserves every lane's solo PRNG draw order: a lane's
+/// gated draws still happen in (axon asc, neuron asc) positions of *its*
+/// active axons, then its membrane draws in neuron order, all from its own
+/// independent stream — other lanes' interleaved draws touch other streams.
+fn core_tick_lanes(k: &CoreKernel, lanes: usize, width: usize, st: &mut BatchCoreState) {
+    // Monomorphize on the (power-of-two) slab width so every inner loop
+    // below compiles to exact fixed-width vector code — a runtime-length
+    // loop would vectorize for long slabs and fall into scalar remainder
+    // handling at the 8-or-so lanes a serving batch actually has.
+    match width {
+        1 => core_tick_lanes_w::<1>(k, lanes, st),
+        2 => core_tick_lanes_w::<2>(k, lanes, st),
+        4 => core_tick_lanes_w::<4>(k, lanes, st),
+        8 => core_tick_lanes_w::<8>(k, lanes, st),
+        16 => core_tick_lanes_w::<16>(k, lanes, st),
+        32 => core_tick_lanes_w::<32>(k, lanes, st),
+        64 => core_tick_lanes_w::<64>(k, lanes, st),
+        _ => unreachable!("lane slab width is a power of two ≤ MAX_LANES"),
+    }
+}
+
+/// The width-`W` instantiation of the lockstep core tick. `lanes ≤ W`
+/// lanes are live; pad lanes are inactive on every axon (their `act`
+/// multiplier is always 0), never draw, and never fire.
+fn core_tick_lanes_w<const W: usize>(k: &CoreKernel, lanes: usize, st: &mut BatchCoreState) {
+    const WORDS: usize = CROSSBAR_AXONS / 64;
+    let BatchCoreState {
+        potentials,
+        prngs,
+        input,
+        stats,
+        fired,
+    } = st;
+    for (n, cfg) in k.configs.iter().enumerate() {
+        if cfg.history_free {
+            potentials[n * W..(n + 1) * W].fill(0);
+        }
+    }
+    // Fixed-size scratch slabs: every per-lane inner loop below is a
+    // branchless pass over exactly W adjacent elements.
+    let mut lfsr = [1u16; W];
+    let mut act = [0i32; W];
+    let mut fire = [0i32; W];
+    for (s, p) in lfsr.iter_mut().zip(prngs.iter()) {
+        *s = p.state();
+    }
+    for w in 0..WORDS {
+        // Visit each axon once if it is active on *any* lane.
+        let mut union = 0u64;
+        for l in 0..lanes {
+            union |= input[l * WORDS + w];
+        }
+        while union != 0 {
+            let bit = union.trailing_zeros() as usize;
+            union &= union - 1;
+            let axon = w * 64 + bit;
+            // Which lanes drive this axon: bitmask (lane l → bit l) and an
+            // equivalent 0/1-per-lane slab for branchless masking.
+            let mut mask = 0u64;
+            for l in 0..lanes {
+                mask |= ((input[l * WORDS + w] >> bit) & 1) << l;
+            }
+            for (l, a) in act.iter_mut().enumerate() {
+                *a = ((mask >> l) & 1) as i32;
+            }
+            stats.synaptic_ops += k.row_ops[axon] as u64 * mask.count_ones() as u64;
+            let det = &k.det[k.det_index[axon] as usize..k.det_index[axon + 1] as usize];
+            for s in det {
+                // Every lane adds `weight * {0,1}`: a straight multiply-add
+                // over the lane slab; inactive lanes add zero.
+                let base = s.neuron as usize * W;
+                let slab: &mut [i32; W] = (&mut potentials[base..base + W]).try_into().unwrap();
+                let weight = s.weight;
+                for (p, &a) in slab.iter_mut().zip(act.iter()) {
+                    *p += weight * a;
+                }
+            }
+            let gated = &k.gated[k.gated_index[axon] as usize..k.gated_index[axon + 1] as usize];
+            for s in gated {
+                let base = s.neuron as usize * W;
+                let weight = s.weight;
+                let q = s.q;
+                // Step every lane's LFSR in one pass, keeping the old state
+                // on inactive lanes (their streams must not advance): the
+                // whole draw is select/compare arithmetic with no branches,
+                // so W independent Fibonacci LFSRs step as one slab instead
+                // of the solo path's serial one-draw-per-synapse chain.
+                for ((s16, f), &a) in lfsr.iter_mut().zip(fire.iter_mut()).zip(act.iter()) {
+                    let st = *s16;
+                    let bit = (st ^ (st >> 2) ^ (st >> 3) ^ (st >> 5)) & 1;
+                    let next = (st >> 1) | (bit << 15);
+                    let keep = (a as u16).wrapping_neg();
+                    *s16 = (st & !keep) | (next & keep);
+                    *f = ((next < q) as i32) & a;
+                }
+                let slab: &mut [i32; W] = (&mut potentials[base..base + W]).try_into().unwrap();
+                for (p, &f) in slab.iter_mut().zip(fire.iter()) {
+                    *p += weight * f;
+                }
+            }
+        }
+    }
+    for (p, &s) in prngs.iter_mut().zip(lfsr.iter()) {
+        p.set_state(s);
+    }
+    input.fill(0);
+    fired.clear();
+    for (n, cfg) in k.configs.iter().enumerate() {
+        for (l, prng) in prngs.iter_mut().enumerate() {
+            if step_membrane(cfg, &mut potentials[n * W + l], prng) {
+                fired.push((n as u16, l as u16));
+            }
+        }
+    }
+    stats.spikes_out += fired.len() as u64;
+    stats.ticks += lanes as u64;
 }
 
 #[cfg(test)]

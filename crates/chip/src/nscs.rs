@@ -17,7 +17,7 @@
 
 use crate::chip::{ChipError, ChipStats, SpikeTarget, TrueNorthChip};
 use crate::energy::EnergyReport;
-use crate::kernel::CompiledChip;
+use crate::kernel::{CompiledChip, MAX_LANES};
 use crate::neuro_core::{CoreStats, NeuroSynapticCore};
 use crate::neuron::NeuronConfig;
 use crate::prng::splitmix64;
@@ -481,6 +481,40 @@ fn drive_frame_votes<B: FrameBackend>(
     total_ticks as u64
 }
 
+/// One classification request for [`Deployment::run_frames`]: the input
+/// intensities plus the stochastic-code parameters that, together with the
+/// deployment's build seed, fully determine the result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameInput<'a> {
+    /// Normalized input intensities in `[0, 1]`, one per external channel.
+    pub inputs: &'a [f32],
+    /// Stochastic input samples (spikes per frame) to draw.
+    pub spf: usize,
+    /// Per-frame seed. Drives both the Bernoulli input sampling and the
+    /// on-chip stochastic-synapse/leak PRNG reseed, so a frame's votes are
+    /// a pure function of `(deployment, inputs, spf, seed)` — independent
+    /// of batching, threading, or which frames share a call.
+    pub seed: u64,
+}
+
+impl<'a> FrameInput<'a> {
+    /// Bundle one frame's inputs with its stochastic-code parameters.
+    pub fn new(inputs: &'a [f32], spf: usize, seed: u64) -> Self {
+        Self { inputs, spf, seed }
+    }
+}
+
+/// Aggregate result of one frame served by [`Deployment::run_frames`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Votes {
+    /// Output spike counts, `[copy * n_classes + class]` — copy `c`'s votes
+    /// for `class` live at `c * n_classes + class`.
+    pub counts: Vec<u64>,
+    /// Chip ticks the frame took (`spf + depth − 1`), for energy
+    /// accounting.
+    pub ticks: u64,
+}
+
 impl Deployment {
     /// Sample and place `copies` instances of `spec` onto a fresh chip.
     ///
@@ -687,24 +721,184 @@ impl Deployment {
         }
     }
 
+    /// Run a batch of independent frames and return each frame's aggregate
+    /// class votes (layout `[copy * n_classes + class]`) plus its tick
+    /// count. This is the serving primitive: the `tn-serve` runtime drains
+    /// its queue into calls of this method.
+    ///
+    /// Runs of consecutive same-`spf` frames execute as **lockstep lanes**
+    /// on the compiled fast path ([`crate::kernel::LaneBatch`]): every tick
+    /// makes one pass over the packed crossbar rows and applies each row to
+    /// all lanes it is active on, amortizing the crossbar walk over the
+    /// whole micro-batch. Each lane's Bernoulli input draws and on-chip
+    /// PRNG streams are seeded exactly as a solo
+    /// frame's would be, so votes, counters, and PRNG end states are
+    /// bit-identical to calling this method once per frame — batching is
+    /// purely a throughput optimization and never changes results.
+    ///
+    /// Falls back to frame-at-a-time execution on the interpreter path, for
+    /// single-frame groups, and for chips with stateful (non-history-free)
+    /// neurons, where frames could observe each other's membrane state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any frame's `inputs` has the wrong width or holds values
+    /// outside `[0, 1]`.
+    pub fn run_frames(&mut self, frames: &[FrameInput]) -> Vec<Votes> {
+        let n_inputs = self.n_inputs();
+        for f in frames {
+            assert_eq!(
+                f.inputs.len(),
+                n_inputs,
+                "input width mismatch: {n_inputs} channels expected"
+            );
+            assert!(
+                f.inputs.iter().all(|v| (0.0..=1.0).contains(v)),
+                "inputs must be normalized probabilities"
+            );
+        }
+        let lanes_ok = self.fast.as_ref().is_some_and(CompiledChip::supports_lanes);
+        let mut out = Vec::with_capacity(frames.len());
+        let mut i = 0;
+        while i < frames.len() {
+            // Lockstep lanes share tick structure, so a group must agree on
+            // spf (and depth is deployment-wide). Mixed-spf batches degrade
+            // gracefully into consecutive same-spf runs.
+            let mut j = i + 1;
+            while j < frames.len() && frames[j].spf == frames[i].spf {
+                j += 1;
+            }
+            let group = &frames[i..j];
+            if lanes_ok && group.len() > 1 {
+                // A LaneBatch tracks per-axon lane activity in a u64
+                // bitmask, so oversized groups split into ≤ MAX_LANES runs.
+                for chunk in group.chunks(MAX_LANES) {
+                    if chunk.len() > 1 {
+                        self.drive_frames_lockstep(chunk, &mut out);
+                    } else {
+                        self.drive_group_sequential(chunk, &mut out);
+                    }
+                }
+            } else {
+                self.drive_group_sequential(group, &mut out);
+            }
+            i = j;
+        }
+        out
+    }
+
+    /// Frame-at-a-time fallback: serve each frame of `group` on whichever
+    /// backend the deployment runs (compiled fast path or interpreter).
+    fn drive_group_sequential(&mut self, group: &[FrameInput], out: &mut Vec<Votes>) {
+        let channels = self.chip.output_counts().len();
+        for f in group {
+            let mut counts = vec![0u64; channels];
+            let ticks = match &mut self.fast {
+                Some(fast) => drive_frame_votes(
+                    fast,
+                    &self.input_routes,
+                    f.inputs,
+                    f.spf,
+                    f.seed,
+                    self.depth,
+                    &mut counts,
+                ),
+                None => drive_frame_votes(
+                    &mut self.chip,
+                    &self.input_routes,
+                    f.inputs,
+                    f.spf,
+                    f.seed,
+                    self.depth,
+                    &mut counts,
+                ),
+            };
+            out.push(Votes { counts, ticks });
+        }
+    }
+
+    /// Drive one same-`spf` group of frames as lockstep lanes on the
+    /// compiled path. Mirrors [`drive_frame_votes`] per lane: same input
+    /// RNG construction, same chip reseed derivation, same pipeline-depth
+    /// vote window, same end-of-frame flush.
+    fn drive_frames_lockstep(&mut self, group: &[FrameInput], out: &mut Vec<Votes>) {
+        let fast = self
+            .fast
+            .as_mut()
+            .expect("lockstep lanes require the compiled path");
+        let spf = group[0].spf;
+        let depth = self.depth.max(1);
+        let total_ticks = spf + depth - 1;
+        // Lane l's chip PRNG streams and input RNG are derived from
+        // group[l].seed exactly as a solo drive_frame_votes call derives
+        // them, which is what makes each lane bit-identical to solo runs.
+        let lane_seeds: Vec<u64> = group
+            .iter()
+            .map(|f| splitmix64(f.seed ^ 0xC0DE_C0DE_C0DE_C0DE))
+            .collect();
+        let mut rngs: Vec<StdRng> = group
+            .iter()
+            .map(|f| StdRng::seed_from_u64(splitmix64(f.seed)))
+            .collect();
+        let mut batch = fast.begin_lanes(&lane_seeds);
+        let channels = batch.output_channels();
+        let mut snaps = vec![0u64; group.len() * channels];
+        for t in 0..total_ticks {
+            if t < spf {
+                for ((f, rng), lane) in group.iter().zip(&mut rngs).zip(0..) {
+                    for copy_routes in &self.input_routes {
+                        for (ch, &x) in f.inputs.iter().enumerate() {
+                            if x > 0.0 && rng.gen::<f32>() < x {
+                                for &(core, axon) in &copy_routes[ch] {
+                                    batch.inject(lane, core, axon);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            batch.tick();
+            if t + 2 == depth {
+                // Snapshot each lane's pipeline-fill transient, as the
+                // solo driver does.
+                snaps.copy_from_slice(batch.outputs());
+            }
+        }
+        let finals = batch.outputs().to_vec();
+        batch.finish();
+        for lane in 0..group.len() {
+            let f = &finals[lane * channels..(lane + 1) * channels];
+            let counts = if depth > 1 {
+                let s = &snaps[lane * channels..(lane + 1) * channels];
+                f.iter().zip(s).map(|(a, b)| a - b).collect()
+            } else {
+                f.to_vec()
+            };
+            out.push(Votes {
+                counts,
+                ticks: total_ticks as u64,
+            });
+        }
+    }
+
     /// Run one frame and write the frame's aggregate class votes into
     /// `votes` (layout `[copy * n_classes + class]`, overwritten).
     ///
-    /// Identical semantics to summing [`Deployment::run_frame`]'s
-    /// per-sample rows — output taps only exist on the final layer, so the
-    /// post-transient total equals `counts(total_ticks) − counts(depth−1)`
-    /// — but without the per-tick allocations. This is the hot path for
-    /// the `tn-serve` runtime, where one call per request is made on a
-    /// long-lived deployment.
+    /// Deprecated single-frame shim over [`Deployment::run_frames`] — the
+    /// batch-first primitive — kept for source compatibility. Results are
+    /// identical; only the calling convention changed.
     ///
     /// Returns the number of chip ticks executed (`spf + depth − 1`), so
-    /// callers can account energy per frame. Runs on the compiled fast path
-    /// when available, bit-identically to the interpreter.
+    /// callers can account energy per frame.
     ///
     /// # Panics
     ///
     /// Panics if `inputs` has the wrong width, holds values outside
     /// `[0, 1]`, or `votes.len() != copies() * n_classes()`.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use Deployment::run_frames, the batch-first primitive"
+    )]
     pub fn run_frame_votes(
         &mut self,
         inputs: &[f32],
@@ -712,46 +906,28 @@ impl Deployment {
         frame_seed: u64,
         votes: &mut [u64],
     ) -> u64 {
-        let n_inputs = self.n_inputs();
-        assert_eq!(
-            inputs.len(),
-            n_inputs,
-            "input width mismatch: {n_inputs} channels expected"
-        );
-        assert!(
-            inputs.iter().all(|v| (0.0..=1.0).contains(v)),
-            "inputs must be normalized probabilities"
-        );
         assert_eq!(
             votes.len(),
             self.chip.output_counts().len(),
             "votes buffer must hold copies() * n_classes() lanes"
         );
-        match &mut self.fast {
-            Some(fast) => drive_frame_votes(
-                fast,
-                &self.input_routes,
-                inputs,
-                spf,
-                frame_seed,
-                self.depth,
-                votes,
-            ),
-            None => drive_frame_votes(
-                &mut self.chip,
-                &self.input_routes,
-                inputs,
-                spf,
-                frame_seed,
-                self.depth,
-                votes,
-            ),
-        }
+        let result = self
+            .run_frames(&[FrameInput::new(inputs, spf, frame_seed)])
+            .pop()
+            .expect("one frame in, one vote tally out");
+        votes.copy_from_slice(&result.counts);
+        result.ticks
     }
 
     /// Whether frames run on the compiled fast path.
     pub fn is_compiled(&self) -> bool {
         self.fast.is_some()
+    }
+
+    /// The compiled fast path, when active (equivalence testing: exposes
+    /// per-core PRNG and membrane state without ticking anything).
+    pub fn compiled(&self) -> Option<&CompiledChip> {
+        self.fast.as_ref()
     }
 
     /// Enable or disable the compiled fast path. Enabling (re)compiles from
@@ -928,10 +1104,15 @@ mod tests {
                     *e += v;
                 }
             }
-            let mut votes = vec![u64::MAX; copies * spec.n_classes];
-            let ticks = b.run_frame_votes(&[0.9, 0.4], spf, seed, &mut votes);
-            assert_eq!(votes, expected, "copies {copies} spf {spf} seed {seed}");
-            assert_eq!(ticks, spf as u64, "depth-1 spec runs spf ticks");
+            let votes = b
+                .run_frames(&[FrameInput::new(&[0.9, 0.4], spf, seed)])
+                .pop()
+                .expect("one frame");
+            assert_eq!(
+                votes.counts, expected,
+                "copies {copies} spf {spf} seed {seed}"
+            );
+            assert_eq!(votes.ticks, spf as u64, "depth-1 spec runs spf ticks");
         }
     }
 
@@ -962,10 +1143,16 @@ mod tests {
             output_taps: vec![(1, 0, 0)],
         };
         let mut dep = Deployment::build(&spec, 1, 3).expect("deploy");
-        let mut votes = vec![0u64; 1];
-        let ticks = dep.run_frame_votes(&[1.0], 4, 1, &mut votes);
-        assert_eq!(votes, vec![4], "all 4 samples arrive despite latency");
-        assert_eq!(ticks, 5, "spf + depth - 1");
+        let votes = dep
+            .run_frames(&[FrameInput::new(&[1.0], 4, 1)])
+            .pop()
+            .expect("one frame");
+        assert_eq!(
+            votes.counts,
+            vec![4],
+            "all 4 samples arrive despite latency"
+        );
+        assert_eq!(votes.ticks, 5, "spf + depth - 1");
     }
 
     #[test]
@@ -1164,13 +1351,11 @@ mod tests {
                     "mode {mode:?} seed {seed}"
                 );
             }
-            let mut vf = vec![0u64; 2 * spec.n_classes];
-            let mut vs = vec![0u64; 2 * spec.n_classes];
-            assert_eq!(
-                fast.run_frame_votes(&[0.7, 0.2], 16, 5, &mut vf),
-                slow.run_frame_votes(&[0.7, 0.2], 16, 5, &mut vs)
-            );
-            assert_eq!(vf, vs);
+            let frames = [
+                FrameInput::new(&[0.7, 0.2], 16, 5),
+                FrameInput::new(&[0.3, 0.8], 16, 6),
+            ];
+            assert_eq!(fast.run_frames(&frames), slow.run_frames(&frames));
             assert_eq!(fast.core_stats_total(), slow.core_stats_total());
             assert_eq!(fast.chip_stats(), slow.chip_stats());
             assert_eq!(
@@ -1178,6 +1363,90 @@ mod tests {
                 slow.energy_report().synaptic_ops
             );
         }
+    }
+
+    #[test]
+    fn batched_frames_match_sequential_bit_exactly() {
+        // The whole point of lockstep lanes: votes, every counter that
+        // feeds energy accounting, the PRNG streams, and the membrane end
+        // state must be indistinguishable from frame-at-a-time serving.
+        let mut spec = tiny_spec();
+        for w in &mut spec.cores[0].weights {
+            *w *= 0.6;
+        }
+        for batch in [1usize, 2, 7, 8] {
+            let mut batched = Deployment::build(&spec, 2, 21).expect("deploy");
+            let mut seq = batched.clone();
+            assert!(batched.compiled().expect("compiled").supports_lanes());
+            let inputs: Vec<Vec<f32>> = (0..batch)
+                .map(|i| vec![0.1 * i as f32, 1.0 - 0.1 * i as f32])
+                .collect();
+            let frames: Vec<FrameInput> = inputs
+                .iter()
+                .enumerate()
+                .map(|(i, x)| FrameInput::new(x, 8, 100 + i as u64))
+                .collect();
+            let got = batched.run_frames(&frames);
+            let expect: Vec<Votes> = frames
+                .iter()
+                .flat_map(|f| seq.run_frames(std::slice::from_ref(f)))
+                .collect();
+            assert_eq!(got, expect, "batch {batch}");
+            assert_eq!(batched.core_stats_total(), seq.core_stats_total());
+            assert_eq!(batched.chip_stats(), seq.chip_stats());
+            let (bf, sf) = (
+                batched.compiled().expect("fast"),
+                seq.compiled().expect("fast"),
+            );
+            for core in 0..bf.core_count() {
+                assert_eq!(bf.prng_state(core), sf.prng_state(core), "core {core}");
+            }
+            // A further frame must also agree, proving the fold-back left
+            // the chip in the sequential end state.
+            let after = FrameInput::new(&[0.5, 0.5], 8, 999);
+            assert_eq!(
+                batched.run_frames(std::slice::from_ref(&after)),
+                seq.run_frames(std::slice::from_ref(&after))
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_spf_batches_split_into_same_spf_groups() {
+        let mut spec = tiny_spec();
+        for w in &mut spec.cores[0].weights {
+            *w *= 0.6;
+        }
+        let mut batched = Deployment::build(&spec, 1, 5).expect("deploy");
+        let mut seq = batched.clone();
+        let frames = [
+            FrameInput::new(&[0.9, 0.1], 8, 1),
+            FrameInput::new(&[0.2, 0.7], 8, 2),
+            FrameInput::new(&[0.5, 0.5], 16, 3),
+            FrameInput::new(&[0.4, 0.6], 8, 4),
+        ];
+        let got = batched.run_frames(&frames);
+        let expect: Vec<Votes> = frames
+            .iter()
+            .flat_map(|f| seq.run_frames(std::slice::from_ref(f)))
+            .collect();
+        assert_eq!(got, expect);
+        assert_eq!(got[2].ticks, 16, "middle frame keeps its own spf");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_frame_votes_shim_delegates_to_run_frames() {
+        let mut a = Deployment::build(&tiny_spec(), 2, 21).expect("deploy");
+        let mut b = a.clone();
+        let mut votes = vec![u64::MAX; a.chip.output_counts().len()];
+        let ticks = a.run_frame_votes(&[0.9, 0.4], 8, 3, &mut votes);
+        let modern = b
+            .run_frames(&[FrameInput::new(&[0.9, 0.4], 8, 3)])
+            .pop()
+            .expect("one frame");
+        assert_eq!(votes, modern.counts);
+        assert_eq!(ticks, modern.ticks);
     }
 
     #[test]

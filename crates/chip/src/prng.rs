@@ -71,6 +71,14 @@ impl LfsrPrng {
     pub fn state(&self) -> u16 {
         self.state
     }
+
+    /// Restore a state captured with [`LfsrPrng::state`]. Used by the
+    /// lockstep lane kernel, which steps many lanes' LFSRs in flat scratch
+    /// buffers and folds the advanced states back afterwards.
+    pub(crate) fn set_state(&mut self, state: u16) {
+        debug_assert_ne!(state, 0, "the all-zero LFSR state is unreachable");
+        self.state = state;
+    }
 }
 
 /// SplitMix64 mixing step (public so tests and the deployment sampler can

@@ -12,7 +12,11 @@ use tn_learn::layer::Layer;
 use tn_learn::model::Network;
 
 /// Errors from spec extraction.
+///
+/// `#[non_exhaustive]`: downstream matches need a wildcard arm, so future
+/// variants are not a breaking change.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ExtractError {
     /// The network contains a non-TrueNorth (dense float) layer.
     NotDeployable {

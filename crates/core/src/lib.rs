@@ -93,10 +93,11 @@ pub mod prelude {
     };
     pub use crate::testbench::{BenchData, BenchError, DatasetKind, RunScale, TestBench};
     pub use crate::variance::{mean_synaptic_variance, DeviationStats, ProbabilityHistogram};
-    pub use tn_chip::nscs::{ConnectivityMode, Deployment, NetworkDeploySpec};
+    pub use tn_chip::nscs::{ConnectivityMode, Deployment, FrameInput, NetworkDeploySpec, Votes};
     pub use tn_learn::model::Network;
     pub use tn_learn::penalty::Penalty;
     pub use tn_serve::{
-        Backpressure, MetricsSnapshot, Response, ServeConfig, ServeError, ServeRuntime,
+        Backpressure, MetricsSnapshot, RequestHandle, Response, ServeConfig, ServeConfigBuilder,
+        ServeError, ServeRuntime,
     };
 }

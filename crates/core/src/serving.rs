@@ -23,7 +23,11 @@ use crate::deploy::{extract_spec, ExtractError};
 use tn_chip::nscs::NetworkDeploySpec;
 
 /// Failures on the model → runtime path.
+///
+/// `#[non_exhaustive]`: downstream matches need a wildcard arm, so future
+/// variants are not a breaking change.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum ServingError {
     /// The trained network has a layer that cannot deploy to TrueNorth.
     Extract(ExtractError),
@@ -71,6 +75,12 @@ impl From<ServeError> for ServingError {
     }
 }
 
+impl From<std::io::Error> for ServingError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Persist(PersistError::Io(e))
+    }
+}
+
 /// Start a serving runtime for an already-extracted hardware spec.
 ///
 /// # Errors
@@ -100,8 +110,7 @@ pub fn serve_network(net: &Network, cfg: ServeConfig) -> Result<ServeRuntime, Se
 /// [`ServingError::Persist`] for unreadable or corrupt model files, plus
 /// everything [`serve_network`] can return.
 pub fn serve_persisted(path: &Path, cfg: ServeConfig) -> Result<ServeRuntime, ServingError> {
-    let file = std::fs::File::open(path)
-        .map_err(|e| ServingError::Persist(PersistError::Io(e)))?;
+    let file = std::fs::File::open(path)?;
     let net = load_network(std::io::BufReader::new(file))?;
     serve_network(&net, cfg)
 }
@@ -131,7 +140,8 @@ mod tests {
     #[test]
     fn trained_network_round_trips_through_serving() {
         let (net, data) = tiny_trained();
-        let rt = serve_network(&net, ServeConfig::new(5).with_workers(2)).expect("serve");
+        let cfg = ServeConfig::builder(5).workers(2).build().expect("cfg");
+        let rt = serve_network(&net, cfg).expect("serve");
         assert_eq!(rt.n_inputs(), 28 * 28);
         assert_eq!(rt.n_classes(), 10);
         let r = rt.classify(data.test_x.row(0).to_vec()).expect("classify");
@@ -171,13 +181,12 @@ mod tests {
         let (net, data) = tiny_trained();
         let mut responses = Vec::new();
         for core_threads in [1usize, 3] {
-            let rt = serve_network(
-                &net,
-                ServeConfig::new(5)
-                    .with_replicas(2)
-                    .with_core_threads(core_threads),
-            )
-            .expect("serve");
+            let cfg = ServeConfig::builder(5)
+                .replicas(2)
+                .core_threads(core_threads)
+                .build()
+                .expect("cfg");
+            let rt = serve_network(&net, cfg).expect("serve");
             responses.push(rt.classify(data.test_x.row(1).to_vec()).expect("classify"));
             rt.shutdown();
         }

@@ -1,4 +1,4 @@
-//! Runtime configuration and its builder.
+//! Runtime configuration and its validated builder.
 
 use tn_chip::nscs::ConnectivityMode;
 
@@ -18,15 +18,20 @@ pub enum Backpressure {
 
 /// Configuration for a [`crate::ServeRuntime`].
 ///
-/// Builder-style: start from [`ServeConfig::default`] (or
-/// [`ServeConfig::new`]) and chain `with_*` setters.
+/// Construct through the validated builder: [`ServeConfig::builder`] (or
+/// [`ServeConfigBuilder::new`]), chain setters, then
+/// [`ServeConfigBuilder::build`], which rejects inconsistent knob
+/// combinations up front instead of letting them surface mid-serve.
 ///
 /// ```
 /// use tn_serve::{Backpressure, ServeConfig};
-/// let cfg = ServeConfig::new(7)
-///     .with_replicas(4)
-///     .with_workers(2)
-///     .with_backpressure(Backpressure::Reject);
+/// let cfg = ServeConfig::builder(7)
+///     .replicas(4)
+///     .workers(2)
+///     .kernel_batch(8)
+///     .backpressure(Backpressure::Reject)
+///     .build()
+///     .expect("consistent config");
 /// assert_eq!(cfg.replicas, 4);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
@@ -42,12 +47,19 @@ pub struct ServeConfig {
     /// Master seed: drives replica Bernoulli sampling at build time and,
     /// combined with each request's sequence number, the per-frame spike
     /// trains. Results are a pure function of `(seed, seq)` — never of
-    /// worker count or scheduling.
+    /// worker count, batching, or scheduling.
     pub seed: u64,
     /// Bounded submission-queue capacity.
     pub queue_capacity: usize,
     /// Max requests a worker drains per queue lock (micro-batch size).
     pub batch_max: usize,
+    /// Frames fused per compiled-kernel lockstep run
+    /// ([`tn_chip::kernel::LaneBatch`]): a worker slices each drained
+    /// micro-batch into groups of up to this many frames and ticks each
+    /// group through one crossbar walk per tick. Results are bit-identical
+    /// for any value (1 = frame-at-a-time); larger values amortize row
+    /// loads across requests at the cost of per-lane scratch memory.
+    pub kernel_batch: usize,
     /// Full-queue behaviour.
     pub backpressure: Backpressure,
     /// How replica crossbars realize fractional weights.
@@ -68,6 +80,7 @@ impl Default for ServeConfig {
             seed: 7,
             queue_capacity: 256,
             batch_max: 16,
+            kernel_batch: 8,
             backpressure: Backpressure::Block,
             connectivity: ConnectivityMode::IndependentPerCopy,
             core_threads: 1,
@@ -84,49 +97,74 @@ impl ServeConfig {
         }
     }
 
+    /// Start a validated builder under the given master seed.
+    pub fn builder(seed: u64) -> ServeConfigBuilder {
+        ServeConfigBuilder::new(seed)
+    }
+
     /// Set the replica (spatial copy) count per worker.
+    #[deprecated(since = "0.4.0", note = "use ServeConfig::builder(..).replicas(..)")]
     pub fn with_replicas(mut self, replicas: usize) -> Self {
         self.replicas = replicas;
         self
     }
 
     /// Set the worker-thread count.
+    #[deprecated(since = "0.4.0", note = "use ServeConfig::builder(..).workers(..)")]
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
         self
     }
 
     /// Set spikes per frame.
+    #[deprecated(since = "0.4.0", note = "use ServeConfig::builder(..).spf(..)")]
     pub fn with_spf(mut self, spf: usize) -> Self {
         self.spf = spf;
         self
     }
 
     /// Set the submission-queue capacity.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use ServeConfig::builder(..).queue_capacity(..)"
+    )]
     pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity;
         self
     }
 
     /// Set the per-worker micro-batch size.
+    #[deprecated(since = "0.4.0", note = "use ServeConfig::builder(..).batch_max(..)")]
     pub fn with_batch_max(mut self, batch_max: usize) -> Self {
         self.batch_max = batch_max;
         self
     }
 
     /// Set the full-queue behaviour.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use ServeConfig::builder(..).backpressure(..)"
+    )]
     pub fn with_backpressure(mut self, backpressure: Backpressure) -> Self {
         self.backpressure = backpressure;
         self
     }
 
     /// Set the connectivity mode for replica sampling.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use ServeConfig::builder(..).connectivity(..)"
+    )]
     pub fn with_connectivity(mut self, connectivity: ConnectivityMode) -> Self {
         self.connectivity = connectivity;
         self
     }
 
     /// Set the per-worker intra-tick core parallelism.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use ServeConfig::builder(..).core_threads(..)"
+    )]
     pub fn with_core_threads(mut self, core_threads: usize) -> Self {
         self.core_threads = core_threads;
         self
@@ -144,13 +182,109 @@ impl ServeConfig {
             ("spf", self.spf),
             ("queue_capacity", self.queue_capacity),
             ("batch_max", self.batch_max),
+            ("kernel_batch", self.kernel_batch),
             ("core_threads", self.core_threads),
         ] {
             if v == 0 {
                 return Err(ServeError::BadConfig(format!("{name} must be >= 1")));
             }
         }
+        if self.batch_max > self.queue_capacity {
+            return Err(ServeError::BadConfig(format!(
+                "batch_max ({}) must not exceed queue_capacity ({})",
+                self.batch_max, self.queue_capacity
+            )));
+        }
         Ok(())
+    }
+}
+
+/// Validated builder for [`ServeConfig`]: the only construction path that
+/// guarantees a consistent configuration, because [`ServeConfigBuilder::build`]
+/// runs every cross-field check before handing the config out.
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Start from the defaults under the given master seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            cfg: ServeConfig::new(seed),
+        }
+    }
+
+    /// Replica (spatial copy) count per worker.
+    pub fn replicas(mut self, replicas: usize) -> Self {
+        self.cfg.replicas = replicas;
+        self
+    }
+
+    /// Worker-thread count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// Stochastic input samples (spikes per frame) per request.
+    pub fn spf(mut self, spf: usize) -> Self {
+        self.cfg.spf = spf;
+        self
+    }
+
+    /// Master seed (see [`ServeConfig::seed`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Bounded submission-queue capacity.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.cfg.queue_capacity = capacity;
+        self
+    }
+
+    /// Max requests a worker drains per queue lock.
+    pub fn batch_max(mut self, batch_max: usize) -> Self {
+        self.cfg.batch_max = batch_max;
+        self
+    }
+
+    /// Frames fused per compiled-kernel lockstep run (see
+    /// [`ServeConfig::kernel_batch`]).
+    pub fn kernel_batch(mut self, kernel_batch: usize) -> Self {
+        self.cfg.kernel_batch = kernel_batch;
+        self
+    }
+
+    /// Full-queue behaviour.
+    pub fn backpressure(mut self, backpressure: Backpressure) -> Self {
+        self.cfg.backpressure = backpressure;
+        self
+    }
+
+    /// Connectivity mode for replica sampling.
+    pub fn connectivity(mut self, connectivity: ConnectivityMode) -> Self {
+        self.cfg.connectivity = connectivity;
+        self
+    }
+
+    /// Per-worker intra-tick core parallelism.
+    pub fn core_threads(mut self, core_threads: usize) -> Self {
+        self.cfg.core_threads = core_threads;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadConfig`] naming the first offending field: any
+    /// zero-valued count knob, or `batch_max > queue_capacity`.
+    pub fn build(self) -> Result<ServeConfig, ServeError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -159,35 +293,99 @@ mod tests {
     use super::*;
 
     #[test]
-    fn builder_chains_and_validates() {
-        let cfg = ServeConfig::new(42)
-            .with_replicas(4)
-            .with_workers(3)
-            .with_spf(16)
-            .with_queue_capacity(8)
-            .with_batch_max(2)
-            .with_backpressure(Backpressure::Reject);
-        cfg.validate().expect("valid");
+    fn builder_chains_and_builds() {
+        let cfg = ServeConfig::builder(42)
+            .replicas(4)
+            .workers(3)
+            .spf(16)
+            .queue_capacity(8)
+            .batch_max(2)
+            .kernel_batch(4)
+            .backpressure(Backpressure::Reject)
+            .core_threads(2)
+            .build()
+            .expect("valid");
         assert_eq!(cfg.seed, 42);
         assert_eq!(cfg.replicas, 4);
         assert_eq!(cfg.workers, 3);
         assert_eq!(cfg.spf, 16);
         assert_eq!(cfg.queue_capacity, 8);
         assert_eq!(cfg.batch_max, 2);
+        assert_eq!(cfg.kernel_batch, 4);
         assert_eq!(cfg.backpressure, Backpressure::Reject);
+        assert_eq!(cfg.core_threads, 2);
     }
 
     #[test]
-    fn zero_fields_are_rejected() {
-        for cfg in [
-            ServeConfig::default().with_replicas(0),
-            ServeConfig::default().with_workers(0),
-            ServeConfig::default().with_spf(0),
-            ServeConfig::default().with_queue_capacity(0),
-            ServeConfig::default().with_batch_max(0),
-            ServeConfig::default().with_core_threads(0),
+    fn every_zero_knob_is_rejected_with_its_own_message() {
+        for (field, builder) in [
+            ("replicas", ServeConfig::builder(1).replicas(0)),
+            ("workers", ServeConfig::builder(1).workers(0)),
+            ("spf", ServeConfig::builder(1).spf(0)),
+            (
+                "queue_capacity",
+                ServeConfig::builder(1).queue_capacity(0).batch_max(0),
+            ),
+            ("batch_max", ServeConfig::builder(1).batch_max(0)),
+            ("kernel_batch", ServeConfig::builder(1).kernel_batch(0)),
+            ("core_threads", ServeConfig::builder(1).core_threads(0)),
         ] {
-            assert!(matches!(cfg.validate(), Err(ServeError::BadConfig(_))));
+            match builder.build() {
+                Err(ServeError::BadConfig(msg)) => {
+                    assert!(msg.contains(field), "expected {field} in {msg:?}")
+                }
+                other => panic!("{field} = 0 accepted: {other:?}"),
+            }
         }
+    }
+
+    #[test]
+    fn batch_max_must_fit_in_queue() {
+        match ServeConfig::builder(1)
+            .queue_capacity(8)
+            .batch_max(9)
+            .build()
+        {
+            Err(ServeError::BadConfig(msg)) => {
+                assert!(
+                    msg.contains("batch_max") && msg.contains("queue_capacity"),
+                    "{msg:?}"
+                );
+            }
+            other => panic!("oversized batch_max accepted: {other:?}"),
+        }
+        // Equality is fine: a worker may drain the whole queue at once.
+        ServeConfig::builder(1)
+            .queue_capacity(8)
+            .batch_max(8)
+            .build()
+            .expect("batch_max == queue_capacity is valid");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_setters_still_compile_and_agree_with_builder() {
+        let legacy = ServeConfig::new(42)
+            .with_replicas(4)
+            .with_workers(3)
+            .with_spf(16)
+            .with_queue_capacity(32)
+            .with_batch_max(2)
+            .with_backpressure(Backpressure::Reject)
+            .with_connectivity(ConnectivityMode::RuntimeStochastic)
+            .with_core_threads(2);
+        legacy.validate().expect("valid");
+        let built = ServeConfig::builder(42)
+            .replicas(4)
+            .workers(3)
+            .spf(16)
+            .queue_capacity(32)
+            .batch_max(2)
+            .backpressure(Backpressure::Reject)
+            .connectivity(ConnectivityMode::RuntimeStochastic)
+            .core_threads(2)
+            .build()
+            .expect("valid");
+        assert_eq!(legacy, built);
     }
 }

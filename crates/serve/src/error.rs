@@ -4,20 +4,27 @@ use tn_chip::nscs::DeployError;
 
 /// Everything that can go wrong between [`crate::ServeRuntime::new`] and a
 /// completed request.
+///
+/// `#[non_exhaustive]`: downstream matches need a wildcard arm, so future
+/// variants are not a breaking change.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum ServeError {
     /// The network spec could not be deployed onto replica chips.
     Deploy(DeployError),
-    /// The [`crate::ServeConfig`] is internally inconsistent.
+    /// The [`crate::ServeConfig`] is internally inconsistent (reported by
+    /// [`crate::ServeConfigBuilder::build`], naming the offending field).
     BadConfig(String),
     /// The submission queue is full and the runtime is configured with
     /// [`crate::Backpressure::Reject`].
     QueueFull,
-    /// The runtime is shutting down and no longer accepts submissions.
+    /// The runtime is shutting down: either a submission was refused, or a
+    /// request was accepted but the runtime went away before a worker
+    /// served it (the waiter is woken with this instead of hanging).
     ShuttingDown,
-    /// The request was accepted but the runtime shut down before a worker
-    /// served it (only possible on non-draining teardown paths).
-    Cancelled,
+    /// [`crate::RequestHandle::wait_timeout`] expired before the request
+    /// completed. The request is still in flight; waiting again is fine.
+    WaitTimeout,
     /// The request's input vector does not match the deployed network.
     BadInput {
         /// Channels the deployed network expects.
@@ -41,7 +48,7 @@ impl std::fmt::Display for ServeError {
             Self::BadConfig(msg) => write!(f, "invalid serve config: {msg}"),
             Self::QueueFull => write!(f, "submission queue full (backpressure: reject)"),
             Self::ShuttingDown => write!(f, "runtime is shutting down"),
-            Self::Cancelled => write!(f, "request cancelled before it was served"),
+            Self::WaitTimeout => write!(f, "timed out waiting for the request to complete"),
             Self::BadInput { expected, got } => {
                 write!(f, "input width mismatch: expected {expected} channels, got {got}")
             }

@@ -78,19 +78,57 @@ impl RequestHandle {
     /// # Errors
     ///
     /// Propagates the worker-side [`ServeError`], or
-    /// [`ServeError::Cancelled`] if every completer was dropped unfulfilled.
+    /// [`ServeError::ShuttingDown`] if the runtime went away before a
+    /// worker served the request (the handle never hangs on a dropped
+    /// runtime).
     pub fn wait(self) -> Result<Response, ServeError> {
         let mut slot = self.cell.slot.lock().expect("handle lock");
         loop {
             if let Some(result) = slot.take() {
                 return result;
             }
-            // Completer dropped without completing and nothing stored:
-            // only this handle holds the cell now.
+            // Belt-and-braces: a dropping completer stores ShuttingDown
+            // itself, but if this handle is the last cell owner nothing can
+            // ever fill the slot — bail out instead of blocking forever.
             if Arc::strong_count(&self.cell) == 1 {
-                return Err(ServeError::Cancelled);
+                return Err(ServeError::ShuttingDown);
             }
             slot = self.cell.done.wait(slot).expect("handle lock");
+        }
+    }
+
+    /// Block until the request completes or `timeout` elapses.
+    ///
+    /// Does not consume the handle: after a [`ServeError::WaitTimeout`] the
+    /// request is still in flight and the caller may wait again (or poll
+    /// with [`RequestHandle::try_take`]). Like `try_take`, the result is
+    /// handed out exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the worker-side [`ServeError`];
+    /// [`ServeError::WaitTimeout`] when the deadline passes first;
+    /// [`ServeError::ShuttingDown`] when the runtime went away before
+    /// serving the request.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<Response, ServeError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slot = self.cell.slot.lock().expect("handle lock");
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            if Arc::strong_count(&self.cell) == 1 {
+                return Err(ServeError::ShuttingDown);
+            }
+            let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now())
+            else {
+                return Err(ServeError::WaitTimeout);
+            };
+            (slot, _) = self
+                .cell
+                .done
+                .wait_timeout(slot, remaining)
+                .expect("handle lock");
         }
     }
 
@@ -111,8 +149,15 @@ impl Completer {
 
 impl Drop for Completer {
     fn drop(&mut self) {
-        // Wake a waiter so it can observe abandonment (strong_count == 1)
-        // instead of blocking forever. A fulfilled cell is unaffected.
+        // A completer dropped unfulfilled means the runtime is going away
+        // without serving this request; store ShuttingDown so the waiter
+        // gets a definite answer instead of hanging. `complete` also lands
+        // here (it consumed self), so leave a fulfilled cell untouched.
+        let mut slot = self.cell.slot.lock().expect("handle lock");
+        if slot.is_none() {
+            *slot = Some(Err(ServeError::ShuttingDown));
+        }
+        drop(slot);
         self.cell.done.notify_all();
     }
 }
@@ -156,10 +201,39 @@ mod tests {
     }
 
     #[test]
-    fn dropped_completer_yields_cancelled() {
+    fn dropped_completer_yields_shutting_down() {
         let (handle, completer) = pair(9);
         drop(completer);
-        assert_eq!(handle.wait(), Err(ServeError::Cancelled));
+        assert_eq!(handle.wait(), Err(ServeError::ShuttingDown));
+    }
+
+    #[test]
+    fn wait_timeout_expires_then_succeeds() {
+        let (handle, completer) = pair(4);
+        assert_eq!(
+            handle.wait_timeout(Duration::from_millis(5)),
+            Err(ServeError::WaitTimeout),
+            "nothing completed yet"
+        );
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            completer.complete(Ok(dummy_response(4)));
+        });
+        // The handle survives a timeout; a later wait picks up the result.
+        let r = handle.wait_timeout(Duration::from_secs(5)).expect("done");
+        assert_eq!(r.seq, 4);
+        t.join().expect("join");
+    }
+
+    #[test]
+    fn wait_timeout_sees_shutdown_immediately() {
+        let (handle, completer) = pair(2);
+        drop(completer);
+        assert_eq!(
+            handle.wait_timeout(Duration::from_secs(60)),
+            Err(ServeError::ShuttingDown),
+            "dropped runtime must not consume the full timeout"
+        );
     }
 
     #[test]

@@ -7,22 +7,32 @@
 //! and answer a stream of classification requests with bounded memory,
 //! backpressure, and deterministic results.
 //!
-//! # Architecture
+//! # Architecture (batch-first)
 //!
 //! ```text
 //!  submit()/classify()         BoundedQueue            worker threads
 //!  ┌──────────────┐   push   ┌─────────────┐ pop_batch ┌─────────────────┐
 //!  │ callers (any │ ───────► │ bounded MPMC│ ────────► │ worker 0        │
-//!  │   thread)    │  block/  │   queue     │  (micro-  │  Deployment     │
-//!  └──────┬───────┘  reject  └─────────────┘  batches) │  (R replicas)   │
-//!         │                                            ├─────────────────┤
-//!         │ RequestHandle::wait()                      │ worker 1 …      │
-//!         ▼                                            │  (bit-identical │
-//!  ┌──────────────┐      Completer::complete()         │   clone)        │
-//!  │   Response   │ ◄───────────────────────────────── └─────────────────┘
-//!  └──────────────┘   votes pooled across replicas
+//!  │   thread)    │  block/  │   queue     │  (micro-  │  run_frames():  │
+//!  └──────┬───────┘  reject  └─────────────┘  batches) │  ≤ kernel_batch │
+//!         │                                            │  lockstep lanes │
+//!         │ RequestHandle::wait()                      ├─────────────────┤
+//!         ▼                                            │ worker 1 …      │
+//!  ┌──────────────┐      Completer::complete()         │  (bit-identical │
+//!  │   Response   │ ◄───────────────────────────────── │   clone)        │
+//!  └──────────────┘   votes pooled across replicas     └─────────────────┘
 //! ```
 //!
+//! * **Cross-request batching** is the core of the serving design: a
+//!   worker drains up to [`ServeConfig::batch_max`] queued requests, then
+//!   serves them in slices of up to [`ServeConfig::kernel_batch`] frames
+//!   through one `tn_chip::nscs::Deployment::run_frames` call. Each slice
+//!   ticks as **lockstep lanes** on the compiled kernel
+//!   ([`tn_chip::kernel::LaneBatch`]): every tick makes one pass over the
+//!   packed crossbar rows and applies each row to all lanes it is active
+//!   on, amortizing the crossbar walk — the dominant cost, since the
+//!   paper's accuracy recipe makes every request R replicas × spf ticks of
+//!   nearly identical crossbar work — over the whole micro-batch.
 //! * **Replicas** are the paper's duplication axis: each worker's
 //!   [`tn_chip::nscs::Deployment`] carries `cfg.replicas` independently
 //!   Bernoulli-sampled spatial copies of the network, and a request's
@@ -34,22 +44,22 @@
 //!   worker can serve any request.
 //! * **Determinism**: a request's spike trains are seeded by
 //!   `(cfg.seed, seq)` alone — the same per-frame derivation the offline
-//!   evaluator uses — so results never depend on worker count, queue
-//!   timing, or OS scheduling. See
-//!   `results_are_a_function_of_seq_not_worker_count` in `runtime.rs`.
-//! * **Fast path**: each worker ticks the compiled kernel
-//!   ([`tn_chip::kernel::CompiledChip`]) its deployment builds at deploy
-//!   time, and [`ServeConfig::core_threads`] optionally fans cores across
-//!   threads inside each tick — both bit-identical to the reference
-//!   interpreter, so the determinism contract above is unaffected.
+//!   evaluator uses — and each lockstep lane draws from its own PRNG
+//!   streams seeded exactly as a solo frame's would be, so results never
+//!   depend on worker count, queue timing, OS scheduling, or how requests
+//!   were fused into kernel batches. See
+//!   `results_are_a_function_of_seq_not_worker_count` and
+//!   `kernel_batch_size_does_not_change_results` in `runtime.rs`.
 //! * **Backpressure**: the submission queue is bounded;
 //!   [`Backpressure::Block`] throttles producers, [`Backpressure::Reject`]
 //!   sheds load with [`ServeError::QueueFull`].
 //! * **Shutdown**: [`ServeRuntime::shutdown`] refuses new submissions,
 //!   drains every queued request, joins the workers, and returns the
 //!   final [`MetricsSnapshot`] (throughput, p50/p90/p99 latency, queue
-//!   depth,
-//!   per-worker tick counts, energy per frame via [`tn_chip::energy`]).
+//!   depth, kernel-batch occupancy, per-worker tick counts, energy per
+//!   frame via [`tn_chip::energy`]). Handles never hang: a runtime dropped
+//!   mid-request completes its waiters with [`ServeError::ShuttingDown`],
+//!   and [`RequestHandle::wait_timeout`] bounds any individual wait.
 //!
 //! # Example
 //!
@@ -72,12 +82,30 @@
 //!     n_classes: 2,
 //!     output_taps: vec![(0, 0, 0), (0, 1, 1)],
 //! };
-//! let rt = ServeRuntime::new(&spec, ServeConfig::new(7)).expect("deploy");
+//! let cfg = ServeConfig::builder(7)
+//!     .replicas(2)
+//!     .kernel_batch(8)
+//!     .build()
+//!     .expect("consistent config");
+//! let rt = ServeRuntime::new(&spec, cfg).expect("deploy");
 //! let response = rt.classify(vec![1.0, 0.0]).expect("serve");
 //! assert_eq!(response.predicted, 0);
 //! let metrics = rt.shutdown();
 //! assert_eq!(metrics.completed, 1);
 //! ```
+//!
+//! # Migrating from `run_frame_votes` and `with_*` setters
+//!
+//! Since 0.4.0 the single-frame `Deployment::run_frame_votes` is a
+//! deprecated shim over the batch-first
+//! `tn_chip::nscs::Deployment::run_frames`, and `ServeConfig`'s chained
+//! `with_*` setters are deprecated shims over the validated
+//! [`ServeConfigBuilder`]. Replace
+//! `dep.run_frame_votes(&x, spf, seed, &mut votes)` with
+//! `dep.run_frames(&[FrameInput::new(&x, spf, seed)])`, and
+//! `ServeConfig::new(7).with_replicas(4)` with
+//! `ServeConfig::builder(7).replicas(4).build()?`. Results are unchanged
+//! bit-for-bit; only the calling conventions moved.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -89,7 +117,7 @@ mod metrics;
 mod queue;
 mod runtime;
 
-pub use config::{Backpressure, ServeConfig};
+pub use config::{Backpressure, ServeConfig, ServeConfigBuilder};
 pub use error::ServeError;
 pub use handle::{RequestHandle, Response};
 pub use metrics::MetricsSnapshot;

@@ -57,6 +57,7 @@ pub(crate) struct Metrics {
     pub completed: AtomicU64,
     pub rejected: AtomicU64,
     pub batches: AtomicU64,
+    pub kernel_batches: AtomicU64,
     pub ticks: AtomicU64,
     pub synaptic_ops: AtomicU64,
     /// Log-linear latency histogram (see [`bucket_index`]).
@@ -75,6 +76,7 @@ impl Metrics {
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            kernel_batches: AtomicU64::new(0),
             ticks: AtomicU64::new(0),
             synaptic_ops: AtomicU64::new(0),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -114,6 +116,7 @@ impl Metrics {
             rejected: self.rejected.load(Ordering::Relaxed),
             queue_depth,
             batches: self.batches.load(Ordering::Relaxed),
+            kernel_batches: self.kernel_batches.load(Ordering::Relaxed),
             ticks,
             per_worker_frames: self
                 .per_worker_frames
@@ -176,6 +179,10 @@ pub struct MetricsSnapshot {
     pub queue_depth: usize,
     /// Micro-batches drained by workers.
     pub batches: u64,
+    /// Kernel-level lockstep lane batches executed
+    /// ([`crate::ServeConfig::kernel_batch`] slices of drained
+    /// micro-batches, each served by one `Deployment::run_frames` call).
+    pub kernel_batches: u64,
     /// Total chip ticks across all workers.
     pub ticks: u64,
     /// Frames served per worker thread.
@@ -217,6 +224,15 @@ impl MetricsSnapshot {
             self.completed as f64 / self.batches as f64
         }
     }
+
+    /// Mean kernel-batch size (frames fused per lockstep kernel run).
+    pub fn mean_kernel_batch_size(&self) -> f64 {
+        if self.kernel_batches == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.kernel_batches as f64
+        }
+    }
 }
 
 impl std::fmt::Display for MetricsSnapshot {
@@ -235,6 +251,12 @@ impl std::fmt::Display for MetricsSnapshot {
             self.mean_latency,
             self.queue_depth,
             self.mean_batch_size()
+        )?;
+        writeln!(
+            f,
+            "kernel batches {}  mean lanes/batch {:.2}",
+            self.kernel_batches,
+            self.mean_kernel_batch_size()
         )?;
         writeln!(
             f,

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use tn_chip::nscs::{Deployment, NetworkDeploySpec};
+use tn_chip::nscs::{Deployment, FrameInput, NetworkDeploySpec};
 use tn_chip::prng::splitmix64;
 
 use crate::config::{Backpressure, ServeConfig};
@@ -162,6 +162,16 @@ impl ServeRuntime {
 
     /// Submit and block for the result (convenience wrapper).
     ///
+    /// # Blocking contract
+    ///
+    /// Blocks the calling thread until a worker serves the request — under
+    /// [`Backpressure::Block`] possibly *twice*: first for a queue slot,
+    /// then for completion. It never blocks forever: if the runtime shuts
+    /// down (or is dropped) before the request is served, the call returns
+    /// [`ServeError::ShuttingDown`]. Callers that need a deadline should
+    /// use [`ServeRuntime::submit`] with
+    /// [`RequestHandle::wait_timeout`](crate::RequestHandle::wait_timeout).
+    ///
     /// # Errors
     ///
     /// Same as [`ServeRuntime::submit`], plus any worker-side failure.
@@ -186,7 +196,7 @@ impl ServeRuntime {
         self.queue.close();
         for handle in self.workers.drain(..) {
             // A panicked worker already poisoned its requests' handles
-            // (dropped completers → Cancelled); propagate for visibility.
+            // (dropped completers → ShuttingDown); propagate for visibility.
             if let Err(payload) = handle.join() {
                 std::panic::resume_unwind(payload);
             }
@@ -200,7 +210,11 @@ impl Drop for ServeRuntime {
     }
 }
 
-/// Per-worker serving loop: drain micro-batches until closed-and-empty.
+/// Per-worker serving loop: drain micro-batches until closed-and-empty,
+/// slicing each drained batch into kernel-level lockstep lane batches of up
+/// to `cfg.kernel_batch` frames served by one `Deployment::run_frames`
+/// call. Each frame's seed is a pure function of `(cfg.seed, seq)`, so how
+/// frames land in batches never affects results.
 fn worker_loop(
     worker: usize,
     mut dep: Deployment,
@@ -209,24 +223,41 @@ fn worker_loop(
     metrics: &Metrics,
 ) {
     let n_classes = dep.n_classes();
-    let replicas = dep.copies();
     // Frames run on the deployment's compiled fast path (built once in the
     // prototype and shared by every worker clone); `core_threads` optionally
     // fans each tick's cores across threads inside this worker.
     dep.set_parallelism(cfg.core_threads);
-    let mut votes = vec![0u64; replicas * n_classes];
     let mut batch: Vec<Job> = Vec::with_capacity(cfg.batch_max);
     let mut last_synops = dep.synaptic_ops();
     while queue.pop_batch(cfg.batch_max, &mut batch) {
         metrics.batches.fetch_add(1, Ordering::Relaxed);
-        for job in batch.drain(..) {
+        while !batch.is_empty() {
+            let take = cfg.kernel_batch.max(1).min(batch.len());
+            let chunk: Vec<Job> = batch.drain(..take).collect();
             // Same per-frame derivation as the offline evaluator: the
             // request's sequence number plays the role of the frame index.
-            let frame_seed = splitmix64(cfg.seed ^ job.seq.wrapping_mul(0x9E37_79B9));
-            let ticks = dep.run_frame_votes(&job.inputs, cfg.spf, frame_seed, &mut votes);
-            let response = tally(job.seq, worker, ticks, n_classes, &votes, job.submitted);
-            metrics.record_completion(worker, ticks, response.latency);
-            job.completer.complete(Ok(response));
+            let frames: Vec<FrameInput> = chunk
+                .iter()
+                .map(|job| {
+                    let frame_seed = splitmix64(cfg.seed ^ job.seq.wrapping_mul(0x9E37_79B9));
+                    FrameInput::new(&job.inputs, cfg.spf, frame_seed)
+                })
+                .collect();
+            let results = dep.run_frames(&frames);
+            metrics.kernel_batches.fetch_add(1, Ordering::Relaxed);
+            drop(frames);
+            for (job, votes) in chunk.into_iter().zip(results) {
+                let response = tally(
+                    job.seq,
+                    worker,
+                    votes.ticks,
+                    n_classes,
+                    &votes.counts,
+                    job.submitted,
+                );
+                metrics.record_completion(worker, votes.ticks, response.latency);
+                job.completer.complete(Ok(response));
+            }
         }
         // Fold this batch's synaptic work into the global energy counters.
         let synops = dep.synaptic_ops();
@@ -306,7 +337,13 @@ mod tests {
 
     #[test]
     fn classifies_by_hot_channel() {
-        let rt = runtime(ServeConfig::new(5).with_replicas(2).with_workers(2));
+        let rt = runtime(
+            ServeConfig::builder(5)
+                .replicas(2)
+                .workers(2)
+                .build()
+                .expect("cfg"),
+        );
         let r0 = rt.classify(vec![1.0, 0.0]).expect("serve");
         assert_eq!(r0.predicted, 0, "votes {:?}", r0.votes);
         let r1 = rt.classify(vec![0.0, 1.0]).expect("serve");
@@ -339,10 +376,12 @@ mod tests {
     fn results_are_a_function_of_seq_not_worker_count() {
         let serve_all = |workers: usize| {
             let rt = runtime(
-                ServeConfig::new(11)
-                    .with_replicas(3)
-                    .with_workers(workers)
-                    .with_batch_max(4),
+                ServeConfig::builder(11)
+                    .replicas(3)
+                    .workers(workers)
+                    .batch_max(4)
+                    .build()
+                    .expect("cfg"),
             );
             let handles: Vec<_> = (0..24)
                 .map(|i| {
@@ -368,10 +407,12 @@ mod tests {
         // One slow-ish worker, many queued requests: shutdown must serve
         // them all, not drop them.
         let rt = runtime(
-            ServeConfig::new(3)
-                .with_workers(1)
-                .with_spf(32)
-                .with_queue_capacity(64),
+            ServeConfig::builder(3)
+                .workers(1)
+                .spf(32)
+                .queue_capacity(64)
+                .build()
+                .expect("cfg"),
         );
         let handles: Vec<_> = (0..32)
             .map(|_| rt.submit(vec![1.0, 0.0]).expect("submit"))
@@ -388,11 +429,14 @@ mod tests {
     fn reject_backpressure_sheds_load() {
         // Capacity-1 queue with a slow worker: a burst must trip QueueFull.
         let rt = runtime(
-            ServeConfig::new(3)
-                .with_workers(1)
-                .with_spf(256)
-                .with_queue_capacity(1)
-                .with_backpressure(Backpressure::Reject),
+            ServeConfig::builder(3)
+                .workers(1)
+                .spf(256)
+                .queue_capacity(1)
+                .batch_max(1)
+                .backpressure(Backpressure::Reject)
+                .build()
+                .expect("cfg"),
         );
         let mut rejected = 0;
         let mut handles = Vec::new();
@@ -425,7 +469,13 @@ mod tests {
 
     #[test]
     fn metrics_account_every_request() {
-        let rt = runtime(ServeConfig::new(8).with_workers(2).with_replicas(2));
+        let rt = runtime(
+            ServeConfig::builder(8)
+                .workers(2)
+                .replicas(2)
+                .build()
+                .expect("cfg"),
+        );
         for i in 0..20 {
             let x = (i % 3) as f32 / 2.0;
             rt.classify(vec![x, 1.0 - x]).expect("serve");
@@ -438,5 +488,41 @@ mod tests {
         assert!(snap.p50_latency > std::time::Duration::ZERO);
         assert!(snap.energy.synaptic_ops > 0);
         assert!(snap.joules_per_frame() > 0.0);
+        assert!(snap.kernel_batches > 0, "batched path must be exercised");
+        assert!(snap.mean_kernel_batch_size() >= 1.0);
+    }
+
+    #[test]
+    fn kernel_batch_size_does_not_change_results() {
+        // The batch-first contract: how frames are fused into lockstep
+        // lanes is invisible in every response.
+        let serve_all = |kernel_batch: usize| {
+            let rt = runtime(
+                ServeConfig::builder(13)
+                    .replicas(2)
+                    .workers(1)
+                    .kernel_batch(kernel_batch)
+                    .build()
+                    .expect("cfg"),
+            );
+            let handles: Vec<_> = (0..24)
+                .map(|i| {
+                    let x = (i % 5) as f32 / 4.0;
+                    rt.submit(vec![x, 1.0 - x]).expect("submit")
+                })
+                .collect();
+            let results: Vec<_> = handles
+                .into_iter()
+                .map(|h| {
+                    let r = h.wait().expect("serve");
+                    (r.seq, r.predicted, r.votes, r.replica_predictions, r.ticks)
+                })
+                .collect();
+            rt.shutdown();
+            results
+        };
+        let lone = serve_all(1);
+        assert_eq!(lone, serve_all(8));
+        assert_eq!(lone, serve_all(24));
     }
 }

@@ -1,10 +1,12 @@
 //! Load-generate against the `tn-serve` runtime: train test bench 1 with
 //! Tea and with probability-biased learning, persist the models, reload
 //! them from disk, and serve ≥ 1000 synthetic-MNIST requests per
-//! (model × replica-count) cell, reporting throughput, latency
-//! percentiles, replica vote agreement, energy per frame — and the
-//! paper's co-optimization claim live: the biased model reaches the Tea
-//! model's accuracy with no more replicas.
+//! (model × replica-count × kernel-batch) cell, reporting throughput,
+//! latency percentiles, replica vote agreement, energy per frame — and
+//! the paper's co-optimization claim live: the biased model reaches the
+//! Tea model's accuracy with no more replicas. The kernel-batch sweep
+//! shows the batch-first redesign paying off: fusing queued requests
+//! into lockstep kernel lanes raises req/s without changing one vote.
 //!
 //! Run with: `cargo run --release --example serve_throughput`
 //!
@@ -21,6 +23,7 @@ use truenorth::prelude::*;
 
 const SEED: u64 = 77;
 const REPLICA_SWEEP: [usize; 3] = [1, 2, 4];
+const KERNEL_BATCH_SWEEP: [usize; 2] = [1, 8];
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key)
@@ -29,10 +32,11 @@ fn env_usize(key: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// One (model × replicas) measurement.
+/// One (model × replicas × kernel_batch) measurement.
 struct Cell {
     model: &'static str,
     replicas: usize,
+    kernel_batch: usize,
     requests: u64,
     accuracy: f32,
     mean_agreement: f32,
@@ -43,24 +47,37 @@ struct Cell {
     joules_per_frame: f64,
 }
 
+/// One (replica count, kernel fusion width) point in the sweep grid.
+#[derive(Clone, Copy)]
+struct SweepPoint {
+    replicas: usize,
+    kernel_batch: usize,
+}
+
 fn serve_cell(
     model: &'static str,
     path: &std::path::Path,
-    replicas: usize,
+    point: SweepPoint,
     workers: usize,
     spf: usize,
     n_requests: usize,
     data: &BenchData,
 ) -> Result<Cell, Box<dyn std::error::Error>> {
+    let SweepPoint {
+        replicas,
+        kernel_batch,
+    } = point;
     // The production path: deploy a *persisted* model from disk.
     let rt = serve_persisted(
         path,
-        ServeConfig::new(SEED)
-            .with_replicas(replicas)
-            .with_workers(workers)
-            .with_spf(spf)
-            .with_queue_capacity(512)
-            .with_batch_max(32),
+        ServeConfig::builder(SEED)
+            .replicas(replicas)
+            .workers(workers)
+            .spf(spf)
+            .queue_capacity(512)
+            .batch_max(32)
+            .kernel_batch(kernel_batch)
+            .build()?,
     )?;
     let n_test = data.test_y.len();
     let t0 = Instant::now();
@@ -82,6 +99,7 @@ fn serve_cell(
     Ok(Cell {
         model,
         replicas,
+        kernel_batch,
         requests: snap.completed,
         accuracy: correct as f32 / n_requests as f32,
         mean_agreement: agreement_sum / n_requests as f32,
@@ -135,27 +153,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\n== serving {n_requests} requests per cell ({workers} workers, {spf} spf) ==\n"
     );
     println!(
-        "{:<8} {:>8} {:>10} {:>10} {:>11} {:>9} {:>9} {:>9} {:>12}",
-        "model", "replicas", "accuracy", "agreement", "req/s", "p50 µs", "p90 µs", "p99 µs", "J/frame"
+        "{:<8} {:>8} {:>7} {:>10} {:>10} {:>11} {:>9} {:>9} {:>9} {:>12}",
+        "model", "replicas", "kbatch", "accuracy", "agreement", "req/s", "p50 µs", "p90 µs", "p99 µs",
+        "J/frame"
     );
     let mut cells = Vec::new();
     for (model, path) in [("tea", &tea_path), ("biased", &biased_path)] {
         for replicas in REPLICA_SWEEP {
-            let cell = serve_cell(model, path, replicas, workers, spf, n_requests, &data)?;
-            println!(
-                "{:<8} {:>8} {:>10.4} {:>10.3} {:>11.1} {:>9} {:>9} {:>9} {:>12.3e}",
-                cell.model,
-                cell.replicas,
-                cell.accuracy,
-                cell.mean_agreement,
-                cell.throughput_rps,
-                cell.p50_us,
-                cell.p90_us,
-                cell.p99_us,
-                cell.joules_per_frame,
-            );
-            cells.push(cell);
+            for kernel_batch in KERNEL_BATCH_SWEEP {
+                let point = SweepPoint {
+                    replicas,
+                    kernel_batch,
+                };
+                let cell = serve_cell(model, path, point, workers, spf, n_requests, &data)?;
+                println!(
+                    "{:<8} {:>8} {:>7} {:>10.4} {:>10.3} {:>11.1} {:>9} {:>9} {:>9} {:>12.3e}",
+                    cell.model,
+                    cell.replicas,
+                    cell.kernel_batch,
+                    cell.accuracy,
+                    cell.mean_agreement,
+                    cell.throughput_rps,
+                    cell.p50_us,
+                    cell.p90_us,
+                    cell.p99_us,
+                    cell.joules_per_frame,
+                );
+                cells.push(cell);
+            }
         }
+    }
+
+    // Batch-first payoff: same responses, more of them per second.
+    println!();
+    for replicas in REPLICA_SWEEP {
+        let rps = |kb: usize| {
+            cells
+                .iter()
+                .filter(|c| c.replicas == replicas && c.kernel_batch == kb)
+                .map(|c| c.throughput_rps)
+                .sum::<f64>()
+                / 2.0 // mean over the two models
+        };
+        let (lone, fused) = (rps(1), rps(KERNEL_BATCH_SWEEP[1]));
+        println!(
+            "{replicas} replica(s): kernel_batch {} gives {:.2}x req/s over frame-at-a-time",
+            KERNEL_BATCH_SWEEP[1],
+            fused / lone
+        );
     }
 
     // Co-optimization, served live. Deploying to stochastic crossbars
@@ -192,9 +237,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 rows.push_str(",\n");
             }
             rows.push_str(&format!(
-                "    {{\"model\": \"{}\", \"replicas\": {}, \"requests\": {}, \"accuracy\": {:.4}, \"agreement\": {:.4}, \"req_per_sec\": {:.1}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"joules_per_frame\": {:.4e}}}",
+                "    {{\"model\": \"{}\", \"replicas\": {}, \"kernel_batch\": {}, \"requests\": {}, \"accuracy\": {:.4}, \"agreement\": {:.4}, \"req_per_sec\": {:.1}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"joules_per_frame\": {:.4e}}}",
                 c.model,
                 c.replicas,
+                c.kernel_batch,
                 c.requests,
                 c.accuracy,
                 c.mean_agreement,

@@ -16,7 +16,13 @@ cargo test -q -p truenorth --test integration_kernel
 echo "== bench smoke: compiled tick throughput =="
 TN_BENCH_TICKS=100 cargo run --release -q -p tn-bench --bin bench_tick
 
+echo "== bench smoke: lockstep lane batching =="
+TN_BENCH_TICKS=100 cargo run --release -q -p tn-bench --bin bench_tick -- --batch 8
+
 echo "== lint gate: clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== doc gate: rustdoc (warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
 echo "verify OK"

@@ -14,7 +14,8 @@ use tn_chip::kernel::CompiledChip;
 use tn_chip::neuro_core::NeuroSynapticCore;
 use tn_chip::neuron::{NeuronConfig, ResetMode};
 use tn_chip::nscs::{
-    ConnectivityMode, CoreDeploySpec, Deployment, InputSource, NetworkDeploySpec,
+    ConnectivityMode, CoreDeploySpec, Deployment, FrameInput, InputSource, NetworkDeploySpec,
+    Votes,
 };
 
 /// Axon rows the generator wires and injects (small for test speed; the
@@ -261,15 +262,69 @@ proptest! {
                 fast.run_frame(&inputs, spf, frame_seed),
                 slow.run_frame(&inputs, spf, frame_seed)
             );
-            let mut fast_votes = vec![0u64; copies * 2];
-            let mut slow_votes = vec![0u64; copies * 2];
-            prop_assert_eq!(
-                fast.run_frame_votes(&inputs, spf, frame_seed ^ 1, &mut fast_votes),
-                slow.run_frame_votes(&inputs, spf, frame_seed ^ 1, &mut slow_votes)
-            );
-            prop_assert_eq!(fast_votes, slow_votes);
+            let frames = [
+                FrameInput::new(&inputs, spf, frame_seed ^ 1),
+                FrameInput::new(&inputs, spf, frame_seed ^ 2),
+            ];
+            prop_assert_eq!(fast.run_frames(&frames), slow.run_frames(&frames));
             prop_assert_eq!(fast.synaptic_ops(), slow.synaptic_ops());
             prop_assert_eq!(fast.chip_stats(), slow.chip_stats());
+        }
+    }
+
+    /// The batch-first serving contract (ISSUE 4 acceptance): for batch
+    /// sizes {1, 2, 7, 8} and core thread counts {1, 4}, `run_frames` is
+    /// bit-identical to frame-at-a-time execution in its votes, in the
+    /// synaptic-op/energy counters, and in the per-core PRNG streams the
+    /// frames leave behind.
+    #[test]
+    fn batched_run_frames_matches_frame_at_a_time(
+        weight in 0.1f32..=1.0,
+        copies in 1usize..=3,
+        base_seed in 0u64..u64::MAX / 2,
+    ) {
+        let spec = tiny_spec(weight);
+        for batch in [1usize, 2, 7, 8] {
+            for core_threads in [1usize, 4] {
+                let mut batched =
+                    Deployment::build(&spec, copies, 17).expect("deploy");
+                let mut sequential = batched.clone();
+                batched.set_parallelism(core_threads);
+                sequential.set_parallelism(core_threads);
+                let inputs: Vec<Vec<f32>> = (0..batch)
+                    .map(|i| vec![0.8 - 0.05 * i as f32, 0.2 + 0.05 * i as f32])
+                    .collect();
+                let frames: Vec<FrameInput> = inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, x)| FrameInput::new(x, 6, base_seed + i as u64))
+                    .collect();
+                let got = batched.run_frames(&frames);
+                let expect: Vec<Votes> = frames
+                    .iter()
+                    .flat_map(|f| sequential.run_frames(std::slice::from_ref(f)))
+                    .collect();
+                prop_assert_eq!(got, expect, "batch {} threads {}", batch, core_threads);
+                prop_assert_eq!(batched.synaptic_ops(), sequential.synaptic_ops());
+                prop_assert_eq!(batched.core_stats_total(), sequential.core_stats_total());
+                prop_assert_eq!(batched.chip_stats(), sequential.chip_stats());
+                prop_assert_eq!(
+                    batched.energy_report().total_joules(),
+                    sequential.energy_report().total_joules()
+                );
+                let (bf, sf) = (
+                    batched.compiled().expect("compiled"),
+                    sequential.compiled().expect("compiled"),
+                );
+                for core in 0..bf.core_count() {
+                    prop_assert_eq!(
+                        bf.prng_state(core),
+                        sf.prng_state(core),
+                        "PRNG stream diverged on core {}",
+                        core
+                    );
+                }
+            }
         }
     }
 }

@@ -34,10 +34,12 @@ fn serving_is_deterministic_across_worker_counts() {
     let serve_all = |workers: usize| -> Vec<(u64, usize, Vec<u64>)> {
         let rt = ServeRuntime::new(
             &fractional_spec(),
-            ServeConfig::new(17)
-                .with_replicas(3)
-                .with_workers(workers)
-                .with_batch_max(4),
+            ServeConfig::builder(17)
+                .replicas(3)
+                .workers(workers)
+                .batch_max(4)
+                .build()
+                .expect("cfg"),
         )
         .expect("runtime");
         let handles: Vec<_> = (0..48)
@@ -72,10 +74,12 @@ fn serving_matches_offline_deployment_bit_exactly() {
     let (seed, replicas, spf) = (23u64, 2usize, 8usize);
     let rt = ServeRuntime::new(
         &spec,
-        ServeConfig::new(seed)
-            .with_replicas(replicas)
-            .with_spf(spf)
-            .with_workers(3),
+        ServeConfig::builder(seed)
+            .replicas(replicas)
+            .spf(spf)
+            .workers(3)
+            .build()
+            .expect("cfg"),
     )
     .expect("runtime");
     let mut offline = Deployment::build(&spec, replicas, seed).expect("deploy");
@@ -83,10 +87,16 @@ fn serving_matches_offline_deployment_bit_exactly() {
         let inputs = request_inputs(i);
         let served = rt.classify(inputs.clone()).expect("serve");
         let frame_seed = splitmix64(seed ^ served.seq.wrapping_mul(0x9E37_79B9));
-        let mut votes = vec![0u64; replicas * spec.n_classes];
-        offline.run_frame_votes(&inputs, spf, frame_seed, &mut votes);
+        let votes = offline
+            .run_frames(&[FrameInput::new(&inputs, spf, frame_seed)])
+            .pop()
+            .expect("one frame");
         let pooled: Vec<u64> = (0..spec.n_classes)
-            .map(|c| (0..replicas).map(|r| votes[r * spec.n_classes + c]).sum())
+            .map(|c| {
+                (0..replicas)
+                    .map(|r| votes.counts[r * spec.n_classes + c])
+                    .sum()
+            })
             .collect();
         assert_eq!(served.votes, pooled, "request {i}");
     }
@@ -94,15 +104,53 @@ fn serving_matches_offline_deployment_bit_exactly() {
 }
 
 #[test]
+fn kernel_batch_is_invisible_in_results() {
+    // The redesigned batch-first path: fusing frames into lockstep kernel
+    // lanes must not change a single response, at any fusion width.
+    let serve_all = |kernel_batch: usize| -> Vec<(u64, usize, Vec<u64>, u64)> {
+        let rt = ServeRuntime::new(
+            &fractional_spec(),
+            ServeConfig::builder(29)
+                .replicas(2)
+                .workers(2)
+                .kernel_batch(kernel_batch)
+                .build()
+                .expect("cfg"),
+        )
+        .expect("runtime");
+        let handles: Vec<_> = (0..32)
+            .map(|i| rt.submit(request_inputs(i)).expect("submit"))
+            .collect();
+        let out = handles
+            .into_iter()
+            .map(|h| {
+                let r = h.wait().expect("serve");
+                (r.seq, r.predicted, r.votes, r.ticks)
+            })
+            .collect();
+        let snap = rt.shutdown();
+        assert!(snap.kernel_batches > 0);
+        out
+    };
+    let lone = serve_all(1);
+    for kernel_batch in [2usize, 8, 32] {
+        assert_eq!(lone, serve_all(kernel_batch), "kernel_batch {kernel_batch}");
+    }
+}
+
+#[test]
 fn reject_backpressure_bounds_queue_and_block_completes_all() {
     // Reject mode: a burst into a tiny queue with slow frames must shed.
     let rt = ServeRuntime::new(
         &fractional_spec(),
-        ServeConfig::new(5)
-            .with_workers(1)
-            .with_spf(512)
-            .with_queue_capacity(2)
-            .with_backpressure(Backpressure::Reject),
+        ServeConfig::builder(5)
+            .workers(1)
+            .spf(512)
+            .queue_capacity(2)
+            .batch_max(2)
+            .backpressure(Backpressure::Reject)
+            .build()
+            .expect("cfg"),
     )
     .expect("runtime");
     let outcomes: Vec<_> = (0..64).map(|i| rt.submit(request_inputs(i))).collect();
@@ -118,10 +166,13 @@ fn reject_backpressure_bounds_queue_and_block_completes_all() {
     // Block mode: same burst, nothing is lost.
     let rt = ServeRuntime::new(
         &fractional_spec(),
-        ServeConfig::new(5)
-            .with_workers(2)
-            .with_queue_capacity(2)
-            .with_backpressure(Backpressure::Block),
+        ServeConfig::builder(5)
+            .workers(2)
+            .queue_capacity(2)
+            .batch_max(2)
+            .backpressure(Backpressure::Block)
+            .build()
+            .expect("cfg"),
     )
     .expect("runtime");
     let handles: Vec<_> = (0..64)
@@ -139,10 +190,12 @@ fn reject_backpressure_bounds_queue_and_block_completes_all() {
 fn shutdown_drains_every_inflight_request() {
     let rt = ServeRuntime::new(
         &fractional_spec(),
-        ServeConfig::new(9)
-            .with_workers(1)
-            .with_spf(64)
-            .with_queue_capacity(128),
+        ServeConfig::builder(9)
+            .workers(1)
+            .spf(64)
+            .queue_capacity(128)
+            .build()
+            .expect("cfg"),
     )
     .expect("runtime");
     let handles: Vec<_> = (0..40)
@@ -172,7 +225,11 @@ fn trained_model_serves_with_vote_agreement_metrics() {
     let model = train_model(&bench, &data, bench.biasing_penalty(), &scale, 41).expect("train");
     let rt = serve_network(
         &model.network,
-        ServeConfig::new(41).with_replicas(2).with_workers(2),
+        ServeConfig::builder(41)
+            .replicas(2)
+            .workers(2)
+            .build()
+            .expect("cfg"),
     )
     .expect("serve");
     let mut correct = 0usize;
