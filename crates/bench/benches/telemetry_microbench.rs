@@ -1,0 +1,137 @@
+//! Criterion microbenchmarks of the telemetry layer: span-ring recording
+//! on the hot path, snapshot JSON-lines encode/decode round-trips, and
+//! the end-to-end serving overhead of running with the observer
+//! (telemetry + controller) enabled versus the bare runtime — the number
+//! that backs the "<5% regression with the controller disabled" budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use tn_chip::nscs::{CoreDeploySpec, InputSource, NetworkDeploySpec};
+use tn_serve::{ControllerConfig, ServeConfig, ServeConfigBuilder, ServeRuntime, TelemetryConfig};
+use tn_telemetry::{
+    Clock, ManualClock, MemorySink, MetricsSink, Snapshot, SpanRecorder, Stage, StageStats,
+};
+
+fn bench_span_recording(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_spans");
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(1));
+    let recorder = SpanRecorder::new(1024);
+    let clock = ManualClock::new();
+    group.bench_function("record_one_span", |b| {
+        b.iter(|| {
+            let t0 = clock.now_ns();
+            clock.advance_ns(100);
+            recorder.record(Stage::Kernel, t0, clock.now_ns() - t0);
+        })
+    });
+    group.bench_function("stage_stats", |b| b.iter(|| recorder.stage_stats()));
+    group.finish();
+}
+
+fn bench_snapshot_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_snapshot");
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(1));
+    let mut snap = Snapshot::new(42, 1_234_567_890);
+    for i in 0..12 {
+        snap.counter(&format!("serve.counter_{i}"), i * 1000);
+    }
+    for i in 0..5 {
+        snap.gauge(&format!("serve.gauge_{i}"), i as f64 * 0.25);
+    }
+    for stage in Stage::ALL {
+        snap.stage(
+            stage,
+            StageStats {
+                count: 100,
+                total_ns: 12_345_678,
+                max_ns: 987_654,
+            },
+        );
+    }
+    let line = snap.to_json_line();
+    group.bench_function("to_json_line", |b| b.iter(|| snap.to_json_line()));
+    group.bench_function("parse_json_line", |b| {
+        b.iter(|| Snapshot::parse_json_line(&line).expect("valid"))
+    });
+    group.finish();
+}
+
+/// A 16-input / 4-class single-core spec (fractional weights, so each
+/// replica is a distinct Bernoulli sample — the realistic case).
+fn synthetic_spec() -> NetworkDeploySpec {
+    let (n_inputs, n_classes) = (16usize, 4usize);
+    let weights: Vec<f32> = (0..n_inputs * n_classes)
+        .map(|i| {
+            let sign = if (i / n_classes + i % n_classes) % 2 == 0 { 1.0 } else { -1.0 };
+            sign * (0.3 + 0.05 * (i % 9) as f32)
+        })
+        .collect();
+    NetworkDeploySpec {
+        cores: vec![CoreDeploySpec {
+            layer: 0,
+            weights,
+            n_axons: n_inputs,
+            n_neurons: n_classes,
+            biases: vec![-0.5; n_classes],
+            axon_sources: (0..n_inputs).map(InputSource::External).collect(),
+        }],
+        n_inputs,
+        n_classes,
+        output_taps: (0..n_classes).map(|c| (0, c, c)).collect(),
+    }
+}
+
+fn bench_observer_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_with_observer");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+    let spec = synthetic_spec();
+    let inputs: Vec<f32> = (0..spec.n_inputs)
+        .map(|i| ((i * 13) % 10) as f32 / 10.0)
+        .collect();
+    let base = || -> ServeConfigBuilder {
+        ServeConfig::builder(7).replicas(2).workers(2).spf(8)
+    };
+    let variants: [(&str, ServeConfig); 3] = [
+        ("bare", base().build().expect("cfg")),
+        (
+            "telemetry",
+            base()
+                .telemetry(TelemetryConfig::default())
+                .build()
+                .expect("cfg"),
+        ),
+        (
+            "telemetry_and_controller",
+            base()
+                .telemetry(TelemetryConfig::default())
+                .controller(ControllerConfig::default())
+                .build()
+                .expect("cfg"),
+        ),
+    ];
+    for (label, cfg) in variants {
+        let sink = Arc::new(MemorySink::new());
+        let rt = ServeRuntime::new_with_sink(&spec, cfg, sink as Arc<dyn MetricsSink>)
+            .expect("runtime");
+        group.bench_function(label, |b| {
+            b.iter(|| rt.classify(inputs.clone()).expect("serve"))
+        });
+        rt.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_span_recording,
+    bench_snapshot_wire,
+    bench_observer_overhead
+);
+criterion_main!(benches);

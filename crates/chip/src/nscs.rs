@@ -504,6 +504,78 @@ impl<'a> FrameInput<'a> {
     }
 }
 
+/// Flat, named export of every hardware counter a deployment maintains —
+/// the chip's hook into observability sinks.
+///
+/// Whichever executor frames ran on (reference interpreter or compiled
+/// kernel), [`Deployment::counter_export`] reads the same counters the
+/// energy model uses, so a telemetry snapshot and an
+/// [`crate::energy::EnergyReport`] can never disagree about
+/// how much work happened. Counters are lifetime-monotonic per deployment;
+/// consumers that want rates keep a baseline and use
+/// [`ChipCounterExport::delta_since`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChipCounterExport {
+    /// Synaptic events integrated (ON synapse × incoming spike).
+    pub synaptic_ops: u64,
+    /// Spikes received on core axons.
+    pub spikes_in: u64,
+    /// Spikes emitted by core neurons.
+    pub spikes_out: u64,
+    /// Spikes routed core-to-core over the mesh.
+    pub routed_spikes: u64,
+    /// Total mesh hops traversed by routed spikes.
+    pub mesh_hops: u64,
+    /// Spikes delivered to output channels (votes).
+    pub output_spikes: u64,
+    /// In-flight spikes dropped at frame boundaries (never silent).
+    pub flushed_spikes: u64,
+    /// Chip ticks executed.
+    pub ticks: u64,
+}
+
+impl ChipCounterExport {
+    /// Field-wise `self − baseline` (saturating, so a consumer that reset
+    /// its deployment mid-window reads zeros, not garbage).
+    pub fn delta_since(&self, baseline: &Self) -> Self {
+        Self {
+            synaptic_ops: self.synaptic_ops.saturating_sub(baseline.synaptic_ops),
+            spikes_in: self.spikes_in.saturating_sub(baseline.spikes_in),
+            spikes_out: self.spikes_out.saturating_sub(baseline.spikes_out),
+            routed_spikes: self.routed_spikes.saturating_sub(baseline.routed_spikes),
+            mesh_hops: self.mesh_hops.saturating_sub(baseline.mesh_hops),
+            output_spikes: self.output_spikes.saturating_sub(baseline.output_spikes),
+            flushed_spikes: self.flushed_spikes.saturating_sub(baseline.flushed_spikes),
+            ticks: self.ticks.saturating_sub(baseline.ticks),
+        }
+    }
+
+    /// Field-wise accumulation of another export (or delta) into this one.
+    pub fn accumulate(&mut self, other: &Self) {
+        self.synaptic_ops += other.synaptic_ops;
+        self.spikes_in += other.spikes_in;
+        self.spikes_out += other.spikes_out;
+        self.routed_spikes += other.routed_spikes;
+        self.mesh_hops += other.mesh_hops;
+        self.output_spikes += other.output_spikes;
+        self.flushed_spikes += other.flushed_spikes;
+        self.ticks += other.ticks;
+    }
+
+    /// Visit every counter as a stable dotted `(name, value)` pair — the
+    /// shape metric sinks consume.
+    pub fn for_each(&self, mut f: impl FnMut(&'static str, u64)) {
+        f("chip.synaptic_ops", self.synaptic_ops);
+        f("chip.spikes_in", self.spikes_in);
+        f("chip.spikes_out", self.spikes_out);
+        f("chip.routed_spikes", self.routed_spikes);
+        f("chip.mesh_hops", self.mesh_hops);
+        f("chip.output_spikes", self.output_spikes);
+        f("chip.flushed_spikes", self.flushed_spikes);
+        f("chip.ticks", self.ticks);
+    }
+}
+
 /// Aggregate result of one frame served by [`Deployment::run_frames`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Votes {
@@ -976,6 +1048,23 @@ impl Deployment {
         self.core_stats_total().synaptic_ops
     }
 
+    /// Export every hardware counter in one flat, named bundle (see
+    /// [`ChipCounterExport`]) from whichever backend frames run on.
+    pub fn counter_export(&self) -> ChipCounterExport {
+        let core = self.core_stats_total();
+        let chip = self.chip_stats();
+        ChipCounterExport {
+            synaptic_ops: core.synaptic_ops,
+            spikes_in: core.spikes_in,
+            spikes_out: core.spikes_out,
+            routed_spikes: chip.routed_spikes,
+            mesh_hops: chip.mesh_hops,
+            output_spikes: chip.output_spikes,
+            flushed_spikes: chip.flushed_spikes,
+            ticks: chip.ticks,
+        }
+    }
+
     /// Energy/performance proxy from whichever backend frames run on.
     pub fn energy_report(&self) -> EnergyReport {
         match &self.fast {
@@ -1058,6 +1147,36 @@ mod tests {
     fn tiny_spec_validates() {
         tiny_spec().validate().expect("valid");
         assert_eq!(tiny_spec().depth(), 1);
+    }
+
+    #[test]
+    fn counter_export_tracks_work_and_deltas() {
+        let spec = tiny_spec();
+        let mut dep = Deployment::build(&spec, 2, 42).expect("deploy");
+        let before = dep.counter_export();
+        assert_eq!(before, ChipCounterExport::default(), "fresh build is zero");
+        dep.run_frames(&[FrameInput::new(&[1.0, 0.0], 8, 7)]);
+        let after = dep.counter_export();
+        assert_eq!(after.synaptic_ops, dep.synaptic_ops());
+        assert_eq!(after.ticks, dep.chip_stats().ticks);
+        assert!(after.spikes_in > 0, "input spikes must be counted");
+        assert!(after.output_spikes > 0, "votes must be counted");
+        let delta = after.delta_since(&before);
+        assert_eq!(delta, after, "delta from zero is the export itself");
+        // A stale (larger) baseline saturates instead of wrapping.
+        assert_eq!(before.delta_since(&after), ChipCounterExport::default());
+        // The named hook walks all eight counters with stable keys.
+        let mut seen = Vec::new();
+        after.for_each(|name, value| seen.push((name, value)));
+        assert_eq!(seen.len(), 8);
+        assert!(seen.iter().all(|(name, _)| name.starts_with("chip.")));
+        assert_eq!(
+            seen.iter().find(|(n, _)| *n == "chip.synaptic_ops").map(|(_, v)| *v),
+            Some(after.synaptic_ops)
+        );
+        let mut acc = before;
+        acc.accumulate(&delta);
+        assert_eq!(acc, after);
     }
 
     #[test]

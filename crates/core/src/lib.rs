@@ -86,7 +86,10 @@ pub mod prelude {
         table3_row, train_model, DuplicationStudy, ExperimentError, TrainedModel,
     };
     pub use crate::power::{analyze_energy, EnergyAnalysis};
-    pub use crate::serving::{serve_network, serve_persisted, serve_spec, ServingError};
+    pub use crate::serving::{
+        serve_network, serve_network_with_sink, serve_persisted, serve_persisted_with_sink,
+        serve_spec, serve_spec_with_sink, ServingError,
+    };
     pub use crate::surface::{AccuracySurface, BoostSurface};
     pub use crate::tea::{
         connection_probability, spike_probability, sum_moments, synaptic_variance, SumMoments,
@@ -97,7 +100,8 @@ pub mod prelude {
     pub use tn_learn::model::Network;
     pub use tn_learn::penalty::Penalty;
     pub use tn_serve::{
-        Backpressure, MetricsSnapshot, RequestHandle, Response, ServeConfig, ServeConfigBuilder,
-        ServeError, ServeRuntime,
+        Backpressure, ControlAction, ControlSample, Controller, ControllerConfig,
+        MetricsSnapshot, RequestHandle, Response, ServeConfig, ServeConfigBuilder, ServeError,
+        ServeRuntime, TelemetryConfig,
     };
 }

@@ -14,10 +14,12 @@
 //! inside each tick; neither knob changes any prediction.
 
 use std::path::Path;
+use std::sync::Arc;
 
 use tn_learn::model::Network;
 use tn_learn::persist::{load_network, PersistError};
 use tn_serve::{ServeConfig, ServeError, ServeRuntime};
+use tn_telemetry::MetricsSink;
 
 use crate::deploy::{extract_spec, ExtractError};
 use tn_chip::nscs::NetworkDeploySpec;
@@ -91,6 +93,21 @@ pub fn serve_spec(spec: &NetworkDeploySpec, cfg: ServeConfig) -> Result<ServeRun
     Ok(ServeRuntime::new(spec, cfg)?)
 }
 
+/// Like [`serve_spec`], with a [`MetricsSink`] receiving the runtime's
+/// periodic telemetry snapshots (driven when
+/// [`ServeConfig::telemetry`] is set; see `tn_serve`'s crate docs).
+///
+/// # Errors
+///
+/// Same as [`serve_spec`].
+pub fn serve_spec_with_sink(
+    spec: &NetworkDeploySpec,
+    cfg: ServeConfig,
+    sink: Arc<dyn MetricsSink>,
+) -> Result<ServeRuntime, ServingError> {
+    Ok(ServeRuntime::new_with_sink(spec, cfg, sink)?)
+}
+
 /// Extract the hardware spec from a trained network and start serving it.
 ///
 /// # Errors
@@ -100,6 +117,20 @@ pub fn serve_spec(spec: &NetworkDeploySpec, cfg: ServeConfig) -> Result<ServeRun
 pub fn serve_network(net: &Network, cfg: ServeConfig) -> Result<ServeRuntime, ServingError> {
     let spec = extract_spec(net)?;
     serve_spec(&spec, cfg)
+}
+
+/// Like [`serve_network`], with a [`MetricsSink`] for telemetry export.
+///
+/// # Errors
+///
+/// Same as [`serve_network`].
+pub fn serve_network_with_sink(
+    net: &Network,
+    cfg: ServeConfig,
+    sink: Arc<dyn MetricsSink>,
+) -> Result<ServeRuntime, ServingError> {
+    let spec = extract_spec(net)?;
+    serve_spec_with_sink(&spec, cfg, sink)
 }
 
 /// Load a model persisted with [`tn_learn::persist::save_network`] and
@@ -113,6 +144,21 @@ pub fn serve_persisted(path: &Path, cfg: ServeConfig) -> Result<ServeRuntime, Se
     let file = std::fs::File::open(path)?;
     let net = load_network(std::io::BufReader::new(file))?;
     serve_network(&net, cfg)
+}
+
+/// Like [`serve_persisted`], with a [`MetricsSink`] for telemetry export.
+///
+/// # Errors
+///
+/// Same as [`serve_persisted`].
+pub fn serve_persisted_with_sink(
+    path: &Path,
+    cfg: ServeConfig,
+    sink: Arc<dyn MetricsSink>,
+) -> Result<ServeRuntime, ServingError> {
+    let file = std::fs::File::open(path)?;
+    let net = load_network(std::io::BufReader::new(file))?;
+    serve_network_with_sink(&net, cfg, sink)
 }
 
 #[cfg(test)]
@@ -160,7 +206,14 @@ mod tests {
         save_network(&net, &mut bytes).expect("encode");
         std::fs::write(&path, &bytes).expect("write");
 
-        let rt = serve_persisted(&path, ServeConfig::new(5)).expect("serve");
+        // The sink variant is the same deploy-from-disk path with
+        // telemetry egress attached (a NullSink here keeps it silent).
+        let rt = serve_persisted_with_sink(
+            &path,
+            ServeConfig::new(5),
+            Arc::new(tn_telemetry::NullSink),
+        )
+        .expect("serve");
         let from_disk = rt.classify(data.test_x.row(0).to_vec()).expect("classify");
         rt.shutdown();
 
@@ -192,6 +245,29 @@ mod tests {
         }
         assert_eq!(responses[0].predicted, responses[1].predicted);
         assert_eq!(responses[0].votes, responses[1].votes);
+    }
+
+    #[test]
+    fn sink_variant_exports_snapshots_for_a_trained_network() {
+        use tn_serve::TelemetryConfig;
+        use tn_telemetry::MemorySink;
+
+        let (net, data) = tiny_trained();
+        let sink = Arc::new(MemorySink::new());
+        let cfg = ServeConfig::builder(5)
+            .workers(2)
+            .telemetry(TelemetryConfig::default())
+            .build()
+            .expect("cfg");
+        let rt = serve_network_with_sink(&net, cfg, Arc::clone(&sink) as Arc<dyn MetricsSink>)
+            .expect("serve");
+        for row in 0..4 {
+            rt.classify(data.test_x.row(row).to_vec()).expect("classify");
+        }
+        rt.shutdown();
+        assert!(!sink.is_empty(), "shutdown flushes at least one snapshot");
+        assert_eq!(sink.last_counter("serve.completed"), Some(4));
+        assert!(sink.last_counter("chip.synaptic_ops").unwrap_or(0) > 0);
     }
 
     #[test]

@@ -1,8 +1,58 @@
 //! Runtime configuration and its validated builder.
 
+use std::time::Duration;
+
 use tn_chip::nscs::ConnectivityMode;
 
+use crate::control::ControllerConfig;
 use crate::error::ServeError;
+
+/// Telemetry export settings for a [`crate::ServeRuntime`].
+///
+/// When set, the runtime spawns an observer thread that periodically
+/// assembles a [`tn_telemetry::Snapshot`] (serve counters, chip hardware
+/// counters, queue/control gauges, per-stage latency spans) and emits it
+/// through the configured [`tn_telemetry::MetricsSink`]. A final snapshot
+/// is always emitted at shutdown, so even a short-lived runtime exports at
+/// least one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Snapshot export period.
+    pub interval: Duration,
+    /// Capacity of the per-stage span ring buffer
+    /// ([`tn_telemetry::SpanRecorder`]).
+    pub span_ring: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(250),
+            span_ring: 1024,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Check internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.interval.is_zero() {
+            return Err(ServeError::BadConfig(
+                "telemetry interval must be > 0".into(),
+            ));
+        }
+        if self.span_ring == 0 {
+            return Err(ServeError::BadConfig(
+                "telemetry span_ring must be >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
 
 /// What `submit` does when the bounded queue is at capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -69,6 +119,16 @@ pub struct ServeConfig {
     /// saturates the machine first; raise this for few-worker,
     /// many-replica setups). Never affects results.
     pub core_threads: usize,
+    /// Adaptive control loop (`None` = static knobs, the default). When
+    /// set, an observer thread runs a [`crate::Controller`] that adapts
+    /// the live fusion width within `1 ..= kernel_batch` from queue depth
+    /// and the replica count within the configured bounds from the live
+    /// vote-agreement metric. With `None`, results are bit-identical to a
+    /// runtime without the control machinery.
+    pub controller: Option<ControllerConfig>,
+    /// Periodic snapshot export (`None` = no observer exports, the
+    /// default). See [`TelemetryConfig`].
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +144,8 @@ impl Default for ServeConfig {
             backpressure: Backpressure::Block,
             connectivity: ConnectivityMode::IndependentPerCopy,
             core_threads: 1,
+            controller: None,
+            telemetry: None,
         }
     }
 }
@@ -195,6 +257,18 @@ impl ServeConfig {
                 self.batch_max, self.queue_capacity
             )));
         }
+        if let Some(controller) = &self.controller {
+            controller.validate()?;
+            if !(controller.min_replicas..=controller.max_replicas).contains(&self.replicas) {
+                return Err(ServeError::BadConfig(format!(
+                    "replicas ({}) outside controller bounds [{}, {}]",
+                    self.replicas, controller.min_replicas, controller.max_replicas
+                )));
+            }
+        }
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.validate()?;
+        }
         Ok(())
     }
 }
@@ -273,6 +347,19 @@ impl ServeConfigBuilder {
     /// Per-worker intra-tick core parallelism.
     pub fn core_threads(mut self, core_threads: usize) -> Self {
         self.cfg.core_threads = core_threads;
+        self
+    }
+
+    /// Enable the adaptive control loop (see [`ServeConfig::controller`]).
+    pub fn controller(mut self, controller: ControllerConfig) -> Self {
+        self.cfg.controller = Some(controller);
+        self
+    }
+
+    /// Enable periodic telemetry snapshot export (see
+    /// [`ServeConfig::telemetry`]).
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.cfg.telemetry = Some(telemetry);
         self
     }
 
@@ -360,6 +447,52 @@ mod tests {
             .batch_max(8)
             .build()
             .expect("batch_max == queue_capacity is valid");
+    }
+
+    #[test]
+    fn controller_bounds_must_contain_initial_replicas() {
+        let ctl = ControllerConfig {
+            min_replicas: 2,
+            max_replicas: 4,
+            ..ControllerConfig::default()
+        };
+        match ServeConfig::builder(1).replicas(1).controller(ctl.clone()).build() {
+            Err(ServeError::BadConfig(msg)) => {
+                assert!(msg.contains("controller bounds"), "{msg:?}")
+            }
+            other => panic!("out-of-bounds replicas accepted: {other:?}"),
+        }
+        ServeConfig::builder(1)
+            .replicas(3)
+            .controller(ctl)
+            .build()
+            .expect("in-bounds replicas are valid");
+    }
+
+    #[test]
+    fn controller_and_telemetry_configs_are_validated_by_build() {
+        let bad_ctl = ControllerConfig {
+            queue_low: 0.9,
+            queue_high: 0.5,
+            ..ControllerConfig::default()
+        };
+        assert!(matches!(
+            ServeConfig::builder(1).controller(bad_ctl).build(),
+            Err(ServeError::BadConfig(msg)) if msg.contains("queue")
+        ));
+        let bad_tel = TelemetryConfig {
+            span_ring: 0,
+            ..TelemetryConfig::default()
+        };
+        assert!(matches!(
+            ServeConfig::builder(1).telemetry(bad_tel).build(),
+            Err(ServeError::BadConfig(msg)) if msg.contains("span_ring")
+        ));
+        ServeConfig::builder(1)
+            .controller(ControllerConfig::default())
+            .telemetry(TelemetryConfig::default())
+            .build()
+            .expect("defaults are consistent");
     }
 
     #[test]

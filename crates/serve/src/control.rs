@@ -1,0 +1,490 @@
+//! The adaptive control loop: pure decision math over telemetry samples.
+//!
+//! The paper's co-optimization is a three-way trade between accuracy,
+//! core occupation, and throughput. At serve time the same trade is live:
+//! the replica vote-agreement metric estimates the per-copy Bernoulli
+//! variance (Eq. 15) that duplication exists to average away, and queue
+//! depth measures how far demand outruns the kernel. This module closes
+//! the loop:
+//!
+//! * **`kernel_batch` from queue depth** — a deep queue means requests are
+//!   waiting for crossbar walks, which lane batching amortizes; a drained
+//!   queue means fusion is adding latency for nothing. The controller
+//!   doubles the fusion width when queue fill crosses
+//!   [`ControllerConfig::queue_high`] and halves it below
+//!   [`ControllerConfig::queue_low`] (multiplicative in both directions —
+//!   the actuator is free and invisible in results, so fast convergence
+//!   beats caution). Bounds: `1 ..= kernel_batch_max`.
+//! * **replicas from agreement** — replicas voting unanimously are wasted
+//!   cores (scale down); replicas disagreeing mean the pooled vote is
+//!   still noisy (scale up). Hysteresis is double-ended: a dead band
+//!   between [`ControllerConfig::agreement_low`] and
+//!   [`ControllerConfig::agreement_high`] where nothing happens, a streak
+//!   requirement ([`ControllerConfig::scale_streak`] consecutive
+//!   out-of-band samples), and a post-change cooldown
+//!   ([`ControllerConfig::cooldown`]) so one decision's effect is observed
+//!   before the next. Bounds: `min_replicas ..= max_replicas`.
+//!
+//! # Determinism
+//!
+//! [`Controller::observe`] is a pure function of the controller's state
+//! and the [`ControlSample`] — time arrives as `t_ns` *inside the sample*
+//! (stamped by a [`tn_telemetry::Clock`]), never read from `Instant`. The
+//! unit tests script a clock and replay load patterns; the same schedule
+//! always yields the same actions.
+
+use std::time::Duration;
+
+use crate::error::ServeError;
+
+/// Tuning for the adaptive control loop, validated by
+/// [`crate::ServeConfigBuilder::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerConfig {
+    /// How often the runtime samples metrics and consults the controller.
+    pub sample_interval: Duration,
+    /// Queue fill fraction (depth/capacity) at or above which the kernel
+    /// fusion width doubles.
+    pub queue_high: f64,
+    /// Queue fill fraction at or below which the fusion width halves.
+    pub queue_low: f64,
+    /// Mean replica agreement below which replicas scale **up** (the
+    /// pooled vote is still noisy).
+    pub agreement_low: f32,
+    /// Mean replica agreement above which replicas scale **down**
+    /// (duplication is buying nothing).
+    pub agreement_high: f32,
+    /// Replica floor (≥ 1).
+    pub min_replicas: usize,
+    /// Replica ceiling.
+    pub max_replicas: usize,
+    /// Consecutive out-of-band samples required before a replica change.
+    pub scale_streak: usize,
+    /// Minimum time between replica changes (lets the previous decision's
+    /// effect show up in the agreement window before acting again).
+    pub cooldown: Duration,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self {
+            sample_interval: Duration::from_millis(100),
+            queue_high: 0.5,
+            queue_low: 0.125,
+            agreement_low: 0.80,
+            agreement_high: 0.97,
+            min_replicas: 1,
+            max_replicas: 8,
+            scale_streak: 3,
+            cooldown: Duration::from_secs(2),
+        }
+    }
+}
+
+impl ControllerConfig {
+    /// Check internal consistency (called from the serve-config builder).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadConfig`] naming the offending field pair.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.sample_interval.is_zero() {
+            return Err(ServeError::BadConfig(
+                "controller sample_interval must be > 0".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.queue_low)
+            || !(0.0..=1.0).contains(&self.queue_high)
+            || self.queue_low >= self.queue_high
+        {
+            return Err(ServeError::BadConfig(format!(
+                "controller queue watermarks must satisfy 0 <= queue_low < queue_high <= 1, got {} / {}",
+                self.queue_low, self.queue_high
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.agreement_low)
+            || !(0.0..=1.0).contains(&self.agreement_high)
+            || self.agreement_low >= self.agreement_high
+        {
+            return Err(ServeError::BadConfig(format!(
+                "controller agreement band must satisfy 0 <= agreement_low < agreement_high <= 1, got {} / {}",
+                self.agreement_low, self.agreement_high
+            )));
+        }
+        if self.min_replicas == 0 {
+            return Err(ServeError::BadConfig(
+                "controller min_replicas must be >= 1".into(),
+            ));
+        }
+        if self.min_replicas > self.max_replicas {
+            return Err(ServeError::BadConfig(format!(
+                "controller min_replicas ({}) must not exceed max_replicas ({})",
+                self.min_replicas, self.max_replicas
+            )));
+        }
+        if self.scale_streak == 0 {
+            return Err(ServeError::BadConfig(
+                "controller scale_streak must be >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One observation window handed to [`Controller::observe`].
+///
+/// Everything the control math consumes arrives here — including time —
+/// so decisions are replayable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlSample {
+    /// Sample time in clock nanoseconds ([`tn_telemetry::Clock`]).
+    pub t_ns: u64,
+    /// Submission-queue depth at sample time.
+    pub queue_depth: usize,
+    /// Submission-queue capacity.
+    pub queue_capacity: usize,
+    /// Fusion width currently in force.
+    pub kernel_batch: usize,
+    /// Replica count currently in force.
+    pub replicas: usize,
+    /// Mean replica vote agreement over the window since the previous
+    /// sample; `None` when no requests completed in the window (the
+    /// controller then leaves replicas alone — no evidence, no action).
+    pub mean_agreement: Option<f32>,
+}
+
+/// A decision the runtime should apply (see
+/// [`crate::ServeRuntime::apply_control`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ControlAction {
+    /// Set the kernel lane-fusion width (clamped to ≥ 1 by the actuator;
+    /// never changes any result, only throughput/latency).
+    SetKernelBatch(usize),
+    /// Rebuild worker deployments at this replica count (changes the
+    /// accuracy/occupation point, deterministically: the replica sample
+    /// at count `r` is a pure function of `(spec, seed, r)`).
+    SetReplicas(usize),
+}
+
+/// The adaptive controller: a small deterministic state machine.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    cfg: ControllerConfig,
+    /// Ceiling for the fusion width (the configured `kernel_batch`).
+    kernel_batch_max: usize,
+    /// Consecutive samples with agreement below the band.
+    low_streak: usize,
+    /// Consecutive samples with agreement above the band.
+    high_streak: usize,
+    /// Time of the last replica change, if any.
+    last_scale_ns: Option<u64>,
+}
+
+impl Controller {
+    /// A controller enforcing `cfg`, with fusion width bounded by
+    /// `kernel_batch_max` (clamped to ≥ 1).
+    pub fn new(cfg: ControllerConfig, kernel_batch_max: usize) -> Self {
+        Self {
+            cfg,
+            kernel_batch_max: kernel_batch_max.max(1),
+            low_streak: 0,
+            high_streak: 0,
+            last_scale_ns: None,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.cfg
+    }
+
+    /// Consume one sample, emit zero or more actions. Pure: no clocks, no
+    /// I/O — everything observed arrives in `sample`.
+    pub fn observe(&mut self, sample: &ControlSample) -> Vec<ControlAction> {
+        let mut actions = Vec::new();
+        self.observe_queue(sample, &mut actions);
+        self.observe_agreement(sample, &mut actions);
+        actions
+    }
+
+    /// kernel_batch ∈ [1, max] follows queue fill multiplicatively.
+    fn observe_queue(&self, sample: &ControlSample, actions: &mut Vec<ControlAction>) {
+        let fill = sample.queue_depth as f64 / sample.queue_capacity.max(1) as f64;
+        let current = sample.kernel_batch.max(1);
+        if fill >= self.cfg.queue_high && current < self.kernel_batch_max {
+            actions.push(ControlAction::SetKernelBatch(
+                (current * 2).min(self.kernel_batch_max),
+            ));
+        } else if fill <= self.cfg.queue_low && current > 1 {
+            actions.push(ControlAction::SetKernelBatch(current / 2));
+        }
+    }
+
+    /// Replicas ∈ [min, max] follow agreement with dead band, streak, and
+    /// cooldown hysteresis.
+    fn observe_agreement(&mut self, sample: &ControlSample, actions: &mut Vec<ControlAction>) {
+        let Some(agreement) = sample.mean_agreement else {
+            // No completions this window: no evidence either way. Streaks
+            // reset so stale momentum cannot trigger a scale later.
+            self.low_streak = 0;
+            self.high_streak = 0;
+            return;
+        };
+        let cooldown_ns = u64::try_from(self.cfg.cooldown.as_nanos()).unwrap_or(u64::MAX);
+        let cooled = self
+            .last_scale_ns
+            .is_none_or(|t0| sample.t_ns.saturating_sub(t0) >= cooldown_ns);
+        if !cooled {
+            // Inside the cooldown the previous change's effect is still
+            // arriving in the agreement window; evidence gathered now is
+            // stale, so the streak rebuilds from zero afterwards.
+            self.low_streak = 0;
+            self.high_streak = 0;
+            return;
+        }
+        if agreement < self.cfg.agreement_low {
+            self.low_streak += 1;
+            self.high_streak = 0;
+        } else if agreement > self.cfg.agreement_high {
+            self.high_streak += 1;
+            self.low_streak = 0;
+        } else {
+            // Inside the dead band: the whole point of hysteresis.
+            self.low_streak = 0;
+            self.high_streak = 0;
+            return;
+        }
+        if self.low_streak >= self.cfg.scale_streak && sample.replicas < self.cfg.max_replicas {
+            actions.push(ControlAction::SetReplicas(sample.replicas + 1));
+            self.after_scale(sample.t_ns);
+        } else if self.high_streak >= self.cfg.scale_streak
+            && sample.replicas > self.cfg.min_replicas
+        {
+            actions.push(ControlAction::SetReplicas(sample.replicas - 1));
+            self.after_scale(sample.t_ns);
+        }
+    }
+
+    fn after_scale(&mut self, t_ns: u64) {
+        self.low_streak = 0;
+        self.high_streak = 0;
+        self.last_scale_ns = Some(t_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_telemetry::{Clock, ManualClock};
+
+    fn cfg() -> ControllerConfig {
+        ControllerConfig {
+            sample_interval: Duration::from_millis(10),
+            queue_high: 0.5,
+            queue_low: 0.125,
+            agreement_low: 0.8,
+            agreement_high: 0.95,
+            min_replicas: 1,
+            max_replicas: 4,
+            scale_streak: 3,
+            cooldown: Duration::from_millis(100),
+        }
+    }
+
+    /// Drive one scripted sample: advance the clock by one interval, then
+    /// observe the given load.
+    fn step(
+        ctl: &mut Controller,
+        clock: &ManualClock,
+        depth: usize,
+        kb: usize,
+        replicas: usize,
+        agreement: Option<f32>,
+    ) -> Vec<ControlAction> {
+        clock.advance(ctl.config().sample_interval);
+        ctl.observe(&ControlSample {
+            t_ns: clock.now_ns(),
+            queue_depth: depth,
+            queue_capacity: 64,
+            kernel_batch: kb,
+            replicas,
+            mean_agreement: agreement,
+        })
+    }
+
+    #[test]
+    fn kernel_batch_rises_with_queue_depth_and_falls_when_idle() {
+        let clock = ManualClock::new();
+        let mut ctl = Controller::new(cfg(), 16);
+        // Saturated queue: 1 → 2 → 4 → 8 → 16, then pinned at the max.
+        let mut kb = 1;
+        let mut widths = vec![kb];
+        for _ in 0..6 {
+            match step(&mut ctl, &clock, 64, kb, 1, Some(0.9)).first() {
+                Some(&ControlAction::SetKernelBatch(next)) => kb = next,
+                Some(other) => panic!("unexpected {other:?}"),
+                None => {}
+            }
+            widths.push(kb);
+        }
+        assert_eq!(widths, vec![1, 2, 4, 8, 16, 16, 16]);
+        // Queue drains: multiplicative decrease back to 1.
+        let mut widths = vec![kb];
+        for _ in 0..5 {
+            match step(&mut ctl, &clock, 0, kb, 1, Some(0.9)).first() {
+                Some(&ControlAction::SetKernelBatch(next)) => kb = next,
+                Some(other) => panic!("unexpected {other:?}"),
+                None => {}
+            }
+            widths.push(kb);
+        }
+        assert_eq!(widths, vec![16, 8, 4, 2, 1, 1]);
+    }
+
+    #[test]
+    fn mid_band_queue_fill_leaves_kernel_batch_alone() {
+        let clock = ManualClock::new();
+        let mut ctl = Controller::new(cfg(), 16);
+        // 16/64 = 0.25 sits between the 0.125 and 0.5 watermarks.
+        for _ in 0..10 {
+            assert_eq!(step(&mut ctl, &clock, 16, 4, 1, Some(0.9)), vec![]);
+        }
+    }
+
+    #[test]
+    fn low_agreement_scales_replicas_up_after_streak() {
+        let clock = ManualClock::new();
+        let mut ctl = Controller::new(cfg(), 8);
+        // Two low samples: not yet (streak is 3).
+        assert_eq!(step(&mut ctl, &clock, 16, 4, 2, Some(0.5)), vec![]);
+        assert_eq!(step(&mut ctl, &clock, 16, 4, 2, Some(0.5)), vec![]);
+        // Third consecutive low sample trips the scale-up.
+        assert_eq!(
+            step(&mut ctl, &clock, 16, 4, 2, Some(0.5)),
+            vec![ControlAction::SetReplicas(3)]
+        );
+        // Immediately after: cooldown holds even if agreement stays low.
+        for _ in 0..5 {
+            assert_eq!(step(&mut ctl, &clock, 16, 4, 3, Some(0.5)), vec![]);
+        }
+        // Past the cooldown the streak must rebuild from zero, then fires.
+        clock.advance(Duration::from_millis(100));
+        assert_eq!(step(&mut ctl, &clock, 16, 4, 3, Some(0.5)), vec![]);
+        assert_eq!(step(&mut ctl, &clock, 16, 4, 3, Some(0.5)), vec![]);
+        assert_eq!(
+            step(&mut ctl, &clock, 16, 4, 3, Some(0.5)),
+            vec![ControlAction::SetReplicas(4)]
+        );
+        // At max_replicas, low agreement can no longer scale up.
+        clock.advance(Duration::from_millis(100));
+        for _ in 0..6 {
+            assert_eq!(step(&mut ctl, &clock, 16, 4, 4, Some(0.5)), vec![]);
+        }
+    }
+
+    #[test]
+    fn unanimous_agreement_scales_replicas_down_with_hysteresis() {
+        let clock = ManualClock::new();
+        let mut ctl = Controller::new(cfg(), 8);
+        assert_eq!(step(&mut ctl, &clock, 16, 4, 3, Some(1.0)), vec![]);
+        assert_eq!(step(&mut ctl, &clock, 16, 4, 3, Some(1.0)), vec![]);
+        assert_eq!(
+            step(&mut ctl, &clock, 16, 4, 3, Some(1.0)),
+            vec![ControlAction::SetReplicas(2)]
+        );
+        // min_replicas is a floor.
+        clock.advance(Duration::from_millis(100));
+        for _ in 0..3 {
+            step(&mut ctl, &clock, 16, 4, 1, Some(1.0));
+        }
+        clock.advance(Duration::from_millis(100));
+        for _ in 0..6 {
+            assert_eq!(step(&mut ctl, &clock, 16, 4, 1, Some(1.0)), vec![]);
+        }
+    }
+
+    #[test]
+    fn dead_band_and_gaps_reset_the_streak() {
+        let clock = ManualClock::new();
+        let mut ctl = Controller::new(cfg(), 8);
+        // low, low, in-band, low, low, low → fires only after the post-gap
+        // streak completes: hysteresis, not a leaky counter.
+        assert_eq!(step(&mut ctl, &clock, 16, 4, 2, Some(0.5)), vec![]);
+        assert_eq!(step(&mut ctl, &clock, 16, 4, 2, Some(0.5)), vec![]);
+        assert_eq!(step(&mut ctl, &clock, 16, 4, 2, Some(0.9)), vec![], "dead band resets");
+        assert_eq!(step(&mut ctl, &clock, 16, 4, 2, Some(0.5)), vec![]);
+        assert_eq!(step(&mut ctl, &clock, 16, 4, 2, Some(0.5)), vec![]);
+        assert_eq!(
+            step(&mut ctl, &clock, 16, 4, 2, Some(0.5)),
+            vec![ControlAction::SetReplicas(3)]
+        );
+        // An idle window (no completions) also resets: no stale momentum.
+        clock.advance(Duration::from_millis(100));
+        assert_eq!(step(&mut ctl, &clock, 16, 4, 3, Some(0.5)), vec![]);
+        assert_eq!(step(&mut ctl, &clock, 16, 4, 3, Some(0.5)), vec![]);
+        assert_eq!(step(&mut ctl, &clock, 16, 4, 3, None), vec![], "idle resets");
+        assert_eq!(step(&mut ctl, &clock, 16, 4, 3, Some(0.5)), vec![]);
+    }
+
+    #[test]
+    fn identical_schedules_yield_identical_decisions() {
+        // Determinism: replay the same scripted load twice.
+        let run = || {
+            let clock = ManualClock::new();
+            let mut ctl = Controller::new(cfg(), 32);
+            let mut log = Vec::new();
+            let mut kb = 1;
+            let mut replicas = 1;
+            for i in 0..50u64 {
+                let depth = if i % 7 < 4 { 60 } else { 2 };
+                let agreement = if i < 25 { Some(0.5) } else { Some(1.0) };
+                for action in step(&mut ctl, &clock, depth, kb, replicas, agreement) {
+                    match action {
+                        ControlAction::SetKernelBatch(v) => kb = v,
+                        ControlAction::SetReplicas(v) => replicas = v,
+                    }
+                    log.push((i, action));
+                }
+            }
+            (log, kb, replicas)
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(!a.0.is_empty(), "the schedule must exercise both axes");
+    }
+
+    #[test]
+    fn validation_rejects_inverted_bands() {
+        let check = |mutate: fn(&mut ControllerConfig)| {
+            let mut c = cfg();
+            mutate(&mut c);
+            c.validate().unwrap_err()
+        };
+        assert!(matches!(
+            check(|c| c.queue_low = 0.9),
+            ServeError::BadConfig(msg) if msg.contains("queue")
+        ));
+        assert!(matches!(
+            check(|c| c.agreement_high = 0.1),
+            ServeError::BadConfig(msg) if msg.contains("agreement")
+        ));
+        assert!(matches!(
+            check(|c| c.min_replicas = 0),
+            ServeError::BadConfig(msg) if msg.contains("min_replicas")
+        ));
+        assert!(matches!(
+            check(|c| { c.min_replicas = 5; c.max_replicas = 2; }),
+            ServeError::BadConfig(msg) if msg.contains("max_replicas")
+        ));
+        assert!(matches!(
+            check(|c| c.scale_streak = 0),
+            ServeError::BadConfig(msg) if msg.contains("scale_streak")
+        ));
+        assert!(matches!(
+            check(|c| c.sample_interval = Duration::ZERO),
+            ServeError::BadConfig(msg) if msg.contains("sample_interval")
+        ));
+        cfg().validate().expect("the test config itself is valid");
+    }
+}

@@ -53,6 +53,19 @@
 //! * **Backpressure**: the submission queue is bounded;
 //!   [`Backpressure::Block`] throttles producers, [`Backpressure::Reject`]
 //!   sheds load with [`ServeError::QueueFull`].
+//! * **Observability & adaptive control** (optional): with
+//!   [`ServeConfig::telemetry`] set, an observer thread exports periodic
+//!   [`tn_telemetry::Snapshot`]s (serve counters, chip hardware counters,
+//!   queue/control gauges, per-stage `enqueue → drain → kernel → vote`
+//!   latency spans) through a pluggable [`tn_telemetry::MetricsSink`].
+//!   With [`ServeConfig::controller`] set, a [`Controller`] closes the
+//!   loop: it adapts the live fusion width within `1 ..= kernel_batch`
+//!   from queue depth and rescales replicas from the live agreement
+//!   metric with hysteresis (dead band + streak + cooldown). The control
+//!   math is pure — time arrives inside each [`ControlSample`], stamped
+//!   by a [`tn_telemetry::Clock`] — so decisions are testable with a
+//!   scripted clock. With both options off (the default), the runtime is
+//!   bit-identical to one without the control machinery.
 //! * **Shutdown**: [`ServeRuntime::shutdown`] refuses new submissions,
 //!   drains every queued request, joins the workers, and returns the
 //!   final [`MetricsSnapshot`] (throughput, p50/p90/p99 latency, queue
@@ -111,13 +124,15 @@
 #![warn(missing_debug_implementations)]
 
 mod config;
+mod control;
 mod error;
 mod handle;
 mod metrics;
 mod queue;
 mod runtime;
 
-pub use config::{Backpressure, ServeConfig, ServeConfigBuilder};
+pub use config::{Backpressure, ServeConfig, ServeConfigBuilder, TelemetryConfig};
+pub use control::{ControlAction, ControlSample, Controller, ControllerConfig};
 pub use error::ServeError;
 pub use handle::{RequestHandle, Response};
 pub use metrics::MetricsSnapshot;

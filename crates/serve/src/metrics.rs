@@ -13,6 +13,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use tn_chip::energy::EnergyReport;
+use tn_chip::nscs::ChipCounterExport;
+
+/// Fixed-point scale for accumulating agreement fractions in an atomic.
+const AGREEMENT_SCALE: f64 = 1e6;
 
 /// Latencies below this many ns get exact single-ns buckets.
 const LINEAR_CUTOFF: u64 = 16;
@@ -59,7 +63,12 @@ pub(crate) struct Metrics {
     pub batches: AtomicU64,
     pub kernel_batches: AtomicU64,
     pub ticks: AtomicU64,
-    pub synaptic_ops: AtomicU64,
+    /// Replica vote-agreement fractions, accumulated ×[`AGREEMENT_SCALE`].
+    pub agreement_micros: AtomicU64,
+    /// Chip hardware counters folded from worker deployments
+    /// ([`ChipCounterExport`] deltas; `chip[0]` = synaptic_ops etc. in
+    /// `for_each` order).
+    chip: [AtomicU64; 8],
     /// Log-linear latency histogram (see [`bucket_index`]).
     latency: [AtomicU64; BUCKETS],
     latency_sum_ns: AtomicU64,
@@ -78,7 +87,8 @@ impl Metrics {
             batches: AtomicU64::new(0),
             kernel_batches: AtomicU64::new(0),
             ticks: AtomicU64::new(0),
-            synaptic_ops: AtomicU64::new(0),
+            agreement_micros: AtomicU64::new(0),
+            chip: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
             latency_sum_ns: AtomicU64::new(0),
             per_worker_frames: (0..workers).map(|_| AtomicU64::new(0)).collect(),
@@ -86,14 +96,77 @@ impl Metrics {
         }
     }
 
-    pub(crate) fn record_completion(&self, worker: usize, ticks: u64, latency: Duration) {
+    pub(crate) fn record_completion(
+        &self,
+        worker: usize,
+        ticks: u64,
+        latency: Duration,
+        agreement: f32,
+    ) {
         self.completed.fetch_add(1, Ordering::Relaxed);
         self.ticks.fetch_add(ticks, Ordering::Relaxed);
         self.per_worker_frames[worker].fetch_add(1, Ordering::Relaxed);
         self.per_worker_ticks[worker].fetch_add(ticks, Ordering::Relaxed);
+        self.agreement_micros.fetch_add(
+            (f64::from(agreement.clamp(0.0, 1.0)) * AGREEMENT_SCALE) as u64,
+            Ordering::Relaxed,
+        );
         let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
         self.latency[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
         self.latency_sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Fold a worker deployment's hardware-counter delta into the global
+    /// totals.
+    pub(crate) fn fold_chip(&self, delta: &ChipCounterExport) {
+        for (slot, v) in self.chip.iter().zip([
+            delta.synaptic_ops,
+            delta.spikes_in,
+            delta.spikes_out,
+            delta.routed_spikes,
+            delta.mesh_hops,
+            delta.output_spikes,
+            delta.flushed_spikes,
+            delta.ticks,
+        ]) {
+            slot.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current chip hardware-counter totals across all workers.
+    pub(crate) fn chip_export(&self) -> ChipCounterExport {
+        let load = |i: usize| self.chip[i].load(Ordering::Relaxed);
+        ChipCounterExport {
+            synaptic_ops: load(0),
+            spikes_in: load(1),
+            spikes_out: load(2),
+            routed_spikes: load(3),
+            mesh_hops: load(4),
+            output_spikes: load(5),
+            flushed_spikes: load(6),
+            ticks: load(7),
+        }
+    }
+
+    /// Lifetime `(completed, agreement_sum/SCALE)` pair — the observer
+    /// diffs successive reads to get per-window means.
+    pub(crate) fn agreement_progress(&self) -> (u64, u64) {
+        (
+            self.completed.load(Ordering::Relaxed),
+            self.agreement_micros.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Mean agreement over a window delimited by two
+    /// [`Metrics::agreement_progress`] reads, `None` if nothing completed
+    /// in the window.
+    pub(crate) fn window_agreement(prev: (u64, u64), now: (u64, u64)) -> Option<f32> {
+        let frames = now.0.saturating_sub(prev.0);
+        if frames == 0 {
+            return None;
+        }
+        let sum = now.1.saturating_sub(prev.1) as f64 / AGREEMENT_SCALE;
+        Some((sum / frames as f64) as f32)
     }
 
     pub(crate) fn snapshot(
@@ -109,7 +182,9 @@ impl Metrics {
             .collect();
         let completed = self.completed.load(Ordering::Relaxed);
         let ticks = self.ticks.load(Ordering::Relaxed);
-        let synops = self.synaptic_ops.load(Ordering::Relaxed);
+        let chip = self.chip_export();
+        let agreement_sum =
+            self.agreement_micros.load(Ordering::Relaxed) as f64 / AGREEMENT_SCALE;
         MetricsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed,
@@ -142,7 +217,13 @@ impl Metrics {
             } else {
                 0.0
             },
-            energy: EnergyReport::from_counters(synops, ticks, cores),
+            mean_agreement: if completed == 0 {
+                0.0
+            } else {
+                (agreement_sum / completed as f64) as f32
+            },
+            energy: EnergyReport::from_counters(chip.synaptic_ops, ticks, cores),
+            chip,
         }
     }
 }
@@ -201,9 +282,15 @@ pub struct MetricsSnapshot {
     pub elapsed: Duration,
     /// Completed requests per wall-clock second.
     pub throughput_rps: f64,
+    /// Mean replica vote agreement over every completed request (0 when
+    /// nothing completed). 1.0 = unanimous replicas; the paper's
+    /// duplication axis is buying nothing once this saturates.
+    pub mean_agreement: f32,
     /// TrueNorth energy model applied to the served workload
     /// (synaptic-op and tick counters aggregated across workers).
     pub energy: EnergyReport,
+    /// Chip hardware counters aggregated across all worker deployments.
+    pub chip: ChipCounterExport,
 }
 
 impl MetricsSnapshot {
@@ -260,9 +347,10 @@ impl std::fmt::Display for MetricsSnapshot {
         )?;
         writeln!(
             f,
-            "chip ticks {}  per-worker frames {:?}  energy/frame {:.3e} J",
+            "chip ticks {}  per-worker frames {:?}  mean agreement {:.3}  energy/frame {:.3e} J",
             self.ticks,
             self.per_worker_frames,
+            self.mean_agreement,
             self.joules_per_frame()
         )
     }
@@ -276,9 +364,9 @@ mod tests {
     fn quantiles_track_recorded_latencies() {
         let m = Metrics::new(2);
         for _ in 0..99 {
-            m.record_completion(0, 8, Duration::from_micros(100));
+            m.record_completion(0, 8, Duration::from_micros(100), 1.0);
         }
-        m.record_completion(1, 8, Duration::from_millis(50));
+        m.record_completion(1, 8, Duration::from_millis(50), 0.5);
         let snap = m.snapshot(0, Duration::from_secs(1), 4);
         assert_eq!(snap.completed, 100);
         assert_eq!(snap.ticks, 800);
@@ -300,10 +388,10 @@ mod tests {
         // buckets reported p50 == p99 == 2.097 ms for this workload.
         let m = Metrics::new(1);
         for _ in 0..90 {
-            m.record_completion(0, 1, Duration::from_micros(1000));
+            m.record_completion(0, 1, Duration::from_micros(1000), 1.0);
         }
         for _ in 0..10 {
-            m.record_completion(0, 1, Duration::from_micros(1900));
+            m.record_completion(0, 1, Duration::from_micros(1900), 1.0);
         }
         let snap = m.snapshot(0, Duration::from_secs(1), 1);
         assert!(snap.p50_latency < snap.p99_latency, "quantiles degenerate");
@@ -362,7 +450,7 @@ mod tests {
     #[test]
     fn display_mentions_throughput_and_energy() {
         let m = Metrics::new(1);
-        m.record_completion(0, 8, Duration::from_micros(10));
+        m.record_completion(0, 8, Duration::from_micros(10), 0.75);
         let text = m.snapshot(0, Duration::from_secs(1), 4).to_string();
         assert!(text.contains("req/s"), "{text}");
         assert!(text.contains("energy/frame"), "{text}");

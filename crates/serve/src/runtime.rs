@@ -1,4 +1,5 @@
-//! The serving runtime: worker pool, submission path, voting, shutdown.
+//! The serving runtime: worker pool, submission path, voting, adaptive
+//! control, telemetry, shutdown.
 //!
 //! # Determinism contract
 //!
@@ -9,16 +10,32 @@
 //! of serving request `seq` is a pure function of the config and the
 //! submission order, never of worker count, queue timing, or OS
 //! scheduling.
+//!
+//! The adaptive layer preserves this along both control axes:
+//!
+//! * `kernel_batch` changes are invisible in results by the batch-first
+//!   contract (lane fusion never changes any vote), so the queue-depth
+//!   controller only moves throughput and latency.
+//! * Replica rescaling rebuilds the prototype with
+//!   `Deployment::build_with_mode(spec, r, cfg.seed, cfg.connectivity)` —
+//!   the *same* call a fresh runtime configured at `r` replicas makes —
+//!   so once a scale lands, responses are bit-identical to that fresh
+//!   runtime's (see `apply_control_set_replicas_matches_fresh_runtime`).
+//!   What autoscaling does make time-dependent is *when* the replica
+//!   count changes relative to an in-flight request stream; runtimes
+//!   without a controller never rescale and stay bit-identical end to end.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use tn_chip::nscs::{Deployment, FrameInput, NetworkDeploySpec};
 use tn_chip::prng::splitmix64;
+use tn_telemetry::{emit, Clock, MetricsSink, MonotonicClock, NullSink, Snapshot, SpanRecorder, Stage};
 
 use crate::config::{Backpressure, ServeConfig};
+use crate::control::{ControlAction, Controller};
 use crate::error::ServeError;
 use crate::handle::{pair, Completer, RequestHandle, Response};
 use crate::metrics::{Metrics, MetricsSnapshot};
@@ -33,28 +50,62 @@ struct Job {
     completer: Completer,
 }
 
+/// Live actuator state shared by the workers, the observer thread, and
+/// [`ServeRuntime::apply_control`].
+#[derive(Debug)]
+struct ControlState {
+    /// Kernel fusion width currently in force (workers read per chunk).
+    kernel_batch: AtomicUsize,
+    /// Replica count of the current prototype.
+    replicas: AtomicUsize,
+    /// Cores occupied by the current prototype (energy-model input).
+    cores: AtomicUsize,
+    /// Bumped on every prototype swap; workers re-clone when it moves.
+    epoch: AtomicU64,
+    /// Prototype deployment workers clone from (swapped on rescale).
+    proto: Mutex<Arc<Deployment>>,
+    /// Replica rebuilds that failed (the action was skipped).
+    rebuild_failures: AtomicU64,
+    /// Deploy spec, kept so rescaling can rebuild at a new replica count.
+    spec: NetworkDeploySpec,
+}
+
+/// Shutdown signal for the observer thread.
+type StopFlag = Arc<(Mutex<bool>, Condvar)>;
+
+/// Per-worker telemetry context (present when `cfg.telemetry` is set).
+#[derive(Debug, Clone)]
+struct WorkerTelemetry {
+    spans: Arc<SpanRecorder>,
+    clock: Arc<dyn Clock>,
+}
+
 /// A persistent multi-threaded inference runtime over deployed chip
 /// replicas.
 ///
 /// See the crate docs for the architecture; in short: bounded MPMC
 /// queue → worker pool (one cloned deployment each) → per-request
-/// replica voting → completion handles.
+/// replica voting → completion handles, with an optional observer thread
+/// that exports telemetry snapshots and runs the adaptive
+/// [`Controller`].
 #[derive(Debug)]
 pub struct ServeRuntime {
     queue: Arc<BoundedQueue<Job>>,
     metrics: Arc<Metrics>,
     workers: Vec<JoinHandle<()>>,
+    observer: Option<JoinHandle<()>>,
+    stop: StopFlag,
+    control: Arc<ControlState>,
     next_seq: AtomicU64,
     started: Instant,
     cfg: ServeConfig,
     n_inputs: usize,
     n_classes: usize,
-    /// Physical cores of one worker's chip (for the energy model).
-    cores: usize,
 }
 
 impl ServeRuntime {
-    /// Deploy `spec` and start the worker pool.
+    /// Deploy `spec` and start the worker pool (no telemetry egress; any
+    /// configured observer exports go to a [`NullSink`]).
     ///
     /// Building samples the replica crossbars once; each worker then
     /// clones the prototype so all workers hold bit-identical replicas.
@@ -64,36 +115,89 @@ impl ServeRuntime {
     /// [`ServeError::BadConfig`] for inconsistent configs,
     /// [`ServeError::Deploy`] if the spec cannot be placed on a chip.
     pub fn new(spec: &NetworkDeploySpec, cfg: ServeConfig) -> Result<Self, ServeError> {
+        Self::new_with_sink(spec, cfg, Arc::new(NullSink))
+    }
+
+    /// Like [`ServeRuntime::new`], with a [`MetricsSink`] receiving the
+    /// observer's periodic [`Snapshot`] exports. The sink is only driven
+    /// when [`ServeConfig::telemetry`] is set (a final snapshot is always
+    /// emitted at shutdown, so even a short-lived runtime exports at
+    /// least one).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServeRuntime::new`].
+    pub fn new_with_sink(
+        spec: &NetworkDeploySpec,
+        cfg: ServeConfig,
+        sink: Arc<dyn MetricsSink>,
+    ) -> Result<Self, ServeError> {
         cfg.validate()?;
         let proto =
             Deployment::build_with_mode(spec, cfg.replicas, cfg.seed, cfg.connectivity)?;
         let n_inputs = proto.n_inputs();
         let n_classes = proto.n_classes();
-        let cores = proto.core_count();
+        let control = Arc::new(ControlState {
+            kernel_batch: AtomicUsize::new(cfg.kernel_batch),
+            replicas: AtomicUsize::new(cfg.replicas),
+            cores: AtomicUsize::new(proto.core_count()),
+            epoch: AtomicU64::new(0),
+            proto: Mutex::new(Arc::new(proto)),
+            rebuild_failures: AtomicU64::new(0),
+            spec: spec.clone(),
+        });
+        let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
+        let spans = cfg
+            .telemetry
+            .as_ref()
+            .map(|t| Arc::new(SpanRecorder::new(t.span_ring)));
         let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
         let metrics = Arc::new(Metrics::new(cfg.workers));
         let mut workers = Vec::with_capacity(cfg.workers);
         for w in 0..cfg.workers {
-            let dep = proto.clone();
             let queue = Arc::clone(&queue);
             let metrics = Arc::clone(&metrics);
+            let control = Arc::clone(&control);
             let cfg = cfg.clone();
+            let telemetry = spans.as_ref().map(|s| WorkerTelemetry {
+                spans: Arc::clone(s),
+                clock: Arc::clone(&clock),
+            });
             let handle = std::thread::Builder::new()
                 .name(format!("tn-serve-worker-{w}"))
-                .spawn(move || worker_loop(w, dep, &cfg, &queue, &metrics))
+                .spawn(move || worker_loop(w, &cfg, &queue, &metrics, &control, telemetry))
                 .expect("spawn serve worker");
             workers.push(handle);
         }
+        let stop: StopFlag = Arc::new((Mutex::new(false), Condvar::new()));
+        let observer = (cfg.controller.is_some() || cfg.telemetry.is_some()).then(|| {
+            let ctx = ObserverCtx {
+                queue: Arc::clone(&queue),
+                metrics: Arc::clone(&metrics),
+                control: Arc::clone(&control),
+                cfg: cfg.clone(),
+                sink,
+                clock,
+                spans,
+                stop: Arc::clone(&stop),
+            };
+            std::thread::Builder::new()
+                .name("tn-serve-observer".into())
+                .spawn(move || observer_loop(&ctx))
+                .expect("spawn serve observer")
+        });
         Ok(Self {
             queue,
             metrics,
             workers,
+            observer,
+            stop,
+            control,
             next_seq: AtomicU64::new(0),
             started: Instant::now(),
             cfg,
             n_inputs,
             n_classes,
-            cores,
         })
     }
 
@@ -107,9 +211,47 @@ impl ServeRuntime {
         self.n_classes
     }
 
-    /// The runtime's configuration.
+    /// The runtime's configuration (the *initial* knob values; see
+    /// [`ServeRuntime::kernel_batch`] and [`ServeRuntime::replicas`] for
+    /// the live values under adaptive control).
     pub fn config(&self) -> &ServeConfig {
         &self.cfg
+    }
+
+    /// Kernel fusion width currently in force.
+    pub fn kernel_batch(&self) -> usize {
+        self.control.kernel_batch.load(Ordering::Relaxed)
+    }
+
+    /// Replica count currently in force.
+    pub fn replicas(&self) -> usize {
+        self.control.replicas.load(Ordering::Relaxed)
+    }
+
+    /// Replica rebuilds the observer attempted that failed (the scale
+    /// action was skipped; serving continued at the old count).
+    pub fn rebuild_failures(&self) -> u64 {
+        self.control.rebuild_failures.load(Ordering::Relaxed)
+    }
+
+    /// Apply one control action immediately, exactly as the observer
+    /// thread would. Public so callers (and the deterministic integration
+    /// tests) can drive the actuators without a live controller.
+    ///
+    /// `SetKernelBatch` takes effect on the next kernel chunk and never
+    /// changes results. `SetReplicas` rebuilds the prototype deployment
+    /// at the new count — deterministically seeded by `(cfg.seed, count)`
+    /// — and workers pick it up at their next micro-batch; requests
+    /// served after the swap are bit-identical to a fresh runtime
+    /// configured at that count.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadConfig`] for a zero knob value,
+    /// [`ServeError::Deploy`] if the rescaled deployment cannot be built
+    /// (the old deployment keeps serving).
+    pub fn apply_control(&self, action: &ControlAction) -> Result<(), ServeError> {
+        apply_action(&self.control, &self.cfg, action)
     }
 
     /// Submit one inference request; returns an awaitable handle.
@@ -181,12 +323,16 @@ impl ServeRuntime {
 
     /// Snapshot the runtime's counters.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics
-            .snapshot(self.queue.len(), self.started.elapsed(), self.cores)
+        self.metrics.snapshot(
+            self.queue.len(),
+            self.started.elapsed(),
+            self.control.cores.load(Ordering::Relaxed),
+        )
     }
 
     /// Graceful shutdown: refuse new submissions, drain every queued
-    /// request, join the workers, and return the final metrics.
+    /// request, join the workers and observer (the observer emits one
+    /// final telemetry snapshot first), and return the final metrics.
     pub fn shutdown(mut self) -> MetricsSnapshot {
         self.close_and_join();
         self.metrics()
@@ -201,6 +347,18 @@ impl ServeRuntime {
                 std::panic::resume_unwind(payload);
             }
         }
+        // Workers are done: every counter the final snapshot should cover
+        // is folded. Now let the observer emit it and exit.
+        {
+            let (lock, cvar) = &*self.stop;
+            *lock.lock().expect("stop lock") = true;
+            cvar.notify_all();
+        }
+        if let Some(handle) = self.observer.take() {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
     }
 }
 
@@ -210,29 +368,231 @@ impl Drop for ServeRuntime {
     }
 }
 
+/// Apply one [`ControlAction`] to the shared actuator state.
+fn apply_action(
+    control: &ControlState,
+    cfg: &ServeConfig,
+    action: &ControlAction,
+) -> Result<(), ServeError> {
+    match *action {
+        ControlAction::SetKernelBatch(kb) => {
+            if kb == 0 {
+                return Err(ServeError::BadConfig(
+                    "control action kernel_batch must be >= 1".into(),
+                ));
+            }
+            control.kernel_batch.store(kb, Ordering::Relaxed);
+            Ok(())
+        }
+        ControlAction::SetReplicas(r) => {
+            if r == 0 {
+                return Err(ServeError::BadConfig(
+                    "control action replicas must be >= 1".into(),
+                ));
+            }
+            if r == control.replicas.load(Ordering::Relaxed) {
+                return Ok(());
+            }
+            // The same build a fresh runtime at `r` replicas performs, so
+            // post-swap responses match that runtime bit for bit.
+            let dep =
+                Deployment::build_with_mode(&control.spec, r, cfg.seed, cfg.connectivity)?;
+            let cores = dep.core_count();
+            *control.proto.lock().expect("proto lock") = Arc::new(dep);
+            control.replicas.store(r, Ordering::Relaxed);
+            control.cores.store(cores, Ordering::Relaxed);
+            // Release pairs with the workers' Acquire epoch read: a worker
+            // that sees the new epoch also sees the swapped prototype.
+            control.epoch.fetch_add(1, Ordering::Release);
+            Ok(())
+        }
+    }
+}
+
+/// Everything the observer thread needs.
+struct ObserverCtx {
+    queue: Arc<BoundedQueue<Job>>,
+    metrics: Arc<Metrics>,
+    control: Arc<ControlState>,
+    cfg: ServeConfig,
+    sink: Arc<dyn MetricsSink>,
+    clock: Arc<dyn Clock>,
+    spans: Option<Arc<SpanRecorder>>,
+    stop: StopFlag,
+}
+
+/// The observer loop: periodically sample metrics, run the controller,
+/// apply its actions, and export telemetry snapshots. All *decisions*
+/// live in [`Controller::observe`], which consumes pre-stamped samples —
+/// this loop only gathers inputs and applies outputs.
+fn observer_loop(ctx: &ObserverCtx) {
+    let mut controller = ctx
+        .cfg
+        .controller
+        .clone()
+        .map(|c| Controller::new(c, ctx.cfg.kernel_batch));
+    let sample_every = ctx.cfg.controller.as_ref().map(|c| c.sample_interval);
+    let export_every = ctx.cfg.telemetry.as_ref().map(|t| t.interval);
+    let tick = [sample_every, export_every]
+        .into_iter()
+        .flatten()
+        .min()
+        .unwrap_or(Duration::from_millis(100));
+    let interval_ns =
+        |d: Option<Duration>| d.map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    let sample_ns = interval_ns(sample_every);
+    let export_ns = interval_ns(export_every);
+
+    let mut seq = 0u64;
+    let mut window_start = ctx.metrics.agreement_progress();
+    let start_ns = ctx.clock.now_ns();
+    let mut last_sample_ns = start_ns;
+    let mut last_export_ns = start_ns;
+    loop {
+        let stopped = {
+            let (lock, cvar) = &*ctx.stop;
+            let guard = lock.lock().expect("stop lock");
+            let (guard, _) = cvar.wait_timeout(guard, tick).expect("stop wait");
+            *guard
+        };
+        let now_ns = ctx.clock.now_ns();
+
+        if let (Some(ctl), Some(period)) = (controller.as_mut(), sample_ns) {
+            if !stopped && now_ns.saturating_sub(last_sample_ns) >= period {
+                let progress = ctx.metrics.agreement_progress();
+                let sample = crate::control::ControlSample {
+                    t_ns: now_ns,
+                    queue_depth: ctx.queue.len(),
+                    queue_capacity: ctx.cfg.queue_capacity,
+                    kernel_batch: ctx.control.kernel_batch.load(Ordering::Relaxed),
+                    replicas: ctx.control.replicas.load(Ordering::Relaxed),
+                    mean_agreement: Metrics::window_agreement(window_start, progress),
+                };
+                window_start = progress;
+                last_sample_ns = now_ns;
+                for action in ctl.observe(&sample) {
+                    if apply_action(&ctx.control, &ctx.cfg, &action).is_err() {
+                        ctx.control.rebuild_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+
+        let export_due = export_ns
+            .is_some_and(|period| now_ns.saturating_sub(last_export_ns) >= period);
+        if export_due || stopped {
+            emit(&*ctx.sink, &assemble_snapshot(ctx, seq, now_ns));
+            seq += 1;
+            last_export_ns = now_ns;
+        }
+        if stopped {
+            return;
+        }
+    }
+}
+
+/// Assemble one telemetry [`Snapshot`] from the live runtime state.
+fn assemble_snapshot(ctx: &ObserverCtx, seq: u64, now_ns: u64) -> Snapshot {
+    let mut snap = Snapshot::new(seq, now_ns);
+    let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+    snap.counter("serve.submitted", load(&ctx.metrics.submitted))
+        .counter("serve.completed", load(&ctx.metrics.completed))
+        .counter("serve.rejected", load(&ctx.metrics.rejected))
+        .counter("serve.batches", load(&ctx.metrics.batches))
+        .counter("serve.kernel_batches", load(&ctx.metrics.kernel_batches))
+        .counter("serve.ticks", load(&ctx.metrics.ticks))
+        .counter("serve.rebuild_failures", load(&ctx.control.rebuild_failures));
+    ctx.metrics.chip_export().for_each(|name, value| {
+        snap.counter(name, value);
+    });
+    let depth = ctx.queue.len();
+    let (completed, agreement_micros) = ctx.metrics.agreement_progress();
+    let mean_agreement = Metrics::window_agreement((0, 0), (completed, agreement_micros));
+    snap.gauge("serve.queue_depth", depth as f64)
+        .gauge(
+            "serve.queue_fill",
+            depth as f64 / ctx.cfg.queue_capacity.max(1) as f64,
+        )
+        .gauge(
+            "serve.kernel_batch",
+            ctx.control.kernel_batch.load(Ordering::Relaxed) as f64,
+        )
+        .gauge(
+            "serve.replicas",
+            ctx.control.replicas.load(Ordering::Relaxed) as f64,
+        )
+        .gauge(
+            "serve.mean_agreement",
+            f64::from(mean_agreement.unwrap_or(0.0)),
+        );
+    if let Some(spans) = &ctx.spans {
+        for (stage, stats) in Stage::ALL.iter().zip(spans.stage_stats()) {
+            snap.stage(*stage, stats);
+        }
+    }
+    snap
+}
+
 /// Per-worker serving loop: drain micro-batches until closed-and-empty,
 /// slicing each drained batch into kernel-level lockstep lane batches of up
-/// to `cfg.kernel_batch` frames served by one `Deployment::run_frames`
+/// to the live `kernel_batch` frames served by one `Deployment::run_frames`
 /// call. Each frame's seed is a pure function of `(cfg.seed, seq)`, so how
-/// frames land in batches never affects results.
+/// frames land in batches never affects results. Between micro-batches the
+/// worker checks the control epoch and re-clones the prototype if the
+/// observer swapped it (replica rescaling), folding the old deployment's
+/// hardware-counter delta first so nothing is lost.
 fn worker_loop(
     worker: usize,
-    mut dep: Deployment,
     cfg: &ServeConfig,
     queue: &BoundedQueue<Job>,
     metrics: &Metrics,
+    control: &ControlState,
+    telemetry: Option<WorkerTelemetry>,
 ) {
-    let n_classes = dep.n_classes();
+    let mut dep: Deployment = {
+        let proto = control.proto.lock().expect("proto lock");
+        (**proto).clone()
+    };
     // Frames run on the deployment's compiled fast path (built once in the
     // prototype and shared by every worker clone); `core_threads` optionally
     // fans each tick's cores across threads inside this worker.
     dep.set_parallelism(cfg.core_threads);
+    let mut local_epoch = control.epoch.load(Ordering::Acquire);
+    let n_classes = dep.n_classes();
     let mut batch: Vec<Job> = Vec::with_capacity(cfg.batch_max);
-    let mut last_synops = dep.synaptic_ops();
-    while queue.pop_batch(cfg.batch_max, &mut batch) {
+    let mut last_export = dep.counter_export();
+    loop {
+        let drain_from = telemetry.as_ref().map(|t| t.clock.now_ns());
+        if !queue.pop_batch(cfg.batch_max, &mut batch) {
+            break;
+        }
+        if let (Some(t), Some(t0)) = (&telemetry, drain_from) {
+            let now = t.clock.now_ns();
+            t.spans.record(Stage::Drain, t0, now.saturating_sub(t0));
+            // Enqueue: the longest queue wait in the drained batch.
+            if let Some(wait) = batch.iter().map(|j| j.submitted.elapsed()).max() {
+                let ns = u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX);
+                t.spans.record(Stage::Enqueue, now.saturating_sub(ns), ns);
+            }
+        }
+        let epoch = control.epoch.load(Ordering::Acquire);
+        if epoch != local_epoch {
+            metrics.fold_chip(&dep.counter_export().delta_since(&last_export));
+            dep = {
+                let proto = control.proto.lock().expect("proto lock");
+                (**proto).clone()
+            };
+            dep.set_parallelism(cfg.core_threads);
+            last_export = dep.counter_export();
+            local_epoch = epoch;
+        }
         metrics.batches.fetch_add(1, Ordering::Relaxed);
         while !batch.is_empty() {
-            let take = cfg.kernel_batch.max(1).min(batch.len());
+            let take = control
+                .kernel_batch
+                .load(Ordering::Relaxed)
+                .max(1)
+                .min(batch.len());
             let chunk: Vec<Job> = batch.drain(..take).collect();
             // Same per-frame derivation as the offline evaluator: the
             // request's sequence number plays the role of the frame index.
@@ -243,9 +603,15 @@ fn worker_loop(
                     FrameInput::new(&job.inputs, cfg.spf, frame_seed)
                 })
                 .collect();
+            let kernel_from = telemetry.as_ref().map(|t| t.clock.now_ns());
             let results = dep.run_frames(&frames);
+            if let (Some(t), Some(t0)) = (&telemetry, kernel_from) {
+                t.spans
+                    .record(Stage::Kernel, t0, t.clock.now_ns().saturating_sub(t0));
+            }
             metrics.kernel_batches.fetch_add(1, Ordering::Relaxed);
             drop(frames);
+            let vote_from = telemetry.as_ref().map(|t| t.clock.now_ns());
             for (job, votes) in chunk.into_iter().zip(results) {
                 let response = tally(
                     job.seq,
@@ -255,17 +621,25 @@ fn worker_loop(
                     &votes.counts,
                     job.submitted,
                 );
-                metrics.record_completion(worker, votes.ticks, response.latency);
+                metrics.record_completion(
+                    worker,
+                    votes.ticks,
+                    response.latency,
+                    response.agreement,
+                );
                 job.completer.complete(Ok(response));
             }
+            if let (Some(t), Some(t0)) = (&telemetry, vote_from) {
+                t.spans
+                    .record(Stage::Vote, t0, t.clock.now_ns().saturating_sub(t0));
+            }
         }
-        // Fold this batch's synaptic work into the global energy counters.
-        let synops = dep.synaptic_ops();
-        metrics
-            .synaptic_ops
-            .fetch_add(synops - last_synops, Ordering::Relaxed);
-        last_synops = synops;
+        // Fold this batch's hardware work into the global counters.
+        let export = dep.counter_export();
+        metrics.fold_chip(&export.delta_since(&last_export));
+        last_export = export;
     }
+    metrics.fold_chip(&dep.counter_export().delta_since(&last_export));
 }
 
 /// Pool replica votes into a [`Response`]. Ties break toward the lowest
@@ -311,7 +685,9 @@ fn tally(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::TelemetryConfig;
     use tn_chip::nscs::{CoreDeploySpec, InputSource};
+    use tn_telemetry::MemorySink;
 
     /// 2-input, 2-class, single-core spec with deterministic ±1 weights:
     /// input channel k drives class k.
@@ -490,6 +866,11 @@ mod tests {
         assert!(snap.joules_per_frame() > 0.0);
         assert!(snap.kernel_batches > 0, "batched path must be exercised");
         assert!(snap.mean_kernel_batch_size() >= 1.0);
+        assert!(snap.mean_agreement > 0.0, "agreement must be recorded");
+        assert!(snap.mean_agreement <= 1.0);
+        assert_eq!(snap.chip.synaptic_ops, snap.energy.synaptic_ops);
+        assert_eq!(snap.chip.ticks, snap.ticks, "chip and serve tick counters agree");
+        assert!(snap.chip.spikes_in > 0, "served frames inject spikes");
     }
 
     #[test]
@@ -524,5 +905,128 @@ mod tests {
         let lone = serve_all(1);
         assert_eq!(lone, serve_all(8));
         assert_eq!(lone, serve_all(24));
+    }
+
+    /// Serve `n` requests and return the result tuples (fresh submissions
+    /// starting at seq 0).
+    fn serve_n(rt: &ServeRuntime, n: usize) -> Vec<(u64, usize, Vec<u64>, Vec<usize>)> {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let x = (i % 5) as f32 / 4.0;
+                rt.submit(vec![x, 1.0 - x]).expect("submit")
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                let r = h.wait().expect("serve");
+                (r.seq, r.predicted, r.votes, r.replica_predictions)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn apply_control_set_replicas_matches_fresh_runtime() {
+        // Rescaling to r replicas, then serving, must be bit-identical to
+        // a runtime *configured* at r replicas: the rebuild is seeded by
+        // (seed, r) exactly as a fresh deployment is.
+        let cfg = |replicas: usize| {
+            ServeConfig::builder(21)
+                .replicas(replicas)
+                .workers(2)
+                .build()
+                .expect("cfg")
+        };
+        let scaled = runtime(cfg(2));
+        scaled
+            .apply_control(&ControlAction::SetReplicas(3))
+            .expect("rescale");
+        assert_eq!(scaled.replicas(), 3);
+        let got = serve_n(&scaled, 24);
+        assert_eq!(
+            got.iter().map(|r| r.3.len()).max(),
+            Some(3),
+            "responses must come from 3 replicas"
+        );
+        scaled.shutdown();
+
+        let fresh = runtime(cfg(3));
+        let want = serve_n(&fresh, 24);
+        fresh.shutdown();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn apply_control_kernel_batch_changes_width_not_results() {
+        let mk = || {
+            runtime(
+                ServeConfig::builder(23)
+                    .replicas(2)
+                    .workers(1)
+                    .kernel_batch(16)
+                    .build()
+                    .expect("cfg"),
+            )
+        };
+        let rt = mk();
+        rt.apply_control(&ControlAction::SetKernelBatch(3))
+            .expect("set width");
+        assert_eq!(rt.kernel_batch(), 3);
+        let narrow = serve_n(&rt, 24);
+        rt.shutdown();
+        let rt = mk();
+        let wide = serve_n(&rt, 24);
+        rt.shutdown();
+        assert_eq!(narrow, wide, "fusion width is invisible in results");
+    }
+
+    #[test]
+    fn apply_control_rejects_zero_values() {
+        let rt = runtime(ServeConfig::new(2));
+        assert!(matches!(
+            rt.apply_control(&ControlAction::SetKernelBatch(0)),
+            Err(ServeError::BadConfig(msg)) if msg.contains("kernel_batch")
+        ));
+        assert!(matches!(
+            rt.apply_control(&ControlAction::SetReplicas(0)),
+            Err(ServeError::BadConfig(msg)) if msg.contains("replicas")
+        ));
+        assert_eq!(rt.rebuild_failures(), 0);
+    }
+
+    #[test]
+    fn telemetry_sink_receives_final_snapshot_with_serve_counters() {
+        let sink = Arc::new(MemorySink::new());
+        let cfg = ServeConfig::builder(9)
+            .replicas(2)
+            .workers(2)
+            .telemetry(TelemetryConfig::default())
+            .build()
+            .expect("cfg");
+        let rt = ServeRuntime::new_with_sink(
+            &xor_free_spec(),
+            cfg,
+            Arc::clone(&sink) as Arc<dyn MetricsSink>,
+        )
+        .expect("runtime");
+        for i in 0..12 {
+            let x = (i % 3) as f32 / 2.0;
+            rt.classify(vec![x, 1.0 - x]).expect("serve");
+        }
+        rt.shutdown();
+        assert!(!sink.is_empty(), "shutdown must flush a final snapshot");
+        assert_eq!(sink.last_counter("serve.completed"), Some(12));
+        assert_eq!(sink.last_counter("serve.submitted"), Some(12));
+        assert!(sink.last_counter("chip.synaptic_ops").unwrap_or(0) > 0);
+        let last = sink.snapshots().pop().expect("snapshot");
+        assert_eq!(last.gauges.get("serve.replicas"), Some(&2.0));
+        assert!(
+            last.stages.contains_key("kernel") && last.stages["kernel"].count > 0,
+            "worker spans must reach the exported snapshot: {:?}",
+            last.stages
+        );
+        // The wire line round-trips through the strict parser.
+        let line = last.to_json_line();
+        assert_eq!(Snapshot::parse_json_line(&line).expect("valid line"), last);
     }
 }

@@ -1,0 +1,72 @@
+//! Validate a telemetry JSON-lines file: every non-empty line must parse
+//! as a `tn-telemetry/1` snapshot, and at least `--min N` (default 1)
+//! snapshots must be present. Used by `scripts/verify.sh` to smoke-test
+//! `serve_throughput --telemetry`.
+//!
+//! Usage: `snapshot_check <file.jsonl> [--min N]`
+//! (pass `-` to read stdin). Exits non-zero on any violation.
+
+use std::io::Read;
+
+use tn_telemetry::Snapshot;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("snapshot_check: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut min: u64 = 1;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--min" => {
+                let value = iter
+                    .next()
+                    .unwrap_or_else(|| fail("--min requires a value"));
+                min = value
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--min {value:?} is not an integer")));
+            }
+            "--help" | "-h" => {
+                println!("usage: snapshot_check <file.jsonl | -> [--min N]");
+                return;
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => fail(&format!("unexpected argument {other:?}")),
+        }
+    }
+    let path = path.unwrap_or_else(|| fail("missing input path (or '-' for stdin)"));
+
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .unwrap_or_else(|e| fail(&format!("cannot read stdin: {e}")));
+        buf
+    } else {
+        std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")))
+    };
+
+    let mut count = 0u64;
+    let mut max_seq = 0u64; // highest seq seen, for the summary
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Snapshot::parse_json_line(line) {
+            Ok(snap) => {
+                count += 1;
+                max_seq = max_seq.max(snap.seq);
+            }
+            Err(e) => fail(&format!("line {}: {e}", lineno + 1)),
+        }
+    }
+    if count < min {
+        fail(&format!("expected >= {min} snapshot line(s), found {count}"));
+    }
+    println!("snapshot_check: {count} valid snapshot(s), max seq {max_seq}");
+}

@@ -1,0 +1,129 @@
+//! Time sources for telemetry and control.
+//!
+//! Everything downstream of this module — span recording, snapshot
+//! timestamps, and especially the serving stack's control math — consumes
+//! time as plain nanosecond counters through the [`Clock`] trait, never
+//! `std::time::Instant` directly. That keeps control decisions a pure
+//! function of their inputs: tests drive a [`ManualClock`] through any
+//! schedule they like and get bit-identical decisions every run, while
+//! production uses [`MonotonicClock`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic nanosecond counter.
+///
+/// The zero point is arbitrary (per-clock); only differences are
+/// meaningful. Implementations must be monotonic: successive calls never
+/// go backwards.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Nanoseconds since this clock's (arbitrary) epoch.
+    fn now_ns(&self) -> u64;
+}
+
+/// Wall-clock monotonic time, anchored at construction.
+#[derive(Debug, Clone)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose zero is "now".
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A scripted clock for deterministic tests: time moves only when the
+/// test says so.
+///
+/// Cloning shares the underlying counter, so a test can hand one copy to
+/// the system under test and keep another to advance.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    ns: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A clock stopped at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clock stopped at `ns`.
+    pub fn at_ns(ns: u64) -> Self {
+        let clock = Self::new();
+        clock.set_ns(ns);
+        clock
+    }
+
+    /// Jump to an absolute time. Panics if this would move time backwards.
+    pub fn set_ns(&self, ns: u64) {
+        let prev = self.ns.swap(ns, Ordering::SeqCst);
+        assert!(prev <= ns, "ManualClock moved backwards: {prev} -> {ns}");
+    }
+
+    /// Advance by `delta_ns` nanoseconds.
+    pub fn advance_ns(&self, delta_ns: u64) {
+        self.ns.fetch_add(delta_ns, Ordering::SeqCst);
+    }
+
+    /// Advance by a [`std::time::Duration`].
+    pub fn advance(&self, delta: std::time::Duration) {
+        self.advance_ns(u64::try_from(delta.as_nanos()).unwrap_or(u64::MAX));
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_moves_only_when_advanced() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now_ns(), 0);
+        clock.advance_ns(5);
+        assert_eq!(clock.now_ns(), 5);
+        clock.advance(std::time::Duration::from_micros(1));
+        assert_eq!(clock.now_ns(), 1005);
+        let shared = clock.clone();
+        shared.set_ns(2000);
+        assert_eq!(clock.now_ns(), 2000, "clones share the counter");
+    }
+
+    #[test]
+    #[should_panic(expected = "moved backwards")]
+    fn manual_clock_rejects_time_travel() {
+        let clock = ManualClock::at_ns(100);
+        clock.set_ns(50);
+    }
+}

@@ -1,0 +1,189 @@
+//! Metric egress: the [`MetricsSink`] trait and its stock implementations.
+//!
+//! Producers (the serving runtime, benches, anything with counters) stay
+//! ignorant of where metrics go: they assemble a [`Snapshot`] and hand it
+//! to a sink. The trait also receives each counter/gauge individually so a
+//! sink can forward to a push-gateway-style backend without re-walking the
+//! snapshot; [`emit`] drives both halves in the right order.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::snapshot::Snapshot;
+
+/// Where telemetry goes.
+///
+/// Implementations must be cheap and non-blocking-ish: the producer calls
+/// from its observer thread, never from the serving hot path, but a sink
+/// that blocks for seconds will stall snapshot cadence.
+pub trait MetricsSink: Send + Sync + std::fmt::Debug {
+    /// One monotonic counter from a snapshot being exported.
+    fn counter(&self, _name: &str, _value: u64) {}
+
+    /// One instantaneous gauge from a snapshot being exported.
+    fn gauge(&self, _name: &str, _value: f64) {}
+
+    /// The assembled snapshot, after its counters/gauges were offered.
+    fn export(&self, _snapshot: &Snapshot) {}
+}
+
+/// Feed one snapshot through a sink: every counter, every gauge, then the
+/// snapshot itself.
+pub fn emit(sink: &dyn MetricsSink, snapshot: &Snapshot) {
+    for (name, value) in &snapshot.counters {
+        sink.counter(name, *value);
+    }
+    for (name, value) in &snapshot.gauges {
+        sink.gauge(name, *value);
+    }
+    sink.export(snapshot);
+}
+
+/// Discards everything (telemetry plumbing enabled, egress disabled).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl MetricsSink for NullSink {}
+
+/// Retains every export in memory — the test double.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    snapshots: Mutex<Vec<Snapshot>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All snapshots exported so far, in order.
+    pub fn snapshots(&self) -> Vec<Snapshot> {
+        self.snapshots.lock().expect("memory sink lock").clone()
+    }
+
+    /// Number of snapshots exported so far.
+    pub fn len(&self) -> usize {
+        self.snapshots.lock().expect("memory sink lock").len()
+    }
+
+    /// Whether nothing has been exported yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The most recent value of counter `name`, if any snapshot carried it.
+    pub fn last_counter(&self, name: &str) -> Option<u64> {
+        self.snapshots
+            .lock()
+            .expect("memory sink lock")
+            .iter()
+            .rev()
+            .find_map(|s| s.counters.get(name).copied())
+    }
+
+    /// The most recent value of gauge `name`, if any snapshot carried it.
+    pub fn last_gauge(&self, name: &str) -> Option<f64> {
+        self.snapshots
+            .lock()
+            .expect("memory sink lock")
+            .iter()
+            .rev()
+            .find_map(|s| s.gauges.get(name).copied())
+    }
+}
+
+impl MetricsSink for MemorySink {
+    fn export(&self, snapshot: &Snapshot) {
+        self.snapshots
+            .lock()
+            .expect("memory sink lock")
+            .push(snapshot.clone());
+    }
+}
+
+/// Writes each snapshot as one JSON line (see
+/// [`Snapshot::to_json_line`]) to any `Write` — a file, stderr, a pipe.
+///
+/// Lines are flushed per export so a tailing consumer (or a crashed
+/// producer's post-mortem) never sees a torn line.
+pub struct JsonLinesSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> std::fmt::Debug for JsonLinesSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonLinesSink").finish_non_exhaustive()
+    }
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// Wrap a writer.
+    pub fn new(writer: W) -> Self {
+        Self {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Unwrap the inner writer (for tests and drain-on-shutdown).
+    pub fn into_inner(self) -> W {
+        self.writer.into_inner().expect("jsonl sink lock")
+    }
+}
+
+impl<W: Write + Send> MetricsSink for JsonLinesSink<W> {
+    fn export(&self, snapshot: &Snapshot) {
+        let line = snapshot.to_json_line();
+        let mut w = self.writer.lock().expect("jsonl sink lock");
+        // Telemetry must never take the serving stack down: swallow I/O
+        // errors (a full disk loses observability, not requests).
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Stage, StageStats};
+
+    fn sample(seq: u64) -> Snapshot {
+        let mut s = Snapshot::new(seq, seq * 1000);
+        s.counter("c.events", 10 + seq)
+            .gauge("g.depth", seq as f64)
+            .stage(Stage::Drain, StageStats::default());
+        s
+    }
+
+    #[test]
+    fn memory_sink_retains_order_and_latest_values() {
+        let sink = MemorySink::new();
+        emit(&sink, &sample(0));
+        emit(&sink, &sample(1));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.snapshots()[0].seq, 0);
+        assert_eq!(sink.last_counter("c.events"), Some(11));
+        assert_eq!(sink.last_gauge("g.depth"), Some(1.0));
+        assert_eq!(sink.last_counter("missing"), None);
+    }
+
+    #[test]
+    fn json_lines_sink_writes_parseable_lines() {
+        let sink = JsonLinesSink::new(Vec::new());
+        emit(&sink, &sample(0));
+        emit(&sink, &sample(1));
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).expect("utf8");
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            let snap = Snapshot::parse_json_line(line).expect("valid line");
+            assert_eq!(snap.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        emit(&NullSink, &sample(7));
+    }
+}

@@ -19,6 +19,15 @@ TN_BENCH_TICKS=100 cargo run --release -q -p tn-bench --bin bench_tick
 echo "== bench smoke: lockstep lane batching =="
 TN_BENCH_TICKS=100 cargo run --release -q -p tn-bench --bin bench_tick -- --batch 8
 
+echo "== telemetry smoke: adaptive serve exports valid snapshots =="
+TELEMETRY_OUT="$(mktemp /tmp/tn_verify_telemetry.XXXXXX.jsonl)"
+trap 'rm -f "$TELEMETRY_OUT"' EXIT
+TN_TRAIN=200 TN_TEST=60 TN_EPOCHS=1 TN_SERVE_REQUESTS=200 \
+  cargo run --release -q -p truenorth --example serve_throughput -- \
+  --telemetry "$TELEMETRY_OUT"
+cargo run --release -q -p tn-telemetry --bin snapshot_check -- \
+  "$TELEMETRY_OUT" --min 1
+
 echo "== lint gate: clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

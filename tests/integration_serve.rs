@@ -2,6 +2,8 @@
 //! equivalence with the offline deployment path, backpressure, and
 //! graceful drain — the `tn-serve` acceptance contract.
 
+use std::time::Duration;
+
 use tn_chip::nscs::{CoreDeploySpec, InputSource};
 use tn_chip::prng::splitmix64;
 use truenorth::prelude::*;
@@ -208,6 +210,96 @@ fn shutdown_drains_every_inflight_request() {
     for h in handles {
         assert!(h.wait().is_ok());
     }
+}
+
+#[test]
+fn wait_timeout_expires_under_a_saturated_queue_then_recovers() {
+    // One slow worker behind a deep backlog: the *last* submission cannot
+    // be served within a tiny deadline, so wait_timeout must report
+    // WaitTimeout — specifically, not ShuttingDown and not a panic — and
+    // the same handle must still deliver the result once the backlog
+    // clears (the request was never dropped).
+    let rt = ServeRuntime::new(
+        &fractional_spec(),
+        ServeConfig::builder(7)
+            .workers(1)
+            .spf(512)
+            .queue_capacity(64)
+            .batch_max(4)
+            .build()
+            .expect("cfg"),
+    )
+    .expect("runtime");
+    let handles: Vec<_> = (0..48)
+        .map(|i| rt.submit(request_inputs(i)).expect("submit"))
+        .collect();
+    let last = handles.into_iter().next_back().expect("48 handles");
+    match last.wait_timeout(Duration::from_micros(1)) {
+        Err(ServeError::WaitTimeout) => {}
+        other => panic!("expected WaitTimeout behind a saturated queue, got {other:?}"),
+    }
+    // The timed-out wait consumed nothing: a patient wait on the same
+    // handle gets the response, and shutdown confirms a full drain.
+    let response = last.wait().expect("request survives a timed-out wait");
+    assert_eq!(response.seq, 47);
+    let snap = rt.shutdown();
+    assert_eq!(snap.completed, 48);
+}
+
+#[test]
+fn builder_rejections_carry_distinct_variants_and_messages() {
+    // The validating builder's contract: each inconsistent knob combo is
+    // refused with BadConfig naming the offending field — distinguishable
+    // from the runtime's operational errors, not a generic is_err().
+    let field_of = |result: Result<ServeConfig, ServeError>| -> String {
+        match result {
+            Err(ServeError::BadConfig(msg)) => msg,
+            other => panic!("expected BadConfig, got {other:?}"),
+        }
+    };
+    let msg = field_of(ServeConfig::builder(1).workers(0).build());
+    assert!(msg.contains("workers"), "{msg:?}");
+    let msg = field_of(ServeConfig::builder(1).queue_capacity(4).batch_max(5).build());
+    assert!(
+        msg.contains("batch_max") && msg.contains("queue_capacity"),
+        "{msg:?}"
+    );
+    let msg = field_of(
+        ServeConfig::builder(1)
+            .replicas(9)
+            .controller(ControllerConfig {
+                min_replicas: 1,
+                max_replicas: 4,
+                ..ControllerConfig::default()
+            })
+            .build(),
+    );
+    assert!(msg.contains("controller bounds"), "{msg:?}");
+    let msg = field_of(
+        ServeConfig::builder(1)
+            .controller(ControllerConfig {
+                agreement_low: 0.9,
+                agreement_high: 0.8,
+                ..ControllerConfig::default()
+            })
+            .build(),
+    );
+    assert!(msg.contains("agreement"), "{msg:?}");
+    let msg = field_of(
+        ServeConfig::builder(1)
+            .telemetry(TelemetryConfig {
+                interval: Duration::ZERO,
+                ..TelemetryConfig::default()
+            })
+            .build(),
+    );
+    assert!(msg.contains("interval"), "{msg:?}");
+
+    // BadConfig is structurally distinct from the operational errors the
+    // runtime returns, so callers can match on it.
+    let bad = ServeConfig::builder(1).workers(0).build().unwrap_err();
+    assert!(!matches!(bad, ServeError::QueueFull | ServeError::WaitTimeout));
+    assert_ne!(bad, ServeError::ShuttingDown);
 }
 
 #[test]

@@ -1,0 +1,166 @@
+//! Integration tests of the telemetry + adaptive-control layer over the
+//! serving stack: snapshot export end to end (including the JSON-lines
+//! wire format), deterministic actuator application, and the closed loop
+//! actually adapting under sustained load.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tn_telemetry::{JsonLinesSink, MetricsSink, Snapshot};
+use truenorth::prelude::*;
+
+/// A 16-input / 4-class single-core spec with fractional weights, so each
+/// replica is a distinct Bernoulli sample and agreement is informative.
+fn fractional_spec() -> NetworkDeploySpec {
+    let (n_inputs, n_classes) = (16usize, 4usize);
+    let weights: Vec<f32> = (0..n_inputs * n_classes)
+        .map(|i| {
+            let sign = if (i / n_classes + i % n_classes) % 2 == 0 { 1.0 } else { -1.0 };
+            sign * (0.3 + 0.05 * (i % 9) as f32)
+        })
+        .collect();
+    NetworkDeploySpec {
+        cores: vec![tn_chip::nscs::CoreDeploySpec {
+            layer: 0,
+            weights,
+            n_axons: n_inputs,
+            n_neurons: n_classes,
+            biases: vec![-0.5; n_classes],
+            axon_sources: (0..n_inputs).map(tn_chip::nscs::InputSource::External).collect(),
+        }],
+        n_inputs,
+        n_classes,
+        output_taps: (0..n_classes).map(|c| (0, c, c)).collect(),
+    }
+}
+
+fn frame(n_inputs: usize, salt: usize) -> Vec<f32> {
+    (0..n_inputs)
+        .map(|i| ((i * 13 + salt * 7) % 10) as f32 / 10.0)
+        .collect()
+}
+
+#[test]
+fn jsonl_snapshot_trail_is_valid_and_ordered() {
+    // Serve through a JsonLinesSink writing into memory, then re-parse
+    // every line with the strict validator — the same check
+    // `snapshot_check` applies to `serve_throughput --telemetry` output.
+    let spec = fractional_spec();
+    let sink = Arc::new(JsonLinesSink::new(Vec::<u8>::new()));
+    let cfg = ServeConfig::builder(31)
+        .replicas(2)
+        .workers(2)
+        .telemetry(TelemetryConfig {
+            interval: Duration::from_millis(10),
+            ..TelemetryConfig::default()
+        })
+        .build()
+        .expect("cfg");
+    let rt = serve_spec_with_sink(&spec, cfg, Arc::clone(&sink) as Arc<dyn MetricsSink>)
+        .expect("serve");
+    for i in 0..64 {
+        rt.classify(frame(spec.n_inputs, i)).expect("serve");
+    }
+    rt.shutdown();
+
+    let bytes = Arc::try_unwrap(sink).expect("sole owner").into_inner();
+    let text = String::from_utf8(bytes).expect("utf8");
+    let snaps: Vec<Snapshot> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| Snapshot::parse_json_line(l).expect("valid snapshot line"))
+        .collect();
+    assert!(!snaps.is_empty(), "shutdown must flush at least one snapshot");
+    for pair in snaps.windows(2) {
+        assert!(pair[0].seq < pair[1].seq, "snapshot seq must increase");
+        assert!(pair[0].t_ns <= pair[1].t_ns, "snapshot time must not go back");
+    }
+    let last = snaps.last().expect("non-empty");
+    assert_eq!(last.counters.get("serve.completed"), Some(&64));
+    assert!(last.counters.get("chip.synaptic_ops").copied().unwrap_or(0) > 0);
+    assert!(last.stages.contains_key("kernel"), "stages: {:?}", last.stages);
+    assert!(last.stages["kernel"].count > 0);
+}
+
+#[test]
+fn rescaled_runtime_serves_like_a_fresh_one() {
+    // The actuator contract behind replica autoscaling: scaling a live
+    // runtime to r replicas and then serving is bit-identical to a
+    // runtime configured at r replicas from the start.
+    let spec = fractional_spec();
+    let serve_all = |rt: &ServeRuntime| -> Vec<(u64, usize, Vec<u64>)> {
+        let handles: Vec<_> = (0..32)
+            .map(|i| rt.submit(frame(spec.n_inputs, i)).expect("submit"))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                let r = h.wait().expect("serve");
+                (r.seq, r.predicted, r.votes)
+            })
+            .collect()
+    };
+    let cfg = |replicas: usize| {
+        ServeConfig::builder(47)
+            .replicas(replicas)
+            .workers(3)
+            .build()
+            .expect("cfg")
+    };
+    let scaled = serve_spec(&spec, cfg(1)).expect("serve");
+    scaled
+        .apply_control(&ControlAction::SetReplicas(4))
+        .expect("rescale");
+    assert_eq!(scaled.replicas(), 4);
+    let got = serve_all(&scaled);
+    scaled.shutdown();
+
+    let fresh = serve_spec(&spec, cfg(4)).expect("serve");
+    let want = serve_all(&fresh);
+    fresh.shutdown();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn controller_widens_kernel_batch_under_sustained_backlog() {
+    // Closed loop, end to end: a submission burst far outrunning one
+    // worker keeps queue fill above the high watermark, so the controller
+    // must double the live fusion width away from its floor. Bounded
+    // polling (not a fixed sleep) keeps this robust on slow machines.
+    let spec = fractional_spec();
+    let cfg = ServeConfig::builder(53)
+        .replicas(1)
+        .workers(1)
+        .spf(64)
+        .queue_capacity(256)
+        .batch_max(32)
+        .kernel_batch(16)
+        .controller(ControllerConfig {
+            sample_interval: Duration::from_millis(2),
+            queue_high: 0.05,
+            queue_low: 0.01,
+            cooldown: Duration::from_secs(60), // freeze the replica axis
+            ..ControllerConfig::default()
+        })
+        .build()
+        .expect("cfg");
+    let rt = serve_spec(&spec, cfg).expect("serve");
+    rt.apply_control(&ControlAction::SetKernelBatch(1))
+        .expect("start narrow");
+    let handles: Vec<_> = (0..256)
+        .map(|i| rt.submit(frame(spec.n_inputs, i)).expect("submit"))
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while rt.kernel_batch() == 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let widened = rt.kernel_batch();
+    for h in handles {
+        h.wait().expect("serve");
+    }
+    rt.shutdown();
+    assert!(
+        widened > 1,
+        "sustained backlog must widen kernel fusion (still at {widened})"
+    );
+}
