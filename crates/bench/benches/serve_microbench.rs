@@ -1,11 +1,14 @@
 //! Criterion microbenchmarks of the serving runtime: end-to-end request
 //! throughput at 1/2/4 replicas on fractional (Tea-like) vs polarized
 //! (biased-like) synthetic specs, the batch-first chip-level `run_frames`
-//! fast path at several lockstep batch sizes, and bare queue round-trips.
+//! fast path at several lockstep batch sizes, bare queue round-trips, and
+//! the full over-the-wire HTTP round trip through the tn-gateway reactor.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::io::{Read, Write};
 use std::time::Duration;
 use tn_chip::nscs::{CoreDeploySpec, Deployment, FrameInput, InputSource, NetworkDeploySpec};
+use tn_gateway::{Gateway, GatewayConfig};
 use tn_serve::{BoundedQueue, ServeConfig, ServeRuntime};
 
 /// A 16-input / 4-class single-core spec. `polarized` drives every
@@ -120,10 +123,77 @@ fn bench_queue_roundtrip(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_gateway_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gateway_http");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+    let spec = synthetic_spec(true);
+    let inputs = frame(spec.n_inputs);
+    let nums: Vec<String> = inputs.iter().map(|v| v.to_string()).collect();
+    let body = format!("{{\"frame\":[{}]}}", nums.join(","));
+    let request = format!(
+        "POST /v1/classify HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .into_bytes();
+    let gw = Gateway::bind(
+        "127.0.0.1:0",
+        &spec,
+        ServeConfig::builder(7)
+            .replicas(1)
+            .workers(2)
+            .spf(8)
+            .build()
+            .expect("cfg"),
+        GatewayConfig::default(),
+    )
+    .expect("bind");
+    let mut stream = std::net::TcpStream::connect(gw.local_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    // Comparable to serve_request/polarized/1_replicas: the delta is the
+    // wire cost — HTTP parse, JSON encode/decode, two socket hops, and
+    // one reactor poll cycle.
+    group.bench_function("classify_roundtrip", |b| {
+        b.iter(|| {
+            stream.write_all(&request).expect("send");
+            loop {
+                if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+                    let len: usize = head
+                        .lines()
+                        .find_map(|l| {
+                            l.to_ascii_lowercase()
+                                .strip_prefix("content-length:")
+                                .map(str::to_string)
+                        })
+                        .and_then(|v| v.trim().parse().ok())
+                        .expect("Content-Length");
+                    if buf.len() >= head_end + 4 + len {
+                        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+                        buf.drain(..head_end + 4 + len);
+                        break;
+                    }
+                }
+                let got = stream.read(&mut chunk).expect("read");
+                assert!(got > 0, "gateway closed");
+                buf.extend_from_slice(&chunk[..got]);
+            }
+        })
+    });
+    drop(stream);
+    group.finish();
+    gw.shutdown();
+}
+
 criterion_group!(
     benches,
     bench_serve_requests,
     bench_run_frames,
-    bench_queue_roundtrip
+    bench_queue_roundtrip,
+    bench_gateway_roundtrip
 );
 criterion_main!(benches);

@@ -30,7 +30,9 @@
 //! * [`power`] — energy-per-frame accounting (extension);
 //! * [`report`] — CSV artifacts for EXPERIMENTS.md;
 //! * [`serving`] — glue onto `tn-serve`, the persistent multi-threaded
-//!   inference runtime (replica pools, batching, backpressure, metrics).
+//!   inference runtime (replica pools, batching, backpressure, metrics),
+//!   and onto [`gateway`] (`tn-gateway`), the std-only HTTP/TCP serving
+//!   front-end that puts a runtime on an open port.
 //!
 //! ## Quickstart
 //!
@@ -75,6 +77,8 @@ pub mod tea;
 pub mod testbench;
 pub mod variance;
 
+pub use tn_gateway as gateway;
+
 /// Convenient glob-import of the commonly used types across the workspace.
 pub mod prelude {
     pub use crate::arch::{ArchError, ArchSpec};
@@ -87,8 +91,9 @@ pub mod prelude {
     };
     pub use crate::power::{analyze_energy, EnergyAnalysis};
     pub use crate::serving::{
-        serve_network, serve_network_with_sink, serve_persisted, serve_persisted_with_sink,
-        serve_spec, serve_spec_with_sink, ServingError,
+        gateway_network, gateway_network_with_sink, gateway_spec, serve_network,
+        serve_network_with_sink, serve_persisted, serve_persisted_with_sink, serve_spec,
+        serve_spec_with_sink, ServingError,
     };
     pub use crate::surface::{AccuracySurface, BoostSurface};
     pub use crate::tea::{
@@ -97,6 +102,7 @@ pub mod prelude {
     pub use crate::testbench::{BenchData, BenchError, DatasetKind, RunScale, TestBench};
     pub use crate::variance::{mean_synaptic_variance, DeviationStats, ProbabilityHistogram};
     pub use tn_chip::nscs::{ConnectivityMode, Deployment, FrameInput, NetworkDeploySpec, Votes};
+    pub use tn_gateway::{Gateway, GatewayConfig, GatewayError};
     pub use tn_learn::model::Network;
     pub use tn_learn::penalty::Penalty;
     pub use tn_serve::{

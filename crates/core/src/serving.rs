@@ -12,10 +12,16 @@
 //! implementation the kernel is proven bit-identical to. Raise
 //! [`ServeConfig::core_threads`] to additionally fan cores across threads
 //! inside each tick; neither knob changes any prediction.
+//!
+//! The `gateway_*` functions put the same runtimes on the network via
+//! `tn-gateway`, the std-only HTTP/TCP front-end: [`gateway_network`] is
+//! the one-call path from a trained [`Network`] to an open port.
 
+use std::net::ToSocketAddrs;
 use std::path::Path;
 use std::sync::Arc;
 
+use tn_gateway::{Gateway, GatewayConfig, GatewayError};
 use tn_learn::model::Network;
 use tn_learn::persist::{load_network, PersistError};
 use tn_serve::{ServeConfig, ServeError, ServeRuntime};
@@ -37,6 +43,8 @@ pub enum ServingError {
     Persist(PersistError),
     /// The runtime itself refused the spec or configuration.
     Serve(ServeError),
+    /// The TCP front-end could not be brought up.
+    Gateway(GatewayError),
 }
 
 impl std::fmt::Display for ServingError {
@@ -45,6 +53,7 @@ impl std::fmt::Display for ServingError {
             Self::Extract(e) => write!(f, "cannot extract deploy spec: {e}"),
             Self::Persist(e) => write!(f, "cannot load persisted model: {e}"),
             Self::Serve(e) => write!(f, "cannot start serve runtime: {e}"),
+            Self::Gateway(e) => write!(f, "cannot start gateway: {e}"),
         }
     }
 }
@@ -55,7 +64,14 @@ impl std::error::Error for ServingError {
             Self::Extract(e) => Some(e),
             Self::Persist(e) => Some(e),
             Self::Serve(e) => Some(e),
+            Self::Gateway(e) => Some(e),
         }
+    }
+}
+
+impl From<GatewayError> for ServingError {
+    fn from(e: GatewayError) -> Self {
+        Self::Gateway(e)
     }
 }
 
@@ -144,6 +160,61 @@ pub fn serve_persisted(path: &Path, cfg: ServeConfig) -> Result<ServeRuntime, Se
     let file = std::fs::File::open(path)?;
     let net = load_network(std::io::BufReader::new(file))?;
     serve_network(&net, cfg)
+}
+
+/// Serve an already-extracted hardware spec over TCP: deploy `spec`,
+/// start the worker pool, and listen on `addr` (port 0 picks an
+/// ephemeral port — read it back with [`Gateway::local_addr`]).
+///
+/// The gateway speaks HTTP/1.1 and line-JSON on the same port; see the
+/// [`tn_gateway`] crate docs for the wire protocol.
+///
+/// # Errors
+///
+/// [`ServingError::Gateway`] for bad gateway knobs, an unbindable
+/// address, or a runtime that refuses the spec.
+pub fn gateway_spec(
+    addr: impl ToSocketAddrs,
+    spec: &NetworkDeploySpec,
+    serve_cfg: ServeConfig,
+    gw_cfg: GatewayConfig,
+) -> Result<Gateway, ServingError> {
+    Ok(Gateway::bind(addr, spec, serve_cfg, gw_cfg)?)
+}
+
+/// Extract the hardware spec from a trained network and serve it over
+/// TCP — the one-call path from `bench.train(..)` to an open port.
+///
+/// # Errors
+///
+/// [`ServingError::Extract`] for non-deployable networks, plus
+/// everything [`gateway_spec`] can return.
+pub fn gateway_network(
+    addr: impl ToSocketAddrs,
+    net: &Network,
+    serve_cfg: ServeConfig,
+    gw_cfg: GatewayConfig,
+) -> Result<Gateway, ServingError> {
+    let spec = extract_spec(net)?;
+    gateway_spec(addr, &spec, serve_cfg, gw_cfg)
+}
+
+/// Like [`gateway_network`], with a [`MetricsSink`] receiving the full
+/// telemetry export stream (the gateway tees it, keeping the latest
+/// snapshot for `GET /v1/snapshot`).
+///
+/// # Errors
+///
+/// Same as [`gateway_network`].
+pub fn gateway_network_with_sink(
+    addr: impl ToSocketAddrs,
+    net: &Network,
+    serve_cfg: ServeConfig,
+    gw_cfg: GatewayConfig,
+    sink: Arc<dyn MetricsSink>,
+) -> Result<Gateway, ServingError> {
+    let spec = extract_spec(net)?;
+    Ok(Gateway::bind_with_sink(addr, &spec, serve_cfg, gw_cfg, sink)?)
 }
 
 /// Like [`serve_persisted`], with a [`MetricsSink`] for telemetry export.
@@ -268,6 +339,56 @@ mod tests {
         assert!(!sink.is_empty(), "shutdown flushes at least one snapshot");
         assert_eq!(sink.last_counter("serve.completed"), Some(4));
         assert!(sink.last_counter("chip.synaptic_ops").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn trained_network_serves_over_tcp() {
+        use std::io::{Read, Write};
+
+        // The full glue path: bench.train → extract_spec → ServeRuntime →
+        // tn-gateway, answered to a bare std TcpStream — and bit-identical
+        // to the in-process runtime for the same (seed, seq).
+        let (net, data) = tiny_trained();
+        let cfg = || ServeConfig::builder(5).workers(2).build().expect("cfg");
+        let gw = gateway_network("127.0.0.1:0", &net, cfg(), GatewayConfig::default())
+            .expect("gateway");
+
+        let frame = data.test_x.row(0).to_vec();
+        let nums: Vec<String> = frame.iter().map(|v| v.to_string()).collect();
+        let body = format!("{{\"frame\":[{}]}}", nums.join(","));
+        let mut client = std::net::TcpStream::connect(gw.local_addr()).expect("connect");
+        write!(
+            client,
+            "POST /v1/classify HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .expect("send");
+        let mut reply = String::new();
+        client.read_to_string(&mut reply).expect("receive");
+        let snap = gw.shutdown();
+        assert_eq!(snap.completed, 1);
+
+        assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+        let wire_body = reply.split("\r\n\r\n").nth(1).expect("body");
+        let wire = tn_telemetry::json::parse(wire_body).expect("JSON body");
+
+        let rt = serve_network(&net, cfg()).expect("serve");
+        let local = rt.classify(frame).expect("classify");
+        rt.shutdown();
+        assert_eq!(
+            wire.get("predicted").unwrap().as_u64(),
+            Some(local.predicted as u64)
+        );
+        let wire_votes: Vec<u64> = wire
+            .get("votes")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_u64().unwrap())
+            .collect();
+        assert_eq!(wire_votes, local.votes);
     }
 
     #[test]

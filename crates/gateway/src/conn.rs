@@ -1,0 +1,365 @@
+//! Per-connection state machine.
+//!
+//! Each accepted socket owns a read buffer, a write buffer, and a FIFO of
+//! pending responses. The reactor ticks every connection once per loop:
+//! read until `WouldBlock`, parse as many complete requests as the
+//! in-flight cap allows, poll the *head* of the pending FIFO for
+//! completion (responses go out strictly in request order, which is what
+//! HTTP/1.1 pipelining requires), then write until `WouldBlock`.
+//!
+//! The first byte of a connection picks its wire mode: `{` means
+//! line-JSON, anything else means HTTP/1.1. The mode is sticky for the
+//! connection's lifetime.
+//!
+//! Backpressure is layered: per-connection, parsing stops while the
+//! pending FIFO is at [`crate::GatewayConfig::max_in_flight_per_conn`]
+//! (the socket's receive buffer then throttles the client via TCP);
+//! globally, queue admission rejects surface as `503` + `Retry-After`.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+
+use tn_serve::{RequestHandle, ServeError};
+
+use crate::http::{parse_request, HttpLimits, HttpResponse, Parsed};
+use crate::proto;
+use crate::router::{self, ServiceCtx};
+use crate::GatewayConfig;
+
+/// Max bytes read from one socket per reactor tick (fairness bound).
+const READ_QUANTUM: usize = 64 * 1024;
+
+/// What a queued response is waiting on.
+#[derive(Debug)]
+pub(crate) enum Payload {
+    /// Already rendered (introspection endpoints, errors).
+    Ready(String),
+    /// A submitted classify request; completes when a worker serves it.
+    Handle(RequestHandle),
+}
+
+/// One response slot in a connection's FIFO.
+#[derive(Debug)]
+pub(crate) struct Pending {
+    payload: Payload,
+    status: u16,
+    retry_after: Option<u64>,
+    pub(crate) close: bool,
+    line_mode: bool,
+}
+
+impl Pending {
+    /// An immediately renderable response.
+    pub(crate) fn ready(status: u16, body: String, line_mode: bool) -> Self {
+        Self {
+            payload: Payload::Ready(body),
+            status,
+            retry_after: None,
+            close: false,
+            line_mode,
+        }
+    }
+
+    /// A classify response awaiting runtime completion.
+    pub(crate) fn handle(handle: RequestHandle, line_mode: bool) -> Self {
+        Self {
+            payload: Payload::Handle(handle),
+            status: 200,
+            retry_after: None,
+            close: false,
+            line_mode,
+        }
+    }
+
+    /// Attach a `Retry-After` hint (ignored in line mode).
+    pub(crate) fn with_retry_after(mut self, secs: u64) -> Self {
+        self.retry_after = Some(secs);
+        self
+    }
+
+    /// Close the connection after this response is flushed.
+    pub(crate) fn closing(mut self) -> Self {
+        self.close = true;
+        self
+    }
+}
+
+/// Sticky wire mode, decided by the connection's first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Undecided,
+    Http,
+    Line,
+}
+
+/// One live client connection.
+#[derive(Debug)]
+pub(crate) struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    pending: VecDeque<Pending>,
+    mode: Mode,
+    /// Still reading + parsing new requests (false after EOF, a protocol
+    /// error, or a close-bound response).
+    read_open: bool,
+    /// A close-bound response has been rendered; close once flushed.
+    wants_close: bool,
+    closed: bool,
+}
+
+impl Conn {
+    /// Adopt an accepted stream (switches it to nonblocking mode).
+    pub(crate) fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        // Responses are small; coalescing delay would dominate latency.
+        let _ = stream.set_nodelay(true);
+        Ok(Self {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            pending: VecDeque::new(),
+            mode: Mode::Undecided,
+            read_open: true,
+            wants_close: false,
+            closed: false,
+        })
+    }
+
+    /// Whether the reactor can drop this connection.
+    pub(crate) fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Whether any response is still queued or buffered.
+    pub(crate) fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.write_buf.is_empty()
+    }
+
+    /// Refuse this connection up front (gateway at its connection cap).
+    pub(crate) fn reject_overloaded(&mut self) {
+        let pend = Pending::ready(
+            503,
+            proto::error_json("overloaded", "gateway connection limit reached"),
+            false,
+        )
+        .with_retry_after(1)
+        .closing();
+        self.push_pending(pend);
+    }
+
+    /// One reactor pass over this connection; returns whether any byte
+    /// moved or any response became ready (the reactor's idle signal).
+    pub(crate) fn tick(
+        &mut self,
+        ctx: &ServiceCtx,
+        cfg: &GatewayConfig,
+        limits: &HttpLimits,
+        draining: bool,
+    ) -> bool {
+        if self.closed {
+            return false;
+        }
+        let mut progress = false;
+        if self.read_open && !draining && self.pending.len() < cfg.max_in_flight_per_conn {
+            progress |= self.fill_read();
+        }
+        if self.read_open && !draining {
+            progress |= self.parse_and_route(ctx, cfg, limits);
+        }
+        progress |= self.pump_completions(ctx);
+        progress |= self.flush_writes();
+        if !self.closed
+            && self.is_idle()
+            && (self.wants_close || !self.read_open || draining)
+        {
+            self.closed = true;
+        }
+        progress
+    }
+
+    /// Read until `WouldBlock`, EOF, or the per-tick quantum.
+    fn fill_read(&mut self) -> bool {
+        let mut progress = false;
+        let mut taken = 0usize;
+        let mut chunk = [0u8; 8192];
+        while taken < READ_QUANTUM {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.read_open = false;
+                    break;
+                }
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                    taken += n;
+                    progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.closed = true;
+                    break;
+                }
+            }
+        }
+        progress
+    }
+
+    /// Parse complete requests off the read buffer and route them, up to
+    /// the per-connection in-flight cap.
+    fn parse_and_route(
+        &mut self,
+        ctx: &ServiceCtx,
+        cfg: &GatewayConfig,
+        limits: &HttpLimits,
+    ) -> bool {
+        let mut progress = false;
+        while self.read_open && self.pending.len() < cfg.max_in_flight_per_conn {
+            if self.mode == Mode::Undecided {
+                match self.read_buf.first() {
+                    Some(b'{') => self.mode = Mode::Line,
+                    Some(_) => self.mode = Mode::Http,
+                    None => break,
+                }
+            }
+            match self.mode {
+                Mode::Undecided => unreachable!("mode decided above"),
+                Mode::Http => match parse_request(&self.read_buf, limits) {
+                    Parsed::Incomplete => break,
+                    Parsed::Request { request, consumed } => {
+                        self.read_buf.drain(..consumed);
+                        self.push_pending(router::handle_http(&request, ctx));
+                        progress = true;
+                    }
+                    Parsed::Error(e) => {
+                        let status = e.status();
+                        self.push_pending(
+                            Pending::ready(
+                                status,
+                                proto::error_json(proto::http_error_code(status), &e.to_string()),
+                                false,
+                            )
+                            .closing(),
+                        );
+                        progress = true;
+                    }
+                },
+                Mode::Line => {
+                    let Some(nl) = self.read_buf.iter().position(|&b| b == b'\n') else {
+                        if self.read_buf.len() > limits.max_body_bytes {
+                            self.push_pending(
+                                Pending::ready(
+                                    400,
+                                    proto::error_json("bad_request", "line exceeds body limit"),
+                                    true,
+                                )
+                                .closing(),
+                            );
+                            progress = true;
+                        }
+                        break;
+                    };
+                    let raw: Vec<u8> = self.read_buf.drain(..=nl).collect();
+                    let text = String::from_utf8_lossy(&raw);
+                    let line = text.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    self.push_pending(router::route_line(line, ctx));
+                    progress = true;
+                }
+            }
+        }
+        progress
+    }
+
+    /// Queue a response; a close-bound one also stops further parsing.
+    fn push_pending(&mut self, pend: Pending) {
+        if pend.close {
+            self.read_open = false;
+        }
+        self.pending.push_back(pend);
+    }
+
+    /// Render every in-order-complete response at the head of the FIFO
+    /// into the write buffer. Only the head is polled: responses must go
+    /// out in request order, so a completed response behind a pending one
+    /// simply keeps its result parked in its handle.
+    fn pump_completions(&mut self, ctx: &ServiceCtx) -> bool {
+        let mut progress = false;
+        loop {
+            let result = match self.pending.front() {
+                None => break,
+                Some(pend) => match &pend.payload {
+                    Payload::Ready(_) => None,
+                    Payload::Handle(handle) => match handle.try_take() {
+                        Some(result) => Some(result),
+                        None => break,
+                    },
+                },
+            };
+            let pend = self.pending.pop_front().expect("non-empty FIFO");
+            let (status, body, retry_after, close) = match (pend.payload, result) {
+                (Payload::Ready(body), _) => (pend.status, body, pend.retry_after, pend.close),
+                (Payload::Handle(_), Some(Ok(resp))) => {
+                    let jpf = ctx.rt.metrics().joules_per_frame();
+                    (200, proto::classify_json(&resp, jpf), None, pend.close)
+                }
+                (Payload::Handle(_), Some(Err(ServeError::ShuttingDown))) => (
+                    503,
+                    proto::error_json("shutting_down", "gateway is draining"),
+                    None,
+                    true,
+                ),
+                (Payload::Handle(_), Some(Err(e))) => {
+                    (500, proto::error_json("internal", &e.to_string()), None, true)
+                }
+                (Payload::Handle(_), None) => unreachable!("head completion checked above"),
+            };
+            if pend.line_mode {
+                self.write_buf.extend_from_slice(body.as_bytes());
+                self.write_buf.push(b'\n');
+            } else {
+                let mut resp = HttpResponse::json(status, body);
+                if let Some(secs) = retry_after {
+                    resp = resp.with_retry_after(secs);
+                }
+                if close {
+                    resp = resp.with_close();
+                }
+                resp.write_to(&mut self.write_buf);
+            }
+            if close {
+                self.read_open = false;
+                self.wants_close = true;
+            }
+            progress = true;
+        }
+        progress
+    }
+
+    /// Write buffered response bytes until `WouldBlock` or empty.
+    fn flush_writes(&mut self) -> bool {
+        let mut progress = false;
+        while !self.write_buf.is_empty() {
+            match self.stream.write(&self.write_buf) {
+                Ok(0) => {
+                    self.closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.write_buf.drain(..n);
+                    progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.closed = true;
+                    break;
+                }
+            }
+        }
+        progress
+    }
+}

@@ -1,0 +1,351 @@
+//! `tn-gateway` — a std-only HTTP/TCP serving front-end for the
+//! TrueNorth inference runtime.
+//!
+//! The [`tn_serve::ServeRuntime`] answers classification requests for
+//! in-process callers. This crate puts that runtime on the network with
+//! nothing but the standard library: no tokio, no hyper, no `libc` — the
+//! workspace builds offline, so the whole wire stack is hand-rolled.
+//!
+//! # Architecture
+//!
+//! ```text
+//!   TCP clients                tn-gateway reactor           tn-serve
+//!  ┌───────────┐  nonblocking ┌──────────────────┐ submit ┌─────────┐
+//!  │ HTTP/1.1  │ ───────────► │ per-conn state   │ ─────► │ bounded │
+//!  │ keep-alive│   sockets    │ machines:        │ reject │ queue + │
+//!  │ pipelined │ ◄─────────── │  read → parse →  │ ◄───── │ worker  │
+//!  ├───────────┤   in-order   │  route → pending │  503   │ pool    │
+//!  │ line-JSON │   responses  │  FIFO → write    │        └────┬────┘
+//!  └───────────┘              └────────┬─────────┘   try_take  │
+//!                                      └───────◄── RequestHandle
+//! ```
+//!
+//! * **One reactor thread**, all sockets nonblocking. There is no epoll
+//!   binding available offline, so readiness is discovered by poll
+//!   passes with a short idle sleep (see [`crate::GatewayConfig::poll_interval`]);
+//!   under load the reactor never sleeps.
+//! * **Never blocks on inference**: a classify request is submitted with
+//!   rejecting backpressure ([`Gateway::bind`] forces
+//!   [`tn_serve::Backpressure::Reject`] regardless of the passed config —
+//!   a blocking `submit` would stall every connection) and parks as a
+//!   [`tn_serve::RequestHandle`] in the connection's response FIFO,
+//!   polled with `try_take`. Responses leave in request order, as
+//!   HTTP/1.1 pipelining requires.
+//! * **Two wire modes on one port**, picked by the first byte of each
+//!   connection: `{` starts newline-delimited JSON commands, anything
+//!   else is parsed as HTTP/1.1.
+//! * **Backpressure at every layer**: per-connection in-flight caps stop
+//!   parsing (TCP throttles the client), queue admission rejects become
+//!   `503` + `Retry-After`, and a connection cap refuses excess sockets.
+//! * **Graceful drain**: [`Gateway::shutdown`] closes the listener,
+//!   completes and flushes every admitted request, then shuts the
+//!   runtime down — whose observer exports one final telemetry snapshot.
+//!
+//! # Endpoints
+//!
+//! | wire | request | response |
+//! |---|---|---|
+//! | HTTP | `POST /v1/classify` `{"frame":[...]}` | votes / label / agreement / energy |
+//! | HTTP | `GET /v1/config` | serve config + model introspection |
+//! | HTTP | `GET /v1/snapshot` | latest `tn-telemetry/1` snapshot line |
+//! | HTTP | `GET /healthz` | `{"status":"ok"}` |
+//! | line | `{"frame":[...]}` or `{"op":"config"\|"snapshot"\|"health"}` | same bodies, one line each |
+//!
+//! # Example
+//!
+//! ```
+//! use std::io::{Read, Write};
+//! use tn_chip::nscs::{CoreDeploySpec, InputSource, NetworkDeploySpec};
+//! use tn_gateway::{Gateway, GatewayConfig};
+//! use tn_serve::ServeConfig;
+//!
+//! let spec = NetworkDeploySpec {
+//!     cores: vec![CoreDeploySpec {
+//!         layer: 0,
+//!         weights: vec![1.0, -1.0, -1.0, 1.0],
+//!         n_axons: 2,
+//!         n_neurons: 2,
+//!         biases: vec![-0.5, -0.5],
+//!         axon_sources: vec![InputSource::External(0), InputSource::External(1)],
+//!     }],
+//!     n_inputs: 2,
+//!     n_classes: 2,
+//!     output_taps: vec![(0, 0, 0), (0, 1, 1)],
+//! };
+//! let gw = Gateway::bind("127.0.0.1:0", &spec, ServeConfig::new(7), GatewayConfig::default())
+//!     .expect("bind");
+//!
+//! // Any std TcpStream is a client.
+//! let mut client = std::net::TcpStream::connect(gw.local_addr()).expect("connect");
+//! client
+//!     .write_all(
+//!         b"POST /v1/classify HTTP/1.1\r\nContent-Length: 17\r\nConnection: close\r\n\r\n{\"frame\":[1,0.0]}",
+//!     )
+//!     .expect("send");
+//! let mut reply = String::new();
+//! client.read_to_string(&mut reply).expect("receive");
+//! assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+//! assert!(reply.contains("\"predicted\":0"), "{reply}");
+//! gw.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod conn;
+mod error;
+pub mod http;
+mod proto;
+mod reactor;
+mod router;
+
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tn_chip::nscs::NetworkDeploySpec;
+use tn_serve::{
+    Backpressure, MetricsSnapshot, QueueStats, ServeConfig, ServeRuntime,
+};
+use tn_telemetry::{LatestSink, MetricsSink, NullSink, Snapshot};
+
+pub use error::GatewayError;
+use router::ServiceCtx;
+
+/// Knobs for the network front-end (the serving knobs live in
+/// [`tn_serve::ServeConfig`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatewayConfig {
+    /// Max concurrently served connections; excess connects are answered
+    /// `503` + `Retry-After: 1` and closed.
+    pub max_connections: usize,
+    /// Max queued responses per connection. Parsing stops at the cap, so
+    /// TCP flow control throttles a pipelining client.
+    pub max_in_flight_per_conn: usize,
+    /// Max bytes for an HTTP request line + headers (`431` beyond).
+    pub max_header_bytes: usize,
+    /// Max bytes for an HTTP body or one JSON line (`413`/`400` beyond).
+    pub max_body_bytes: usize,
+    /// Reactor sleep when a full poll pass made no progress. Smaller is
+    /// lower idle latency, larger is fewer wasted wake-ups.
+    pub poll_interval: Duration,
+    /// Upper bound on graceful drain: past this, connections still
+    /// holding unflushed responses are dropped.
+    pub drain_timeout: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 64,
+            max_in_flight_per_conn: 32,
+            max_header_bytes: 8 * 1024,
+            max_body_bytes: 1024 * 1024,
+            poll_interval: Duration::from_micros(200),
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// Check internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::BadConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), GatewayError> {
+        for (name, v) in [
+            ("max_connections", self.max_connections),
+            ("max_in_flight_per_conn", self.max_in_flight_per_conn),
+            ("max_header_bytes", self.max_header_bytes),
+            ("max_body_bytes", self.max_body_bytes),
+        ] {
+            if v == 0 {
+                return Err(GatewayError::BadConfig(format!("{name} must be >= 1")));
+            }
+        }
+        if self.poll_interval.is_zero() {
+            return Err(GatewayError::BadConfig(
+                "poll_interval must be > 0".into(),
+            ));
+        }
+        if self.drain_timeout.is_zero() {
+            return Err(GatewayError::BadConfig(
+                "drain_timeout must be > 0".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A running serving front-end: one TCP listener, one reactor thread, one
+/// [`ServeRuntime`] behind it.
+///
+/// Dropping a `Gateway` drains it like [`Gateway::shutdown`] (minus the
+/// returned metrics).
+#[derive(Debug)]
+pub struct Gateway {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    reactor: Option<JoinHandle<()>>,
+    runtime: Option<Arc<ServeRuntime>>,
+    latest: Arc<LatestSink>,
+}
+
+impl Gateway {
+    /// Deploy `spec`, start the runtime's worker pool, and serve it on
+    /// `addr` (use port 0 for an ephemeral port; see
+    /// [`Gateway::local_addr`]).
+    ///
+    /// `serve_cfg.backpressure` is forced to [`Backpressure::Reject`]: a
+    /// blocking submit would stall the reactor — and with it every other
+    /// connection — so the gateway always sheds load with `503` +
+    /// `Retry-After` instead.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::BadConfig`] for inconsistent gateway knobs,
+    /// [`GatewayError::Serve`] if the runtime cannot be built,
+    /// [`GatewayError::Bind`] if the listener cannot be bound.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        spec: &NetworkDeploySpec,
+        serve_cfg: ServeConfig,
+        gw_cfg: GatewayConfig,
+    ) -> Result<Self, GatewayError> {
+        Self::bind_with_sink(addr, spec, serve_cfg, gw_cfg, Arc::new(NullSink))
+    }
+
+    /// Like [`Gateway::bind`], with a [`MetricsSink`] receiving every
+    /// telemetry snapshot the runtime's observer exports. The gateway
+    /// interposes a [`LatestSink`] tee, so `GET /v1/snapshot` always
+    /// serves the most recent snapshot while `sink` still sees the full
+    /// export stream.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Gateway::bind`].
+    pub fn bind_with_sink(
+        addr: impl ToSocketAddrs,
+        spec: &NetworkDeploySpec,
+        mut serve_cfg: ServeConfig,
+        gw_cfg: GatewayConfig,
+        sink: Arc<dyn MetricsSink>,
+    ) -> Result<Self, GatewayError> {
+        gw_cfg.validate()?;
+        serve_cfg.backpressure = Backpressure::Reject;
+        let latest = Arc::new(LatestSink::tee(sink));
+        let runtime = Arc::new(ServeRuntime::new_with_sink(
+            spec,
+            serve_cfg,
+            Arc::clone(&latest) as Arc<dyn MetricsSink>,
+        )?);
+        let listener = TcpListener::bind(addr).map_err(GatewayError::Bind)?;
+        listener.set_nonblocking(true).map_err(GatewayError::Bind)?;
+        let addr = listener.local_addr().map_err(GatewayError::Bind)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let ctx = ServiceCtx {
+            rt: Arc::clone(&runtime),
+            latest: Arc::clone(&latest),
+        };
+        let reactor = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("tn-gateway-reactor".into())
+                .spawn(move || reactor::run(listener, &ctx, &gw_cfg, &stop))
+                .expect("spawn gateway reactor")
+        };
+        Ok(Self {
+            addr,
+            stop,
+            reactor: Some(reactor),
+            runtime: Some(runtime),
+            latest,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live runtime counters (same view as `GET /v1/config` + metrics).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.runtime().metrics()
+    }
+
+    /// Live queue-depth / in-flight admission gauge.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.runtime().queue_stats()
+    }
+
+    /// The most recent telemetry snapshot (what `GET /v1/snapshot`
+    /// serves), if the runtime's observer has exported one.
+    pub fn latest_snapshot(&self) -> Option<Snapshot> {
+        self.latest.latest()
+    }
+
+    /// Graceful drain: stop accepting connections, complete and flush
+    /// every admitted request, join the reactor, then shut the runtime
+    /// down (its observer emits one final telemetry snapshot) and return
+    /// the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.stop_reactor();
+        let runtime = self.runtime.take().expect("runtime present until shutdown");
+        match Arc::try_unwrap(runtime) {
+            Ok(rt) => rt.shutdown(),
+            // Unreachable in practice: the reactor held the only other
+            // strong reference and has been joined.
+            Err(rt) => rt.metrics(),
+        }
+    }
+
+    fn runtime(&self) -> &ServeRuntime {
+        self.runtime.as_ref().expect("runtime present until shutdown")
+    }
+
+    fn stop_reactor(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.reactor.take() {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.stop_reactor();
+        // Dropping the runtime Arc (if shutdown didn't consume it) drains
+        // the worker pool via ServeRuntime's own Drop.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation_names_offending_fields() {
+        GatewayConfig::default().validate().expect("defaults valid");
+        let bad = GatewayConfig {
+            max_connections: 0,
+            ..GatewayConfig::default()
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(GatewayError::BadConfig(msg)) if msg.contains("max_connections")
+        ));
+        let bad = GatewayConfig {
+            poll_interval: Duration::ZERO,
+            ..GatewayConfig::default()
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(GatewayError::BadConfig(msg)) if msg.contains("poll_interval")
+        ));
+    }
+}

@@ -1,0 +1,190 @@
+//! Wire payloads: request-body parsing and response JSON rendering.
+//!
+//! Both wire modes (HTTP bodies and line-JSON) share these shapes; only
+//! the framing around them differs. Parsing reuses the strict
+//! [`tn_telemetry::json`] reader — anything malformed is a 400, never a
+//! guess — and rendering is plain `format!` with escaped strings, so the
+//! gateway stays dependency-free.
+
+use tn_serve::{Backpressure, Response, ServeRuntime};
+use tn_telemetry::json::{self, escape, JsonValue};
+
+/// Render an `f64` as a JSON number (non-finite values have no JSON
+/// representation; they degrade to 0).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        v.to_string()
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Join integers into a JSON array body.
+fn join<T: std::fmt::Display>(items: impl Iterator<Item = T>) -> String {
+    let mut out = String::new();
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item.to_string());
+    }
+    out
+}
+
+/// Extract the classify frame from a parsed request object:
+/// `{"frame": [x0, x1, ...]}` with numeric entries.
+pub(crate) fn parse_classify_frame(value: &JsonValue) -> Result<Vec<f32>, String> {
+    let frame = value
+        .get("frame")
+        .ok_or_else(|| "missing \"frame\" array".to_string())?;
+    let items = frame
+        .as_array()
+        .ok_or_else(|| "\"frame\" must be an array of numbers".to_string())?;
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            v.as_f64()
+                .map(|f| f as f32)
+                .ok_or_else(|| format!("frame[{i}] is not a number"))
+        })
+        .collect()
+}
+
+/// Parse a `POST /v1/classify` body.
+pub(crate) fn parse_classify_body(body: &[u8]) -> Result<Vec<f32>, String> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| "body is not valid UTF-8".to_string())?;
+    let value = json::parse(text).map_err(|e| e.to_string())?;
+    parse_classify_frame(&value)
+}
+
+/// Render one classification result.
+pub(crate) fn classify_json(r: &Response, joules_per_frame: f64) -> String {
+    format!(
+        "{{\"seq\":{},\"predicted\":{},\"votes\":[{}],\"replica_predictions\":[{}],\
+         \"agreement\":{},\"ticks\":{},\"latency_us\":{},\"joules_per_frame\":{}}}",
+        r.seq,
+        r.predicted,
+        join(r.votes.iter()),
+        join(r.replica_predictions.iter()),
+        json_f64(f64::from(r.agreement)),
+        r.ticks,
+        u64::try_from(r.latency.as_micros()).unwrap_or(u64::MAX),
+        json_f64(joules_per_frame),
+    )
+}
+
+/// Render a structured error body: `{"error":{"code":...,"message":...}}`.
+pub(crate) fn error_json(code: &str, message: &str) -> String {
+    format!(
+        "{{\"error\":{{\"code\":\"{}\",\"message\":\"{}\"}}}}",
+        escape(code),
+        escape(message)
+    )
+}
+
+/// Render the health probe body.
+pub(crate) fn health_json() -> String {
+    "{\"status\":\"ok\"}".to_string()
+}
+
+/// Render the `/v1/config` body: model introspection plus the serve
+/// config, with the *live* values for knobs the adaptive controller can
+/// move (`replicas`, `kernel_batch`).
+pub(crate) fn config_json(rt: &ServeRuntime) -> String {
+    let cfg = rt.config();
+    format!(
+        "{{\"schema\":\"tn-gateway/1\",\
+         \"model\":{{\"n_inputs\":{},\"n_classes\":{},\"replicas\":{}}},\
+         \"serve\":{{\"workers\":{},\"spf\":{},\"seed\":{},\"queue_capacity\":{},\
+         \"batch_max\":{},\"kernel_batch\":{},\"backpressure\":\"{}\",\
+         \"connectivity\":\"{}\",\"telemetry\":{}}}}}",
+        rt.n_inputs(),
+        rt.n_classes(),
+        rt.replicas(),
+        cfg.workers,
+        cfg.spf,
+        cfg.seed,
+        cfg.queue_capacity,
+        cfg.batch_max,
+        rt.kernel_batch(),
+        match cfg.backpressure {
+            Backpressure::Block => "block",
+            Backpressure::Reject => "reject",
+        },
+        escape(&format!("{:?}", cfg.connectivity)),
+        cfg.telemetry.is_some(),
+    )
+}
+
+/// Error slug for an HTTP parse failure status.
+pub(crate) fn http_error_code(status: u16) -> &'static str {
+    match status {
+        413 => "payload_too_large",
+        414 => "uri_too_long",
+        431 => "headers_too_large",
+        501 => "not_implemented",
+        505 => "version_not_supported",
+        _ => "bad_request",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn classify_frames_parse_and_reject() {
+        assert_eq!(
+            parse_classify_body(b"{\"frame\":[1,0.5,0]}").expect("parse"),
+            vec![1.0, 0.5, 0.0]
+        );
+        for (body, needle) in [
+            (&b"{}"[..], "missing"),
+            (b"{\"frame\":3}", "array"),
+            (b"{\"frame\":[\"x\"]}", "not a number"),
+            (b"not json", "JSON error"),
+            (b"\xff\xfe", "UTF-8"),
+        ] {
+            let err = parse_classify_body(body).expect_err("reject");
+            assert!(err.contains(needle), "{err:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn rendered_bodies_are_valid_json() {
+        let resp = Response {
+            seq: 3,
+            predicted: 1,
+            votes: vec![2, 9],
+            replica_predictions: vec![1, 1, 0],
+            agreement: 2.0 / 3.0,
+            worker: 0,
+            ticks: 16,
+            latency: Duration::from_micros(420),
+        };
+        let body = classify_json(&resp, 1.25e-9);
+        let v = json::parse(&body).expect("valid JSON");
+        assert_eq!(v.get("predicted").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("votes").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(v.get("latency_us").unwrap().as_u64(), Some(420));
+        assert!(v.get("joules_per_frame").unwrap().as_f64().unwrap() > 0.0);
+
+        let err = error_json("queue_full", "queue \"full\"\n");
+        let v = json::parse(&err).expect("valid JSON");
+        assert_eq!(
+            v.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("queue_full")
+        );
+        json::parse(&health_json()).expect("valid JSON");
+    }
+
+    #[test]
+    fn non_finite_numbers_degrade_to_zero() {
+        assert_eq!(json_f64(f64::NAN), "0");
+        assert_eq!(json_f64(f64::INFINITY), "0");
+        assert_eq!(json_f64(0.5), "0.5");
+    }
+}

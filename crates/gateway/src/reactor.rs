@@ -1,0 +1,98 @@
+//! The single-threaded reactor: accept loop + connection ticks.
+//!
+//! The workspace builds offline with no `libc`/`mio`, so there is no raw
+//! `epoll` syscall to reach; instead every socket is nonblocking and the
+//! reactor makes readiness *poll passes* — tick every connection, and
+//! sleep [`crate::GatewayConfig::poll_interval`] only when a full pass
+//! moved nothing. Under load the loop never sleeps (some socket always
+//! has bytes or a completion), so the idle sleep only bounds the wake-up
+//! latency of a quiet gateway.
+//!
+//! Blocking work never happens here: classify requests park as
+//! completion handles polled via `try_take`, and queue admission runs in
+//! rejecting mode, so the worst case per tick is memory copies.
+//!
+//! # Drain
+//!
+//! When the stop flag rises the reactor drops the listener first (new
+//! connects are refused by the OS), stops reading from every connection,
+//! and keeps ticking until each admitted request has completed and
+//! flushed — bounded by [`crate::GatewayConfig::drain_timeout`] against
+//! clients that stop reading their responses.
+
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::conn::Conn;
+use crate::http::HttpLimits;
+use crate::router::ServiceCtx;
+use crate::GatewayConfig;
+
+/// Run the reactor until drained. Takes ownership of the listener so
+/// dropping it (at drain start) closes the accepting socket.
+pub(crate) fn run(
+    listener: TcpListener,
+    ctx: &ServiceCtx,
+    cfg: &GatewayConfig,
+    stop: &Arc<AtomicBool>,
+) {
+    let limits = HttpLimits {
+        max_header_bytes: cfg.max_header_bytes,
+        max_body_bytes: cfg.max_body_bytes,
+    };
+    let mut listener = Some(listener);
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut drain_started: Option<Instant> = None;
+    loop {
+        let draining = stop.load(Ordering::Relaxed);
+        if draining && listener.is_some() {
+            listener = None;
+            drain_started = Some(Instant::now());
+        }
+        let mut progress = false;
+        if let Some(l) = &listener {
+            progress |= accept_new(l, &mut conns, cfg);
+        }
+        for conn in &mut conns {
+            progress |= conn.tick(ctx, cfg, &limits, draining);
+        }
+        conns.retain(|c| !c.is_closed());
+        if draining {
+            let expired = drain_started
+                .is_some_and(|t| t.elapsed() >= cfg.drain_timeout);
+            if conns.iter().all(Conn::is_idle) || expired {
+                return;
+            }
+        }
+        if !progress {
+            std::thread::sleep(cfg.poll_interval);
+        }
+    }
+}
+
+/// Accept every connection the backlog holds right now. Connections over
+/// the cap are still accepted, but only to be told `503` and closed —
+/// kinder than leaving them to time out in the backlog.
+fn accept_new(listener: &TcpListener, conns: &mut Vec<Conn>, cfg: &GatewayConfig) -> bool {
+    let mut progress = false;
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                progress = true;
+                let Ok(mut conn) = Conn::new(stream) else {
+                    continue;
+                };
+                if conns.len() >= cfg.max_connections {
+                    conn.reject_overloaded();
+                }
+                conns.push(conn);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    progress
+}

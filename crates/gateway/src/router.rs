@@ -1,0 +1,143 @@
+//! Request routing: map a parsed HTTP request or line-JSON command onto
+//! the serving runtime.
+//!
+//! Routing never blocks. A classify request becomes a queued
+//! [`Pending`] holding the runtime's completion handle; everything else
+//! (config, snapshot, health, errors) renders immediately. Load shedding
+//! happens here: the runtime is always configured with
+//! [`tn_serve::Backpressure::Reject`], so a full queue surfaces as
+//! `503` + `Retry-After` instead of stalling the reactor thread.
+
+use std::sync::Arc;
+
+use tn_serve::{ServeError, ServeRuntime};
+use tn_telemetry::json::{self, JsonValue};
+use tn_telemetry::LatestSink;
+
+use crate::conn::Pending;
+use crate::http::HttpRequest;
+use crate::proto;
+
+/// Shared services every connection routes against.
+#[derive(Debug, Clone)]
+pub(crate) struct ServiceCtx {
+    /// The serving runtime (submission + live introspection).
+    pub(crate) rt: Arc<ServeRuntime>,
+    /// Latest-snapshot holder the runtime's observer exports into.
+    pub(crate) latest: Arc<LatestSink>,
+}
+
+/// Route one complete HTTP request.
+pub(crate) fn handle_http(req: &HttpRequest, ctx: &ServiceCtx) -> Pending {
+    let path = req.target.split('?').next().unwrap_or("");
+    let mut pending = match (req.method.as_str(), path) {
+        ("POST", "/v1/classify") => classify(&req.body, ctx, false),
+        ("GET", "/v1/config") => Pending::ready(200, proto::config_json(&ctx.rt), false),
+        ("GET", "/v1/snapshot") => snapshot(ctx, false),
+        ("GET", "/healthz") => Pending::ready(200, proto::health_json(), false),
+        (_, "/v1/classify" | "/v1/config" | "/v1/snapshot" | "/healthz") => Pending::ready(
+            405,
+            proto::error_json("method_not_allowed", "unsupported method for this endpoint"),
+            false,
+        ),
+        _ => Pending::ready(
+            404,
+            proto::error_json("not_found", "unknown endpoint"),
+            false,
+        ),
+    };
+    if !req.keep_alive {
+        pending = pending.closing();
+    }
+    pending
+}
+
+/// Route one line-JSON command. The line protocol mirrors the HTTP
+/// endpoints: `{"op":"classify","frame":[...]}` (the `op` defaults to
+/// `classify`), `{"op":"config"}`, `{"op":"snapshot"}`, `{"op":"health"}`.
+pub(crate) fn route_line(line: &str, ctx: &ServiceCtx) -> Pending {
+    let value = match json::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            return Pending::ready(400, proto::error_json("bad_request", &e.to_string()), true)
+        }
+    };
+    let op = value
+        .get("op")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("classify");
+    match op {
+        "classify" => match proto::parse_classify_frame(&value) {
+            Ok(frame) => submit(frame, ctx, true),
+            Err(msg) => Pending::ready(400, proto::error_json("bad_request", &msg), true),
+        },
+        "config" => Pending::ready(200, proto::config_json(&ctx.rt), true),
+        "snapshot" => snapshot(ctx, true),
+        "health" => Pending::ready(200, proto::health_json(), true),
+        other => Pending::ready(
+            400,
+            proto::error_json("bad_request", &format!("unknown op {other:?}")),
+            true,
+        ),
+    }
+}
+
+/// Parse a classify body and submit it.
+fn classify(body: &[u8], ctx: &ServiceCtx, line_mode: bool) -> Pending {
+    match proto::parse_classify_body(body) {
+        Ok(frame) => submit(frame, ctx, line_mode),
+        Err(msg) => Pending::ready(400, proto::error_json("bad_request", &msg), line_mode),
+    }
+}
+
+/// Submit one frame; map admission failures onto wire responses.
+fn submit(frame: Vec<f32>, ctx: &ServiceCtx, line_mode: bool) -> Pending {
+    match ctx.rt.submit(frame) {
+        Ok(handle) => Pending::handle(handle, line_mode),
+        Err(ServeError::QueueFull) => Pending::ready(
+            503,
+            proto::error_json("queue_full", "submission queue is full; retry later"),
+            line_mode,
+        )
+        .with_retry_after(retry_after_secs(&ctx.rt)),
+        Err(ServeError::ShuttingDown) => Pending::ready(
+            503,
+            proto::error_json("shutting_down", "gateway is draining"),
+            line_mode,
+        )
+        .closing(),
+        Err(
+            e @ (ServeError::BadInput { .. } | ServeError::InputOutOfRange { .. }),
+        ) => Pending::ready(400, proto::error_json("bad_input", &e.to_string()), line_mode),
+        Err(e) => Pending::ready(500, proto::error_json("internal", &e.to_string()), line_mode),
+    }
+}
+
+/// The latest telemetry snapshot, or 404 while none has been exported.
+fn snapshot(ctx: &ServiceCtx, line_mode: bool) -> Pending {
+    match ctx.latest.latest() {
+        Some(snap) => Pending::ready(200, snap.to_json_line().trim_end().to_string(), line_mode),
+        None => Pending::ready(
+            404,
+            proto::error_json(
+                "no_snapshot",
+                "no telemetry snapshot exported yet (enable ServeConfig::telemetry)",
+            ),
+            line_mode,
+        ),
+    }
+}
+
+/// `Retry-After` hint when shedding load: a rough time-to-drain estimate
+/// (in-flight depth × mean service latency), clamped to `1..=30` seconds
+/// so the hint is always actionable and never absurd.
+fn retry_after_secs(rt: &ServeRuntime) -> u64 {
+    let stats = rt.queue_stats();
+    let mean = rt.metrics().mean_latency.as_secs_f64();
+    let est = (stats.in_flight as f64 * mean).ceil();
+    if est.is_finite() && est >= 1.0 {
+        (est as u64).min(30)
+    } else {
+        1
+    }
+}

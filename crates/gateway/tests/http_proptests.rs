@@ -1,0 +1,212 @@
+//! Property tests for the gateway's incremental HTTP/1.1 parser.
+//!
+//! The parser fronts an open TCP port, so its contract is adversarial:
+//! for *any* byte stream, chopped at *any* read boundaries, it must never
+//! panic, must parse valid requests identically however they were split
+//! or pipelined, and must answer malformed input with a well-formed error
+//! status — never a hang or a garbage response.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::strategy::Just;
+
+use tn_gateway::http::{parse_request, HttpError, HttpLimits, HttpRequest, HttpResponse, Parsed};
+
+/// Bytes that are safe inside a request-target token.
+const PATH_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-._~/%?=&";
+
+fn limits() -> HttpLimits {
+    HttpLimits {
+        max_header_bytes: 1024,
+        max_body_bytes: 4096,
+    }
+}
+
+/// Serialize a well-formed request.
+fn build_request(method: &str, path: &str, body: &[u8], close: bool) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(method.as_bytes());
+    out.push(b' ');
+    out.extend_from_slice(path.as_bytes());
+    out.extend_from_slice(b" HTTP/1.1\r\nHost: test\r\n");
+    if !body.is_empty() {
+        out.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+    }
+    if close {
+        out.extend_from_slice(b"Connection: close\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    out
+}
+
+/// A random valid request: (method, path, body, close).
+fn request_strategy() -> impl Strategy<Value = (String, String, Vec<u8>, bool)> {
+    (
+        0usize..4,
+        vec(0usize..PATH_CHARS.len(), 1..24),
+        vec(0u32..256, 0..64),
+        0u32..2,
+    )
+        .prop_map(|(m, path_idx, body, close)| {
+            let method = ["GET", "POST", "PUT", "DELETE"][m].to_string();
+            let path: String = std::iter::once('/')
+                .chain(path_idx.iter().map(|&i| PATH_CHARS[i] as char))
+                .collect();
+            let body: Vec<u8> = body.into_iter().map(|b| b as u8).collect();
+            (method, path, body, close == 1)
+        })
+}
+
+/// Feed `bytes` through the parser in chunks, returning every parsed
+/// request and the first error (if any).
+fn stream_parse(
+    bytes: &[u8],
+    chunk_sizes: impl Iterator<Item = usize>,
+) -> (Vec<HttpRequest>, Option<HttpError>) {
+    let limits = limits();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut requests = Vec::new();
+    let mut offered = 0usize;
+    let mut chunks = chunk_sizes;
+    loop {
+        loop {
+            match parse_request(&buf, &limits) {
+                Parsed::Incomplete => break,
+                Parsed::Request { request, consumed } => {
+                    assert!(consumed <= buf.len(), "consumed past the buffer");
+                    assert!(consumed > 0, "empty request consumed nothing");
+                    buf.drain(..consumed);
+                    requests.push(request);
+                }
+                Parsed::Error(e) => return (requests, Some(e)),
+            }
+        }
+        if offered == bytes.len() {
+            return (requests, None);
+        }
+        let take = chunks.next().unwrap_or(bytes.len()).clamp(1, bytes.len() - offered);
+        buf.extend_from_slice(&bytes[offered..offered + take]);
+        offered += take;
+    }
+}
+
+proptest! {
+    #[test]
+    fn any_split_parses_like_the_whole(
+        req in request_strategy(),
+        chunk_seed in vec(1usize..13, 1..96),
+    ) {
+        let (method, path, body, close) = req;
+        let bytes = build_request(&method, &path, &body, close);
+        let (whole, err) = stream_parse(&bytes, std::iter::once(bytes.len()));
+        prop_assert_eq!(err, None);
+        prop_assert_eq!(whole.len(), 1);
+
+        let (split, err) = stream_parse(&bytes, chunk_seed.into_iter().cycle());
+        prop_assert_eq!(err, None);
+        prop_assert_eq!(&split, &whole, "split reads changed the parse");
+        prop_assert_eq!(split[0].method.as_str(), method.as_str());
+        prop_assert_eq!(split[0].target.as_str(), path.as_str());
+        prop_assert_eq!(&split[0].body, &body);
+        prop_assert_eq!(split[0].keep_alive, !close);
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_submission_order(
+        reqs in vec(request_strategy(), 1..6),
+        chunk_seed in vec(1usize..29, 1..64),
+    ) {
+        // Keep-alive only: a close request legitimately ends the stream.
+        let mut bytes = Vec::new();
+        for (method, path, body, _) in &reqs {
+            bytes.extend_from_slice(&build_request(method, path, body, false));
+        }
+        let (parsed, err) = stream_parse(&bytes, chunk_seed.into_iter().cycle());
+        prop_assert_eq!(err, None);
+        prop_assert_eq!(parsed.len(), reqs.len());
+        for (got, (method, path, body, _)) in parsed.iter().zip(&reqs) {
+            prop_assert_eq!(got.method.as_str(), method.as_str());
+            prop_assert_eq!(got.target.as_str(), path.as_str());
+            prop_assert_eq!(&got.body, body);
+        }
+    }
+
+    #[test]
+    fn bad_content_length_is_always_a_400(
+        cl in vec(0usize..PATH_CHARS.len(), 1..12),
+        trailing_digit in 0u32..10,
+    ) {
+        // A Content-Length value with at least one non-digit byte.
+        let mut value: String = cl.iter().map(|&i| PATH_CHARS[i] as char).collect();
+        value.push(char::from_digit(trailing_digit, 10).expect("digit"));
+        prop_assume!(value.parse::<usize>().is_err());
+        let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {value}\r\n\r\n");
+        match parse_request(raw.as_bytes(), &limits()) {
+            Parsed::Error(e) => {
+                prop_assert_eq!(e.status(), 400, "wrong status for {:?}", value);
+            }
+            other => prop_assert!(false, "accepted Content-Length {:?}: {:?}", value, other),
+        }
+    }
+
+    #[test]
+    fn oversized_heads_are_431_at_any_padding(
+        pad in 1024usize..4096,
+        path_len in 1usize..8,
+    ) {
+        // Inflate the head past max_header_bytes via one fat header.
+        let raw = format!(
+            "GET /{} HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "p".repeat(path_len),
+            "y".repeat(pad)
+        );
+        match parse_request(raw.as_bytes(), &limits()) {
+            Parsed::Error(e) => prop_assert_eq!(e.status(), 431),
+            other => prop_assert!(false, "oversized head accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_and_errors_map_to_real_statuses(
+        fuzz in vec(0u32..256, 0..512),
+        chunk_seed in vec(1usize..17, 1..64),
+    ) {
+        let bytes: Vec<u8> = fuzz.into_iter().map(|b| b as u8).collect();
+        let (_, err) = stream_parse(&bytes, chunk_seed.into_iter().cycle());
+        if let Some(e) = err {
+            let status = e.status();
+            prop_assert!(
+                matches!(status, 400 | 413 | 414 | 431 | 501 | 505),
+                "unmapped status {status} for {e:?}"
+            );
+            // The error must render as a framed, well-formed response.
+            let mut out = Vec::new();
+            HttpResponse::json(status, format!("{{\"error\":\"{e}\"}}")).write_to(&mut out);
+            let text = String::from_utf8(out).expect("ASCII response");
+            prop_assert!(text.starts_with(&format!("HTTP/1.1 {status} ")), "{text}");
+            prop_assert!(text.contains("Content-Length: "), "{text}");
+        }
+    }
+
+    #[test]
+    fn method_and_path_fuzz_never_split_one_request_into_two(
+        req in request_strategy(),
+        junk in vec(0u32..256, 1..32),
+        _nothing in Just(()),
+    ) {
+        // A valid request followed by arbitrary junk: the first parse must
+        // return exactly the valid request and leave the junk untouched.
+        let (method, path, body, _) = req;
+        let valid = build_request(&method, &path, &body, false);
+        let mut bytes = valid.clone();
+        bytes.extend(junk.iter().map(|&b| b as u8));
+        match parse_request(&bytes, &limits()) {
+            Parsed::Request { request, consumed } => {
+                prop_assert_eq!(consumed, valid.len(), "consumed junk past the request");
+                prop_assert_eq!(request.target.as_str(), path.as_str());
+            }
+            other => prop_assert!(false, "valid prefix not parsed: {other:?}"),
+        }
+    }
+}

@@ -135,6 +135,6 @@ pub use config::{Backpressure, ServeConfig, ServeConfigBuilder, TelemetryConfig}
 pub use control::{ControlAction, ControlSample, Controller, ControllerConfig};
 pub use error::ServeError;
 pub use handle::{RequestHandle, Response};
-pub use metrics::MetricsSnapshot;
+pub use metrics::{MetricsSnapshot, QueueStats};
 pub use queue::{BoundedQueue, PushError};
 pub use runtime::ServeRuntime;

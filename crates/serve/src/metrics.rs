@@ -247,6 +247,30 @@ fn quantile(counts: &[u64], q: f64) -> Duration {
     Duration::from_nanos(u64::MAX)
 }
 
+/// A live admission-control gauge: how loaded the runtime is *right now*.
+///
+/// Unlike [`MetricsSnapshot`] (a full histogram walk meant for periodic
+/// reporting), this is three atomic loads — cheap enough for a network
+/// front-end to read on every admission decision. Previously queue depth
+/// was only visible inside telemetry snapshot exports; the gateway needs
+/// it synchronously to shed load and compute `Retry-After` hints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Requests sitting in the submission queue, not yet drained.
+    pub depth: usize,
+    /// Configured queue capacity ([`crate::ServeConfig::queue_capacity`]).
+    pub capacity: usize,
+    /// Requests accepted but not yet completed (queued + being served).
+    pub in_flight: u64,
+}
+
+impl QueueStats {
+    /// Queue fill fraction in `[0, 1]`.
+    pub fn fill(&self) -> f64 {
+        self.depth as f64 / self.capacity.max(1) as f64
+    }
+}
+
 /// A point-in-time view of the runtime's counters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {

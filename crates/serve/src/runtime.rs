@@ -321,6 +321,23 @@ impl ServeRuntime {
         self.submit(inputs)?.wait()
     }
 
+    /// Live queue-depth / in-flight gauge for admission decisions.
+    ///
+    /// Three atomic loads — cheap enough to call per request, unlike the
+    /// full [`ServeRuntime::metrics`] snapshot. `in_flight` counts
+    /// requests accepted but not yet completed (queued plus being
+    /// served); a front-end uses it to bound its own concurrency and to
+    /// derive `Retry-After` hints when shedding load.
+    pub fn queue_stats(&self) -> crate::metrics::QueueStats {
+        let submitted = self.metrics.submitted.load(Ordering::Relaxed);
+        let completed = self.metrics.completed.load(Ordering::Relaxed);
+        crate::metrics::QueueStats {
+            depth: self.queue.len(),
+            capacity: self.cfg.queue_capacity,
+            in_flight: submitted.saturating_sub(completed),
+        }
+    }
+
     /// Snapshot the runtime's counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot(
@@ -507,8 +524,13 @@ fn assemble_snapshot(ctx: &ObserverCtx, seq: u64, now_ns: u64) -> Snapshot {
     });
     let depth = ctx.queue.len();
     let (completed, agreement_micros) = ctx.metrics.agreement_progress();
+    let submitted = ctx.metrics.submitted.load(Ordering::Relaxed);
     let mean_agreement = Metrics::window_agreement((0, 0), (completed, agreement_micros));
     snap.gauge("serve.queue_depth", depth as f64)
+        .gauge(
+            "serve.in_flight",
+            submitted.saturating_sub(completed) as f64,
+        )
         .gauge(
             "serve.queue_fill",
             depth as f64 / ctx.cfg.queue_capacity.max(1) as f64,
@@ -871,6 +893,38 @@ mod tests {
         assert_eq!(snap.chip.synaptic_ops, snap.energy.synaptic_ops);
         assert_eq!(snap.chip.ticks, snap.ticks, "chip and serve tick counters agree");
         assert!(snap.chip.spikes_in > 0, "served frames inject spikes");
+    }
+
+    #[test]
+    fn queue_stats_track_admission_load() {
+        let rt = runtime(
+            ServeConfig::builder(3)
+                .workers(1)
+                .spf(64)
+                .queue_capacity(16)
+                .batch_max(1)
+                .build()
+                .expect("cfg"),
+        );
+        let idle = rt.queue_stats();
+        assert_eq!(idle.depth, 0);
+        assert_eq!(idle.capacity, 16);
+        assert_eq!(idle.in_flight, 0);
+        assert_eq!(idle.fill(), 0.0);
+        let handles: Vec<_> = (0..8)
+            .map(|_| rt.submit(vec![1.0, 0.0]).expect("submit"))
+            .collect();
+        let loaded = rt.queue_stats();
+        assert!(loaded.in_flight >= 1, "requests are outstanding: {loaded:?}");
+        assert!(loaded.in_flight <= 8);
+        assert!(loaded.fill() <= 1.0);
+        for h in handles {
+            h.wait().expect("serve");
+        }
+        let drained = rt.queue_stats();
+        assert_eq!(drained.in_flight, 0, "all completed: {drained:?}");
+        assert_eq!(drained.depth, 0);
+        rt.shutdown();
     }
 
     #[test]

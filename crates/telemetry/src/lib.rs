@@ -16,8 +16,11 @@
 //!   counters, gauges, and stage statistics, with a line-delimited JSON
 //!   wire format (`tn-telemetry/1`) and a strict parser/validator.
 //! * **Sinks** ([`MetricsSink`], [`NullSink`], [`MemorySink`],
-//!   [`JsonLinesSink`]) — pluggable egress; producers assemble snapshots,
-//!   sinks decide where they go.
+//!   [`JsonLinesSink`], [`LatestSink`]) — pluggable egress; producers
+//!   assemble snapshots, sinks decide where they go. [`LatestSink`]
+//!   additionally hands the most recent snapshot back to synchronous
+//!   readers (a live snapshot endpoint), optionally tee-ing to an inner
+//!   sink.
 //!
 //! # Example
 //!
@@ -59,6 +62,6 @@ mod snapshot;
 mod span;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
-pub use sink::{emit, JsonLinesSink, MemorySink, MetricsSink, NullSink};
+pub use sink::{emit, JsonLinesSink, LatestSink, MemorySink, MetricsSink, NullSink};
 pub use snapshot::{Snapshot, SnapshotError, SCHEMA};
 pub use span::{SpanRecord, SpanRecorder, Stage, StageStats};

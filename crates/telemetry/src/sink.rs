@@ -102,6 +102,60 @@ impl MetricsSink for MemorySink {
     }
 }
 
+/// Retains the most recent snapshot for synchronous hand-off, optionally
+/// forwarding every export to an inner sink.
+///
+/// This is the producer/consumer bridge a *serving front-end* needs: the
+/// runtime's observer thread exports on its own cadence, while request
+/// handlers (a live `/v1/snapshot` endpoint) read the latest snapshot on
+/// theirs. [`LatestSink::latest`] is one mutex-guarded clone; the inner
+/// sink (say a [`JsonLinesSink`] trail on disk) still sees the full
+/// export stream via [`emit`], so tee-ing costs the producer nothing
+/// extra.
+#[derive(Debug, Default)]
+pub struct LatestSink {
+    latest: Mutex<Option<Snapshot>>,
+    inner: Option<std::sync::Arc<dyn MetricsSink>>,
+}
+
+impl LatestSink {
+    /// A sink that only retains the latest snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Retain the latest snapshot *and* forward every export to `inner`.
+    pub fn tee(inner: std::sync::Arc<dyn MetricsSink>) -> Self {
+        Self {
+            latest: Mutex::new(None),
+            inner: Some(inner),
+        }
+    }
+
+    /// The most recent snapshot exported so far, if any.
+    pub fn latest(&self) -> Option<Snapshot> {
+        self.latest.lock().expect("latest sink lock").clone()
+    }
+
+    /// Sequence number of the most recent snapshot, if any.
+    pub fn latest_seq(&self) -> Option<u64> {
+        self.latest
+            .lock()
+            .expect("latest sink lock")
+            .as_ref()
+            .map(|s| s.seq)
+    }
+}
+
+impl MetricsSink for LatestSink {
+    fn export(&self, snapshot: &Snapshot) {
+        *self.latest.lock().expect("latest sink lock") = Some(snapshot.clone());
+        if let Some(inner) = &self.inner {
+            emit(&**inner, snapshot);
+        }
+    }
+}
+
 /// Writes each snapshot as one JSON line (see
 /// [`Snapshot::to_json_line`]) to any `Write` — a file, stderr, a pipe.
 ///
@@ -185,5 +239,29 @@ mod tests {
     #[test]
     fn null_sink_accepts_everything() {
         emit(&NullSink, &sample(7));
+    }
+
+    #[test]
+    fn latest_sink_retains_only_the_newest() {
+        let sink = LatestSink::new();
+        assert!(sink.latest().is_none());
+        assert_eq!(sink.latest_seq(), None);
+        emit(&sink, &sample(0));
+        emit(&sink, &sample(5));
+        let latest = sink.latest().expect("retained");
+        assert_eq!(latest.seq, 5);
+        assert_eq!(sink.latest_seq(), Some(5));
+        assert_eq!(latest.counters["c.events"], 15);
+    }
+
+    #[test]
+    fn latest_sink_tees_to_inner() {
+        let inner = std::sync::Arc::new(MemorySink::new());
+        let sink = LatestSink::tee(std::sync::Arc::clone(&inner) as _);
+        emit(&sink, &sample(0));
+        emit(&sink, &sample(1));
+        assert_eq!(sink.latest_seq(), Some(1));
+        assert_eq!(inner.len(), 2, "inner sink sees the full stream");
+        assert_eq!(inner.last_counter("c.events"), Some(11));
     }
 }

@@ -16,6 +16,13 @@
 //! snapshots (default path `tn_serve_telemetry.jsonl`; validate with the
 //! `snapshot_check` bin from `tn-telemetry`).
 //!
+//! Pass `--gateway` to additionally measure the same workload **over
+//! the wire**: each gateway cell binds a `tn-gateway` front-end on an
+//! ephemeral port and drives it with a pipelining
+//! `std::net::TcpStream` client, so its rows include HTTP
+//! parse/serialize cost and a real socket round trip. The cells land in
+//! the JSON summary under `gateway_cells`.
+//!
 //! Knobs: `TN_SERVE_REQUESTS` (default 1000), `TN_SERVE_WORKERS` (2),
 //! `TN_SERVE_SPF` (8), `TN_SERVE_JSON` (write a machine-readable summary
 //! to this path), plus the usual `TN_TRAIN`/`TN_TEST`/`TN_EPOCHS`.
@@ -119,6 +126,143 @@ fn serve_cell(
     })
 }
 
+/// A pipelining HTTP/1.1 client over one bare `TcpStream`, for the
+/// over-the-wire cells.
+struct HttpClient {
+    stream: std::net::TcpStream,
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    fn connect(addr: std::net::SocketAddr) -> std::io::Result<Self> {
+        Ok(Self {
+            stream: std::net::TcpStream::connect(addr)?,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Read the next Content-Length-framed response: (status, body).
+    fn recv(&mut self) -> std::io::Result<(u16, String)> {
+        use std::io::Read as _;
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(head_end) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+                let status: u16 = head
+                    .split(' ')
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("status code");
+                let len: usize = head
+                    .lines()
+                    .find_map(|l| {
+                        l.to_ascii_lowercase()
+                            .strip_prefix("content-length:")
+                            .map(str::to_string)
+                    })
+                    .and_then(|v| v.trim().parse().ok())
+                    .expect("Content-Length");
+                if self.buf.len() >= head_end + 4 + len {
+                    let body =
+                        String::from_utf8_lossy(&self.buf[head_end + 4..head_end + 4 + len])
+                            .into_owned();
+                    self.buf.drain(..head_end + 4 + len);
+                    return Ok((status, body));
+                }
+            }
+            let got = self.stream.read(&mut chunk)?;
+            assert!(got > 0, "gateway closed mid-response");
+            self.buf.extend_from_slice(&chunk[..got]);
+        }
+    }
+}
+
+fn classify_request(frame: &[f32]) -> Vec<u8> {
+    let nums: Vec<String> = frame.iter().map(|v| v.to_string()).collect();
+    let body = format!("{{\"frame\":[{}]}}", nums.join(","));
+    format!(
+        "POST /v1/classify HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .into_bytes()
+}
+
+/// Pull `"field":<digits>` out of a flat JSON response body.
+fn json_usize(body: &str, field: &str) -> Option<usize> {
+    let at = body.find(&format!("\"{field}\":"))? + field.len() + 3;
+    let digits: String = body[at..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// One over-the-wire measurement: same persisted model, same request
+/// stream, but through a `tn-gateway` front-end on an ephemeral port.
+fn gateway_cell(
+    model: &'static str,
+    path: &std::path::Path,
+    point: SweepPoint,
+    workers: usize,
+    spf: usize,
+    n_requests: usize,
+    data: &BenchData,
+) -> Result<Cell, Box<dyn std::error::Error>> {
+    use std::io::Write as _;
+
+    let SweepPoint {
+        replicas,
+        kernel_batch,
+    } = point;
+    let net = tn_learn::persist::load_network(std::io::BufReader::new(File::open(path)?))?;
+    let gw = gateway_network(
+        "127.0.0.1:0",
+        &net,
+        ServeConfig::builder(SEED)
+            .replicas(replicas)
+            .workers(workers)
+            .spf(spf)
+            .queue_capacity(512)
+            .batch_max(32)
+            .kernel_batch(kernel_batch)
+            .build()?,
+        GatewayConfig::default(),
+    )?;
+    let mut client = HttpClient::connect(gw.local_addr())?;
+    let n_test = data.test_y.len();
+    let mut correct = 0u64;
+    let t0 = Instant::now();
+    // Pipeline in bursts sized to the per-connection in-flight cap.
+    let rows: Vec<usize> = (0..n_requests).map(|i| i % n_test).collect();
+    for burst in rows.chunks(GatewayConfig::default().max_in_flight_per_conn) {
+        for &row in burst {
+            client.stream.write_all(&classify_request(data.test_x.row(row)))?;
+        }
+        for &row in burst {
+            let (status, body) = client.recv()?;
+            assert_eq!(status, 200, "deep queue must serve everything: {body}");
+            if json_usize(&body, "predicted") == Some(data.test_y[row]) {
+                correct += 1;
+            }
+        }
+    }
+    let wall = t0.elapsed();
+    drop(client);
+    let snap = gw.shutdown();
+    assert_eq!(snap.completed, n_requests as u64, "drain served everything");
+    Ok(Cell {
+        model,
+        replicas,
+        kernel_batch,
+        requests: snap.completed,
+        accuracy: correct as f32 / n_requests as f32,
+        mean_agreement: snap.mean_agreement,
+        throughput_rps: n_requests as f64 / wall.as_secs_f64(),
+        p50_us: snap.p50_latency.as_micros(),
+        p90_us: snap.p90_latency.as_micros(),
+        p99_us: snap.p99_latency.as_micros(),
+        joules_per_frame: snap.joules_per_frame(),
+    })
+}
+
 /// Smallest replica count in the sweep reaching `target` accuracy.
 fn replicas_needed(cells: &[Cell], model: &str, target: f32) -> Option<usize> {
     cells
@@ -198,6 +342,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .cloned()
             .unwrap_or_else(|| "tn_serve_telemetry.jsonl".into())
     });
+    let over_the_wire = args.iter().any(|a| a == "--gateway");
     let scale = RunScale {
         n_train: env_usize("TN_TRAIN", 1200),
         n_test: env_usize("TN_TEST", 300),
@@ -261,6 +406,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
+    // Over-the-wire cells: the same workload through the tn-gateway
+    // front-end, measured from the client side of a real socket.
+    let mut gateway_cells = Vec::new();
+    if over_the_wire {
+        println!("\n== over the wire: tn-gateway, pipelined HTTP/1.1 client ==\n");
+        println!(
+            "{:<8} {:>8} {:>7} {:>10} {:>10} {:>11} {:>9} {:>9} {:>9} {:>12}",
+            "model", "replicas", "kbatch", "accuracy", "agreement", "req/s", "p50 µs", "p90 µs",
+            "p99 µs", "J/frame"
+        );
+        for (model, path) in [("tea", &tea_path), ("biased", &biased_path)] {
+            for replicas in [1usize, 2] {
+                let point = SweepPoint {
+                    replicas,
+                    kernel_batch: KERNEL_BATCH_SWEEP[1],
+                };
+                let cell = gateway_cell(model, path, point, workers, spf, n_requests, &data)?;
+                println!(
+                    "{:<8} {:>8} {:>7} {:>10.4} {:>10.3} {:>11.1} {:>9} {:>9} {:>9} {:>12.3e}",
+                    cell.model,
+                    cell.replicas,
+                    cell.kernel_batch,
+                    cell.accuracy,
+                    cell.mean_agreement,
+                    cell.throughput_rps,
+                    cell.p50_us,
+                    cell.p90_us,
+                    cell.p99_us,
+                    cell.joules_per_frame,
+                );
+                gateway_cells.push(cell);
+            }
+        }
+    }
+
     // Batch-first payoff: same responses, more of them per second.
     println!();
     for replicas in REPLICA_SWEEP {
@@ -317,26 +497,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if let Ok(json_path) = std::env::var("TN_SERVE_JSON") {
-        let mut rows = String::new();
-        for (i, c) in cells.iter().enumerate() {
-            if i > 0 {
-                rows.push_str(",\n");
+        let fmt_rows = |cells: &[Cell]| -> String {
+            let mut rows = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    rows.push_str(",\n");
+                }
+                rows.push_str(&format!(
+                    "    {{\"model\": \"{}\", \"replicas\": {}, \"kernel_batch\": {}, \"requests\": {}, \"accuracy\": {:.4}, \"agreement\": {:.4}, \"req_per_sec\": {:.1}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"joules_per_frame\": {:.4e}}}",
+                    c.model,
+                    c.replicas,
+                    c.kernel_batch,
+                    c.requests,
+                    c.accuracy,
+                    c.mean_agreement,
+                    c.throughput_rps,
+                    c.p50_us,
+                    c.p90_us,
+                    c.p99_us,
+                    c.joules_per_frame,
+                ));
             }
-            rows.push_str(&format!(
-                "    {{\"model\": \"{}\", \"replicas\": {}, \"kernel_batch\": {}, \"requests\": {}, \"accuracy\": {:.4}, \"agreement\": {:.4}, \"req_per_sec\": {:.1}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"joules_per_frame\": {:.4e}}}",
-                c.model,
-                c.replicas,
-                c.kernel_batch,
-                c.requests,
-                c.accuracy,
-                c.mean_agreement,
-                c.throughput_rps,
-                c.p50_us,
-                c.p90_us,
-                c.p99_us,
-                c.joules_per_frame,
-            ));
-        }
+            rows
+        };
+        let rows = fmt_rows(&cells);
+        let gateway_rows = if gateway_cells.is_empty() {
+            String::new()
+        } else {
+            format!(",\n  \"gateway_cells\": [\n{}\n  ]", fmt_rows(&gateway_cells))
+        };
         let fmt_needs = |n: usize| {
             if n == usize::MAX {
                 "null".to_string()
@@ -345,7 +534,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         };
         let json = format!(
-            "{{\n  \"bench\": 1,\n  \"seed\": {SEED},\n  \"spf\": {spf},\n  \"workers\": {workers},\n  \"requests_per_cell\": {n_requests},\n  \"float_accuracy\": {{\"tea\": {:.4}, \"biased\": {:.4}}},\n  \"replicas_needed_for_recovery\": {{\"tea\": {}, \"biased\": {}}},\n  \"cells\": [\n{rows}\n  ]\n}}\n",
+            "{{\n  \"bench\": 1,\n  \"seed\": {SEED},\n  \"spf\": {spf},\n  \"workers\": {workers},\n  \"requests_per_cell\": {n_requests},\n  \"float_accuracy\": {{\"tea\": {:.4}, \"biased\": {:.4}}},\n  \"replicas_needed_for_recovery\": {{\"tea\": {}, \"biased\": {}}},\n  \"cells\": [\n{rows}\n  ]{gateway_rows}\n}}\n",
             tea.float_accuracy,
             biased.float_accuracy,
             fmt_needs(tea_needs),

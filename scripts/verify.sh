@@ -21,12 +21,24 @@ TN_BENCH_TICKS=100 cargo run --release -q -p tn-bench --bin bench_tick -- --batc
 
 echo "== telemetry smoke: adaptive serve exports valid snapshots =="
 TELEMETRY_OUT="$(mktemp /tmp/tn_verify_telemetry.XXXXXX.jsonl)"
-trap 'rm -f "$TELEMETRY_OUT"' EXIT
+GATEWAY_TRAIL="$(mktemp /tmp/tn_verify_gateway.XXXXXX.jsonl)"
+trap 'rm -f "$TELEMETRY_OUT" "$GATEWAY_TRAIL"' EXIT
 TN_TRAIN=200 TN_TEST=60 TN_EPOCHS=1 TN_SERVE_REQUESTS=200 \
   cargo run --release -q -p truenorth --example serve_throughput -- \
   --telemetry "$TELEMETRY_OUT"
 cargo run --release -q -p tn-telemetry --bin snapshot_check -- \
   "$TELEMETRY_OUT" --min 1
+
+echo "== gateway smoke: wire serving, load shedding, graceful drain =="
+# The demo asserts: concurrent std-TCP clients all served 200, at least
+# one 503 + Retry-After under a forced-saturation burst, and a clean
+# drain losing no admitted request. Its telemetry trail is then fed to
+# snapshot_check on stdin (the '-' path).
+TN_TRAIN=200 TN_TEST=60 TN_EPOCHS=1 TN_GATEWAY_CLIENTS=3 TN_GATEWAY_REQUESTS=24 \
+  cargo run --release -q -p truenorth --example gateway_demo -- \
+  --telemetry "$GATEWAY_TRAIL"
+cargo run --release -q -p tn-telemetry --bin snapshot_check -- - --min 1 \
+  < "$GATEWAY_TRAIL"
 
 echo "== lint gate: clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,472 @@
+//! Gateway integration: the tn-gateway acceptance contract, exercised
+//! with nothing but `std::net::TcpStream` clients.
+//!
+//! * wire answers are bit-identical to the in-process runtime for the
+//!   same (seed, seq);
+//! * pipelined responses come back in request order;
+//! * saturation sheds load as `503` + `Retry-After`, never silently;
+//! * graceful drain completes every admitted request and emits a final
+//!   telemetry snapshot;
+//! * both wire modes (HTTP/1.1 and line-JSON) serve the same payloads.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use tn_chip::nscs::{CoreDeploySpec, InputSource};
+use tn_telemetry::json::{self, JsonValue};
+use tn_telemetry::MemorySink;
+use truenorth::prelude::*;
+
+/// A single-core 2-class spec with fractional weights so replica
+/// sampling and input Bernoulli noise are both in play.
+fn fractional_spec() -> NetworkDeploySpec {
+    NetworkDeploySpec {
+        cores: vec![CoreDeploySpec {
+            layer: 0,
+            weights: vec![0.8, -0.6, -0.6, 0.8],
+            n_axons: 2,
+            n_neurons: 2,
+            biases: vec![-0.4, -0.4],
+            axon_sources: vec![InputSource::External(0), InputSource::External(1)],
+        }],
+        n_inputs: 2,
+        n_classes: 2,
+        output_taps: vec![(0, 0, 0), (0, 1, 1)],
+    }
+}
+
+fn request_inputs(i: usize) -> Vec<f32> {
+    let x = (i % 7) as f32 / 6.0;
+    vec![x, 1.0 - x]
+}
+
+fn classify_body(frame: &[f32]) -> String {
+    let nums: Vec<String> = frame.iter().map(|v| v.to_string()).collect();
+    format!("{{\"frame\":[{}]}}", nums.join(","))
+}
+
+/// Serialize a keep-alive `POST /v1/classify`.
+fn classify_request(frame: &[f32]) -> Vec<u8> {
+    let body = classify_body(frame);
+    format!(
+        "POST /v1/classify HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .into_bytes()
+}
+
+/// One parsed wire response.
+#[derive(Debug)]
+struct WireResponse {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl WireResponse {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn json(&self) -> JsonValue {
+        json::parse(&self.body).unwrap_or_else(|e| panic!("bad body {:?}: {e}", self.body))
+    }
+}
+
+/// Read exactly `n` Content-Length-framed responses off one stream —
+/// the client side of HTTP/1.1 pipelining.
+fn read_responses(stream: &mut TcpStream, n: usize) -> Vec<WireResponse> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut out = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while out.len() < n {
+        if let Some(resp) = take_response(&mut buf) {
+            out.push(resp);
+            continue;
+        }
+        let got = stream.read(&mut chunk).expect("read");
+        assert!(got > 0, "peer closed with {} of {n} responses", out.len());
+        buf.extend_from_slice(&chunk[..got]);
+    }
+    out
+}
+
+/// Pop one complete response off the front of `buf`, if present.
+fn take_response(buf: &mut Vec<u8>) -> Option<WireResponse> {
+    let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+    let head = String::from_utf8(buf[..head_end].to_vec()).expect("ASCII head");
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let headers: Vec<(String, String)> = lines
+        .filter(|l| !l.is_empty())
+        .map(|l| {
+            let (k, v) = l.split_once(':').expect("header colon");
+            (k.trim().to_string(), v.trim().to_string())
+        })
+        .collect();
+    let len: usize = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .map(|(_, v)| v.parse().expect("numeric Content-Length"))
+        .expect("framed response");
+    if buf.len() < head_end + len {
+        return None;
+    }
+    let body = String::from_utf8(buf[head_end..head_end + len].to_vec()).expect("UTF-8 body");
+    buf.drain(..head_end + len);
+    Some(WireResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn votes_of(v: &JsonValue) -> Vec<u64> {
+    v.get("votes")
+        .and_then(JsonValue::as_array)
+        .expect("votes array")
+        .iter()
+        .map(|x| x.as_u64().expect("vote count"))
+        .collect()
+}
+
+#[test]
+fn wire_classify_matches_in_process_runtime() {
+    // The determinism contract: request `seq` is a pure function of
+    // (seed, seq), so the same frames submitted in the same order over
+    // TCP and in-process must yield identical responses.
+    let spec = fractional_spec();
+    let cfg = || {
+        ServeConfig::builder(23)
+            .replicas(2)
+            .workers(2)
+            .build()
+            .expect("cfg")
+    };
+    let gw = Gateway::bind("127.0.0.1:0", &spec, cfg(), GatewayConfig::default()).expect("bind");
+
+    let n = 12usize;
+    let mut client = TcpStream::connect(gw.local_addr()).expect("connect");
+    for i in 0..n {
+        client
+            .write_all(&classify_request(&request_inputs(i)))
+            .expect("send");
+    }
+    let wire = read_responses(&mut client, n);
+    drop(client);
+    let snap = gw.shutdown();
+    assert_eq!(snap.completed, n as u64);
+
+    let rt = ServeRuntime::new(&spec, cfg()).expect("runtime");
+    for (i, resp) in wire.iter().enumerate() {
+        assert_eq!(resp.status, 200, "request {i}: {}", resp.body);
+        let v = resp.json();
+        let local = rt.classify(request_inputs(i)).expect("classify");
+        assert_eq!(local.seq, i as u64);
+        assert_eq!(v.get("seq").unwrap().as_u64(), Some(i as u64));
+        assert_eq!(
+            v.get("predicted").unwrap().as_u64(),
+            Some(local.predicted as u64),
+            "request {i}"
+        );
+        assert_eq!(votes_of(&v), local.votes, "request {i}");
+        let wire_replicas: Vec<u64> = v
+            .get("replica_predictions")
+            .and_then(JsonValue::as_array)
+            .expect("replica_predictions")
+            .iter()
+            .map(|x| x.as_u64().expect("replica label"))
+            .collect();
+        let local_replicas: Vec<u64> =
+            local.replica_predictions.iter().map(|&p| p as u64).collect();
+        assert_eq!(wire_replicas, local_replicas, "request {i}");
+        assert!(v.get("joules_per_frame").unwrap().as_f64().is_some());
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn line_json_mode_serves_the_same_payloads() {
+    let spec = fractional_spec();
+    let cfg = || ServeConfig::builder(31).workers(1).build().expect("cfg");
+    let gw = Gateway::bind("127.0.0.1:0", &spec, cfg(), GatewayConfig::default()).expect("bind");
+
+    let client = TcpStream::connect(gw.local_addr()).expect("connect");
+    let mut reader = BufReader::new(client.try_clone().expect("clone"));
+    let mut writer = client;
+    writeln!(writer, "{}", classify_body(&request_inputs(0))).expect("classify line");
+    writeln!(writer, "{{\"op\":\"config\"}}").expect("config line");
+    writeln!(writer, "{{\"op\":\"health\"}}").expect("health line");
+    let mut lines = Vec::new();
+    for _ in 0..3 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read line");
+        lines.push(json::parse(line.trim()).expect("line JSON"));
+    }
+    drop(writer);
+    gw.shutdown();
+
+    // Line 1: classify — identical to the in-process result for seq 0.
+    let rt = ServeRuntime::new(&spec, cfg()).expect("runtime");
+    let local = rt.classify(request_inputs(0)).expect("classify");
+    rt.shutdown();
+    assert_eq!(lines[0].get("seq").unwrap().as_u64(), Some(0));
+    assert_eq!(
+        lines[0].get("predicted").unwrap().as_u64(),
+        Some(local.predicted as u64)
+    );
+    assert_eq!(votes_of(&lines[0]), local.votes);
+
+    // Line 2: config introspection.
+    assert_eq!(
+        lines[1].get("schema").unwrap().as_str(),
+        Some("tn-gateway/1")
+    );
+    let model = lines[1].get("model").expect("model");
+    assert_eq!(model.get("n_inputs").unwrap().as_u64(), Some(2));
+    assert_eq!(model.get("n_classes").unwrap().as_u64(), Some(2));
+    assert_eq!(
+        lines[1]
+            .get("serve")
+            .and_then(|s| s.get("backpressure"))
+            .and_then(JsonValue::as_str),
+        Some("reject"),
+        "gateway must force rejecting admission"
+    );
+
+    // Line 3: health.
+    assert_eq!(lines[2].get("status").unwrap().as_str(), Some("ok"));
+}
+
+#[test]
+fn saturation_sheds_load_with_503_and_retry_after() {
+    // One slow worker, a capacity-1 queue, and a 24-deep pipelined burst:
+    // some requests must be served, the rest must come back 503 with a
+    // Retry-After hint — in order, on the same connection.
+    let spec = fractional_spec();
+    let cfg = ServeConfig::builder(5)
+        .workers(1)
+        .spf(2048)
+        .queue_capacity(1)
+        .batch_max(1)
+        .build()
+        .expect("cfg");
+    let gw_cfg = GatewayConfig {
+        max_in_flight_per_conn: 64,
+        ..GatewayConfig::default()
+    };
+    let gw = Gateway::bind("127.0.0.1:0", &spec, cfg, gw_cfg).expect("bind");
+
+    let n = 24usize;
+    let mut client = TcpStream::connect(gw.local_addr()).expect("connect");
+    for i in 0..n {
+        client
+            .write_all(&classify_request(&request_inputs(i)))
+            .expect("send");
+    }
+    let responses = read_responses(&mut client, n);
+    drop(client);
+
+    let served = responses.iter().filter(|r| r.status == 200).count();
+    let shed = responses.iter().filter(|r| r.status == 503).count();
+    assert_eq!(served + shed, n, "only 200 or 503 under saturation");
+    assert!(served > 0, "a capacity-1 queue still serves something");
+    assert!(shed > 0, "a 24-deep burst must overflow a capacity-1 queue");
+    for resp in responses.iter().filter(|r| r.status == 503) {
+        let retry: u64 = resp
+            .header("Retry-After")
+            .expect("503 carries Retry-After")
+            .parse()
+            .expect("integral seconds");
+        assert!((1..=30).contains(&retry), "retry hint {retry} out of range");
+        assert_eq!(
+            resp.json()
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(JsonValue::as_str),
+            Some("queue_full")
+        );
+    }
+
+    let snap = gw.shutdown();
+    assert_eq!(snap.completed, served as u64);
+    assert_eq!(snap.rejected, shed as u64);
+}
+
+#[test]
+fn graceful_drain_completes_admitted_requests_and_flushes_telemetry() {
+    let spec = fractional_spec();
+    let sink = std::sync::Arc::new(MemorySink::new());
+    let cfg = ServeConfig::builder(9)
+        .workers(1)
+        .spf(512)
+        .queue_capacity(64)
+        .telemetry(TelemetryConfig::default())
+        .build()
+        .expect("cfg");
+    let gw = Gateway::bind_with_sink(
+        "127.0.0.1:0",
+        &spec,
+        cfg,
+        GatewayConfig::default(),
+        std::sync::Arc::clone(&sink) as std::sync::Arc<dyn tn_telemetry::MetricsSink>,
+    )
+    .expect("bind");
+    let addr = gw.local_addr();
+
+    let n = 8usize;
+    let reader = std::thread::spawn(move || {
+        let mut client = TcpStream::connect(addr).expect("connect");
+        for i in 0..n {
+            client
+                .write_all(&classify_request(&request_inputs(i)))
+                .expect("send");
+        }
+        read_responses(&mut client, n)
+    });
+
+    // Shut down only once every request has been admitted, so the drain
+    // provably has in-flight work to finish.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while gw.metrics().submitted < n as u64 {
+        assert!(Instant::now() < deadline, "requests never admitted");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let snap = gw.shutdown();
+
+    let responses = reader.join().expect("client");
+    assert_eq!(responses.len(), n);
+    for (i, resp) in responses.iter().enumerate() {
+        assert_eq!(resp.status, 200, "request {i} lost in drain: {}", resp.body);
+        assert_eq!(resp.json().get("seq").unwrap().as_u64(), Some(i as u64));
+    }
+    assert_eq!(snap.completed, n as u64, "drain must serve every admission");
+
+    // The listener is gone: new connections are refused.
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "post-shutdown connect must fail"
+    );
+
+    // The runtime's observer flushed a final snapshot through the tee.
+    assert!(!sink.is_empty(), "drain must flush telemetry");
+    assert_eq!(sink.last_counter("serve.completed"), Some(n as u64));
+}
+
+#[test]
+fn snapshot_endpoint_serves_the_telemetry_trail() {
+    let spec = fractional_spec();
+    // No telemetry configured → deterministic 404.
+    let gw = Gateway::bind(
+        "127.0.0.1:0",
+        &spec,
+        ServeConfig::new(3),
+        GatewayConfig::default(),
+    )
+    .expect("bind");
+    let mut client = TcpStream::connect(gw.local_addr()).expect("connect");
+    client
+        .write_all(b"GET /v1/snapshot HTTP/1.1\r\n\r\n")
+        .expect("send");
+    let resp = read_responses(&mut client, 1).remove(0);
+    assert_eq!(resp.status, 404);
+    assert_eq!(
+        resp.json()
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(JsonValue::as_str),
+        Some("no_snapshot")
+    );
+    drop(client);
+    gw.shutdown();
+
+    // With telemetry on, the endpoint serves a tn-telemetry/1 line once
+    // the observer has ticked.
+    let cfg = ServeConfig::builder(3)
+        .telemetry(TelemetryConfig {
+            interval: Duration::from_millis(20),
+            ..TelemetryConfig::default()
+        })
+        .build()
+        .expect("cfg");
+    let gw = Gateway::bind("127.0.0.1:0", &spec, cfg, GatewayConfig::default()).expect("bind");
+    let mut client = TcpStream::connect(gw.local_addr()).expect("connect");
+    client
+        .write_all(&classify_request(&request_inputs(0)))
+        .expect("classify");
+    read_responses(&mut client, 1);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let snapshot = loop {
+        client
+            .write_all(b"GET /v1/snapshot HTTP/1.1\r\n\r\n")
+            .expect("send");
+        let resp = read_responses(&mut client, 1).remove(0);
+        if resp.status == 200 {
+            break resp.json();
+        }
+        assert!(Instant::now() < deadline, "observer never exported");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert_eq!(
+        snapshot.get("schema").unwrap().as_str(),
+        Some("tn-telemetry/1")
+    );
+    drop(client);
+    gw.shutdown();
+}
+
+#[test]
+fn http_errors_keep_the_connection_serving() {
+    // Routing and payload errors are per-request: after a 404, a 405 and
+    // a 400, the same connection still classifies.
+    let spec = fractional_spec();
+    let gw = Gateway::bind(
+        "127.0.0.1:0",
+        &spec,
+        ServeConfig::new(7),
+        GatewayConfig::default(),
+    )
+    .expect("bind");
+    let mut client = TcpStream::connect(gw.local_addr()).expect("connect");
+    client
+        .write_all(b"GET /v1/nope HTTP/1.1\r\n\r\n")
+        .expect("404");
+    client
+        .write_all(b"GET /v1/classify HTTP/1.1\r\n\r\n")
+        .expect("405");
+    client
+        .write_all(b"POST /v1/classify HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}")
+        .expect("400");
+    client
+        .write_all(b"POST /v1/classify HTTP/1.1\r\nContent-Length: 26\r\n\r\n{\"frame\":[0.25,0.75,0.25]}")
+        .expect("wrong width");
+    client
+        .write_all(&classify_request(&request_inputs(0)))
+        .expect("valid");
+    let responses = read_responses(&mut client, 5);
+    assert_eq!(
+        responses.iter().map(|r| r.status).collect::<Vec<_>>(),
+        vec![404, 405, 400, 400, 200]
+    );
+    let wrong_width = responses[3].json();
+    assert_eq!(
+        wrong_width
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(JsonValue::as_str),
+        Some("bad_input")
+    );
+    drop(client);
+    let snap = gw.shutdown();
+    assert_eq!(snap.completed, 1);
+}
