@@ -16,7 +16,11 @@
 //! Knobs: `TN_BENCH_TICKS` (measured ticks per cell, default 2000),
 //! `TN_BENCH_JSON` (write a machine-readable summary to this path),
 //! `--batch N` (bench only lane batch size N instead of the default
-//! {2, 8} sweep — the CI smoke uses `--batch 8`).
+//! {2, 8} sweep — the CI smoke uses `--batch 8`), `--sparsity <p>`
+//! (inject a fraction `p` of each core's axons per tick instead of the
+//! default {0.5, 0.02} sweep; low `p` measures the event-driven sparse
+//! walk on the near-silent workloads the paper's biased learning
+//! produces).
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -93,14 +97,15 @@ fn ring_chip(cores: usize, stochastic: bool) -> TrueNorthChip {
     chip
 }
 
-/// Injection schedule keeping the workload active: ~half of each core's
-/// axons per tick.
-fn injections(cores: usize) -> Vec<(usize, usize)> {
+/// Injection schedule: each core receives `density` × 256 axon events
+/// per tick (0.5 is the historical dense workload; low densities model
+/// the near-silent spike planes biased learning converges to).
+fn injections(cores: usize, density: f64) -> Vec<(usize, usize)> {
     let mut rng = StdRng::seed_from_u64(SEED ^ 0xF00D);
     let mut v = Vec::new();
     for c in 0..cores {
         for a in 0..256 {
-            if rng.gen_bool(0.5) {
+            if rng.gen_bool(density) {
                 v.push((c, a));
             }
         }
@@ -114,24 +119,38 @@ struct Cell {
     backend: String,
     /// Lockstep lanes ticked together (1 = single-frame execution).
     batch: usize,
+    /// Fraction of axon slots injected per tick.
+    sparsity: f64,
     ticks: usize,
     ticks_per_sec: f64,
     synops_per_sec: f64,
 }
 
+/// Best-of-3 rate: scheduler noise and frequency transitions only ever
+/// slow a repetition down, so the fastest pass is the least-perturbed
+/// estimate and makes cross-cell ratios reproducible on shared hosts.
 fn measure<F: FnMut()>(ticks: usize, mut one_tick: F) -> f64 {
     for _ in 0..ticks / 10 {
         one_tick(); // warmup
     }
-    let t0 = Instant::now();
-    for _ in 0..ticks {
-        one_tick();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..ticks {
+            one_tick();
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
     }
-    ticks as f64 / t0.elapsed().as_secs_f64()
+    ticks as f64 / best
 }
 
-fn bench_reference(workload: &'static str, mut chip: TrueNorthChip, ticks: usize) -> Cell {
-    let inj = injections(chip.core_count());
+fn bench_reference(
+    workload: &'static str,
+    mut chip: TrueNorthChip,
+    ticks: usize,
+    density: f64,
+) -> Cell {
+    let inj = injections(chip.core_count(), density);
     let rate = measure(ticks, || {
         for &(c, a) in &inj {
             chip.inject(c, a).expect("inject");
@@ -144,6 +163,7 @@ fn bench_reference(workload: &'static str, mut chip: TrueNorthChip, ticks: usize
         workload,
         backend: "reference".to_string(),
         batch: 1,
+        sparsity: density,
         ticks,
         ticks_per_sec: rate,
         synops_per_sec: rate * synops_per_tick,
@@ -155,10 +175,11 @@ fn bench_compiled(
     chip: &TrueNorthChip,
     threads: usize,
     ticks: usize,
+    density: f64,
 ) -> Cell {
     let mut fast = CompiledChip::compile(chip).expect("compile");
     fast.set_threads(threads);
-    let inj = injections(fast.core_count());
+    let inj = injections(fast.core_count(), density);
     let rate = measure(ticks, || {
         for &(c, a) in &inj {
             fast.inject(c, a);
@@ -171,6 +192,7 @@ fn bench_compiled(
         workload,
         backend: format!("compiled_{threads}t"),
         batch: 1,
+        sparsity: density,
         ticks,
         ticks_per_sec: rate,
         synops_per_sec: rate * synops_per_tick,
@@ -186,11 +208,12 @@ fn bench_lanes(
     threads: usize,
     lanes: usize,
     ticks: usize,
+    density: f64,
 ) -> Cell {
     let mut fast = CompiledChip::compile(chip).expect("compile");
     fast.set_threads(threads);
     assert!(fast.supports_lanes(), "bench chips are history-free");
-    let inj = injections(fast.core_count());
+    let inj = injections(fast.core_count(), density);
     let lane_seeds: Vec<u64> = (0..lanes as u64).map(|l| SEED ^ (l << 8)).collect();
     let mut batch = fast.begin_lanes(&lane_seeds);
     let rate = measure(ticks, || {
@@ -211,6 +234,7 @@ fn bench_lanes(
         workload,
         backend: format!("compiled_batch{lanes}_{threads}t"),
         batch: lanes,
+        sparsity: density,
         ticks,
         ticks_per_sec: frame_rate,
         synops_per_sec: frame_rate * synops_per_tick,
@@ -230,58 +254,97 @@ fn main() {
         Some(b) => vec![b],
         None => vec![2, 8],
     };
+    // Default sweep: the historical dense workload plus a near-silent one
+    // (the activity regime biased learning converges to). `--sparsity p`
+    // restricts the run to that single density.
+    let densities: Vec<f64> = match args
+        .iter()
+        .position(|a| a == "--sparsity")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+    {
+        Some(p) => vec![p],
+        None => vec![0.5, 0.02],
+    };
     println!("== raw tick throughput ({ticks} measured ticks per cell) ==\n");
     println!(
-        "{:<18} {:<20} {:>12} {:>14}",
-        "workload", "backend", "ticks/s", "synops/s"
+        "{:<18} {:<20} {:>9} {:>12} {:>14}",
+        "workload", "backend", "sparsity", "ticks/s", "synops/s"
     );
 
     let mut cells: Vec<Cell> = Vec::new();
-    for (workload, stochastic) in [("single_core_det", false), ("single_core_stoch", true)] {
-        cells.push(bench_reference(workload, single_core_chip(stochastic), ticks));
-        cells.push(bench_compiled(workload, &single_core_chip(stochastic), 1, ticks));
-        for &b in &batches {
-            // A lockstep tick does ~b× the work; scale the tick count so
-            // every cell touches a similar amount of total work.
-            let lane_ticks = (ticks / b).max(50);
-            cells.push(bench_lanes(
+    for &density in &densities {
+        // A near-silent tick costs a few µs, so at the default count a
+        // repetition is over in milliseconds — too short to time stably.
+        // Scale sparse cells up so every repetition does similar total work.
+        let cell_ticks = if density < 0.1 { ticks * 5 } else { ticks };
+        for (workload, stochastic) in [("single_core_det", false), ("single_core_stoch", true)] {
+            cells.push(bench_reference(
+                workload,
+                single_core_chip(stochastic),
+                cell_ticks,
+                density,
+            ));
+            cells.push(bench_compiled(
                 workload,
                 &single_core_chip(stochastic),
                 1,
-                b,
-                lane_ticks,
+                cell_ticks,
+                density,
             ));
+            for &b in &batches {
+                // A lockstep tick does ~b× the work; scale the tick count so
+                // every cell touches a similar amount of total work.
+                let lane_ticks = (cell_ticks / b).max(50);
+                cells.push(bench_lanes(
+                    workload,
+                    &single_core_chip(stochastic),
+                    1,
+                    b,
+                    lane_ticks,
+                    density,
+                ));
+            }
         }
     }
     // The 64-core chip amortizes per-tick overhead and exercises routing +
-    // the delay ring; fewer measured ticks keep the run short.
+    // the delay ring; fewer measured ticks keep the run short, and it runs
+    // at the primary density only.
     let chip_ticks = (ticks / 8).max(50);
+    let density0 = densities[0];
     let ring = ring_chip(64, false);
-    cells.push(bench_reference("chip_64_cores", ring.clone(), chip_ticks));
-    cells.push(bench_compiled("chip_64_cores", &ring, 1, chip_ticks));
+    cells.push(bench_reference("chip_64_cores", ring.clone(), chip_ticks, density0));
+    cells.push(bench_compiled("chip_64_cores", &ring, 1, chip_ticks, density0));
     if threads > 1 {
-        cells.push(bench_compiled("chip_64_cores", &ring, threads, chip_ticks));
+        cells.push(bench_compiled("chip_64_cores", &ring, threads, chip_ticks, density0));
     }
     for &b in &batches {
-        cells.push(bench_lanes("chip_64_cores", &ring, 1, b, (chip_ticks / b).max(25)));
+        cells.push(bench_lanes(
+            "chip_64_cores",
+            &ring,
+            1,
+            b,
+            (chip_ticks / b).max(25),
+            density0,
+        ));
     }
 
     for c in &cells {
         println!(
-            "{:<18} {:<20} {:>12.0} {:>14.3e}",
-            c.workload, c.backend, c.ticks_per_sec, c.synops_per_sec
+            "{:<18} {:<20} {:>9} {:>12.0} {:>14.3e}",
+            c.workload, c.backend, c.sparsity, c.ticks_per_sec, c.synops_per_sec
         );
     }
+    let find = |w: &str, b: &str, d: f64| {
+        cells
+            .iter()
+            .find(|c| c.workload == w && c.backend == b && c.sparsity == d)
+            .map_or(0.0, |c| c.ticks_per_sec)
+    };
     let speedup = |w: &str| {
-        let of = |b: &str| {
-            cells
-                .iter()
-                .find(|c| c.workload == w && c.backend == b)
-                .map_or(0.0, |c| c.ticks_per_sec)
-        };
-        let r = of("reference");
+        let r = find(w, "reference", density0);
         if r > 0.0 {
-            of("compiled_1t") / r
+            find(w, "compiled_1t", density0) / r
         } else {
             0.0
         }
@@ -291,14 +354,8 @@ fn main() {
         println!("{w}: compiled/reference = {:.2}x (single-threaded)", speedup(w));
     }
     let batch_speedup = |w: &str, b: usize| {
-        let base = cells
-            .iter()
-            .find(|c| c.workload == w && c.backend == "compiled_1t")
-            .map_or(0.0, |c| c.ticks_per_sec);
-        let lane = cells
-            .iter()
-            .find(|c| c.workload == w && c.backend == format!("compiled_batch{b}_1t"))
-            .map_or(0.0, |c| c.ticks_per_sec);
+        let base = find(w, "compiled_1t", density0);
+        let lane = find(w, &format!("compiled_batch{b}_1t"), density0);
         if base > 0.0 {
             lane / base
         } else {
@@ -313,6 +370,23 @@ fn main() {
             );
         }
     }
+    // ISSUE 7 acceptance: on near-silent workloads the sparse walk must
+    // carry the stochastic path to within 2× of the deterministic one.
+    let mut stoch_over_det_near_silent = 0.0f64;
+    for &d in &densities {
+        if d > 0.1 {
+            continue;
+        }
+        let det = find("single_core_det", "compiled_1t", d);
+        let stoch = find("single_core_stoch", "compiled_1t", d);
+        if det > 0.0 && stoch > 0.0 {
+            stoch_over_det_near_silent = stoch / det;
+            println!(
+                "near-silent (sparsity {d}): stoch/det compiled = {:.2}x",
+                stoch_over_det_near_silent
+            );
+        }
+    }
 
     if let Ok(path) = std::env::var("TN_BENCH_JSON") {
         let mut rows = String::new();
@@ -321,15 +395,16 @@ fn main() {
                 rows.push_str(",\n");
             }
             rows.push_str(&format!(
-                "    {{\"workload\": \"{}\", \"backend\": \"{}\", \"batch\": {}, \"ticks\": {}, \"ticks_per_sec\": {:.1}, \"synops_per_sec\": {:.4e}}}",
-                c.workload, c.backend, c.batch, c.ticks, c.ticks_per_sec, c.synops_per_sec
+                "    {{\"workload\": \"{}\", \"backend\": \"{}\", \"batch\": {}, \"sparsity\": {}, \"ticks\": {}, \"ticks_per_sec\": {:.1}, \"synops_per_sec\": {:.4e}}}",
+                c.workload, c.backend, c.batch, c.sparsity, c.ticks, c.ticks_per_sec, c.synops_per_sec
             ));
         }
         let json = format!(
-            "{{\n  \"seed\": {SEED},\n  \"threads\": {threads},\n  \"speedup_single_threaded\": {{\"single_core_det\": {:.2}, \"single_core_stoch\": {:.2}, \"chip_64_cores\": {:.2}}},\n  \"cells\": [\n{rows}\n  ]\n}}\n",
+            "{{\n  \"seed\": {SEED},\n  \"threads\": {threads},\n  \"speedup_single_threaded\": {{\"single_core_det\": {:.2}, \"single_core_stoch\": {:.2}, \"chip_64_cores\": {:.2}}},\n  \"stoch_over_det_near_silent\": {:.2},\n  \"cells\": [\n{rows}\n  ]\n}}\n",
             speedup("single_core_det"),
             speedup("single_core_stoch"),
             speedup("chip_64_cores"),
+            stoch_over_det_near_silent,
         );
         let mut f = std::fs::File::create(&path).expect("create json");
         f.write_all(json.as_bytes()).expect("write json");

@@ -41,6 +41,26 @@
 //! potential is not provably bounded across ticks) are rejected with a
 //! [`CompileError`] and must use the interpreter. Every deployment the paper
 //! builds (history-free McCulloch-Pitts cores, |weights| ≤ 2) is eligible.
+//!
+//! # Sparse walk
+//!
+//! On top of row compilation, both tick kernels are *event-driven*: cost
+//! scales with spike activity, not crossbar size. Compilation classifies
+//! each neuron as **skippable** when a silent tick is provably a no-op for
+//! it — history-free, draw-free (`leak_frac_prob <= 0` and
+//! `threshold_mask == 0`, so `step_membrane` consumes no PRNG draws), and
+//! unable to fire from an empty membrane (`leak < threshold`). A skippable
+//! neuron's post-silent-tick potential is always the same settled value
+//! `rest = max(leak, floor)`. Each tick then only runs `step_membrane` over
+//! `must_step ∪ dirty`, where `dirty` is the per-tick set of neurons touched
+//! by an active axon's row, and a settle pass writes `rest` into neurons
+//! that were stepped last tick but are silent now. Cores where every neuron
+//! is skippable early-out entirely on silent ticks. Because skipped neurons
+//! are draw-free by construction and stepped neurons run in ascending
+//! order, the PRNG draw sequence is exactly the interpreter's — the
+//! equivalence proptests in `tests/integration_kernel.rs` pin this across
+//! all-silent, sparse, and dense activity regimes. [`ActivityStats`] counts
+//! the skipped work for observability.
 
 use std::sync::Arc;
 
@@ -149,6 +169,11 @@ struct CoreKernel {
     gated: Vec<GatedSynapse>,
     /// `gated_index[a]..gated_index[a + 1]` is axon `a`'s gated row.
     gated_index: Vec<u32>,
+    /// Per-axon neuron-word mask of every target the row touches (det and
+    /// gated together, gate outcome ignored — a blocked gate still dirties
+    /// its target). OR-ing this into the dirty set costs O(1) per visited
+    /// row and keeps the synapse scatter loops store-only.
+    row_dirty: Vec<[u64; 4]>,
     /// Synaptic ops charged per spike on each axon (row length — every
     /// connected in-range synapse costs one op whether or not its gate
     /// passes, matching the interpreter).
@@ -157,6 +182,21 @@ struct CoreKernel {
     configs: Vec<NeuronConfig>,
     /// Per-neuron spike targets.
     targets: Vec<CompiledTarget>,
+    /// Neuron-word bitmask (bit `n % 64` of word `n / 64` = neuron `n`):
+    /// neurons that must run `step_membrane` every tick — stateful, draw
+    /// consuming (fractional leak or threshold dither), or able to fire
+    /// from a silent membrane (`leak >= threshold`).
+    must_step: Vec<u64>,
+    /// Neuron-word bitmask of history-free neurons (the interpreter clears
+    /// their potentials at tick start).
+    hf: Vec<u64>,
+    /// Settled potential of a skippable neuron after any silent tick:
+    /// clear to 0, add leak, no fire, clamp to floor → `max(leak, floor)`.
+    /// Zero (unused) for `must_step` neurons.
+    rest: Vec<i32>,
+    /// Every neuron is skippable, so a tick with no input and a fully
+    /// settled membrane plane is a whole-core no-op (early-out).
+    all_skippable: bool,
 }
 
 /// The immutable, shareable part of a compiled chip. `CompiledChip` clones
@@ -181,6 +221,67 @@ struct CoreState {
     stats: CoreStats,
     /// Neurons fired this tick, ascending (reused scratch).
     fired: Vec<u16>,
+    /// Neurons stepped last tick. The sparse-walk invariant: every
+    /// skippable neuron *not* in this mask holds its settled `rest`
+    /// potential. Any superset is safe (extra neurons are merely
+    /// re-stepped, which is draw-free for skippable ones), so state
+    /// imports — compile snapshots, lane-batch handoffs — use a full mask.
+    prev_step: Vec<u64>,
+    /// Per-tick dirty-neuron mask (reused scratch): neurons touched by an
+    /// active axon's row this tick.
+    dirty: Vec<u64>,
+    /// Work skipped / performed by the sparse walk (observability only;
+    /// never compared against the interpreter, which has no sparse path).
+    activity: ActivityStats,
+}
+
+/// Spike-activity counters from the sparse walk: how much crossbar work
+/// the event-driven kernels actually did versus skipped. Purely
+/// observational — no execution decision reads them — and all zero on the
+/// reference interpreter, which always walks densely.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActivityStats {
+    /// Axon rows walked because they were active (had a pending spike) —
+    /// synaptic *events* in the Jimeno Yepes et al. sense.
+    pub axon_visits: u64,
+    /// Axon-row slots available: `CROSSBAR_AXONS` per core-tick (lockstep
+    /// lane ticks count once — they walk the crossbar once for all lanes).
+    /// `axon_visits / axon_slots` is the mean active-axon fraction.
+    pub axon_slots: u64,
+    /// Neuron membrane rows skipped by the sparse walk (settled skippable
+    /// neurons, including every row of an early-outed core).
+    pub rows_skipped: u64,
+    /// Whole-core early-outs: silent, fully settled, all-skippable cores
+    /// whose tick was a provable no-op.
+    pub cores_skipped: u64,
+}
+
+impl ActivityStats {
+    /// Accumulate another counter set into this one.
+    pub fn add(&mut self, other: &ActivityStats) {
+        self.axon_visits += other.axon_visits;
+        self.axon_slots += other.axon_slots;
+        self.rows_skipped += other.rows_skipped;
+        self.cores_skipped += other.cores_skipped;
+    }
+
+    /// Mean active-axon fraction in `[0, 1]` (0 when nothing ticked yet).
+    pub fn spike_density(&self) -> f64 {
+        if self.axon_slots == 0 {
+            0.0
+        } else {
+            self.axon_visits as f64 / self.axon_slots as f64
+        }
+    }
+}
+
+/// Neuron-word bitmask with the low `n` bits set (all neurons).
+fn full_mask(n: usize, words: usize) -> Vec<u64> {
+    let mut mask = vec![0u64; words];
+    for bit in 0..n {
+        mask[bit / 64] |= 1u64 << (bit % 64);
+    }
+    mask
 }
 
 /// A chip compiled for fast execution. Behaviourally identical to the
@@ -295,16 +396,19 @@ impl CompiledChip {
             let mut gated = Vec::new();
             let mut gated_index = Vec::with_capacity(CROSSBAR_AXONS + 1);
             let mut row_ops = Vec::with_capacity(CROSSBAR_AXONS);
+            let mut row_dirty = Vec::with_capacity(CROSSBAR_AXONS);
             det_index.push(0);
             gated_index.push(0);
             for axon in 0..CROSSBAR_AXONS {
                 let ty = core.axon_type(axon) as usize;
                 let mut ops = 0u32;
+                let mut touched = [0u64; 4];
                 for neuron in core.crossbar().connected_neurons(axon) {
                     if neuron >= n_neurons {
                         continue;
                     }
                     ops += 1;
+                    touched[neuron / 64] |= 1u64 << (neuron % 64);
                     let mut weight = configs[neuron].weights[ty];
                     if core.sign_flip(axon, neuron) {
                         weight = -weight;
@@ -326,6 +430,7 @@ impl CompiledChip {
                 det_index.push(det.len() as u32);
                 gated_index.push(gated.len() as u32);
                 row_ops.push(ops);
+                row_dirty.push(touched);
             }
             let mut targets = Vec::with_capacity(n_neurons);
             for t in &all_targets[ci] {
@@ -347,14 +452,41 @@ impl CompiledChip {
                     },
                 });
             }
+            // Classify neurons for the sparse walk (see module docs): a
+            // skippable neuron's silent tick is a provable no-op — no PRNG
+            // draw, no fire, potential settling at `rest`.
+            let step_words = n_neurons.div_ceil(64).max(1);
+            let mut must_step = vec![0u64; step_words];
+            let mut hf = vec![0u64; step_words];
+            let mut rest = vec![0i32; n_neurons];
+            for (n, cfg) in configs.iter().enumerate() {
+                if cfg.history_free {
+                    hf[n / 64] |= 1u64 << (n % 64);
+                }
+                let skippable = cfg.history_free
+                    && cfg.leak_frac_prob <= 0.0
+                    && cfg.threshold_mask == 0
+                    && cfg.leak < cfg.threshold;
+                if skippable {
+                    rest[n] = if cfg.leak < cfg.floor { cfg.floor } else { cfg.leak };
+                } else {
+                    must_step[n / 64] |= 1u64 << (n % 64);
+                }
+            }
+            let all_skippable = must_step.iter().all(|&w| w == 0);
             kernels.push(CoreKernel {
                 det,
                 det_index,
                 gated,
                 gated_index,
+                row_dirty,
                 row_ops,
                 configs,
                 targets,
+                must_step,
+                hf,
+                rest,
+                all_skippable,
             });
             states.push(CoreState {
                 potentials,
@@ -362,6 +494,11 @@ impl CompiledChip {
                 input: core.input_words(),
                 stats: core.stats(),
                 fired: Vec::new(),
+                // The snapshot's potentials are arbitrary mid-run values,
+                // so start from the safe superset: everything was stepped.
+                prev_step: full_mask(n_neurons, step_words),
+                dirty: vec![0u64; step_words],
+                activity: ActivityStats::default(),
             });
         }
         let mut ring: Vec<Vec<(u32, u16)>> = (0..RING_SLOTS).map(|_| Vec::new()).collect();
@@ -559,12 +696,25 @@ impl CompiledChip {
     pub fn reset_counters(&mut self) {
         for st in &mut self.states {
             st.stats = CoreStats::default();
+            st.activity = ActivityStats::default();
         }
         self.stats = ChipStats::default();
         self.clear_outputs();
         for slot in &mut self.ring {
             slot.clear();
         }
+    }
+
+    /// Aggregate sparse-walk activity counters across all cores — how much
+    /// crossbar work the event-driven kernels skipped (see
+    /// [`ActivityStats`]). All zero before any tick and on chips driven
+    /// through the reference interpreter.
+    pub fn activity_total(&self) -> ActivityStats {
+        let mut total = ActivityStats::default();
+        for st in &self.states {
+            total.add(&st.activity);
+        }
+        total
     }
 
     /// PRNG state of one core's LFSR stream (equivalence testing).
@@ -635,6 +785,7 @@ impl CompiledChip {
             let mut input = vec![0u64; lanes * words];
             input[..words].copy_from_slice(&st.input);
             st.input = [0; CROSSBAR_AXONS / 64];
+            let step_words = n_neurons.div_ceil(64).max(1);
             states.push(BatchCoreState {
                 potentials,
                 prngs: lane_seeds
@@ -644,6 +795,11 @@ impl CompiledChip {
                 input,
                 stats: CoreStats::default(),
                 fired: Vec::new(),
+                // Replicated chip potentials are arbitrary; start from the
+                // safe full-mask superset like a fresh compile does.
+                prev_step: full_mask(n_neurons, step_words),
+                dirty: vec![0u64; step_words],
+                activity: ActivityStats::default(),
             });
         }
         // Move the chip's in-flight spikes into lane 0 of the batch ring
@@ -689,6 +845,14 @@ struct BatchCoreState {
     stats: CoreStats,
     /// `(neuron, lane)` pairs fired this tick, neuron-major (reused).
     fired: Vec<(u16, u16)>,
+    /// Union-over-lanes stepped mask from last tick (see
+    /// [`CoreState::prev_step`]; the union is a safe superset per lane).
+    prev_step: Vec<u64>,
+    /// Per-tick union dirty mask (reused scratch).
+    dirty: Vec<u64>,
+    /// Sparse-walk activity counters (physical work: a lockstep tick
+    /// counts its single shared crossbar walk once).
+    activity: ActivityStats,
 }
 
 /// A batch of `B` independent frames ticking in lockstep lanes on one
@@ -839,9 +1003,15 @@ impl LaneBatch<'_> {
             chip_st.stats.spikes_in += batch_st.stats.spikes_in;
             chip_st.stats.spikes_out += batch_st.stats.spikes_out;
             chip_st.stats.ticks += batch_st.stats.ticks;
+            chip_st.activity.add(&batch_st.activity);
             for (n, p) in chip_st.potentials.iter_mut().enumerate() {
                 *p = batch_st.potentials[n * self.width + lanes - 1];
             }
+            // The union mask is a superset of the last lane's true stepped
+            // set, and neurons outside it settled at `rest` in every lane —
+            // so it is a valid (and tight) prev_step for the chip's copy of
+            // the last lane's potentials.
+            chip_st.prev_step.copy_from_slice(&batch_st.prev_step);
             chip_st.prng = batch_st.prngs[lanes - 1].clone();
         }
         let channels = self.outputs.len() / lanes;
@@ -861,10 +1031,40 @@ impl LaneBatch<'_> {
     }
 }
 
+/// Leap-forward LFSR feedback table: the next 8 feedback bits of the
+/// Fibonacci LFSR (taps 16/14/13/11, mask `0x2D` over bits 0/2/3/5) are
+/// each a tap-mask parity of the *current* 16-bit state — an inserted
+/// feedback bit first reaches the lowest tap, bit 5, after 10 shifts, so
+/// the first 8 are independent of each other. Parity is linear over
+/// GF(2), so the 8-bit feedback byte splits into one lookup per state
+/// byte, XORed together.
+const fn fb8_table(hi: bool) -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let st = if hi { (b as u16) << 8 } else { b as u16 };
+        let mut fb = 0u8;
+        let mut k = 0;
+        while k < 8 {
+            fb |= (((st & (0x2Du16 << k)).count_ones() & 1) as u8) << k;
+            k += 1;
+        }
+        t[b] = fb;
+        b += 1;
+    }
+    t
+}
+/// Feedback byte contribution of the low state byte.
+static FB8_LO: [u8; 256] = fb8_table(false);
+/// Feedback byte contribution of the high state byte.
+static FB8_HI: [u8; 256] = fb8_table(true);
+
 /// One core's tick: integrate pending axon rows, then run the shared
-/// membrane update per neuron. Mirrors `NeuroSynapticCore::tick_into`
-/// including its PRNG draw order: gated synapses in (axon asc, neuron asc)
-/// order, then per-neuron `step_membrane` draws in neuron order.
+/// membrane update over the sparse step set. Mirrors
+/// `NeuroSynapticCore::tick_into` including its PRNG draw order: gated
+/// synapses in (axon asc, neuron asc) order, then per-neuron
+/// `step_membrane` draws in neuron order — skipped neurons are draw-free
+/// by construction, so eliding them leaves the draw sequence intact.
 fn core_tick(k: &CoreKernel, st: &mut CoreState) {
     let CoreState {
         potentials,
@@ -872,9 +1072,35 @@ fn core_tick(k: &CoreKernel, st: &mut CoreState) {
         input,
         stats,
         fired,
+        prev_step,
+        dirty,
+        activity,
     } = st;
-    for (n, cfg) in k.configs.iter().enumerate() {
-        if cfg.history_free {
+    let n_neurons = k.configs.len();
+    fired.clear();
+    stats.ticks += 1;
+    activity.axon_slots += CROSSBAR_AXONS as u64;
+    // Whole-core early-out: no pending input, every neuron skippable and
+    // already settled at rest — the interpreter tick would change no
+    // potential, emit no spike, and draw nothing.
+    if k.all_skippable
+        && input.iter().all(|&w| w == 0)
+        && prev_step.iter().all(|&w| w == 0)
+    {
+        activity.cores_skipped += 1;
+        activity.rows_skipped += n_neurons as u64;
+        return;
+    }
+    // Start-clear: history-free neurons stepped last tick hold their true
+    // post-tick potential; the interpreter zeroes them before integration.
+    // Unstepped history-free neurons hold `rest` instead and are rebased
+    // below if this tick's input touches them.
+    for (w, d) in dirty.iter_mut().enumerate() {
+        *d = 0;
+        let mut clear = prev_step[w] & k.hf[w];
+        while clear != 0 {
+            let n = w * 64 + clear.trailing_zeros() as usize;
+            clear &= clear - 1;
             potentials[n] = 0;
         }
     }
@@ -884,28 +1110,91 @@ fn core_tick(k: &CoreKernel, st: &mut CoreState) {
             let bit = word.trailing_zeros() as usize;
             word &= word - 1;
             let axon = w * 64 + bit;
+            activity.axon_visits += 1;
             stats.synaptic_ops += k.row_ops[axon] as u64;
+            // One mask OR dirties the whole row — even targets of blocked
+            // gates, which the interpreter also membrane-steps — leaving
+            // the synapse loops below store-only so they vectorize.
+            let touched = &k.row_dirty[axon];
+            for (dw, d) in dirty.iter_mut().enumerate() {
+                *d |= touched[dw];
+            }
             let det = &k.det[k.det_index[axon] as usize..k.det_index[axon + 1] as usize];
             for s in det {
                 potentials[s.neuron as usize] += s.weight;
             }
             let gated = &k.gated[k.gated_index[axon] as usize..k.gated_index[axon + 1] as usize];
-            for s in gated {
-                if prng.gen_bool_u16(s.q) {
-                    potentials[s.neuron as usize] += s.weight;
+            if !gated.is_empty() {
+                // Same draws in the same order and values as
+                // `gen_bool_u16` per synapse, but leap-forward: the next
+                // 8 feedback bits are a linear function of the *current*
+                // state (an inserted bit first reaches the lowest tap,
+                // bit 5, after 10 shifts), looked up per state byte, so
+                // the serial per-draw dependency chain collapses to a
+                // shift-or. The gate itself is branchless (a 0/1
+                // multiply, not a 50%-random branch).
+                let mut st = prng.state();
+                let mut row = gated;
+                while !row.is_empty() {
+                    let chunk = row.len().min(8);
+                    let fb =
+                        u16::from(FB8_LO[(st & 0xFF) as usize] ^ FB8_HI[(st >> 8) as usize]);
+                    let mut states = [0u16; 8];
+                    for (j, slot) in states[..chunk].iter_mut().enumerate() {
+                        st = (st >> 1) | (((fb >> j) & 1) << 15);
+                        *slot = st;
+                    }
+                    for (s, &draw) in row[..chunk].iter().zip(states.iter()) {
+                        // Branchless on purpose: a ~50% random gate as a
+                        // branch mispredicts half the time, so fold it into
+                        // an all-ones/zero mask instead. `black_box` keeps
+                        // the optimizer from reconstituting the branch (it
+                        // otherwise rewrites the masked add as a skip over
+                        // the weight load).
+                        let gate = 0i32.wrapping_sub(i32::from(draw < s.q));
+                        potentials[s.neuron as usize] +=
+                            s.weight & std::hint::black_box(gate);
+                    }
+                    row = &row[chunk..];
                 }
+                prng.set_state(st);
             }
         }
     }
     *input = [0; CROSSBAR_AXONS / 64];
-    fired.clear();
-    for (n, cfg) in k.configs.iter().enumerate() {
-        if step_membrane(cfg, &mut potentials[n], prng) {
-            fired.push(n as u16);
+    let mut stepped = 0u64;
+    for (w, d) in dirty.iter().enumerate() {
+        let step = k.must_step[w] | d;
+        stepped += u64::from(step.count_ones());
+        // Rebase: a settled skippable neuron entered the row walk holding
+        // `rest` where the interpreter holds 0; the difference is exact
+        // under the compile-time bounds (no saturation possible).
+        let mut rebase = step & k.hf[w] & !prev_step[w];
+        while rebase != 0 {
+            let n = w * 64 + rebase.trailing_zeros() as usize;
+            rebase &= rebase - 1;
+            potentials[n] -= k.rest[n];
         }
+        let mut m = step;
+        while m != 0 {
+            let n = w * 64 + m.trailing_zeros() as usize;
+            m &= m - 1;
+            if step_membrane(&k.configs[n], &mut potentials[n], prng) {
+                fired.push(n as u16);
+            }
+        }
+        // Settle: skippable neurons stepped last tick but silent now end
+        // this tick at `rest`, same as an interpreter silent tick.
+        let mut settle = prev_step[w] & !step;
+        while settle != 0 {
+            let n = w * 64 + settle.trailing_zeros() as usize;
+            settle &= settle - 1;
+            potentials[n] = k.rest[n];
+        }
+        prev_step[w] = step;
     }
+    activity.rows_skipped += n_neurons as u64 - stepped;
     stats.spikes_out += fired.len() as u64;
-    stats.ticks += 1;
 }
 
 /// One core's lockstep tick over `lanes` independent frames. Each packed
@@ -934,7 +1223,11 @@ fn core_tick_lanes(k: &CoreKernel, lanes: usize, width: usize, st: &mut BatchCor
 
 /// The width-`W` instantiation of the lockstep core tick. `lanes ≤ W`
 /// lanes are live; pad lanes are inactive on every axon (their `act`
-/// multiplier is always 0), never draw, and never fire.
+/// multiplier is always 0), never draw, and never fire. The sparse step
+/// set is shared across lanes (the union of per-lane dirty sets): a lane
+/// stepped only because *another* lane's input touched the neuron behaves
+/// exactly like an interpreter silent step — skippable neurons are
+/// draw-free, integrate nothing, and settle back at `rest`.
 fn core_tick_lanes_w<const W: usize>(k: &CoreKernel, lanes: usize, st: &mut BatchCoreState) {
     const WORDS: usize = CROSSBAR_AXONS / 64;
     let BatchCoreState {
@@ -943,9 +1236,32 @@ fn core_tick_lanes_w<const W: usize>(k: &CoreKernel, lanes: usize, st: &mut Batc
         input,
         stats,
         fired,
+        prev_step,
+        dirty,
+        activity,
     } = st;
-    for (n, cfg) in k.configs.iter().enumerate() {
-        if cfg.history_free {
+    let n_neurons = k.configs.len();
+    fired.clear();
+    stats.ticks += lanes as u64;
+    activity.axon_slots += CROSSBAR_AXONS as u64;
+    // Whole-core early-out: no lane has pending input and every lane's
+    // membrane plane is settled at rest — a provable no-op for all lanes.
+    if k.all_skippable
+        && input.iter().all(|&w| w == 0)
+        && prev_step.iter().all(|&w| w == 0)
+    {
+        activity.cores_skipped += 1;
+        activity.rows_skipped += n_neurons as u64;
+        return;
+    }
+    // Start-clear stepped history-free slabs (pad lanes included — their
+    // slots are never observed, so slab-wide ops are safe).
+    for (w, d) in dirty.iter_mut().enumerate() {
+        *d = 0;
+        let mut clear = prev_step[w] & k.hf[w];
+        while clear != 0 {
+            let n = w * 64 + clear.trailing_zeros() as usize;
+            clear &= clear - 1;
             potentials[n * W..(n + 1) * W].fill(0);
         }
     }
@@ -967,6 +1283,7 @@ fn core_tick_lanes_w<const W: usize>(k: &CoreKernel, lanes: usize, st: &mut Batc
             let bit = union.trailing_zeros() as usize;
             union &= union - 1;
             let axon = w * 64 + bit;
+            activity.axon_visits += 1;
             // Which lanes drive this axon: bitmask (lane l → bit l) and an
             // equivalent 0/1-per-lane slab for branchless masking.
             let mut mask = 0u64;
@@ -977,11 +1294,18 @@ fn core_tick_lanes_w<const W: usize>(k: &CoreKernel, lanes: usize, st: &mut Batc
                 *a = ((mask >> l) & 1) as i32;
             }
             stats.synaptic_ops += k.row_ops[axon] as u64 * mask.count_ones() as u64;
+            // One mask OR dirties the whole row for every lane at once
+            // (the step set is the union of per-lane dirty sets anyway).
+            let touched = &k.row_dirty[axon];
+            for (dw, d) in dirty.iter_mut().enumerate() {
+                *d |= touched[dw];
+            }
             let det = &k.det[k.det_index[axon] as usize..k.det_index[axon + 1] as usize];
             for s in det {
                 // Every lane adds `weight * {0,1}`: a straight multiply-add
                 // over the lane slab; inactive lanes add zero.
-                let base = s.neuron as usize * W;
+                let n = s.neuron as usize;
+                let base = n * W;
                 let slab: &mut [i32; W] = (&mut potentials[base..base + W]).try_into().unwrap();
                 let weight = s.weight;
                 for (p, &a) in slab.iter_mut().zip(act.iter()) {
@@ -990,7 +1314,8 @@ fn core_tick_lanes_w<const W: usize>(k: &CoreKernel, lanes: usize, st: &mut Batc
             }
             let gated = &k.gated[k.gated_index[axon] as usize..k.gated_index[axon + 1] as usize];
             for s in gated {
-                let base = s.neuron as usize * W;
+                let n = s.neuron as usize;
+                let base = n * W;
                 let weight = s.weight;
                 let q = s.q;
                 // Step every lane's LFSR in one pass, keeping the old state
@@ -1017,16 +1342,42 @@ fn core_tick_lanes_w<const W: usize>(k: &CoreKernel, lanes: usize, st: &mut Batc
         p.set_state(s);
     }
     input.fill(0);
-    fired.clear();
-    for (n, cfg) in k.configs.iter().enumerate() {
-        for (l, prng) in prngs.iter_mut().enumerate() {
-            if step_membrane(cfg, &mut potentials[n * W + l], prng) {
-                fired.push((n as u16, l as u16));
+    let mut stepped = 0u64;
+    for (w, d) in dirty.iter().enumerate() {
+        let step = k.must_step[w] | d;
+        stepped += u64::from(step.count_ones());
+        // Rebase settled skippable slabs from `rest` to the interpreter's
+        // 0 base (exact: the compile-time bounds rule out saturation).
+        let mut rebase = step & k.hf[w] & !prev_step[w];
+        while rebase != 0 {
+            let n = w * 64 + rebase.trailing_zeros() as usize;
+            rebase &= rebase - 1;
+            let r = k.rest[n];
+            for p in &mut potentials[n * W..(n + 1) * W] {
+                *p -= r;
             }
         }
+        let mut m = step;
+        while m != 0 {
+            let n = w * 64 + m.trailing_zeros() as usize;
+            m &= m - 1;
+            let cfg = &k.configs[n];
+            for (l, prng) in prngs.iter_mut().enumerate() {
+                if step_membrane(cfg, &mut potentials[n * W + l], prng) {
+                    fired.push((n as u16, l as u16));
+                }
+            }
+        }
+        let mut settle = prev_step[w] & !step;
+        while settle != 0 {
+            let n = w * 64 + settle.trailing_zeros() as usize;
+            settle &= settle - 1;
+            potentials[n * W..(n + 1) * W].fill(k.rest[n]);
+        }
+        prev_step[w] = step;
     }
+    activity.rows_skipped += n_neurons as u64 - stepped;
     stats.spikes_out += fired.len() as u64;
-    stats.ticks += lanes as u64;
 }
 
 #[cfg(test)]
@@ -1255,6 +1606,74 @@ mod tests {
         assert_eq!(chip.stats(), fast.stats());
         assert_eq!(chip.core_stats_total(), fast.core_stats_total());
         assert_eq!(fast.in_flight_len(), 0);
+    }
+
+    #[test]
+    fn silent_ticks_early_out_and_match_reference() {
+        // McCulloch-Pitts cores are fully skippable (threshold 1 > leak 0),
+        // so once the injected spike drains every tick is a whole-core
+        // no-op — and must still be bit-identical to the interpreter.
+        let (mut chip, h0) = chain_chip(3);
+        let mut fast = CompiledChip::compile(&chip).expect("compile");
+        chip.inject(h0, 0).expect("inject");
+        fast.inject(h0, 0);
+        for t in 0..32 {
+            assert_eq!(chip.tick(), fast.tick(), "tick {t}");
+        }
+        let act = fast.activity_total();
+        assert!(act.cores_skipped > 0, "silent cores must early-out: {act:?}");
+        assert!(act.rows_skipped > 0, "{act:?}");
+        assert!(act.axon_visits > 0, "active ticks still walk rows: {act:?}");
+        assert!(act.spike_density() > 0.0 && act.spike_density() < 1.0);
+        assert_eq!(chip.output_counts(), fast.output_counts());
+        assert_eq!(chip.stats(), fast.stats());
+        assert_eq!(chip.core_stats_total(), fast.core_stats_total());
+        for c in 0..2 {
+            assert_eq!(chip.core(c).expect("core").prng_state(), fast.prng_state(c));
+            for n in 0..1 {
+                assert_eq!(
+                    chip.core(c).expect("core").neuron(n).state.potential,
+                    fast.potential(c, n),
+                    "core {c} neuron {n} potential"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn silent_gated_rows_are_draw_free() {
+        // A core full of stochastic gates must not advance its PRNG stream
+        // on silent ticks: the interpreter only draws at gated synapses on
+        // *active* axons, and skipped membrane steps are draw-free.
+        let mut core = NeuroSynapticCore::new(0, strict_config(), 4);
+        for a in 0..4 {
+            for n in 0..4 {
+                core.crossbar_mut().set(a, n, true);
+                core.set_stochastic_probability(a, n, 0.5);
+            }
+            core.set_axon_type(a, 0);
+        }
+        let mut chip = TrueNorthChip::new(2, 2, 4);
+        let h = chip
+            .add_core(
+                core,
+                (0..4).map(|c| SpikeTarget::Output { channel: c }).collect(),
+            )
+            .expect("add");
+        chip.set_seed(99);
+        let mut fast = CompiledChip::compile(&chip).expect("compile");
+        chip.inject(h, 0).expect("inject");
+        fast.inject(h, 0);
+        chip.tick();
+        fast.tick();
+        let frozen = fast.prng_state(h);
+        for t in 0..100 {
+            assert_eq!(chip.tick(), fast.tick(), "tick {t}");
+            assert_eq!(fast.prng_state(h), frozen, "silent tick {t} drew");
+            assert_eq!(chip.core(h).expect("core").prng_state(), frozen);
+        }
+        assert_eq!(chip.output_counts(), fast.output_counts());
+        assert!(fast.activity_total().cores_skipped >= 99);
     }
 
     #[test]

@@ -323,7 +323,7 @@ pub struct Deployment {
 
 /// The tick-level operations a frame driver needs, implemented by both the
 /// reference interpreter and the compiled fast path so
-/// [`Deployment::run_frame`]/[`Deployment::run_frame_votes`] drive either
+/// [`Deployment::run_frame`]/[`Deployment::run_frames`] drive either
 /// through one code path — same RNG construction, same injection order,
 /// same flush discipline — and cannot drift apart.
 trait FrameBackend {
@@ -432,8 +432,8 @@ fn drive_frame<B: FrameBackend>(
     per_sample
 }
 
-/// Generic frame driver behind [`Deployment::run_frame_votes`] (same
-/// determinism contract as [`drive_frame`]).
+/// Generic frame driver behind [`Deployment::run_frames`]'s interpreter
+/// fallback (same determinism contract as [`drive_frame`]).
 fn drive_frame_votes<B: FrameBackend>(
     backend: &mut B,
     input_routes: &[Vec<Vec<(usize, usize)>>],
@@ -532,6 +532,20 @@ pub struct ChipCounterExport {
     pub flushed_spikes: u64,
     /// Chip ticks executed.
     pub ticks: u64,
+    /// Axon rows actually walked by the compiled sparse kernel (active
+    /// axons). Zero on the reference interpreter, which walks densely and
+    /// does not maintain activity masks.
+    pub axon_visits: u64,
+    /// Axon row slots that *could* have been walked (crossbar rows ×
+    /// core-ticks) — the dense-walk denominator for
+    /// [`ChipCounterExport::spike_density`]. Zero on the interpreter.
+    pub axon_slots: u64,
+    /// Neuron rows skipped by the sparse membrane walk (settled at rest,
+    /// provably draw-free). Zero on the interpreter.
+    pub rows_skipped: u64,
+    /// Whole core-ticks elided by the silent-core early-out. Zero on the
+    /// interpreter.
+    pub cores_skipped: u64,
 }
 
 impl ChipCounterExport {
@@ -547,6 +561,10 @@ impl ChipCounterExport {
             output_spikes: self.output_spikes.saturating_sub(baseline.output_spikes),
             flushed_spikes: self.flushed_spikes.saturating_sub(baseline.flushed_spikes),
             ticks: self.ticks.saturating_sub(baseline.ticks),
+            axon_visits: self.axon_visits.saturating_sub(baseline.axon_visits),
+            axon_slots: self.axon_slots.saturating_sub(baseline.axon_slots),
+            rows_skipped: self.rows_skipped.saturating_sub(baseline.rows_skipped),
+            cores_skipped: self.cores_skipped.saturating_sub(baseline.cores_skipped),
         }
     }
 
@@ -560,6 +578,20 @@ impl ChipCounterExport {
         self.output_spikes += other.output_spikes;
         self.flushed_spikes += other.flushed_spikes;
         self.ticks += other.ticks;
+        self.axon_visits += other.axon_visits;
+        self.axon_slots += other.axon_slots;
+        self.rows_skipped += other.rows_skipped;
+        self.cores_skipped += other.cores_skipped;
+    }
+
+    /// Mean active-axon fraction over the covered window:
+    /// `axon_visits / axon_slots`, or `0.0` before any compiled tick ran.
+    pub fn spike_density(&self) -> f64 {
+        if self.axon_slots == 0 {
+            0.0
+        } else {
+            self.axon_visits as f64 / self.axon_slots as f64
+        }
     }
 
     /// Visit every counter as a stable dotted `(name, value)` pair — the
@@ -573,6 +605,10 @@ impl ChipCounterExport {
         f("chip.output_spikes", self.output_spikes);
         f("chip.flushed_spikes", self.flushed_spikes);
         f("chip.ticks", self.ticks);
+        f("chip.axon_visits", self.axon_visits);
+        f("chip.axon_slots", self.axon_slots);
+        f("chip.rows_skipped", self.rows_skipped);
+        f("chip.cores_skipped", self.cores_skipped);
     }
 }
 
@@ -953,44 +989,6 @@ impl Deployment {
         }
     }
 
-    /// Run one frame and write the frame's aggregate class votes into
-    /// `votes` (layout `[copy * n_classes + class]`, overwritten).
-    ///
-    /// Deprecated single-frame shim over [`Deployment::run_frames`] — the
-    /// batch-first primitive — kept for source compatibility. Results are
-    /// identical; only the calling convention changed.
-    ///
-    /// Returns the number of chip ticks executed (`spf + depth − 1`), so
-    /// callers can account energy per frame.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `inputs` has the wrong width, holds values outside
-    /// `[0, 1]`, or `votes.len() != copies() * n_classes()`.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use Deployment::run_frames, the batch-first primitive"
-    )]
-    pub fn run_frame_votes(
-        &mut self,
-        inputs: &[f32],
-        spf: usize,
-        frame_seed: u64,
-        votes: &mut [u64],
-    ) -> u64 {
-        assert_eq!(
-            votes.len(),
-            self.chip.output_counts().len(),
-            "votes buffer must hold copies() * n_classes() lanes"
-        );
-        let result = self
-            .run_frames(&[FrameInput::new(inputs, spf, frame_seed)])
-            .pop()
-            .expect("one frame in, one vote tally out");
-        votes.copy_from_slice(&result.counts);
-        result.ticks
-    }
-
     /// Whether frames run on the compiled fast path.
     pub fn is_compiled(&self) -> bool {
         self.fast.is_some()
@@ -1053,6 +1051,13 @@ impl Deployment {
     pub fn counter_export(&self) -> ChipCounterExport {
         let core = self.core_stats_total();
         let chip = self.chip_stats();
+        // Activity masks exist only on the compiled sparse walk; the
+        // interpreter walks densely and reports zeros here.
+        let activity = self
+            .fast
+            .as_ref()
+            .map(CompiledChip::activity_total)
+            .unwrap_or_default();
         ChipCounterExport {
             synaptic_ops: core.synaptic_ops,
             spikes_in: core.spikes_in,
@@ -1062,6 +1067,10 @@ impl Deployment {
             output_spikes: chip.output_spikes,
             flushed_spikes: chip.flushed_spikes,
             ticks: chip.ticks,
+            axon_visits: activity.axon_visits,
+            axon_slots: activity.axon_slots,
+            rows_skipped: activity.rows_skipped,
+            cores_skipped: activity.cores_skipped,
         }
     }
 
@@ -1165,10 +1174,15 @@ mod tests {
         assert_eq!(delta, after, "delta from zero is the export itself");
         // A stale (larger) baseline saturates instead of wrapping.
         assert_eq!(before.delta_since(&after), ChipCounterExport::default());
-        // The named hook walks all eight counters with stable keys.
+        // The compiled sparse walk reports activity; density is a fraction.
+        assert!(after.axon_slots > 0, "compiled path must count axon slots");
+        assert!(after.axon_visits > 0, "hot input must visit axons");
+        let d = after.spike_density();
+        assert!(d > 0.0 && d <= 1.0, "density {d}");
+        // The named hook walks all twelve counters with stable keys.
         let mut seen = Vec::new();
         after.for_each(|name, value| seen.push((name, value)));
-        assert_eq!(seen.len(), 8);
+        assert_eq!(seen.len(), 12);
         assert!(seen.iter().all(|(name, _)| name.starts_with("chip.")));
         assert_eq!(
             seen.iter().find(|(n, _)| *n == "chip.synaptic_ops").map(|(_, v)| *v),
@@ -1205,9 +1219,9 @@ mod tests {
     }
 
     #[test]
-    fn run_frame_votes_matches_run_frame_totals() {
+    fn run_frames_matches_run_frame_totals() {
         // Fractional weights + 2 copies so both stochastic paths (input
-        // Bernoulli and per-copy sampling) are exercised; run_frame_votes
+        // Bernoulli and per-copy sampling) are exercised; run_frames
         // must reproduce run_frame's post-transient totals bit-exactly.
         let mut spec = tiny_spec();
         for w in &mut spec.cores[0].weights {
@@ -1236,7 +1250,7 @@ mod tests {
     }
 
     #[test]
-    fn run_frame_votes_compensates_pipeline_depth() {
+    fn run_frames_compensates_pipeline_depth() {
         // Two-layer relay (depth 2): the transient tick must be excluded.
         let spec = NetworkDeploySpec {
             cores: vec![
@@ -1554,21 +1568,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_frame_votes_shim_delegates_to_run_frames() {
-        let mut a = Deployment::build(&tiny_spec(), 2, 21).expect("deploy");
-        let mut b = a.clone();
-        let mut votes = vec![u64::MAX; a.chip.output_counts().len()];
-        let ticks = a.run_frame_votes(&[0.9, 0.4], 8, 3, &mut votes);
-        let modern = b
-            .run_frames(&[FrameInput::new(&[0.9, 0.4], 8, 3)])
-            .pop()
-            .expect("one frame");
-        assert_eq!(votes, modern.counts);
-        assert_eq!(ticks, modern.ticks);
-    }
-
-    #[test]
     fn parallelism_does_not_change_frames() {
         let mut spec = tiny_spec();
         for w in &mut spec.cores[0].weights {
@@ -1595,6 +1594,11 @@ mod tests {
         dep.reset_counters();
         assert_eq!(dep.synaptic_ops(), 0);
         assert_eq!(dep.chip_stats(), ChipStats::default());
+        assert_eq!(
+            dep.counter_export(),
+            ChipCounterExport::default(),
+            "reset clears sparse activity counters too"
+        );
     }
 
     #[test]

@@ -108,6 +108,6 @@ pub mod prelude {
     pub use tn_serve::{
         Backpressure, ControlAction, ControlSample, Controller, ControllerConfig,
         MetricsSnapshot, RequestHandle, Response, ServeConfig, ServeConfigBuilder, ServeError,
-        ServeRuntime, TelemetryConfig,
+        ServeRuntime, SpfClass, TelemetryConfig,
     };
 }

@@ -32,15 +32,17 @@ fn join<T: std::fmt::Display>(items: impl Iterator<Item = T>) -> String {
 }
 
 /// Extract the classify frame from a parsed request object:
-/// `{"frame": [x0, x1, ...]}` with numeric entries.
-pub(crate) fn parse_classify_frame(value: &JsonValue) -> Result<Vec<f32>, String> {
+/// `{"frame": [x0, x1, ...]}` with numeric entries, plus an optional
+/// `"class": N` request-class selector (default 0) routed to
+/// [`tn_serve::ServeRuntime::submit_class`].
+pub(crate) fn parse_classify_frame(value: &JsonValue) -> Result<(Vec<f32>, usize), String> {
     let frame = value
         .get("frame")
         .ok_or_else(|| "missing \"frame\" array".to_string())?;
     let items = frame
         .as_array()
         .ok_or_else(|| "\"frame\" must be an array of numbers".to_string())?;
-    items
+    let inputs: Vec<f32> = items
         .iter()
         .enumerate()
         .map(|(i, v)| {
@@ -48,11 +50,19 @@ pub(crate) fn parse_classify_frame(value: &JsonValue) -> Result<Vec<f32>, String
                 .map(|f| f as f32)
                 .ok_or_else(|| format!("frame[{i}] is not a number"))
         })
-        .collect()
+        .collect::<Result<_, _>>()?;
+    let class = match value.get("class") {
+        None => 0,
+        Some(v) => v
+            .as_u64()
+            .and_then(|c| usize::try_from(c).ok())
+            .ok_or_else(|| "\"class\" must be a non-negative integer".to_string())?,
+    };
+    Ok((inputs, class))
 }
 
 /// Parse a `POST /v1/classify` body.
-pub(crate) fn parse_classify_body(body: &[u8]) -> Result<Vec<f32>, String> {
+pub(crate) fn parse_classify_body(body: &[u8]) -> Result<(Vec<f32>, usize), String> {
     let text =
         std::str::from_utf8(body).map_err(|_| "body is not valid UTF-8".to_string())?;
     let value = json::parse(text).map_err(|e| e.to_string())?;
@@ -63,12 +73,15 @@ pub(crate) fn parse_classify_body(body: &[u8]) -> Result<Vec<f32>, String> {
 pub(crate) fn classify_json(r: &Response, joules_per_frame: f64) -> String {
     format!(
         "{{\"seq\":{},\"predicted\":{},\"votes\":[{}],\"replica_predictions\":[{}],\
-         \"agreement\":{},\"ticks\":{},\"latency_us\":{},\"joules_per_frame\":{}}}",
+         \"agreement\":{},\"class\":{},\"spf\":{},\"ticks\":{},\"latency_us\":{},\
+         \"joules_per_frame\":{}}}",
         r.seq,
         r.predicted,
         join(r.votes.iter()),
         join(r.replica_predictions.iter()),
         json_f64(f64::from(r.agreement)),
+        r.class,
+        r.spf,
         r.ticks,
         u64::try_from(r.latency.as_micros()).unwrap_or(u64::MAX),
         json_f64(joules_per_frame),
@@ -91,20 +104,20 @@ pub(crate) fn health_json() -> String {
 
 /// Render the `/v1/config` body: model introspection plus the serve
 /// config, with the *live* values for knobs the adaptive controller can
-/// move (`replicas`, `kernel_batch`).
+/// move (`replicas`, `kernel_batch`, and per-class `spf`).
 pub(crate) fn config_json(rt: &ServeRuntime) -> String {
     let cfg = rt.config();
     format!(
         "{{\"schema\":\"tn-gateway/1\",\
          \"model\":{{\"n_inputs\":{},\"n_classes\":{},\"replicas\":{}}},\
-         \"serve\":{{\"workers\":{},\"spf\":{},\"seed\":{},\"queue_capacity\":{},\
+         \"serve\":{{\"workers\":{},\"spf\":[{}],\"seed\":{},\"queue_capacity\":{},\
          \"batch_max\":{},\"kernel_batch\":{},\"backpressure\":\"{}\",\
          \"connectivity\":\"{}\",\"telemetry\":{}}}}}",
         rt.n_inputs(),
         rt.n_classes(),
         rt.replicas(),
         cfg.workers,
-        cfg.spf,
+        join(rt.spf_per_class().iter()),
         cfg.seed,
         cfg.queue_capacity,
         cfg.batch_max,
@@ -139,12 +152,18 @@ mod tests {
     fn classify_frames_parse_and_reject() {
         assert_eq!(
             parse_classify_body(b"{\"frame\":[1,0.5,0]}").expect("parse"),
-            vec![1.0, 0.5, 0.0]
+            (vec![1.0, 0.5, 0.0], 0)
+        );
+        assert_eq!(
+            parse_classify_body(b"{\"frame\":[1,0],\"class\":2}").expect("parse"),
+            (vec![1.0, 0.0], 2)
         );
         for (body, needle) in [
             (&b"{}"[..], "missing"),
             (b"{\"frame\":3}", "array"),
             (b"{\"frame\":[\"x\"]}", "not a number"),
+            (b"{\"frame\":[1],\"class\":-1}", "class"),
+            (b"{\"frame\":[1],\"class\":\"gold\"}", "class"),
             (b"not json", "JSON error"),
             (b"\xff\xfe", "UTF-8"),
         ] {
@@ -161,6 +180,8 @@ mod tests {
             votes: vec![2, 9],
             replica_predictions: vec![1, 1, 0],
             agreement: 2.0 / 3.0,
+            class: 1,
+            spf: 16,
             worker: 0,
             ticks: 16,
             latency: Duration::from_micros(420),
@@ -169,6 +190,8 @@ mod tests {
         let v = json::parse(&body).expect("valid JSON");
         assert_eq!(v.get("predicted").unwrap().as_u64(), Some(1));
         assert_eq!(v.get("votes").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(v.get("class").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("spf").unwrap().as_u64(), Some(16));
         assert_eq!(v.get("latency_us").unwrap().as_u64(), Some(420));
         assert!(v.get("joules_per_frame").unwrap().as_f64().unwrap() > 0.0);
 

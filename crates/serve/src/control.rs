@@ -24,6 +24,19 @@
 //!   out-of-band samples), and a post-change cooldown
 //!   ([`ControllerConfig::cooldown`]) so one decision's effect is observed
 //!   before the next. Bounds: `min_replicas ..= max_replicas`.
+//! * **spf per request class from agreement** — ticks-per-frame is the
+//!   paper's performance axis (its 6.5× speedup knob). When a request
+//!   class's windowed agreement saturates above
+//!   [`ControllerConfig::agreement_high`], the stochastic vote has
+//!   converged and the class is over-sampling: spf halves toward
+//!   [`SpfClass::spf_min`]. When agreement falls below
+//!   [`ControllerConfig::agreement_low`] the vote is under-sampled and spf
+//!   doubles toward [`SpfClass::spf_max`]. Each class carries its own
+//!   streak counters and cooldown clock (the *same* hysteresis machinery
+//!   replicas use), so a bursty class cannot steal another's evidence.
+//!   The actuator rides [`tn_chip::nscs::FrameInput::spf`] — no
+//!   deployment rebuild — so the epoch-swapped replica-rescale path stays
+//!   bit-identical to a fresh runtime.
 //!
 //! # Determinism
 //!
@@ -36,6 +49,35 @@
 use std::time::Duration;
 
 use crate::error::ServeError;
+
+/// Per-request-class bounds for the spf (ticks-per-frame) actuator.
+///
+/// A *request class* is a caller-chosen service tier: class `c` of a
+/// submission ([`crate::ServeRuntime::submit_class`]) selects
+/// `spf_classes[c]`. The controller moves the class's live spf
+/// multiplicatively inside `[spf_min, spf_max]`; frames always run at the
+/// spf their class held at serve time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpfClass {
+    /// Floor for the class's ticks-per-frame (≥ 1). The throughput end:
+    /// the controller halves spf toward this while agreement saturates.
+    pub spf_min: usize,
+    /// Ceiling for the class's ticks-per-frame. The accuracy end: the
+    /// controller doubles spf toward this while agreement is poor.
+    pub spf_max: usize,
+}
+
+impl SpfClass {
+    /// A class bounded to `spf_min ..= spf_max`.
+    pub fn new(spf_min: usize, spf_max: usize) -> Self {
+        Self { spf_min, spf_max }
+    }
+
+    /// Clamp an spf value into this class's bounds.
+    pub fn clamp(&self, spf: usize) -> usize {
+        spf.clamp(self.spf_min, self.spf_max)
+    }
+}
 
 /// Tuning for the adaptive control loop, validated by
 /// [`crate::ServeConfigBuilder::build`].
@@ -63,6 +105,13 @@ pub struct ControllerConfig {
     /// Minimum time between replica changes (lets the previous decision's
     /// effect show up in the agreement window before acting again).
     pub cooldown: Duration,
+    /// Request classes whose spf the controller adapts (empty = the spf
+    /// actuator is off and every request runs at the configured
+    /// [`crate::ServeConfig::spf`]). Class `c` of a submission maps to
+    /// `spf_classes[c]`; each class gets independent streak + cooldown
+    /// state reusing the same `agreement_low`/`agreement_high` band,
+    /// `scale_streak`, and `cooldown` the replica actuator uses.
+    pub spf_classes: Vec<SpfClass>,
 }
 
 impl Default for ControllerConfig {
@@ -77,6 +126,7 @@ impl Default for ControllerConfig {
             max_replicas: 8,
             scale_streak: 3,
             cooldown: Duration::from_secs(2),
+            spf_classes: Vec::new(),
         }
     }
 }
@@ -127,6 +177,19 @@ impl ControllerConfig {
                 "controller scale_streak must be >= 1".into(),
             ));
         }
+        for (c, class) in self.spf_classes.iter().enumerate() {
+            if class.spf_min == 0 {
+                return Err(ServeError::BadConfig(format!(
+                    "controller spf class {c}: spf_min must be >= 1"
+                )));
+            }
+            if class.spf_min > class.spf_max {
+                return Err(ServeError::BadConfig(format!(
+                    "controller spf class {c}: spf_min ({}) must not exceed spf_max ({})",
+                    class.spf_min, class.spf_max
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -135,7 +198,7 @@ impl ControllerConfig {
 ///
 /// Everything the control math consumes arrives here — including time —
 /// so decisions are replayable.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ControlSample {
     /// Sample time in clock nanoseconds ([`tn_telemetry::Clock`]).
     pub t_ns: u64,
@@ -151,6 +214,12 @@ pub struct ControlSample {
     /// sample; `None` when no requests completed in the window (the
     /// controller then leaves replicas alone — no evidence, no action).
     pub mean_agreement: Option<f32>,
+    /// Live spf per request class (`[spf_classes.len()]`; empty when the
+    /// spf actuator is off).
+    pub spf: Vec<usize>,
+    /// Windowed mean agreement per request class, aligned with `spf`;
+    /// `None` entries mean no completions for that class in the window.
+    pub class_agreement: Vec<Option<f32>>,
 }
 
 /// A decision the runtime should apply (see
@@ -165,6 +234,18 @@ pub enum ControlAction {
     /// accuracy/occupation point, deterministically: the replica sample
     /// at count `r` is a pure function of `(spec, seed, r)`).
     SetReplicas(usize),
+    /// Set one request class's live ticks-per-frame. Applied to frames
+    /// via [`tn_chip::nscs::FrameInput::spf`] at serve time — no
+    /// deployment rebuild, so the replica-rescale epoch swap is
+    /// untouched. A frame's result is still a pure function of
+    /// `(seed, seq, spf)`; what the actuator makes time-dependent is
+    /// *which* spf an in-flight request is served at.
+    SetSpf {
+        /// Request class index (into [`ControllerConfig::spf_classes`]).
+        class: usize,
+        /// New ticks-per-frame, inside the class's bounds.
+        spf: usize,
+    },
 }
 
 /// The adaptive controller: a small deterministic state machine.
@@ -179,18 +260,28 @@ pub struct Controller {
     high_streak: usize,
     /// Time of the last replica change, if any.
     last_scale_ns: Option<u64>,
+    /// Per spf class: consecutive samples with agreement below the band.
+    spf_low_streak: Vec<usize>,
+    /// Per spf class: consecutive samples with agreement above the band.
+    spf_high_streak: Vec<usize>,
+    /// Per spf class: time of the last spf change, if any.
+    last_spf_ns: Vec<Option<u64>>,
 }
 
 impl Controller {
     /// A controller enforcing `cfg`, with fusion width bounded by
     /// `kernel_batch_max` (clamped to ≥ 1).
     pub fn new(cfg: ControllerConfig, kernel_batch_max: usize) -> Self {
+        let n_classes = cfg.spf_classes.len();
         Self {
             cfg,
             kernel_batch_max: kernel_batch_max.max(1),
             low_streak: 0,
             high_streak: 0,
             last_scale_ns: None,
+            spf_low_streak: vec![0; n_classes],
+            spf_high_streak: vec![0; n_classes],
+            last_spf_ns: vec![None; n_classes],
         }
     }
 
@@ -205,6 +296,7 @@ impl Controller {
         let mut actions = Vec::new();
         self.observe_queue(sample, &mut actions);
         self.observe_agreement(sample, &mut actions);
+        self.observe_spf(sample, &mut actions);
         actions
     }
 
@@ -271,6 +363,73 @@ impl Controller {
         self.high_streak = 0;
         self.last_scale_ns = Some(t_ns);
     }
+
+    /// spf per class ∈ [spf_min, spf_max] follows the class's windowed
+    /// agreement with the same dead band, streak, and cooldown hysteresis
+    /// the replica actuator uses — but tracked per class, so evidence for
+    /// one class never moves another's knob. Direction: saturated
+    /// agreement means the stochastic vote converged with samples to
+    /// spare, so spf *halves* (throughput, the paper's performance axis);
+    /// poor agreement means under-sampling, so spf *doubles*.
+    fn observe_spf(&mut self, sample: &ControlSample, actions: &mut Vec<ControlAction>) {
+        let cooldown_ns = u64::try_from(self.cfg.cooldown.as_nanos()).unwrap_or(u64::MAX);
+        for (class, bounds) in self.cfg.spf_classes.clone().iter().enumerate() {
+            let agreement = sample.class_agreement.get(class).copied().flatten();
+            let Some(agreement) = agreement else {
+                // No completions for this class in the window: no
+                // evidence, streaks reset (no stale momentum).
+                self.spf_low_streak[class] = 0;
+                self.spf_high_streak[class] = 0;
+                continue;
+            };
+            let cooled = self.last_spf_ns[class]
+                .is_none_or(|t0| sample.t_ns.saturating_sub(t0) >= cooldown_ns);
+            if !cooled {
+                self.spf_low_streak[class] = 0;
+                self.spf_high_streak[class] = 0;
+                continue;
+            }
+            if agreement < self.cfg.agreement_low {
+                self.spf_low_streak[class] += 1;
+                self.spf_high_streak[class] = 0;
+            } else if agreement > self.cfg.agreement_high {
+                self.spf_high_streak[class] += 1;
+                self.spf_low_streak[class] = 0;
+            } else {
+                self.spf_low_streak[class] = 0;
+                self.spf_high_streak[class] = 0;
+                continue;
+            }
+            let current = sample
+                .spf
+                .get(class)
+                .copied()
+                .unwrap_or(bounds.spf_max)
+                .max(1);
+            if self.spf_high_streak[class] >= self.cfg.scale_streak && current > bounds.spf_min
+            {
+                actions.push(ControlAction::SetSpf {
+                    class,
+                    spf: (current / 2).max(bounds.spf_min),
+                });
+                self.after_spf(class, sample.t_ns);
+            } else if self.spf_low_streak[class] >= self.cfg.scale_streak
+                && current < bounds.spf_max
+            {
+                actions.push(ControlAction::SetSpf {
+                    class,
+                    spf: (current * 2).min(bounds.spf_max),
+                });
+                self.after_spf(class, sample.t_ns);
+            }
+        }
+    }
+
+    fn after_spf(&mut self, class: usize, t_ns: u64) {
+        self.spf_low_streak[class] = 0;
+        self.spf_high_streak[class] = 0;
+        self.last_spf_ns[class] = Some(t_ns);
+    }
 }
 
 #[cfg(test)]
@@ -289,6 +448,7 @@ mod tests {
             max_replicas: 4,
             scale_streak: 3,
             cooldown: Duration::from_millis(100),
+            spf_classes: Vec::new(),
         }
     }
 
@@ -310,6 +470,29 @@ mod tests {
             kernel_batch: kb,
             replicas,
             mean_agreement: agreement,
+            spf: Vec::new(),
+            class_agreement: Vec::new(),
+        })
+    }
+
+    /// Drive one scripted sample against the spf actuator only: mid-band
+    /// queue fill and replica agreement so the other two axes stay quiet.
+    fn step_spf(
+        ctl: &mut Controller,
+        clock: &ManualClock,
+        spf: Vec<usize>,
+        class_agreement: Vec<Option<f32>>,
+    ) -> Vec<ControlAction> {
+        clock.advance(ctl.config().sample_interval);
+        ctl.observe(&ControlSample {
+            t_ns: clock.now_ns(),
+            queue_depth: 16,
+            queue_capacity: 64,
+            kernel_batch: 4,
+            replicas: 2,
+            mean_agreement: Some(0.9),
+            spf,
+            class_agreement,
         })
     }
 
@@ -443,6 +626,9 @@ mod tests {
                     match action {
                         ControlAction::SetKernelBatch(v) => kb = v,
                         ControlAction::SetReplicas(v) => replicas = v,
+                        ControlAction::SetSpf { .. } => {
+                            unreachable!("no spf classes configured")
+                        }
                     }
                     log.push((i, action));
                 }
@@ -452,6 +638,102 @@ mod tests {
         let a = run();
         assert_eq!(a, run());
         assert!(!a.0.is_empty(), "the schedule must exercise both axes");
+    }
+
+    #[test]
+    fn spf_adapts_per_class_with_hysteresis_and_bounds() {
+        let clock = ManualClock::new();
+        let mut c = cfg();
+        // Class 0: premium (tight floor). Class 1: bulk (wide range).
+        c.spf_classes = vec![SpfClass::new(4, 16), SpfClass::new(2, 64)];
+        let mut ctl = Controller::new(c, 8);
+
+        // Saturated agreement on class 0 only: after the 3-sample streak
+        // its spf halves 16 → 8; class 1 (no evidence) is untouched.
+        let spfs = || vec![16usize, 8];
+        assert_eq!(step_spf(&mut ctl, &clock, spfs(), vec![Some(1.0), None]), vec![]);
+        assert_eq!(step_spf(&mut ctl, &clock, spfs(), vec![Some(1.0), None]), vec![]);
+        assert_eq!(
+            step_spf(&mut ctl, &clock, spfs(), vec![Some(1.0), None]),
+            vec![ControlAction::SetSpf { class: 0, spf: 8 }]
+        );
+        // Cooldown: continued saturation does nothing until it elapses.
+        for _ in 0..5 {
+            assert_eq!(
+                step_spf(&mut ctl, &clock, vec![8, 8], vec![Some(1.0), None]),
+                vec![]
+            );
+        }
+        // Past cooldown the streak rebuilds, then 8 → 4 lands on the
+        // floor; further saturation can never go below spf_min.
+        clock.advance(Duration::from_millis(100));
+        for _ in 0..2 {
+            assert_eq!(
+                step_spf(&mut ctl, &clock, vec![8, 8], vec![Some(1.0), None]),
+                vec![]
+            );
+        }
+        assert_eq!(
+            step_spf(&mut ctl, &clock, vec![8, 8], vec![Some(1.0), None]),
+            vec![ControlAction::SetSpf { class: 0, spf: 4 }]
+        );
+        clock.advance(Duration::from_millis(100));
+        for _ in 0..6 {
+            assert_eq!(
+                step_spf(&mut ctl, &clock, vec![4, 8], vec![Some(1.0), None]),
+                vec![]
+            );
+        }
+
+        // Poor agreement on class 1 doubles it toward (and never past)
+        // spf_max, while class 0 sits in the dead band untouched.
+        for _ in 0..2 {
+            assert_eq!(
+                step_spf(&mut ctl, &clock, vec![4, 32], vec![Some(0.9), Some(0.3)]),
+                vec![]
+            );
+        }
+        assert_eq!(
+            step_spf(&mut ctl, &clock, vec![4, 32], vec![Some(0.9), Some(0.3)]),
+            vec![ControlAction::SetSpf { class: 1, spf: 64 }]
+        );
+        clock.advance(Duration::from_millis(100));
+        for _ in 0..6 {
+            assert_eq!(
+                step_spf(&mut ctl, &clock, vec![4, 64], vec![Some(0.9), Some(0.3)]),
+                vec![],
+                "spf_max is a ceiling"
+            );
+        }
+    }
+
+    #[test]
+    fn spf_streaks_reset_on_gaps_and_dead_band() {
+        let clock = ManualClock::new();
+        let mut c = cfg();
+        c.spf_classes = vec![SpfClass::new(2, 32)];
+        let mut ctl = Controller::new(c, 8);
+        // high, high, gap (no completions), high, high, high → only the
+        // post-gap streak fires.
+        assert_eq!(step_spf(&mut ctl, &clock, vec![32], vec![Some(1.0)]), vec![]);
+        assert_eq!(step_spf(&mut ctl, &clock, vec![32], vec![Some(1.0)]), vec![]);
+        assert_eq!(step_spf(&mut ctl, &clock, vec![32], vec![None]), vec![], "gap resets");
+        assert_eq!(step_spf(&mut ctl, &clock, vec![32], vec![Some(1.0)]), vec![]);
+        assert_eq!(step_spf(&mut ctl, &clock, vec![32], vec![Some(1.0)]), vec![]);
+        assert_eq!(
+            step_spf(&mut ctl, &clock, vec![32], vec![Some(1.0)]),
+            vec![ControlAction::SetSpf { class: 0, spf: 16 }]
+        );
+        // Dead-band samples also reset the streak.
+        clock.advance(Duration::from_millis(100));
+        assert_eq!(step_spf(&mut ctl, &clock, vec![16], vec![Some(1.0)]), vec![]);
+        assert_eq!(step_spf(&mut ctl, &clock, vec![16], vec![Some(1.0)]), vec![]);
+        assert_eq!(
+            step_spf(&mut ctl, &clock, vec![16], vec![Some(0.9)]),
+            vec![],
+            "dead band resets"
+        );
+        assert_eq!(step_spf(&mut ctl, &clock, vec![16], vec![Some(1.0)]), vec![]);
     }
 
     #[test]
@@ -484,6 +766,14 @@ mod tests {
         assert!(matches!(
             check(|c| c.sample_interval = Duration::ZERO),
             ServeError::BadConfig(msg) if msg.contains("sample_interval")
+        ));
+        assert!(matches!(
+            check(|c| c.spf_classes = vec![SpfClass::new(0, 8)]),
+            ServeError::BadConfig(msg) if msg.contains("spf_min")
+        ));
+        assert!(matches!(
+            check(|c| c.spf_classes = vec![SpfClass::new(16, 8)]),
+            ServeError::BadConfig(msg) if msg.contains("spf_max")
         ));
         cfg().validate().expect("the test config itself is valid");
     }

@@ -39,6 +39,14 @@ pub enum ServeError {
         /// The offending value.
         value: f32,
     },
+    /// The request named an spf class the runtime does not serve (see
+    /// [`crate::control::ControllerConfig::spf_classes`]).
+    UnknownClass {
+        /// The class the request asked for.
+        class: usize,
+        /// Classes the runtime serves (`0 .. classes`).
+        classes: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -56,6 +64,12 @@ impl std::fmt::Display for ServeError {
                 write!(
                     f,
                     "input channel {channel} = {value} outside normalized [0, 1]"
+                )
+            }
+            Self::UnknownClass { class, classes } => {
+                write!(
+                    f,
+                    "unknown request class {class}: this runtime serves classes 0..{classes}"
                 )
             }
         }
@@ -90,5 +104,7 @@ mod tests {
         let text = e.to_string();
         assert!(text.contains("784") && text.contains("10"), "{text}");
         assert!(ServeError::QueueFull.to_string().contains("full"));
+        let e = ServeError::UnknownClass { class: 3, classes: 2 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('2'));
     }
 }

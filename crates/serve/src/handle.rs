@@ -25,6 +25,13 @@ pub struct Response {
     pub replica_predictions: Vec<usize>,
     /// Fraction of replicas whose individual argmax matches `predicted`.
     pub agreement: f32,
+    /// Request class the submission named (0 unless submitted via
+    /// [`crate::ServeRuntime::submit_class`]).
+    pub class: usize,
+    /// Ticks-per-frame the request was actually served at (the class's
+    /// live spf at serve time; the configured spf when the actuator is
+    /// off).
+    pub spf: usize,
     /// Index of the worker thread that served the request.
     pub worker: usize,
     /// Chip ticks spent on this frame (spf + pipeline depth − 1).
@@ -173,6 +180,8 @@ mod tests {
             votes: vec![0, 5],
             replica_predictions: vec![1, 1],
             agreement: 1.0,
+            class: 0,
+            spf: 8,
             worker: 0,
             ticks: 8,
             latency: Duration::from_micros(10),

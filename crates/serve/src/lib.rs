@@ -60,8 +60,11 @@
 //!   latency spans) through a pluggable [`tn_telemetry::MetricsSink`].
 //!   With [`ServeConfig::controller`] set, a [`Controller`] closes the
 //!   loop: it adapts the live fusion width within `1 ..= kernel_batch`
-//!   from queue depth and rescales replicas from the live agreement
-//!   metric with hysteresis (dead band + streak + cooldown). The control
+//!   from queue depth, rescales replicas from the live agreement
+//!   metric, and (with [`ControllerConfig::spf_classes`] configured)
+//!   adapts each request class's ticks-per-frame within its
+//!   [`SpfClass`] bounds from that class's windowed agreement — all
+//!   with hysteresis (dead band + streak + cooldown). The control
 //!   math is pure — time arrives inside each [`ControlSample`], stamped
 //!   by a [`tn_telemetry::Clock`] — so decisions are testable with a
 //!   scripted clock. With both options off (the default), the runtime is
@@ -109,13 +112,14 @@
 //!
 //! # Migrating from `run_frame_votes` and `with_*` setters
 //!
-//! Since 0.4.0 the single-frame `Deployment::run_frame_votes` is a
-//! deprecated shim over the batch-first
-//! `tn_chip::nscs::Deployment::run_frames`, and `ServeConfig`'s chained
-//! `with_*` setters are deprecated shims over the validated
-//! [`ServeConfigBuilder`]. Replace
+//! The single-frame `Deployment::run_frame_votes` shim (deprecated in
+//! 0.4.0) has been **removed**: the batch-first
+//! `tn_chip::nscs::Deployment::run_frames` is the only frame-serving
+//! entry point. Replace
 //! `dep.run_frame_votes(&x, spf, seed, &mut votes)` with
-//! `dep.run_frames(&[FrameInput::new(&x, spf, seed)])`, and
+//! `dep.run_frames(&[FrameInput::new(&x, spf, seed)])`. Likewise
+//! `ServeConfig`'s chained `with_*` setters are deprecated shims over
+//! the validated [`ServeConfigBuilder`]: replace
 //! `ServeConfig::new(7).with_replicas(4)` with
 //! `ServeConfig::builder(7).replicas(4).build()?`. Results are unchanged
 //! bit-for-bit; only the calling conventions moved.
@@ -132,7 +136,7 @@ mod queue;
 mod runtime;
 
 pub use config::{Backpressure, ServeConfig, ServeConfigBuilder, TelemetryConfig};
-pub use control::{ControlAction, ControlSample, Controller, ControllerConfig};
+pub use control::{ControlAction, ControlSample, Controller, ControllerConfig, SpfClass};
 pub use error::ServeError;
 pub use handle::{RequestHandle, Response};
 pub use metrics::{MetricsSnapshot, QueueStats};

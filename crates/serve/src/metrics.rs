@@ -68,7 +68,11 @@ pub(crate) struct Metrics {
     /// Chip hardware counters folded from worker deployments
     /// ([`ChipCounterExport`] deltas; `chip[0]` = synaptic_ops etc. in
     /// `for_each` order).
-    chip: [AtomicU64; 8],
+    chip: [AtomicU64; 12],
+    /// Per request class: `[completed, agreement ×AGREEMENT_SCALE]` — the
+    /// spf actuator's evidence, windowed by the observer exactly like the
+    /// global pair.
+    class_agreement: Vec<[AtomicU64; 2]>,
     /// Log-linear latency histogram (see [`bucket_index`]).
     latency: [AtomicU64; BUCKETS],
     latency_sum_ns: AtomicU64,
@@ -79,7 +83,7 @@ pub(crate) struct Metrics {
 }
 
 impl Metrics {
-    pub(crate) fn new(workers: usize) -> Self {
+    pub(crate) fn new(workers: usize, spf_classes: usize) -> Self {
         Self {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -89,6 +93,9 @@ impl Metrics {
             ticks: AtomicU64::new(0),
             agreement_micros: AtomicU64::new(0),
             chip: std::array::from_fn(|_| AtomicU64::new(0)),
+            class_agreement: (0..spf_classes.max(1))
+                .map(|_| [AtomicU64::new(0), AtomicU64::new(0)])
+                .collect(),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
             latency_sum_ns: AtomicU64::new(0),
             per_worker_frames: (0..workers).map(|_| AtomicU64::new(0)).collect(),
@@ -99,6 +106,7 @@ impl Metrics {
     pub(crate) fn record_completion(
         &self,
         worker: usize,
+        class: usize,
         ticks: u64,
         latency: Duration,
         agreement: f32,
@@ -107,13 +115,28 @@ impl Metrics {
         self.ticks.fetch_add(ticks, Ordering::Relaxed);
         self.per_worker_frames[worker].fetch_add(1, Ordering::Relaxed);
         self.per_worker_ticks[worker].fetch_add(ticks, Ordering::Relaxed);
-        self.agreement_micros.fetch_add(
-            (f64::from(agreement.clamp(0.0, 1.0)) * AGREEMENT_SCALE) as u64,
-            Ordering::Relaxed,
-        );
+        let micros = (f64::from(agreement.clamp(0.0, 1.0)) * AGREEMENT_SCALE) as u64;
+        self.agreement_micros.fetch_add(micros, Ordering::Relaxed);
+        if let Some(pair) = self.class_agreement.get(class) {
+            pair[0].fetch_add(1, Ordering::Relaxed);
+            pair[1].fetch_add(micros, Ordering::Relaxed);
+        }
         let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
         self.latency[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
         self.latency_sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Lifetime `(completed, agreement_sum/SCALE)` pair for one request
+    /// class (see [`Metrics::agreement_progress`]).
+    pub(crate) fn class_agreement_progress(&self, class: usize) -> (u64, u64) {
+        self.class_agreement.get(class).map_or((0, 0), |pair| {
+            (pair[0].load(Ordering::Relaxed), pair[1].load(Ordering::Relaxed))
+        })
+    }
+
+    /// Number of request classes agreement is tracked for.
+    pub(crate) fn n_classes(&self) -> usize {
+        self.class_agreement.len()
     }
 
     /// Fold a worker deployment's hardware-counter delta into the global
@@ -128,6 +151,10 @@ impl Metrics {
             delta.output_spikes,
             delta.flushed_spikes,
             delta.ticks,
+            delta.axon_visits,
+            delta.axon_slots,
+            delta.rows_skipped,
+            delta.cores_skipped,
         ]) {
             slot.fetch_add(v, Ordering::Relaxed);
         }
@@ -145,6 +172,10 @@ impl Metrics {
             output_spikes: load(5),
             flushed_spikes: load(6),
             ticks: load(7),
+            axon_visits: load(8),
+            axon_slots: load(9),
+            rows_skipped: load(10),
+            cores_skipped: load(11),
         }
     }
 
@@ -386,11 +417,11 @@ mod tests {
 
     #[test]
     fn quantiles_track_recorded_latencies() {
-        let m = Metrics::new(2);
+        let m = Metrics::new(2, 2);
         for _ in 0..99 {
-            m.record_completion(0, 8, Duration::from_micros(100), 1.0);
+            m.record_completion(0, 0, 8, Duration::from_micros(100), 1.0);
         }
-        m.record_completion(1, 8, Duration::from_millis(50), 0.5);
+        m.record_completion(1, 1, 8, Duration::from_millis(50), 0.5);
         let snap = m.snapshot(0, Duration::from_secs(1), 4);
         assert_eq!(snap.completed, 100);
         assert_eq!(snap.ticks, 800);
@@ -410,12 +441,12 @@ mod tests {
     fn quantiles_separate_within_one_octave() {
         // 1.0 ms and 1.9 ms share a power of two; the old power-of-two
         // buckets reported p50 == p99 == 2.097 ms for this workload.
-        let m = Metrics::new(1);
+        let m = Metrics::new(1, 1);
         for _ in 0..90 {
-            m.record_completion(0, 1, Duration::from_micros(1000), 1.0);
+            m.record_completion(0, 0, 1, Duration::from_micros(1000), 1.0);
         }
         for _ in 0..10 {
-            m.record_completion(0, 1, Duration::from_micros(1900), 1.0);
+            m.record_completion(0, 0, 1, Duration::from_micros(1900), 1.0);
         }
         let snap = m.snapshot(0, Duration::from_secs(1), 1);
         assert!(snap.p50_latency < snap.p99_latency, "quantiles degenerate");
@@ -461,7 +492,7 @@ mod tests {
 
     #[test]
     fn empty_metrics_snapshot_is_all_zero() {
-        let m = Metrics::new(1);
+        let m = Metrics::new(1, 1);
         let snap = m.snapshot(3, Duration::ZERO, 4);
         assert_eq!(snap.completed, 0);
         assert_eq!(snap.queue_depth, 3);
@@ -473,8 +504,8 @@ mod tests {
 
     #[test]
     fn display_mentions_throughput_and_energy() {
-        let m = Metrics::new(1);
-        m.record_completion(0, 8, Duration::from_micros(10), 0.75);
+        let m = Metrics::new(1, 1);
+        m.record_completion(0, 0, 8, Duration::from_micros(10), 0.75);
         let text = m.snapshot(0, Duration::from_secs(1), 4).to_string();
         assert!(text.contains("req/s"), "{text}");
         assert!(text.contains("energy/frame"), "{text}");

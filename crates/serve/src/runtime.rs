@@ -24,6 +24,12 @@
 //!   What autoscaling does make time-dependent is *when* the replica
 //!   count changes relative to an in-flight request stream; runtimes
 //!   without a controller never rescale and stay bit-identical end to end.
+//! * Per-class spf changes ride [`FrameInput::spf`] at serve time — a
+//!   request's result is still a pure function of `(seed, seq, spf)` and
+//!   no deployment is rebuilt or re-sampled, so the epoch-swap rescale
+//!   path above is untouched by the third actuator. What the spf actuator
+//!   makes time-dependent is *which* spf an in-flight request is served
+//!   at; the served value is reported back in `Response::spf`.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -35,7 +41,7 @@ use tn_chip::prng::splitmix64;
 use tn_telemetry::{emit, Clock, MetricsSink, MonotonicClock, NullSink, Snapshot, SpanRecorder, Stage};
 
 use crate::config::{Backpressure, ServeConfig};
-use crate::control::{ControlAction, Controller};
+use crate::control::{ControlAction, Controller, SpfClass};
 use crate::error::ServeError;
 use crate::handle::{pair, Completer, RequestHandle, Response};
 use crate::metrics::{Metrics, MetricsSnapshot};
@@ -45,6 +51,8 @@ use crate::queue::{BoundedQueue, PushError};
 #[derive(Debug)]
 struct Job {
     seq: u64,
+    /// Request class: selects which live spf serves this job.
+    class: usize,
     inputs: Vec<f32>,
     submitted: Instant,
     completer: Completer,
@@ -60,6 +68,13 @@ struct ControlState {
     replicas: AtomicUsize,
     /// Cores occupied by the current prototype (energy-model input).
     cores: AtomicUsize,
+    /// Live ticks-per-frame per request class (workers read per frame).
+    /// Always at least one entry; class 0 is the default class.
+    spf: Vec<AtomicUsize>,
+    /// Per-class spf bounds ([`crate::control::ControllerConfig::spf_classes`],
+    /// or a single degenerate `[cfg.spf, cfg.spf]` class when the spf
+    /// actuator is off — then no action can ever move the knob).
+    spf_bounds: Vec<SpfClass>,
     /// Bumped on every prototype swap; workers re-clone when it moves.
     epoch: AtomicU64,
     /// Prototype deployment workers clone from (swapped on rescale).
@@ -137,10 +152,27 @@ impl ServeRuntime {
             Deployment::build_with_mode(spec, cfg.replicas, cfg.seed, cfg.connectivity)?;
         let n_inputs = proto.n_inputs();
         let n_classes = proto.n_classes();
+        // One live spf slot per request class. Without configured spf
+        // classes there is a single class pinned at cfg.spf; with them,
+        // each class starts at cfg.spf clamped into its bounds.
+        let spf_bounds: Vec<SpfClass> = cfg
+            .controller
+            .as_ref()
+            .filter(|c| !c.spf_classes.is_empty())
+            .map_or_else(
+                || vec![SpfClass::new(cfg.spf, cfg.spf)],
+                |c| c.spf_classes.clone(),
+            );
+        let spf: Vec<AtomicUsize> = spf_bounds
+            .iter()
+            .map(|b| AtomicUsize::new(b.clamp(cfg.spf)))
+            .collect();
         let control = Arc::new(ControlState {
             kernel_batch: AtomicUsize::new(cfg.kernel_batch),
             replicas: AtomicUsize::new(cfg.replicas),
             cores: AtomicUsize::new(proto.core_count()),
+            spf,
+            spf_bounds,
             epoch: AtomicU64::new(0),
             proto: Mutex::new(Arc::new(proto)),
             rebuild_failures: AtomicU64::new(0),
@@ -152,7 +184,7 @@ impl ServeRuntime {
             .as_ref()
             .map(|t| Arc::new(SpanRecorder::new(t.span_ring)));
         let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
-        let metrics = Arc::new(Metrics::new(cfg.workers));
+        let metrics = Arc::new(Metrics::new(cfg.workers, control.spf.len()));
         let mut workers = Vec::with_capacity(cfg.workers);
         for w in 0..cfg.workers {
             let queue = Arc::clone(&queue);
@@ -228,6 +260,22 @@ impl ServeRuntime {
         self.control.replicas.load(Ordering::Relaxed)
     }
 
+    /// Live ticks-per-frame for each request class. Always at least one
+    /// entry; without configured spf classes the single entry is pinned
+    /// at [`ServeConfig::spf`].
+    pub fn spf_per_class(&self) -> Vec<usize> {
+        self.control
+            .spf
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Number of request classes this runtime serves (≥ 1).
+    pub fn n_spf_classes(&self) -> usize {
+        self.control.spf.len()
+    }
+
     /// Replica rebuilds the observer attempted that failed (the scale
     /// action was skipped; serving continued at the old count).
     pub fn rebuild_failures(&self) -> u64 {
@@ -265,6 +313,29 @@ impl ServeRuntime {
     /// malformed inputs, [`ServeError::QueueFull`] under rejecting
     /// backpressure, [`ServeError::ShuttingDown`] after shutdown began.
     pub fn submit(&self, inputs: Vec<f32>) -> Result<RequestHandle, ServeError> {
+        self.submit_class(inputs, 0)
+    }
+
+    /// Submit one inference request under request class `class` (selects
+    /// which live spf serves it; see
+    /// [`crate::control::ControllerConfig::spf_classes`]). Class 0 always
+    /// exists — [`ServeRuntime::submit`] is `submit_class(inputs, 0)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownClass`] when `class` is out of range, plus
+    /// everything [`ServeRuntime::submit`] can return.
+    pub fn submit_class(
+        &self,
+        inputs: Vec<f32>,
+        class: usize,
+    ) -> Result<RequestHandle, ServeError> {
+        if class >= self.control.spf.len() {
+            return Err(ServeError::UnknownClass {
+                class,
+                classes: self.control.spf.len(),
+            });
+        }
         if inputs.len() != self.n_inputs {
             return Err(ServeError::BadInput {
                 expected: self.n_inputs,
@@ -281,6 +352,7 @@ impl ServeRuntime {
         let (handle, completer) = pair(seq);
         let job = Job {
             seq,
+            class,
             inputs,
             submitted: Instant::now(),
             completer,
@@ -423,6 +495,26 @@ fn apply_action(
             control.epoch.fetch_add(1, Ordering::Release);
             Ok(())
         }
+        ControlAction::SetSpf { class, spf } => {
+            if spf == 0 {
+                return Err(ServeError::BadConfig(
+                    "control action spf must be >= 1".into(),
+                ));
+            }
+            let Some(slot) = control.spf.get(class) else {
+                return Err(ServeError::UnknownClass {
+                    class,
+                    classes: control.spf.len(),
+                });
+            };
+            // Clamp into the class's bounds: no controller decision (or
+            // manual apply_control) can push a class outside its tier.
+            // The store rides FrameInput at serve time — no prototype
+            // rebuild, so the replica-rescale epoch swap stays untouched
+            // and bit-identical.
+            slot.store(control.spf_bounds[class].clamp(spf), Ordering::Relaxed);
+            Ok(())
+        }
     }
 }
 
@@ -462,6 +554,10 @@ fn observer_loop(ctx: &ObserverCtx) {
 
     let mut seq = 0u64;
     let mut window_start = ctx.metrics.agreement_progress();
+    let n_classes = ctx.metrics.n_classes();
+    let mut class_window_start: Vec<(u64, u64)> = (0..n_classes)
+        .map(|c| ctx.metrics.class_agreement_progress(c))
+        .collect();
     let start_ns = ctx.clock.now_ns();
     let mut last_sample_ns = start_ns;
     let mut last_export_ns = start_ns;
@@ -477,6 +573,9 @@ fn observer_loop(ctx: &ObserverCtx) {
         if let (Some(ctl), Some(period)) = (controller.as_mut(), sample_ns) {
             if !stopped && now_ns.saturating_sub(last_sample_ns) >= period {
                 let progress = ctx.metrics.agreement_progress();
+                let class_progress: Vec<(u64, u64)> = (0..n_classes)
+                    .map(|c| ctx.metrics.class_agreement_progress(c))
+                    .collect();
                 let sample = crate::control::ControlSample {
                     t_ns: now_ns,
                     queue_depth: ctx.queue.len(),
@@ -484,8 +583,20 @@ fn observer_loop(ctx: &ObserverCtx) {
                     kernel_batch: ctx.control.kernel_batch.load(Ordering::Relaxed),
                     replicas: ctx.control.replicas.load(Ordering::Relaxed),
                     mean_agreement: Metrics::window_agreement(window_start, progress),
+                    spf: ctx
+                        .control
+                        .spf
+                        .iter()
+                        .map(|s| s.load(Ordering::Relaxed))
+                        .collect(),
+                    class_agreement: class_window_start
+                        .iter()
+                        .zip(&class_progress)
+                        .map(|(&prev, &now)| Metrics::window_agreement(prev, now))
+                        .collect(),
                 };
                 window_start = progress;
+                class_window_start = class_progress;
                 last_sample_ns = now_ns;
                 for action in ctl.observe(&sample) {
                     if apply_action(&ctx.control, &ctx.cfg, &action).is_err() {
@@ -519,9 +630,15 @@ fn assemble_snapshot(ctx: &ObserverCtx, seq: u64, now_ns: u64) -> Snapshot {
         .counter("serve.kernel_batches", load(&ctx.metrics.kernel_batches))
         .counter("serve.ticks", load(&ctx.metrics.ticks))
         .counter("serve.rebuild_failures", load(&ctx.control.rebuild_failures));
-    ctx.metrics.chip_export().for_each(|name, value| {
+    let chip = ctx.metrics.chip_export();
+    chip.for_each(|name, value| {
         snap.counter(name, value);
     });
+    // Sparse-walk observability (all zero while serving runs on the
+    // interpreter): how much crossbar work activity tracking elided.
+    snap.counter("serve.rows_skipped", chip.rows_skipped)
+        .counter("serve.cores_skipped", chip.cores_skipped)
+        .gauge("serve.spike_density", chip.spike_density());
     let depth = ctx.queue.len();
     let (completed, agreement_micros) = ctx.metrics.agreement_progress();
     let submitted = ctx.metrics.submitted.load(Ordering::Relaxed);
@@ -547,6 +664,17 @@ fn assemble_snapshot(ctx: &ObserverCtx, seq: u64, now_ns: u64) -> Snapshot {
             "serve.mean_agreement",
             f64::from(mean_agreement.unwrap_or(0.0)),
         );
+    // Live spf per request class: `serve.spf` is class 0 (the default
+    // class every plain submit lands in); further classes get suffixed
+    // gauges.
+    for (c, slot) in ctx.control.spf.iter().enumerate() {
+        let spf = slot.load(Ordering::Relaxed) as f64;
+        if c == 0 {
+            snap.gauge("serve.spf", spf);
+        } else {
+            snap.gauge(&format!("serve.spf.{c}"), spf);
+        }
+    }
     if let Some(spans) = &ctx.spans {
         for (stage, stats) in Stage::ALL.iter().zip(spans.stage_stats()) {
             snap.stage(*stage, stats);
@@ -618,11 +746,20 @@ fn worker_loop(
             let chunk: Vec<Job> = batch.drain(..take).collect();
             // Same per-frame derivation as the offline evaluator: the
             // request's sequence number plays the role of the frame index.
+            // Each frame runs at its class's *live* spf — the controller's
+            // third actuator rides FrameInput, so no deployment rebuild is
+            // involved (run_frames groups consecutive same-spf frames into
+            // lockstep lanes on its own).
+            let spfs: Vec<usize> = chunk
+                .iter()
+                .map(|job| control.spf[job.class].load(Ordering::Relaxed).max(1))
+                .collect();
             let frames: Vec<FrameInput> = chunk
                 .iter()
-                .map(|job| {
+                .zip(&spfs)
+                .map(|(job, &spf)| {
                     let frame_seed = splitmix64(cfg.seed ^ job.seq.wrapping_mul(0x9E37_79B9));
-                    FrameInput::new(&job.inputs, cfg.spf, frame_seed)
+                    FrameInput::new(&job.inputs, spf, frame_seed)
                 })
                 .collect();
             let kernel_from = telemetry.as_ref().map(|t| t.clock.now_ns());
@@ -634,9 +771,11 @@ fn worker_loop(
             metrics.kernel_batches.fetch_add(1, Ordering::Relaxed);
             drop(frames);
             let vote_from = telemetry.as_ref().map(|t| t.clock.now_ns());
-            for (job, votes) in chunk.into_iter().zip(results) {
+            for ((job, votes), spf) in chunk.into_iter().zip(results).zip(spfs) {
                 let response = tally(
                     job.seq,
+                    job.class,
+                    spf,
                     worker,
                     votes.ticks,
                     n_classes,
@@ -645,6 +784,7 @@ fn worker_loop(
                 );
                 metrics.record_completion(
                     worker,
+                    job.class,
                     votes.ticks,
                     response.latency,
                     response.agreement,
@@ -666,8 +806,11 @@ fn worker_loop(
 
 /// Pool replica votes into a [`Response`]. Ties break toward the lowest
 /// class index, which keeps tallies deterministic.
+#[allow(clippy::too_many_arguments)]
 fn tally(
     seq: u64,
+    class: usize,
+    spf: usize,
     worker: usize,
     ticks: u64,
     n_classes: usize,
@@ -698,6 +841,8 @@ fn tally(
         votes: pooled,
         replica_predictions,
         agreement: agreeing as f32 / replicas.max(1) as f32,
+        class,
+        spf,
         worker,
         ticks,
         latency: submitted.elapsed(),
@@ -1049,6 +1194,91 @@ mod tests {
     }
 
     #[test]
+    fn submit_class_selects_live_spf_and_rejects_unknown_classes() {
+        use crate::control::{ControllerConfig, SpfClass};
+        let mut controller = ControllerConfig {
+            // Effectively never sampled: the test drives apply_control.
+            sample_interval: Duration::from_secs(3600),
+            ..ControllerConfig::default()
+        };
+        controller.spf_classes = vec![SpfClass::new(2, 32), SpfClass::new(4, 64)];
+        let rt = runtime(
+            ServeConfig::builder(7)
+                .replicas(2)
+                .workers(1)
+                .spf(8)
+                .controller(controller)
+                .build()
+                .expect("cfg"),
+        );
+        assert_eq!(rt.n_spf_classes(), 2);
+        assert_eq!(rt.spf_per_class(), vec![8, 8]);
+        // Unknown class is refused up front.
+        assert_eq!(
+            rt.submit_class(vec![1.0, 0.0], 2).unwrap_err(),
+            ServeError::UnknownClass { class: 2, classes: 2 }
+        );
+        // Default class rides at its configured spf.
+        let r = rt.classify(vec![1.0, 0.0]).expect("serve");
+        assert_eq!((r.class, r.spf, r.ticks), (0, 8, 8));
+        // Move class 1's spf; class 0 is untouched.
+        rt.apply_control(&ControlAction::SetSpf { class: 1, spf: 16 })
+            .expect("set spf");
+        assert_eq!(rt.spf_per_class(), vec![8, 16]);
+        let r1 = rt
+            .submit_class(vec![0.0, 1.0], 1)
+            .expect("submit")
+            .wait()
+            .expect("serve");
+        assert_eq!((r1.class, r1.spf, r1.ticks), (1, 16, 16));
+        let r0 = rt.classify(vec![0.0, 1.0]).expect("serve");
+        assert_eq!((r0.class, r0.spf, r0.ticks), (0, 8, 8));
+        // Out-of-bounds values clamp into the class's tier; zero and
+        // unknown classes are refused.
+        rt.apply_control(&ControlAction::SetSpf { class: 0, spf: 1024 })
+            .expect("clamp");
+        assert_eq!(rt.spf_per_class()[0], 32, "clamped to spf_max");
+        assert!(matches!(
+            rt.apply_control(&ControlAction::SetSpf { class: 0, spf: 0 }),
+            Err(ServeError::BadConfig(msg)) if msg.contains("spf")
+        ));
+        assert!(matches!(
+            rt.apply_control(&ControlAction::SetSpf { class: 9, spf: 8 }),
+            Err(ServeError::UnknownClass { class: 9, classes: 2 })
+        ));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn spf_changes_match_a_fresh_runtime_at_that_spf() {
+        // The spf actuator's determinism contract: requests served after
+        // SetSpf are bit-identical to a runtime *configured* at that spf.
+        use crate::control::{ControllerConfig, SpfClass};
+        let mk = |spf: usize, ctl: bool| {
+            let mut b = ServeConfig::builder(31).replicas(2).workers(2).spf(spf);
+            if ctl {
+                let mut controller = ControllerConfig {
+                    sample_interval: Duration::from_secs(3600),
+                    ..ControllerConfig::default()
+                };
+                controller.spf_classes = vec![SpfClass::new(2, 64)];
+                b = b.controller(controller);
+            }
+            runtime(b.build().expect("cfg"))
+        };
+        let adapted = mk(8, true);
+        adapted
+            .apply_control(&ControlAction::SetSpf { class: 0, spf: 4 })
+            .expect("set spf");
+        let got = serve_n(&adapted, 24);
+        adapted.shutdown();
+        let fresh = mk(4, false);
+        let want = serve_n(&fresh, 24);
+        fresh.shutdown();
+        assert_eq!(got, want, "spf rides the frame, not the deployment");
+    }
+
+    #[test]
     fn telemetry_sink_receives_final_snapshot_with_serve_counters() {
         let sink = Arc::new(MemorySink::new());
         let cfg = ServeConfig::builder(9)
@@ -1074,6 +1304,13 @@ mod tests {
         assert!(sink.last_counter("chip.synaptic_ops").unwrap_or(0) > 0);
         let last = sink.snapshots().pop().expect("snapshot");
         assert_eq!(last.gauges.get("serve.replicas"), Some(&2.0));
+        // Sparsity observability: the compiled path serves these frames,
+        // so density is a real fraction and skip counters are live.
+        let density = *last.gauges.get("serve.spike_density").expect("density");
+        assert!(density > 0.0 && density <= 1.0, "density {density}");
+        assert!(last.counters.contains_key("serve.rows_skipped"));
+        assert!(last.counters.get("chip.axon_visits").copied().unwrap_or(0) > 0);
+        assert_eq!(last.gauges.get("serve.spf"), Some(&8.0), "default spf");
         assert!(
             last.stages.contains_key("kernel") && last.stages["kernel"].count > 0,
             "worker spans must reach the exported snapshot: {:?}",

@@ -1,9 +1,14 @@
 //! Validate a telemetry JSON-lines file: every non-empty line must parse
-//! as a `tn-telemetry/1` snapshot, and at least `--min N` (default 1)
-//! snapshots must be present. Used by `scripts/verify.sh` to smoke-test
-//! `serve_throughput --telemetry`.
+//! as a `tn-telemetry/1` snapshot, at least `--min N` (default 1)
+//! snapshots must be present, and any sparsity observability fields
+//! (`serve.spike_density`, `serve.rows_skipped`, `chip.axon_visits`,
+//! `chip.axon_slots`) must be internally consistent. With
+//! `--require-sparsity`, at least one snapshot must actually carry
+//! sparse-walk activity (a compiled-backend serving run always does).
+//! Used by `scripts/verify.sh` to smoke-test `serve_throughput
+//! --telemetry`.
 //!
-//! Usage: `snapshot_check <file.jsonl> [--min N]`
+//! Usage: `snapshot_check <file.jsonl> [--min N] [--require-sparsity]`
 //! (pass `-` to read stdin). Exits non-zero on any violation.
 
 use std::io::Read;
@@ -19,6 +24,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path: Option<String> = None;
     let mut min: u64 = 1;
+    let mut require_sparsity = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -30,8 +36,9 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| fail(&format!("--min {value:?} is not an integer")));
             }
+            "--require-sparsity" => require_sparsity = true,
             "--help" | "-h" => {
-                println!("usage: snapshot_check <file.jsonl | -> [--min N]");
+                println!("usage: snapshot_check <file.jsonl | -> [--min N] [--require-sparsity]");
                 return;
             }
             other if path.is_none() => path = Some(other.to_string()),
@@ -53,6 +60,7 @@ fn main() {
 
     let mut count = 0u64;
     let mut max_seq = 0u64; // highest seq seen, for the summary
+    let mut saw_sparsity = false;
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -61,6 +69,10 @@ fn main() {
             Ok(snap) => {
                 count += 1;
                 max_seq = max_seq.max(snap.seq);
+                check_sparsity(&snap, lineno + 1);
+                if snap.counters.get("chip.axon_slots").copied().unwrap_or(0) > 0 {
+                    saw_sparsity = true;
+                }
             }
             Err(e) => fail(&format!("line {}: {e}", lineno + 1)),
         }
@@ -68,5 +80,54 @@ fn main() {
     if count < min {
         fail(&format!("expected >= {min} snapshot line(s), found {count}"));
     }
+    if require_sparsity && !saw_sparsity {
+        fail("no snapshot carried sparse-walk activity (chip.axon_slots stayed 0)");
+    }
     println!("snapshot_check: {count} valid snapshot(s), max seq {max_seq}");
+}
+
+/// Internal consistency of the sparse-walk observability fields, wherever
+/// they appear: the density gauge must sit in [0, 1] and agree with the
+/// cumulative visit/slot counters it is derived from, visits can never
+/// exceed slots, and the `serve.*` skip counters must mirror `chip.*`.
+fn check_sparsity(snap: &Snapshot, lineno: usize) {
+    let counter = |key: &str| snap.counters.get(key).copied();
+    let visits = counter("chip.axon_visits").unwrap_or(0);
+    let slots = counter("chip.axon_slots").unwrap_or(0);
+    if visits > slots {
+        fail(&format!(
+            "line {lineno}: chip.axon_visits ({visits}) exceeds chip.axon_slots ({slots})"
+        ));
+    }
+    for (serve_key, chip_key) in [
+        ("serve.rows_skipped", "chip.rows_skipped"),
+        ("serve.cores_skipped", "chip.cores_skipped"),
+    ] {
+        if let Some(serve) = counter(serve_key) {
+            let chip = counter(chip_key).unwrap_or(0);
+            if serve != chip {
+                fail(&format!(
+                    "line {lineno}: {serve_key} ({serve}) != {chip_key} ({chip})"
+                ));
+            }
+        }
+    }
+    if let Some(&density) = snap.gauges.get("serve.spike_density") {
+        if !(0.0..=1.0).contains(&density) {
+            fail(&format!(
+                "line {lineno}: serve.spike_density {density} outside [0, 1]"
+            ));
+        }
+        let expect = if slots == 0 {
+            0.0
+        } else {
+            visits as f64 / slots as f64
+        };
+        if (density - expect).abs() > 1e-6 {
+            fail(&format!(
+                "line {lineno}: serve.spike_density {density} disagrees with \
+                 chip.axon_visits/chip.axon_slots ({expect})"
+            ));
+        }
+    }
 }

@@ -7,6 +7,9 @@
 //! Tea model's accuracy with no more replicas. The kernel-batch sweep
 //! shows the batch-first redesign paying off: fusing queued requests
 //! into lockstep kernel lanes raises req/s without changing one vote.
+//! A final pair of cells serves the same stream at a fixed spf and with
+//! the controller's per-class spf actuator enabled, showing the energy /
+//! throughput win of adapting spf while replica agreement runs high.
 //!
 //! Run with: `cargo run --release --example serve_throughput`
 //!
@@ -263,6 +266,76 @@ fn gateway_cell(
     })
 }
 
+/// The spf actuator paying off: serve the identical request stream once
+/// at a fixed spf and once with `ControllerConfig::spf_classes` enabled.
+/// With replica agreement running high, the controller halves the
+/// class's spf toward its floor, so later requests run fewer ticks per
+/// frame — more req/s and fewer joules per frame at (near-)equal
+/// accuracy. Returns the measured cell plus the final live spf.
+fn adaptive_spf_cell(
+    model: &'static str,
+    path: &std::path::Path,
+    workers: usize,
+    spf: usize,
+    n_requests: usize,
+    data: &BenchData,
+    adaptive: bool,
+) -> Result<(Cell, usize), Box<dyn std::error::Error>> {
+    let mut builder = ServeConfig::builder(SEED)
+        .replicas(1)
+        .workers(workers)
+        .spf(spf)
+        .queue_capacity(512)
+        .batch_max(32)
+        .kernel_batch(8);
+    if adaptive {
+        builder = builder.controller(ControllerConfig {
+            sample_interval: Duration::from_millis(5),
+            cooldown: Duration::from_millis(20),
+            // Only the spf actuator: replicas stay pinned at 1.
+            min_replicas: 1,
+            max_replicas: 1,
+            spf_classes: vec![SpfClass::new(spf / 2, spf)],
+            ..ControllerConfig::default()
+        });
+    }
+    let rt = serve_persisted(path, builder.build()?)?;
+    let n_test = data.test_y.len();
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..n_requests)
+        .map(|i| rt.submit(data.test_x.row(i % n_test).to_vec()))
+        .collect::<Result<_, _>>()?;
+    let mut correct = 0u64;
+    let mut agreement_sum = 0.0f32;
+    for (i, h) in handles.into_iter().enumerate() {
+        let r = h.wait()?;
+        agreement_sum += r.agreement;
+        if r.predicted == data.test_y[i % n_test] {
+            correct += 1;
+        }
+    }
+    let wall = t0.elapsed();
+    let final_spf = rt.spf_per_class()[0];
+    let snap = rt.shutdown();
+    assert_eq!(snap.completed, n_requests as u64, "drain served everything");
+    Ok((
+        Cell {
+            model,
+            replicas: 1,
+            kernel_batch: 8,
+            requests: snap.completed,
+            accuracy: correct as f32 / n_requests as f32,
+            mean_agreement: agreement_sum / n_requests as f32,
+            throughput_rps: n_requests as f64 / wall.as_secs_f64(),
+            p50_us: snap.p50_latency.as_micros(),
+            p90_us: snap.p90_latency.as_micros(),
+            p99_us: snap.p99_latency.as_micros(),
+            joules_per_frame: snap.joules_per_frame(),
+        },
+        final_spf,
+    ))
+}
+
 /// Smallest replica count in the sweep reaching `target` accuracy.
 fn replicas_needed(cells: &[Cell], model: &str, target: f32) -> Option<usize> {
     cells
@@ -441,6 +514,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
+    // Controller-driven spf: same stream, fixed spf vs the adaptive
+    // actuator halving toward the class floor while agreement runs high.
+    println!("\n== adaptive spf: fixed {spf} vs controller-driven (biased model) ==\n");
+    let (spf_fixed, _) =
+        adaptive_spf_cell("spf_fixed", &biased_path, workers, spf, n_requests, &data, false)?;
+    let (spf_adaptive, live_spf) =
+        adaptive_spf_cell("spf_adaptive", &biased_path, workers, spf, n_requests, &data, true)?;
+    for c in [&spf_fixed, &spf_adaptive] {
+        println!(
+            "{:<13} accuracy {:.4}  req/s {:>8.1}  J/frame {:.3e}",
+            c.model, c.accuracy, c.throughput_rps, c.joules_per_frame
+        );
+    }
+    println!(
+        "live spf settled at {live_spf} (started {spf}, floor {}); joules/frame {:.2}x, req/s {:.2}x",
+        spf / 2,
+        spf_adaptive.joules_per_frame / spf_fixed.joules_per_frame,
+        spf_adaptive.throughput_rps / spf_fixed.throughput_rps,
+    );
+    assert!(
+        spf_adaptive.joules_per_frame < spf_fixed.joules_per_frame,
+        "adaptive spf must cut energy per frame"
+    );
+    if scale.n_train >= 800 {
+        assert!(
+            spf_adaptive.accuracy >= spf_fixed.accuracy - 0.03,
+            "adaptive spf gave up too much accuracy: {:.4} vs {:.4}",
+            spf_adaptive.accuracy,
+            spf_fixed.accuracy
+        );
+    }
+    let adaptive_spf_cells = [spf_fixed, spf_adaptive];
+
     // Batch-first payoff: same responses, more of them per second.
     println!();
     for replicas in REPLICA_SWEEP {
@@ -521,6 +627,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             rows
         };
         let rows = fmt_rows(&cells);
+        let adaptive_rows = format!(
+            ",\n  \"adaptive_spf_cells\": [\n{}\n  ],\n  \"adaptive_spf_final\": {live_spf}",
+            fmt_rows(&adaptive_spf_cells)
+        );
         let gateway_rows = if gateway_cells.is_empty() {
             String::new()
         } else {
@@ -534,7 +644,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         };
         let json = format!(
-            "{{\n  \"bench\": 1,\n  \"seed\": {SEED},\n  \"spf\": {spf},\n  \"workers\": {workers},\n  \"requests_per_cell\": {n_requests},\n  \"float_accuracy\": {{\"tea\": {:.4}, \"biased\": {:.4}}},\n  \"replicas_needed_for_recovery\": {{\"tea\": {}, \"biased\": {}}},\n  \"cells\": [\n{rows}\n  ]{gateway_rows}\n}}\n",
+            "{{\n  \"bench\": 1,\n  \"seed\": {SEED},\n  \"spf\": {spf},\n  \"workers\": {workers},\n  \"requests_per_cell\": {n_requests},\n  \"float_accuracy\": {{\"tea\": {:.4}, \"biased\": {:.4}}},\n  \"replicas_needed_for_recovery\": {{\"tea\": {}, \"biased\": {}}},\n  \"cells\": [\n{rows}\n  ]{adaptive_rows}{gateway_rows}\n}}\n",
             tea.float_accuracy,
             biased.float_accuracy,
             fmt_needs(tea_needs),

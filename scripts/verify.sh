@@ -19,6 +19,9 @@ TN_BENCH_TICKS=100 cargo run --release -q -p tn-bench --bin bench_tick
 echo "== bench smoke: lockstep lane batching =="
 TN_BENCH_TICKS=100 cargo run --release -q -p tn-bench --bin bench_tick -- --batch 8
 
+echo "== bench smoke: near-silent sparse walk =="
+TN_BENCH_TICKS=100 cargo run --release -q -p tn-bench --bin bench_tick -- --sparsity 0.02
+
 echo "== telemetry smoke: adaptive serve exports valid snapshots =="
 TELEMETRY_OUT="$(mktemp /tmp/tn_verify_telemetry.XXXXXX.jsonl)"
 GATEWAY_TRAIL="$(mktemp /tmp/tn_verify_gateway.XXXXXX.jsonl)"
@@ -26,8 +29,10 @@ trap 'rm -f "$TELEMETRY_OUT" "$GATEWAY_TRAIL"' EXIT
 TN_TRAIN=200 TN_TEST=60 TN_EPOCHS=1 TN_SERVE_REQUESTS=200 \
   cargo run --release -q -p truenorth --example serve_throughput -- \
   --telemetry "$TELEMETRY_OUT"
+# --require-sparsity: a compiled-backend serving run must report
+# sparse-walk activity (chip.axon_slots > 0) in its snapshots.
 cargo run --release -q -p tn-telemetry --bin snapshot_check -- \
-  "$TELEMETRY_OUT" --min 1
+  "$TELEMETRY_OUT" --min 1 --require-sparsity
 
 echo "== gateway smoke: wire serving, load shedding, graceful drain =="
 # The demo asserts: concurrent std-TCP clients all served 200, at least

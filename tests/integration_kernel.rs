@@ -91,16 +91,19 @@ fn random_chip(seed: u64, n_cores: usize) -> TrueNorthChip {
 }
 
 /// Drive `chip` and its compiled counterpart with identical random
-/// injections for `ticks`, asserting bit-identical behaviour throughout.
+/// injections (each axon fires with probability `density` per tick) for
+/// `ticks`, asserting bit-identical behaviour throughout. `density` 0.0
+/// exercises the sparse walk's all-silent early-out, low densities its
+/// dirty-axon tracking, and high densities the dense fallback.
 #[allow(clippy::needless_pass_by_value)]
-fn assert_equivalent(mut chip: TrueNorthChip, ticks: usize, inject_seed: u64) {
+fn assert_equivalent(mut chip: TrueNorthChip, ticks: usize, inject_seed: u64, density: f64) {
     let mut fast = CompiledChip::compile(&chip).expect("random chips are compile-eligible");
     let mut rng = StdRng::seed_from_u64(inject_seed);
     let n_cores = chip.core_count();
     for t in 0..ticks {
         for c in 0..n_cores {
             for a in 0..N_AXONS {
-                if rng.gen_bool(0.25) {
+                if rng.gen_bool(density) {
                     chip.inject(c, a).expect("inject");
                     fast.inject(c, a);
                 }
@@ -155,7 +158,23 @@ proptest! {
         n_cores in 1usize..=4,
         inject_seed in 0u64..u64::MAX,
     ) {
-        assert_equivalent(random_chip(seed, n_cores), 32, inject_seed);
+        assert_equivalent(random_chip(seed, n_cores), 32, inject_seed, 0.25);
+    }
+
+    /// Activity regimes (ISSUE 7): the sparse walk's early-outs must be
+    /// invisible. All-silent (no injections at all), sparse (~5% of axon
+    /// slots), and dense (~90%) schedules tick bit-identically under the
+    /// interpreter and the compiled kernel — spikes, outputs, counters,
+    /// potentials, and the in-flight ring.
+    #[test]
+    fn activity_regimes_tick_identically_on_both_executors(
+        seed in 0u64..u64::MAX,
+        n_cores in 1usize..=4,
+        inject_seed in 0u64..u64::MAX,
+        regime in 0usize..3,
+    ) {
+        let density = [0.0, 0.05, 0.9][regime];
+        assert_equivalent(random_chip(seed, n_cores), 32, inject_seed, density);
     }
 
     /// The 16-slot delay ring: arbitrary `(delay ≤ 15, axon)` injection
@@ -322,6 +341,86 @@ proptest! {
                         sf.prng_state(core),
                         "PRNG stream diverged on core {}",
                         core
+                    );
+                }
+            }
+        }
+    }
+
+    /// Activity regimes end to end (ISSUE 7): all-silent, sparse, and
+    /// dense input frames serve bit-identically across the interpreter,
+    /// the compiled solo path, and lane-batched execution — votes,
+    /// semantic counters, and the per-core PRNG streams — for batch
+    /// sizes {1, 2, 7, 8} and core thread counts {1, 4}. All-silent
+    /// frames additionally must never dirty an axon on the sparse walk.
+    #[test]
+    fn activity_regimes_match_across_interpreter_solo_and_batched(
+        weight in 0.1f32..=1.0,
+        copies in 1usize..=2,
+        base_seed in 0u64..u64::MAX / 2,
+        regime in 0usize..3,
+    ) {
+        let spec = tiny_spec(weight);
+        let inputs_for = |i: usize| -> Vec<f32> {
+            match regime {
+                0 => vec![0.0, 0.0],
+                1 => vec![0.08, 0.04 + 0.01 * i as f32],
+                _ => vec![1.0, 0.95 - 0.01 * i as f32],
+            }
+        };
+        for batch in [1usize, 2, 7, 8] {
+            for core_threads in [1usize, 4] {
+                let mut batched = Deployment::build(&spec, copies, 23).expect("deploy");
+                let mut solo = batched.clone();
+                let mut interp = batched.clone();
+                batched.set_parallelism(core_threads);
+                solo.set_parallelism(core_threads);
+                interp.set_fast_path(false);
+                let inputs: Vec<Vec<f32>> = (0..batch).map(inputs_for).collect();
+                let frames: Vec<FrameInput> = inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, x)| FrameInput::new(x, 6, base_seed + i as u64))
+                    .collect();
+                let got = batched.run_frames(&frames);
+                let solo_votes: Vec<Votes> = frames
+                    .iter()
+                    .flat_map(|f| solo.run_frames(std::slice::from_ref(f)))
+                    .collect();
+                let interp_votes: Vec<Votes> = frames
+                    .iter()
+                    .flat_map(|f| interp.run_frames(std::slice::from_ref(f)))
+                    .collect();
+                prop_assert_eq!(
+                    &got, &solo_votes,
+                    "batched vs solo, regime {} batch {} threads {}",
+                    regime, batch, core_threads
+                );
+                prop_assert_eq!(
+                    &got, &interp_votes,
+                    "compiled vs interpreter, regime {} batch {} threads {}",
+                    regime, batch, core_threads
+                );
+                prop_assert_eq!(batched.synaptic_ops(), solo.synaptic_ops());
+                prop_assert_eq!(batched.chip_stats(), solo.chip_stats());
+                prop_assert_eq!(solo.synaptic_ops(), interp.synaptic_ops());
+                prop_assert_eq!(solo.chip_stats(), interp.chip_stats());
+                let (bf, sf) = (
+                    batched.compiled().expect("compiled"),
+                    solo.compiled().expect("compiled"),
+                );
+                for core in 0..bf.core_count() {
+                    prop_assert_eq!(
+                        bf.prng_state(core),
+                        sf.prng_state(core),
+                        "PRNG stream diverged on core {}",
+                        core
+                    );
+                }
+                if regime == 0 {
+                    prop_assert_eq!(
+                        bf.activity_total().axon_visits, 0,
+                        "all-silent frames must not dirty any axon"
                     );
                 }
             }

@@ -122,6 +122,66 @@ fn rescaled_runtime_serves_like_a_fresh_one() {
 }
 
 #[test]
+fn rescale_stays_bit_identical_with_spf_actuator_enabled() {
+    // ISSUE 7 acceptance: the spf actuator rides `FrameInput` at serve
+    // time and never rebuilds the deployment, so replica rescaling keeps
+    // its bit-identical contract with spf classes configured and moved.
+    let spec = fractional_spec();
+    let cfg = |replicas: usize| {
+        ServeConfig::builder(47)
+            .replicas(replicas)
+            .workers(3)
+            .controller(ControllerConfig {
+                // Decisions come only from apply_control below; the
+                // sampling loop never fires within the test's lifetime.
+                sample_interval: Duration::from_secs(3600),
+                spf_classes: vec![SpfClass::new(2, 32), SpfClass::new(4, 64)],
+                ..ControllerConfig::default()
+            })
+            .build()
+            .expect("cfg")
+    };
+    let serve_all = |rt: &ServeRuntime| -> Vec<(u64, usize, usize, Vec<u64>, u64)> {
+        let handles: Vec<_> = (0..32)
+            .map(|i| rt.submit_class(frame(spec.n_inputs, i), i % 2).expect("submit"))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                let r = h.wait().expect("serve");
+                (r.seq, r.class, r.spf, r.votes, r.ticks)
+            })
+            .collect()
+    };
+    let actuate = |rt: &ServeRuntime| {
+        rt.apply_control(&ControlAction::SetSpf { class: 0, spf: 4 })
+            .expect("spf class 0");
+        rt.apply_control(&ControlAction::SetSpf { class: 1, spf: 16 })
+            .expect("spf class 1");
+    };
+    let scaled = serve_spec(&spec, cfg(1)).expect("serve");
+    scaled
+        .apply_control(&ControlAction::SetReplicas(4))
+        .expect("rescale");
+    assert_eq!(scaled.replicas(), 4);
+    actuate(&scaled);
+    let got = serve_all(&scaled);
+    scaled.shutdown();
+
+    let fresh = serve_spec(&spec, cfg(4)).expect("serve");
+    actuate(&fresh);
+    let want = serve_all(&fresh);
+    fresh.shutdown();
+    assert_eq!(got, want);
+    assert!(
+        got.iter()
+            .all(|(seq, class, spf, ..)| *class == (*seq as usize) % 2
+                && *spf == if *class == 0 { 4 } else { 16 }),
+        "responses must carry the class's actuated spf"
+    );
+}
+
+#[test]
 fn controller_widens_kernel_batch_under_sustained_backlog() {
     // Closed loop, end to end: a submission burst far outrunning one
     // worker keeps queue fill above the high watermark, so the controller
