@@ -31,6 +31,8 @@ use tn_chip::chip::{SpikeTarget, TrueNorthChip};
 use tn_chip::kernel::CompiledChip;
 use tn_chip::neuro_core::NeuroSynapticCore;
 use tn_chip::neuron::{NeuronConfig, ResetMode};
+use tn_chip::nscs::{CoreDeploySpec, Deployment, FrameInput, InputSource, NetworkDeploySpec};
+use tn_chip::pack::{PackedDeployment, PackedFrame};
 
 const SEED: u64 = 0xACE1;
 
@@ -241,6 +243,122 @@ fn bench_lanes(
     }
 }
 
+/// A one-core deploy spec with fractional weights (stochastic synapses
+/// on the hot path), sized `n_inputs` × `n_classes`.
+fn pack_spec(n_inputs: usize, n_classes: usize) -> NetworkDeploySpec {
+    let weights: Vec<f32> = (0..n_inputs * n_classes)
+        .map(|i| match i % 5 {
+            0 => 0.8,
+            1 => -0.6,
+            2 => 0.4,
+            3 => -0.2,
+            _ => 0.0,
+        })
+        .collect();
+    NetworkDeploySpec {
+        cores: vec![CoreDeploySpec {
+            layer: 0,
+            weights,
+            n_axons: n_inputs,
+            n_neurons: n_classes,
+            biases: vec![-0.3; n_classes],
+            axon_sources: (0..n_inputs).map(InputSource::External).collect(),
+        }],
+        n_inputs,
+        n_classes,
+        output_taps: (0..n_classes).map(|c| (0, c, c)).collect(),
+    }
+}
+
+/// The consolidation microbench: serve a fixed two-model frame workload
+/// once through two solo deployments run back to back, and once through
+/// one [`PackedDeployment`] mixing both tenants' lanes into the same
+/// lockstep pass. Reported ticks/s are frame ticks (frames × spf per
+/// call), directly comparable across the two backends. At this scale —
+/// one tiny core per tenant, a single thread — the packed cell runs
+/// slightly *behind* solo: per-tick group bookkeeping (ring delivery,
+/// routing isolation checks) is pure overhead with no shared fan-out
+/// cost to amortize. The cell pins that overhead down; the consolidation
+/// *win* shows up at serving scale, where packed tenants share worker
+/// threads and per-pass scheduling — see `consolidation_cells` in
+/// `serve_throughput --packed`.
+fn bench_pack(ticks: usize) -> Vec<Cell> {
+    const LANES: usize = 8; // frames per model per call
+    const SPF: usize = 8;
+    const REPLICAS: usize = 2;
+    let spec_a = pack_spec(256, 4);
+    let spec_b = pack_spec(64, 2);
+    let inputs_a: Vec<f32> = (0..256).map(|i| (i % 8) as f32 / 8.0).collect();
+    let inputs_b: Vec<f32> = (0..64).map(|i| (i % 4) as f32 / 4.0).collect();
+
+    let iterations = (ticks / SPF).max(20);
+    let frame_ticks_per_call = (2 * LANES * SPF) as f64;
+    let mut cells = Vec::new();
+
+    let mut solo_a = Deployment::build(&spec_a, REPLICAS, SEED).expect("deploy a");
+    let mut solo_b = Deployment::build(&spec_b, REPLICAS, SEED).expect("deploy b");
+    let rate = measure(iterations, || {
+        let frames: Vec<FrameInput> = (0..LANES)
+            .map(|l| FrameInput::new(&inputs_a, SPF, SEED ^ (l as u64)))
+            .collect();
+        solo_a.run_frames(&frames);
+        let frames: Vec<FrameInput> = (0..LANES)
+            .map(|l| FrameInput::new(&inputs_b, SPF, SEED ^ (l as u64)))
+            .collect();
+        solo_b.run_frames(&frames);
+    });
+    let export_a = solo_a.counter_export();
+    let export_b = solo_b.counter_export();
+    let synops_per_tick = (export_a.synaptic_ops + export_b.synaptic_ops) as f64
+        / (export_a.ticks + export_b.ticks).max(1) as f64;
+    let frame_rate = rate * frame_ticks_per_call;
+    cells.push(Cell {
+        workload: "two_model_pack",
+        backend: "solo_sequential_1t".to_string(),
+        batch: LANES,
+        sparsity: 0.5,
+        ticks: iterations,
+        ticks_per_sec: frame_rate,
+        synops_per_sec: frame_rate * synops_per_tick,
+    });
+
+    let tenants = [
+        Deployment::build(&spec_a, REPLICAS, SEED).expect("deploy a"),
+        Deployment::build(&spec_b, REPLICAS, SEED).expect("deploy b"),
+    ];
+    let mut packed = PackedDeployment::pack(&tenants).expect("pack");
+    let rate = measure(iterations, || {
+        let frames: Vec<PackedFrame> = (0..LANES)
+            .flat_map(|l| {
+                [
+                    PackedFrame {
+                        model: 0,
+                        frame: FrameInput::new(&inputs_a, SPF, SEED ^ (l as u64)),
+                    },
+                    PackedFrame {
+                        model: 1,
+                        frame: FrameInput::new(&inputs_b, SPF, SEED ^ (l as u64)),
+                    },
+                ]
+            })
+            .collect();
+        packed.run_frames(&frames);
+    });
+    let export = packed.counter_export();
+    let synops_per_tick = export.synaptic_ops as f64 / export.ticks.max(1) as f64;
+    let frame_rate = rate * frame_ticks_per_call;
+    cells.push(Cell {
+        workload: "two_model_pack",
+        backend: "packed_1t".to_string(),
+        batch: LANES,
+        sparsity: 0.5,
+        ticks: iterations,
+        ticks_per_sec: frame_rate,
+        synops_per_sec: frame_rate * synops_per_tick,
+    });
+    cells
+}
+
 fn main() {
     let ticks = env_usize("TN_BENCH_TICKS", 2000);
     let threads = std::thread::available_parallelism().map_or(4, usize::from).min(8);
@@ -328,6 +446,9 @@ fn main() {
             density0,
         ));
     }
+    // Multi-tenant consolidation: two deployed models on one packed chip
+    // vs the same two served back to back on separate chips.
+    cells.extend(bench_pack(chip_ticks));
 
     for c in &cells {
         println!(
@@ -370,6 +491,24 @@ fn main() {
             );
         }
     }
+    let pack_find = |backend: &str| {
+        cells
+            .iter()
+            .find(|c| c.workload == "two_model_pack" && c.backend == backend)
+            .map_or(0.0, |c| c.ticks_per_sec)
+    };
+    let packed_over_solo = {
+        let solo = pack_find("solo_sequential_1t");
+        if solo > 0.0 {
+            pack_find("packed_1t") / solo
+        } else {
+            0.0
+        }
+    };
+    println!(
+        "two_model_pack: packed/solo_sequential = {packed_over_solo:.2}x \
+         (frame ticks, single-threaded)"
+    );
     // ISSUE 7 acceptance: on near-silent workloads the sparse walk must
     // carry the stochastic path to within 2× of the deterministic one.
     let mut stoch_over_det_near_silent = 0.0f64;
@@ -400,7 +539,7 @@ fn main() {
             ));
         }
         let json = format!(
-            "{{\n  \"seed\": {SEED},\n  \"threads\": {threads},\n  \"speedup_single_threaded\": {{\"single_core_det\": {:.2}, \"single_core_stoch\": {:.2}, \"chip_64_cores\": {:.2}}},\n  \"stoch_over_det_near_silent\": {:.2},\n  \"cells\": [\n{rows}\n  ]\n}}\n",
+            "{{\n  \"seed\": {SEED},\n  \"threads\": {threads},\n  \"speedup_single_threaded\": {{\"single_core_det\": {:.2}, \"single_core_stoch\": {:.2}, \"chip_64_cores\": {:.2}}},\n  \"stoch_over_det_near_silent\": {:.2},\n  \"packed_over_solo_two_model\": {packed_over_solo:.2},\n  \"cells\": [\n{rows}\n  ]\n}}\n",
             speedup("single_core_det"),
             speedup("single_core_stoch"),
             speedup("chip_64_cores"),

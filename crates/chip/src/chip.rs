@@ -222,6 +222,60 @@ impl TrueNorthChip {
         Ok(handle)
     }
 
+    /// Place a core at an explicit grid coordinate, bypassing the chip's
+    /// sequential placer. This is the multi-tenant entry point: a packing
+    /// layer that owns its own rectangle allocator (see
+    /// [`crate::placement::ShelfAllocator`]) decides where each tenant's
+    /// cores go and registers them here. The caller is responsible for
+    /// keeping explicitly placed cores disjoint from each other and from
+    /// any sequentially placed ones.
+    ///
+    /// Returns the core's handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::TargetCountMismatch`] if `targets` does not
+    /// cover every neuron.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coord` lies outside the chip grid or is already occupied
+    /// by another core — both indicate a broken allocator upstream, not a
+    /// recoverable condition.
+    pub fn add_core_at(
+        &mut self,
+        mut core: NeuroSynapticCore,
+        targets: Vec<SpikeTarget>,
+        coord: CoreCoord,
+    ) -> Result<usize, ChipError> {
+        if targets.len() != core.n_neurons() {
+            return Err(ChipError::TargetCountMismatch {
+                neurons: core.n_neurons(),
+                targets: targets.len(),
+            });
+        }
+        assert!(
+            coord.x < self.placer.width() && coord.y < self.placer.height(),
+            "coordinate ({}, {}) outside the {}x{} grid",
+            coord.x,
+            coord.y,
+            self.placer.width(),
+            self.placer.height()
+        );
+        assert!(
+            !self.coords.contains(&coord),
+            "core site ({}, {}) already occupied",
+            coord.x,
+            coord.y
+        );
+        let handle = self.cores.len();
+        core.reseed(self.seed, handle);
+        self.cores.push(core);
+        self.coords.push(coord);
+        self.targets.push(targets);
+        Ok(handle)
+    }
+
     /// Verify every registered target points at an existing core/axon.
     ///
     /// # Errors

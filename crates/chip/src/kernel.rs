@@ -686,6 +686,17 @@ impl CompiledChip {
         self.states[core].stats
     }
 
+    /// Sparse-walk activity counters of one core — lets a multi-tenant
+    /// packing attribute skipped/visited crossbar work to the tenant that
+    /// owns the core (see [`crate::pack::PackedDeployment`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core_activity(&self, core: usize) -> ActivityStats {
+        self.states[core].activity
+    }
+
     /// Energy/performance proxy for everything simulated so far.
     pub fn energy_report(&self) -> EnergyReport {
         let cs = self.core_stats_total();
@@ -822,6 +833,207 @@ impl CompiledChip {
             outputs: vec![0; lanes * channels],
             stats: ChipStats::default(),
             ticks_run: 0,
+        }
+    }
+
+    /// Order-independent fingerprint of one core's compiled synaptic rows:
+    /// the packed deterministic and gated row contents plus per-row op
+    /// counts, hashed with FNV-1a. Routing targets are deliberately
+    /// excluded — they carry absolute core handles, which legitimately
+    /// shift when the same model is packed at a different base — so two
+    /// compilations of the same tenant yield equal signatures regardless
+    /// of where (or with whom) it was packed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core_row_signature(&self, core: usize) -> u64 {
+        fn fnv(mut h: u64, v: u64) -> u64 {
+            for b in v.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h
+        }
+        let k = &self.program.kernels[core];
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for &i in &k.det_index[1..] {
+            h = fnv(h, u64::from(i));
+        }
+        for s in &k.det {
+            h = fnv(h, u64::from(s.neuron));
+            h = fnv(h, s.weight as u32 as u64);
+        }
+        for &i in &k.gated_index[1..] {
+            h = fnv(h, u64::from(i));
+        }
+        for s in &k.gated {
+            h = fnv(h, u64::from(s.neuron));
+            h = fnv(h, s.weight as u32 as u64);
+            h = fnv(h, u64::from(s.q));
+        }
+        for &ops in &k.row_ops {
+            h = fnv(h, u64::from(ops));
+        }
+        h
+    }
+
+    /// Start a **grouped** lockstep lane batch: several disjoint lane
+    /// groups — one per packed tenant — tick in the same pass, each group's
+    /// lanes touching only its own core and output-channel ranges. This is
+    /// the multi-tenant execution primitive behind
+    /// [`crate::pack::PackedDeployment`]: frames for different models fuse
+    /// into one cross-model kernel batch (shared thread fan-out, one
+    /// scheduling pass) while every group remains bit-identical to a solo
+    /// [`CompiledChip::begin_lanes`] run of the same model, because
+    ///
+    /// * each group's lane PRNGs are seeded with the core's **group-local**
+    ///   index (`core − cores.start`), exactly as the solo chip — where the
+    ///   model's cores start at handle 0 — seeds them;
+    /// * a group's cores tick only while the group is active
+    ///   (`tick_index < ticks`), so counters, draws, and activity match the
+    ///   solo run's tick count even when groups of different frame lengths
+    ///   share a pass;
+    /// * routing is checked at spike time: a spike leaving its group's core
+    ///   range or output-channel range panics, turning any isolation bug
+    ///   into a loud failure instead of silent cross-tenant corruption.
+    ///
+    /// The chip must hold no in-flight spikes destined for cores outside
+    /// every group (flush or finish first); in-flight spikes for covered
+    /// cores transfer to lane 0 of the owning group, like
+    /// [`CompiledChip::begin_lanes`].
+    ///
+    /// Call [`GroupedLaneBatch::finish`] to fold counters and end state
+    /// back into the chip and obtain per-group [`ChipStats`] for tenant
+    /// attribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty; if any group has no lanes, more than
+    /// [`MAX_LANES`] lanes, zero ticks, or an empty/out-of-range core or
+    /// channel range; if any two groups' core or channel ranges overlap;
+    /// if the chip has stateful neurons; or if an in-flight spike targets
+    /// an uncovered core.
+    pub fn begin_lane_groups(&mut self, groups: &[LaneGroupSpec<'_>]) -> GroupedLaneBatch<'_> {
+        assert!(!groups.is_empty(), "a grouped batch needs at least one group");
+        assert!(
+            self.supports_lanes(),
+            "lane batching requires history-free neurons; use sequential frames"
+        );
+        let n_cores = self.states.len();
+        let n_channels = self.outputs.len();
+        for (i, g) in groups.iter().enumerate() {
+            assert!(
+                !g.lane_seeds.is_empty() && g.lane_seeds.len() <= MAX_LANES,
+                "group {i}: lane count must be in 1..={MAX_LANES} (got {})",
+                g.lane_seeds.len()
+            );
+            assert!(g.ticks >= 1, "group {i}: must run at least one tick");
+            assert!(
+                g.cores.start < g.cores.end && g.cores.end <= n_cores,
+                "group {i}: core range {:?} empty or outside 0..{n_cores}",
+                g.cores
+            );
+            assert!(
+                g.channels.start < g.channels.end && g.channels.end <= n_channels,
+                "group {i}: channel range {:?} empty or outside 0..{n_channels}",
+                g.channels
+            );
+            for (j, other) in groups[..i].iter().enumerate() {
+                assert!(
+                    g.cores.end <= other.cores.start || other.cores.end <= g.cores.start,
+                    "groups {j} and {i} share cores: {:?} vs {:?}",
+                    other.cores,
+                    g.cores
+                );
+                assert!(
+                    g.channels.end <= other.channels.start
+                        || other.channels.end <= g.channels.start,
+                    "groups {j} and {i} share output channels: {:?} vs {:?}",
+                    other.channels,
+                    g.channels
+                );
+            }
+        }
+        let words = CROSSBAR_AXONS / 64;
+        let mut slot_of_core = vec![u32::MAX; n_cores];
+        let mut owner_of_slot = Vec::new();
+        let mut kernel_of_slot = Vec::new();
+        let mut states = Vec::new();
+        let mut group_states = Vec::with_capacity(groups.len());
+        for (gi, g) in groups.iter().enumerate() {
+            let lanes = g.lane_seeds.len();
+            let width = lanes.next_power_of_two();
+            let state_base = states.len();
+            for core in g.cores.clone() {
+                slot_of_core[core] = states.len() as u32;
+                owner_of_slot.push(gi as u32);
+                kernel_of_slot.push(core as u32);
+                let st = &mut self.states[core];
+                let n_neurons = st.potentials.len();
+                let mut potentials = vec![0i32; n_neurons * width];
+                for (n, &p) in st.potentials.iter().enumerate() {
+                    potentials[n * width..n * width + lanes].fill(p);
+                }
+                // Lane 0 inherits the chip's pending input, exactly as
+                // `begin_lanes` does for a solo batch.
+                let mut input = vec![0u64; lanes * words];
+                input[..words].copy_from_slice(&st.input);
+                st.input = [0; CROSSBAR_AXONS / 64];
+                let step_words = n_neurons.div_ceil(64).max(1);
+                states.push(BatchCoreState {
+                    potentials,
+                    // Group-local seeding: the solo chip's core `k` is this
+                    // packed chip's core `cores.start + k`, so the local
+                    // index reproduces the solo PRNG stream bit for bit.
+                    prngs: g
+                        .lane_seeds
+                        .iter()
+                        .map(|&seed| LfsrPrng::for_core(seed, core - g.cores.start))
+                        .collect(),
+                    input,
+                    stats: CoreStats::default(),
+                    fired: Vec::new(),
+                    prev_step: full_mask(n_neurons, step_words),
+                    dirty: vec![0u64; step_words],
+                    activity: ActivityStats::default(),
+                });
+            }
+            group_states.push(GroupState {
+                cores: g.cores.clone(),
+                channels: g.channels.clone(),
+                lanes,
+                width,
+                ticks: g.ticks,
+                ring: (0..RING_SLOTS).map(|_| Vec::new()).collect(),
+                outputs: vec![0; lanes * g.channels.len()],
+                stats: ChipStats::default(),
+                state_base,
+            });
+        }
+        let max_ticks = group_states.iter().map(|g| g.ticks).max().unwrap_or(0);
+        // Transfer the chip's in-flight spikes into lane 0 of the owning
+        // group's ring (slot offsets relative to batch tick 0).
+        for (offset, slot) in self.ring.iter_mut().enumerate() {
+            let offset = (offset + RING_SLOTS - self.ring_pos) % RING_SLOTS;
+            for (core, axon) in slot.drain(..) {
+                let s = slot_of_core[core as usize];
+                assert!(
+                    s != u32::MAX,
+                    "in-flight spike targets core {core}, which no lane group covers; \
+                     flush_in_flight before grouping"
+                );
+                let gi = owner_of_slot[s as usize] as usize;
+                group_states[gi].ring[offset].push((core, axon, 0));
+            }
+        }
+        GroupedLaneBatch {
+            chip: self,
+            groups: group_states,
+            states,
+            owner_of_slot,
+            kernel_of_slot,
+            tick_index: 0,
+            max_ticks,
         }
     }
 }
@@ -1028,6 +1240,309 @@ impl LaneBatch<'_> {
         self.chip.ring_pos =
             (self.chip.ring_pos + (self.ticks_run as usize * lanes) % RING_SLOTS) % RING_SLOTS;
         flushed
+    }
+}
+
+/// One tenant's slice of a grouped lockstep pass
+/// ([`CompiledChip::begin_lane_groups`]): which cores and output channels
+/// it owns, one lane seed per frame, and how many ticks its frames run.
+#[derive(Debug, Clone)]
+pub struct LaneGroupSpec<'a> {
+    /// Contiguous range of core handles this group may touch.
+    pub cores: std::ops::Range<usize>,
+    /// Contiguous range of output channels this group may emit into.
+    pub channels: std::ops::Range<usize>,
+    /// Per-lane chip reseed values, exactly what a solo frame would pass to
+    /// [`CompiledChip::set_seed`]; the lane count is `lane_seeds.len()`.
+    pub lane_seeds: &'a [u64],
+    /// Ticks this group runs (`spf + depth − 1` for a frame group). Groups
+    /// with fewer ticks than the longest group go inactive early — their
+    /// cores stop ticking — so mixed-length groups still match their solo
+    /// runs exactly.
+    pub ticks: usize,
+}
+
+/// Per-group runtime state of a [`GroupedLaneBatch`].
+#[derive(Debug)]
+struct GroupState {
+    cores: std::ops::Range<usize>,
+    channels: std::ops::Range<usize>,
+    lanes: usize,
+    /// Lane-slab stride: `lanes` rounded up to a power of two.
+    width: usize,
+    ticks: usize,
+    /// In-flight spikes `(core, axon, lane)` bucketed by due tick — private
+    /// to the group, so a tenant's delayed spikes can never land in another
+    /// tenant's cores.
+    ring: Vec<Vec<(u32, u16, u16)>>,
+    /// Output spike counts, `[lane * channels.len() + local_channel]`.
+    outputs: Vec<u64>,
+    stats: ChipStats,
+    /// Index of the group's first core state in the batch's flat state
+    /// vector.
+    state_base: usize,
+}
+
+/// Several disjoint lane groups ticking in one lockstep pass — the
+/// multi-tenant counterpart of [`LaneBatch`], produced by
+/// [`CompiledChip::begin_lane_groups`].
+///
+/// Core states for all groups live in one flat vector, so one
+/// [`crate::exec::parallel_slices`] fan-out per tick covers every tenant's
+/// cores at once; that shared scheduling pass is what makes a packed chip
+/// cheaper than running each tenant's batch back to back. Group isolation
+/// is preserved by construction (disjoint core/channel ranges, per-group
+/// delay rings and output slabs) and enforced at spike-routing time.
+#[derive(Debug)]
+pub struct GroupedLaneBatch<'c> {
+    chip: &'c mut CompiledChip,
+    groups: Vec<GroupState>,
+    /// Core states of every grouped core, group-major.
+    states: Vec<BatchCoreState>,
+    /// Index into `states` → owning group.
+    owner_of_slot: Vec<u32>,
+    /// Index into `states` → global core handle (kernel index).
+    kernel_of_slot: Vec<u32>,
+    tick_index: usize,
+    max_ticks: usize,
+}
+
+impl GroupedLaneBatch<'_> {
+    /// Number of lane groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Lanes (frames) in group `gi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gi` is out of range.
+    pub fn group_lanes(&self, gi: usize) -> usize {
+        self.groups[gi].lanes
+    }
+
+    /// Output channels owned by group `gi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gi` is out of range.
+    pub fn group_channels(&self, gi: usize) -> usize {
+        self.groups[gi].channels.len()
+    }
+
+    /// Ticks run so far (the longest group's ticks bound a full run).
+    pub fn ticks_run(&self) -> usize {
+        self.tick_index
+    }
+
+    /// Ticks the longest group runs: calling [`GroupedLaneBatch::tick`]
+    /// this many times completes every group.
+    pub fn max_ticks(&self) -> usize {
+        self.max_ticks
+    }
+
+    /// Inject an external spike into `(core, axon)` of one lane of group
+    /// `gi` for the next tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gi`, `lane`, or `axon` is out of range, or `core` is not
+    /// owned by group `gi`.
+    pub fn inject(&mut self, gi: usize, lane: usize, core: usize, axon: usize) {
+        let g = &self.groups[gi];
+        assert!(lane < g.lanes, "lane {lane} out of range for group {gi}");
+        assert!(
+            g.cores.contains(&core),
+            "core {core} is not owned by group {gi} ({:?})",
+            g.cores
+        );
+        assert!(axon < CROSSBAR_AXONS, "axon {axon} out of range");
+        let words = CROSSBAR_AXONS / 64;
+        let st = &mut self.states[g.state_base + (core - g.cores.start)];
+        st.input[lane * words + axon / 64] |= 1u64 << (axon % 64);
+        st.stats.spikes_in += 1;
+    }
+
+    /// Advance every *active* group one tick (a group is active while
+    /// `ticks_run < its ticks`). Returns output spikes emitted across all
+    /// groups and lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called more than [`GroupedLaneBatch::max_ticks`] times.
+    pub fn tick(&mut self) -> u64 {
+        assert!(
+            self.tick_index < self.max_ticks,
+            "grouped batch already ran all {} ticks",
+            self.max_ticks
+        );
+        let words = CROSSBAR_AXONS / 64;
+        let ring_pos = self.tick_index % RING_SLOTS;
+        let tick_index = self.tick_index;
+        // Deliver spikes due this tick, per active group, into the owning
+        // lane's input plane.
+        {
+            let groups = &mut self.groups;
+            let states = &mut self.states;
+            for g in groups.iter_mut() {
+                if tick_index >= g.ticks {
+                    continue;
+                }
+                let mut due = std::mem::take(&mut g.ring[ring_pos]);
+                for &(core, axon, lane) in &due {
+                    let st = &mut states[g.state_base + (core as usize - g.cores.start)];
+                    st.input[lane as usize * words + axon as usize / 64] |=
+                        1u64 << (axon as usize % 64);
+                    st.stats.spikes_in += 1;
+                }
+                due.clear();
+                g.ring[ring_pos] = due;
+            }
+        }
+        // One shared fan-out over every grouped core; inactive groups'
+        // cores are skipped so their counters and PRNG streams freeze at
+        // exactly their solo run's end state.
+        let program = Arc::clone(&self.chip.program);
+        let threads = self.chip.threads;
+        let metas: Vec<(usize, usize, bool)> = self
+            .groups
+            .iter()
+            .map(|g| (g.lanes, g.width, tick_index < g.ticks))
+            .collect();
+        {
+            let owner = &self.owner_of_slot;
+            let kernel_of = &self.kernel_of_slot;
+            parallel_slices(&mut self.states, threads, |offset, chunk| {
+                for (i, st) in chunk.iter_mut().enumerate() {
+                    let slot = offset + i;
+                    let (lanes, width, active) = metas[owner[slot] as usize];
+                    if active {
+                        core_tick_lanes(
+                            &program.kernels[kernel_of[slot] as usize],
+                            lanes,
+                            width,
+                            st,
+                        );
+                    }
+                }
+            });
+        }
+        // Route fired spikes sequentially, in (group, core) order; every
+        // route is checked against the group's ranges so an isolation bug
+        // fails loudly instead of leaking into another tenant.
+        let mut out_this_tick = 0u64;
+        {
+            let groups = &mut self.groups;
+            let states = &mut self.states;
+            for g in groups.iter_mut() {
+                if tick_index >= g.ticks {
+                    continue;
+                }
+                let gch = g.channels.len();
+                for i in 0..g.cores.len() {
+                    let slot = g.state_base + i;
+                    let fired = std::mem::take(&mut states[slot].fired);
+                    let core_handle = g.cores.start + i;
+                    for &(n, lane) in &fired {
+                        match program.kernels[core_handle].targets[n as usize] {
+                            CompiledTarget::None => {}
+                            CompiledTarget::Axon {
+                                core,
+                                axon,
+                                delay,
+                                hops,
+                            } => {
+                                assert!(
+                                    g.cores.contains(&(core as usize)),
+                                    "isolation violation: spike from core {core_handle} routed \
+                                     to core {core}, outside its group's range {:?}",
+                                    g.cores
+                                );
+                                g.stats.routed_spikes += 1;
+                                g.stats.mesh_hops += hops as u64;
+                                let slot_idx = (ring_pos + 1 + delay as usize) % RING_SLOTS;
+                                g.ring[slot_idx].push((core, axon, lane));
+                            }
+                            CompiledTarget::Output { channel } => {
+                                assert!(
+                                    g.channels.contains(&(channel as usize)),
+                                    "isolation violation: output spike into channel {channel}, \
+                                     outside the group's range {:?}",
+                                    g.channels
+                                );
+                                g.outputs[lane as usize * gch
+                                    + (channel as usize - g.channels.start)] += 1;
+                                g.stats.output_spikes += 1;
+                                out_this_tick += 1;
+                            }
+                        }
+                    }
+                    states[slot].fired = fired;
+                }
+                // One lockstep tick advances each of the group's lanes.
+                g.stats.ticks += g.lanes as u64;
+            }
+        }
+        self.tick_index += 1;
+        out_this_tick
+    }
+
+    /// Accumulated output spike counts of group `gi`,
+    /// `[lane * group_channels + local_channel]` (channel indices relative
+    /// to the group's channel range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gi` is out of range.
+    pub fn group_outputs(&self, gi: usize) -> &[u64] {
+        &self.groups[gi].outputs
+    }
+
+    /// End the pass at a frame boundary: flush every group's in-flight
+    /// spikes (accounted per group in [`ChipStats::flushed_spikes`]), fold
+    /// counters and last-lane end state back into the chip exactly as
+    /// [`LaneBatch::finish`] does, and return each group's [`ChipStats`]
+    /// for per-tenant attribution (the chip's own stats receive the sum).
+    pub fn finish(mut self) -> Vec<ChipStats> {
+        let mut per_group = Vec::with_capacity(self.groups.len());
+        let mut ring_advance = 0usize;
+        for g in &mut self.groups {
+            let mut flushed = 0u64;
+            for slot in &mut g.ring {
+                flushed += slot.len() as u64;
+                slot.clear();
+            }
+            g.stats.flushed_spikes += flushed;
+            // A sequential solo run of this group's frames would advance
+            // the ring by lanes × (ticks actually run).
+            ring_advance += g.lanes * g.ticks.min(self.tick_index);
+            for (i, core) in g.cores.clone().enumerate() {
+                let batch_st = &self.states[g.state_base + i];
+                let chip_st = &mut self.chip.states[core];
+                chip_st.stats.synaptic_ops += batch_st.stats.synaptic_ops;
+                chip_st.stats.spikes_in += batch_st.stats.spikes_in;
+                chip_st.stats.spikes_out += batch_st.stats.spikes_out;
+                chip_st.stats.ticks += batch_st.stats.ticks;
+                chip_st.activity.add(&batch_st.activity);
+                for (n, p) in chip_st.potentials.iter_mut().enumerate() {
+                    *p = batch_st.potentials[n * g.width + g.lanes - 1];
+                }
+                chip_st.prev_step.copy_from_slice(&batch_st.prev_step);
+                chip_st.prng = batch_st.prngs[g.lanes - 1].clone();
+            }
+            let gch = g.channels.len();
+            self.chip.outputs[g.channels.clone()]
+                .copy_from_slice(&g.outputs[(g.lanes - 1) * gch..]);
+            self.chip.stats.routed_spikes += g.stats.routed_spikes;
+            self.chip.stats.mesh_hops += g.stats.mesh_hops;
+            self.chip.stats.output_spikes += g.stats.output_spikes;
+            self.chip.stats.ticks += g.stats.ticks;
+            self.chip.stats.flushed_spikes += g.stats.flushed_spikes;
+            per_group.push(g.stats);
+        }
+        self.chip.ring_pos = (self.chip.ring_pos + ring_advance % RING_SLOTS) % RING_SLOTS;
+        per_group
     }
 }
 

@@ -20,7 +20,12 @@
 //!   the reference interpreter;
 //! * [`exec`] — scoped-thread fan-out helpers shared by the kernel and the
 //!   workspace's offline evaluators;
-//! * [`placement`] — core-site allocation (the resource §4.3 economizes);
+//! * [`placement`] — core-site allocation (the resource §4.3 economizes):
+//!   linear handle allocation plus shelf rectangle packing for multi-tenant
+//!   chips;
+//! * [`pack`] — multi-tenant packing: several deployments on disjoint core
+//!   rectangles of one compiled chip, served through per-tenant lane
+//!   groups, bit-identical to each model deployed solo;
 //! * [`nscs`] — the deployment toolchain: Bernoulli connectivity sampling,
 //!   spatial copies, frame driving, and Fig.-4 deviation-map extraction;
 //! * [`energy`] — a first-order energy/latency proxy calibrated to the
@@ -54,6 +59,7 @@ pub mod kernel;
 pub mod neuro_core;
 pub mod neuron;
 pub mod nscs;
+pub mod pack;
 pub mod placement;
 pub mod prng;
 
@@ -63,12 +69,13 @@ pub mod prelude {
     pub use crate::crossbar::Crossbar;
     pub use crate::energy::EnergyReport;
     pub use crate::exec::{parallel_chunks, parallel_slices};
-    pub use crate::kernel::{CompileError, CompiledChip};
+    pub use crate::kernel::{CompileError, CompiledChip, GroupedLaneBatch, LaneGroupSpec};
     pub use crate::neuro_core::{CoreStats, NeuroSynapticCore};
     pub use crate::neuron::{LifNeuron, NeuronConfig, ResetMode};
     pub use crate::nscs::{
         ConnectivityMode, CoreDeploySpec, DeployError, Deployment, InputSource, NetworkDeploySpec,
     };
-    pub use crate::placement::{CoreCoord, PlacementError, Placer};
+    pub use crate::pack::{PackError, PackedDeployment, PackedFrame, PackedModel};
+    pub use crate::placement::{CoreCoord, CoreRect, PlacementError, Placer, ShelfAllocator};
     pub use crate::prng::LfsrPrng;
 }

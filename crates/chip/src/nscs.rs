@@ -788,6 +788,12 @@ impl Deployment {
         &self.copy_handles[copy]
     }
 
+    /// Per-copy, per-channel external injection points (packing layer:
+    /// `crate::pack` translates these onto the merged chip).
+    pub(crate) fn input_routes_ref(&self) -> &[Vec<Vec<(usize, usize)>>] {
+        &self.input_routes
+    }
+
     /// Run one input frame with the stochastic code at `spf` spikes per
     /// frame.
     ///

@@ -1,0 +1,563 @@
+//! Multi-tenant chip packing.
+//!
+//! The paper's biased training penalty shrinks a network's core footprint
+//! (68.8% occupation reduction on bench 5) — but the saving only pays off
+//! at serving time if the freed cores do other work. This module turns
+//! core occupation into a serving-side resource: several independently
+//! trained [`Deployment`]s are *packed* onto disjoint core rectangles of
+//! one 64×64 chip (shelf allocation, [`crate::placement::ShelfAllocator`])
+//! and compiled into one [`CompiledChip`], whose grouped lane batches
+//! ([`CompiledChip::begin_lane_groups`]) tick frames for different tenants
+//! in the same lockstep pass.
+//!
+//! # Determinism contract
+//!
+//! A packed tenant is **bit-identical** to the same model deployed solo:
+//! votes, per-core counters, and PRNG streams all match, frame for frame.
+//! The contract rests on four invariants:
+//!
+//! 1. **Verbatim cores.** Every tenant core is cloned unchanged from its
+//!    solo chip; only spike-target *handles* are rebased (core handles by
+//!    the tenant's first packed handle, output channels by its channel
+//!    base). Synapse rows, signs, delays, and neuron configs are
+//!    untouched, so the compiled kernels are content-identical
+//!    ([`CompiledChip::core_row_signature`] pins this).
+//! 2. **Translation-invariant placement.** A solo deployment occupies a
+//!    row-major block at the grid origin; the packed copy occupies the
+//!    same shape translated to its rectangle ([`CoreRect::coord_of`]).
+//!    Mesh-hop energy accounting uses *relative* Manhattan distances,
+//!    which translation preserves.
+//! 3. **Tenant-local PRNG indexing.** A core's LFSR stream is seeded by
+//!    `(chip_seed, core_index)`. Grouped lane batches seed each core with
+//!    its index *within the group*, so packed core `base + k` draws the
+//!    exact stream solo core `k` draws.
+//! 4. **Group isolation.** Spikes route only inside the owning group's
+//!    core range, in-flight spikes live in per-group delay rings, and
+//!    output spikes land only in the group's channel range — enforced by
+//!    assertion on every routed spike, not just by construction.
+//!
+//! Inactive groups (tenants whose frames finished earlier in a pass)
+//! freeze entirely: their cores are skipped by the shared per-tick
+//! fan-out, so their counters and PRNG states end exactly where a solo
+//! run ends.
+
+use crate::chip::{ChipError, ChipStats, SpikeTarget, TrueNorthChip};
+use crate::energy::EnergyReport;
+use crate::kernel::{ActivityStats, CompileError, CompiledChip, LaneGroupSpec, MAX_LANES};
+use crate::neuro_core::CoreStats;
+use crate::nscs::{ChipCounterExport, Deployment, FrameInput, Votes};
+use crate::placement::{CoreRect, PlacementError, ShelfAllocator};
+use crate::prng::splitmix64;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Why a set of deployments could not be packed onto one chip.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PackError {
+    /// No deployments were given.
+    NoModels,
+    /// A tenant's core rectangle did not fit the remaining free region of
+    /// the mesh (structured occupancy data inside).
+    Placement(PlacementError),
+    /// The merged chip failed cross-core validation (should not happen for
+    /// tenants that individually validate — indicates a translation bug).
+    Chip(ChipError),
+    /// The merged chip could not be compiled.
+    Compile(CompileError),
+    /// The merged chip compiled but cannot run lockstep lanes, which the
+    /// packed serving path requires (some neuron is not history-free).
+    LanesUnsupported,
+}
+
+impl std::fmt::Display for PackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PackError::NoModels => write!(f, "no deployments to pack"),
+            PackError::Placement(e) => write!(f, "placement failed: {e}"),
+            PackError::Chip(e) => write!(f, "merged chip invalid: {e}"),
+            PackError::Compile(e) => write!(f, "merged chip not compilable: {e}"),
+            PackError::LanesUnsupported => {
+                write!(f, "packed serving requires lockstep lane support")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PackError {}
+
+impl From<PlacementError> for PackError {
+    fn from(e: PlacementError) -> Self {
+        PackError::Placement(e)
+    }
+}
+
+/// One tenant of a [`PackedDeployment`]: where its cores and output
+/// channels live on the merged chip, plus its solo deployment's frame
+/// parameters and cumulative per-tenant chip counters.
+#[derive(Debug, Clone)]
+pub struct PackedModel {
+    /// Contiguous core handles on the merged chip.
+    cores: std::ops::Range<usize>,
+    /// Contiguous output channels on the merged chip.
+    channels: std::ops::Range<usize>,
+    /// The mesh rectangle the tenant's cores occupy.
+    rect: CoreRect,
+    /// Input routes with handles rebased onto the merged chip:
+    /// `[copy][channel] → (core_handle, axon)`.
+    input_routes: Vec<Vec<Vec<(usize, usize)>>>,
+    n_classes: usize,
+    copies: usize,
+    depth: usize,
+    n_inputs: usize,
+    /// Cumulative chip-level counters attributed to this tenant.
+    stats: ChipStats,
+}
+
+impl PackedModel {
+    /// Core handles this tenant owns on the merged chip.
+    pub fn cores(&self) -> std::ops::Range<usize> {
+        self.cores.clone()
+    }
+
+    /// Output channels this tenant owns on the merged chip.
+    pub fn channels(&self) -> std::ops::Range<usize> {
+        self.channels.clone()
+    }
+
+    /// The mesh rectangle the tenant occupies.
+    pub fn rect(&self) -> CoreRect {
+        self.rect
+    }
+
+    /// Output classes of the tenant's network.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Spatial voting copies deployed for the tenant.
+    pub fn copies(&self) -> usize {
+        self.copies
+    }
+
+    /// Pipeline depth (layers) of the tenant's network.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// External input channels the tenant's frames must provide.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Chip-level counters accumulated by this tenant's frames.
+    pub fn stats(&self) -> ChipStats {
+        self.stats
+    }
+}
+
+/// One frame addressed to one tenant of a [`PackedDeployment`].
+#[derive(Debug, Clone)]
+pub struct PackedFrame<'a> {
+    /// Tenant index (order models were given to [`PackedDeployment::pack`]).
+    pub model: usize,
+    /// The frame itself — same shape and seed semantics as a solo
+    /// [`Deployment::run_frames`] call, which is what bit-identity is
+    /// measured against.
+    pub frame: FrameInput<'a>,
+}
+
+/// Several solo [`Deployment`]s packed onto one compiled chip, served
+/// through per-tenant lane groups (see the module docs for the
+/// determinism contract).
+#[derive(Debug, Clone)]
+pub struct PackedDeployment {
+    /// The merged reference chip — configuration source of truth; never
+    /// ticked by the packed serving path.
+    chip: TrueNorthChip,
+    /// The one compiled chip all tenants run on.
+    fast: CompiledChip,
+    tenants: Vec<PackedModel>,
+}
+
+impl PackedDeployment {
+    /// Pack `models` onto one 64×64 chip: shelf-allocate a disjoint core
+    /// rectangle per tenant, clone every tenant core with rebased spike
+    /// targets, and compile the merged chip once.
+    ///
+    /// Tenant order is preserved: tenant `m` of the result is `models[m]`,
+    /// and [`PackedFrame::model`] indexes that order.
+    ///
+    /// # Errors
+    ///
+    /// [`PackError::Placement`] when a tenant's rectangle does not fit the
+    /// remaining mesh, [`PackError::NoModels`] for an empty slice, and
+    /// [`PackError::Chip`]/[`PackError::Compile`]/
+    /// [`PackError::LanesUnsupported`] when the merged chip cannot be
+    /// validated, compiled, or lane-batched.
+    pub fn pack(models: &[Deployment]) -> Result<Self, PackError> {
+        if models.is_empty() {
+            return Err(PackError::NoModels);
+        }
+        let total_channels: usize = models
+            .iter()
+            .map(|m| m.chip.output_counts().len())
+            .sum();
+        let mut merged = TrueNorthChip::truenorth(total_channels);
+        let mut alloc = ShelfAllocator::truenorth();
+        let mut tenants = Vec::with_capacity(models.len());
+        let mut chan_base = 0usize;
+        for dep in models {
+            let n_cores = dep.chip.core_count();
+            let rect = alloc.allocate_cores(n_cores)?;
+            let base = merged.core_count();
+            for k in 0..n_cores {
+                let core = dep.chip.cores_ref()[k].clone();
+                let targets: Vec<SpikeTarget> = dep.chip.targets_ref()[k]
+                    .iter()
+                    .map(|t| match *t {
+                        SpikeTarget::None => SpikeTarget::None,
+                        SpikeTarget::Axon { core, axon } => SpikeTarget::Axon {
+                            core: core + base,
+                            axon,
+                        },
+                        SpikeTarget::Output { channel } => SpikeTarget::Output {
+                            channel: channel + chan_base,
+                        },
+                    })
+                    .collect();
+                let handle = merged
+                    .add_core_at(core, targets, rect.coord_of(k))
+                    .map_err(PackError::Chip)?;
+                debug_assert_eq!(handle, base + k, "packed handles must stay contiguous");
+            }
+            let input_routes: Vec<Vec<Vec<(usize, usize)>>> = dep
+                .input_routes_ref()
+                .iter()
+                .map(|copy| {
+                    copy.iter()
+                        .map(|chan| chan.iter().map(|&(c, a)| (c + base, a)).collect())
+                        .collect()
+                })
+                .collect();
+            let n_channels = dep.chip.output_counts().len();
+            tenants.push(PackedModel {
+                cores: base..base + n_cores,
+                channels: chan_base..chan_base + n_channels,
+                rect,
+                input_routes,
+                n_classes: dep.n_classes(),
+                copies: dep.copies(),
+                depth: dep.depth(),
+                n_inputs: dep.n_inputs(),
+                stats: ChipStats::default(),
+            });
+            chan_base += n_channels;
+        }
+        merged.validate().map_err(PackError::Chip)?;
+        let fast = CompiledChip::compile(&merged).map_err(PackError::Compile)?;
+        if !fast.supports_lanes() {
+            return Err(PackError::LanesUnsupported);
+        }
+        Ok(Self {
+            chip: merged,
+            fast,
+            tenants,
+        })
+    }
+
+    /// Number of packed tenants.
+    pub fn models(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Tenant `m`'s placement and frame parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn model(&self, m: usize) -> &PackedModel {
+        &self.tenants[m]
+    }
+
+    /// Total cores occupied across all tenants.
+    pub fn core_count(&self) -> usize {
+        self.chip.core_count()
+    }
+
+    /// The merged reference chip (configuration inspection only — the
+    /// packed serving path never ticks it).
+    pub fn chip(&self) -> &TrueNorthChip {
+        &self.chip
+    }
+
+    /// The compiled chip all tenants share.
+    pub fn compiled(&self) -> &CompiledChip {
+        &self.fast
+    }
+
+    /// Number of worker threads each lockstep tick fans cores across (no
+    /// effect on results).
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.fast.set_threads(threads);
+    }
+
+    /// Chip-level counters summed over all tenants.
+    pub fn chip_stats(&self) -> ChipStats {
+        self.fast.stats()
+    }
+
+    /// Flat named counter export over the whole packed chip — the
+    /// all-tenants analogue of [`Deployment::counter_export`], equal to
+    /// the field-wise sum of every tenant's
+    /// [`PackedDeployment::model_counter_export`].
+    pub fn counter_export(&self) -> ChipCounterExport {
+        let core = self.fast.core_stats_total();
+        let stats = self.fast.stats();
+        let activity = self.fast.activity_total();
+        ChipCounterExport {
+            synaptic_ops: core.synaptic_ops,
+            spikes_in: core.spikes_in,
+            spikes_out: core.spikes_out,
+            routed_spikes: stats.routed_spikes,
+            mesh_hops: stats.mesh_hops,
+            output_spikes: stats.output_spikes,
+            flushed_spikes: stats.flushed_spikes,
+            ticks: stats.ticks,
+            axon_visits: activity.axon_visits,
+            axon_slots: activity.axon_slots,
+            rows_skipped: activity.rows_skipped,
+            cores_skipped: activity.cores_skipped,
+        }
+    }
+
+    /// Reset all counters, on the chip and per tenant.
+    pub fn reset_counters(&mut self) {
+        self.fast.reset_counters();
+        for t in &mut self.tenants {
+            t.stats = ChipStats::default();
+        }
+    }
+
+    /// Flat named counter export for tenant `m` only — the per-model
+    /// analogue of [`Deployment::counter_export`], summing core counters
+    /// and sparse-walk activity over the tenant's core range and reading
+    /// chip-level counters from the tenant's attributed [`ChipStats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn model_counter_export(&self, m: usize) -> ChipCounterExport {
+        let t = &self.tenants[m];
+        let mut core = CoreStats::default();
+        let mut activity = ActivityStats::default();
+        for c in t.cores.clone() {
+            let cs = self.fast.core_stats(c);
+            core.synaptic_ops += cs.synaptic_ops;
+            core.spikes_in += cs.spikes_in;
+            core.spikes_out += cs.spikes_out;
+            core.ticks = core.ticks.max(cs.ticks);
+            activity.add(&self.fast.core_activity(c));
+        }
+        ChipCounterExport {
+            synaptic_ops: core.synaptic_ops,
+            spikes_in: core.spikes_in,
+            spikes_out: core.spikes_out,
+            routed_spikes: t.stats.routed_spikes,
+            mesh_hops: t.stats.mesh_hops,
+            output_spikes: t.stats.output_spikes,
+            flushed_spikes: t.stats.flushed_spikes,
+            ticks: t.stats.ticks,
+            axon_visits: activity.axon_visits,
+            axon_slots: activity.axon_slots,
+            rows_skipped: activity.rows_skipped,
+            cores_skipped: activity.cores_skipped,
+        }
+    }
+
+    /// Energy/performance proxy for tenant `m` only, over its own cores
+    /// and attributed lane-ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn model_energy_report(&self, m: usize) -> EnergyReport {
+        let export = self.model_counter_export(m);
+        let t = &self.tenants[m];
+        EnergyReport::from_counters(export.synaptic_ops, t.stats.ticks, t.cores.len())
+    }
+
+    /// Serve a mixed batch of frames addressed to any tenants.
+    ///
+    /// Frames are bucketed per `(model, spf)` run, chunked to
+    /// [`MAX_LANES`], and executed as *passes*: each pass takes the next
+    /// pending chunk of every tenant and ticks them together as one
+    /// grouped lane batch, so cross-tenant frames share every per-tick
+    /// scheduling fan-out. Votes come back in input order and are
+    /// bit-identical to each tenant's solo [`Deployment::run_frames`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a frame's `model` is out of range, its input width does
+    /// not match that tenant, or any intensity falls outside `[0, 1]` —
+    /// same contract as the solo path.
+    pub fn run_frames(&mut self, frames: &[PackedFrame]) -> Vec<Votes> {
+        for pf in frames {
+            assert!(
+                pf.model < self.tenants.len(),
+                "model {} out of range ({} packed)",
+                pf.model,
+                self.tenants.len()
+            );
+            let want = self.tenants[pf.model].n_inputs;
+            assert_eq!(
+                pf.frame.inputs.len(),
+                want,
+                "input width mismatch for model {}: {want} channels expected",
+                pf.model
+            );
+            assert!(
+                pf.frame.inputs.iter().all(|v| (0.0..=1.0).contains(v)),
+                "inputs must be normalized probabilities"
+            );
+        }
+        let mut out: Vec<Option<Votes>> = vec![None; frames.len()];
+        // Per-tenant FIFO of chunks: frame indices grouped into consecutive
+        // same-spf runs (lanes share tick structure) of ≤ MAX_LANES.
+        let mut queues: Vec<std::collections::VecDeque<Vec<usize>>> =
+            self.tenants.iter().map(|_| Default::default()).collect();
+        let mut per_model: Vec<Vec<usize>> = self.tenants.iter().map(|_| Vec::new()).collect();
+        for (i, pf) in frames.iter().enumerate() {
+            per_model[pf.model].push(i);
+        }
+        for (m, idxs) in per_model.iter().enumerate() {
+            let mut i = 0;
+            while i < idxs.len() {
+                let spf = frames[idxs[i]].frame.spf;
+                let mut j = i + 1;
+                while j < idxs.len() && frames[idxs[j]].frame.spf == spf {
+                    j += 1;
+                }
+                for chunk in idxs[i..j].chunks(MAX_LANES) {
+                    queues[m].push_back(chunk.to_vec());
+                }
+                i = j;
+            }
+        }
+        while queues.iter().any(|q| !q.is_empty()) {
+            // One pass: head chunk of every tenant with pending work.
+            let pass: Vec<(usize, Vec<usize>)> = queues
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(m, q)| q.pop_front().map(|chunk| (m, chunk)))
+                .collect();
+            self.run_pass(frames, &pass, &mut out);
+        }
+        out.into_iter()
+            .map(|v| v.expect("every frame belongs to exactly one pass"))
+            .collect()
+    }
+
+    /// Run one grouped lockstep pass: `pass[g] = (model, frame indices)`.
+    /// Mirrors the solo lockstep driver per group — same input-RNG
+    /// construction, chip reseed derivation, pipeline-depth vote window,
+    /// and end-of-frame flush.
+    fn run_pass(
+        &mut self,
+        frames: &[PackedFrame],
+        pass: &[(usize, Vec<usize>)],
+        out: &mut [Option<Votes>],
+    ) {
+        let mut all_seeds: Vec<Vec<u64>> = Vec::with_capacity(pass.len());
+        let mut rngs: Vec<Vec<StdRng>> = Vec::with_capacity(pass.len());
+        let mut spfs: Vec<usize> = Vec::with_capacity(pass.len());
+        for (_, idxs) in pass {
+            all_seeds.push(
+                idxs.iter()
+                    .map(|&i| splitmix64(frames[i].frame.seed ^ 0xC0DE_C0DE_C0DE_C0DE))
+                    .collect(),
+            );
+            rngs.push(
+                idxs.iter()
+                    .map(|&i| StdRng::seed_from_u64(splitmix64(frames[i].frame.seed)))
+                    .collect(),
+            );
+            spfs.push(frames[idxs[0]].frame.spf);
+        }
+        let specs: Vec<LaneGroupSpec<'_>> = pass
+            .iter()
+            .zip(&all_seeds)
+            .zip(&spfs)
+            .map(|(((m, _), seeds), &spf)| {
+                let t = &self.tenants[*m];
+                LaneGroupSpec {
+                    cores: t.cores.clone(),
+                    channels: t.channels.clone(),
+                    lane_seeds: seeds,
+                    ticks: spf + t.depth.max(1) - 1,
+                }
+            })
+            .collect();
+        let mut batch = self.fast.begin_lane_groups(&specs);
+        let mut snaps: Vec<Vec<u64>> = pass
+            .iter()
+            .enumerate()
+            .map(|(gi, (_, idxs))| vec![0u64; idxs.len() * batch.group_channels(gi)])
+            .collect();
+        let max_ticks = batch.max_ticks();
+        for t in 0..max_ticks {
+            for (gi, (m, idxs)) in pass.iter().enumerate() {
+                if t >= spfs[gi] {
+                    continue;
+                }
+                let routes = &self.tenants[*m].input_routes;
+                for (lane, &fi) in idxs.iter().enumerate() {
+                    let rng = &mut rngs[gi][lane];
+                    for copy_routes in routes {
+                        for (ch, &x) in frames[fi].frame.inputs.iter().enumerate() {
+                            if x > 0.0 && rng.gen::<f32>() < x {
+                                for &(core, axon) in &copy_routes[ch] {
+                                    batch.inject(gi, lane, core, axon);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            batch.tick();
+            for (gi, (m, _)) in pass.iter().enumerate() {
+                if t + 2 == self.tenants[*m].depth {
+                    snaps[gi].copy_from_slice(batch.group_outputs(gi));
+                }
+            }
+        }
+        let finals: Vec<Vec<u64>> = (0..pass.len())
+            .map(|gi| batch.group_outputs(gi).to_vec())
+            .collect();
+        let group_stats = batch.finish();
+        for (gi, (m, idxs)) in pass.iter().enumerate() {
+            let t = &mut self.tenants[*m];
+            t.stats.routed_spikes += group_stats[gi].routed_spikes;
+            t.stats.mesh_hops += group_stats[gi].mesh_hops;
+            t.stats.output_spikes += group_stats[gi].output_spikes;
+            t.stats.flushed_spikes += group_stats[gi].flushed_spikes;
+            t.stats.ticks += group_stats[gi].ticks;
+            let depth = t.depth.max(1);
+            let channels = t.channels.len();
+            let total_ticks = spfs[gi] + depth - 1;
+            for (lane, &fi) in idxs.iter().enumerate() {
+                let f = &finals[gi][lane * channels..(lane + 1) * channels];
+                let counts = if depth > 1 {
+                    let s = &snaps[gi][lane * channels..(lane + 1) * channels];
+                    f.iter().zip(s).map(|(a, b)| a - b).collect()
+                } else {
+                    f.to_vec()
+                };
+                out[fi] = Some(Votes {
+                    counts,
+                    ticks: total_ticks as u64,
+                });
+            }
+        }
+    }
+}

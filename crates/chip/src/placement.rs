@@ -30,6 +30,67 @@ impl CoreCoord {
     }
 }
 
+/// A rectangular region of core sites, `[x, x+width) × [y, y+height)`.
+///
+/// Rectangles are the unit of multi-tenant isolation: the shelf allocator
+/// hands every packed model a disjoint `CoreRect`, and the packed
+/// deployment maps the model's cores into it in row-major order
+/// ([`CoreRect::coord_of`]) so relative mesh geometry — and therefore
+/// every hop count — matches the same model deployed solo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoreRect {
+    /// Leftmost column.
+    pub x: u16,
+    /// Topmost row.
+    pub y: u16,
+    /// Columns spanned.
+    pub width: u16,
+    /// Rows spanned.
+    pub height: u16,
+}
+
+impl CoreRect {
+    /// Number of core sites covered.
+    pub fn len(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Whether the rectangle covers no sites.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `c` lies inside this rectangle.
+    pub fn contains(&self, c: CoreCoord) -> bool {
+        c.x >= self.x && c.x < self.x + self.width && c.y >= self.y && c.y < self.y + self.height
+    }
+
+    /// Whether two rectangles share any core site.
+    pub fn overlaps(&self, other: &CoreRect) -> bool {
+        self.x < other.x + other.width
+            && other.x < self.x + self.width
+            && self.y < other.y + other.height
+            && other.y < self.y + self.height
+    }
+
+    /// Coordinate of the `index`-th site in row-major order within the
+    /// rectangle. Because the mapping is row-major with the rectangle's own
+    /// width, two cores' relative offsets — hence their Manhattan hop
+    /// distance — depend only on their indices and the width, never on
+    /// where the rectangle sits on the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of the rectangle.
+    pub fn coord_of(&self, index: usize) -> CoreCoord {
+        assert!(index < self.len(), "index {index} outside rectangle");
+        CoreCoord {
+            x: self.x + (index % self.width as usize) as u16,
+            y: self.y + (index / self.width as usize) as u16,
+        }
+    }
+}
+
 /// Errors from the placer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlacementError {
@@ -37,6 +98,25 @@ pub enum PlacementError {
     ChipFull {
         /// Grid capacity that was exhausted.
         capacity: usize,
+    },
+    /// No free rectangular region of the requested shape exists.
+    ///
+    /// Carries everything a caller needs to decide what to do next:
+    /// the shape that was refused, the grid it was refused on, and how
+    /// many sites remain unallocated (a small `free` means the chip is
+    /// genuinely full; a large one means fragmentation or an oversized
+    /// request).
+    RegionUnavailable {
+        /// Requested rectangle width.
+        width: u16,
+        /// Requested rectangle height.
+        height: u16,
+        /// Grid width the request was made against.
+        grid_width: u16,
+        /// Grid height the request was made against.
+        grid_height: u16,
+        /// Core sites still unallocated on the grid.
+        free: usize,
     },
 }
 
@@ -46,6 +126,17 @@ impl std::fmt::Display for PlacementError {
             PlacementError::ChipFull { capacity } => {
                 write!(f, "chip is full: all {capacity} core sites are occupied")
             }
+            PlacementError::RegionUnavailable {
+                width,
+                height,
+                grid_width,
+                grid_height,
+                free,
+            } => write!(
+                f,
+                "no free {width}x{height} region on the {grid_width}x{grid_height} grid \
+                 ({free} sites free)"
+            ),
         }
     }
 }
@@ -89,6 +180,16 @@ impl Placer {
     /// Full TrueNorth chip grid (64×64).
     pub fn truenorth() -> Self {
         Self::new(64, 64)
+    }
+
+    /// Grid width in core sites.
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Grid height in core sites.
+    pub fn height(&self) -> u16 {
+        self.height
     }
 
     /// Total sites.
@@ -141,6 +242,163 @@ impl Placer {
     }
 }
 
+/// One horizontal shelf of the [`ShelfAllocator`]: a band of rows opened at
+/// `y` with a fixed `height`, filled left to right.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Shelf {
+    y: u16,
+    height: u16,
+    used_width: u16,
+}
+
+/// Greedy first-fit shelf allocator for rectangular core regions.
+///
+/// The allocator carves the `width × height` grid into horizontal shelves:
+/// a request goes on the first shelf tall enough with enough width left,
+/// or opens a new shelf below the last one. Every granted [`CoreRect`] is
+/// disjoint from every other by construction — shelves never overlap
+/// vertically, and within a shelf rectangles are laid out left to right —
+/// which is the multi-tenant isolation guarantee the packed deployment
+/// builds on.
+///
+/// # Examples
+///
+/// ```
+/// use tn_chip::placement::ShelfAllocator;
+/// let mut alloc = ShelfAllocator::truenorth();
+/// let a = alloc.allocate_cores(10)?; // 10×1 strip at (0, 0)
+/// let b = alloc.allocate_cores(100)?; // 64×2 block on its own shelf
+/// assert!(!a.overlaps(&b));
+/// # Ok::<(), tn_chip::placement::PlacementError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShelfAllocator {
+    width: u16,
+    height: u16,
+    shelves: Vec<Shelf>,
+    next_y: u16,
+    rects: Vec<CoreRect>,
+}
+
+impl ShelfAllocator {
+    /// An allocator over a `width × height` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u16, height: u16) -> Self {
+        assert!(width > 0 && height > 0, "grid dimensions must be nonzero");
+        Self {
+            width,
+            height,
+            shelves: Vec::new(),
+            next_y: 0,
+            rects: Vec::new(),
+        }
+    }
+
+    /// Full TrueNorth chip grid (64×64).
+    pub fn truenorth() -> Self {
+        Self::new(64, 64)
+    }
+
+    /// Total sites on the grid.
+    pub fn capacity(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Sites covered by granted rectangles.
+    pub fn used(&self) -> usize {
+        self.rects.iter().map(CoreRect::len).sum()
+    }
+
+    /// Sites not covered by any granted rectangle (includes shelf
+    /// fragmentation, so a follow-up request may still be refused).
+    pub fn free(&self) -> usize {
+        self.capacity() - self.used()
+    }
+
+    /// Every rectangle granted so far, in allocation order.
+    pub fn rects(&self) -> &[CoreRect] {
+        &self.rects
+    }
+
+    /// Allocate a `width × height` rectangle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::RegionUnavailable`] when no shelf can hold
+    /// the rectangle and no new shelf fits below the existing ones.
+    pub fn allocate(&mut self, width: u16, height: u16) -> Result<CoreRect, PlacementError> {
+        if width == 0 || height == 0 || width > self.width {
+            return Err(self.unavailable(width, height));
+        }
+        // First fit: the earliest shelf tall enough with width to spare.
+        for shelf in &mut self.shelves {
+            if shelf.height >= height && self.width - shelf.used_width >= width {
+                let rect = CoreRect {
+                    x: shelf.used_width,
+                    y: shelf.y,
+                    width,
+                    height,
+                };
+                shelf.used_width += width;
+                self.rects.push(rect);
+                return Ok(rect);
+            }
+        }
+        // No shelf fits: open a new one below the last.
+        if self.height - self.next_y < height {
+            return Err(self.unavailable(width, height));
+        }
+        let rect = CoreRect {
+            x: 0,
+            y: self.next_y,
+            width,
+            height,
+        };
+        self.shelves.push(Shelf {
+            y: self.next_y,
+            height,
+            used_width: width,
+        });
+        self.next_y += height;
+        self.rects.push(rect);
+        Ok(rect)
+    }
+
+    /// Allocate a rectangle for `n` row-major cores: width `min(n, grid
+    /// width)`, height `ceil(n / width)`. This shape reproduces the solo
+    /// deployment's row-major layout exactly, so a model packed into the
+    /// rectangle keeps every relative hop distance it had on its own chip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::RegionUnavailable`] like
+    /// [`ShelfAllocator::allocate`].
+    pub fn allocate_cores(&mut self, n: usize) -> Result<CoreRect, PlacementError> {
+        if n == 0 || n > self.capacity() {
+            return Err(self.unavailable(
+                n.min(self.width as usize) as u16,
+                n.div_ceil(self.width as usize).min(u16::MAX as usize) as u16,
+            ));
+        }
+        let width = n.min(self.width as usize) as u16;
+        let height = n.div_ceil(self.width as usize) as u16;
+        self.allocate(width, height)
+    }
+
+    fn unavailable(&self, width: u16, height: u16) -> PlacementError {
+        PlacementError::RegionUnavailable {
+            width,
+            height,
+            grid_width: self.width,
+            grid_height: self.height,
+            free: self.free(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,5 +448,103 @@ mod tests {
         assert_eq!(a.hops_to(b), 8);
         assert_eq!(b.hops_to(a), 8);
         assert_eq!(a.hops_to(a), 0);
+    }
+
+    #[test]
+    fn rect_geometry_is_row_major_and_translation_invariant() {
+        let r = CoreRect {
+            x: 5,
+            y: 7,
+            width: 3,
+            height: 2,
+        };
+        assert_eq!(r.len(), 6);
+        assert_eq!(r.coord_of(0), CoreCoord { x: 5, y: 7 });
+        assert_eq!(r.coord_of(2), CoreCoord { x: 7, y: 7 });
+        assert_eq!(r.coord_of(3), CoreCoord { x: 5, y: 8 });
+        // Relative hops depend only on indices and width, not placement.
+        let s = CoreRect {
+            x: 40,
+            y: 0,
+            width: 3,
+            height: 2,
+        };
+        for i in 0..r.len() {
+            for j in 0..r.len() {
+                assert_eq!(r.coord_of(i).hops_to(r.coord_of(j)), s.coord_of(i).hops_to(s.coord_of(j)));
+            }
+        }
+    }
+
+    #[test]
+    fn rect_overlap_and_containment() {
+        let a = CoreRect {
+            x: 0,
+            y: 0,
+            width: 4,
+            height: 4,
+        };
+        let b = CoreRect {
+            x: 4,
+            y: 0,
+            width: 4,
+            height: 4,
+        };
+        let c = CoreRect {
+            x: 3,
+            y: 3,
+            width: 2,
+            height: 2,
+        };
+        assert!(!a.overlaps(&b), "edge-adjacent rectangles do not overlap");
+        assert!(a.overlaps(&c) && c.overlaps(&a) && b.overlaps(&c));
+        assert!(a.contains(CoreCoord { x: 3, y: 3 }));
+        assert!(!a.contains(CoreCoord { x: 4, y: 3 }));
+    }
+
+    #[test]
+    fn shelf_allocator_packs_disjoint_rects() {
+        let mut alloc = ShelfAllocator::new(8, 8);
+        let a = alloc.allocate(3, 2).expect("fits");
+        let b = alloc.allocate(4, 2).expect("same shelf");
+        let c = alloc.allocate(5, 1).expect("new shelf");
+        assert_eq!((a.x, a.y), (0, 0));
+        assert_eq!((b.x, b.y), (3, 0), "second rect rides the first shelf");
+        assert_eq!((c.x, c.y), (0, 2), "taller shelf closed, new one below");
+        assert!(!a.overlaps(&b) && !a.overlaps(&c) && !b.overlaps(&c));
+        assert_eq!(alloc.used(), 6 + 8 + 5);
+    }
+
+    #[test]
+    fn shelf_allocator_rejects_with_structured_error() {
+        let mut alloc = ShelfAllocator::new(4, 4);
+        alloc.allocate(4, 3).expect("fits");
+        let err = alloc.allocate(2, 2).expect_err("only one row left");
+        assert_eq!(
+            err,
+            PlacementError::RegionUnavailable {
+                width: 2,
+                height: 2,
+                grid_width: 4,
+                grid_height: 4,
+                free: 4,
+            }
+        );
+        // Too wide for the grid in any state.
+        assert!(matches!(
+            ShelfAllocator::new(4, 4).allocate(5, 1),
+            Err(PlacementError::RegionUnavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn allocate_cores_matches_solo_row_major_shape() {
+        let mut alloc = ShelfAllocator::truenorth();
+        let small = alloc.allocate_cores(10).expect("strip");
+        assert_eq!((small.width, small.height), (10, 1));
+        let big = alloc.allocate_cores(100).expect("block");
+        assert_eq!((big.width, big.height), (64, 2));
+        assert!(alloc.allocate_cores(0).is_err());
+        assert!(alloc.allocate_cores(5000).is_err());
     }
 }

@@ -135,6 +135,58 @@ pub fn serve_network(net: &Network, cfg: ServeConfig) -> Result<ServeRuntime, Se
     serve_spec(&spec, cfg)
 }
 
+/// Start one *packed multi-tenant* runtime over several already-extracted
+/// hardware specs: each spec becomes a tenant with a disjoint core
+/// rectangle on one chip, addressed by
+/// [`ServeRuntime::submit_model`] with its index in `specs`. Every
+/// tenant's responses are bit-identical to a solo runtime serving that
+/// spec alone under the same config.
+///
+/// # Errors
+///
+/// [`ServingError::Serve`] if the config is inconsistent, any spec is
+/// undeployable, or the tenants together exceed the chip's core budget.
+pub fn serve_packed_specs(
+    specs: &[NetworkDeploySpec],
+    cfg: ServeConfig,
+) -> Result<ServeRuntime, ServingError> {
+    Ok(ServeRuntime::new_packed(specs, cfg)?)
+}
+
+/// Like [`serve_packed_specs`], with a [`MetricsSink`] receiving the
+/// runtime's telemetry snapshots (which carry per-tenant
+/// `serve.model.{id}.*` counters).
+///
+/// # Errors
+///
+/// Same as [`serve_packed_specs`].
+pub fn serve_packed_specs_with_sink(
+    specs: &[NetworkDeploySpec],
+    cfg: ServeConfig,
+    sink: Arc<dyn MetricsSink>,
+) -> Result<ServeRuntime, ServingError> {
+    Ok(ServeRuntime::new_packed_with_sink(specs, cfg, sink)?)
+}
+
+/// Extract hardware specs from several trained networks and consolidate
+/// them onto one packed runtime — the one-call path from N independent
+/// `bench.train(..)` results to a multi-tenant chip.
+///
+/// # Errors
+///
+/// [`ServingError::Extract`] for non-deployable networks, plus
+/// everything [`serve_packed_specs`] can return.
+pub fn serve_packed_networks(
+    nets: &[&Network],
+    cfg: ServeConfig,
+) -> Result<ServeRuntime, ServingError> {
+    let specs: Vec<NetworkDeploySpec> = nets
+        .iter()
+        .map(|net| extract_spec(net))
+        .collect::<Result<_, _>>()?;
+    serve_packed_specs(&specs, cfg)
+}
+
 /// Like [`serve_network`], with a [`MetricsSink`] for telemetry export.
 ///
 /// # Errors
@@ -389,6 +441,55 @@ mod tests {
             .map(|v| v.as_u64().unwrap())
             .collect();
         assert_eq!(wire_votes, local.votes);
+    }
+
+    #[test]
+    fn packed_networks_serve_each_tenant_like_solo() {
+        // Two different benchmarks consolidated onto one chip: each
+        // tenant's responses must match a solo runtime serving it alone.
+        let (net_a, data_a) = tiny_trained();
+        let scale = RunScale {
+            n_train: 80,
+            n_test: 20,
+            epochs: 2,
+            seeds: 1,
+            threads: 1,
+        };
+        let bench = TestBench::new(5, 47);
+        let data_b = bench.load_data(&scale, 47);
+        let (net_b, _) = bench
+            .train(&data_b, Penalty::None, scale.epochs, 47)
+            .expect("train");
+
+        let cfg = || ServeConfig::builder(11).workers(2).build().expect("cfg");
+        let packed = serve_packed_networks(&[&net_a, &net_b], cfg()).expect("pack");
+        assert!(packed.is_packed());
+        assert_eq!(packed.models(), 2);
+
+        let xa = data_a.test_x.row(0).to_vec();
+        let xb = data_b.test_x.row(0).to_vec();
+        let ra = packed
+            .submit_model(0, xa.clone())
+            .expect("submit")
+            .wait()
+            .expect("serve");
+        let rb = packed
+            .submit_model(1, xb.clone())
+            .expect("submit")
+            .wait()
+            .expect("serve");
+        packed.shutdown();
+        assert_eq!(ra.model, 0);
+        assert_eq!(rb.model, 1);
+
+        let solo_a = serve_network(&net_a, cfg()).expect("serve");
+        let la = solo_a.classify(xa).expect("classify");
+        solo_a.shutdown();
+        let solo_b = serve_network(&net_b, cfg()).expect("serve");
+        let lb = solo_b.classify(xb).expect("classify");
+        solo_b.shutdown();
+        assert_eq!((ra.predicted, ra.votes), (la.predicted, la.votes));
+        assert_eq!((rb.predicted, rb.votes), (lb.predicted, lb.votes));
     }
 
     #[test]

@@ -45,7 +45,7 @@
 //!
 //! | wire | request | response |
 //! |---|---|---|
-//! | HTTP | `POST /v1/classify` `{"frame":[...]}` | votes / label / agreement / energy |
+//! | HTTP | `POST /v1/classify` `{"frame":[...]}` (+ optional `"class"`, `"model"`) | votes / label / agreement / energy |
 //! | HTTP | `GET /v1/config` | serve config + model introspection |
 //! | HTTP | `GET /v1/snapshot` | latest `tn-telemetry/1` snapshot line |
 //! | HTTP | `GET /healthz` | `{"status":"ok"}` |
@@ -242,6 +242,65 @@ impl Gateway {
             serve_cfg,
             Arc::clone(&latest) as Arc<dyn MetricsSink>,
         )?);
+        Self::start(addr, runtime, gw_cfg, latest)
+    }
+
+    /// Like [`Gateway::bind`], but deploys *several* specs as tenants of
+    /// one packed chip ([`ServeRuntime::new_packed`]): each spec gets a
+    /// disjoint core rectangle and a model id equal to its position in
+    /// `specs`. Clients pick a tenant with the `"model"` key on
+    /// `POST /v1/classify` (default 0); an out-of-range id is a
+    /// structured `400` with code `unknown_model`. `GET /v1/config`
+    /// lists every tenant under `"models"` and sets `"packed":true`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Gateway::bind`]; [`GatewayError::Serve`] additionally
+    /// covers packing failures (e.g. the tenants exceed the chip's core
+    /// budget).
+    pub fn bind_packed(
+        addr: impl ToSocketAddrs,
+        specs: &[NetworkDeploySpec],
+        serve_cfg: ServeConfig,
+        gw_cfg: GatewayConfig,
+    ) -> Result<Self, GatewayError> {
+        Self::bind_packed_with_sink(addr, specs, serve_cfg, gw_cfg, Arc::new(NullSink))
+    }
+
+    /// Like [`Gateway::bind_packed`], with a [`MetricsSink`] receiving
+    /// every telemetry snapshot (see [`Gateway::bind_with_sink`] for the
+    /// tee semantics). Snapshots carry per-tenant
+    /// `serve.model.{id}.*` counters alongside the global serve family.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Gateway::bind_packed`].
+    pub fn bind_packed_with_sink(
+        addr: impl ToSocketAddrs,
+        specs: &[NetworkDeploySpec],
+        mut serve_cfg: ServeConfig,
+        gw_cfg: GatewayConfig,
+        sink: Arc<dyn MetricsSink>,
+    ) -> Result<Self, GatewayError> {
+        gw_cfg.validate()?;
+        serve_cfg.backpressure = Backpressure::Reject;
+        let latest = Arc::new(LatestSink::tee(sink));
+        let runtime = Arc::new(ServeRuntime::new_packed_with_sink(
+            specs,
+            serve_cfg,
+            Arc::clone(&latest) as Arc<dyn MetricsSink>,
+        )?);
+        Self::start(addr, runtime, gw_cfg, latest)
+    }
+
+    /// Bind the listener and spawn the reactor over an already-built
+    /// runtime (shared tail of every `bind*` constructor).
+    fn start(
+        addr: impl ToSocketAddrs,
+        runtime: Arc<ServeRuntime>,
+        gw_cfg: GatewayConfig,
+        latest: Arc<LatestSink>,
+    ) -> Result<Self, GatewayError> {
         let listener = TcpListener::bind(addr).map_err(GatewayError::Bind)?;
         listener.set_nonblocking(true).map_err(GatewayError::Bind)?;
         let addr = listener.local_addr().map_err(GatewayError::Bind)?;

@@ -33,9 +33,12 @@ fn join<T: std::fmt::Display>(items: impl Iterator<Item = T>) -> String {
 
 /// Extract the classify frame from a parsed request object:
 /// `{"frame": [x0, x1, ...]}` with numeric entries, plus an optional
-/// `"class": N` request-class selector (default 0) routed to
-/// [`tn_serve::ServeRuntime::submit_class`].
-pub(crate) fn parse_classify_frame(value: &JsonValue) -> Result<(Vec<f32>, usize), String> {
+/// `"class": N` request-class selector (default 0) and an optional
+/// `"model": M` tenant selector (default 0) — together routed to
+/// [`tn_serve::ServeRuntime::submit_model_class`].
+pub(crate) fn parse_classify_frame(
+    value: &JsonValue,
+) -> Result<(Vec<f32>, usize, usize), String> {
     let frame = value
         .get("frame")
         .ok_or_else(|| "missing \"frame\" array".to_string())?;
@@ -58,11 +61,18 @@ pub(crate) fn parse_classify_frame(value: &JsonValue) -> Result<(Vec<f32>, usize
             .and_then(|c| usize::try_from(c).ok())
             .ok_or_else(|| "\"class\" must be a non-negative integer".to_string())?,
     };
-    Ok((inputs, class))
+    let model = match value.get("model") {
+        None => 0,
+        Some(v) => v
+            .as_u64()
+            .and_then(|m| usize::try_from(m).ok())
+            .ok_or_else(|| "\"model\" must be a non-negative integer".to_string())?,
+    };
+    Ok((inputs, class, model))
 }
 
 /// Parse a `POST /v1/classify` body.
-pub(crate) fn parse_classify_body(body: &[u8]) -> Result<(Vec<f32>, usize), String> {
+pub(crate) fn parse_classify_body(body: &[u8]) -> Result<(Vec<f32>, usize, usize), String> {
     let text =
         std::str::from_utf8(body).map_err(|_| "body is not valid UTF-8".to_string())?;
     let value = json::parse(text).map_err(|e| e.to_string())?;
@@ -73,14 +83,15 @@ pub(crate) fn parse_classify_body(body: &[u8]) -> Result<(Vec<f32>, usize), Stri
 pub(crate) fn classify_json(r: &Response, joules_per_frame: f64) -> String {
     format!(
         "{{\"seq\":{},\"predicted\":{},\"votes\":[{}],\"replica_predictions\":[{}],\
-         \"agreement\":{},\"class\":{},\"spf\":{},\"ticks\":{},\"latency_us\":{},\
-         \"joules_per_frame\":{}}}",
+         \"agreement\":{},\"class\":{},\"model\":{},\"spf\":{},\"ticks\":{},\
+         \"latency_us\":{},\"joules_per_frame\":{}}}",
         r.seq,
         r.predicted,
         join(r.votes.iter()),
         join(r.replica_predictions.iter()),
         json_f64(f64::from(r.agreement)),
         r.class,
+        r.model,
         r.spf,
         r.ticks,
         u64::try_from(r.latency.as_micros()).unwrap_or(u64::MAX),
@@ -105,17 +116,30 @@ pub(crate) fn health_json() -> String {
 /// Render the `/v1/config` body: model introspection plus the serve
 /// config, with the *live* values for knobs the adaptive controller can
 /// move (`replicas`, `kernel_batch`, and per-class `spf`).
+///
+/// `"model"` stays tenant 0 (backward compatible); the `"models"` array
+/// lists every packed tenant (a single entry on solo runtimes), and
+/// `"packed"` flags multi-tenant runtimes.
 pub(crate) fn config_json(rt: &ServeRuntime) -> String {
+    let models = join((0..rt.models()).map(|m| {
+        format!(
+            "{{\"id\":{m},\"n_inputs\":{},\"n_classes\":{}}}",
+            rt.model_n_inputs(m).unwrap_or(0),
+            rt.model_n_classes(m).unwrap_or(0),
+        )
+    }));
     let cfg = rt.config();
     format!(
         "{{\"schema\":\"tn-gateway/1\",\
          \"model\":{{\"n_inputs\":{},\"n_classes\":{},\"replicas\":{}}},\
+         \"models\":[{models}],\"packed\":{},\
          \"serve\":{{\"workers\":{},\"spf\":[{}],\"seed\":{},\"queue_capacity\":{},\
          \"batch_max\":{},\"kernel_batch\":{},\"backpressure\":\"{}\",\
          \"connectivity\":\"{}\",\"telemetry\":{}}}}}",
         rt.n_inputs(),
         rt.n_classes(),
         rt.replicas(),
+        rt.is_packed(),
         cfg.workers,
         join(rt.spf_per_class().iter()),
         cfg.seed,
@@ -152,11 +176,19 @@ mod tests {
     fn classify_frames_parse_and_reject() {
         assert_eq!(
             parse_classify_body(b"{\"frame\":[1,0.5,0]}").expect("parse"),
-            (vec![1.0, 0.5, 0.0], 0)
+            (vec![1.0, 0.5, 0.0], 0, 0)
         );
         assert_eq!(
             parse_classify_body(b"{\"frame\":[1,0],\"class\":2}").expect("parse"),
-            (vec![1.0, 0.0], 2)
+            (vec![1.0, 0.0], 2, 0)
+        );
+        assert_eq!(
+            parse_classify_body(b"{\"frame\":[1,0],\"model\":1}").expect("parse"),
+            (vec![1.0, 0.0], 0, 1)
+        );
+        assert_eq!(
+            parse_classify_body(b"{\"frame\":[0],\"class\":1,\"model\":3}").expect("parse"),
+            (vec![0.0], 1, 3)
         );
         for (body, needle) in [
             (&b"{}"[..], "missing"),
@@ -164,6 +196,8 @@ mod tests {
             (b"{\"frame\":[\"x\"]}", "not a number"),
             (b"{\"frame\":[1],\"class\":-1}", "class"),
             (b"{\"frame\":[1],\"class\":\"gold\"}", "class"),
+            (b"{\"frame\":[1],\"model\":-2}", "model"),
+            (b"{\"frame\":[1],\"model\":\"five\"}", "model"),
             (b"not json", "JSON error"),
             (b"\xff\xfe", "UTF-8"),
         ] {
@@ -181,6 +215,7 @@ mod tests {
             replica_predictions: vec![1, 1, 0],
             agreement: 2.0 / 3.0,
             class: 1,
+            model: 2,
             spf: 16,
             worker: 0,
             ticks: 16,
@@ -191,6 +226,7 @@ mod tests {
         assert_eq!(v.get("predicted").unwrap().as_u64(), Some(1));
         assert_eq!(v.get("votes").unwrap().as_array().unwrap().len(), 2);
         assert_eq!(v.get("class").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("model").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("spf").unwrap().as_u64(), Some(16));
         assert_eq!(v.get("latency_us").unwrap().as_u64(), Some(420));
         assert!(v.get("joules_per_frame").unwrap().as_f64().unwrap() > 0.0);

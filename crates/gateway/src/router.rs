@@ -68,7 +68,7 @@ pub(crate) fn route_line(line: &str, ctx: &ServiceCtx) -> Pending {
         .unwrap_or("classify");
     match op {
         "classify" => match proto::parse_classify_frame(&value) {
-            Ok((frame, class)) => submit(frame, class, ctx, true),
+            Ok((frame, class, model)) => submit(frame, class, model, ctx, true),
             Err(msg) => Pending::ready(400, proto::error_json("bad_request", &msg), true),
         },
         "config" => Pending::ready(200, proto::config_json(&ctx.rt), true),
@@ -85,15 +85,21 @@ pub(crate) fn route_line(line: &str, ctx: &ServiceCtx) -> Pending {
 /// Parse a classify body and submit it.
 fn classify(body: &[u8], ctx: &ServiceCtx, line_mode: bool) -> Pending {
     match proto::parse_classify_body(body) {
-        Ok((frame, class)) => submit(frame, class, ctx, line_mode),
+        Ok((frame, class, model)) => submit(frame, class, model, ctx, line_mode),
         Err(msg) => Pending::ready(400, proto::error_json("bad_request", &msg), line_mode),
     }
 }
 
-/// Submit one frame under its request class; map admission failures onto
-/// wire responses.
-fn submit(frame: Vec<f32>, class: usize, ctx: &ServiceCtx, line_mode: bool) -> Pending {
-    match ctx.rt.submit_class(frame, class) {
+/// Submit one frame under its request class and tenant model; map
+/// admission failures onto wire responses.
+fn submit(
+    frame: Vec<f32>,
+    class: usize,
+    model: usize,
+    ctx: &ServiceCtx,
+    line_mode: bool,
+) -> Pending {
+    match ctx.rt.submit_model_class(model, frame, class) {
         Ok(handle) => Pending::handle(handle, line_mode),
         Err(ServeError::QueueFull) => Pending::ready(
             503,
@@ -113,6 +119,11 @@ fn submit(frame: Vec<f32>, class: usize, ctx: &ServiceCtx, line_mode: bool) -> P
         Err(e @ ServeError::UnknownClass { .. }) => Pending::ready(
             400,
             proto::error_json("unknown_class", &e.to_string()),
+            line_mode,
+        ),
+        Err(e @ ServeError::UnknownModel { .. }) => Pending::ready(
+            400,
+            proto::error_json("unknown_model", &e.to_string()),
             line_mode,
         ),
         Err(e) => Pending::ready(500, proto::error_json("internal", &e.to_string()), line_mode),

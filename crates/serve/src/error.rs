@@ -47,6 +47,18 @@ pub enum ServeError {
         /// Classes the runtime serves (`0 .. classes`).
         classes: usize,
     },
+    /// The request named a tenant model the runtime does not serve (see
+    /// [`crate::ServeRuntime::submit_model`]).
+    UnknownModel {
+        /// The model the request asked for.
+        model: usize,
+        /// Models the runtime serves (`0 .. models`).
+        models: usize,
+    },
+    /// A set of deployments could not be packed onto one chip
+    /// ([`crate::ServeRuntime::new_packed`]); carries the
+    /// [`tn_chip::pack::PackError`] rendering.
+    Pack(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -72,6 +84,13 @@ impl std::fmt::Display for ServeError {
                     "unknown request class {class}: this runtime serves classes 0..{classes}"
                 )
             }
+            Self::UnknownModel { model, models } => {
+                write!(
+                    f,
+                    "unknown model {model}: this runtime serves models 0..{models}"
+                )
+            }
+            Self::Pack(msg) => write!(f, "multi-tenant packing failed: {msg}"),
         }
     }
 }

@@ -28,6 +28,10 @@ pub struct Response {
     /// Request class the submission named (0 unless submitted via
     /// [`crate::ServeRuntime::submit_class`]).
     pub class: usize,
+    /// Tenant model that served the request (0 on single-model runtimes;
+    /// the index passed to [`crate::ServeRuntime::submit_model`] on packed
+    /// multi-tenant runtimes).
+    pub model: usize,
     /// Ticks-per-frame the request was actually served at (the class's
     /// live spf at serve time; the configured spf when the actuator is
     /// off).
@@ -181,6 +185,7 @@ mod tests {
             replica_predictions: vec![1, 1],
             agreement: 1.0,
             class: 0,
+            model: 0,
             spf: 8,
             worker: 0,
             ticks: 8,

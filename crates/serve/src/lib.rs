@@ -50,6 +50,16 @@
 //!   were fused into kernel batches. See
 //!   `results_are_a_function_of_seq_not_worker_count` and
 //!   `kernel_batch_size_does_not_change_results` in `runtime.rs`.
+//! * **Multi-tenant packing** (optional): [`ServeRuntime::new_packed`]
+//!   deploys *several* specs as tenants of one packed chip
+//!   ([`tn_chip::pack::PackedDeployment`]): each tenant owns a disjoint
+//!   core rectangle, [`ServeRuntime::submit_model`] routes requests by
+//!   model id, and a kernel batch mixes tenants into the same lockstep
+//!   pass through per-model lane groups. Consolidation buys aggregate
+//!   throughput at equal hardware while every tenant's responses stay
+//!   bit-identical to a solo runtime serving it alone (per-model
+//!   submission order is the determinism key). Per-model
+//!   `serve.model.{id}.*` counters ride the telemetry snapshots.
 //! * **Backpressure**: the submission queue is bounded;
 //!   [`Backpressure::Block`] throttles producers, [`Backpressure::Reject`]
 //!   sheds load with [`ServeError::QueueFull`].

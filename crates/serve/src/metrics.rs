@@ -42,7 +42,7 @@ fn bucket_index(ns: u64) -> usize {
     }
 }
 
-/// Exclusive upper bound (ns) of bucket `i` — what quantiles report.
+/// Exclusive upper bound (ns) of bucket `i`.
 fn bucket_upper_ns(i: usize) -> u64 {
     if i < LINEAR_CUTOFF as usize {
         i as u64 + 1
@@ -51,6 +51,17 @@ fn bucket_upper_ns(i: usize) -> u64 {
         let m = ((i - LINEAR_CUTOFF as usize) % SUB_BUCKETS) as u64;
         let base = (SUB_BUCKETS as u64 + m) << shift;
         base.saturating_add(1u64 << shift)
+    }
+}
+
+/// Inclusive lower bound (ns) of bucket `i`.
+fn bucket_lower_ns(i: usize) -> u64 {
+    if i < LINEAR_CUTOFF as usize {
+        i as u64
+    } else {
+        let shift = ((i - LINEAR_CUTOFF as usize) / SUB_BUCKETS) as u32;
+        let m = ((i - LINEAR_CUTOFF as usize) % SUB_BUCKETS) as u64;
+        (SUB_BUCKETS as u64 + m) << shift
     }
 }
 
@@ -73,6 +84,10 @@ pub(crate) struct Metrics {
     /// spf actuator's evidence, windowed by the observer exactly like the
     /// global pair.
     class_agreement: Vec<[AtomicU64; 2]>,
+    /// Per tenant model: `[submitted, completed, ticks,
+    /// agreement ×AGREEMENT_SCALE]` — one row per packed tenant (a single
+    /// row on solo runtimes), exported as `serve.model.{m}.*`.
+    per_model: Vec<[AtomicU64; 4]>,
     /// Log-linear latency histogram (see [`bucket_index`]).
     latency: [AtomicU64; BUCKETS],
     latency_sum_ns: AtomicU64,
@@ -83,7 +98,7 @@ pub(crate) struct Metrics {
 }
 
 impl Metrics {
-    pub(crate) fn new(workers: usize, spf_classes: usize) -> Self {
+    pub(crate) fn new(workers: usize, spf_classes: usize, models: usize) -> Self {
         Self {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -96,6 +111,9 @@ impl Metrics {
             class_agreement: (0..spf_classes.max(1))
                 .map(|_| [AtomicU64::new(0), AtomicU64::new(0)])
                 .collect(),
+            per_model: (0..models.max(1))
+                .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
+                .collect(),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
             latency_sum_ns: AtomicU64::new(0),
             per_worker_frames: (0..workers).map(|_| AtomicU64::new(0)).collect(),
@@ -107,6 +125,7 @@ impl Metrics {
         &self,
         worker: usize,
         class: usize,
+        model: usize,
         ticks: u64,
         latency: Duration,
         agreement: f32,
@@ -121,9 +140,39 @@ impl Metrics {
             pair[0].fetch_add(1, Ordering::Relaxed);
             pair[1].fetch_add(micros, Ordering::Relaxed);
         }
+        if let Some(row) = self.per_model.get(model) {
+            row[1].fetch_add(1, Ordering::Relaxed);
+            row[2].fetch_add(ticks, Ordering::Relaxed);
+            row[3].fetch_add(micros, Ordering::Relaxed);
+        }
         let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
         self.latency[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
         self.latency_sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Count one accepted submission against tenant `model`.
+    pub(crate) fn record_model_submit(&self, model: usize) {
+        if let Some(row) = self.per_model.get(model) {
+            row[0].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of tenant models tracked (1 on solo runtimes).
+    pub(crate) fn n_models(&self) -> usize {
+        self.per_model.len()
+    }
+
+    /// Lifetime `(submitted, completed, ticks, agreement_sum×SCALE)` for
+    /// one tenant model.
+    pub(crate) fn model_progress(&self, model: usize) -> (u64, u64, u64, u64) {
+        self.per_model.get(model).map_or((0, 0, 0, 0), |row| {
+            (
+                row[0].load(Ordering::Relaxed),
+                row[1].load(Ordering::Relaxed),
+                row[2].load(Ordering::Relaxed),
+                row[3].load(Ordering::Relaxed),
+            )
+        })
     }
 
     /// Lifetime `(completed, agreement_sum/SCALE)` pair for one request
@@ -259,7 +308,14 @@ impl Metrics {
     }
 }
 
-/// Upper bound of the histogram bucket containing quantile `q`.
+/// Histogram quantile with sub-bucket linear interpolation.
+///
+/// The rank's position among the bucket's own samples interpolates
+/// between the bucket's bounds, so reported quantiles are no longer
+/// quantized to bucket edges (raw edges like 167 772 ns leaked straight
+/// into benchmark tables as fake p50s). A rank landing on a bucket's
+/// *last* sample still reports the bucket's upper bound, preserving the
+/// invariant that p99 over {99 fast, 1 slow} reports the slow outlier.
 fn quantile(counts: &[u64], q: f64) -> Duration {
     let total: u64 = counts.iter().sum();
     if total == 0 {
@@ -270,10 +326,17 @@ fn quantile(counts: &[u64], q: f64) -> Duration {
     let rank = ((total as f64 * q).floor() as u64 + 1).clamp(1, total);
     let mut seen = 0u64;
     for (i, &c) in counts.iter().enumerate() {
-        seen += c;
-        if seen >= rank {
-            return Duration::from_nanos(bucket_upper_ns(i));
+        if c == 0 {
+            continue;
         }
+        if seen + c >= rank {
+            let lower = bucket_lower_ns(i);
+            let width = bucket_upper_ns(i).saturating_sub(lower);
+            let frac = (rank - seen) as f64 / c as f64;
+            let ns = lower as f64 + frac * width as f64;
+            return Duration::from_nanos(ns.round() as u64);
+        }
+        seen += c;
     }
     Duration::from_nanos(u64::MAX)
 }
@@ -417,11 +480,11 @@ mod tests {
 
     #[test]
     fn quantiles_track_recorded_latencies() {
-        let m = Metrics::new(2, 2);
+        let m = Metrics::new(2, 2, 1);
         for _ in 0..99 {
-            m.record_completion(0, 0, 8, Duration::from_micros(100), 1.0);
+            m.record_completion(0, 0, 0, 8, Duration::from_micros(100), 1.0);
         }
-        m.record_completion(1, 1, 8, Duration::from_millis(50), 0.5);
+        m.record_completion(1, 1, 0, 8, Duration::from_millis(50), 0.5);
         let snap = m.snapshot(0, Duration::from_secs(1), 4);
         assert_eq!(snap.completed, 100);
         assert_eq!(snap.ticks, 800);
@@ -441,12 +504,12 @@ mod tests {
     fn quantiles_separate_within_one_octave() {
         // 1.0 ms and 1.9 ms share a power of two; the old power-of-two
         // buckets reported p50 == p99 == 2.097 ms for this workload.
-        let m = Metrics::new(1, 1);
+        let m = Metrics::new(1, 1, 1);
         for _ in 0..90 {
-            m.record_completion(0, 0, 1, Duration::from_micros(1000), 1.0);
+            m.record_completion(0, 0, 0, 1, Duration::from_micros(1000), 1.0);
         }
         for _ in 0..10 {
-            m.record_completion(0, 0, 1, Duration::from_micros(1900), 1.0);
+            m.record_completion(0, 0, 0, 1, Duration::from_micros(1900), 1.0);
         }
         let snap = m.snapshot(0, Duration::from_secs(1), 1);
         assert!(snap.p50_latency < snap.p99_latency, "quantiles degenerate");
@@ -491,8 +554,48 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // 100 µs lands in the bucket [98 304 ns, 102 400 ns) (shift 12,
+        // sub-bucket 8). With 99 samples there and rank 51/91, the
+        // interpolated p50/p90 sit strictly inside the bucket instead of
+        // on its 102 400 ns edge; the single 50 ms outlier is its
+        // bucket's last sample, so p99 still reports that bucket's upper
+        // bound (50 331 648 ns).
+        let m = Metrics::new(1, 1, 1);
+        for _ in 0..99 {
+            m.record_completion(0, 0, 0, 1, Duration::from_micros(100), 1.0);
+        }
+        m.record_completion(0, 0, 0, 1, Duration::from_millis(50), 1.0);
+        let snap = m.snapshot(0, Duration::from_secs(1), 1);
+        // lower + rank/count × width = 98 304 + 51/99 × 4 096 ≈ 100 414.
+        assert_eq!(snap.p50_latency, Duration::from_nanos(100_414));
+        assert_eq!(snap.p90_latency, Duration::from_nanos(102_069));
+        assert_eq!(snap.p99_latency, Duration::from_nanos(50_331_648));
+        // Not quantized to the raw bucket edge any more.
+        assert_ne!(snap.p50_latency, Duration::from_nanos(102_400));
+        assert_ne!(snap.p50_latency, snap.p90_latency);
+    }
+
+    #[test]
+    fn per_model_rows_split_completions() {
+        let m = Metrics::new(1, 1, 2);
+        assert_eq!(m.n_models(), 2);
+        m.record_model_submit(0);
+        m.record_model_submit(1);
+        m.record_model_submit(1);
+        m.record_completion(0, 0, 0, 8, Duration::from_micros(10), 1.0);
+        m.record_completion(0, 0, 1, 16, Duration::from_micros(10), 0.5);
+        m.record_completion(0, 0, 1, 16, Duration::from_micros(10), 0.5);
+        assert_eq!(m.model_progress(0), (1, 1, 8, 1_000_000));
+        assert_eq!(m.model_progress(1), (2, 2, 32, 1_000_000));
+        assert_eq!(m.model_progress(7), (0, 0, 0, 0), "out of range is zero");
+        // The global counters see every completion regardless of model.
+        assert_eq!(m.completed.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
     fn empty_metrics_snapshot_is_all_zero() {
-        let m = Metrics::new(1, 1);
+        let m = Metrics::new(1, 1, 1);
         let snap = m.snapshot(3, Duration::ZERO, 4);
         assert_eq!(snap.completed, 0);
         assert_eq!(snap.queue_depth, 3);
@@ -504,8 +607,8 @@ mod tests {
 
     #[test]
     fn display_mentions_throughput_and_energy() {
-        let m = Metrics::new(1, 1);
-        m.record_completion(0, 0, 8, Duration::from_micros(10), 0.75);
+        let m = Metrics::new(1, 1, 1);
+        m.record_completion(0, 0, 0, 8, Duration::from_micros(10), 0.75);
         let text = m.snapshot(0, Duration::from_secs(1), 4).to_string();
         assert!(text.contains("req/s"), "{text}");
         assert!(text.contains("energy/frame"), "{text}");

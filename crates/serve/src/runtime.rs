@@ -30,6 +30,19 @@
 //!   path above is untouched by the third actuator. What the spf actuator
 //!   makes time-dependent is *which* spf an in-flight request is served
 //!   at; the served value is reported back in `Response::spf`.
+//!
+//! # Packed multi-tenant runtimes
+//!
+//! [`ServeRuntime::new_packed`] serves several models from **one**
+//! [`PackedDeployment`]: each worker clones the whole packed chip, and a
+//! kernel batch mixes frames for different models into the same lockstep
+//! pass (per-model lane groups touch only their tenant's cores). The
+//! determinism key becomes per model: the k-th request submitted to model
+//! `m` is seeded exactly as the k-th request of a solo runtime serving
+//! `m` alone at the same config, and the packing layer guarantees the
+//! votes are then bit-identical to that solo runtime's. Replica rescaling
+//! is rejected on packed runtimes (repacking mid-flight would move other
+//! tenants' cores); the kernel-batch and spf actuators work unchanged.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -37,6 +50,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use tn_chip::nscs::{Deployment, FrameInput, NetworkDeploySpec};
+use tn_chip::pack::{PackedDeployment, PackedFrame};
 use tn_chip::prng::splitmix64;
 use tn_telemetry::{emit, Clock, MetricsSink, MonotonicClock, NullSink, Snapshot, SpanRecorder, Stage};
 
@@ -53,6 +67,12 @@ struct Job {
     seq: u64,
     /// Request class: selects which live spf serves this job.
     class: usize,
+    /// Tenant model the job is addressed to (always 0 on solo runtimes).
+    model: usize,
+    /// Per-model submission index — the packed determinism key. On solo
+    /// runtimes this equals `seq` (one global stream), so the solo seed
+    /// derivation is unchanged.
+    model_seq: u64,
     inputs: Vec<f32>,
     submitted: Instant,
     completer: Completer,
@@ -78,11 +98,17 @@ struct ControlState {
     /// Bumped on every prototype swap; workers re-clone when it moves.
     epoch: AtomicU64,
     /// Prototype deployment workers clone from (swapped on rescale).
-    proto: Mutex<Arc<Deployment>>,
+    /// `None` on packed multi-tenant runtimes, which never swap.
+    proto: Mutex<Option<Arc<Deployment>>>,
+    /// Packed multi-tenant prototype: when set, workers serve every
+    /// tenant from a clone of this instead of `proto`, and replica
+    /// rescaling is rejected.
+    packed: Option<Arc<PackedDeployment>>,
     /// Replica rebuilds that failed (the action was skipped).
     rebuild_failures: AtomicU64,
-    /// Deploy spec, kept so rescaling can rebuild at a new replica count.
-    spec: NetworkDeploySpec,
+    /// Deploy spec, kept so rescaling can rebuild at a new replica count
+    /// (`None` on packed runtimes — nothing ever rebuilds).
+    spec: Option<NetworkDeploySpec>,
 }
 
 /// Shutdown signal for the observer thread.
@@ -112,6 +138,12 @@ pub struct ServeRuntime {
     stop: StopFlag,
     control: Arc<ControlState>,
     next_seq: AtomicU64,
+    /// Per-model submission counters — the packed determinism key (one
+    /// entry, unused in favour of `next_seq`, on solo runtimes).
+    model_seqs: Vec<AtomicU64>,
+    /// `(n_inputs, n_classes)` per tenant model (one entry on solo
+    /// runtimes).
+    model_dims: Vec<(usize, usize)>,
     started: Instant,
     cfg: ServeConfig,
     n_inputs: usize,
@@ -152,21 +184,7 @@ impl ServeRuntime {
             Deployment::build_with_mode(spec, cfg.replicas, cfg.seed, cfg.connectivity)?;
         let n_inputs = proto.n_inputs();
         let n_classes = proto.n_classes();
-        // One live spf slot per request class. Without configured spf
-        // classes there is a single class pinned at cfg.spf; with them,
-        // each class starts at cfg.spf clamped into its bounds.
-        let spf_bounds: Vec<SpfClass> = cfg
-            .controller
-            .as_ref()
-            .filter(|c| !c.spf_classes.is_empty())
-            .map_or_else(
-                || vec![SpfClass::new(cfg.spf, cfg.spf)],
-                |c| c.spf_classes.clone(),
-            );
-        let spf: Vec<AtomicUsize> = spf_bounds
-            .iter()
-            .map(|b| AtomicUsize::new(b.clamp(cfg.spf)))
-            .collect();
+        let (spf_bounds, spf) = spf_setup(&cfg);
         let control = Arc::new(ControlState {
             kernel_batch: AtomicUsize::new(cfg.kernel_batch),
             replicas: AtomicUsize::new(cfg.replicas),
@@ -174,17 +192,110 @@ impl ServeRuntime {
             spf,
             spf_bounds,
             epoch: AtomicU64::new(0),
-            proto: Mutex::new(Arc::new(proto)),
+            proto: Mutex::new(Some(Arc::new(proto))),
+            packed: None,
             rebuild_failures: AtomicU64::new(0),
-            spec: spec.clone(),
+            spec: Some(spec.clone()),
         });
+        Ok(Self::boot(cfg, control, sink, vec![(n_inputs, n_classes)]))
+    }
+
+    /// Deploy several specs as tenants of **one** packed chip and start
+    /// the worker pool (no telemetry egress). See
+    /// [`ServeRuntime::new_packed_with_sink`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServeRuntime::new_packed_with_sink`].
+    pub fn new_packed(
+        specs: &[NetworkDeploySpec],
+        cfg: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        Self::new_packed_with_sink(specs, cfg, Arc::new(NullSink))
+    }
+
+    /// Like [`ServeRuntime::new_packed`], with a [`MetricsSink`] for the
+    /// observer's [`Snapshot`] exports.
+    ///
+    /// Each spec is built into its own deployment with the *same*
+    /// `(cfg.replicas, cfg.seed, cfg.connectivity)` a solo runtime would
+    /// use, then all of them are packed onto disjoint core rectangles of
+    /// one 64×64 chip. Tenant `m` of the runtime is `specs[m]`; address
+    /// it with [`ServeRuntime::submit_model`]. Every tenant's responses
+    /// are bit-identical to a solo runtime serving that spec alone at
+    /// this config, keyed by per-model submission order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadConfig`] for inconsistent configs or an empty
+    /// spec list, [`ServeError::Deploy`] if a spec cannot be placed on
+    /// its own chip, [`ServeError::Pack`] if the tenants do not fit one
+    /// chip together (structured occupancy detail inside).
+    pub fn new_packed_with_sink(
+        specs: &[NetworkDeploySpec],
+        cfg: ServeConfig,
+        sink: Arc<dyn MetricsSink>,
+    ) -> Result<Self, ServeError> {
+        cfg.validate()?;
+        if specs.is_empty() {
+            return Err(ServeError::BadConfig(
+                "new_packed requires at least one spec".into(),
+            ));
+        }
+        let mut deps = Vec::with_capacity(specs.len());
+        for spec in specs {
+            deps.push(Deployment::build_with_mode(
+                spec,
+                cfg.replicas,
+                cfg.seed,
+                cfg.connectivity,
+            )?);
+        }
+        let packed =
+            PackedDeployment::pack(&deps).map_err(|e| ServeError::Pack(e.to_string()))?;
+        let model_dims: Vec<(usize, usize)> = (0..packed.models())
+            .map(|m| {
+                let t = packed.model(m);
+                (t.n_inputs(), t.n_classes())
+            })
+            .collect();
+        let (spf_bounds, spf) = spf_setup(&cfg);
+        let control = Arc::new(ControlState {
+            kernel_batch: AtomicUsize::new(cfg.kernel_batch),
+            replicas: AtomicUsize::new(cfg.replicas),
+            cores: AtomicUsize::new(packed.core_count()),
+            spf,
+            spf_bounds,
+            epoch: AtomicU64::new(0),
+            proto: Mutex::new(None),
+            packed: Some(Arc::new(packed)),
+            rebuild_failures: AtomicU64::new(0),
+            spec: None,
+        });
+        Ok(Self::boot(cfg, control, sink, model_dims))
+    }
+
+    /// Spawn the worker pool and observer around an assembled
+    /// [`ControlState`] — everything [`ServeRuntime::new_with_sink`] and
+    /// [`ServeRuntime::new_packed_with_sink`] share.
+    fn boot(
+        cfg: ServeConfig,
+        control: Arc<ControlState>,
+        sink: Arc<dyn MetricsSink>,
+        model_dims: Vec<(usize, usize)>,
+    ) -> Self {
+        let (n_inputs, n_classes) = model_dims[0];
         let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
         let spans = cfg
             .telemetry
             .as_ref()
             .map(|t| Arc::new(SpanRecorder::new(t.span_ring)));
         let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
-        let metrics = Arc::new(Metrics::new(cfg.workers, control.spf.len()));
+        let metrics = Arc::new(Metrics::new(
+            cfg.workers,
+            control.spf.len(),
+            model_dims.len(),
+        ));
         let mut workers = Vec::with_capacity(cfg.workers);
         for w in 0..cfg.workers {
             let queue = Arc::clone(&queue);
@@ -218,7 +329,7 @@ impl ServeRuntime {
                 .spawn(move || observer_loop(&ctx))
                 .expect("spawn serve observer")
         });
-        Ok(Self {
+        Self {
             queue,
             metrics,
             workers,
@@ -226,21 +337,45 @@ impl ServeRuntime {
             stop,
             control,
             next_seq: AtomicU64::new(0),
+            model_seqs: model_dims.iter().map(|_| AtomicU64::new(0)).collect(),
+            model_dims,
             started: Instant::now(),
             cfg,
             n_inputs,
             n_classes,
-        })
+        }
     }
 
-    /// Input channels each request must provide.
+    /// Input channels each request must provide (tenant model 0 on
+    /// packed runtimes; see [`ServeRuntime::model_n_inputs`]).
     pub fn n_inputs(&self) -> usize {
         self.n_inputs
     }
 
-    /// Classes voted on per request.
+    /// Classes voted on per request (tenant model 0 on packed runtimes).
     pub fn n_classes(&self) -> usize {
         self.n_classes
+    }
+
+    /// Number of tenant models this runtime serves (1 unless built with
+    /// [`ServeRuntime::new_packed`]).
+    pub fn models(&self) -> usize {
+        self.model_dims.len()
+    }
+
+    /// Whether this runtime serves several tenants from one packed chip.
+    pub fn is_packed(&self) -> bool {
+        self.control.packed.is_some()
+    }
+
+    /// Input channels tenant `model` expects, `None` if out of range.
+    pub fn model_n_inputs(&self, model: usize) -> Option<usize> {
+        self.model_dims.get(model).map(|&(n, _)| n)
+    }
+
+    /// Classes tenant `model` votes on, `None` if out of range.
+    pub fn model_n_classes(&self, model: usize) -> Option<usize> {
+        self.model_dims.get(model).map(|&(_, c)| c)
     }
 
     /// The runtime's configuration (the *initial* knob values; see
@@ -330,15 +465,59 @@ impl ServeRuntime {
         inputs: Vec<f32>,
         class: usize,
     ) -> Result<RequestHandle, ServeError> {
+        self.submit_model_class(0, inputs, class)
+    }
+
+    /// Submit one inference request to tenant `model` of a packed
+    /// multi-tenant runtime (on solo runtimes only model 0 exists).
+    ///
+    /// The packed determinism key is per model: the k-th request
+    /// submitted to model `m` is served bit-identically to the k-th
+    /// request of a solo runtime deploying only `m` at the same config.
+    /// With several submitter threads racing on one model, "k-th" is the
+    /// order submissions win the model's counter.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] when `model` is out of range, plus
+    /// everything [`ServeRuntime::submit`] can return (input width is
+    /// checked against the named tenant).
+    pub fn submit_model(
+        &self,
+        model: usize,
+        inputs: Vec<f32>,
+    ) -> Result<RequestHandle, ServeError> {
+        self.submit_model_class(model, inputs, 0)
+    }
+
+    /// Submit to tenant `model` under request class `class` — the fully
+    /// general submission path; every other submit is a wrapper.
+    ///
+    /// # Errors
+    ///
+    /// Union of [`ServeRuntime::submit_model`] and
+    /// [`ServeRuntime::submit_class`].
+    pub fn submit_model_class(
+        &self,
+        model: usize,
+        inputs: Vec<f32>,
+        class: usize,
+    ) -> Result<RequestHandle, ServeError> {
+        let Some(&(n_inputs, _)) = self.model_dims.get(model) else {
+            return Err(ServeError::UnknownModel {
+                model,
+                models: self.model_dims.len(),
+            });
+        };
         if class >= self.control.spf.len() {
             return Err(ServeError::UnknownClass {
                 class,
                 classes: self.control.spf.len(),
             });
         }
-        if inputs.len() != self.n_inputs {
+        if inputs.len() != n_inputs {
             return Err(ServeError::BadInput {
-                expected: self.n_inputs,
+                expected: n_inputs,
                 got: inputs.len(),
             });
         }
@@ -349,10 +528,20 @@ impl ServeRuntime {
             });
         }
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        // Solo runtimes key frames by the global sequence number (the
+        // original contract); packed runtimes key by the per-model
+        // counter so tenant streams match their solo equivalents.
+        let model_seq = if self.control.packed.is_some() {
+            self.model_seqs[model].fetch_add(1, Ordering::Relaxed)
+        } else {
+            seq
+        };
         let (handle, completer) = pair(seq);
         let job = Job {
             seq,
             class,
+            model,
+            model_seq,
             inputs,
             submitted: Instant::now(),
             completer,
@@ -364,6 +553,7 @@ impl ServeRuntime {
         match outcome {
             Ok(()) => {
                 self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+                self.metrics.record_model_submit(model);
                 Ok(handle)
             }
             Err(PushError::Full(_)) => {
@@ -479,15 +669,21 @@ fn apply_action(
                     "control action replicas must be >= 1".into(),
                 ));
             }
+            if control.packed.is_some() {
+                return Err(ServeError::BadConfig(
+                    "replica rescaling is unavailable on a packed multi-tenant runtime"
+                        .into(),
+                ));
+            }
             if r == control.replicas.load(Ordering::Relaxed) {
                 return Ok(());
             }
+            let spec = control.spec.as_ref().expect("solo runtime keeps its spec");
             // The same build a fresh runtime at `r` replicas performs, so
             // post-swap responses match that runtime bit for bit.
-            let dep =
-                Deployment::build_with_mode(&control.spec, r, cfg.seed, cfg.connectivity)?;
+            let dep = Deployment::build_with_mode(spec, r, cfg.seed, cfg.connectivity)?;
             let cores = dep.core_count();
-            *control.proto.lock().expect("proto lock") = Arc::new(dep);
+            *control.proto.lock().expect("proto lock") = Some(Arc::new(dep));
             control.replicas.store(r, Ordering::Relaxed);
             control.cores.store(cores, Ordering::Relaxed);
             // Release pairs with the workers' Acquire epoch read: a worker
@@ -516,6 +712,25 @@ fn apply_action(
             Ok(())
         }
     }
+}
+
+/// One live spf slot per request class. Without configured spf classes
+/// there is a single class pinned at `cfg.spf`; with them, each class
+/// starts at `cfg.spf` clamped into its bounds.
+fn spf_setup(cfg: &ServeConfig) -> (Vec<SpfClass>, Vec<AtomicUsize>) {
+    let spf_bounds: Vec<SpfClass> = cfg
+        .controller
+        .as_ref()
+        .filter(|c| !c.spf_classes.is_empty())
+        .map_or_else(
+            || vec![SpfClass::new(cfg.spf, cfg.spf)],
+            |c| c.spf_classes.clone(),
+        );
+    let spf: Vec<AtomicUsize> = spf_bounds
+        .iter()
+        .map(|b| AtomicUsize::new(b.clamp(cfg.spf)))
+        .collect();
+    (spf_bounds, spf)
 }
 
 /// Everything the observer thread needs.
@@ -664,6 +879,22 @@ fn assemble_snapshot(ctx: &ObserverCtx, seq: u64, now_ns: u64) -> Snapshot {
             "serve.mean_agreement",
             f64::from(mean_agreement.unwrap_or(0.0)),
         );
+    // Per tenant model: submission/completion/tick counters plus mean
+    // agreement. Solo runtimes export a single `serve.model.0.*` family
+    // whose counters mirror the global ones, so consumers can treat the
+    // per-model dimension as always present; on packed runtimes the
+    // model completion counters sum to `serve.completed`.
+    for m in 0..ctx.metrics.n_models() {
+        let (submitted, completed, ticks, agreement_micros) = ctx.metrics.model_progress(m);
+        let mean = Metrics::window_agreement((0, 0), (completed, agreement_micros));
+        snap.counter(&format!("serve.model.{m}.submitted"), submitted)
+            .counter(&format!("serve.model.{m}.completed"), completed)
+            .counter(&format!("serve.model.{m}.ticks"), ticks)
+            .gauge(
+                &format!("serve.model.{m}.mean_agreement"),
+                f64::from(mean.unwrap_or(0.0)),
+            );
+    }
     // Live spf per request class: `serve.spf` is class 0 (the default
     // class every plain submit lands in); further classes get suffixed
     // gauges.
@@ -699,9 +930,13 @@ fn worker_loop(
     control: &ControlState,
     telemetry: Option<WorkerTelemetry>,
 ) {
+    if let Some(packed) = &control.packed {
+        packed_worker_loop(worker, cfg, queue, metrics, control, telemetry, packed);
+        return;
+    }
     let mut dep: Deployment = {
         let proto = control.proto.lock().expect("proto lock");
-        (**proto).clone()
+        (**proto.as_ref().expect("solo runtime has a prototype")).clone()
     };
     // Frames run on the deployment's compiled fast path (built once in the
     // prototype and shared by every worker clone); `core_threads` optionally
@@ -730,7 +965,7 @@ fn worker_loop(
             metrics.fold_chip(&dep.counter_export().delta_since(&last_export));
             dep = {
                 let proto = control.proto.lock().expect("proto lock");
-                (**proto).clone()
+                (**proto.as_ref().expect("solo runtime has a prototype")).clone()
             };
             dep.set_parallelism(cfg.core_threads);
             last_export = dep.counter_export();
@@ -775,6 +1010,7 @@ fn worker_loop(
                 let response = tally(
                     job.seq,
                     job.class,
+                    job.model,
                     spf,
                     worker,
                     votes.ticks,
@@ -785,6 +1021,7 @@ fn worker_loop(
                 metrics.record_completion(
                     worker,
                     job.class,
+                    job.model,
                     votes.ticks,
                     response.latency,
                     response.agreement,
@@ -804,12 +1041,132 @@ fn worker_loop(
     metrics.fold_chip(&dep.counter_export().delta_since(&last_export));
 }
 
+/// The packed multi-tenant worker loop: same batching, telemetry, and
+/// counter folding as the solo loop, but one clone of the whole
+/// [`PackedDeployment`] serves every tenant, frame seeds come from the
+/// per-model submission index, and a kernel chunk may mix models — the
+/// packed `run_frames` buckets them into per-tenant lane groups ticked in
+/// the same lockstep pass. There is no epoch check: packed prototypes
+/// never swap (replica rescaling is rejected up front).
+fn packed_worker_loop(
+    worker: usize,
+    cfg: &ServeConfig,
+    queue: &BoundedQueue<Job>,
+    metrics: &Metrics,
+    control: &ControlState,
+    telemetry: Option<WorkerTelemetry>,
+    proto: &Arc<PackedDeployment>,
+) {
+    let mut dep: PackedDeployment = (**proto).clone();
+    dep.set_parallelism(cfg.core_threads);
+    let mut batch: Vec<Job> = Vec::with_capacity(cfg.batch_max);
+    let mut last_export = dep.counter_export();
+    loop {
+        let drain_from = telemetry.as_ref().map(|t| t.clock.now_ns());
+        if !queue.pop_batch(cfg.batch_max, &mut batch) {
+            break;
+        }
+        if let (Some(t), Some(t0)) = (&telemetry, drain_from) {
+            let now = t.clock.now_ns();
+            t.spans.record(Stage::Drain, t0, now.saturating_sub(t0));
+            if let Some(wait) = batch.iter().map(|j| j.submitted.elapsed()).max() {
+                let ns = u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX);
+                t.spans.record(Stage::Enqueue, now.saturating_sub(ns), ns);
+            }
+        }
+        metrics.batches.fetch_add(1, Ordering::Relaxed);
+        while !batch.is_empty() {
+            // `kernel_batch` is a *per-tenant* fusion width here: one
+            // grouped pass takes up to `width` frames of every model, so
+            // each tenant's lane occupancy — and with it the per-model
+            // crossbar amortization — matches a solo runtime's at the
+            // same setting, while the tenants split the fixed per-pass
+            // cost. Slicing model-blind would instead divide the lanes
+            // among tenants and serve fewer frames per crossbar walk
+            // than the solo runtimes being consolidated.
+            let width = control.kernel_batch.load(Ordering::Relaxed).max(1);
+            let mut taken = vec![0usize; dep.models()];
+            let mut chunk: Vec<Job> = Vec::new();
+            let mut rest: Vec<Job> = Vec::with_capacity(batch.len());
+            for job in batch.drain(..) {
+                if taken[job.model] < width {
+                    taken[job.model] += 1;
+                    chunk.push(job);
+                } else {
+                    rest.push(job);
+                }
+            }
+            batch = rest;
+            let spfs: Vec<usize> = chunk
+                .iter()
+                .map(|job| control.spf[job.class].load(Ordering::Relaxed).max(1))
+                .collect();
+            // The per-model submission index plays the role the global
+            // sequence number plays solo, so tenant m's k-th request is
+            // seeded exactly as a solo runtime's k-th request.
+            let frames: Vec<PackedFrame> = chunk
+                .iter()
+                .zip(&spfs)
+                .map(|(job, &spf)| {
+                    let frame_seed =
+                        splitmix64(cfg.seed ^ job.model_seq.wrapping_mul(0x9E37_79B9));
+                    PackedFrame {
+                        model: job.model,
+                        frame: FrameInput::new(&job.inputs, spf, frame_seed),
+                    }
+                })
+                .collect();
+            let kernel_from = telemetry.as_ref().map(|t| t.clock.now_ns());
+            let results = dep.run_frames(&frames);
+            if let (Some(t), Some(t0)) = (&telemetry, kernel_from) {
+                t.spans
+                    .record(Stage::Kernel, t0, t.clock.now_ns().saturating_sub(t0));
+            }
+            metrics.kernel_batches.fetch_add(1, Ordering::Relaxed);
+            drop(frames);
+            let vote_from = telemetry.as_ref().map(|t| t.clock.now_ns());
+            for ((job, votes), spf) in chunk.into_iter().zip(results).zip(spfs) {
+                let n_classes = dep.model(job.model).n_classes();
+                let response = tally(
+                    job.seq,
+                    job.class,
+                    job.model,
+                    spf,
+                    worker,
+                    votes.ticks,
+                    n_classes,
+                    &votes.counts,
+                    job.submitted,
+                );
+                metrics.record_completion(
+                    worker,
+                    job.class,
+                    job.model,
+                    votes.ticks,
+                    response.latency,
+                    response.agreement,
+                );
+                job.completer.complete(Ok(response));
+            }
+            if let (Some(t), Some(t0)) = (&telemetry, vote_from) {
+                t.spans
+                    .record(Stage::Vote, t0, t.clock.now_ns().saturating_sub(t0));
+            }
+        }
+        let export = dep.counter_export();
+        metrics.fold_chip(&export.delta_since(&last_export));
+        last_export = export;
+    }
+    metrics.fold_chip(&dep.counter_export().delta_since(&last_export));
+}
+
 /// Pool replica votes into a [`Response`]. Ties break toward the lowest
 /// class index, which keeps tallies deterministic.
 #[allow(clippy::too_many_arguments)]
 fn tally(
     seq: u64,
     class: usize,
+    model: usize,
     spf: usize,
     worker: usize,
     ticks: u64,
@@ -842,6 +1199,7 @@ fn tally(
         replica_predictions,
         agreement: agreeing as f32 / replicas.max(1) as f32,
         class,
+        model,
         spf,
         worker,
         ticks,
@@ -871,6 +1229,28 @@ mod tests {
             n_inputs: 2,
             n_classes: 2,
             output_taps: vec![(0, 0, 0), (0, 1, 1)],
+        }
+    }
+
+    /// 3-input, 3-class single-core spec (identity ±1 weights) — a second
+    /// tenant with a *different* shape from [`xor_free_spec`].
+    fn three_class_spec() -> NetworkDeploySpec {
+        NetworkDeploySpec {
+            cores: vec![CoreDeploySpec {
+                layer: 0,
+                weights: vec![1.0, -1.0, -1.0, -1.0, 1.0, -1.0, -1.0, -1.0, 1.0],
+                n_axons: 3,
+                n_neurons: 3,
+                biases: vec![-0.5, -0.5, -0.5],
+                axon_sources: vec![
+                    InputSource::External(0),
+                    InputSource::External(1),
+                    InputSource::External(2),
+                ],
+            }],
+            n_inputs: 3,
+            n_classes: 3,
+            output_taps: vec![(0, 0, 0), (0, 1, 1), (0, 2, 2)],
         }
     }
 
@@ -1279,6 +1659,120 @@ mod tests {
     }
 
     #[test]
+    fn packed_runtime_matches_solo_runtimes_bit_for_bit() {
+        // Two different-shaped tenants on one packed chip, submissions
+        // interleaved across models: every tenant's responses must equal
+        // a solo runtime serving that spec alone at the same config.
+        let cfg = || {
+            ServeConfig::builder(17)
+                .replicas(2)
+                .workers(2)
+                .batch_max(4)
+                .build()
+                .expect("cfg")
+        };
+        let specs = [xor_free_spec(), three_class_spec()];
+        let packed = ServeRuntime::new_packed(&specs, cfg()).expect("packed runtime");
+        assert!(packed.is_packed());
+        assert_eq!(packed.models(), 2);
+        assert_eq!(packed.model_n_inputs(0), Some(2));
+        assert_eq!(packed.model_n_inputs(1), Some(3));
+        assert_eq!(packed.model_n_classes(1), Some(3));
+        let mut handles = Vec::new();
+        for i in 0..12 {
+            let x = (i % 5) as f32 / 4.0;
+            handles.push((0usize, packed.submit_model(0, vec![x, 1.0 - x]).expect("submit")));
+            let y = (i % 3) as f32 / 2.0;
+            handles.push((
+                1usize,
+                packed.submit_model(1, vec![y, 1.0 - y, 0.5]).expect("submit"),
+            ));
+        }
+        let mut got: Vec<Vec<_>> = vec![Vec::new(), Vec::new()];
+        for (m, h) in handles {
+            let r = h.wait().expect("serve");
+            assert_eq!(r.model, m, "response must name its tenant");
+            got[m].push((r.predicted, r.votes, r.replica_predictions, r.spf, r.ticks));
+        }
+        packed.shutdown();
+        for (m, spec) in specs.iter().enumerate() {
+            let rt = ServeRuntime::new(spec, cfg()).expect("solo");
+            let handles: Vec<_> = (0..12)
+                .map(|i| {
+                    if m == 0 {
+                        let x = (i % 5) as f32 / 4.0;
+                        rt.submit(vec![x, 1.0 - x]).expect("submit")
+                    } else {
+                        let y = (i % 3) as f32 / 2.0;
+                        rt.submit(vec![y, 1.0 - y, 0.5]).expect("submit")
+                    }
+                })
+                .collect();
+            let want: Vec<_> = handles
+                .into_iter()
+                .map(|h| {
+                    let r = h.wait().expect("serve");
+                    (r.predicted, r.votes, r.replica_predictions, r.spf, r.ticks)
+                })
+                .collect();
+            rt.shutdown();
+            assert_eq!(got[m], want, "tenant {m} diverges from its solo runtime");
+        }
+    }
+
+    #[test]
+    fn packed_runtime_validates_models_and_rejects_rescale() {
+        let specs = [xor_free_spec(), three_class_spec()];
+        let rt = ServeRuntime::new_packed(&specs, ServeConfig::new(3)).expect("packed");
+        assert_eq!(
+            rt.submit_model(2, vec![0.5, 0.5]).unwrap_err(),
+            ServeError::UnknownModel { model: 2, models: 2 }
+        );
+        assert_eq!(
+            rt.submit_model(1, vec![0.5, 0.5]).unwrap_err(),
+            ServeError::BadInput { expected: 3, got: 2 },
+            "width is checked against the named tenant"
+        );
+        assert!(matches!(
+            rt.apply_control(&ControlAction::SetReplicas(2)),
+            Err(ServeError::BadConfig(msg)) if msg.contains("packed")
+        ));
+        rt.apply_control(&ControlAction::SetKernelBatch(4))
+            .expect("kernel-batch actuator still works packed");
+        let r = rt
+            .submit_model(1, vec![1.0, 0.0, 0.0])
+            .expect("submit")
+            .wait()
+            .expect("serve");
+        assert_eq!((r.model, r.predicted), (1, 0));
+        let snap = rt.shutdown();
+        assert_eq!(snap.completed, 1);
+        assert!(
+            ServeRuntime::new_packed(&[], ServeConfig::new(3)).is_err(),
+            "empty spec list is refused"
+        );
+    }
+
+    #[test]
+    fn solo_runtime_serves_model_zero_only() {
+        let rt = runtime(ServeConfig::new(4));
+        assert!(!rt.is_packed());
+        assert_eq!(rt.models(), 1);
+        assert_eq!(
+            rt.submit_model(1, vec![0.5, 0.5]).unwrap_err(),
+            ServeError::UnknownModel { model: 1, models: 1 }
+        );
+        // submit_model(0, ..) is the plain submit path.
+        let r = rt
+            .submit_model(0, vec![1.0, 0.0])
+            .expect("submit")
+            .wait()
+            .expect("serve");
+        assert_eq!((r.model, r.predicted), (0, 0));
+        rt.shutdown();
+    }
+
+    #[test]
     fn telemetry_sink_receives_final_snapshot_with_serve_counters() {
         let sink = Arc::new(MemorySink::new());
         let cfg = ServeConfig::builder(9)
@@ -1301,6 +1795,10 @@ mod tests {
         assert!(!sink.is_empty(), "shutdown must flush a final snapshot");
         assert_eq!(sink.last_counter("serve.completed"), Some(12));
         assert_eq!(sink.last_counter("serve.submitted"), Some(12));
+        // The per-model dimension is always exported; on a solo runtime
+        // model 0 mirrors the global counters.
+        assert_eq!(sink.last_counter("serve.model.0.completed"), Some(12));
+        assert_eq!(sink.last_counter("serve.model.0.submitted"), Some(12));
         assert!(sink.last_counter("chip.synaptic_ops").unwrap_or(0) > 0);
         let last = sink.snapshots().pop().expect("snapshot");
         assert_eq!(last.gauges.get("serve.replicas"), Some(&2.0));

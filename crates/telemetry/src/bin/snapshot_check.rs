@@ -2,14 +2,20 @@
 //! as a `tn-telemetry/1` snapshot, at least `--min N` (default 1)
 //! snapshots must be present, and any sparsity observability fields
 //! (`serve.spike_density`, `serve.rows_skipped`, `chip.axon_visits`,
-//! `chip.axon_slots`) must be internally consistent. With
+//! `chip.axon_slots`) must be internally consistent. Per-tenant
+//! counters, when present, must tile the global serve family: the
+//! `serve.model.{m}.submitted/completed/ticks` counters of all tenants
+//! must sum to `serve.submitted`/`serve.completed`/`serve.ticks`. With
 //! `--require-sparsity`, at least one snapshot must actually carry
 //! sparse-walk activity (a compiled-backend serving run always does).
+//! With `--models N`, every snapshot must carry exactly `N` tenants'
+//! counter families (a packed serving run exports one per tenant).
 //! Used by `scripts/verify.sh` to smoke-test `serve_throughput
 //! --telemetry`.
 //!
-//! Usage: `snapshot_check <file.jsonl> [--min N] [--require-sparsity]`
-//! (pass `-` to read stdin). Exits non-zero on any violation.
+//! Usage: `snapshot_check <file.jsonl> [--min N] [--require-sparsity]
+//! [--models N]` (pass `-` to read stdin). Exits non-zero on any
+//! violation.
 
 use std::io::Read;
 
@@ -25,6 +31,7 @@ fn main() {
     let mut path: Option<String> = None;
     let mut min: u64 = 1;
     let mut require_sparsity = false;
+    let mut models: Option<usize> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -37,8 +44,21 @@ fn main() {
                     .unwrap_or_else(|_| fail(&format!("--min {value:?} is not an integer")));
             }
             "--require-sparsity" => require_sparsity = true,
+            "--models" => {
+                let value = iter
+                    .next()
+                    .unwrap_or_else(|| fail("--models requires a value"));
+                models = Some(
+                    value
+                        .parse()
+                        .unwrap_or_else(|_| fail(&format!("--models {value:?} is not an integer"))),
+                );
+            }
             "--help" | "-h" => {
-                println!("usage: snapshot_check <file.jsonl | -> [--min N] [--require-sparsity]");
+                println!(
+                    "usage: snapshot_check <file.jsonl | -> [--min N] [--require-sparsity] \
+                     [--models N]"
+                );
                 return;
             }
             other if path.is_none() => path = Some(other.to_string()),
@@ -70,6 +90,7 @@ fn main() {
                 count += 1;
                 max_seq = max_seq.max(snap.seq);
                 check_sparsity(&snap, lineno + 1);
+                check_models(&snap, models, lineno + 1);
                 if snap.counters.get("chip.axon_slots").copied().unwrap_or(0) > 0 {
                     saw_sparsity = true;
                 }
@@ -84,6 +105,52 @@ fn main() {
         fail("no snapshot carried sparse-walk activity (chip.axon_slots stayed 0)");
     }
     println!("snapshot_check: {count} valid snapshot(s), max seq {max_seq}");
+}
+
+/// Per-tenant counters must tile the global serve family: summed over
+/// every `serve.model.{m}.*` family present, submitted/completed/ticks
+/// must equal their `serve.*` totals (a request is served by exactly one
+/// tenant). With `expected = Some(n)`, exactly `n` tenant families must
+/// be present — the packed-smoke contract in `scripts/verify.sh`.
+fn check_models(snap: &Snapshot, expected: Option<usize>, lineno: usize) {
+    let mut n_models = 0usize;
+    while snap
+        .counters
+        .contains_key(&format!("serve.model.{n_models}.completed"))
+    {
+        n_models += 1;
+    }
+    if let Some(expect) = expected {
+        if n_models != expect {
+            fail(&format!(
+                "line {lineno}: expected {expect} tenant counter families, found {n_models}"
+            ));
+        }
+    }
+    if n_models == 0 {
+        return;
+    }
+    for field in ["submitted", "completed", "ticks"] {
+        let total = snap
+            .counters
+            .get(&format!("serve.{field}"))
+            .copied()
+            .unwrap_or(0);
+        let tiled: u64 = (0..n_models)
+            .map(|m| {
+                snap.counters
+                    .get(&format!("serve.model.{m}.{field}"))
+                    .copied()
+                    .unwrap_or(0)
+            })
+            .sum();
+        if tiled != total {
+            fail(&format!(
+                "line {lineno}: per-model serve.model.*.{field} sums to {tiled} \
+                 but serve.{field} is {total}"
+            ));
+        }
+    }
 }
 
 /// Internal consistency of the sparse-walk observability fields, wherever

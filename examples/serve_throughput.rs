@@ -26,6 +26,18 @@
 //! parse/serialize cost and a real socket round trip. The cells land in
 //! the JSON summary under `gateway_cells`.
 //!
+//! Pass `--packed [trail.jsonl]` to run the **consolidation benchmark**:
+//! train a second test bench (bench 5) and serve both models once as two
+//! solo runtimes splitting the worker pool, and once consolidated onto a
+//! single packed chip serving the full pool
+//! ([`truenorth::serving::serve_packed_networks`]). Both cells serve the
+//! identical closed-loop workload at equal total worker threads; the
+//! packed runtime must win on aggregate req/s while each tenant's
+//! accuracy stays *exactly* equal to its solo run (responses are
+//! bit-identical by construction). The cells land in the JSON summary
+//! under `consolidation_cells`; with a trail path given, the packed run
+//! exports per-tenant `serve.model.{id}.*` telemetry there.
+//!
 //! Knobs: `TN_SERVE_REQUESTS` (default 1000), `TN_SERVE_WORKERS` (2),
 //! `TN_SERVE_SPF` (8), `TN_SERVE_JSON` (write a machine-readable summary
 //! to this path), plus the usual `TN_TRAIN`/`TN_TEST`/`TN_EPOCHS`.
@@ -336,6 +348,216 @@ fn adaptive_spf_cell(
     ))
 }
 
+/// One consolidation measurement: a fixed two-model workload served at
+/// a fixed total worker-thread budget, either split across two solo
+/// runtimes or consolidated onto one packed chip.
+struct ConsolidationCell {
+    mode: &'static str,
+    models_per_chip: usize,
+    workers_total: usize,
+    requests: u64,
+    aggregate_rps: f64,
+    accuracy: [f32; 2],
+    joules_per_frame: f64,
+}
+
+/// Serve `n_per_model` requests against each of two nets through solo
+/// runtimes driven concurrently (each with `workers_each` workers), and
+/// return (per-model correct counts, joules/frame summed over chips).
+fn solo_split_run(
+    nets: [&Network; 2],
+    datasets: [&BenchData; 2],
+    workers_each: usize,
+    spf: usize,
+    n_per_model: usize,
+) -> Result<([u64; 2], f64), Box<dyn std::error::Error>> {
+    let cfg = || {
+        ServeConfig::builder(SEED)
+            .replicas(2)
+            .workers(workers_each)
+            .spf(spf)
+            .queue_capacity(512)
+            .batch_max(32)
+            .kernel_batch(8)
+            .build()
+    };
+    let mut correct = [0u64; 2];
+    let mut joules = 0.0f64;
+    std::thread::scope(|scope| -> Result<(), Box<dyn std::error::Error>> {
+        let mut drivers = Vec::new();
+        for m in 0..2 {
+            let serve_cfg = cfg()?;
+            let (net, data) = (nets[m], datasets[m]);
+            drivers.push(scope.spawn(move || -> Result<(u64, f64), String> {
+                let rt = serve_network(net, serve_cfg).map_err(|e| e.to_string())?;
+                let n_test = data.test_y.len();
+                let handles: Vec<_> = (0..n_per_model)
+                    .map(|i| rt.submit(data.test_x.row(i % n_test).to_vec()))
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| e.to_string())?;
+                let mut correct = 0u64;
+                for (i, h) in handles.into_iter().enumerate() {
+                    let r = h.wait().map_err(|e| e.to_string())?;
+                    if r.predicted == data.test_y[i % n_test] {
+                        correct += 1;
+                    }
+                }
+                let snap = rt.shutdown();
+                Ok((correct, snap.joules_per_frame()))
+            }));
+        }
+        for (m, driver) in drivers.into_iter().enumerate() {
+            let (c, j) = driver.join().expect("solo driver")?;
+            correct[m] = c;
+            joules += j / 2.0; // mean over the two chips
+        }
+        Ok(())
+    })?;
+    Ok((correct, joules))
+}
+
+/// The tentpole benchmark: two tenants consolidated onto one chip vs the
+/// same workload split across two solo runtimes at equal total worker
+/// threads. Also asserts per-tenant accuracy equality (bit-identity) and
+/// — at meaningful request counts — the aggregate-throughput win.
+fn consolidation_sweep(
+    net_a: &Network,
+    data_a: &BenchData,
+    scale: &RunScale,
+    workers: usize,
+    spf: usize,
+    n_requests: usize,
+    trail: Option<&str>,
+) -> Result<Vec<ConsolidationCell>, Box<dyn std::error::Error>> {
+    println!("\n== consolidation: two models, one chip vs split solo runtimes ==");
+    let bench_b = TestBench::new(5, SEED);
+    let data_b = bench_b.load_data(scale, SEED);
+    let (net_b, _) = bench_b.train(&data_b, Penalty::None, scale.epochs, SEED)?;
+
+    let n_per_model = (n_requests / 2).max(1);
+    let workers_each = (workers / 2).max(1);
+    let total = 2 * n_per_model;
+
+    // Baseline: two solo runtimes splitting the worker pool, driven
+    // concurrently. Wall clock covers both streams end to end.
+    let t0 = Instant::now();
+    let (solo_correct, solo_joules) = solo_split_run(
+        [net_a, &net_b],
+        [data_a, &data_b],
+        workers_each,
+        spf,
+        n_per_model,
+    )?;
+    let solo_wall = t0.elapsed();
+
+    // Consolidated: one packed runtime owning the full pool; any worker
+    // serves any tenant, and a kernel batch mixes tenants into the same
+    // lockstep pass through per-model lane groups.
+    let mut builder = ServeConfig::builder(SEED)
+        .replicas(2)
+        .workers(workers)
+        .spf(spf)
+        .queue_capacity(512)
+        .batch_max(32)
+        .kernel_batch(8);
+    if trail.is_some() {
+        builder = builder.telemetry(TelemetryConfig {
+            interval: Duration::from_millis(20),
+            ..TelemetryConfig::default()
+        });
+    }
+    let specs = [extract_spec(net_a)?, extract_spec(&net_b)?];
+    let rt = match trail {
+        Some(path) => serve_packed_specs_with_sink(
+            &specs,
+            builder.build()?,
+            Arc::new(JsonLinesSink::new(File::create(path)?)) as Arc<dyn MetricsSink>,
+        )?,
+        None => serve_packed_specs(&specs, builder.build()?)?,
+    };
+    let datasets = [data_a, &data_b];
+    let t0 = Instant::now();
+    let mut handles = Vec::with_capacity(total);
+    for i in 0..n_per_model {
+        for (m, data) in datasets.iter().enumerate() {
+            let n_test = data.test_y.len();
+            handles.push((m, i, rt.submit_model(m, data.test_x.row(i % n_test).to_vec())?));
+        }
+    }
+    let mut packed_correct = [0u64; 2];
+    for (m, i, h) in handles {
+        let r = h.wait()?;
+        let data = datasets[m];
+        if r.predicted == data.test_y[i % data.test_y.len()] {
+            packed_correct[m] += 1;
+        }
+    }
+    let packed_wall = t0.elapsed();
+    let snap = rt.shutdown();
+    assert_eq!(snap.completed, total as u64, "drain served everything");
+
+    // Bit-identity, observed end to end: tenant m's k-th request saw the
+    // same frame seed in both runs, so per-model accuracy is *exactly*
+    // equal — consolidation costs zero accuracy.
+    assert_eq!(
+        packed_correct, solo_correct,
+        "packed tenants must match their solo runtimes prediction-for-prediction"
+    );
+
+    let acc = |correct: [u64; 2]| {
+        [
+            correct[0] as f32 / n_per_model as f32,
+            correct[1] as f32 / n_per_model as f32,
+        ]
+    };
+    let cells = vec![
+        ConsolidationCell {
+            mode: "solo_split",
+            models_per_chip: 1,
+            workers_total: 2 * workers_each,
+            requests: total as u64,
+            aggregate_rps: total as f64 / solo_wall.as_secs_f64(),
+            accuracy: acc(solo_correct),
+            joules_per_frame: solo_joules,
+        },
+        ConsolidationCell {
+            mode: "packed",
+            models_per_chip: 2,
+            workers_total: workers,
+            requests: total as u64,
+            aggregate_rps: total as f64 / packed_wall.as_secs_f64(),
+            accuracy: acc(packed_correct),
+            joules_per_frame: snap.joules_per_frame(),
+        },
+    ];
+    println!(
+        "\n{:<12} {:>12} {:>8} {:>11} {:>10} {:>10} {:>12}",
+        "mode", "models/chip", "workers", "req/s", "acc bench1", "acc bench5", "J/frame"
+    );
+    for c in &cells {
+        println!(
+            "{:<12} {:>12} {:>8} {:>11.1} {:>10.4} {:>10.4} {:>12.3e}",
+            c.mode,
+            c.models_per_chip,
+            c.workers_total,
+            c.aggregate_rps,
+            c.accuracy[0],
+            c.accuracy[1],
+            c.joules_per_frame,
+        );
+    }
+    let ratio = cells[1].aggregate_rps / cells[0].aggregate_rps;
+    println!("consolidation ratio (packed / solo_split): {ratio:.2}x aggregate req/s");
+    if n_per_model >= 100 {
+        assert!(
+            ratio > 1.0,
+            "packing two tenants onto one chip must beat split solo runtimes \
+             at equal total workers ({ratio:.2}x)"
+        );
+    }
+    Ok(cells)
+}
+
 /// Smallest replica count in the sweep reaching `target` accuracy.
 fn replicas_needed(cells: &[Cell], model: &str, target: f32) -> Option<usize> {
     cells
@@ -416,6 +638,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .unwrap_or_else(|| "tn_serve_telemetry.jsonl".into())
     });
     let over_the_wire = args.iter().any(|a| a == "--gateway");
+    // `--packed [trail.jsonl]` enables the consolidation benchmark; the
+    // optional path receives the packed run's telemetry trail.
+    let packed_at = args.iter().position(|a| a == "--packed");
+    let packed_trail: Option<String> = packed_at.and_then(|i| {
+        args.get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+    });
     let scale = RunScale {
         n_train: env_usize("TN_TRAIN", 1200),
         n_test: env_usize("TN_TEST", 300),
@@ -513,6 +743,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
+
+    // Multi-tenant consolidation: both models on one packed chip vs two
+    // solo runtimes splitting the same worker budget.
+    let consolidation_cells = if packed_at.is_some() {
+        consolidation_sweep(
+            &biased.network,
+            &data,
+            &scale,
+            workers,
+            spf,
+            n_requests,
+            packed_trail.as_deref(),
+        )?
+    } else {
+        Vec::new()
+    };
 
     // Controller-driven spf: same stream, fixed spf vs the adaptive
     // actuator halving toward the class floor while agreement runs high.
@@ -636,6 +882,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             format!(",\n  \"gateway_cells\": [\n{}\n  ]", fmt_rows(&gateway_cells))
         };
+        let consolidation_rows = if consolidation_cells.is_empty() {
+            String::new()
+        } else {
+            let mut rows = String::new();
+            for (i, c) in consolidation_cells.iter().enumerate() {
+                if i > 0 {
+                    rows.push_str(",\n");
+                }
+                rows.push_str(&format!(
+                    "    {{\"mode\": \"{}\", \"models_per_chip\": {}, \"workers_total\": {}, \"requests\": {}, \"aggregate_req_per_sec\": {:.1}, \"accuracy_bench1\": {:.4}, \"accuracy_bench5\": {:.4}, \"joules_per_frame\": {:.4e}}}",
+                    c.mode,
+                    c.models_per_chip,
+                    c.workers_total,
+                    c.requests,
+                    c.aggregate_rps,
+                    c.accuracy[0],
+                    c.accuracy[1],
+                    c.joules_per_frame,
+                ));
+            }
+            format!(",\n  \"consolidation_cells\": [\n{rows}\n  ]")
+        };
         let fmt_needs = |n: usize| {
             if n == usize::MAX {
                 "null".to_string()
@@ -644,7 +912,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         };
         let json = format!(
-            "{{\n  \"bench\": 1,\n  \"seed\": {SEED},\n  \"spf\": {spf},\n  \"workers\": {workers},\n  \"requests_per_cell\": {n_requests},\n  \"float_accuracy\": {{\"tea\": {:.4}, \"biased\": {:.4}}},\n  \"replicas_needed_for_recovery\": {{\"tea\": {}, \"biased\": {}}},\n  \"cells\": [\n{rows}\n  ]{adaptive_rows}{gateway_rows}\n}}\n",
+            "{{\n  \"bench\": 1,\n  \"seed\": {SEED},\n  \"spf\": {spf},\n  \"workers\": {workers},\n  \"requests_per_cell\": {n_requests},\n  \"float_accuracy\": {{\"tea\": {:.4}, \"biased\": {:.4}}},\n  \"replicas_needed_for_recovery\": {{\"tea\": {}, \"biased\": {}}},\n  \"cells\": [\n{rows}\n  ]{adaptive_rows}{gateway_rows}{consolidation_rows}\n}}\n",
             tea.float_accuracy,
             biased.float_accuracy,
             fmt_needs(tea_needs),

@@ -25,14 +25,23 @@ TN_BENCH_TICKS=100 cargo run --release -q -p tn-bench --bin bench_tick -- --spar
 echo "== telemetry smoke: adaptive serve exports valid snapshots =="
 TELEMETRY_OUT="$(mktemp /tmp/tn_verify_telemetry.XXXXXX.jsonl)"
 GATEWAY_TRAIL="$(mktemp /tmp/tn_verify_gateway.XXXXXX.jsonl)"
-trap 'rm -f "$TELEMETRY_OUT" "$GATEWAY_TRAIL"' EXIT
+PACKED_TRAIL="$(mktemp /tmp/tn_verify_packed.XXXXXX.jsonl)"
+trap 'rm -f "$TELEMETRY_OUT" "$GATEWAY_TRAIL" "$PACKED_TRAIL"' EXIT
+# --packed also runs the two-tenant consolidation sweep, which asserts
+# per-tenant bit-identity with solo runtimes and (at >= 100 requests per
+# model) that the packed runtime beats the split-solo baseline on
+# aggregate throughput at equal total worker threads.
 TN_TRAIN=200 TN_TEST=60 TN_EPOCHS=1 TN_SERVE_REQUESTS=200 \
   cargo run --release -q -p truenorth --example serve_throughput -- \
-  --telemetry "$TELEMETRY_OUT"
+  --telemetry "$TELEMETRY_OUT" --packed "$PACKED_TRAIL"
 # --require-sparsity: a compiled-backend serving run must report
 # sparse-walk activity (chip.axon_slots > 0) in its snapshots.
 cargo run --release -q -p tn-telemetry --bin snapshot_check -- \
   "$TELEMETRY_OUT" --min 1 --require-sparsity
+# --models 2: the packed trail must export exactly two tenants' counter
+# families, and they must tile the global serve.* totals.
+cargo run --release -q -p tn-telemetry --bin snapshot_check -- \
+  "$PACKED_TRAIL" --min 1 --models 2
 
 echo "== gateway smoke: wire serving, load shedding, graceful drain =="
 # The demo asserts: concurrent std-TCP clients all served 200, at least

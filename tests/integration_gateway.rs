@@ -41,9 +41,47 @@ fn request_inputs(i: usize) -> Vec<f32> {
     vec![x, 1.0 - x]
 }
 
+/// A three-input 2-class spec, distinguishable from [`fractional_spec`]
+/// by frame width — the second tenant of the packed-gateway tests.
+fn three_input_spec() -> NetworkDeploySpec {
+    NetworkDeploySpec {
+        cores: vec![CoreDeploySpec {
+            layer: 0,
+            weights: vec![0.9, -0.3, -0.3, 0.9, 0.5, -0.5],
+            n_axons: 3,
+            n_neurons: 2,
+            biases: vec![-0.4, -0.4],
+            axon_sources: vec![
+                InputSource::External(0),
+                InputSource::External(1),
+                InputSource::External(2),
+            ],
+        }],
+        n_inputs: 3,
+        n_classes: 2,
+        output_taps: vec![(0, 0, 0), (0, 1, 1)],
+    }
+}
+
 fn classify_body(frame: &[f32]) -> String {
     let nums: Vec<String> = frame.iter().map(|v| v.to_string()).collect();
     format!("{{\"frame\":[{}]}}", nums.join(","))
+}
+
+fn classify_body_model(frame: &[f32], model: usize) -> String {
+    let nums: Vec<String> = frame.iter().map(|v| v.to_string()).collect();
+    format!("{{\"frame\":[{}],\"model\":{model}}}", nums.join(","))
+}
+
+/// Serialize a keep-alive `POST /v1/classify` addressed to a tenant.
+fn classify_request_model(frame: &[f32], model: usize) -> Vec<u8> {
+    let body = classify_body_model(frame, model);
+    format!(
+        "POST /v1/classify HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .into_bytes()
 }
 
 /// Serialize a keep-alive `POST /v1/classify`.
@@ -423,6 +461,134 @@ fn snapshot_endpoint_serves_the_telemetry_trail() {
     );
     drop(client);
     gw.shutdown();
+}
+
+#[test]
+fn packed_gateway_routes_models_and_rejects_unknown_ids() {
+    // One gateway serving two tenants of one packed chip. The wire
+    // contract: the "model" key picks the tenant (default 0), responses
+    // echo the tenant id, an out-of-range id is a structured 400
+    // `unknown_model`, a wrong-width frame is still `bad_input` naming
+    // the *tenant's* width, and each tenant's answers are bit-identical
+    // to a solo gateway serving that spec alone.
+    let specs = [fractional_spec(), three_input_spec()];
+    let cfg = || {
+        ServeConfig::builder(23)
+            .replicas(2)
+            .workers(2)
+            .build()
+            .expect("cfg")
+    };
+    let gw = Gateway::bind_packed("127.0.0.1:0", &specs, cfg(), GatewayConfig::default())
+        .expect("bind packed");
+
+    let mut client = TcpStream::connect(gw.local_addr()).expect("connect");
+    let frames_a: Vec<Vec<f32>> = (0..4).map(request_inputs).collect();
+    let frames_b: Vec<Vec<f32>> = (0..4)
+        .map(|i| {
+            let x = (i % 5) as f32 / 4.0;
+            vec![x, 1.0 - x, 0.5]
+        })
+        .collect();
+    // Interleave tenants on one connection; per-model submission order
+    // (not global order) is the determinism key.
+    for i in 0..4 {
+        client
+            .write_all(&classify_request_model(&frames_a[i], 0))
+            .expect("send model 0");
+        client
+            .write_all(&classify_request_model(&frames_b[i], 1))
+            .expect("send model 1");
+    }
+    // Error paths: tenant 2 does not exist; tenant 1 is 3 inputs wide.
+    client
+        .write_all(&classify_request_model(&frames_a[0], 2))
+        .expect("send unknown model");
+    client
+        .write_all(&classify_request_model(&frames_a[0], 1))
+        .expect("send wrong width");
+    let responses = read_responses(&mut client, 10);
+    drop(client);
+
+    for (i, resp) in responses[..8].iter().enumerate() {
+        assert_eq!(resp.status, 200, "request {i}: {}", resp.body);
+        let v = resp.json();
+        assert_eq!(
+            v.get("model").unwrap().as_u64(),
+            Some((i % 2) as u64),
+            "response must echo the tenant id"
+        );
+    }
+    let unknown = &responses[8];
+    assert_eq!(unknown.status, 400, "{}", unknown.body);
+    assert_eq!(
+        unknown
+            .json()
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(JsonValue::as_str),
+        Some("unknown_model")
+    );
+    assert!(
+        unknown.body.contains("0..2"),
+        "error names the valid id range: {}",
+        unknown.body
+    );
+    let wrong_width = &responses[9];
+    assert_eq!(wrong_width.status, 400, "{}", wrong_width.body);
+    assert_eq!(
+        wrong_width
+            .json()
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(JsonValue::as_str),
+        Some("bad_input")
+    );
+
+    // Config introspection lists every tenant and flags the packing.
+    let mut client = TcpStream::connect(gw.local_addr()).expect("connect");
+    client
+        .write_all(b"GET /v1/config HTTP/1.1\r\n\r\n")
+        .expect("send config");
+    let config = read_responses(&mut client, 1).remove(0).json();
+    drop(client);
+    assert_eq!(config.get("packed"), Some(&JsonValue::Bool(true)));
+    let models = config
+        .get("models")
+        .and_then(JsonValue::as_array)
+        .expect("models array");
+    assert_eq!(models.len(), 2);
+    assert_eq!(models[0].get("n_inputs").unwrap().as_u64(), Some(2));
+    assert_eq!(models[1].get("n_inputs").unwrap().as_u64(), Some(3));
+    let snap = gw.shutdown();
+    assert_eq!(snap.completed, 8);
+
+    // Bit-identity vs solo gateways: tenant m's k-th request must match
+    // a single-model gateway's k-th request for the same spec.
+    for (model, frames) in [(0usize, &frames_a), (1usize, &frames_b)] {
+        let solo = Gateway::bind("127.0.0.1:0", &specs[model], cfg(), GatewayConfig::default())
+            .expect("bind solo");
+        let mut client = TcpStream::connect(solo.local_addr()).expect("connect");
+        for frame in frames.iter() {
+            client.write_all(&classify_request(frame)).expect("send");
+        }
+        let solo_responses = read_responses(&mut client, 4);
+        drop(client);
+        solo.shutdown();
+        for (k, solo_resp) in solo_responses.iter().enumerate() {
+            let packed_resp = &responses[2 * k + model];
+            let (p, s) = (packed_resp.json(), solo_resp.json());
+            assert_eq!(
+                votes_of(&p),
+                votes_of(&s),
+                "tenant {model} request {k} diverged from solo"
+            );
+            assert_eq!(
+                p.get("predicted").unwrap().as_u64(),
+                s.get("predicted").unwrap().as_u64()
+            );
+        }
+    }
 }
 
 #[test]

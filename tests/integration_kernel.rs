@@ -17,6 +17,8 @@ use tn_chip::nscs::{
     ConnectivityMode, CoreDeploySpec, Deployment, FrameInput, InputSource, NetworkDeploySpec,
     Votes,
 };
+use tn_chip::pack::{PackedDeployment, PackedFrame};
+use tn_chip::placement::{PlacementError, ShelfAllocator};
 
 /// Axon rows the generator wires and injects (small for test speed; the
 /// kernel treats all 256 identically).
@@ -424,6 +426,210 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+}
+
+/// A two-layer / 2-class spec (depth 2) so the packed path exercises the
+/// pipeline-fill vote window (`t + 2 == depth` snapshots) and cross-core
+/// in-group routing, not just single-core output taps.
+fn deep_spec(weight: f32) -> NetworkDeploySpec {
+    NetworkDeploySpec {
+        cores: vec![
+            CoreDeploySpec {
+                layer: 0,
+                weights: vec![weight, -0.6, 0.5, weight],
+                n_axons: 2,
+                n_neurons: 2,
+                biases: vec![-0.3, -0.3],
+                axon_sources: vec![InputSource::External(0), InputSource::External(1)],
+            },
+            CoreDeploySpec {
+                layer: 1,
+                weights: vec![0.9, -weight, weight, 0.7],
+                n_axons: 2,
+                n_neurons: 2,
+                biases: vec![-0.2, -0.2],
+                axon_sources: vec![
+                    InputSource::Core { core: 0, neuron: 0 },
+                    InputSource::Core { core: 0, neuron: 1 },
+                ],
+            },
+        ],
+        n_inputs: 2,
+        n_classes: 2,
+        output_taps: vec![(1, 0, 0), (1, 1, 1)],
+    }
+}
+
+proptest! {
+    /// Multi-tenant packing (ISSUE 8): the shelf allocator never hands out
+    /// overlapping rectangles, never leaves the 64×64 mesh, and accounts
+    /// its occupancy exactly, for arbitrary request sequences (rejected
+    /// requests leave state untouched).
+    #[test]
+    fn shelf_allocator_rects_are_disjoint_and_in_bounds(
+        reqs in proptest::collection::vec((1u32..=40, 1u32..=24), 1..=16),
+    ) {
+        let mut alloc = ShelfAllocator::truenorth();
+        let mut area = 0usize;
+        for &(w, h) in &reqs {
+            let (w, h) = (w as u16, h as u16);
+            let before = alloc.used();
+            match alloc.allocate(w, h) {
+                Ok(r) => {
+                    prop_assert_eq!((r.width, r.height), (w, h));
+                    area += r.len();
+                }
+                Err(PlacementError::RegionUnavailable { .. }) => {
+                    prop_assert_eq!(alloc.used(), before, "rejection must not allocate");
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        let granted = alloc.rects();
+        for (i, a) in granted.iter().enumerate() {
+            prop_assert!(
+                a.x as usize + a.width as usize <= 64 && a.y as usize + a.height as usize <= 64,
+                "rect {:?} leaves the mesh", a
+            );
+            for b in &granted[i + 1..] {
+                prop_assert!(!a.overlaps(b), "rects {:?} and {:?} overlap", a, b);
+            }
+        }
+        prop_assert_eq!(alloc.used(), area);
+        prop_assert_eq!(alloc.free(), alloc.capacity() - area);
+    }
+
+    /// Packing order must not change any tenant's compiled row contents:
+    /// whichever rectangle a tenant lands on, its kernels are
+    /// content-identical to the solo deployment's (synapse rows, gates,
+    /// and op counts — pinned by the kernel's row signature).
+    #[test]
+    fn packing_order_preserves_compiled_row_contents(
+        w1 in 0.1f32..=1.0,
+        w2 in 0.1f32..=1.0,
+    ) {
+        let a = Deployment::build(&tiny_spec(w1), 2, 31).expect("deploy a");
+        let b = Deployment::build(&deep_spec(w2), 1, 37).expect("deploy b");
+        let ab = PackedDeployment::pack(&[a.clone(), b.clone()]).expect("pack ab");
+        let ba = PackedDeployment::pack(&[b.clone(), a.clone()]).expect("pack ba");
+        let solo = [&a, &b];
+        for (packed, order) in [(&ab, [0usize, 1]), (&ba, [1usize, 0])] {
+            for (tenant, &which) in order.iter().enumerate() {
+                let dep = solo[which];
+                let sf = dep.compiled().expect("solo compiled");
+                let base = packed.model(tenant).cores().start;
+                prop_assert_eq!(packed.model(tenant).cores().len(), dep.core_count());
+                for k in 0..dep.core_count() {
+                    prop_assert_eq!(
+                        packed.compiled().core_row_signature(base + k),
+                        sf.core_row_signature(k),
+                        "row contents diverged: tenant {} core {}", tenant, k
+                    );
+                }
+            }
+        }
+    }
+
+    /// The ISSUE 8 determinism contract: every packed tenant is
+    /// bit-identical to the same model deployed solo — votes, per-core
+    /// counters and PRNG streams, per-tenant chip stats, and energy — for
+    /// interleaved cross-tenant frames with mixed spf and thread counts.
+    #[test]
+    fn packed_tenants_are_bit_identical_to_solo(
+        w1 in 0.1f32..=1.0,
+        w2 in 0.1f32..=1.0,
+        base_seed in 0u64..u64::MAX / 2,
+        spf_a in 2usize..=6,
+        spf_b in 2usize..=6,
+    ) {
+        let mut solo_a = Deployment::build(&tiny_spec(w1), 2, 31).expect("deploy a");
+        let mut solo_b = Deployment::build(&deep_spec(w2), 1, 37).expect("deploy b");
+        for threads in [1usize, 4] {
+            let mut packed =
+                PackedDeployment::pack(&[solo_a.clone(), solo_b.clone()]).expect("pack");
+            packed.set_parallelism(threads);
+            solo_a.set_parallelism(threads);
+            solo_b.set_parallelism(threads);
+            let inputs_a = [0.8f32, 0.2];
+            let inputs_b = [0.3f32, 0.9];
+            // Interleaved cross-tenant traffic, including a mid-stream spf
+            // change for tenant A (forces multiple same-spf chunks).
+            let mixed = [
+                (0usize, spf_a, 1u64),
+                (1, spf_b, 2),
+                (0, spf_a, 3),
+                (1, spf_b, 4),
+                (0, spf_a + 1, 5),
+                (0, spf_a + 1, 6),
+                (1, spf_b, 7),
+            ];
+            let frames: Vec<PackedFrame> = mixed
+                .iter()
+                .map(|&(model, spf, salt)| PackedFrame {
+                    model,
+                    frame: FrameInput::new(
+                        if model == 0 { &inputs_a } else { &inputs_b },
+                        spf,
+                        base_seed + salt,
+                    ),
+                })
+                .collect();
+            let got = packed.run_frames(&frames);
+            // Solo baselines: each tenant's frames, in its own order, on
+            // its own dedicated deployment.
+            let frames_a: Vec<FrameInput> = frames.iter()
+                .filter(|pf| pf.model == 0).map(|pf| pf.frame).collect();
+            let frames_b: Vec<FrameInput> = frames.iter()
+                .filter(|pf| pf.model == 1).map(|pf| pf.frame).collect();
+            let want_a = solo_a.run_frames(&frames_a);
+            let want_b = solo_b.run_frames(&frames_b);
+            let (mut ia, mut ib) = (0usize, 0usize);
+            for (pf, votes) in frames.iter().zip(&got) {
+                if pf.model == 0 {
+                    prop_assert_eq!(votes, &want_a[ia], "tenant A frame {}", ia);
+                    ia += 1;
+                } else {
+                    prop_assert_eq!(votes, &want_b[ib], "tenant B frame {}", ib);
+                    ib += 1;
+                }
+            }
+            // Per-core counters and PRNG streams: packed core base+k must
+            // end exactly where solo core k ends.
+            for (m, solo) in [(0usize, &solo_a), (1, &solo_b)] {
+                let sf = solo.compiled().expect("solo compiled");
+                let base = packed.model(m).cores().start;
+                for k in 0..solo.core_count() {
+                    prop_assert_eq!(
+                        packed.compiled().core_stats(base + k),
+                        sf.core_stats(k),
+                        "core stats diverged: tenant {} core {}", m, k
+                    );
+                    prop_assert_eq!(
+                        packed.compiled().prng_state(base + k),
+                        sf.prng_state(k),
+                        "PRNG stream diverged: tenant {} core {}", m, k
+                    );
+                }
+                // Attributed chip stats and the per-tenant counter export
+                // match the solo deployment's lifetime totals.
+                prop_assert_eq!(packed.model(m).stats(), solo.chip_stats());
+                prop_assert_eq!(packed.model_counter_export(m), solo.counter_export());
+                prop_assert_eq!(
+                    packed.model_energy_report(m).total_joules(),
+                    solo.energy_report().total_joules()
+                );
+            }
+            // Third-party isolation: packing is additive — the chip-wide
+            // stats are exactly the sum of the tenants'.
+            let total = packed.chip_stats();
+            let (sa, sb) = (packed.model(0).stats(), packed.model(1).stats());
+            prop_assert_eq!(total.routed_spikes, sa.routed_spikes + sb.routed_spikes);
+            prop_assert_eq!(total.output_spikes, sa.output_spikes + sb.output_spikes);
+            prop_assert_eq!(total.ticks, sa.ticks + sb.ticks);
+            solo_a.reset_counters();
+            solo_b.reset_counters();
         }
     }
 }
