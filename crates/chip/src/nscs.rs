@@ -649,7 +649,39 @@ impl Deployment {
         seed: u64,
         mode: ConnectivityMode,
     ) -> Result<Self, DeployError> {
+        Self::build_with_sample(spec, copies, seed, mode, 0)
+    }
+
+    /// Like [`Deployment::build_with_mode`] with an explicit ensemble
+    /// *sample* index: `sample` salts only the Bernoulli connectivity
+    /// draws, leaving the chip's frame-time PRNG stream untouched.
+    ///
+    /// `sample == 0` is bit-identical to [`Deployment::build_with_mode`];
+    /// each `sample != 0` realizes a fresh, deterministic draw of every
+    /// synapse from the same trained probabilities. Rebuilding with a new
+    /// sample turns the replica ensemble into an ensemble over
+    /// *deployments* — posterior samples in the Bayesian reading of
+    /// stochastic binary synapses — rather than a fixed set of copies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] like [`Deployment::build`].
+    pub fn build_with_sample(
+        spec: &NetworkDeploySpec,
+        copies: usize,
+        seed: u64,
+        mode: ConnectivityMode,
+        sample: u64,
+    ) -> Result<Self, DeployError> {
         spec.validate()?;
+        // Salt only the connectivity sampling; `chip.set_seed` below stays
+        // on the unsalted seed so per-frame stochastic streams (and thus
+        // RuntimeStochastic serving) are unchanged across samples.
+        let sample_seed = if sample == 0 {
+            seed
+        } else {
+            splitmix64(seed ^ sample.wrapping_mul(0xD6E8_FEB8_6659_FD93))
+        };
         let mut chip = TrueNorthChip::truenorth(copies * spec.n_classes);
         chip.set_seed(splitmix64(seed));
         let mut input_routes: Vec<Vec<Vec<(usize, usize)>>> =
@@ -662,7 +694,8 @@ impl Deployment {
                 ConnectivityMode::IndependentPerCopy => copy as u64,
                 ConnectivityMode::SharedAcrossCopies | ConnectivityMode::RuntimeStochastic => 0,
             };
-            let copy_seed = splitmix64(seed ^ sample_index.wrapping_mul(0xA55A_5AA5_55AA_AA55));
+            let copy_seed =
+                splitmix64(sample_seed ^ sample_index.wrapping_mul(0xA55A_5AA5_55AA_AA55));
             let base_handle = chip.core_count();
             let mut handles = Vec::with_capacity(spec.cores.len());
             for (ci, cs) in spec.cores.iter().enumerate() {
@@ -1458,6 +1491,39 @@ mod tests {
         for copy in 1..3 {
             assert_eq!(dep.deviation_map(&spec, copy, 0), first);
         }
+    }
+
+    #[test]
+    fn sample_zero_is_bit_identical_and_fresh_samples_redraw_synapses() {
+        let mut spec = tiny_spec();
+        for w in &mut spec.cores[0].weights {
+            *w *= 0.6;
+        }
+        let base = Deployment::build(&spec, 2, 9).expect("base");
+        let same =
+            Deployment::build_with_sample(&spec, 2, 9, ConnectivityMode::IndependentPerCopy, 0)
+                .expect("sample 0");
+        for copy in 0..2 {
+            assert_eq!(
+                base.deviation_map(&spec, copy, 0),
+                same.deviation_map(&spec, copy, 0),
+                "sample 0 must reproduce the default build exactly"
+            );
+        }
+        // Some sample among the first few must realize a different synapse
+        // draw from the same probabilities (p = 0.6 per synapse).
+        let redrawn = (1..8u64).any(|s| {
+            let dep = Deployment::build_with_sample(
+                &spec,
+                2,
+                9,
+                ConnectivityMode::IndependentPerCopy,
+                s,
+            )
+            .expect("resample");
+            (0..2).any(|copy| dep.deviation_map(&spec, copy, 0) != base.deviation_map(&spec, copy, 0))
+        });
+        assert!(redrawn, "fresh samples must redraw connectivity");
     }
 
     #[test]

@@ -107,8 +107,8 @@ pub mod prelude {
     pub use tn_learn::model::Network;
     pub use tn_learn::penalty::Penalty;
     pub use tn_serve::{
-        Backpressure, ControlAction, ControlSample, Controller, ControllerConfig,
-        MetricsSnapshot, RequestHandle, Response, ServeConfig, ServeConfigBuilder, ServeError,
-        ServeRuntime, SpfClass, TelemetryConfig,
+        Backpressure, CalibrationMap, ControlAction, ControlSample, Controller, ControllerConfig,
+        MetricsSnapshot, QualityTier, RequestHandle, Response, ServeConfig, ServeConfigBuilder,
+        ServeError, ServeRuntime, ServedAs, SpfClass, SubmitRequest, TelemetryConfig,
     };
 }

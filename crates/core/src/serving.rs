@@ -469,18 +469,18 @@ mod tests {
         let xa = data_a.test_x.row(0).to_vec();
         let xb = data_b.test_x.row(0).to_vec();
         let ra = packed
-            .submit_model(0, xa.clone())
+            .submit(tn_serve::SubmitRequest::new(xa.clone()).model(0))
             .expect("submit")
             .wait()
             .expect("serve");
         let rb = packed
-            .submit_model(1, xb.clone())
+            .submit(tn_serve::SubmitRequest::new(xb.clone()).model(1))
             .expect("submit")
             .wait()
             .expect("serve");
         packed.shutdown();
-        assert_eq!(ra.model, 0);
-        assert_eq!(rb.model, 1);
+        assert_eq!(ra.model(), 0);
+        assert_eq!(rb.model(), 1);
 
         let solo_a = serve_network(&net_a, cfg()).expect("serve");
         let la = solo_a.classify(xa).expect("classify");

@@ -6,7 +6,7 @@
 //! guess — and rendering is plain `format!` with escaped strings, so the
 //! gateway stays dependency-free.
 
-use tn_serve::{Backpressure, Response, ServeRuntime};
+use tn_serve::{Backpressure, Response, ServeRuntime, SubmitRequest};
 use tn_telemetry::json::{self, escape, JsonValue};
 
 /// Render an `f64` as a JSON number (non-finite values have no JSON
@@ -31,14 +31,13 @@ fn join<T: std::fmt::Display>(items: impl Iterator<Item = T>) -> String {
     out
 }
 
-/// Extract the classify frame from a parsed request object:
-/// `{"frame": [x0, x1, ...]}` with numeric entries, plus an optional
-/// `"class": N` request-class selector (default 0) and an optional
-/// `"model": M` tenant selector (default 0) — together routed to
-/// [`tn_serve::ServeRuntime::submit_model_class`].
-pub(crate) fn parse_classify_frame(
-    value: &JsonValue,
-) -> Result<(Vec<f32>, usize, usize), String> {
+/// Extract a classify request from a parsed request object. The body
+/// mirrors [`SubmitRequest`] key for key: `{"frame": [x0, x1, ...]}`
+/// with numeric entries is required, plus the optional routing knobs
+/// `"class": N` (request class, default 0), `"model": M` (tenant,
+/// default 0), and `"quality": "tier-name"` (quality tier, default
+/// none) — together routed to [`tn_serve::ServeRuntime::submit`].
+pub(crate) fn parse_classify_frame(value: &JsonValue) -> Result<SubmitRequest, String> {
     let frame = value
         .get("frame")
         .ok_or_else(|| "missing \"frame\" array".to_string())?;
@@ -68,43 +67,71 @@ pub(crate) fn parse_classify_frame(
             .and_then(|m| usize::try_from(m).ok())
             .ok_or_else(|| "\"model\" must be a non-negative integer".to_string())?,
     };
-    Ok((inputs, class, model))
+    let mut request = SubmitRequest::new(inputs).class(class).model(model);
+    if let Some(v) = value.get("quality") {
+        let quality = v
+            .as_str()
+            .ok_or_else(|| "\"quality\" must be a tier-name string".to_string())?;
+        request = request.quality(quality);
+    }
+    Ok(request)
 }
 
 /// Parse a `POST /v1/classify` body.
-pub(crate) fn parse_classify_body(body: &[u8]) -> Result<(Vec<f32>, usize, usize), String> {
+pub(crate) fn parse_classify_body(body: &[u8]) -> Result<SubmitRequest, String> {
     let text =
         std::str::from_utf8(body).map_err(|_| "body is not valid UTF-8".to_string())?;
     let value = json::parse(text).map_err(|e| e.to_string())?;
     parse_classify_frame(&value)
 }
 
-/// Render one classification result.
+/// Render one classification result, including the uncertainty verdict:
+/// `"tier"` (the answering tier's name, or `null` for tier-less
+/// requests), `"confidence"` (calibrated, raw vote margin before
+/// calibration), and `"escalated"`.
 pub(crate) fn classify_json(r: &Response, joules_per_frame: f64) -> String {
+    let tier = match r.tier() {
+        Some(name) => format!("\"{}\"", escape(name)),
+        None => "null".to_string(),
+    };
     format!(
         "{{\"seq\":{},\"predicted\":{},\"votes\":[{}],\"replica_predictions\":[{}],\
-         \"agreement\":{},\"class\":{},\"model\":{},\"spf\":{},\"ticks\":{},\
+         \"agreement\":{},\"class\":{},\"model\":{},\"spf\":{},\"tier\":{},\
+         \"confidence\":{},\"escalated\":{},\"ticks\":{},\
          \"latency_us\":{},\"joules_per_frame\":{}}}",
         r.seq,
         r.predicted,
         join(r.votes.iter()),
         join(r.replica_predictions.iter()),
         json_f64(f64::from(r.agreement)),
-        r.class,
-        r.model,
-        r.spf,
+        r.class(),
+        r.model(),
+        r.spf(),
+        tier,
+        json_f64(f64::from(r.confidence())),
+        r.escalated(),
         r.ticks,
         u64::try_from(r.latency.as_micros()).unwrap_or(u64::MAX),
         json_f64(joules_per_frame),
     )
 }
 
-/// Render a structured error body: `{"error":{"code":...,"message":...}}`.
+/// Render a structured error body:
+/// `{"error":{"code":...,"message":...,"detail":null}}`.
 pub(crate) fn error_json(code: &str, message: &str) -> String {
+    error_json_detail(code, message, None)
+}
+
+/// [`error_json`] with a machine-readable `"detail"` object — the one
+/// error shape every routing failure shares. `detail` must already be
+/// rendered JSON (an object naming what was asked for and what the
+/// runtime actually serves); `None` renders `null`.
+pub(crate) fn error_json_detail(code: &str, message: &str, detail: Option<&str>) -> String {
     format!(
-        "{{\"error\":{{\"code\":\"{}\",\"message\":\"{}\"}}}}",
+        "{{\"error\":{{\"code\":\"{}\",\"message\":\"{}\",\"detail\":{}}}}}",
         escape(code),
-        escape(message)
+        escape(message),
+        detail.unwrap_or("null"),
     )
 }
 
@@ -129,10 +156,25 @@ pub(crate) fn config_json(rt: &ServeRuntime) -> String {
         )
     }));
     let cfg = rt.config();
+    let tiers = join(cfg.tiers.iter().map(|t| {
+        let escalate = match &t.escalate_to {
+            Some(name) => format!("\"{}\"", escape(name)),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"name\":\"{}\",\"replicas\":{},\"spf\":{},\"kernel_batch\":{},\
+             \"confidence_target\":{},\"escalate_to\":{escalate}}}",
+            escape(&t.name),
+            t.replicas,
+            t.spf,
+            t.kernel_batch,
+            json_f64(f64::from(t.confidence_target)),
+        )
+    }));
     format!(
         "{{\"schema\":\"tn-gateway/1\",\
          \"model\":{{\"n_inputs\":{},\"n_classes\":{},\"replicas\":{}}},\
-         \"models\":[{models}],\"packed\":{},\
+         \"models\":[{models}],\"packed\":{},\"tiers\":[{tiers}],\
          \"serve\":{{\"workers\":{},\"spf\":[{}],\"seed\":{},\"queue_capacity\":{},\
          \"batch_max\":{},\"kernel_batch\":{},\"backpressure\":\"{}\",\
          \"connectivity\":\"{}\",\"telemetry\":{}}}}}",
@@ -176,19 +218,23 @@ mod tests {
     fn classify_frames_parse_and_reject() {
         assert_eq!(
             parse_classify_body(b"{\"frame\":[1,0.5,0]}").expect("parse"),
-            (vec![1.0, 0.5, 0.0], 0, 0)
+            SubmitRequest::new(vec![1.0, 0.5, 0.0])
         );
         assert_eq!(
             parse_classify_body(b"{\"frame\":[1,0],\"class\":2}").expect("parse"),
-            (vec![1.0, 0.0], 2, 0)
+            SubmitRequest::new(vec![1.0, 0.0]).class(2)
         );
         assert_eq!(
             parse_classify_body(b"{\"frame\":[1,0],\"model\":1}").expect("parse"),
-            (vec![1.0, 0.0], 0, 1)
+            SubmitRequest::new(vec![1.0, 0.0]).model(1)
         );
         assert_eq!(
             parse_classify_body(b"{\"frame\":[0],\"class\":1,\"model\":3}").expect("parse"),
-            (vec![0.0], 1, 3)
+            SubmitRequest::new(vec![0.0]).class(1).model(3)
+        );
+        assert_eq!(
+            parse_classify_body(b"{\"frame\":[1],\"quality\":\"fast\"}").expect("parse"),
+            SubmitRequest::new(vec![1.0]).quality("fast")
         );
         for (body, needle) in [
             (&b"{}"[..], "missing"),
@@ -198,6 +244,7 @@ mod tests {
             (b"{\"frame\":[1],\"class\":\"gold\"}", "class"),
             (b"{\"frame\":[1],\"model\":-2}", "model"),
             (b"{\"frame\":[1],\"model\":\"five\"}", "model"),
+            (b"{\"frame\":[1],\"quality\":7}", "quality"),
             (b"not json", "JSON error"),
             (b"\xff\xfe", "UTF-8"),
         ] {
@@ -214,9 +261,10 @@ mod tests {
             votes: vec![2, 9],
             replica_predictions: vec![1, 1, 0],
             agreement: 2.0 / 3.0,
-            class: 1,
-            model: 2,
-            spf: 16,
+            served: tn_serve::ServedAs::new(1, 2, 16)
+                .with_tier("certain")
+                .with_confidence(0.875)
+                .with_escalated(true),
             worker: 0,
             ticks: 16,
             latency: Duration::from_micros(420),
@@ -228,8 +276,19 @@ mod tests {
         assert_eq!(v.get("class").unwrap().as_u64(), Some(1));
         assert_eq!(v.get("model").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("spf").unwrap().as_u64(), Some(16));
+        assert_eq!(v.get("tier").unwrap().as_str(), Some("certain"));
+        assert!((v.get("confidence").unwrap().as_f64().unwrap() - 0.875).abs() < 1e-9);
+        assert_eq!(v.get("escalated").unwrap().as_bool(), Some(true));
         assert_eq!(v.get("latency_us").unwrap().as_u64(), Some(420));
         assert!(v.get("joules_per_frame").unwrap().as_f64().unwrap() > 0.0);
+        // Tier-less responses render "tier": null and the raw margin.
+        let bare = Response {
+            served: tn_serve::ServedAs::new(0, 0, 8).with_confidence(0.5),
+            ..resp
+        };
+        let v = json::parse(&classify_json(&bare, 0.0)).expect("valid JSON");
+        assert!(v.get("tier").unwrap().is_null());
+        assert_eq!(v.get("escalated").unwrap().as_bool(), Some(false));
 
         let err = error_json("queue_full", "queue \"full\"\n");
         let v = json::parse(&err).expect("valid JSON");
@@ -237,6 +296,16 @@ mod tests {
             v.get("error").unwrap().get("code").unwrap().as_str(),
             Some("queue_full")
         );
+        assert!(v.get("error").unwrap().get("detail").unwrap().is_null());
+        let err = error_json_detail(
+            "unknown_quality",
+            "no such tier",
+            Some("{\"quality\":\"turbo\",\"tiers\":[\"fast\"]}"),
+        );
+        let v = json::parse(&err).expect("valid JSON");
+        let detail = v.get("error").unwrap().get("detail").unwrap();
+        assert_eq!(detail.get("quality").unwrap().as_str(), Some("turbo"));
+        assert_eq!(detail.get("tiers").unwrap().as_array().unwrap().len(), 1);
         json::parse(&health_json()).expect("valid JSON");
     }
 

@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use tn_serve::{ServeError, ServeRuntime};
+use tn_serve::{ServeError, ServeRuntime, SubmitRequest};
 use tn_telemetry::json::{self, JsonValue};
 use tn_telemetry::LatestSink;
 
@@ -68,7 +68,7 @@ pub(crate) fn route_line(line: &str, ctx: &ServiceCtx) -> Pending {
         .unwrap_or("classify");
     match op {
         "classify" => match proto::parse_classify_frame(&value) {
-            Ok((frame, class, model)) => submit(frame, class, model, ctx, true),
+            Ok(request) => submit(request, ctx, true),
             Err(msg) => Pending::ready(400, proto::error_json("bad_request", &msg), true),
         },
         "config" => Pending::ready(200, proto::config_json(&ctx.rt), true),
@@ -85,21 +85,17 @@ pub(crate) fn route_line(line: &str, ctx: &ServiceCtx) -> Pending {
 /// Parse a classify body and submit it.
 fn classify(body: &[u8], ctx: &ServiceCtx, line_mode: bool) -> Pending {
     match proto::parse_classify_body(body) {
-        Ok((frame, class, model)) => submit(frame, class, model, ctx, line_mode),
+        Ok(request) => submit(request, ctx, line_mode),
         Err(msg) => Pending::ready(400, proto::error_json("bad_request", &msg), line_mode),
     }
 }
 
-/// Submit one frame under its request class and tenant model; map
-/// admission failures onto wire responses.
-fn submit(
-    frame: Vec<f32>,
-    class: usize,
-    model: usize,
-    ctx: &ServiceCtx,
-    line_mode: bool,
-) -> Pending {
-    match ctx.rt.submit_model_class(model, frame, class) {
+/// Submit one classify request; map admission failures onto wire
+/// responses. The routing failures (`unknown_class` / `unknown_model` /
+/// `unknown_quality`) share one structured 400 shape whose `detail`
+/// object names what was asked for and what this runtime serves.
+fn submit(request: SubmitRequest, ctx: &ServiceCtx, line_mode: bool) -> Pending {
+    match ctx.rt.submit(request) {
         Ok(handle) => Pending::handle(handle, line_mode),
         Err(ServeError::QueueFull) => Pending::ready(
             503,
@@ -116,16 +112,43 @@ fn submit(
         Err(
             e @ (ServeError::BadInput { .. } | ServeError::InputOutOfRange { .. }),
         ) => Pending::ready(400, proto::error_json("bad_input", &e.to_string()), line_mode),
-        Err(e @ ServeError::UnknownClass { .. }) => Pending::ready(
+        Err(e @ ServeError::UnknownClass { class, classes }) => Pending::ready(
             400,
-            proto::error_json("unknown_class", &e.to_string()),
+            proto::error_json_detail(
+                "unknown_class",
+                &e.to_string(),
+                Some(&format!("{{\"class\":{class},\"classes\":{classes}}}")),
+            ),
             line_mode,
         ),
-        Err(e @ ServeError::UnknownModel { .. }) => Pending::ready(
+        Err(e @ ServeError::UnknownModel { model, models }) => Pending::ready(
             400,
-            proto::error_json("unknown_model", &e.to_string()),
+            proto::error_json_detail(
+                "unknown_model",
+                &e.to_string(),
+                Some(&format!("{{\"model\":{model},\"models\":{models}}}")),
+            ),
             line_mode,
         ),
+        Err(ref e @ ServeError::UnknownQuality { ref quality, ref tiers }) => {
+            let listed = tiers
+                .iter()
+                .map(|t| format!("\"{}\"", json::escape(t)))
+                .collect::<Vec<_>>()
+                .join(",");
+            Pending::ready(
+                400,
+                proto::error_json_detail(
+                    "unknown_quality",
+                    &e.to_string(),
+                    Some(&format!(
+                        "{{\"quality\":\"{}\",\"tiers\":[{listed}]}}",
+                        json::escape(quality)
+                    )),
+                ),
+                line_mode,
+            )
+        }
         Err(e) => Pending::ready(500, proto::error_json("internal", &e.to_string()), line_mode),
     }
 }

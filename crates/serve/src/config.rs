@@ -6,6 +6,7 @@ use tn_chip::nscs::ConnectivityMode;
 
 use crate::control::ControllerConfig;
 use crate::error::ServeError;
+use crate::tier::{validate_tiers, QualityTier};
 
 /// Telemetry export settings for a [`crate::ServeRuntime`].
 ///
@@ -129,6 +130,12 @@ pub struct ServeConfig {
     /// Periodic snapshot export (`None` = no observer exports, the
     /// default). See [`TelemetryConfig`].
     pub telemetry: Option<TelemetryConfig>,
+    /// Quality tiers: named (replicas × spf × kernel_batch) operating
+    /// points selectable per request via `SubmitRequest::quality`, each
+    /// with a calibrated-confidence floor and optional escalation target
+    /// (empty = no tiers, the default). See [`QualityTier`]. Tiers are
+    /// not supported on packed multi-tenant runtimes.
+    pub tiers: Vec<QualityTier>,
 }
 
 impl Default for ServeConfig {
@@ -146,6 +153,7 @@ impl Default for ServeConfig {
             core_threads: 1,
             controller: None,
             telemetry: None,
+            tiers: Vec::new(),
         }
     }
 }
@@ -269,6 +277,7 @@ impl ServeConfig {
         if let Some(telemetry) = &self.telemetry {
             telemetry.validate()?;
         }
+        validate_tiers(&self.tiers)?;
         Ok(())
     }
 }
@@ -360,6 +369,18 @@ impl ServeConfigBuilder {
     /// [`ServeConfig::telemetry`]).
     pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
         self.cfg.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Replace the quality-tier table (see [`ServeConfig::tiers`]).
+    pub fn tiers(mut self, tiers: Vec<QualityTier>) -> Self {
+        self.cfg.tiers = tiers;
+        self
+    }
+
+    /// Append one quality tier (see [`ServeConfig::tiers`]).
+    pub fn tier(mut self, tier: QualityTier) -> Self {
+        self.cfg.tiers.push(tier);
         self
     }
 
@@ -493,6 +514,22 @@ mod tests {
             .telemetry(TelemetryConfig::default())
             .build()
             .expect("defaults are consistent");
+    }
+
+    #[test]
+    fn tier_tables_are_validated_by_build() {
+        let cfg = ServeConfig::builder(1)
+            .tier(QualityTier::new("fast", 1, 2).confidence_target(0.8).escalate_to("certain"))
+            .tier(QualityTier::new("certain", 4, 8))
+            .build()
+            .expect("valid tier table");
+        assert_eq!(cfg.tiers.len(), 2);
+        assert!(matches!(
+            ServeConfig::builder(1)
+                .tier(QualityTier::new("fast", 1, 2).escalate_to("missing"))
+                .build(),
+            Err(ServeError::BadConfig(msg)) if msg.contains("missing")
+        ));
     }
 
     #[test]

@@ -246,6 +246,19 @@ pub enum ControlAction {
         /// New ticks-per-frame, inside the class's bounds.
         spf: usize,
     },
+    /// Rebuild the default replica set as ensemble sample `sample`
+    /// (fresh Bernoulli synapse draws from the same trained
+    /// probabilities; `0` restores the original build). Applied through
+    /// the same epoch-swap machinery as [`ControlAction::SetReplicas`],
+    /// so in-flight work is unaffected. The current controller never
+    /// emits this; it exists for external operators
+    /// ([`crate::ServeRuntime::apply_control`] /
+    /// [`crate::ServeRuntime::resample`]).
+    Resample {
+        /// Ensemble sample index (see
+        /// [`tn_chip::nscs::Deployment::build_with_sample`]).
+        sample: u64,
+    },
 }
 
 /// The adaptive controller: a small deterministic state machine.
@@ -628,6 +641,9 @@ mod tests {
                         ControlAction::SetReplicas(v) => replicas = v,
                         ControlAction::SetSpf { .. } => {
                             unreachable!("no spf classes configured")
+                        }
+                        ControlAction::Resample { .. } => {
+                            unreachable!("the controller never emits Resample")
                         }
                     }
                     log.push((i, action));

@@ -55,6 +55,14 @@ pub enum ServeError {
         /// Models the runtime serves (`0 .. models`).
         models: usize,
     },
+    /// The request named a quality tier the runtime does not serve (see
+    /// [`crate::QualityTier`]).
+    UnknownQuality {
+        /// The tier name the request asked for.
+        quality: String,
+        /// Tier names the runtime serves.
+        tiers: Vec<String>,
+    },
     /// A set of deployments could not be packed onto one chip
     /// ([`crate::ServeRuntime::new_packed`]); carries the
     /// [`tn_chip::pack::PackError`] rendering.
@@ -88,6 +96,12 @@ impl std::fmt::Display for ServeError {
                 write!(
                     f,
                     "unknown model {model}: this runtime serves models 0..{models}"
+                )
+            }
+            Self::UnknownQuality { quality, tiers } => {
+                write!(
+                    f,
+                    "unknown quality tier {quality:?}: this runtime serves {tiers:?}"
                 )
             }
             Self::Pack(msg) => write!(f, "multi-tenant packing failed: {msg}"),
@@ -125,5 +139,10 @@ mod tests {
         assert!(ServeError::QueueFull.to_string().contains("full"));
         let e = ServeError::UnknownClass { class: 3, classes: 2 };
         assert!(e.to_string().contains('3') && e.to_string().contains('2'));
+        let e = ServeError::UnknownQuality {
+            quality: "turbo".into(),
+            tiers: vec!["fast".into(), "certain".into()],
+        };
+        assert!(e.to_string().contains("turbo") && e.to_string().contains("fast"));
     }
 }

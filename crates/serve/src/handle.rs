@@ -11,6 +11,99 @@ use std::time::Duration;
 
 use crate::error::ServeError;
 
+/// How a request was actually served: routing (class/model/tier), the
+/// effective spf, and the uncertainty verdict (confidence/escalated).
+///
+/// `#[non_exhaustive]` with accessor methods, so adding future routing or
+/// quality facts is not a breaking change (the `Response` field sprawl
+/// this replaces made every new fact one). Construct with
+/// [`ServedAs::new`] plus the `with_*` chainers (test/tooling use; the
+/// runtime fills it in internally).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct ServedAs {
+    pub(crate) class: usize,
+    pub(crate) model: usize,
+    pub(crate) spf: usize,
+    pub(crate) tier: Option<String>,
+    pub(crate) confidence: f32,
+    pub(crate) escalated: bool,
+}
+
+impl ServedAs {
+    /// Routing facts for a request served with no quality tier: raw
+    /// vote-margin `confidence` is filled in by the runtime, `tier` is
+    /// `None`, `escalated` is `false`.
+    pub fn new(class: usize, model: usize, spf: usize) -> Self {
+        Self {
+            class,
+            model,
+            spf,
+            tier: None,
+            confidence: 0.0,
+            escalated: false,
+        }
+    }
+
+    /// Attach the answering tier's name.
+    #[must_use]
+    pub fn with_tier(mut self, tier: impl Into<String>) -> Self {
+        self.tier = Some(tier.into());
+        self
+    }
+
+    /// Set the calibrated confidence.
+    #[must_use]
+    pub fn with_confidence(mut self, confidence: f32) -> Self {
+        self.confidence = confidence;
+        self
+    }
+
+    /// Mark the response as having taken the escalate path.
+    #[must_use]
+    pub fn with_escalated(mut self, escalated: bool) -> Self {
+        self.escalated = escalated;
+        self
+    }
+
+    /// Request class the submission named (0 by default; drives the
+    /// controller's per-class spf actuator).
+    pub fn class(&self) -> usize {
+        self.class
+    }
+
+    /// Tenant model that served the request (0 on single-model runtimes).
+    pub fn model(&self) -> usize {
+        self.model
+    }
+
+    /// Ticks-per-frame the request was actually served at (the answering
+    /// tier's spf on tiered requests; otherwise the class's live spf at
+    /// serve time).
+    pub fn spf(&self) -> usize {
+        self.spf
+    }
+
+    /// Name of the quality tier that produced the answer (`None` for
+    /// tier-less requests; on escalation, the *escalation target*).
+    pub fn tier(&self) -> Option<&str> {
+        self.tier.as_deref()
+    }
+
+    /// Calibrated confidence in `predicted`: the vote margin mapped
+    /// through the tier's [`crate::CalibrationMap`] (raw margin for
+    /// tier-less requests or before calibration).
+    pub fn confidence(&self) -> f32 {
+        self.confidence
+    }
+
+    /// Whether a low-confidence fast-tier answer was transparently
+    /// re-run on its escalation tier.
+    pub fn escalated(&self) -> bool {
+        self.escalated
+    }
+}
+
 /// The outcome of one served inference request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
@@ -25,23 +118,52 @@ pub struct Response {
     pub replica_predictions: Vec<usize>,
     /// Fraction of replicas whose individual argmax matches `predicted`.
     pub agreement: f32,
-    /// Request class the submission named (0 unless submitted via
-    /// [`crate::ServeRuntime::submit_class`]).
-    pub class: usize,
-    /// Tenant model that served the request (0 on single-model runtimes;
-    /// the index passed to [`crate::ServeRuntime::submit_model`] on packed
-    /// multi-tenant runtimes).
-    pub model: usize,
-    /// Ticks-per-frame the request was actually served at (the class's
-    /// live spf at serve time; the configured spf when the actuator is
-    /// off).
-    pub spf: usize,
+    /// How the request was routed and judged (class, model, spf, tier,
+    /// confidence, escalation). See [`ServedAs`].
+    pub served: ServedAs,
     /// Index of the worker thread that served the request.
     pub worker: usize,
-    /// Chip ticks spent on this frame (spf + pipeline depth − 1).
+    /// Chip ticks spent on this frame (spf + pipeline depth − 1; on
+    /// escalation, the fast and certain passes summed).
     pub ticks: u64,
     /// Wall-clock latency from submission to completion.
     pub latency: Duration,
+}
+
+impl Response {
+    /// Request class the submission named. Delegates to
+    /// [`ServedAs::class`].
+    pub fn class(&self) -> usize {
+        self.served.class()
+    }
+
+    /// Tenant model that served the request. Delegates to
+    /// [`ServedAs::model`].
+    pub fn model(&self) -> usize {
+        self.served.model()
+    }
+
+    /// Effective ticks-per-frame. Delegates to [`ServedAs::spf`].
+    pub fn spf(&self) -> usize {
+        self.served.spf()
+    }
+
+    /// Answering quality tier, if any. Delegates to [`ServedAs::tier`].
+    pub fn tier(&self) -> Option<&str> {
+        self.served.tier()
+    }
+
+    /// Calibrated confidence in `predicted`. Delegates to
+    /// [`ServedAs::confidence`].
+    pub fn confidence(&self) -> f32 {
+        self.served.confidence()
+    }
+
+    /// Whether the escalate path ran. Delegates to
+    /// [`ServedAs::escalated`].
+    pub fn escalated(&self) -> bool {
+        self.served.escalated()
+    }
 }
 
 #[derive(Debug)]
@@ -184,13 +306,32 @@ mod tests {
             votes: vec![0, 5],
             replica_predictions: vec![1, 1],
             agreement: 1.0,
-            class: 0,
-            model: 0,
-            spf: 8,
+            served: ServedAs::new(0, 0, 8).with_confidence(1.0),
             worker: 0,
             ticks: 8,
             latency: Duration::from_micros(10),
         }
+    }
+
+    #[test]
+    fn served_as_accessors_round_trip() {
+        let served = ServedAs::new(1, 2, 4)
+            .with_tier("fast")
+            .with_confidence(0.75)
+            .with_escalated(true);
+        assert_eq!(served.class(), 1);
+        assert_eq!(served.model(), 2);
+        assert_eq!(served.spf(), 4);
+        assert_eq!(served.tier(), Some("fast"));
+        assert!((served.confidence() - 0.75).abs() < 1e-6);
+        assert!(served.escalated());
+        let r = Response {
+            served,
+            ..dummy_response(0)
+        };
+        assert_eq!((r.class(), r.model(), r.spf()), (1, 2, 4));
+        assert_eq!(r.tier(), Some("fast"));
+        assert!(r.escalated());
     }
 
     #[test]

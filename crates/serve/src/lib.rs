@@ -60,6 +60,18 @@
 //!   bit-identical to a solo runtime serving it alone (per-model
 //!   submission order is the determinism key). Per-model
 //!   `serve.model.{id}.*` counters ride the telemetry snapshots.
+//! * **Quality tiers** (optional): [`ServeConfig::tiers`] names
+//!   (replicas × spf × kernel_batch) operating points selectable per
+//!   request via [`SubmitRequest::quality`]. Each tier owns its own
+//!   deployment (optionally a fresh Bernoulli ensemble *sample* — see
+//!   [`QualityTier::sample`] and [`ServeRuntime::resample_tier`]),
+//!   responses carry calibrated confidence from the pooled vote margin
+//!   ([`vote_margin`] mapped through a per-tier [`CalibrationMap`]
+//!   fitted by [`ServeRuntime::calibrate_tiers`]), and a low-confidence
+//!   answer on a tier with an `escalate_to` edge is transparently
+//!   re-run on the target tier — bit-identical to having submitted
+//!   there directly. Per-tier `serve.tier.{t}.*` counters ride the
+//!   telemetry snapshots.
 //! * **Backpressure**: the submission queue is bounded;
 //!   [`Backpressure::Block`] throttles producers, [`Backpressure::Reject`]
 //!   sheds load with [`ServeError::QueueFull`].
@@ -133,6 +145,27 @@
 //! `ServeConfig::new(7).with_replicas(4)` with
 //! `ServeConfig::builder(7).replicas(4).build()?`. Results are unchanged
 //! bit-for-bit; only the calling conventions moved.
+//!
+//! # Migrating from the positional `submit*` variants
+//!
+//! The four positional submit entry points (`submit(inputs)`,
+//! `submit_class(inputs, class)`, `submit_model(model, inputs)`,
+//! `submit_model_class(model, inputs, class)`) collapsed into one
+//! builder-accepting [`ServeRuntime::submit`] in 0.8.0. The old variants
+//! remain as `#[deprecated]` shims for one release. Migrate with:
+//!
+//! ```text
+//! rt.submit(inputs)                         -> rt.submit(inputs)  // unchanged: Vec<f32> converts
+//! rt.submit_class(inputs, c)                -> rt.submit(SubmitRequest::new(inputs).class(c))
+//! rt.submit_model(m, inputs)                -> rt.submit(SubmitRequest::new(inputs).model(m))
+//! rt.submit_model_class(m, inputs, c)       -> rt.submit(SubmitRequest::new(inputs).model(m).class(c))
+//! ```
+//!
+//! Routing facts moved off `Response`'s top level into
+//! [`Response::served`] ([`ServedAs`]): `r.class` → `r.class()`,
+//! `r.model` → `r.model()`, `r.spf` → `r.spf()`, joined by the new
+//! `r.tier()` / `r.confidence()` / `r.escalated()`. Results are
+//! unchanged bit-for-bit; only the calling conventions moved.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -143,12 +176,16 @@ mod error;
 mod handle;
 mod metrics;
 mod queue;
+mod request;
 mod runtime;
+mod tier;
 
 pub use config::{Backpressure, ServeConfig, ServeConfigBuilder, TelemetryConfig};
 pub use control::{ControlAction, ControlSample, Controller, ControllerConfig, SpfClass};
 pub use error::ServeError;
-pub use handle::{RequestHandle, Response};
+pub use handle::{RequestHandle, Response, ServedAs};
 pub use metrics::{MetricsSnapshot, QueueStats};
 pub use queue::{BoundedQueue, PushError};
+pub use request::SubmitRequest;
 pub use runtime::ServeRuntime;
+pub use tier::{vote_margin, CalibrationMap, QualityTier};

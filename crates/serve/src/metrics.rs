@@ -88,6 +88,13 @@ pub(crate) struct Metrics {
     /// agreement ×AGREEMENT_SCALE]` — one row per packed tenant (a single
     /// row on solo runtimes), exported as `serve.model.{m}.*`.
     per_model: Vec<[AtomicU64; 4]>,
+    /// Per quality tier: `[submitted, completed, escalated, ticks,
+    /// confidence ×AGREEMENT_SCALE]` — one row per configured tier
+    /// (empty on tier-less runtimes), exported as `serve.tier.{t}.*`.
+    /// Completions count against the *requested* tier, so `escalated <=
+    /// completed` per row and tier completions sum to at most the global
+    /// total (tier-less traffic makes up the difference).
+    per_tier: Vec<[AtomicU64; 5]>,
     /// Log-linear latency histogram (see [`bucket_index`]).
     latency: [AtomicU64; BUCKETS],
     latency_sum_ns: AtomicU64,
@@ -98,7 +105,7 @@ pub(crate) struct Metrics {
 }
 
 impl Metrics {
-    pub(crate) fn new(workers: usize, spf_classes: usize, models: usize) -> Self {
+    pub(crate) fn new(workers: usize, spf_classes: usize, models: usize, tiers: usize) -> Self {
         Self {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -112,6 +119,9 @@ impl Metrics {
                 .map(|_| [AtomicU64::new(0), AtomicU64::new(0)])
                 .collect(),
             per_model: (0..models.max(1))
+                .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
+                .collect(),
+            per_tier: (0..tiers)
                 .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
                 .collect(),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -155,6 +165,49 @@ impl Metrics {
         if let Some(row) = self.per_model.get(model) {
             row[0].fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Count one accepted submission against quality tier `tier`.
+    pub(crate) fn record_tier_submit(&self, tier: usize) {
+        if let Some(row) = self.per_tier.get(tier) {
+            row[0].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count one completion against the *requested* quality tier.
+    pub(crate) fn record_tier_completion(
+        &self,
+        tier: usize,
+        escalated: bool,
+        ticks: u64,
+        confidence: f32,
+    ) {
+        if let Some(row) = self.per_tier.get(tier) {
+            row[1].fetch_add(1, Ordering::Relaxed);
+            row[2].fetch_add(u64::from(escalated), Ordering::Relaxed);
+            row[3].fetch_add(ticks, Ordering::Relaxed);
+            let micros = (f64::from(confidence.clamp(0.0, 1.0)) * AGREEMENT_SCALE) as u64;
+            row[4].fetch_add(micros, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of quality tiers tracked (0 on tier-less runtimes).
+    pub(crate) fn n_tiers(&self) -> usize {
+        self.per_tier.len()
+    }
+
+    /// Lifetime `(submitted, completed, escalated, ticks,
+    /// confidence_sum×SCALE)` for one quality tier.
+    pub(crate) fn tier_progress(&self, tier: usize) -> (u64, u64, u64, u64, u64) {
+        self.per_tier.get(tier).map_or((0, 0, 0, 0, 0), |row| {
+            (
+                row[0].load(Ordering::Relaxed),
+                row[1].load(Ordering::Relaxed),
+                row[2].load(Ordering::Relaxed),
+                row[3].load(Ordering::Relaxed),
+                row[4].load(Ordering::Relaxed),
+            )
+        })
     }
 
     /// Number of tenant models tracked (1 on solo runtimes).
@@ -480,7 +533,7 @@ mod tests {
 
     #[test]
     fn quantiles_track_recorded_latencies() {
-        let m = Metrics::new(2, 2, 1);
+        let m = Metrics::new(2, 2, 1, 0);
         for _ in 0..99 {
             m.record_completion(0, 0, 0, 8, Duration::from_micros(100), 1.0);
         }
@@ -504,7 +557,7 @@ mod tests {
     fn quantiles_separate_within_one_octave() {
         // 1.0 ms and 1.9 ms share a power of two; the old power-of-two
         // buckets reported p50 == p99 == 2.097 ms for this workload.
-        let m = Metrics::new(1, 1, 1);
+        let m = Metrics::new(1, 1, 1, 0);
         for _ in 0..90 {
             m.record_completion(0, 0, 0, 1, Duration::from_micros(1000), 1.0);
         }
@@ -561,7 +614,7 @@ mod tests {
         // on its 102 400 ns edge; the single 50 ms outlier is its
         // bucket's last sample, so p99 still reports that bucket's upper
         // bound (50 331 648 ns).
-        let m = Metrics::new(1, 1, 1);
+        let m = Metrics::new(1, 1, 1, 0);
         for _ in 0..99 {
             m.record_completion(0, 0, 0, 1, Duration::from_micros(100), 1.0);
         }
@@ -578,7 +631,7 @@ mod tests {
 
     #[test]
     fn per_model_rows_split_completions() {
-        let m = Metrics::new(1, 1, 2);
+        let m = Metrics::new(1, 1, 2, 0);
         assert_eq!(m.n_models(), 2);
         m.record_model_submit(0);
         m.record_model_submit(1);
@@ -595,7 +648,7 @@ mod tests {
 
     #[test]
     fn empty_metrics_snapshot_is_all_zero() {
-        let m = Metrics::new(1, 1, 1);
+        let m = Metrics::new(1, 1, 1, 0);
         let snap = m.snapshot(3, Duration::ZERO, 4);
         assert_eq!(snap.completed, 0);
         assert_eq!(snap.queue_depth, 3);
@@ -607,7 +660,7 @@ mod tests {
 
     #[test]
     fn display_mentions_throughput_and_energy() {
-        let m = Metrics::new(1, 1, 1);
+        let m = Metrics::new(1, 1, 1, 0);
         m.record_completion(0, 0, 0, 8, Duration::from_micros(10), 0.75);
         let text = m.snapshot(0, Duration::from_secs(1), 4).to_string();
         assert!(text.contains("req/s"), "{text}");

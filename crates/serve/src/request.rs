@@ -1,0 +1,98 @@
+//! The unified request type accepted by `ServeRuntime::submit`.
+//!
+//! One builder replaces the four positional `submit*` variants that had
+//! accreted (`submit`, `submit_class`, `submit_model`,
+//! `submit_model_class`): `frame` is required, everything else is
+//! optional and defaults to the runtime's defaults. The gateway's
+//! `/v1/classify` JSON body mirrors this struct key-for-key
+//! (`frame`/`model`/`class`/`quality`).
+//!
+//! `From<Vec<f32>>` keeps the common one-liner working unchanged:
+//! `rt.submit(vec![0.5, 0.25])` is `rt.submit(SubmitRequest::new(...))`.
+
+/// One classify request: a frame plus optional routing knobs.
+///
+/// ```
+/// use tn_serve::SubmitRequest;
+/// let req = SubmitRequest::new(vec![0.5, 0.25])
+///     .model(0)
+///     .class(0)
+///     .quality("fast");
+/// assert_eq!(req.quality.as_deref(), Some("fast"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct SubmitRequest {
+    /// Input frame: per-channel spike rates in `[0, 1]`.
+    pub frame: Vec<f32>,
+    /// Tenant model on a packed runtime (default `0`, the only valid
+    /// value on a solo runtime).
+    pub model: usize,
+    /// Request class for the controller's per-class spf actuator
+    /// (default `0`).
+    pub class: usize,
+    /// Quality tier name; `None` serves on the runtime's default
+    /// replica set at the live spf.
+    pub quality: Option<String>,
+}
+
+impl SubmitRequest {
+    /// A request for `frame` with default model, class, and no tier.
+    pub fn new(frame: Vec<f32>) -> Self {
+        Self {
+            frame,
+            model: 0,
+            class: 0,
+            quality: None,
+        }
+    }
+
+    /// Route to tenant `model` on a packed runtime.
+    #[must_use]
+    pub fn model(mut self, model: usize) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Tag with request `class` for per-class spf control.
+    #[must_use]
+    pub fn class(mut self, class: usize) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Serve on the named quality tier.
+    #[must_use]
+    pub fn quality(mut self, quality: impl Into<String>) -> Self {
+        self.quality = Some(quality.into());
+        self
+    }
+}
+
+impl From<Vec<f32>> for SubmitRequest {
+    fn from(frame: Vec<f32>) -> Self {
+        Self::new(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_setters() {
+        let req = SubmitRequest::new(vec![1.0]);
+        assert_eq!((req.model, req.class, req.quality.as_deref()), (0, 0, None));
+        let req = SubmitRequest::new(vec![1.0]).model(2).class(1).quality("q");
+        assert_eq!(
+            (req.model, req.class, req.quality.as_deref()),
+            (2, 1, Some("q"))
+        );
+    }
+
+    #[test]
+    fn from_vec_is_the_default_request() {
+        let req: SubmitRequest = vec![0.5f32].into();
+        assert_eq!(req, SubmitRequest::new(vec![0.5]));
+    }
+}

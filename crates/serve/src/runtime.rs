@@ -57,9 +57,17 @@ use tn_telemetry::{emit, Clock, MetricsSink, MonotonicClock, NullSink, Snapshot,
 use crate::config::{Backpressure, ServeConfig};
 use crate::control::{ControlAction, Controller, SpfClass};
 use crate::error::ServeError;
-use crate::handle::{pair, Completer, RequestHandle, Response};
+use crate::handle::{pair, Completer, RequestHandle, Response, ServedAs};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::queue::{BoundedQueue, PushError};
+use crate::request::SubmitRequest;
+use crate::tier::{vote_margin, CalibrationMap, QualityTier};
+
+/// Seed salt for the offline calibration pass
+/// ([`ServeRuntime::calibrate_tiers`]): calibration frames draw from a
+/// stream disjoint from the serving stream's `(cfg.seed, seq)`
+/// derivation, so calibrating never replays a servable frame's spikes.
+const CALIBRATION_SALT: u64 = 0x5851_F42D_4C95_7F2D;
 
 /// One queued inference request.
 #[derive(Debug)]
@@ -73,9 +81,32 @@ struct Job {
     /// runtimes this equals `seq` (one global stream), so the solo seed
     /// derivation is unchanged.
     model_seq: u64,
+    /// Quality tier the request asked for (index into
+    /// `ControlState::tiers`); `None` rides the default replica set.
+    tier: Option<usize>,
     inputs: Vec<f32>,
     submitted: Instant,
     completer: Completer,
+}
+
+/// Live per-tier serving state: the configured operating point plus the
+/// tier's own prototype deployment, resample epoch, and calibration.
+#[derive(Debug)]
+struct TierState {
+    /// The tier's configured operating point (name, replicas, spf, …).
+    tier: QualityTier,
+    /// Resolved [`QualityTier::escalate_to`] (index into the tier table;
+    /// validated at build time).
+    escalate_to: Option<usize>,
+    /// Prototype deployment workers clone for this tier (swapped by
+    /// [`ServeRuntime::resample_tier`]).
+    proto: Mutex<Arc<Deployment>>,
+    /// Bumped on every tier prototype swap; workers re-clone when it
+    /// moves (same Release/Acquire pairing as the base `epoch`).
+    epoch: AtomicU64,
+    /// Margin → confidence map (identity until
+    /// [`ServeRuntime::calibrate_tiers`] runs).
+    calibration: Mutex<Arc<CalibrationMap>>,
 }
 
 /// Live actuator state shared by the workers, the observer thread, and
@@ -109,6 +140,13 @@ struct ControlState {
     /// Deploy spec, kept so rescaling can rebuild at a new replica count
     /// (`None` on packed runtimes — nothing ever rebuilds).
     spec: Option<NetworkDeploySpec>,
+    /// Ensemble sample index of the current base prototype (0 = the
+    /// default build; moved by [`ControlAction::Resample`], and replica
+    /// rescales rebuild at this sample so the two actuators compose).
+    sample: AtomicU64,
+    /// Quality-tier table (empty unless [`ServeConfig::tiers`] was set;
+    /// always empty on packed runtimes).
+    tiers: Vec<TierState>,
 }
 
 /// Shutdown signal for the observer thread.
@@ -184,6 +222,31 @@ impl ServeRuntime {
             Deployment::build_with_mode(spec, cfg.replicas, cfg.seed, cfg.connectivity)?;
         let n_inputs = proto.n_inputs();
         let n_classes = proto.n_classes();
+        // Each tier owns its own deployment, seeded exactly as a runtime
+        // *configured* at (tier.replicas, tier.sample) would be — the
+        // escalate path's bit-identity contract rests on this.
+        let mut tiers = Vec::with_capacity(cfg.tiers.len());
+        for t in &cfg.tiers {
+            let dep = Deployment::build_with_sample(
+                spec,
+                t.replicas,
+                cfg.seed,
+                cfg.connectivity,
+                t.sample,
+            )?;
+            tiers.push(TierState {
+                escalate_to: t.escalate_to.as_ref().map(|name| {
+                    cfg.tiers
+                        .iter()
+                        .position(|o| o.name == *name)
+                        .expect("escalate_to validated by ServeConfig::validate")
+                }),
+                proto: Mutex::new(Arc::new(dep)),
+                epoch: AtomicU64::new(0),
+                calibration: Mutex::new(Arc::new(CalibrationMap::identity())),
+                tier: t.clone(),
+            });
+        }
         let (spf_bounds, spf) = spf_setup(&cfg);
         let control = Arc::new(ControlState {
             kernel_batch: AtomicUsize::new(cfg.kernel_batch),
@@ -196,6 +259,8 @@ impl ServeRuntime {
             packed: None,
             rebuild_failures: AtomicU64::new(0),
             spec: Some(spec.clone()),
+            sample: AtomicU64::new(0),
+            tiers,
         });
         Ok(Self::boot(cfg, control, sink, vec![(n_inputs, n_classes)]))
     }
@@ -242,6 +307,12 @@ impl ServeRuntime {
                 "new_packed requires at least one spec".into(),
             ));
         }
+        if !cfg.tiers.is_empty() {
+            return Err(ServeError::BadConfig(
+                "quality tiers are unavailable on a packed multi-tenant runtime"
+                    .into(),
+            ));
+        }
         let mut deps = Vec::with_capacity(specs.len());
         for spec in specs {
             deps.push(Deployment::build_with_mode(
@@ -271,6 +342,8 @@ impl ServeRuntime {
             packed: Some(Arc::new(packed)),
             rebuild_failures: AtomicU64::new(0),
             spec: None,
+            sample: AtomicU64::new(0),
+            tiers: Vec::new(),
         });
         Ok(Self::boot(cfg, control, sink, model_dims))
     }
@@ -295,6 +368,7 @@ impl ServeRuntime {
             cfg.workers,
             control.spf.len(),
             model_dims.len(),
+            control.tiers.len(),
         ));
         let mut workers = Vec::with_capacity(cfg.workers);
         for w in 0..cfg.workers {
@@ -439,70 +513,103 @@ impl ServeRuntime {
 
     /// Submit one inference request; returns an awaitable handle.
     ///
+    /// Accepts anything convertible into a [`SubmitRequest`]: a bare
+    /// `Vec<f32>` frame serves on the defaults (model 0, class 0, no
+    /// tier), and the builder names a tenant model, request class, or
+    /// quality tier:
+    ///
+    /// ```text
+    /// rt.submit(frame)?;                                        // defaults
+    /// rt.submit(SubmitRequest::new(frame).model(1))?;           // tenant 1
+    /// rt.submit(SubmitRequest::new(frame).quality("fast"))?;    // tiered
+    /// ```
+    ///
     /// With [`Backpressure::Block`] this blocks while the queue is full;
     /// with [`Backpressure::Reject`] it fails fast instead.
     ///
     /// # Errors
     ///
     /// [`ServeError::BadInput`] / [`ServeError::InputOutOfRange`] on
-    /// malformed inputs, [`ServeError::QueueFull`] under rejecting
-    /// backpressure, [`ServeError::ShuttingDown`] after shutdown began.
-    pub fn submit(&self, inputs: Vec<f32>) -> Result<RequestHandle, ServeError> {
-        self.submit_class(inputs, 0)
+    /// malformed inputs, [`ServeError::UnknownModel`] /
+    /// [`ServeError::UnknownClass`] / [`ServeError::UnknownQuality`] on
+    /// routing to something this runtime does not serve,
+    /// [`ServeError::QueueFull`] under rejecting backpressure,
+    /// [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn submit(
+        &self,
+        request: impl Into<SubmitRequest>,
+    ) -> Result<RequestHandle, ServeError> {
+        self.submit_inner(request.into())
     }
 
-    /// Submit one inference request under request class `class` (selects
-    /// which live spf serves it; see
-    /// [`crate::control::ControllerConfig::spf_classes`]). Class 0 always
-    /// exists — [`ServeRuntime::submit`] is `submit_class(inputs, 0)`.
+    /// Submit under request class `class`.
     ///
     /// # Errors
     ///
-    /// [`ServeError::UnknownClass`] when `class` is out of range, plus
-    /// everything [`ServeRuntime::submit`] can return.
+    /// Same as [`ServeRuntime::submit`].
+    #[deprecated(
+        since = "0.8.0",
+        note = "use submit(SubmitRequest::new(inputs).class(class))"
+    )]
     pub fn submit_class(
         &self,
         inputs: Vec<f32>,
         class: usize,
     ) -> Result<RequestHandle, ServeError> {
-        self.submit_model_class(0, inputs, class)
+        self.submit_inner(SubmitRequest::new(inputs).class(class))
     }
 
-    /// Submit one inference request to tenant `model` of a packed
-    /// multi-tenant runtime (on solo runtimes only model 0 exists).
-    ///
-    /// The packed determinism key is per model: the k-th request
-    /// submitted to model `m` is served bit-identically to the k-th
-    /// request of a solo runtime deploying only `m` at the same config.
-    /// With several submitter threads racing on one model, "k-th" is the
-    /// order submissions win the model's counter.
+    /// Submit to tenant `model` of a packed multi-tenant runtime.
     ///
     /// # Errors
     ///
-    /// [`ServeError::UnknownModel`] when `model` is out of range, plus
-    /// everything [`ServeRuntime::submit`] can return (input width is
-    /// checked against the named tenant).
+    /// Same as [`ServeRuntime::submit`].
+    #[deprecated(
+        since = "0.8.0",
+        note = "use submit(SubmitRequest::new(inputs).model(model))"
+    )]
     pub fn submit_model(
         &self,
         model: usize,
         inputs: Vec<f32>,
     ) -> Result<RequestHandle, ServeError> {
-        self.submit_model_class(model, inputs, 0)
+        self.submit_inner(SubmitRequest::new(inputs).model(model))
     }
 
-    /// Submit to tenant `model` under request class `class` — the fully
-    /// general submission path; every other submit is a wrapper.
+    /// Submit to tenant `model` under request class `class`.
     ///
     /// # Errors
     ///
-    /// Union of [`ServeRuntime::submit_model`] and
-    /// [`ServeRuntime::submit_class`].
+    /// Same as [`ServeRuntime::submit`].
+    #[deprecated(
+        since = "0.8.0",
+        note = "use submit(SubmitRequest::new(inputs).model(model).class(class))"
+    )]
     pub fn submit_model_class(
         &self,
         model: usize,
         inputs: Vec<f32>,
         class: usize,
     ) -> Result<RequestHandle, ServeError> {
+        self.submit_inner(SubmitRequest::new(inputs).model(model).class(class))
+    }
+
+    /// The one real submission path: validate routing and inputs, claim
+    /// a sequence number, enqueue.
+    ///
+    /// The packed determinism key is per model: the k-th request
+    /// submitted to model `m` is served bit-identically to the k-th
+    /// request of a solo runtime deploying only `m` at the same config.
+    /// With several submitter threads racing on one model, "k-th" is the
+    /// order submissions win the model's counter.
+    fn submit_inner(&self, request: SubmitRequest) -> Result<RequestHandle, ServeError> {
+        let SubmitRequest {
+            frame: inputs,
+            model,
+            class,
+            quality,
+            ..
+        } = request;
         let Some(&(n_inputs, _)) = self.model_dims.get(model) else {
             return Err(ServeError::UnknownModel {
                 model,
@@ -515,6 +622,23 @@ impl ServeRuntime {
                 classes: self.control.spf.len(),
             });
         }
+        let tier = match &quality {
+            None => None,
+            Some(name) => {
+                let Some(idx) = self
+                    .control
+                    .tiers
+                    .iter()
+                    .position(|t| t.tier.name == *name)
+                else {
+                    return Err(ServeError::UnknownQuality {
+                        quality: name.clone(),
+                        tiers: self.tier_names(),
+                    });
+                };
+                Some(idx)
+            }
+        };
         if inputs.len() != n_inputs {
             return Err(ServeError::BadInput {
                 expected: n_inputs,
@@ -542,6 +666,7 @@ impl ServeRuntime {
             class,
             model,
             model_seq,
+            tier,
             inputs,
             submitted: Instant::now(),
             completer,
@@ -554,6 +679,9 @@ impl ServeRuntime {
             Ok(()) => {
                 self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
                 self.metrics.record_model_submit(model);
+                if let Some(t) = tier {
+                    self.metrics.record_tier_submit(t);
+                }
                 Ok(handle)
             }
             Err(PushError::Full(_)) => {
@@ -579,8 +707,157 @@ impl ServeRuntime {
     /// # Errors
     ///
     /// Same as [`ServeRuntime::submit`], plus any worker-side failure.
-    pub fn classify(&self, inputs: Vec<f32>) -> Result<Response, ServeError> {
-        self.submit(inputs)?.wait()
+    pub fn classify(
+        &self,
+        request: impl Into<SubmitRequest>,
+    ) -> Result<Response, ServeError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Names of the configured quality tiers, in table order (empty
+    /// without [`ServeConfig::tiers`]).
+    pub fn tier_names(&self) -> Vec<String> {
+        self.control
+            .tiers
+            .iter()
+            .map(|t| t.tier.name.clone())
+            .collect()
+    }
+
+    /// Fit each tier's margin → confidence [`CalibrationMap`] from a
+    /// held-out labelled set, on the calling thread.
+    ///
+    /// Every `(frame, label)` pair is served once per tier on a clone of
+    /// that tier's deployment at the tier's spf, seeded from a
+    /// calibration-only stream (disjoint from the serving seeds), and the
+    /// observed (vote margin, was-correct) pairs are fitted with binned
+    /// isotonic regression ([`CalibrationMap::fit`]). Until this runs,
+    /// tiers report the raw margin as confidence (identity map).
+    ///
+    /// Workers pick the new maps up on their next micro-batch; serving
+    /// results (votes, predictions) are unaffected — only the reported
+    /// confidence and with it the escalate decision move.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadInput`] / [`ServeError::InputOutOfRange`] on a
+    /// malformed frame. A runtime without tiers (or an empty `frames`)
+    /// returns `Ok(())` untouched.
+    pub fn calibrate_tiers(
+        &self,
+        frames: &[(Vec<f32>, usize)],
+    ) -> Result<(), ServeError> {
+        if self.control.tiers.is_empty() || frames.is_empty() {
+            return Ok(());
+        }
+        for (x, _) in frames {
+            if x.len() != self.n_inputs {
+                return Err(ServeError::BadInput {
+                    expected: self.n_inputs,
+                    got: x.len(),
+                });
+            }
+            if let Some(channel) = x.iter().position(|v| !(0.0..=1.0).contains(v)) {
+                return Err(ServeError::InputOutOfRange {
+                    channel,
+                    value: x[channel],
+                });
+            }
+        }
+        for state in &self.control.tiers {
+            let mut dep = (**state.proto.lock().expect("tier proto lock")).clone();
+            dep.set_parallelism(self.cfg.core_threads);
+            let spf = state.tier.spf;
+            let mut samples = Vec::with_capacity(frames.len());
+            for (ci, chunk) in frames.chunks(16).enumerate() {
+                let inputs: Vec<FrameInput> = chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(k, (x, _))| {
+                        let i = (ci * 16 + k) as u64;
+                        let frame_seed = splitmix64(
+                            self.cfg.seed
+                                ^ i.wrapping_mul(0x9E37_79B9)
+                                ^ CALIBRATION_SALT,
+                        );
+                        FrameInput::new(x, spf, frame_seed)
+                    })
+                    .collect();
+                let results = dep.run_frames(&inputs);
+                for ((_, label), votes) in chunk.iter().zip(results) {
+                    let r = tally(
+                        0,
+                        0,
+                        0,
+                        spf,
+                        0,
+                        votes.ticks,
+                        self.n_classes,
+                        &votes.counts,
+                        Instant::now(),
+                    );
+                    samples.push((vote_margin(&r.votes), r.predicted == *label));
+                }
+            }
+            let map = CalibrationMap::fit(&samples, 8);
+            *state.calibration.lock().expect("calibration lock") = Arc::new(map);
+        }
+        Ok(())
+    }
+
+    /// Swap the *base* (tier-less) serving deployment for a fresh
+    /// Bernoulli ensemble draw — sample `0` reproduces the original
+    /// build; see `tn_chip::nscs::Deployment::build_with_sample`.
+    /// Shorthand for [`ControlAction::Resample`] via
+    /// [`ServeRuntime::apply_control`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServeRuntime::apply_control`] on that action (rejected
+    /// on packed runtimes; the old deployment keeps serving on a failed
+    /// rebuild).
+    pub fn resample(&self, sample: u64) -> Result<(), ServeError> {
+        self.apply_control(&ControlAction::Resample { sample })
+    }
+
+    /// Swap the named tier's deployment for a fresh Bernoulli ensemble
+    /// draw. Workers re-clone at their next micro-batch; the tier's
+    /// previously fitted calibration is kept (re-run
+    /// [`ServeRuntime::calibrate_tiers`] if the draw should be
+    /// re-calibrated).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownQuality`] for an unknown tier name,
+    /// [`ServeError::Deploy`] if the redraw cannot be built (the old
+    /// deployment keeps serving).
+    pub fn resample_tier(&self, quality: &str, sample: u64) -> Result<(), ServeError> {
+        let Some(state) = self
+            .control
+            .tiers
+            .iter()
+            .find(|t| t.tier.name == quality)
+        else {
+            return Err(ServeError::UnknownQuality {
+                quality: quality.to_string(),
+                tiers: self.tier_names(),
+            });
+        };
+        let spec = self
+            .control
+            .spec
+            .as_ref()
+            .expect("tiered runtimes are solo and keep their spec");
+        let dep = Deployment::build_with_sample(
+            spec,
+            state.tier.replicas,
+            self.cfg.seed,
+            self.cfg.connectivity,
+            sample,
+        )?;
+        *state.proto.lock().expect("tier proto lock") = Arc::new(dep);
+        state.epoch.fetch_add(1, Ordering::Release);
+        Ok(())
     }
 
     /// Live queue-depth / in-flight gauge for admission decisions.
@@ -680,14 +957,41 @@ fn apply_action(
             }
             let spec = control.spec.as_ref().expect("solo runtime keeps its spec");
             // The same build a fresh runtime at `r` replicas performs, so
-            // post-swap responses match that runtime bit for bit.
-            let dep = Deployment::build_with_mode(spec, r, cfg.seed, cfg.connectivity)?;
+            // post-swap responses match that runtime bit for bit. Rebuilt
+            // at the *current* ensemble sample so a rescale after
+            // `Resample` stays on the resampled draw (sample 0 is the
+            // plain build, so un-resampled runtimes are unchanged).
+            let dep = Deployment::build_with_sample(
+                spec,
+                r,
+                cfg.seed,
+                cfg.connectivity,
+                control.sample.load(Ordering::Relaxed),
+            )?;
             let cores = dep.core_count();
             *control.proto.lock().expect("proto lock") = Some(Arc::new(dep));
             control.replicas.store(r, Ordering::Relaxed);
             control.cores.store(cores, Ordering::Relaxed);
             // Release pairs with the workers' Acquire epoch read: a worker
             // that sees the new epoch also sees the swapped prototype.
+            control.epoch.fetch_add(1, Ordering::Release);
+            Ok(())
+        }
+        ControlAction::Resample { sample } => {
+            if control.packed.is_some() {
+                return Err(ServeError::BadConfig(
+                    "ensemble resampling is unavailable on a packed multi-tenant runtime"
+                        .into(),
+                ));
+            }
+            let spec = control.spec.as_ref().expect("solo runtime keeps its spec");
+            let r = control.replicas.load(Ordering::Relaxed);
+            let dep =
+                Deployment::build_with_sample(spec, r, cfg.seed, cfg.connectivity, sample)?;
+            let cores = dep.core_count();
+            *control.proto.lock().expect("proto lock") = Some(Arc::new(dep));
+            control.cores.store(cores, Ordering::Relaxed);
+            control.sample.store(sample, Ordering::Relaxed);
             control.epoch.fetch_add(1, Ordering::Release);
             Ok(())
         }
@@ -895,6 +1199,24 @@ fn assemble_snapshot(ctx: &ObserverCtx, seq: u64, now_ns: u64) -> Snapshot {
                 f64::from(mean.unwrap_or(0.0)),
             );
     }
+    // Per quality tier (only on tiered runtimes): submissions and
+    // completions counted against the *requested* tier, how many answers
+    // took the escalate hop, ticks spent (escalation passes included),
+    // and the mean calibrated confidence of the delivered answers.
+    for t in 0..ctx.metrics.n_tiers() {
+        let (submitted, completed, escalated, ticks, confidence_micros) =
+            ctx.metrics.tier_progress(t);
+        let mean_confidence = if completed == 0 {
+            0.0
+        } else {
+            confidence_micros as f64 / 1e6 / completed as f64
+        };
+        snap.counter(&format!("serve.tier.{t}.submitted"), submitted)
+            .counter(&format!("serve.tier.{t}.completed"), completed)
+            .counter(&format!("serve.tier.{t}.escalated"), escalated)
+            .counter(&format!("serve.tier.{t}.ticks"), ticks)
+            .gauge(&format!("serve.tier.{t}.mean_confidence"), mean_confidence);
+    }
     // Live spf per request class: `serve.spf` is class 0 (the default
     // class every plain submit lands in); further classes get suffixed
     // gauges.
@@ -944,6 +1266,24 @@ fn worker_loop(
     dep.set_parallelism(cfg.core_threads);
     let mut local_epoch = control.epoch.load(Ordering::Acquire);
     let n_classes = dep.n_classes();
+    // Tiered runtimes: one clone of every tier's deployment, re-cloned
+    // when that tier's epoch moves (resample). Empty on untiered
+    // runtimes, making every tier loop below a no-op.
+    let mut tier_deps: Vec<Deployment> = control
+        .tiers
+        .iter()
+        .map(|t| {
+            let mut d = (**t.proto.lock().expect("tier proto lock")).clone();
+            d.set_parallelism(cfg.core_threads);
+            d
+        })
+        .collect();
+    let mut tier_epochs: Vec<u64> = control
+        .tiers
+        .iter()
+        .map(|t| t.epoch.load(Ordering::Acquire))
+        .collect();
+    let mut tier_exports: Vec<_> = tier_deps.iter().map(Deployment::counter_export).collect();
     let mut batch: Vec<Job> = Vec::with_capacity(cfg.batch_max);
     let mut last_export = dep.counter_export();
     loop {
@@ -971,14 +1311,37 @@ fn worker_loop(
             last_export = dep.counter_export();
             local_epoch = epoch;
         }
+        for (t, state) in control.tiers.iter().enumerate() {
+            let e = state.epoch.load(Ordering::Acquire);
+            if e != tier_epochs[t] {
+                metrics
+                    .fold_chip(&tier_deps[t].counter_export().delta_since(&tier_exports[t]));
+                tier_deps[t] = (**state.proto.lock().expect("tier proto lock")).clone();
+                tier_deps[t].set_parallelism(cfg.core_threads);
+                tier_exports[t] = tier_deps[t].counter_export();
+                tier_epochs[t] = e;
+            }
+        }
         metrics.batches.fetch_add(1, Ordering::Relaxed);
-        while !batch.is_empty() {
+        // Route: tier-less jobs keep the default fusion path below;
+        // tiered jobs are grouped per tier and served on that tier's
+        // deployment at its fixed operating point.
+        let mut tier_jobs: Vec<Vec<Job>> =
+            (0..control.tiers.len()).map(|_| Vec::new()).collect();
+        let mut default_jobs: Vec<Job> = Vec::with_capacity(batch.len());
+        for job in batch.drain(..) {
+            match job.tier {
+                Some(t) => tier_jobs[t].push(job),
+                None => default_jobs.push(job),
+            }
+        }
+        while !default_jobs.is_empty() {
             let take = control
                 .kernel_batch
                 .load(Ordering::Relaxed)
                 .max(1)
-                .min(batch.len());
-            let chunk: Vec<Job> = batch.drain(..take).collect();
+                .min(default_jobs.len());
+            let chunk: Vec<Job> = default_jobs.drain(..take).collect();
             // Same per-frame derivation as the offline evaluator: the
             // request's sequence number plays the role of the frame index.
             // Each frame runs at its class's *live* spf — the controller's
@@ -1033,12 +1396,152 @@ fn worker_loop(
                     .record(Stage::Vote, t0, t.clock.now_ns().saturating_sub(t0));
             }
         }
+        for (t, jobs) in tier_jobs.into_iter().enumerate() {
+            if !jobs.is_empty() {
+                serve_tier_jobs(
+                    t,
+                    jobs,
+                    worker,
+                    cfg,
+                    metrics,
+                    control,
+                    telemetry.as_ref(),
+                    &mut tier_deps,
+                    n_classes,
+                );
+            }
+        }
         // Fold this batch's hardware work into the global counters.
         let export = dep.counter_export();
         metrics.fold_chip(&export.delta_since(&last_export));
         last_export = export;
+        for (d, le) in tier_deps.iter().zip(tier_exports.iter_mut()) {
+            let export = d.counter_export();
+            metrics.fold_chip(&export.delta_since(le));
+            *le = export;
+        }
     }
     metrics.fold_chip(&dep.counter_export().delta_since(&last_export));
+    for (d, le) in tier_deps.iter().zip(&tier_exports) {
+        metrics.fold_chip(&d.counter_export().delta_since(le));
+    }
+}
+
+/// Serve one tier's share of a drained micro-batch on that tier's
+/// deployment clone, in kernel chunks of the tier's fusion width
+/// (`kernel_batch == 0` inherits the live default width).
+///
+/// Frame seeds keep the global `(cfg.seed, seq)` derivation, so a tiered
+/// request's spikes depend only on its submission order — and an
+/// escalated re-run on the target tier is *bit-identical* to having
+/// submitted the same `seq` to that tier directly (same deployment
+/// clone, same spf, same seed; only `ticks` — which sums both passes —
+/// and the `escalated` flag differ).
+#[allow(clippy::too_many_arguments)]
+fn serve_tier_jobs(
+    tier_idx: usize,
+    mut jobs: Vec<Job>,
+    worker: usize,
+    cfg: &ServeConfig,
+    metrics: &Metrics,
+    control: &ControlState,
+    telemetry: Option<&WorkerTelemetry>,
+    tier_deps: &mut [Deployment],
+    n_classes: usize,
+) {
+    let state = &control.tiers[tier_idx];
+    let width = if state.tier.kernel_batch == 0 {
+        control.kernel_batch.load(Ordering::Relaxed).max(1)
+    } else {
+        state.tier.kernel_batch
+    };
+    let calibration = Arc::clone(&state.calibration.lock().expect("calibration lock"));
+    while !jobs.is_empty() {
+        let take = width.min(jobs.len());
+        let chunk: Vec<Job> = jobs.drain(..take).collect();
+        let frames: Vec<FrameInput> = chunk
+            .iter()
+            .map(|job| {
+                let frame_seed = splitmix64(cfg.seed ^ job.seq.wrapping_mul(0x9E37_79B9));
+                FrameInput::new(&job.inputs, state.tier.spf, frame_seed)
+            })
+            .collect();
+        let kernel_from = telemetry.map(|t| t.clock.now_ns());
+        let results = tier_deps[tier_idx].run_frames(&frames);
+        if let (Some(t), Some(t0)) = (telemetry, kernel_from) {
+            t.spans
+                .record(Stage::Kernel, t0, t.clock.now_ns().saturating_sub(t0));
+        }
+        metrics.kernel_batches.fetch_add(1, Ordering::Relaxed);
+        drop(frames);
+        let vote_from = telemetry.map(|t| t.clock.now_ns());
+        for (job, votes) in chunk.into_iter().zip(results) {
+            let mut response = tally(
+                job.seq,
+                job.class,
+                job.model,
+                state.tier.spf,
+                worker,
+                votes.ticks,
+                n_classes,
+                &votes.counts,
+                job.submitted,
+            );
+            let mut confidence = calibration.apply(vote_margin(&response.votes));
+            let mut escalated = false;
+            let mut served_tier = tier_idx;
+            let mut total_ticks = response.ticks;
+            if confidence < state.tier.confidence_target {
+                if let Some(target) = state.escalate_to {
+                    // Single hop: re-run the same frame (same seed) on the
+                    // target tier's deployment at the target's spf.
+                    let tgt = &control.tiers[target];
+                    let frame_seed =
+                        splitmix64(cfg.seed ^ job.seq.wrapping_mul(0x9E37_79B9));
+                    let redo_frames =
+                        [FrameInput::new(&job.inputs, tgt.tier.spf, frame_seed)];
+                    let redo = tier_deps[target].run_frames(&redo_frames);
+                    metrics.kernel_batches.fetch_add(1, Ordering::Relaxed);
+                    let rerun = tally(
+                        job.seq,
+                        job.class,
+                        job.model,
+                        tgt.tier.spf,
+                        worker,
+                        redo[0].ticks,
+                        n_classes,
+                        &redo[0].counts,
+                        job.submitted,
+                    );
+                    let tgt_calibration =
+                        Arc::clone(&tgt.calibration.lock().expect("calibration lock"));
+                    confidence = tgt_calibration.apply(vote_margin(&rerun.votes));
+                    total_ticks += rerun.ticks;
+                    response = rerun;
+                    response.ticks = total_ticks;
+                    escalated = true;
+                    served_tier = target;
+                }
+            }
+            response.served.tier = Some(control.tiers[served_tier].tier.name.clone());
+            response.served.confidence = confidence;
+            response.served.escalated = escalated;
+            metrics.record_completion(
+                worker,
+                job.class,
+                job.model,
+                total_ticks,
+                response.latency,
+                response.agreement,
+            );
+            metrics.record_tier_completion(tier_idx, escalated, total_ticks, confidence);
+            job.completer.complete(Ok(response));
+        }
+        if let (Some(t), Some(t0)) = (telemetry, vote_from) {
+            t.spans
+                .record(Stage::Vote, t0, t.clock.now_ns().saturating_sub(t0));
+        }
+    }
 }
 
 /// The packed multi-tenant worker loop: same batching, telemetry, and
@@ -1192,15 +1695,16 @@ fn tally(
     }
     let predicted = argmax(&pooled);
     let agreeing = replica_predictions.iter().filter(|&&p| p == predicted).count();
+    // Raw-margin confidence; tiered paths overwrite it with the tier's
+    // calibrated value before completing the request.
+    let margin = vote_margin(&pooled);
     Response {
         seq,
         predicted,
         votes: pooled,
         replica_predictions,
         agreement: agreeing as f32 / replicas.max(1) as f32,
-        class,
-        model,
-        spf,
+        served: ServedAs::new(class, model, spf).with_confidence(margin),
         worker,
         ticks,
         latency: submitted.elapsed(),
@@ -1595,24 +2099,25 @@ mod tests {
         assert_eq!(rt.spf_per_class(), vec![8, 8]);
         // Unknown class is refused up front.
         assert_eq!(
-            rt.submit_class(vec![1.0, 0.0], 2).unwrap_err(),
+            rt.submit(SubmitRequest::new(vec![1.0, 0.0]).class(2))
+                .unwrap_err(),
             ServeError::UnknownClass { class: 2, classes: 2 }
         );
         // Default class rides at its configured spf.
         let r = rt.classify(vec![1.0, 0.0]).expect("serve");
-        assert_eq!((r.class, r.spf, r.ticks), (0, 8, 8));
+        assert_eq!((r.class(), r.spf(), r.ticks), (0, 8, 8));
         // Move class 1's spf; class 0 is untouched.
         rt.apply_control(&ControlAction::SetSpf { class: 1, spf: 16 })
             .expect("set spf");
         assert_eq!(rt.spf_per_class(), vec![8, 16]);
         let r1 = rt
-            .submit_class(vec![0.0, 1.0], 1)
+            .submit(SubmitRequest::new(vec![0.0, 1.0]).class(1))
             .expect("submit")
             .wait()
             .expect("serve");
-        assert_eq!((r1.class, r1.spf, r1.ticks), (1, 16, 16));
+        assert_eq!((r1.class(), r1.spf(), r1.ticks), (1, 16, 16));
         let r0 = rt.classify(vec![0.0, 1.0]).expect("serve");
-        assert_eq!((r0.class, r0.spf, r0.ticks), (0, 8, 8));
+        assert_eq!((r0.class(), r0.spf(), r0.ticks), (0, 8, 8));
         // Out-of-bounds values clamp into the class's tier; zero and
         // unknown classes are refused.
         rt.apply_control(&ControlAction::SetSpf { class: 0, spf: 1024 })
@@ -1681,18 +2186,26 @@ mod tests {
         let mut handles = Vec::new();
         for i in 0..12 {
             let x = (i % 5) as f32 / 4.0;
-            handles.push((0usize, packed.submit_model(0, vec![x, 1.0 - x]).expect("submit")));
+            handles.push((
+                0usize,
+                packed
+                    .submit(SubmitRequest::new(vec![x, 1.0 - x]).model(0))
+                    .expect("submit"),
+            ));
             let y = (i % 3) as f32 / 2.0;
             handles.push((
                 1usize,
-                packed.submit_model(1, vec![y, 1.0 - y, 0.5]).expect("submit"),
+                packed
+                    .submit(SubmitRequest::new(vec![y, 1.0 - y, 0.5]).model(1))
+                    .expect("submit"),
             ));
         }
         let mut got: Vec<Vec<_>> = vec![Vec::new(), Vec::new()];
         for (m, h) in handles {
             let r = h.wait().expect("serve");
-            assert_eq!(r.model, m, "response must name its tenant");
-            got[m].push((r.predicted, r.votes, r.replica_predictions, r.spf, r.ticks));
+            assert_eq!(r.model(), m, "response must name its tenant");
+            let spf = r.spf();
+            got[m].push((r.predicted, r.votes, r.replica_predictions, spf, r.ticks));
         }
         packed.shutdown();
         for (m, spec) in specs.iter().enumerate() {
@@ -1712,7 +2225,8 @@ mod tests {
                 .into_iter()
                 .map(|h| {
                     let r = h.wait().expect("serve");
-                    (r.predicted, r.votes, r.replica_predictions, r.spf, r.ticks)
+                    let spf = r.spf();
+                    (r.predicted, r.votes, r.replica_predictions, spf, r.ticks)
                 })
                 .collect();
             rt.shutdown();
@@ -1725,11 +2239,13 @@ mod tests {
         let specs = [xor_free_spec(), three_class_spec()];
         let rt = ServeRuntime::new_packed(&specs, ServeConfig::new(3)).expect("packed");
         assert_eq!(
-            rt.submit_model(2, vec![0.5, 0.5]).unwrap_err(),
+            rt.submit(SubmitRequest::new(vec![0.5, 0.5]).model(2))
+                .unwrap_err(),
             ServeError::UnknownModel { model: 2, models: 2 }
         );
         assert_eq!(
-            rt.submit_model(1, vec![0.5, 0.5]).unwrap_err(),
+            rt.submit(SubmitRequest::new(vec![0.5, 0.5]).model(1))
+                .unwrap_err(),
             ServeError::BadInput { expected: 3, got: 2 },
             "width is checked against the named tenant"
         );
@@ -1740,11 +2256,11 @@ mod tests {
         rt.apply_control(&ControlAction::SetKernelBatch(4))
             .expect("kernel-batch actuator still works packed");
         let r = rt
-            .submit_model(1, vec![1.0, 0.0, 0.0])
+            .submit(SubmitRequest::new(vec![1.0, 0.0, 0.0]).model(1))
             .expect("submit")
             .wait()
             .expect("serve");
-        assert_eq!((r.model, r.predicted), (1, 0));
+        assert_eq!((r.model(), r.predicted), (1, 0));
         let snap = rt.shutdown();
         assert_eq!(snap.completed, 1);
         assert!(
@@ -1759,16 +2275,17 @@ mod tests {
         assert!(!rt.is_packed());
         assert_eq!(rt.models(), 1);
         assert_eq!(
-            rt.submit_model(1, vec![0.5, 0.5]).unwrap_err(),
+            rt.submit(SubmitRequest::new(vec![0.5, 0.5]).model(1))
+                .unwrap_err(),
             ServeError::UnknownModel { model: 1, models: 1 }
         );
-        // submit_model(0, ..) is the plain submit path.
+        // model(0) is the plain submit path.
         let r = rt
-            .submit_model(0, vec![1.0, 0.0])
+            .submit(SubmitRequest::new(vec![1.0, 0.0]).model(0))
             .expect("submit")
             .wait()
             .expect("serve");
-        assert_eq!((r.model, r.predicted), (0, 0));
+        assert_eq!((r.model(), r.predicted), (0, 0));
         rt.shutdown();
     }
 
@@ -1817,5 +2334,179 @@ mod tests {
         // The wire line round-trips through the strict parser.
         let line = last.to_json_line();
         assert_eq!(Snapshot::parse_json_line(&line).expect("valid line"), last);
+    }
+
+    /// A two-tier table: a 1-replica fast tier and a 4-replica certain
+    /// tier, no escalation unless the caller adds it.
+    fn tier_cfg(seed: u64) -> crate::config::ServeConfigBuilder {
+        ServeConfig::builder(seed)
+            .replicas(2)
+            .workers(2)
+            .tier(QualityTier::new("fast", 1, 2))
+            .tier(QualityTier::new("certain", 4, 8))
+    }
+
+    #[test]
+    fn tier_routing_serves_named_operating_points() {
+        let rt = runtime(tier_cfg(41).build().expect("cfg"));
+        assert_eq!(rt.tier_names(), vec!["fast", "certain"]);
+        // Unknown tiers are refused up front, naming the live table.
+        assert_eq!(
+            rt.submit(SubmitRequest::new(vec![1.0, 0.0]).quality("turbo"))
+                .unwrap_err(),
+            ServeError::UnknownQuality {
+                quality: "turbo".into(),
+                tiers: vec!["fast".into(), "certain".into()],
+            }
+        );
+        // Tier-less requests keep the default replica set and live spf.
+        let r = rt.classify(vec![1.0, 0.0]).expect("serve");
+        assert_eq!(r.tier(), None);
+        assert!(!r.escalated());
+        assert_eq!(r.replica_predictions.len(), 2);
+        // Each tier serves at its own (replicas, spf) point and reports
+        // its name and a confidence in [0, 1].
+        let fast = rt
+            .classify(SubmitRequest::new(vec![1.0, 0.0]).quality("fast"))
+            .expect("serve");
+        assert_eq!(fast.tier(), Some("fast"));
+        assert_eq!((fast.replica_predictions.len(), fast.spf()), (1, 2));
+        assert!(!fast.escalated());
+        assert!((0.0..=1.0).contains(&fast.confidence()));
+        let certain = rt
+            .classify(SubmitRequest::new(vec![1.0, 0.0]).quality("certain"))
+            .expect("serve");
+        assert_eq!(certain.tier(), Some("certain"));
+        assert_eq!((certain.replica_predictions.len(), certain.spf()), (4, 8));
+        let snap = rt.shutdown();
+        assert_eq!(snap.completed, 3);
+    }
+
+    #[test]
+    fn tier_results_are_bit_identical_to_a_runtime_configured_at_that_point() {
+        // A tiered request is served exactly as a runtime *configured* at
+        // the tier's (replicas, spf) would serve the same seq.
+        let rt = runtime(tier_cfg(43).workers(1).build().expect("cfg"));
+        let got: Vec<_> = (0..12)
+            .map(|i| {
+                let x = (i % 5) as f32 / 4.0;
+                rt.classify(SubmitRequest::new(vec![x, 1.0 - x]).quality("certain"))
+                    .map(|r| (r.seq, r.predicted, r.votes, r.replica_predictions))
+                    .expect("serve")
+            })
+            .collect();
+        rt.shutdown();
+        let fresh = runtime(
+            ServeConfig::builder(43)
+                .replicas(4)
+                .workers(1)
+                .spf(8)
+                .build()
+                .expect("cfg"),
+        );
+        let want: Vec<_> = (0..12)
+            .map(|i| {
+                let x = (i % 5) as f32 / 4.0;
+                fresh
+                    .classify(vec![x, 1.0 - x])
+                    .map(|r| (r.seq, r.predicted, r.votes, r.replica_predictions))
+                    .expect("serve")
+            })
+            .collect();
+        fresh.shutdown();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn packed_runtimes_reject_tier_tables() {
+        let specs = [xor_free_spec(), three_class_spec()];
+        let err = ServeRuntime::new_packed(&specs, tier_cfg(3).build().expect("cfg"))
+            .expect_err("tiers are a solo-runtime feature");
+        assert!(matches!(
+            err,
+            ServeError::BadConfig(msg) if msg.contains("packed")
+        ));
+    }
+
+    #[test]
+    fn resample_zero_restores_the_plain_build() {
+        // After a Resample{sample} excursion, Resample{0} must put the
+        // runtime back on the original deployment: requests then served
+        // are bit-identical to a never-resampled runtime at the same
+        // seqs (frame seeds ride the global seq, so the comparison
+        // runtime serves three batches too).
+        let mk = || {
+            runtime(
+                ServeConfig::builder(47)
+                    .replicas(2)
+                    .workers(1)
+                    .build()
+                    .expect("cfg"),
+            )
+        };
+        let rt = mk();
+        let before = serve_n(&rt, 12);
+        rt.resample(5).expect("resample");
+        serve_n(&rt, 12);
+        rt.resample(0).expect("restore");
+        let after = serve_n(&rt, 12);
+        rt.shutdown();
+        let fresh = mk();
+        let want_before = serve_n(&fresh, 12);
+        serve_n(&fresh, 12);
+        let want_after = serve_n(&fresh, 12);
+        fresh.shutdown();
+        assert_eq!(before, want_before);
+        assert_eq!(after, want_after, "sample 0 is the plain build");
+        assert!(matches!(
+            ServeRuntime::new_packed(
+                &[xor_free_spec()],
+                ServeConfig::new(3)
+            )
+            .expect("packed")
+            .resample(1),
+            Err(ServeError::BadConfig(msg)) if msg.contains("packed")
+        ));
+    }
+
+    #[test]
+    fn resample_tier_swaps_one_tier_only() {
+        let rt = runtime(tier_cfg(53).workers(1).build().expect("cfg"));
+        assert!(matches!(
+            rt.resample_tier("turbo", 1),
+            Err(ServeError::UnknownQuality { .. })
+        ));
+        let serve_tiered = |rt: &ServeRuntime, quality: &str, n: usize| -> Vec<_> {
+            (0..n)
+                .map(|i| {
+                    let x = (i % 5) as f32 / 4.0;
+                    rt.classify(SubmitRequest::new(vec![x, 1.0 - x]).quality(quality))
+                        .map(|r| (r.predicted, r.votes, r.replica_predictions))
+                        .expect("serve")
+                })
+                .collect()
+        };
+        let fast_before = serve_tiered(&rt, "fast", 8);
+        let certain_before = serve_tiered(&rt, "certain", 8);
+        rt.resample_tier("certain", 7).expect("resample certain");
+        // Note: seqs advanced, so re-serve the *same seq-relative* stream
+        // on a fresh runtime to compare: instead just assert the fast
+        // tier still matches a freshly built tiered runtime's fast tier.
+        let fast_after = serve_tiered(&rt, "fast", 8);
+        rt.shutdown();
+        // Fast tier frames depend only on (seed, seq); seq moved between
+        // the two fast batches, so compare against fresh runtimes at the
+        // matching seq offsets rather than each other.
+        let fresh = runtime(tier_cfg(53).workers(1).build().expect("cfg"));
+        let fresh_fast = serve_tiered(&fresh, "fast", 8);
+        let fresh_certain = serve_tiered(&fresh, "certain", 8);
+        let fresh_fast_after = serve_tiered(&fresh, "fast", 8);
+        fresh.shutdown();
+        assert_eq!(fast_before, fresh_fast);
+        assert_eq!(certain_before, fresh_certain);
+        assert_eq!(
+            fast_after, fresh_fast_after,
+            "resampling the certain tier must not move the fast tier"
+        );
     }
 }

@@ -10,12 +10,15 @@
 //! sparse-walk activity (a compiled-backend serving run always does).
 //! With `--models N`, every snapshot must carry exactly `N` tenants'
 //! counter families (a packed serving run exports one per tenant).
-//! Used by `scripts/verify.sh` to smoke-test `serve_throughput
-//! --telemetry`.
+//! With `--tiers N`, every snapshot must carry exactly `N` quality
+//! tiers' `serve.tier.{t}.*` families, each internally consistent
+//! (escalated ≤ completed ≤ submitted) and jointly bounded by the
+//! global serve totals. Used by `scripts/verify.sh` to smoke-test
+//! `serve_throughput --telemetry`.
 //!
 //! Usage: `snapshot_check <file.jsonl> [--min N] [--require-sparsity]
-//! [--models N]` (pass `-` to read stdin). Exits non-zero on any
-//! violation.
+//! [--models N] [--tiers N]` (pass `-` to read stdin). Exits non-zero
+//! on any violation.
 
 use std::io::Read;
 
@@ -32,6 +35,7 @@ fn main() {
     let mut min: u64 = 1;
     let mut require_sparsity = false;
     let mut models: Option<usize> = None;
+    let mut tiers: Option<usize> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -54,10 +58,20 @@ fn main() {
                         .unwrap_or_else(|_| fail(&format!("--models {value:?} is not an integer"))),
                 );
             }
+            "--tiers" => {
+                let value = iter
+                    .next()
+                    .unwrap_or_else(|| fail("--tiers requires a value"));
+                tiers = Some(
+                    value
+                        .parse()
+                        .unwrap_or_else(|_| fail(&format!("--tiers {value:?} is not an integer"))),
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: snapshot_check <file.jsonl | -> [--min N] [--require-sparsity] \
-                     [--models N]"
+                     [--models N] [--tiers N]"
                 );
                 return;
             }
@@ -91,6 +105,7 @@ fn main() {
                 max_seq = max_seq.max(snap.seq);
                 check_sparsity(&snap, lineno + 1);
                 check_models(&snap, models, lineno + 1);
+                check_tiers(&snap, tiers, lineno + 1);
                 if snap.counters.get("chip.axon_slots").copied().unwrap_or(0) > 0 {
                     saw_sparsity = true;
                 }
@@ -148,6 +163,63 @@ fn check_models(snap: &Snapshot, expected: Option<usize>, lineno: usize) {
             fail(&format!(
                 "line {lineno}: per-model serve.model.*.{field} sums to {tiled} \
                  but serve.{field} is {total}"
+            ));
+        }
+    }
+}
+
+/// Per-tier counters must be internally consistent: within each
+/// `serve.tier.{t}.*` family, `escalated <= completed <= submitted`
+/// (an answer escalates at most once and only after being admitted),
+/// and summed across tiers, submitted/completed can never exceed the
+/// global serve totals (the default tier-less path also counts there).
+/// With `expected = Some(n)`, exactly `n` tier families must be
+/// present — the tiered-smoke contract in `scripts/verify.sh`.
+fn check_tiers(snap: &Snapshot, expected: Option<usize>, lineno: usize) {
+    let mut n_tiers = 0usize;
+    while snap
+        .counters
+        .contains_key(&format!("serve.tier.{n_tiers}.completed"))
+    {
+        n_tiers += 1;
+    }
+    if let Some(expect) = expected {
+        if n_tiers != expect {
+            fail(&format!(
+                "line {lineno}: expected {expect} tier counter families, found {n_tiers}"
+            ));
+        }
+    }
+    if n_tiers == 0 {
+        return;
+    }
+    let counter = |key: String| snap.counters.get(&key).copied().unwrap_or(0);
+    let (mut sum_submitted, mut sum_completed) = (0u64, 0u64);
+    for t in 0..n_tiers {
+        let submitted = counter(format!("serve.tier.{t}.submitted"));
+        let completed = counter(format!("serve.tier.{t}.completed"));
+        let escalated = counter(format!("serve.tier.{t}.escalated"));
+        if escalated > completed {
+            fail(&format!(
+                "line {lineno}: serve.tier.{t}.escalated ({escalated}) exceeds \
+                 serve.tier.{t}.completed ({completed})"
+            ));
+        }
+        if completed > submitted {
+            fail(&format!(
+                "line {lineno}: serve.tier.{t}.completed ({completed}) exceeds \
+                 serve.tier.{t}.submitted ({submitted})"
+            ));
+        }
+        sum_submitted += submitted;
+        sum_completed += completed;
+    }
+    for (field, tiled) in [("submitted", sum_submitted), ("completed", sum_completed)] {
+        let total = counter(format!("serve.{field}"));
+        if tiled > total {
+            fail(&format!(
+                "line {lineno}: per-tier serve.tier.*.{field} sums to {tiled}, \
+                 exceeding serve.{field} ({total})"
             ));
         }
     }

@@ -65,6 +65,19 @@ impl JsonValue {
         }
     }
 
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+
     /// Member lookup on an object.
     pub fn get(&self, key: &str) -> Option<&JsonValue> {
         self.as_object()?.get(key)

@@ -38,6 +38,18 @@
 //! under `consolidation_cells`; with a trail path given, the packed run
 //! exports per-tenant `serve.model.{id}.*` telemetry there.
 //!
+//! Pass `--tiers [trail.jsonl]` to run the **quality-tier benchmark**:
+//! the biased model serves the identical stream three times through a
+//! tiered runtime — once on `fast` (1 replica, spf/4), once on
+//! `certain` (4 replicas, full spf), and once on `guarded` (fast's
+//! operating point plus a calibrated-confidence floor that escalates
+//! low-margin answers onto `certain`). Confidence is calibrated from
+//! held-out training frames before serving. The cells land in the JSON
+//! summary under `tier_cells`; with a trail path given, a final mixed
+//! run (round-robin across the three tiers) exports per-tier
+//! `serve.tier.{t}.*` telemetry there (validate with
+//! `snapshot_check --tiers 3`).
+//!
 //! Knobs: `TN_SERVE_REQUESTS` (default 1000), `TN_SERVE_WORKERS` (2),
 //! `TN_SERVE_SPF` (8), `TN_SERVE_JSON` (write a machine-readable summary
 //! to this path), plus the usual `TN_TRAIN`/`TN_TEST`/`TN_EPOCHS`.
@@ -481,7 +493,8 @@ fn consolidation_sweep(
     for i in 0..n_per_model {
         for (m, data) in datasets.iter().enumerate() {
             let n_test = data.test_y.len();
-            handles.push((m, i, rt.submit_model(m, data.test_x.row(i % n_test).to_vec())?));
+            let request = SubmitRequest::new(data.test_x.row(i % n_test).to_vec()).model(m);
+            handles.push((m, i, rt.submit(request)?));
         }
     }
     let mut packed_correct = [0u64; 2];
@@ -548,12 +561,237 @@ fn consolidation_sweep(
     }
     let ratio = cells[1].aggregate_rps / cells[0].aggregate_rps;
     println!("consolidation ratio (packed / solo_split): {ratio:.2}x aggregate req/s");
-    if n_per_model >= 100 {
+    // The packed win is a parallel-serving effect (shared worker pool,
+    // grouped lockstep passes); on a box that can't actually run the
+    // worker threads concurrently the comparison is scheduler noise.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if n_per_model >= 100 && cores >= workers {
         assert!(
             ratio > 1.0,
             "packing two tenants onto one chip must beat split solo runtimes \
              at equal total workers ({ratio:.2}x)"
         );
+    } else if n_per_model >= 100 {
+        println!(
+            "(skipping packed-beats-split assert: {cores} core(s) < {workers} \
+             needed to run the split workers concurrently)"
+        );
+    }
+    Ok(cells)
+}
+
+/// One quality-tier measurement: the full stream served at one named
+/// tier of a calibrated tiered runtime.
+struct TierCell {
+    tier: &'static str,
+    replicas: usize,
+    spf: usize,
+    requests: u64,
+    accuracy: f32,
+    escalated: u64,
+    mean_confidence: f32,
+    throughput_rps: f64,
+    p50_us: u128,
+    p99_us: u128,
+    joules_per_frame: f64,
+}
+
+/// The benchmark's tier table: `fast` is the cheap corner of the
+/// copies×spf grid, `certain` the accurate one, and `guarded` is fast's
+/// operating point wearing a confidence contract that escalates
+/// low-margin answers onto `certain`.
+fn tier_table(spf: usize) -> Vec<QualityTier> {
+    let fast_spf = (spf / 4).max(1);
+    vec![
+        QualityTier::new("fast", 1, fast_spf),
+        QualityTier::new("certain", 4, spf),
+        QualityTier::new("guarded", 1, fast_spf)
+            .confidence_target(0.8)
+            .escalate_to("certain"),
+    ]
+}
+
+/// Serve the whole stream at one named tier on a fresh runtime carrying
+/// the full tier table, calibrated from held-out training frames.
+fn tier_cell(
+    tier: &'static str,
+    path: &std::path::Path,
+    table: &[QualityTier],
+    workers: usize,
+    n_requests: usize,
+    data: &BenchData,
+    calib: &[(Vec<f32>, usize)],
+) -> Result<TierCell, Box<dyn std::error::Error>> {
+    let point = table.iter().find(|t| t.name == tier).expect("tier in table");
+    let rt = serve_persisted(
+        path,
+        ServeConfig::builder(SEED)
+            .replicas(1)
+            .workers(workers)
+            .queue_capacity(512)
+            .batch_max(32)
+            .kernel_batch(8)
+            .tiers(table.to_vec())
+            .build()?,
+    )?;
+    rt.calibrate_tiers(calib)?;
+    let n_test = data.test_y.len();
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..n_requests)
+        .map(|i| {
+            rt.submit(SubmitRequest::new(data.test_x.row(i % n_test).to_vec()).quality(tier))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut correct = 0u64;
+    let mut escalated = 0u64;
+    let mut confidence_sum = 0.0f32;
+    for (i, h) in handles.into_iter().enumerate() {
+        let r = h.wait()?;
+        confidence_sum += r.served.confidence();
+        escalated += u64::from(r.served.escalated());
+        if r.predicted == data.test_y[i % n_test] {
+            correct += 1;
+        }
+    }
+    let wall = t0.elapsed();
+    let snap = rt.shutdown();
+    assert_eq!(snap.completed, n_requests as u64, "drain served everything");
+    Ok(TierCell {
+        tier,
+        replicas: point.replicas,
+        spf: point.spf,
+        requests: snap.completed,
+        accuracy: correct as f32 / n_requests as f32,
+        escalated,
+        mean_confidence: confidence_sum / n_requests as f32,
+        throughput_rps: n_requests as f64 / wall.as_secs_f64(),
+        p50_us: snap.p50_latency.as_micros(),
+        p99_us: snap.p99_latency.as_micros(),
+        joules_per_frame: snap.joules_per_frame(),
+    })
+}
+
+/// The quality-tier benchmark: fast vs certain vs guarded (escalating)
+/// on the biased model, plus an optional mixed-stream telemetry trail.
+fn tier_sweep(
+    path: &std::path::Path,
+    workers: usize,
+    spf: usize,
+    n_requests: usize,
+    scale: &RunScale,
+    data: &BenchData,
+    trail: Option<&str>,
+) -> Result<Vec<TierCell>, Box<dyn std::error::Error>> {
+    println!("\n== quality tiers: fast vs certain vs guarded (biased model) ==\n");
+    let table = tier_table(spf);
+    // Held-out calibration frames: training rows the serving stream
+    // never touches, so the fitted map reflects out-of-stream margins.
+    let calib: Vec<(Vec<f32>, usize)> = (0..data.train_y.len().min(240))
+        .map(|i| (data.train_x.row(i).to_vec(), data.train_y[i]))
+        .collect();
+    println!(
+        "{:<8} {:>8} {:>5} {:>10} {:>10} {:>11} {:>11} {:>9} {:>9} {:>12}",
+        "tier", "replicas", "spf", "accuracy", "escalated", "confidence", "req/s", "p50 µs",
+        "p99 µs", "J/frame"
+    );
+    let mut cells = Vec::new();
+    for tier in ["fast", "certain", "guarded"] {
+        let cell = tier_cell(tier, path, &table, workers, n_requests, data, &calib)?;
+        println!(
+            "{:<8} {:>8} {:>5} {:>10.4} {:>10} {:>11.3} {:>11.1} {:>9} {:>9} {:>12.3e}",
+            cell.tier,
+            cell.replicas,
+            cell.spf,
+            cell.accuracy,
+            cell.escalated,
+            cell.mean_confidence,
+            cell.throughput_rps,
+            cell.p50_us,
+            cell.p99_us,
+            cell.joules_per_frame,
+        );
+        cells.push(cell);
+    }
+    let (fast, certain, guarded) = (&cells[0], &cells[1], &cells[2]);
+    assert!(
+        fast.throughput_rps > certain.throughput_rps,
+        "the fast tier must win on req/s ({:.1} vs {:.1})",
+        fast.throughput_rps,
+        certain.throughput_rps
+    );
+    assert!(
+        fast.joules_per_frame < certain.joules_per_frame,
+        "the fast tier must win on energy ({:.3e} vs {:.3e} J/frame)",
+        fast.joules_per_frame,
+        certain.joules_per_frame
+    );
+    let gap = certain.accuracy - fast.accuracy;
+    let recovered = guarded.accuracy - fast.accuracy;
+    println!(
+        "\nescalation: {} of {} answers re-ran on certain; accuracy gap {:.4}, recovered {:.4}",
+        guarded.escalated, guarded.requests, gap, recovered
+    );
+    if scale.n_train >= 800 {
+        assert!(
+            certain.accuracy >= fast.accuracy,
+            "the certain tier must not lose to fast on accuracy ({:.4} vs {:.4})",
+            certain.accuracy,
+            fast.accuracy
+        );
+        assert!(
+            recovered >= gap / 2.0,
+            "escalation must recover at least half the fast→certain accuracy gap \
+             (gap {gap:.4}, recovered {recovered:.4})"
+        );
+        assert!(
+            fast.joules_per_frame <= guarded.joules_per_frame
+                && guarded.joules_per_frame <= certain.joules_per_frame,
+            "escalation energy must sit between the pure tiers \
+             ({:.3e} <= {:.3e} <= {:.3e})",
+            fast.joules_per_frame,
+            guarded.joules_per_frame,
+            certain.joules_per_frame
+        );
+    } else {
+        println!(
+            "(skipping tier-accuracy asserts at n_train {} < 800: models too noisy)",
+            scale.n_train
+        );
+    }
+
+    // A mixed round-robin stream over all three tiers, exporting the
+    // per-tier `serve.tier.{t}.*` telemetry families to the trail.
+    if let Some(trail_path) = trail {
+        let sink = Arc::new(JsonLinesSink::new(File::create(trail_path)?));
+        let cfg = ServeConfig::builder(SEED)
+            .replicas(1)
+            .workers(workers)
+            .queue_capacity(512)
+            .batch_max(32)
+            .kernel_batch(8)
+            .tiers(table.clone())
+            .telemetry(TelemetryConfig {
+                interval: Duration::from_millis(10),
+                ..TelemetryConfig::default()
+            })
+            .build()?;
+        let rt = serve_persisted_with_sink(path, cfg, sink as Arc<dyn MetricsSink>)?;
+        rt.calibrate_tiers(&calib)?;
+        let names = ["fast", "certain", "guarded"];
+        let n_test = data.test_y.len();
+        let handles: Vec<_> = (0..n_requests)
+            .map(|i| {
+                rt.submit(
+                    SubmitRequest::new(data.test_x.row(i % n_test).to_vec())
+                        .quality(names[i % names.len()]),
+                )
+            })
+            .collect::<Result<_, _>>()?;
+        for h in handles {
+            h.wait()?;
+        }
+        rt.shutdown();
+        println!("tiered telemetry trail written to {trail_path}");
     }
     Ok(cells)
 }
@@ -642,6 +880,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // optional path receives the packed run's telemetry trail.
     let packed_at = args.iter().position(|a| a == "--packed");
     let packed_trail: Option<String> = packed_at.and_then(|i| {
+        args.get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+    });
+    // `--tiers [trail.jsonl]` enables the quality-tier benchmark; the
+    // optional path receives the mixed-stream per-tier telemetry trail.
+    let tiers_at = args.iter().position(|a| a == "--tiers");
+    let tiers_trail: Option<String> = tiers_at.and_then(|i| {
         args.get(i + 1)
             .filter(|v| !v.starts_with("--"))
             .cloned()
@@ -755,6 +1001,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             spf,
             n_requests,
             packed_trail.as_deref(),
+        )?
+    } else {
+        Vec::new()
+    };
+
+    // Quality tiers: the same stream at named operating points, with
+    // calibrated confidence and the abstain/escalate path in between.
+    let tier_cells = if tiers_at.is_some() {
+        tier_sweep(
+            &biased_path,
+            workers,
+            spf,
+            n_requests,
+            &scale,
+            &data,
+            tiers_trail.as_deref(),
         )?
     } else {
         Vec::new()
@@ -904,6 +1166,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             format!(",\n  \"consolidation_cells\": [\n{rows}\n  ]")
         };
+        let tier_rows = if tier_cells.is_empty() {
+            String::new()
+        } else {
+            let mut rows = String::new();
+            for (i, c) in tier_cells.iter().enumerate() {
+                if i > 0 {
+                    rows.push_str(",\n");
+                }
+                rows.push_str(&format!(
+                    "    {{\"tier\": \"{}\", \"replicas\": {}, \"spf\": {}, \"requests\": {}, \"accuracy\": {:.4}, \"escalated\": {}, \"mean_confidence\": {:.4}, \"req_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \"joules_per_frame\": {:.4e}}}",
+                    c.tier,
+                    c.replicas,
+                    c.spf,
+                    c.requests,
+                    c.accuracy,
+                    c.escalated,
+                    c.mean_confidence,
+                    c.throughput_rps,
+                    c.p50_us,
+                    c.p99_us,
+                    c.joules_per_frame,
+                ));
+            }
+            format!(",\n  \"tier_cells\": [\n{rows}\n  ]")
+        };
         let fmt_needs = |n: usize| {
             if n == usize::MAX {
                 "null".to_string()
@@ -912,7 +1199,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         };
         let json = format!(
-            "{{\n  \"bench\": 1,\n  \"seed\": {SEED},\n  \"spf\": {spf},\n  \"workers\": {workers},\n  \"requests_per_cell\": {n_requests},\n  \"float_accuracy\": {{\"tea\": {:.4}, \"biased\": {:.4}}},\n  \"replicas_needed_for_recovery\": {{\"tea\": {}, \"biased\": {}}},\n  \"cells\": [\n{rows}\n  ]{adaptive_rows}{gateway_rows}{consolidation_rows}\n}}\n",
+            "{{\n  \"bench\": 1,\n  \"seed\": {SEED},\n  \"spf\": {spf},\n  \"workers\": {workers},\n  \"requests_per_cell\": {n_requests},\n  \"float_accuracy\": {{\"tea\": {:.4}, \"biased\": {:.4}}},\n  \"replicas_needed_for_recovery\": {{\"tea\": {}, \"biased\": {}}},\n  \"cells\": [\n{rows}\n  ]{adaptive_rows}{gateway_rows}{consolidation_rows}{tier_rows}\n}}\n",
             tea.float_accuracy,
             biased.float_accuracy,
             fmt_needs(tea_needs),

@@ -26,7 +26,8 @@ echo "== telemetry smoke: adaptive serve exports valid snapshots =="
 TELEMETRY_OUT="$(mktemp /tmp/tn_verify_telemetry.XXXXXX.jsonl)"
 GATEWAY_TRAIL="$(mktemp /tmp/tn_verify_gateway.XXXXXX.jsonl)"
 PACKED_TRAIL="$(mktemp /tmp/tn_verify_packed.XXXXXX.jsonl)"
-trap 'rm -f "$TELEMETRY_OUT" "$GATEWAY_TRAIL" "$PACKED_TRAIL"' EXIT
+TIER_TRAIL="$(mktemp /tmp/tn_verify_tiers.XXXXXX.jsonl)"
+trap 'rm -f "$TELEMETRY_OUT" "$GATEWAY_TRAIL" "$PACKED_TRAIL" "$TIER_TRAIL"' EXIT
 # --packed also runs the two-tenant consolidation sweep, which asserts
 # per-tenant bit-identity with solo runtimes and (at >= 100 requests per
 # model) that the packed runtime beats the split-solo baseline on
@@ -42,6 +43,18 @@ cargo run --release -q -p tn-telemetry --bin snapshot_check -- \
 # families, and they must tile the global serve.* totals.
 cargo run --release -q -p tn-telemetry --bin snapshot_check -- \
   "$PACKED_TRAIL" --min 1 --models 2
+
+echo "== tier smoke: quality tiers, escalation, per-tier telemetry =="
+# --tiers runs fast/certain/guarded cells on a calibrated tiered runtime
+# and asserts the fast tier wins on req/s and J/frame (the accuracy and
+# escalation-recovery asserts need a real model and only arm at
+# TN_TRAIN >= 800). The mixed-stream trail must export exactly three
+# tiers' serve.tier.{t}.* families, internally consistent.
+TN_TRAIN=200 TN_TEST=60 TN_EPOCHS=1 TN_SERVE_REQUESTS=200 \
+  cargo run --release -q -p truenorth --example serve_throughput -- \
+  --tiers "$TIER_TRAIL"
+cargo run --release -q -p tn-telemetry --bin snapshot_check -- \
+  "$TIER_TRAIL" --min 1 --tiers 3
 
 echo "== gateway smoke: wire serving, load shedding, graceful drain =="
 # The demo asserts: concurrent std-TCP clients all served 200, at least

@@ -592,6 +592,122 @@ fn packed_gateway_routes_models_and_rejects_unknown_ids() {
 }
 
 #[test]
+fn tiered_gateway_serves_quality_keys_and_structured_errors() {
+    // The wire mirror of the quality-tier API: the "quality" body key
+    // routes onto a named tier, responses carry tier/confidence/
+    // escalated, an unknown tier name is a structured 400 whose detail
+    // lists what this runtime serves, and /v1/config lists the table.
+    let spec = fractional_spec();
+    let cfg = ServeConfig::builder(83)
+        .replicas(1)
+        .workers(2)
+        .tier(
+            QualityTier::new("fast", 1, 2)
+                .confidence_target(2.0)
+                .escalate_to("certain"),
+        )
+        .tier(QualityTier::new("certain", 4, 8))
+        .build()
+        .expect("cfg");
+    let gw = Gateway::bind("127.0.0.1:0", &spec, cfg, GatewayConfig::default()).expect("bind");
+    let mut client = TcpStream::connect(gw.local_addr()).expect("connect");
+    let with_quality = |frame: &[f32], quality: &str| -> Vec<u8> {
+        let nums: Vec<String> = frame.iter().map(|v| v.to_string()).collect();
+        let body = format!("{{\"frame\":[{}],\"quality\":\"{quality}\"}}", nums.join(","));
+        format!(
+            "POST /v1/classify HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .into_bytes()
+    };
+    client
+        .write_all(&with_quality(&request_inputs(0), "fast"))
+        .expect("send fast");
+    client
+        .write_all(&classify_request(&request_inputs(1)))
+        .expect("send default");
+    client
+        .write_all(&with_quality(&request_inputs(2), "bogus"))
+        .expect("send bogus");
+    let responses = read_responses(&mut client, 3);
+    drop(client);
+
+    // A fast-tier request under an unreachable confidence floor comes
+    // back escalated onto `certain`, confidence included.
+    let escalated = &responses[0];
+    assert_eq!(escalated.status, 200, "{}", escalated.body);
+    let v = escalated.json();
+    assert_eq!(v.get("tier").and_then(JsonValue::as_str), Some("certain"));
+    assert_eq!(v.get("escalated").and_then(JsonValue::as_bool), Some(true));
+    let confidence = v.get("confidence").and_then(JsonValue::as_f64).expect("confidence");
+    assert!((0.0..=1.0).contains(&confidence), "confidence {confidence}");
+
+    // A tier-less request reports the default path: null tier, raw
+    // margin confidence, never escalated.
+    let plain = responses[1].json();
+    assert!(plain.get("tier").is_some_and(JsonValue::is_null), "{}", responses[1].body);
+    assert_eq!(plain.get("escalated").and_then(JsonValue::as_bool), Some(false));
+
+    // An unknown tier is the unified structured 400: code + message +
+    // detail listing the quality asked for and the tiers on offer.
+    let unknown = &responses[2];
+    assert_eq!(unknown.status, 400, "{}", unknown.body);
+    let err = unknown.json();
+    let error = err.get("error").expect("error object");
+    assert_eq!(
+        error.get("code").and_then(JsonValue::as_str),
+        Some("unknown_quality")
+    );
+    let detail = error.get("detail").expect("detail object");
+    assert_eq!(detail.get("quality").and_then(JsonValue::as_str), Some("bogus"));
+    let tiers: Vec<&str> = detail
+        .get("tiers")
+        .and_then(JsonValue::as_array)
+        .expect("tiers array")
+        .iter()
+        .map(|t| t.as_str().expect("tier name"))
+        .collect();
+    assert_eq!(tiers, vec!["fast", "certain"]);
+
+    // The non-routing errors share the same envelope with a null detail.
+    let mut client = TcpStream::connect(gw.local_addr()).expect("connect");
+    client
+        .write_all(b"POST /v1/classify HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}")
+        .expect("send bad body");
+    let bad = read_responses(&mut client, 1).remove(0);
+    assert_eq!(bad.status, 400);
+    assert!(
+        bad.json()
+            .get("error")
+            .and_then(|e| e.get("detail"))
+            .is_some_and(JsonValue::is_null),
+        "{}",
+        bad.body
+    );
+
+    // Config introspection lists the tier table.
+    client
+        .write_all(b"GET /v1/config HTTP/1.1\r\n\r\n")
+        .expect("send config");
+    let config = read_responses(&mut client, 1).remove(0).json();
+    drop(client);
+    let tiers = config
+        .get("tiers")
+        .and_then(JsonValue::as_array)
+        .expect("tiers array");
+    assert_eq!(tiers.len(), 2);
+    assert_eq!(tiers[0].get("name").and_then(JsonValue::as_str), Some("fast"));
+    assert_eq!(
+        tiers[0].get("escalate_to").and_then(JsonValue::as_str),
+        Some("certain")
+    );
+    assert_eq!(tiers[1].get("replicas").and_then(JsonValue::as_u64), Some(4));
+    let snap = gw.shutdown();
+    assert_eq!(snap.completed, 2);
+}
+
+#[test]
 fn http_errors_keep_the_connection_serving() {
     // Routing and payload errors are per-request: after a 404, a 405 and
     // a 400, the same connection still classifies.

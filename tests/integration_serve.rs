@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use tn_chip::nscs::{CoreDeploySpec, InputSource};
 use tn_chip::prng::splitmix64;
+use tn_serve::vote_margin;
 use truenorth::prelude::*;
 
 /// A single-core 2-class spec with fractional weights so replica
@@ -300,6 +301,115 @@ fn builder_rejections_carry_distinct_variants_and_messages() {
     let bad = ServeConfig::builder(1).workers(0).build().unwrap_err();
     assert!(!matches!(bad, ServeError::QueueFull | ServeError::WaitTimeout));
     assert_ne!(bad, ServeError::ShuttingDown);
+}
+
+/// Tier table used by the tier integration tests: a cheap `fast` point
+/// that always escalates (confidence_target above 1.0 is unreachable)
+/// and the `certain` point it escalates onto.
+fn always_escalating_cfg(seed: u64, workers: usize) -> ServeConfig {
+    ServeConfig::builder(seed)
+        .replicas(1)
+        .workers(workers)
+        .tier(
+            QualityTier::new("fast", 1, 2)
+                .confidence_target(2.0)
+                .escalate_to("certain"),
+        )
+        .tier(QualityTier::new("certain", 4, 8))
+        .build()
+        .expect("cfg")
+}
+
+#[test]
+fn escalated_answers_are_bit_identical_to_direct_certain_submission() {
+    // The abstain/escalate contract: a fast-tier answer that trips the
+    // confidence floor is re-run on the certain tier with the *same*
+    // seq-derived frame seed, so the delivered answer is bit-identical
+    // to submitting the same request directly on the certain tier of a
+    // fresh runtime at the same sequence numbers.
+    type ServedAnswers = (Vec<(u64, usize, Vec<u64>)>, Vec<bool>);
+    let spec = fractional_spec();
+    let serve_all = |quality: &str| -> ServedAnswers {
+        let rt = ServeRuntime::new(&spec, always_escalating_cfg(61, 2)).expect("runtime");
+        let handles: Vec<_> = (0..24)
+            .map(|i| {
+                rt.submit(SubmitRequest::new(request_inputs(i)).quality(quality))
+                    .expect("submit")
+            })
+            .collect();
+        let mut results = Vec::new();
+        let mut escalated = Vec::new();
+        for h in handles {
+            let r = h.wait().expect("serve");
+            assert_eq!(r.served.tier(), Some("certain"), "seq {}", r.seq);
+            escalated.push(r.served.escalated());
+            results.push((r.seq, r.predicted, r.votes));
+        }
+        rt.shutdown();
+        (results, escalated)
+    };
+    let (via_escalation, escalated) = serve_all("fast");
+    let (direct, direct_escalated) = serve_all("certain");
+    assert_eq!(via_escalation, direct, "escalated answers must be bit-identical");
+    assert!(escalated.iter().all(|&e| e), "every fast answer must escalate");
+    assert!(direct_escalated.iter().all(|&e| !e), "direct answers never escalate");
+}
+
+#[test]
+fn calibrated_confidence_is_monotone_in_vote_margin() {
+    // The calibration map is isotonic by construction; observed end to
+    // end: sorting served responses by raw vote margin must never invert
+    // their reported confidence ordering.
+    let spec = fractional_spec();
+    let rt = ServeRuntime::new(
+        &spec,
+        ServeConfig::builder(67)
+            .replicas(1)
+            .workers(2)
+            .tier(QualityTier::new("fast", 3, 4))
+            .build()
+            .expect("cfg"),
+    )
+    .expect("runtime");
+    let calib: Vec<(Vec<f32>, usize)> = (0..48)
+        .map(|i| (request_inputs(i), i % 2))
+        .collect();
+    rt.calibrate_tiers(&calib).expect("calibrate");
+    let handles: Vec<_> = (0..64)
+        .map(|i| {
+            rt.submit(SubmitRequest::new(request_inputs(i)).quality("fast"))
+                .expect("submit")
+        })
+        .collect();
+    let mut observed: Vec<(f32, f32)> = handles
+        .into_iter()
+        .map(|h| {
+            let r = h.wait().expect("serve");
+            (vote_margin(&r.votes), r.served.confidence())
+        })
+        .collect();
+    rt.shutdown();
+    observed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite margins"));
+    for pair in observed.windows(2) {
+        assert!(
+            pair[1].1 >= pair[0].1 - 1e-6,
+            "confidence must be monotone in vote margin: {pair:?}"
+        );
+    }
+}
+
+#[test]
+fn unknown_quality_is_rejected_with_the_tier_list() {
+    let rt = ServeRuntime::new(&fractional_spec(), always_escalating_cfg(71, 1))
+        .expect("runtime");
+    match rt.submit(SubmitRequest::new(request_inputs(0)).quality("bogus")) {
+        Err(ServeError::UnknownQuality { quality, tiers }) => {
+            assert_eq!(quality, "bogus");
+            assert_eq!(tiers, vec!["fast".to_string(), "certain".to_string()]);
+        }
+        other => panic!("expected UnknownQuality, got {other:?}"),
+    }
+    rt.shutdown();
 }
 
 #[test]

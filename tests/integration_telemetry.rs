@@ -143,13 +143,16 @@ fn rescale_stays_bit_identical_with_spf_actuator_enabled() {
     };
     let serve_all = |rt: &ServeRuntime| -> Vec<(u64, usize, usize, Vec<u64>, u64)> {
         let handles: Vec<_> = (0..32)
-            .map(|i| rt.submit_class(frame(spec.n_inputs, i), i % 2).expect("submit"))
+            .map(|i| {
+                rt.submit(SubmitRequest::new(frame(spec.n_inputs, i)).class(i % 2))
+                    .expect("submit")
+            })
             .collect();
         handles
             .into_iter()
             .map(|h| {
                 let r = h.wait().expect("serve");
-                (r.seq, r.class, r.spf, r.votes, r.ticks)
+                (r.seq, r.class(), r.spf(), r.votes, r.ticks)
             })
             .collect()
     };
@@ -186,12 +189,15 @@ fn controller_widens_kernel_batch_under_sustained_backlog() {
     // Closed loop, end to end: a submission burst far outrunning one
     // worker keeps queue fill above the high watermark, so the controller
     // must double the live fusion width away from its floor. Bounded
-    // polling (not a fixed sleep) keeps this robust on slow machines.
+    // polling (not a fixed sleep) keeps this robust on slow machines, and
+    // the heavy spf keeps the backlog alive long enough that the
+    // controller thread cannot miss the whole drain window even when its
+    // spawn is delayed on a loaded single-core box.
     let spec = fractional_spec();
     let cfg = ServeConfig::builder(53)
         .replicas(1)
         .workers(1)
-        .spf(64)
+        .spf(256)
         .queue_capacity(256)
         .batch_max(32)
         .kernel_batch(16)
