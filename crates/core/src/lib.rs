@@ -77,6 +77,7 @@ pub mod tea;
 pub mod testbench;
 pub mod variance;
 
+pub use tn_fleet as fleet;
 pub use tn_gateway as gateway;
 
 /// Convenient glob-import of the commonly used types across the workspace.
@@ -91,10 +92,10 @@ pub mod prelude {
     };
     pub use crate::power::{analyze_energy, EnergyAnalysis};
     pub use crate::serving::{
-        gateway_network, gateway_network_with_sink, gateway_spec, serve_network,
-        serve_network_with_sink, serve_packed_networks, serve_packed_specs,
-        serve_packed_specs_with_sink, serve_persisted, serve_persisted_with_sink, serve_spec,
-        serve_spec_with_sink, ServingError,
+        fleet_network, fleet_persisted, fleet_persisted_with_sink, gateway_network,
+        gateway_network_with_sink, gateway_spec, serve_network, serve_network_with_sink,
+        serve_packed_networks, serve_packed_specs, serve_packed_specs_with_sink, serve_persisted,
+        serve_persisted_with_sink, serve_spec, serve_spec_with_sink, ServingError,
     };
     pub use crate::surface::{AccuracySurface, BoostSurface};
     pub use crate::tea::{
@@ -103,12 +104,14 @@ pub mod prelude {
     pub use crate::testbench::{BenchData, BenchError, DatasetKind, RunScale, TestBench};
     pub use crate::variance::{mean_synaptic_variance, DeviationStats, ProbabilityHistogram};
     pub use tn_chip::nscs::{ConnectivityMode, Deployment, FrameInput, NetworkDeploySpec, Votes};
+    pub use tn_fleet::{DispatchPolicy, FleetConfig, FleetRouter, LocalFleet};
     pub use tn_gateway::{Gateway, GatewayConfig, GatewayError};
     pub use tn_learn::model::Network;
     pub use tn_learn::penalty::Penalty;
     pub use tn_serve::{
         Backpressure, CalibrationMap, ControlAction, ControlSample, Controller, ControllerConfig,
-        MetricsSnapshot, QualityTier, RequestHandle, Response, ServeConfig, ServeConfigBuilder,
-        ServeError, ServeRuntime, ServedAs, SpfClass, SubmitRequest, TelemetryConfig,
+        MetricsSnapshot, QualityTier, RequestHandle, Response, ServeBackend, ServeConfig,
+        ServeConfigBuilder, ServeError, ServeRuntime, ServedAs, SpfClass, SubmitRequest,
+        TelemetryConfig,
     };
 }

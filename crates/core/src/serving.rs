@@ -21,6 +21,7 @@ use std::net::ToSocketAddrs;
 use std::path::Path;
 use std::sync::Arc;
 
+use tn_fleet::{FleetConfig, LocalFleet};
 use tn_gateway::{Gateway, GatewayConfig, GatewayError};
 use tn_learn::model::Network;
 use tn_learn::persist::{load_network, PersistError};
@@ -267,6 +268,61 @@ pub fn gateway_network_with_sink(
 ) -> Result<Gateway, ServingError> {
     let spec = extract_spec(net)?;
     Ok(Gateway::bind_with_sink(addr, &spec, serve_cfg, gw_cfg, sink)?)
+}
+
+/// Scale a trained network *out*: extract its hardware spec and launch
+/// an in-process `tn-fleet` — `n_shards` shard runtimes (each a full
+/// replica set built from `cfg.serve`) behind one router whose answer
+/// stream is bit-identical to a solo runtime. Submit through
+/// [`LocalFleet::router`] (a [`tn_serve::ServeBackend`]), or bind a
+/// gateway over it with `Gateway::bind_backend`.
+///
+/// # Errors
+///
+/// [`ServingError::Extract`] for non-deployable networks,
+/// [`ServingError::Serve`] for config/deploy/handshake failures.
+pub fn fleet_network(
+    net: &Network,
+    n_shards: usize,
+    cfg: FleetConfig,
+) -> Result<LocalFleet, ServingError> {
+    let spec = extract_spec(net)?;
+    Ok(LocalFleet::launch(&spec, n_shards, cfg)?)
+}
+
+/// Like [`fleet_network`], deploying from a model file persisted with
+/// [`tn_learn::persist::save_network`].
+///
+/// # Errors
+///
+/// [`ServingError::Persist`] for unreadable or corrupt model files, plus
+/// everything [`fleet_network`] can return.
+pub fn fleet_persisted(
+    path: &Path,
+    n_shards: usize,
+    cfg: FleetConfig,
+) -> Result<LocalFleet, ServingError> {
+    let file = std::fs::File::open(path)?;
+    let net = load_network(std::io::BufReader::new(file))?;
+    fleet_network(&net, n_shards, cfg)
+}
+
+/// Like [`fleet_persisted`], with a [`MetricsSink`] receiving every
+/// shard's `tn-telemetry/1` heartbeats as one aggregated stream.
+///
+/// # Errors
+///
+/// Same as [`fleet_persisted`].
+pub fn fleet_persisted_with_sink(
+    path: &Path,
+    n_shards: usize,
+    cfg: FleetConfig,
+    sink: Arc<dyn MetricsSink>,
+) -> Result<LocalFleet, ServingError> {
+    let file = std::fs::File::open(path)?;
+    let net = load_network(std::io::BufReader::new(file))?;
+    let spec = extract_spec(&net)?;
+    Ok(LocalFleet::launch_with_sink(&spec, n_shards, cfg, sink)?)
 }
 
 /// Like [`serve_persisted`], with a [`MetricsSink`] for telemetry export.

@@ -1,0 +1,616 @@
+//! JSON payloads for the fleet frames.
+//!
+//! Everything on the wire is JSON text (parsed with the same strict
+//! reader `tn-telemetry` uses for snapshot lines — the workspace builds
+//! offline, so there is no serde_json). Floats are encoded with `{:?}`,
+//! which prints the shortest decimal that round-trips, so a frame's
+//! spike rates and a response's confidence survive the wire bit-exactly
+//! — a requirement, since the fleet's contract is that its answer
+//! stream is *bit-identical* to a solo runtime's.
+
+use std::time::Duration;
+
+use tn_serve::{Response, ServeError, ServedAs, SubmitRequest};
+use tn_telemetry::json::{escape, parse, JsonValue};
+
+/// The handshake schema tag; a router refuses a shard that does not
+/// announce exactly this.
+pub const SCHEMA: &str = "tn-fleet/1";
+
+// ---------------------------------------------------------------------
+// decode helpers
+// ---------------------------------------------------------------------
+
+fn want<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, String> {
+    v.get(key).ok_or_else(|| format!("missing key {key:?}"))
+}
+
+fn get_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    want(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("{key:?} is not a non-negative integer"))
+}
+
+fn get_usize(v: &JsonValue, key: &str) -> Result<usize, String> {
+    Ok(get_u64(v, key)? as usize)
+}
+
+fn get_f64(v: &JsonValue, key: &str) -> Result<f64, String> {
+    want(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("{key:?} is not a number"))
+}
+
+fn get_str(v: &JsonValue, key: &str) -> Result<String, String> {
+    Ok(want(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("{key:?} is not a string"))?
+        .to_string())
+}
+
+fn get_bool(v: &JsonValue, key: &str) -> Result<bool, String> {
+    want(v, key)?
+        .as_bool()
+        .ok_or_else(|| format!("{key:?} is not a boolean"))
+}
+
+fn get_arr<'a>(v: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], String> {
+    want(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("{key:?} is not an array"))
+}
+
+fn u64_array(v: &JsonValue, key: &str) -> Result<Vec<u64>, String> {
+    get_arr(v, key)?
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .ok_or_else(|| format!("{key:?} holds a non-integer"))
+        })
+        .collect()
+}
+
+fn usize_array(v: &JsonValue, key: &str) -> Result<Vec<usize>, String> {
+    Ok(u64_array(v, key)?.into_iter().map(|x| x as usize).collect())
+}
+
+fn f32_array(v: &JsonValue, key: &str) -> Result<Vec<f32>, String> {
+    get_arr(v, key)?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .map(|f| f as f32)
+                .ok_or_else(|| format!("{key:?} holds a non-number"))
+        })
+        .collect()
+}
+
+fn string_array(v: &JsonValue, key: &str) -> Result<Vec<String>, String> {
+    get_arr(v, key)?
+        .iter()
+        .map(|x| {
+            x.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("{key:?} holds a non-string"))
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// encode helpers
+// ---------------------------------------------------------------------
+
+fn json_usizes(xs: &[usize]) -> String {
+    let items: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn json_u64s(xs: &[u64]) -> String {
+    let items: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn json_f32s(xs: &[f32]) -> String {
+    let items: Vec<String> = xs.iter().map(|x| format!("{:?}", f64::from(*x))).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn json_strings(xs: &[String]) -> String {
+    let items: Vec<String> = xs.iter().map(|s| format!("\"{}\"", escape(s))).collect();
+    format!("[{}]", items.join(","))
+}
+
+// ---------------------------------------------------------------------
+// Hello
+// ---------------------------------------------------------------------
+
+/// A shard's opening announcement: protocol schema plus everything a
+/// router needs for client-side validation, introspection endpoints,
+/// and energy attribution — so steady-state dispatch never needs a
+/// round-trip to ask a shard about itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// Input channels (tenant model 0).
+    pub n_inputs: usize,
+    /// Classes voted on (tenant model 0).
+    pub n_classes: usize,
+    /// Per tenant model `(n_inputs, n_classes)`.
+    pub models: Vec<(usize, usize)>,
+    /// Replica count in force at connect time.
+    pub replicas: usize,
+    /// Whether the shard serves multiple tenants on one packed chip.
+    pub packed: bool,
+    /// Kernel fusion width in force at connect time.
+    pub kernel_batch: usize,
+    /// Live ticks-per-frame per request class.
+    pub spf: Vec<usize>,
+    /// Quality tier names, in config order.
+    pub tiers: Vec<String>,
+    /// The shard's submission queue capacity.
+    pub queue_capacity: usize,
+    /// Chip cores occupied by one worker's deployment (drives the
+    /// router's [`tn_chip::energy`] attribution).
+    pub cores: usize,
+}
+
+impl Hello {
+    /// Encode as the Hello frame payload.
+    pub fn encode(&self) -> String {
+        let models: Vec<String> = self
+            .models
+            .iter()
+            .map(|(i, c)| format!("{{\"n_inputs\":{i},\"n_classes\":{c}}}"))
+            .collect();
+        format!(
+            "{{\"schema\":\"{SCHEMA}\",\"n_inputs\":{},\"n_classes\":{},\"models\":[{}],\
+             \"replicas\":{},\"packed\":{},\"kernel_batch\":{},\"spf\":{},\"tiers\":{},\
+             \"queue_capacity\":{},\"cores\":{}}}",
+            self.n_inputs,
+            self.n_classes,
+            models.join(","),
+            self.replicas,
+            self.packed,
+            self.kernel_batch,
+            json_usizes(&self.spf),
+            json_strings(&self.tiers),
+            self.queue_capacity,
+            self.cores,
+        )
+    }
+
+    /// Parse a Hello frame payload, refusing foreign schemas.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed field.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = parse(text).map_err(|e| e.to_string())?;
+        let schema = get_str(&v, "schema")?;
+        if schema != SCHEMA {
+            return Err(format!("shard speaks {schema:?}, this router speaks {SCHEMA:?}"));
+        }
+        let models = get_arr(&v, "models")?
+            .iter()
+            .map(|m| Ok((get_usize(m, "n_inputs")?, get_usize(m, "n_classes")?)))
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Self {
+            n_inputs: get_usize(&v, "n_inputs")?,
+            n_classes: get_usize(&v, "n_classes")?,
+            models,
+            replicas: get_usize(&v, "replicas")?,
+            packed: get_bool(&v, "packed")?,
+            kernel_batch: get_usize(&v, "kernel_batch")?,
+            spf: usize_array(&v, "spf")?,
+            tiers: string_array(&v, "tiers")?,
+            queue_capacity: get_usize(&v, "queue_capacity")?,
+            cores: get_usize(&v, "cores")?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Req
+// ---------------------------------------------------------------------
+
+/// Encode one dispatched request. `seq` is the *router's* global
+/// sequence number — the determinism key the shard pins via
+/// [`SubmitRequest::at_seq`].
+pub fn encode_req(seq: u64, request: &SubmitRequest) -> String {
+    let quality = match &request.quality {
+        Some(q) => format!("\"{}\"", escape(q)),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"seq\":{seq},\"frame\":{},\"model\":{},\"class\":{},\"quality\":{quality}}}",
+        json_f32s(&request.frame),
+        request.model,
+        request.class,
+    )
+}
+
+/// Parse a Req frame payload into `(seq, request)`; the returned
+/// request already carries `at_seq(seq)`.
+///
+/// # Errors
+///
+/// A human-readable description of the first malformed field.
+pub fn parse_req(text: &str) -> Result<(u64, SubmitRequest), String> {
+    let v = parse(text).map_err(|e| e.to_string())?;
+    let seq = get_u64(&v, "seq")?;
+    let mut request = SubmitRequest::new(f32_array(&v, "frame")?)
+        .model(get_usize(&v, "model")?)
+        .class(get_usize(&v, "class")?)
+        .at_seq(seq);
+    match want(&v, "quality")? {
+        JsonValue::Null => {}
+        q => {
+            request = request.quality(
+                q.as_str()
+                    .ok_or_else(|| "\"quality\" is not a string or null".to_string())?,
+            );
+        }
+    }
+    Ok((seq, request))
+}
+
+// ---------------------------------------------------------------------
+// Resp
+// ---------------------------------------------------------------------
+
+/// Encode a served [`Response`]. Latency crosses the wire as the
+/// shard's own measurement; the router overwrites it with end-to-end
+/// router-side latency before completing the caller's handle (wire and
+/// queueing time belong in what the caller observes).
+pub fn encode_resp(r: &Response) -> String {
+    let tier = match r.tier() {
+        Some(t) => format!("\"{}\"", escape(t)),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"seq\":{},\"predicted\":{},\"votes\":{},\"replica_predictions\":{},\
+         \"agreement\":{:?},\"class\":{},\"model\":{},\"spf\":{},\"tier\":{tier},\
+         \"confidence\":{:?},\"escalated\":{},\"worker\":{},\"ticks\":{},\"latency_ns\":{}}}",
+        r.seq,
+        r.predicted,
+        json_u64s(&r.votes),
+        json_usizes(&r.replica_predictions),
+        f64::from(r.agreement),
+        r.class(),
+        r.model(),
+        r.spf(),
+        f64::from(r.confidence()),
+        r.escalated(),
+        r.worker,
+        r.ticks,
+        r.latency.as_nanos() as u64,
+    )
+}
+
+/// Parse a Resp frame payload back into a [`Response`].
+///
+/// # Errors
+///
+/// A human-readable description of the first malformed field.
+pub fn parse_resp(text: &str) -> Result<Response, String> {
+    let v = parse(text).map_err(|e| e.to_string())?;
+    let mut served = ServedAs::new(
+        get_usize(&v, "class")?,
+        get_usize(&v, "model")?,
+        get_usize(&v, "spf")?,
+    )
+    .with_confidence(get_f64(&v, "confidence")? as f32)
+    .with_escalated(get_bool(&v, "escalated")?);
+    match want(&v, "tier")? {
+        JsonValue::Null => {}
+        t => {
+            served = served.with_tier(
+                t.as_str()
+                    .ok_or_else(|| "\"tier\" is not a string or null".to_string())?,
+            );
+        }
+    }
+    Ok(Response {
+        seq: get_u64(&v, "seq")?,
+        predicted: get_usize(&v, "predicted")?,
+        votes: u64_array(&v, "votes")?,
+        replica_predictions: usize_array(&v, "replica_predictions")?,
+        agreement: get_f64(&v, "agreement")? as f32,
+        served,
+        worker: get_usize(&v, "worker")?,
+        ticks: get_u64(&v, "ticks")?,
+        latency: Duration::from_nanos(get_u64(&v, "latency_ns")?),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Err
+// ---------------------------------------------------------------------
+
+/// Encode a request-level failure for `seq`.
+///
+/// Every [`ServeError`] variant gets a stable wire code plus its
+/// structured fields, so the router reconstructs the *same variant* the
+/// shard raised — a fleet caller matches on [`ServeError`] exactly as a
+/// solo caller would. The two variants carrying non-reconstructible
+/// payloads (`Deploy`'s error struct) travel as their rendering.
+pub fn encode_err(seq: u64, e: &ServeError) -> String {
+    let (code, data) = match e {
+        ServeError::Deploy(d) => ("deploy", format!("{{\"detail\":\"{}\"}}", escape(&d.to_string()))),
+        ServeError::BadConfig(m) => ("bad_config", format!("{{\"detail\":\"{}\"}}", escape(m))),
+        ServeError::QueueFull => ("queue_full", "{}".to_string()),
+        ServeError::ShuttingDown => ("shutting_down", "{}".to_string()),
+        ServeError::WaitTimeout => ("wait_timeout", "{}".to_string()),
+        ServeError::BadInput { expected, got } => (
+            "bad_input",
+            format!("{{\"expected\":{expected},\"got\":{got}}}"),
+        ),
+        ServeError::InputOutOfRange { channel, value } => (
+            "input_out_of_range",
+            format!("{{\"channel\":{channel},\"value\":{:?}}}", f64::from(*value)),
+        ),
+        ServeError::UnknownClass { class, classes } => (
+            "unknown_class",
+            format!("{{\"class\":{class},\"classes\":{classes}}}"),
+        ),
+        ServeError::UnknownModel { model, models } => (
+            "unknown_model",
+            format!("{{\"model\":{model},\"models\":{models}}}"),
+        ),
+        ServeError::UnknownQuality { quality, tiers } => (
+            "unknown_quality",
+            format!(
+                "{{\"quality\":\"{}\",\"tiers\":{}}}",
+                escape(quality),
+                json_strings(tiers)
+            ),
+        ),
+        ServeError::Pack(m) => ("pack", format!("{{\"detail\":\"{}\"}}", escape(m))),
+        // ServeError is #[non_exhaustive]; ship future variants as their
+        // rendering rather than failing to serve an error at all.
+        other => (
+            "other",
+            format!("{{\"detail\":\"{}\"}}", escape(&other.to_string())),
+        ),
+    };
+    format!(
+        "{{\"seq\":{seq},\"code\":\"{code}\",\"message\":\"{}\",\"data\":{data}}}",
+        escape(&e.to_string())
+    )
+}
+
+/// Parse an Err frame payload into `(seq, error)`.
+///
+/// # Errors
+///
+/// A human-readable description of the first malformed field.
+pub fn parse_err(text: &str) -> Result<(u64, ServeError), String> {
+    let v = parse(text).map_err(|e| e.to_string())?;
+    let seq = get_u64(&v, "seq")?;
+    let code = get_str(&v, "code")?;
+    let data = want(&v, "data")?;
+    let error = match code.as_str() {
+        "queue_full" => ServeError::QueueFull,
+        "shutting_down" => ServeError::ShuttingDown,
+        "wait_timeout" => ServeError::WaitTimeout,
+        "bad_input" => ServeError::BadInput {
+            expected: get_usize(data, "expected")?,
+            got: get_usize(data, "got")?,
+        },
+        "input_out_of_range" => ServeError::InputOutOfRange {
+            channel: get_usize(data, "channel")?,
+            value: get_f64(data, "value")? as f32,
+        },
+        "unknown_class" => ServeError::UnknownClass {
+            class: get_usize(data, "class")?,
+            classes: get_usize(data, "classes")?,
+        },
+        "unknown_model" => ServeError::UnknownModel {
+            model: get_usize(data, "model")?,
+            models: get_usize(data, "models")?,
+        },
+        "unknown_quality" => ServeError::UnknownQuality {
+            quality: get_str(data, "quality")?,
+            tiers: string_array(data, "tiers")?,
+        },
+        "pack" => ServeError::Pack(get_str(data, "detail")?),
+        "bad_config" => ServeError::BadConfig(get_str(data, "detail")?),
+        // `deploy` cannot rebuild its error struct from a string; carry
+        // the rendering in the closest reconstructible variant.
+        "deploy" => ServeError::BadConfig(format!(
+            "shard deploy failure: {}",
+            get_str(data, "detail")?
+        )),
+        _ => ServeError::BadConfig(get_str(&v, "message")?),
+    };
+    Ok((seq, error))
+}
+
+// ---------------------------------------------------------------------
+// Ctrl / Ack
+// ---------------------------------------------------------------------
+
+/// A router → shard control action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ctrl {
+    /// Rebuild the shard's replica set at this count (the fleet's
+    /// rolling-rescale step; maps to
+    /// `ServeRuntime::apply_control(SetReplicas)`).
+    SetReplicas(usize),
+    /// Stop accepting requests, drain, and close the connection.
+    Shutdown,
+}
+
+impl Ctrl {
+    /// Encode as the Ctrl frame payload.
+    pub fn encode(&self) -> String {
+        match self {
+            Ctrl::SetReplicas(r) => format!("{{\"op\":\"set_replicas\",\"replicas\":{r}}}"),
+            Ctrl::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
+        }
+    }
+
+    /// Parse a Ctrl frame payload.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed field.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = parse(text).map_err(|e| e.to_string())?;
+        match get_str(&v, "op")?.as_str() {
+            "set_replicas" => Ok(Ctrl::SetReplicas(get_usize(&v, "replicas")?)),
+            "shutdown" => Ok(Ctrl::Shutdown),
+            op => Err(format!("unknown control op {op:?}")),
+        }
+    }
+}
+
+/// A shard's acknowledgement of one [`Ctrl`] frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ack {
+    /// The acknowledged op (`"set_replicas"` / `"shutdown"`).
+    pub op: String,
+    /// `None` on success, the shard-side error rendering on failure.
+    pub error: Option<String>,
+}
+
+impl Ack {
+    /// Encode as the Ack frame payload.
+    pub fn encode(&self) -> String {
+        match &self.error {
+            None => format!("{{\"op\":\"{}\",\"ok\":true,\"error\":null}}", escape(&self.op)),
+            Some(e) => format!(
+                "{{\"op\":\"{}\",\"ok\":false,\"error\":\"{}\"}}",
+                escape(&self.op),
+                escape(e)
+            ),
+        }
+    }
+
+    /// Parse an Ack frame payload.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed field.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = parse(text).map_err(|e| e.to_string())?;
+        let op = get_str(&v, "op")?;
+        let ok = get_bool(&v, "ok")?;
+        let error = match want(&v, "error")? {
+            JsonValue::Null => None,
+            e => Some(
+                e.as_str()
+                    .ok_or_else(|| "\"error\" is not a string or null".to_string())?
+                    .to_string(),
+            ),
+        };
+        if ok == error.is_some() {
+            return Err("ack \"ok\" contradicts \"error\"".to_string());
+        }
+        Ok(Self { op, error })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_round_trips_and_checks_schema() {
+        let hello = Hello {
+            n_inputs: 4,
+            n_classes: 3,
+            models: vec![(4, 3), (2, 2)],
+            replicas: 2,
+            packed: true,
+            kernel_batch: 8,
+            spf: vec![8, 16],
+            tiers: vec!["fast".to_string(), "certain".to_string()],
+            queue_capacity: 256,
+            cores: 6,
+        };
+        assert_eq!(Hello::parse(&hello.encode()), Ok(hello));
+        let foreign = "{\"schema\":\"tn-fleet/9\",\"n_inputs\":1}";
+        assert!(Hello::parse(foreign).expect_err("schema").contains("tn-fleet/9"));
+    }
+
+    #[test]
+    fn req_round_trips_with_exact_floats() {
+        // 0.1 is not representable; the shortest-repr encoding must
+        // bring back the identical f32 bits.
+        let req = SubmitRequest::new(vec![0.1, 1.0, 0.0, 0.333_333_34])
+            .model(1)
+            .class(2)
+            .quality("fast");
+        let (seq, parsed) = parse_req(&encode_req(17, &req)).expect("parse");
+        assert_eq!(seq, 17);
+        assert_eq!(parsed.seq, Some(17), "wire seq pins the request seq");
+        assert_eq!(parsed.frame, req.frame, "f32s must round-trip bit-exactly");
+        assert_eq!((parsed.model, parsed.class), (1, 2));
+        assert_eq!(parsed.quality.as_deref(), Some("fast"));
+
+        let bare = SubmitRequest::new(vec![0.5]);
+        let (_, parsed) = parse_req(&encode_req(0, &bare)).expect("parse");
+        assert_eq!(parsed.quality, None);
+    }
+
+    #[test]
+    fn resp_round_trips_every_field() {
+        let r = Response {
+            seq: 41,
+            predicted: 2,
+            votes: vec![1, 0, 7],
+            replica_predictions: vec![2, 2, 0],
+            agreement: 2.0 / 3.0,
+            served: ServedAs::new(1, 0, 16)
+                .with_tier("certain")
+                .with_confidence(0.875)
+                .with_escalated(true),
+            worker: 3,
+            ticks: 17,
+            latency: Duration::from_nanos(12_345),
+        };
+        let parsed = parse_resp(&encode_resp(&r)).expect("parse");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn every_error_variant_round_trips_to_the_same_variant() {
+        let cases = vec![
+            ServeError::QueueFull,
+            ServeError::ShuttingDown,
+            ServeError::WaitTimeout,
+            ServeError::BadInput { expected: 4, got: 2 },
+            ServeError::InputOutOfRange { channel: 1, value: 1.5 },
+            ServeError::UnknownClass { class: 9, classes: 2 },
+            ServeError::UnknownModel { model: 3, models: 1 },
+            ServeError::UnknownQuality {
+                quality: "warp".to_string(),
+                tiers: vec!["fast".to_string()],
+            },
+            ServeError::Pack("tenant 1 does not fit".to_string()),
+            ServeError::BadConfig("replicas must be >= 1".to_string()),
+        ];
+        for e in cases {
+            let (seq, back) = parse_err(&encode_err(7, &e)).expect("parse");
+            assert_eq!(seq, 7);
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn ctrl_and_ack_round_trip() {
+        for c in [Ctrl::SetReplicas(3), Ctrl::Shutdown] {
+            assert_eq!(Ctrl::parse(&c.encode()), Ok(c.clone()));
+        }
+        for a in [
+            Ack { op: "set_replicas".to_string(), error: None },
+            Ack {
+                op: "set_replicas".to_string(),
+                error: Some("replicas out of bounds".to_string()),
+            },
+        ] {
+            assert_eq!(Ack::parse(&a.encode()), Ok(a.clone()));
+        }
+        assert!(Ack::parse("{\"op\":\"x\",\"ok\":true,\"error\":\"boom\"}").is_err());
+    }
+}

@@ -1,0 +1,1068 @@
+//! The router tier: one [`FleetRouter`] dispatching over N shard
+//! connections.
+//!
+//! # Determinism (why a router can exist at all)
+//!
+//! A `tn-serve` response is a pure function of `(cfg.seed, seq, spf)` —
+//! never of worker count, batching, or scheduling. The router owns the
+//! global sequence counter and pins every dispatched request's seq via
+//! [`SubmitRequest::at_seq`], so *any* shard built from the same
+//! `(spec, config)` serves request `k` bit-identically to a solo
+//! runtime's `k`-th request. Shard choice, re-routing after a
+//! connection loss, and fleet width are therefore invisible in the
+//! answer stream; dispatch policy is purely a load/latency decision.
+//!
+//! # Health
+//!
+//! Shards heartbeat by telemetry: every `tn-telemetry/1` snapshot a
+//! shard exports rides a Snap frame, and the router marks its arrival
+//! on a [`FreshnessTracker`] keyed to the *router's* clock. A shard
+//! whose snapshots stop arriving (hung, partitioned, or paused) goes
+//! stale after [`FleetConfig::staleness`] and stops receiving new
+//! dispatches — while its already-admitted requests keep completing if
+//! the connection still delivers Resp frames. A lost connection marks
+//! the shard dead immediately and re-dispatches its in-flight requests
+//! to surviving shards (safe: same seq ⇒ same answer), bounded by
+//! [`FleetConfig::max_retries`].
+//!
+//! # Rolling rescale
+//!
+//! [`FleetRouter::set_replicas`] rescales the fleet one shard at a
+//! time with *epoch-swap barrier* semantics: new submissions are held
+//! for already-swapped shards only, each shard drains its in-flight
+//! requests before swapping, and the whole roll is equivalent to a solo
+//! runtime applying `SetReplicas` between two consecutive sequence
+//! numbers — the answer stream stays bit-identical across the rescale.
+//! One edge is weaker than solo: a connection lost *mid-roll* may
+//! re-route a pre-barrier request to an already-swapped shard, serving
+//! it at the new replica count.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tn_chip::energy::EnergyReport;
+use tn_chip::nscs::ChipCounterExport;
+use tn_serve::{
+    Completer, MetricsSnapshot, QueueStats, RequestHandle, ServeBackend, ServeConfig, ServeError,
+    SubmitRequest,
+};
+use tn_telemetry::{Clock, FreshnessTracker, MetricsSink, MonotonicClock, NullSink, Snapshot};
+
+use crate::frame::{read_frame, write_frame, FrameKind};
+use crate::msg::{encode_req, parse_err, parse_resp, Ack, Ctrl, Hello};
+use crate::transport::Transport;
+
+/// How the router picks a shard for each request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchPolicy {
+    /// Rendezvous (highest-random-weight) hashing on the request seq:
+    /// stable, coordination-free spreading where a shard's death only
+    /// remaps the requests that hashed to it.
+    #[default]
+    ConsistentHash,
+    /// Send to the shard with the lowest live `serve.queue_fill` gauge
+    /// (from its snapshot heartbeats), breaking ties by router-side
+    /// in-flight count, then by index.
+    LeastLoaded,
+}
+
+/// Router configuration. [`FleetConfig::serve`] must match the config
+/// every shard was built with — the bit-identity contract is
+/// conditional on fleet homogeneity, and the router checks what it can
+/// see of it from the shards' [`Hello`] announcements.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The [`ServeConfig`] the shards run (introspection surface for
+    /// front-ends; the router itself serves nothing).
+    pub serve: ServeConfig,
+    /// Dispatch policy (default [`DispatchPolicy::ConsistentHash`]).
+    pub policy: DispatchPolicy,
+    /// Mark a shard unhealthy when its last snapshot heartbeat is older
+    /// than this (router-clock time). `None` (the default) disables
+    /// staleness health — required when shards run without
+    /// [`tn_serve::ServeConfig::telemetry`], since they then emit no
+    /// heartbeats at all.
+    pub staleness: Option<Duration>,
+    /// How many times one request may be re-dispatched after retryable
+    /// shard errors (`QueueFull`, `ShuttingDown`) or connection loss
+    /// (default 2).
+    pub max_retries: usize,
+    /// Clock for heartbeat arrival marks and latency accounting.
+    /// Deterministic tests inject a [`tn_telemetry::ManualClock`].
+    pub clock: Arc<dyn Clock>,
+}
+
+impl FleetConfig {
+    /// Defaults: consistent-hash dispatch, staleness health off, two
+    /// retries, monotonic wall clock.
+    pub fn new(serve: ServeConfig) -> Self {
+        Self {
+            serve,
+            policy: DispatchPolicy::default(),
+            staleness: None,
+            max_retries: 2,
+            clock: Arc::new(MonotonicClock::new()),
+        }
+    }
+
+    /// Choose the dispatch policy.
+    #[must_use]
+    pub fn policy(mut self, policy: DispatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enable snapshot-staleness health with this age budget.
+    #[must_use]
+    pub fn staleness(mut self, max_age: Duration) -> Self {
+        self.staleness = Some(max_age);
+        self
+    }
+
+    /// Bound per-request re-dispatch attempts.
+    #[must_use]
+    pub fn max_retries(mut self, max_retries: usize) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Inject a clock (deterministic staleness tests).
+    #[must_use]
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One request the router has written to a shard and not yet seen
+/// answered. Kept re-dispatchable: the original request rides along so
+/// a connection loss can replay it (same seq ⇒ same answer).
+#[derive(Debug)]
+struct Pending {
+    completer: Completer,
+    request: SubmitRequest,
+    retries: usize,
+    start_ns: u64,
+}
+
+struct Shard {
+    writer: Mutex<Box<dyn Write + Send>>,
+    pending: Mutex<HashMap<u64, Pending>>,
+    /// Signalled whenever `pending` may have emptied (roll/shutdown
+    /// drains wait on it).
+    drained: Condvar,
+    alive: AtomicBool,
+    fresh: FreshnessTracker,
+    /// Latest `serve.queue_fill` gauge (f64 bits) from heartbeats.
+    queue_fill: AtomicU64,
+    /// Router-side accepted-not-answered count (live, unlike the gauge).
+    in_flight: AtomicU64,
+    latest: Mutex<Option<Snapshot>>,
+    ack: Mutex<Option<Ack>>,
+    ack_cv: Condvar,
+    /// Rendezvous-hash salt (a pure function of the shard index, so
+    /// reconnecting fleets hash identically).
+    salt: u64,
+}
+
+struct Roll {
+    active: bool,
+    swapped: Vec<bool>,
+}
+
+struct Inner {
+    cfg: FleetConfig,
+    hello: Hello,
+    shards: Vec<Shard>,
+    next_seq: AtomicU64,
+    live_replicas: AtomicUsize,
+    shutting_down: AtomicBool,
+    roll: Mutex<Roll>,
+    /// Signalled on swap progress and membership changes; dispatchers
+    /// blocked mid-roll wait here.
+    roll_cv: Condvar,
+    sink: Arc<dyn MetricsSink>,
+    started_ns: u64,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    retried: AtomicU64,
+    agreement_micros: AtomicU64,
+    latency: Histogram,
+}
+
+/// Log2-bucketed latency histogram: enough for p50/p90/p99 at ≤ 2×
+/// resolution without unbounded memory.
+struct Histogram {
+    buckets: Vec<AtomicU64>,
+    total_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Self {
+            buckets: (0..64).map(|_| AtomicU64::new(0)).collect(),
+            total_ns: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, ns: u64) {
+        let k = 63 - ns.max(1).leading_zeros() as usize;
+        self.buckets[k].fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn quantile(&self, q: f64) -> Duration {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (k, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                // Bucket k holds [2^k, 2^(k+1)); report the midpoint.
+                return Duration::from_nanos((1u64 << k) + (1u64 << k) / 2);
+            }
+        }
+        Duration::ZERO
+    }
+
+    fn mean(&self) -> Duration {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.total_ns.load(Ordering::Relaxed) / count)
+    }
+}
+
+/// A fleet of shard connections behind one [`ServeBackend`] face.
+pub struct FleetRouter {
+    inner: Arc<Inner>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for FleetRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetRouter")
+            .field("shards", &self.inner.shards.len())
+            .field("policy", &self.inner.cfg.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FleetRouter {
+    /// Connect over already-established shard connections, discarding
+    /// snapshots (see [`FleetRouter::connect_with_sink`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`FleetRouter::connect_with_sink`].
+    pub fn connect<T: Transport>(conns: Vec<T>, cfg: FleetConfig) -> Result<Self, ServeError> {
+        Self::connect_with_sink(conns, cfg, Arc::new(NullSink))
+    }
+
+    /// Connect over already-established shard connections; every shard
+    /// snapshot heartbeat is forwarded to `sink`, so the fleet's
+    /// aggregated telemetry trail is one `tn-telemetry/1` stream
+    /// (`snapshot_check` accepts it: the schema never required ordered
+    /// seqs across producers).
+    ///
+    /// Each connection must open with the shard's [`Hello`]; all shards
+    /// must announce the same shape (the visible part of the
+    /// homogeneity contract).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadConfig`] on an empty fleet, a handshake/read
+    /// failure, a foreign schema, or shards that disagree about their
+    /// shape.
+    pub fn connect_with_sink<T: Transport>(
+        conns: Vec<T>,
+        cfg: FleetConfig,
+        sink: Arc<dyn MetricsSink>,
+    ) -> Result<Self, ServeError> {
+        if conns.is_empty() {
+            return Err(ServeError::BadConfig(
+                "a fleet needs at least one shard connection".to_string(),
+            ));
+        }
+        let now = cfg.clock.now_ns();
+        let max_age_ns = cfg
+            .staleness
+            .map_or(u64::MAX, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        let mut hello: Option<Hello> = None;
+        let mut shards = Vec::with_capacity(conns.len());
+        let mut read_halves = Vec::with_capacity(conns.len());
+        for (i, mut conn) in conns.into_iter().enumerate() {
+            let (kind, payload) = read_frame(&mut conn)
+                .map_err(|e| ServeError::BadConfig(format!("shard {i} handshake read: {e}")))?
+                .ok_or_else(|| {
+                    ServeError::BadConfig(format!("shard {i} closed before its Hello"))
+                })?;
+            if kind != FrameKind::Hello {
+                return Err(ServeError::BadConfig(format!(
+                    "shard {i} opened with {kind:?}, expected Hello"
+                )));
+            }
+            let h = Hello::parse(&String::from_utf8_lossy(&payload))
+                .map_err(|e| ServeError::BadConfig(format!("shard {i} hello: {e}")))?;
+            match &hello {
+                None => hello = Some(h),
+                Some(first) if *first != h => {
+                    return Err(ServeError::BadConfig(format!(
+                        "shard {i} announces a different shape than shard 0; \
+                         a fleet must be built from one (spec, config)"
+                    )));
+                }
+                Some(_) => {}
+            }
+            let write_half = conn.try_clone().map_err(|e| {
+                ServeError::BadConfig(format!("shard {i} transport clone failed: {e}"))
+            })?;
+            shards.push(Shard {
+                writer: Mutex::new(Box::new(write_half)),
+                pending: Mutex::new(HashMap::new()),
+                drained: Condvar::new(),
+                alive: AtomicBool::new(true),
+                fresh: FreshnessTracker::new(max_age_ns, now),
+                queue_fill: AtomicU64::new(0f64.to_bits()),
+                in_flight: AtomicU64::new(0),
+                latest: Mutex::new(None),
+                ack: Mutex::new(None),
+                ack_cv: Condvar::new(),
+                salt: splitmix64(i as u64 + 1),
+            });
+            read_halves.push(conn);
+        }
+        let hello = hello.expect("non-empty fleet");
+        let n_shards = shards.len();
+        let inner = Arc::new(Inner {
+            live_replicas: AtomicUsize::new(hello.replicas),
+            hello,
+            shards,
+            next_seq: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+            roll: Mutex::new(Roll {
+                active: false,
+                swapped: vec![false; n_shards],
+            }),
+            roll_cv: Condvar::new(),
+            sink,
+            started_ns: now,
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+            agreement_micros: AtomicU64::new(0),
+            latency: Histogram::new(),
+            cfg,
+        });
+        let readers = read_halves
+            .into_iter()
+            .enumerate()
+            .map(|(i, conn)| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("tn-fleet-router-reader-{i}"))
+                    .spawn(move || inner.reader_loop(i, conn))
+                    .expect("spawn router reader thread")
+            })
+            .collect();
+        Ok(Self {
+            inner,
+            readers: Mutex::new(readers),
+        })
+    }
+
+    /// How many shard connections this router was built over (dead ones
+    /// included).
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Whether shard `i` is currently dispatch-eligible: connected and
+    /// (with staleness health enabled) heartbeat-fresh.
+    pub fn shard_healthy(&self, i: usize) -> bool {
+        let now = self.inner.cfg.clock.now_ns();
+        self.inner.shards.get(i).is_some_and(|s| {
+            s.alive.load(Ordering::Relaxed) && !s.fresh.is_stale(now)
+        })
+    }
+
+    /// Router-side in-flight count for shard `i` (test observability).
+    pub fn shard_in_flight(&self, i: usize) -> u64 {
+        self.inner
+            .shards
+            .get(i)
+            .map_or(0, |s| s.in_flight.load(Ordering::Relaxed))
+    }
+
+    /// Rolling replica rescale: one shard at a time, each drained of
+    /// in-flight requests before its epoch swap, with new submissions
+    /// routed only to already-swapped shards for the duration. The
+    /// fleet's answer stream is bit-identical to a solo runtime
+    /// applying [`tn_serve::ControlAction::SetReplicas`] between two
+    /// consecutive requests.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadConfig`] if a roll is already in progress, or
+    /// if a shard *refuses* the rescale (invalid count) — in which case
+    /// earlier shards have already swapped and the error says so: the
+    /// fleet is heterogeneous until a follow-up roll succeeds. Shards
+    /// that die mid-roll are skipped (their requests re-route), not
+    /// errors.
+    pub fn set_replicas(&self, replicas: usize) -> Result<(), ServeError> {
+        self.inner.set_replicas(replicas)
+    }
+
+    /// Stop admitting, wait for every in-flight request to complete,
+    /// and tell every live shard to shut down. Does *not* wait for
+    /// shards to close their ends — call [`FleetRouter::finish`] after
+    /// the shard processes have wound down (for in-process fleets,
+    /// after `ShardServer::join`).
+    pub fn begin_shutdown(&self) {
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        for shard in &self.inner.shards {
+            let mut pending = shard.pending.lock().expect("pending lock");
+            while !pending.is_empty() && shard.alive.load(Ordering::Relaxed) {
+                pending = shard.drained.wait(pending).expect("pending lock");
+            }
+        }
+        for shard in &self.inner.shards {
+            if shard.alive.load(Ordering::Relaxed) {
+                let mut w = shard.writer.lock().expect("writer lock");
+                let _ = write_frame(
+                    &mut **w,
+                    FrameKind::Ctrl,
+                    Ctrl::Shutdown.encode().as_bytes(),
+                );
+            }
+        }
+    }
+
+    /// Join the reader threads (they exit when the shards close their
+    /// connections) and return the fleet's final aggregate metrics —
+    /// assembled *after* the shards' closing heartbeats landed, so the
+    /// folded chip counters include each shard's full lifetime.
+    pub fn finish(self) -> MetricsSnapshot {
+        let readers = std::mem::take(&mut *self.readers.lock().expect("readers lock"));
+        for r in readers {
+            let _ = r.join();
+        }
+        self.inner.assemble_metrics()
+    }
+
+    /// [`FleetRouter::begin_shutdown`] + [`FleetRouter::finish`], for
+    /// fleets whose shards close their own connections on Ctrl
+    /// shutdown (remote processes). In-process fleets sequence the
+    /// shard joins in between — see `LocalFleet::shutdown`.
+    pub fn shutdown(self) -> MetricsSnapshot {
+        self.begin_shutdown();
+        self.finish()
+    }
+}
+
+impl Inner {
+    fn reader_loop<T: Transport>(&self, idx: usize, mut conn: T) {
+        // Clean EOF, torn frame, or I/O error all end the read the
+        // same way: fall through to the disconnect handling below.
+        while let Ok(Some(frame)) = read_frame(&mut conn) {
+            match frame {
+                (FrameKind::Resp, payload) => {
+                    match parse_resp(&String::from_utf8_lossy(&payload)) {
+                        Ok(resp) => self.complete_ok(idx, resp),
+                        Err(_) => break,
+                    }
+                }
+                (FrameKind::Err, payload) => {
+                    match parse_err(&String::from_utf8_lossy(&payload)) {
+                        Ok((seq, err)) => self.complete_err(idx, seq, err),
+                        Err(_) => break,
+                    }
+                }
+                (FrameKind::Snap, payload) => {
+                    self.on_snapshot(idx, &String::from_utf8_lossy(&payload));
+                }
+                (FrameKind::Ack, payload) => {
+                    if let Ok(ack) = Ack::parse(&String::from_utf8_lossy(&payload)) {
+                        let shard = &self.shards[idx];
+                        *shard.ack.lock().expect("ack lock") = Some(ack);
+                        shard.ack_cv.notify_all();
+                    }
+                }
+                _ => break,
+            }
+        }
+        self.on_disconnect(idx);
+    }
+
+    /// Remove `seq` from a shard's pending map. Whoever wins this
+    /// removal owns completion/retry of the entry — the single point
+    /// that keeps the reader loop, a failed dispatch write, and the
+    /// disconnect drain from double-handling one request.
+    fn take_pending(&self, idx: usize, seq: u64) -> Option<Pending> {
+        let shard = &self.shards[idx];
+        let entry = {
+            let mut pending = shard.pending.lock().expect("pending lock");
+            let e = pending.remove(&seq);
+            if pending.is_empty() {
+                shard.drained.notify_all();
+            }
+            e
+        };
+        if entry.is_some() {
+            shard.in_flight.fetch_sub(1, Ordering::Relaxed);
+        }
+        entry
+    }
+
+    fn complete_ok(&self, idx: usize, mut resp: tn_serve::Response) {
+        let Some(p) = self.take_pending(idx, resp.seq) else {
+            return;
+        };
+        let lat_ns = self.cfg.clock.now_ns().saturating_sub(p.start_ns);
+        // The caller's latency is end-to-end through the fleet, not the
+        // shard's local measurement.
+        resp.latency = Duration::from_nanos(lat_ns);
+        self.latency.record(lat_ns);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.agreement_micros.fetch_add(
+            (f64::from(resp.agreement) * 1e6) as u64,
+            Ordering::Relaxed,
+        );
+        p.completer.complete(Ok(resp));
+    }
+
+    fn retryable(e: &ServeError) -> bool {
+        matches!(e, ServeError::QueueFull | ServeError::ShuttingDown)
+    }
+
+    fn complete_err(&self, idx: usize, seq: u64, err: ServeError) {
+        let Some(p) = self.take_pending(idx, seq) else {
+            return;
+        };
+        if Self::retryable(&err)
+            && p.retries < self.cfg.max_retries
+            && !self.shutting_down.load(Ordering::Relaxed)
+        {
+            self.retried.fetch_add(1, Ordering::Relaxed);
+            let _ = self.dispatch(seq, &p.request, p.completer, p.retries + 1, p.start_ns);
+        } else {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            p.completer.complete(Err(err));
+        }
+    }
+
+    fn on_snapshot(&self, idx: usize, line: &str) {
+        let Ok(snap) = Snapshot::parse_json_line(line) else {
+            return;
+        };
+        let shard = &self.shards[idx];
+        shard.fresh.mark(self.cfg.clock.now_ns());
+        if let Some(fill) = snap.gauges.get("serve.queue_fill") {
+            shard.queue_fill.store(fill.to_bits(), Ordering::Relaxed);
+        }
+        self.sink.export(&snap);
+        *shard.latest.lock().expect("latest lock") = Some(snap);
+    }
+
+    fn on_disconnect(&self, idx: usize) {
+        let shard = &self.shards[idx];
+        shard.alive.store(false, Ordering::SeqCst);
+        // Wake a roll waiting on this shard's ack.
+        {
+            let mut ack = shard.ack.lock().expect("ack lock");
+            if ack.is_none() {
+                *ack = Some(Ack {
+                    op: String::new(),
+                    error: Some("connection lost".to_string()),
+                });
+            }
+            shard.ack_cv.notify_all();
+        }
+        // Membership changed: dispatchers and drains must re-evaluate.
+        self.roll_cv.notify_all();
+        let orphans: Vec<(u64, Pending)> = {
+            let mut pending = shard.pending.lock().expect("pending lock");
+            let v = pending.drain().collect();
+            shard.drained.notify_all();
+            v
+        };
+        for (seq, p) in orphans {
+            shard.in_flight.fetch_sub(1, Ordering::Relaxed);
+            if p.retries < self.cfg.max_retries && !self.shutting_down.load(Ordering::Relaxed) {
+                self.retried.fetch_add(1, Ordering::Relaxed);
+                let _ = self.dispatch(seq, &p.request, p.completer, p.retries + 1, p.start_ns);
+            } else {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                p.completer.complete(Err(ServeError::ShuttingDown));
+            }
+        }
+    }
+
+    /// Pick a dispatch-eligible shard for `seq` under the membership
+    /// lock. Eligible = connected, heartbeat-fresh, and (mid-roll)
+    /// already swapped to the new epoch.
+    fn pick(&self, roll: &Roll, seq: u64) -> Option<usize> {
+        let now = self.cfg.clock.now_ns();
+        let eligible = self.shards.iter().enumerate().filter(|(i, s)| {
+            s.alive.load(Ordering::Relaxed)
+                && !s.fresh.is_stale(now)
+                && (!roll.active || roll.swapped[*i])
+        });
+        match self.cfg.policy {
+            DispatchPolicy::ConsistentHash => eligible
+                .max_by_key(|(_, s)| splitmix64(seq ^ s.salt))
+                .map(|(i, _)| i),
+            DispatchPolicy::LeastLoaded => eligible
+                .min_by(|(ai, a), (bi, b)| {
+                    let fill_a = f64::from_bits(a.queue_fill.load(Ordering::Relaxed));
+                    let fill_b = f64::from_bits(b.queue_fill.load(Ordering::Relaxed));
+                    fill_a
+                        .total_cmp(&fill_b)
+                        .then_with(|| {
+                            a.in_flight
+                                .load(Ordering::Relaxed)
+                                .cmp(&b.in_flight.load(Ordering::Relaxed))
+                        })
+                        .then(ai.cmp(bi))
+                })
+                .map(|(i, _)| i),
+        }
+    }
+
+    /// Route one request to a shard, registering it as pending first so
+    /// the answer can never race past its bookkeeping. Holding the
+    /// membership (roll) lock across the pending insert and frame write
+    /// is what makes the rescale barrier exact: a roll cannot begin
+    /// between shard selection and the request landing on the wire.
+    ///
+    /// Terminal failures (no eligible shard outside a roll, retry
+    /// budget exhausted) complete the completer with
+    /// [`ServeError::ShuttingDown`] and return it as an error.
+    fn dispatch(
+        &self,
+        seq: u64,
+        request: &SubmitRequest,
+        completer: Completer,
+        retries: usize,
+        start_ns: u64,
+    ) -> Result<(), ServeError> {
+        let mut completer = completer;
+        let mut retries = retries;
+        loop {
+            let mut roll = self.roll.lock().expect("roll lock");
+            let picked = loop {
+                match self.pick(&roll, seq) {
+                    Some(i) => break Some(i),
+                    // Mid-roll lull (no shard swapped yet): hold the
+                    // request until the first swap lands.
+                    None if roll.active => {
+                        roll = self.roll_cv.wait(roll).expect("roll lock");
+                    }
+                    None => break None,
+                }
+            };
+            let Some(i) = picked else {
+                drop(roll);
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                completer.complete(Err(ServeError::ShuttingDown));
+                return Err(ServeError::ShuttingDown);
+            };
+            let shard = &self.shards[i];
+            shard.pending.lock().expect("pending lock").insert(
+                seq,
+                Pending {
+                    completer,
+                    request: request.clone(),
+                    retries,
+                    start_ns,
+                },
+            );
+            shard.in_flight.fetch_add(1, Ordering::Relaxed);
+            let wrote = {
+                let mut w = shard.writer.lock().expect("writer lock");
+                write_frame(&mut **w, FrameKind::Req, encode_req(seq, request).as_bytes()).is_ok()
+            };
+            drop(roll);
+            if wrote {
+                return Ok(());
+            }
+            // The connection died under the write. The reader loop will
+            // reach the same conclusion; whoever removes the pending
+            // entry first owns the retry.
+            shard.alive.store(false, Ordering::SeqCst);
+            self.roll_cv.notify_all();
+            let Some(p) = self.take_pending(i, seq) else {
+                return Ok(()); // disconnect drain already owns it
+            };
+            completer = p.completer;
+            if retries >= self.cfg.max_retries {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                completer.complete(Err(ServeError::ShuttingDown));
+                return Err(ServeError::ShuttingDown);
+            }
+            retries += 1;
+            self.retried.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn set_replicas(&self, replicas: usize) -> Result<(), ServeError> {
+        {
+            let mut roll = self.roll.lock().expect("roll lock");
+            if roll.active {
+                return Err(ServeError::BadConfig(
+                    "a replica rescale is already rolling".to_string(),
+                ));
+            }
+            roll.active = true;
+            roll.swapped.iter_mut().for_each(|s| *s = false);
+        }
+        let result = self.roll_shards(replicas);
+        self.roll.lock().expect("roll lock").active = false;
+        self.roll_cv.notify_all();
+        if result.is_ok() {
+            self.live_replicas.store(replicas, Ordering::Relaxed);
+        }
+        result
+    }
+
+    fn roll_shards(&self, replicas: usize) -> Result<(), ServeError> {
+        for (i, shard) in self.shards.iter().enumerate() {
+            if !shard.alive.load(Ordering::Relaxed) {
+                continue;
+            }
+            // The shard is not yet swapped, so no new work can land on
+            // it; wait for its in-flight requests to drain at the old
+            // replica count.
+            {
+                let mut pending = shard.pending.lock().expect("pending lock");
+                while !pending.is_empty() && shard.alive.load(Ordering::Relaxed) {
+                    pending = shard.drained.wait(pending).expect("pending lock");
+                }
+            }
+            if !shard.alive.load(Ordering::Relaxed) {
+                continue;
+            }
+            *shard.ack.lock().expect("ack lock") = None;
+            let wrote = {
+                let mut w = shard.writer.lock().expect("writer lock");
+                write_frame(
+                    &mut **w,
+                    FrameKind::Ctrl,
+                    Ctrl::SetReplicas(replicas).encode().as_bytes(),
+                )
+                .is_ok()
+            };
+            if !wrote {
+                shard.alive.store(false, Ordering::SeqCst);
+                self.roll_cv.notify_all();
+                continue;
+            }
+            let ack = {
+                let mut slot = shard.ack.lock().expect("ack lock");
+                loop {
+                    if let Some(a) = slot.take() {
+                        break a;
+                    }
+                    if !shard.alive.load(Ordering::Relaxed) {
+                        break Ack {
+                            op: String::new(),
+                            error: Some("connection lost".to_string()),
+                        };
+                    }
+                    slot = shard.ack_cv.wait(slot).expect("ack lock");
+                }
+            };
+            if let Some(e) = ack.error {
+                if !shard.alive.load(Ordering::Relaxed) {
+                    continue; // died mid-roll: skip, its requests re-route
+                }
+                return Err(ServeError::BadConfig(format!(
+                    "shard {i} refused rescale to {replicas}: {e}; shards 0..{i} already \
+                     swapped — the fleet is heterogeneous until a follow-up rescale succeeds"
+                )));
+            }
+            {
+                self.roll.lock().expect("roll lock").swapped[i] = true;
+            }
+            self.roll_cv.notify_all();
+        }
+        Ok(())
+    }
+
+    fn total_in_flight(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.in_flight.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sum a counter across each shard's most recent heartbeat.
+    fn fold_counter(&self, name: &str) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.latest
+                    .lock()
+                    .expect("latest lock")
+                    .as_ref()
+                    .and_then(|snap| snap.counters.get(name).copied())
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+
+    fn assemble_metrics(&self) -> MetricsSnapshot {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let elapsed_ns = self
+            .cfg
+            .clock
+            .now_ns()
+            .saturating_sub(self.started_ns)
+            .max(1);
+        let elapsed = Duration::from_nanos(elapsed_ns);
+        let chip = ChipCounterExport {
+            synaptic_ops: self.fold_counter("chip.synaptic_ops"),
+            spikes_in: self.fold_counter("chip.spikes_in"),
+            spikes_out: self.fold_counter("chip.spikes_out"),
+            routed_spikes: self.fold_counter("chip.routed_spikes"),
+            mesh_hops: self.fold_counter("chip.mesh_hops"),
+            output_spikes: self.fold_counter("chip.output_spikes"),
+            flushed_spikes: self.fold_counter("chip.flushed_spikes"),
+            ticks: self.fold_counter("chip.ticks"),
+            axon_visits: self.fold_counter("chip.axon_visits"),
+            axon_slots: self.fold_counter("chip.axon_slots"),
+            rows_skipped: self.fold_counter("chip.rows_skipped"),
+            cores_skipped: self.fold_counter("chip.cores_skipped"),
+        };
+        // Static power scales with every core the fleet keeps powered:
+        // one shard's occupation × fleet width.
+        let fleet_cores = self.hello.cores * self.shards.len();
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queue_depth: self.total_in_flight() as usize,
+            batches: self.fold_counter("serve.batches"),
+            kernel_batches: self.fold_counter("serve.kernel_batches"),
+            ticks: self.fold_counter("serve.ticks"),
+            // Worker identity is shard-local; per-worker tallies do not
+            // aggregate meaningfully across a fleet.
+            per_worker_frames: Vec::new(),
+            per_worker_ticks: Vec::new(),
+            p50_latency: self.latency.quantile(0.50),
+            p90_latency: self.latency.quantile(0.90),
+            p99_latency: self.latency.quantile(0.99),
+            mean_latency: self.latency.mean(),
+            elapsed,
+            throughput_rps: completed as f64 / elapsed.as_secs_f64(),
+            mean_agreement: if completed == 0 {
+                0.0
+            } else {
+                (self.agreement_micros.load(Ordering::Relaxed) as f64 / 1e6 / completed as f64)
+                    as f32
+            },
+            energy: EnergyReport::from_counters(chip.synaptic_ops, chip.ticks, fleet_cores),
+            chip,
+        }
+    }
+
+    fn validate(&self, request: &SubmitRequest) -> Result<(), ServeError> {
+        let h = &self.hello;
+        if request.model >= h.models.len() {
+            return Err(ServeError::UnknownModel {
+                model: request.model,
+                models: h.models.len(),
+            });
+        }
+        let expected = h.models[request.model].0;
+        if request.frame.len() != expected {
+            return Err(ServeError::BadInput {
+                expected,
+                got: request.frame.len(),
+            });
+        }
+        for (channel, &value) in request.frame.iter().enumerate() {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(ServeError::InputOutOfRange { channel, value });
+            }
+        }
+        if request.class >= h.spf.len() {
+            return Err(ServeError::UnknownClass {
+                class: request.class,
+                classes: h.spf.len(),
+            });
+        }
+        if let Some(q) = &request.quality {
+            if !h.tiers.iter().any(|t| t == q) {
+                return Err(ServeError::UnknownQuality {
+                    quality: q.clone(),
+                    tiers: h.tiers.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn submit(&self, request: SubmitRequest) -> Result<RequestHandle, ServeError> {
+        if self.shutting_down.load(Ordering::Relaxed) {
+            return Err(ServeError::ShuttingDown);
+        }
+        self.validate(&request)?;
+        // The router owns the fleet-global sequence counter — the
+        // determinism key. An explicit caller seq is honored and the
+        // counter advanced past it, mirroring ServeRuntime::submit.
+        let seq = match request.seq {
+            Some(s) => {
+                self.next_seq
+                    .fetch_max(s.saturating_add(1), Ordering::Relaxed);
+                s
+            }
+            None => self.next_seq.fetch_add(1, Ordering::Relaxed),
+        };
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let (handle, completer) = RequestHandle::channel(seq);
+        self.dispatch(seq, &request, completer, 0, self.cfg.clock.now_ns())?;
+        Ok(handle)
+    }
+}
+
+impl ServeBackend for FleetRouter {
+    fn submit_request(&self, request: SubmitRequest) -> Result<RequestHandle, ServeError> {
+        self.inner.submit(request)
+    }
+
+    fn queue_stats(&self) -> QueueStats {
+        // The router cannot see inside shard queues synchronously;
+        // in-flight (accepted, unanswered) is its live admission gauge,
+        // conservatively reported as depth too.
+        let in_flight = self.inner.total_in_flight();
+        QueueStats {
+            depth: in_flight as usize,
+            capacity: self.inner.hello.queue_capacity * self.inner.shards.len(),
+            in_flight,
+        }
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.inner.assemble_metrics()
+    }
+
+    fn n_inputs(&self) -> usize {
+        self.inner.hello.n_inputs
+    }
+
+    fn n_classes(&self) -> usize {
+        self.inner.hello.n_classes
+    }
+
+    fn models(&self) -> usize {
+        self.inner.hello.models.len()
+    }
+
+    fn model_n_inputs(&self, model: usize) -> Option<usize> {
+        self.inner.hello.models.get(model).map(|(i, _)| *i)
+    }
+
+    fn model_n_classes(&self, model: usize) -> Option<usize> {
+        self.inner.hello.models.get(model).map(|(_, c)| *c)
+    }
+
+    fn is_packed(&self) -> bool {
+        self.inner.hello.packed
+    }
+
+    fn replicas(&self) -> usize {
+        self.inner.live_replicas.load(Ordering::Relaxed)
+    }
+
+    fn kernel_batch(&self) -> usize {
+        self.inner.hello.kernel_batch
+    }
+
+    fn spf_per_class(&self) -> Vec<usize> {
+        self.inner.hello.spf.clone()
+    }
+
+    fn tier_names(&self) -> Vec<String> {
+        self.inner.hello.tiers.clone()
+    }
+
+    fn config(&self) -> &ServeConfig {
+        &self.inner.cfg.serve
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_recorded_values() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(1_000); // bucket [512, 1024)... 1000 -> k=9
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let p50 = h.quantile(0.50).as_nanos() as u64;
+        assert!((512..2048).contains(&p50), "p50 midpoint near 1us, got {p50}");
+        let p99 = h.quantile(0.99).as_nanos() as u64;
+        assert!(
+            (524_288..2_097_152).contains(&p99),
+            "p99 in the 1ms bucket, got {p99}"
+        );
+        assert_eq!(h.mean().as_nanos() as u64, (90 * 1_000 + 10 * 1_000_000) / 100);
+    }
+
+    #[test]
+    fn rendezvous_hash_is_stable_and_spreads() {
+        // Same seq → same winner regardless of when asked; different
+        // seqs spread across salts.
+        let salts: Vec<u64> = (0..4).map(|i| splitmix64(i + 1)).collect();
+        let winner = |seq: u64| {
+            (0..4usize)
+                .max_by_key(|i| splitmix64(seq ^ salts[*i]))
+                .unwrap()
+        };
+        let mut seen = [0usize; 4];
+        for seq in 0..1000 {
+            assert_eq!(winner(seq), winner(seq));
+            seen[winner(seq)] += 1;
+        }
+        assert!(
+            seen.iter().all(|&c| c > 100),
+            "each shard should win a fair share: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn empty_fleet_is_refused() {
+        let cfg = FleetConfig::new(ServeConfig::new(1));
+        let conns: Vec<tn_serve::pipe::PipeStream> = Vec::new();
+        assert!(matches!(
+            FleetRouter::connect(conns, cfg),
+            Err(ServeError::BadConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,60 @@
+//! The byte-stream abstraction both fleet tiers speak over.
+//!
+//! A fleet connection needs *two independently owned halves* — the
+//! shard's reader loop blocks in `read` while its completion pump and
+//! telemetry sink write — which is exactly the `TcpStream::try_clone`
+//! shape. [`Transport`] names that capability so the same shard and
+//! router code runs over real sockets (one shard per process) and over
+//! [`tn_serve::pipe::duplex`] in-memory pipes (a whole fleet inside one
+//! deterministic test process).
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use tn_serve::pipe::PipeStream;
+
+/// A duplex byte stream whose read and write halves can be owned by
+/// different threads.
+pub trait Transport: Read + Write + Send + Sized + 'static {
+    /// A second handle to the same underlying stream (shared cursor
+    /// semantics, like [`TcpStream::try_clone`]).
+    ///
+    /// # Errors
+    ///
+    /// Whatever the underlying stream reports (resource limits).
+    fn try_clone(&self) -> io::Result<Self>;
+}
+
+impl Transport for TcpStream {
+    fn try_clone(&self) -> io::Result<Self> {
+        TcpStream::try_clone(self)
+    }
+}
+
+impl Transport for PipeStream {
+    fn try_clone(&self) -> io::Result<Self> {
+        Ok(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tn_serve::pipe::duplex;
+
+    #[test]
+    fn pipe_clones_share_the_stream_like_tcp_clones() {
+        let (a, b) = duplex(64);
+        let mut a2 = Transport::try_clone(&a).expect("clone");
+        let mut b = b;
+        a2.write_all(b"hi").expect("write via clone");
+        let mut buf = [0u8; 2];
+        b.read_exact(&mut buf).expect("read");
+        assert_eq!(&buf, b"hi");
+        // The original handle still works after the clone wrote.
+        let mut a = a;
+        a.write_all(b"yo").expect("write via original");
+        b.read_exact(&mut buf).expect("read");
+        assert_eq!(&buf, b"yo");
+    }
+}

@@ -107,7 +107,7 @@ use std::time::Duration;
 
 use tn_chip::nscs::NetworkDeploySpec;
 use tn_serve::{
-    Backpressure, MetricsSnapshot, QueueStats, ServeConfig, ServeRuntime,
+    Backpressure, MetricsSnapshot, QueueStats, ServeBackend, ServeConfig, ServeRuntime,
 };
 use tn_telemetry::{LatestSink, MetricsSink, NullSink, Snapshot};
 
@@ -180,8 +180,36 @@ impl GatewayConfig {
     }
 }
 
+/// What answers the gateway's requests, and who shuts it down.
+#[derive(Debug)]
+enum Backend {
+    /// A runtime this gateway built; [`Gateway::shutdown`] consumes it.
+    Owned(Arc<ServeRuntime>),
+    /// A caller-provided backend (e.g. a `tn-fleet` router); the caller
+    /// keeps ownership and performs its own shutdown after the gateway's.
+    Shared(Arc<dyn ServeBackend>),
+}
+
+impl Backend {
+    fn as_backend(&self) -> &dyn ServeBackend {
+        match self {
+            Backend::Owned(rt) => rt.as_ref(),
+            Backend::Shared(b) => b.as_ref(),
+        }
+    }
+
+    fn service_arc(&self) -> Arc<dyn ServeBackend> {
+        match self {
+            Backend::Owned(rt) => Arc::clone(rt) as Arc<dyn ServeBackend>,
+            Backend::Shared(b) => Arc::clone(b),
+        }
+    }
+}
+
 /// A running serving front-end: one TCP listener, one reactor thread, one
-/// [`ServeRuntime`] behind it.
+/// [`ServeBackend`] behind it (a [`ServeRuntime`] the gateway builds via
+/// the `bind*` constructors, or any caller-provided backend — e.g. a
+/// `tn-fleet` router — via [`Gateway::bind_backend`]).
 ///
 /// Dropping a `Gateway` drains it like [`Gateway::shutdown`] (minus the
 /// returned metrics).
@@ -190,7 +218,7 @@ pub struct Gateway {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     reactor: Option<JoinHandle<()>>,
-    runtime: Option<Arc<ServeRuntime>>,
+    backend: Option<Backend>,
     latest: Arc<LatestSink>,
 }
 
@@ -242,7 +270,7 @@ impl Gateway {
             serve_cfg,
             Arc::clone(&latest) as Arc<dyn MetricsSink>,
         )?);
-        Self::start(addr, runtime, gw_cfg, latest)
+        Self::start(addr, Backend::Owned(runtime), gw_cfg, latest)
     }
 
     /// Like [`Gateway::bind`], but deploys *several* specs as tenants of
@@ -290,14 +318,50 @@ impl Gateway {
             serve_cfg,
             Arc::clone(&latest) as Arc<dyn MetricsSink>,
         )?);
-        Self::start(addr, runtime, gw_cfg, latest)
+        Self::start(addr, Backend::Owned(runtime), gw_cfg, latest)
+    }
+
+    /// Serve an *already-built* backend — the scale-out entry point. The
+    /// canonical caller launches a `tn-fleet` router over shard runtimes
+    /// and binds the HTTP front-end to it:
+    ///
+    /// ```text
+    /// let latest = Arc::new(LatestSink::tee(sink));          // fleet's aggregated sink
+    /// let fleet = LocalFleet::launch_with_sink(&spec, 2, cfg, latest.clone())?;
+    /// let gw = Gateway::bind_backend("127.0.0.1:0", fleet.router_arc(), gw_cfg, latest)?;
+    /// ```
+    ///
+    /// Unlike the `bind*` constructors the gateway does not own the
+    /// backend: [`Gateway::shutdown`] drains the gateway's connections
+    /// and returns [`ServeBackend::metrics`], after which the caller
+    /// shuts the backend itself down. The gateway also cannot force
+    /// rejecting backpressure here — the backend must already shed load
+    /// without blocking (`tn-fleet`'s router does; for a solo runtime
+    /// set [`Backpressure::Reject`] yourself).
+    ///
+    /// `latest` backs `GET /v1/snapshot`: pass the same [`LatestSink`]
+    /// the backend's telemetry is teed through (as above), or a fresh
+    /// `LatestSink::tee(Arc::new(NullSink))` to serve `404 no_snapshot`.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::BadConfig`] for inconsistent gateway knobs,
+    /// [`GatewayError::Bind`] if the listener cannot be bound.
+    pub fn bind_backend(
+        addr: impl ToSocketAddrs,
+        backend: Arc<dyn ServeBackend>,
+        gw_cfg: GatewayConfig,
+        latest: Arc<LatestSink>,
+    ) -> Result<Self, GatewayError> {
+        gw_cfg.validate()?;
+        Self::start(addr, Backend::Shared(backend), gw_cfg, latest)
     }
 
     /// Bind the listener and spawn the reactor over an already-built
-    /// runtime (shared tail of every `bind*` constructor).
+    /// backend (shared tail of every `bind*` constructor).
     fn start(
         addr: impl ToSocketAddrs,
-        runtime: Arc<ServeRuntime>,
+        backend: Backend,
         gw_cfg: GatewayConfig,
         latest: Arc<LatestSink>,
     ) -> Result<Self, GatewayError> {
@@ -306,7 +370,7 @@ impl Gateway {
         let addr = listener.local_addr().map_err(GatewayError::Bind)?;
         let stop = Arc::new(AtomicBool::new(false));
         let ctx = ServiceCtx {
-            rt: Arc::clone(&runtime),
+            rt: backend.service_arc(),
             latest: Arc::clone(&latest),
         };
         let reactor = {
@@ -320,7 +384,7 @@ impl Gateway {
             addr,
             stop,
             reactor: Some(reactor),
-            runtime: Some(runtime),
+            backend: Some(backend),
             latest,
         })
     }
@@ -330,14 +394,14 @@ impl Gateway {
         self.addr
     }
 
-    /// Live runtime counters (same view as `GET /v1/config` + metrics).
+    /// Live backend counters (same view as `GET /v1/config` + metrics).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.runtime().metrics()
+        self.backend().metrics()
     }
 
     /// Live queue-depth / in-flight admission gauge.
     pub fn queue_stats(&self) -> QueueStats {
-        self.runtime().queue_stats()
+        self.backend().queue_stats()
     }
 
     /// The most recent telemetry snapshot (what `GET /v1/snapshot`
@@ -347,22 +411,30 @@ impl Gateway {
     }
 
     /// Graceful drain: stop accepting connections, complete and flush
-    /// every admitted request, join the reactor, then shut the runtime
-    /// down (its observer emits one final telemetry snapshot) and return
-    /// the final metrics.
+    /// every admitted request, join the reactor, then — for gateways
+    /// that own their runtime (`bind*`) — shut the runtime down (its
+    /// observer emits one final telemetry snapshot) and return the final
+    /// metrics. A [`Gateway::bind_backend`] gateway returns the
+    /// backend's current metrics and leaves shutting the backend down to
+    /// its owner.
     pub fn shutdown(mut self) -> MetricsSnapshot {
         self.stop_reactor();
-        let runtime = self.runtime.take().expect("runtime present until shutdown");
-        match Arc::try_unwrap(runtime) {
-            Ok(rt) => rt.shutdown(),
-            // Unreachable in practice: the reactor held the only other
-            // strong reference and has been joined.
-            Err(rt) => rt.metrics(),
+        match self.backend.take().expect("backend present until shutdown") {
+            Backend::Owned(runtime) => match Arc::try_unwrap(runtime) {
+                Ok(rt) => rt.shutdown(),
+                // Unreachable in practice: the reactor held the only
+                // other strong reference and has been joined.
+                Err(rt) => rt.metrics(),
+            },
+            Backend::Shared(backend) => backend.metrics(),
         }
     }
 
-    fn runtime(&self) -> &ServeRuntime {
-        self.runtime.as_ref().expect("runtime present until shutdown")
+    fn backend(&self) -> &dyn ServeBackend {
+        self.backend
+            .as_ref()
+            .expect("backend present until shutdown")
+            .as_backend()
     }
 
     fn stop_reactor(&mut self) {

@@ -6,7 +6,7 @@
 //! guess — and rendering is plain `format!` with escaped strings, so the
 //! gateway stays dependency-free.
 
-use tn_serve::{Backpressure, Response, ServeRuntime, SubmitRequest};
+use tn_serve::{Backpressure, Response, ServeBackend, SubmitRequest};
 use tn_telemetry::json::{self, escape, JsonValue};
 
 /// Render an `f64` as a JSON number (non-finite values have no JSON
@@ -147,7 +147,7 @@ pub(crate) fn health_json() -> String {
 /// `"model"` stays tenant 0 (backward compatible); the `"models"` array
 /// lists every packed tenant (a single entry on solo runtimes), and
 /// `"packed"` flags multi-tenant runtimes.
-pub(crate) fn config_json(rt: &ServeRuntime) -> String {
+pub(crate) fn config_json(rt: &dyn ServeBackend) -> String {
     let models = join((0..rt.models()).map(|m| {
         format!(
             "{{\"id\":{m},\"n_inputs\":{},\"n_classes\":{}}}",

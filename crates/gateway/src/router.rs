@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use tn_serve::{ServeError, ServeRuntime, SubmitRequest};
+use tn_serve::{ServeBackend, ServeError, SubmitRequest};
 use tn_telemetry::json::{self, JsonValue};
 use tn_telemetry::LatestSink;
 
@@ -21,8 +21,9 @@ use crate::proto;
 /// Shared services every connection routes against.
 #[derive(Debug, Clone)]
 pub(crate) struct ServiceCtx {
-    /// The serving runtime (submission + live introspection).
-    pub(crate) rt: Arc<ServeRuntime>,
+    /// The serving backend (submission + live introspection) — a solo
+    /// [`tn_serve::ServeRuntime`] or a fleet router, behind one trait.
+    pub(crate) rt: Arc<dyn ServeBackend>,
     /// Latest-snapshot holder the runtime's observer exports into.
     pub(crate) latest: Arc<LatestSink>,
 }
@@ -32,7 +33,7 @@ pub(crate) fn handle_http(req: &HttpRequest, ctx: &ServiceCtx) -> Pending {
     let path = req.target.split('?').next().unwrap_or("");
     let mut pending = match (req.method.as_str(), path) {
         ("POST", "/v1/classify") => classify(&req.body, ctx, false),
-        ("GET", "/v1/config") => Pending::ready(200, proto::config_json(&ctx.rt), false),
+        ("GET", "/v1/config") => Pending::ready(200, proto::config_json(&*ctx.rt), false),
         ("GET", "/v1/snapshot") => snapshot(ctx, false),
         ("GET", "/healthz") => Pending::ready(200, proto::health_json(), false),
         (_, "/v1/classify" | "/v1/config" | "/v1/snapshot" | "/healthz") => Pending::ready(
@@ -71,7 +72,7 @@ pub(crate) fn route_line(line: &str, ctx: &ServiceCtx) -> Pending {
             Ok(request) => submit(request, ctx, true),
             Err(msg) => Pending::ready(400, proto::error_json("bad_request", &msg), true),
         },
-        "config" => Pending::ready(200, proto::config_json(&ctx.rt), true),
+        "config" => Pending::ready(200, proto::config_json(&*ctx.rt), true),
         "snapshot" => snapshot(ctx, true),
         "health" => Pending::ready(200, proto::health_json(), true),
         other => Pending::ready(
@@ -95,14 +96,14 @@ fn classify(body: &[u8], ctx: &ServiceCtx, line_mode: bool) -> Pending {
 /// `unknown_quality`) share one structured 400 shape whose `detail`
 /// object names what was asked for and what this runtime serves.
 fn submit(request: SubmitRequest, ctx: &ServiceCtx, line_mode: bool) -> Pending {
-    match ctx.rt.submit(request) {
+    match ctx.rt.submit_request(request) {
         Ok(handle) => Pending::handle(handle, line_mode),
         Err(ServeError::QueueFull) => Pending::ready(
             503,
             proto::error_json("queue_full", "submission queue is full; retry later"),
             line_mode,
         )
-        .with_retry_after(retry_after_secs(&ctx.rt)),
+        .with_retry_after(retry_after_secs(&*ctx.rt)),
         Err(ServeError::ShuttingDown) => Pending::ready(
             503,
             proto::error_json("shutting_down", "gateway is draining"),
@@ -171,7 +172,7 @@ fn snapshot(ctx: &ServiceCtx, line_mode: bool) -> Pending {
 /// `Retry-After` hint when shedding load: a rough time-to-drain estimate
 /// (in-flight depth × mean service latency), clamped to `1..=30` seconds
 /// so the hint is always actionable and never absurd.
-fn retry_after_secs(rt: &ServeRuntime) -> u64 {
+fn retry_after_secs(rt: &dyn ServeBackend) -> u64 {
     let stats = rt.queue_stats();
     let mean = rt.metrics().mean_latency.as_secs_f64();
     let est = (stats.in_flight as f64 * mean).ceil();

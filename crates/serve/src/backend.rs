@@ -1,0 +1,181 @@
+//! The serving-backend abstraction: anything a front-end can submit to.
+//!
+//! `tn-gateway` originally bound straight to a [`ServeRuntime`]. A
+//! scale-out fleet needs the same HTTP front-end bound to a *router*
+//! over many shard runtimes instead — without a `tn-gateway →
+//! tn-fleet` dependency (the fleet depends on `tn-serve` too, and the
+//! gateway must stay usable solo). [`ServeBackend`] is the seam: the
+//! exact submission + introspection surface the gateway consumes,
+//! implemented here by [`ServeRuntime`] and in `tn-fleet` by its
+//! `FleetRouter`.
+//!
+//! The trait is object-safe on purpose (front-ends hold
+//! `Arc<dyn ServeBackend>`), which is why submission takes a concrete
+//! [`SubmitRequest`] rather than `impl Into<SubmitRequest>`.
+
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::handle::RequestHandle;
+use crate::metrics::{MetricsSnapshot, QueueStats};
+use crate::request::SubmitRequest;
+use crate::runtime::ServeRuntime;
+
+/// What a serving front-end needs from whatever answers its requests:
+/// non-blocking-ish submission, admission gauges, counters, and enough
+/// model/config introspection to render a config endpoint.
+pub trait ServeBackend: Send + Sync + std::fmt::Debug {
+    /// Submit one request; returns an awaitable [`RequestHandle`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ServeRuntime::submit`]: validation failures,
+    /// [`ServeError::QueueFull`] under rejecting backpressure,
+    /// [`ServeError::ShuttingDown`] once the backend is draining (for a
+    /// fleet: when no healthy shard remains).
+    fn submit_request(&self, request: SubmitRequest) -> Result<RequestHandle, ServeError>;
+
+    /// Live queue-depth / in-flight admission gauge (fleet backends
+    /// aggregate across shards).
+    fn queue_stats(&self) -> QueueStats;
+
+    /// Point-in-time counters (fleet backends aggregate across shards).
+    fn metrics(&self) -> MetricsSnapshot;
+
+    /// Input channels each request must provide (tenant model 0).
+    fn n_inputs(&self) -> usize;
+
+    /// Classes voted on per request (tenant model 0).
+    fn n_classes(&self) -> usize;
+
+    /// Number of tenant models served.
+    fn models(&self) -> usize;
+
+    /// Input channels tenant `model` expects, `None` if out of range.
+    fn model_n_inputs(&self, model: usize) -> Option<usize>;
+
+    /// Classes tenant `model` votes on, `None` if out of range.
+    fn model_n_classes(&self, model: usize) -> Option<usize>;
+
+    /// Whether several tenants share one packed chip.
+    fn is_packed(&self) -> bool;
+
+    /// Replica count currently in force.
+    fn replicas(&self) -> usize;
+
+    /// Kernel fusion width currently in force.
+    fn kernel_batch(&self) -> usize;
+
+    /// Live ticks-per-frame for each request class (≥ 1 entry).
+    fn spf_per_class(&self) -> Vec<usize>;
+
+    /// Names of the quality tiers served, in config order.
+    fn tier_names(&self) -> Vec<String>;
+
+    /// The serving configuration (initial knob values; the live values
+    /// come from [`ServeBackend::replicas`] etc.).
+    fn config(&self) -> &ServeConfig;
+}
+
+impl ServeBackend for ServeRuntime {
+    fn submit_request(&self, request: SubmitRequest) -> Result<RequestHandle, ServeError> {
+        self.submit(request)
+    }
+
+    fn queue_stats(&self) -> QueueStats {
+        ServeRuntime::queue_stats(self)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        ServeRuntime::metrics(self)
+    }
+
+    fn n_inputs(&self) -> usize {
+        ServeRuntime::n_inputs(self)
+    }
+
+    fn n_classes(&self) -> usize {
+        ServeRuntime::n_classes(self)
+    }
+
+    fn models(&self) -> usize {
+        ServeRuntime::models(self)
+    }
+
+    fn model_n_inputs(&self, model: usize) -> Option<usize> {
+        ServeRuntime::model_n_inputs(self, model)
+    }
+
+    fn model_n_classes(&self, model: usize) -> Option<usize> {
+        ServeRuntime::model_n_classes(self, model)
+    }
+
+    fn is_packed(&self) -> bool {
+        ServeRuntime::is_packed(self)
+    }
+
+    fn replicas(&self) -> usize {
+        ServeRuntime::replicas(self)
+    }
+
+    fn kernel_batch(&self) -> usize {
+        ServeRuntime::kernel_batch(self)
+    }
+
+    fn spf_per_class(&self) -> Vec<usize> {
+        ServeRuntime::spf_per_class(self)
+    }
+
+    fn tier_names(&self) -> Vec<String> {
+        ServeRuntime::tier_names(self)
+    }
+
+    fn config(&self) -> &ServeConfig {
+        ServeRuntime::config(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tn_chip::nscs::{CoreDeploySpec, InputSource, NetworkDeploySpec};
+
+    /// 2-input, 2-class, single-core spec with deterministic ±1 weights.
+    fn xor_free_spec() -> NetworkDeploySpec {
+        NetworkDeploySpec {
+            cores: vec![CoreDeploySpec {
+                layer: 0,
+                weights: vec![1.0, -1.0, -1.0, 1.0],
+                n_axons: 2,
+                n_neurons: 2,
+                biases: vec![-0.5, -0.5],
+                axon_sources: vec![InputSource::External(0), InputSource::External(1)],
+            }],
+            n_inputs: 2,
+            n_classes: 2,
+            output_taps: vec![(0, 0, 0), (0, 1, 1)],
+        }
+    }
+
+    #[test]
+    fn runtime_serves_through_the_trait_object() {
+        let rt = ServeRuntime::new(&xor_free_spec(), ServeConfig::new(7)).expect("deploy");
+        let direct = rt.classify(vec![1.0, 0.0]).expect("classify");
+        let backend: Arc<dyn ServeBackend> =
+            Arc::new(ServeRuntime::new(&xor_free_spec(), ServeConfig::new(7)).expect("deploy"));
+        let via_trait = backend
+            .submit_request(SubmitRequest::new(vec![1.0, 0.0]))
+            .expect("submit")
+            .wait()
+            .expect("serve");
+        // Same (seed, seq) through either surface: bit-identical.
+        assert_eq!(via_trait.predicted, direct.predicted);
+        assert_eq!(via_trait.votes, direct.votes);
+        assert_eq!(backend.n_inputs(), 2);
+        assert_eq!(backend.n_classes(), 2);
+        assert_eq!(backend.models(), 1);
+        assert!(!backend.is_packed());
+        assert_eq!(backend.config().seed, 7);
+        assert!(backend.queue_stats().capacity > 0);
+    }
+}

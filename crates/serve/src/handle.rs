@@ -179,9 +179,16 @@ pub struct RequestHandle {
     seq: u64,
 }
 
-/// Worker-side completion token paired with one [`RequestHandle`].
+/// Completion token paired with one [`RequestHandle`].
+///
+/// Inside the runtime a worker consumes it with [`Completer::complete`].
+/// It is public because serving *front-end tiers* (the `tn-fleet`
+/// router) mint their own pairs via [`RequestHandle::channel`]: they
+/// hand the handle to the caller, dispatch the request to a remote
+/// shard, and complete the pair when the shard's answer frame arrives —
+/// so remote and in-process submissions are awaited identically.
 #[derive(Debug)]
-pub(crate) struct Completer {
+pub struct Completer {
     cell: Arc<Cell>,
 }
 
@@ -201,6 +208,17 @@ pub(crate) fn pair(seq: u64) -> (RequestHandle, Completer) {
 }
 
 impl RequestHandle {
+    /// Create a connected handle/completer pair for submission `seq`,
+    /// outside any runtime.
+    ///
+    /// The waiting semantics are identical to a runtime-issued handle:
+    /// dropping the [`Completer`] unfulfilled wakes the waiter with
+    /// [`ServeError::ShuttingDown`], so a crashed dispatcher never
+    /// leaves a caller hanging.
+    pub fn channel(seq: u64) -> (RequestHandle, Completer) {
+        pair(seq)
+    }
+
     /// The request's submission sequence number.
     pub fn seq(&self) -> u64 {
         self.seq
@@ -274,7 +292,7 @@ impl RequestHandle {
 impl Completer {
     /// Fulfil the paired handle (idempotence is unreachable by
     /// construction; a second call would simply overwrite).
-    pub(crate) fn complete(self, result: Result<Response, ServeError>) {
+    pub fn complete(self, result: Result<Response, ServeError>) {
         *self.cell.slot.lock().expect("handle lock") = Some(result);
         self.cell.done.notify_all();
     }

@@ -98,6 +98,14 @@
 //!   frame via [`tn_chip::energy`]). Handles never hang: a runtime dropped
 //!   mid-request completes its waiters with [`ServeError::ShuttingDown`],
 //!   and [`RequestHandle::wait_timeout`] bounds any individual wait.
+//! * **Scale-out seam**: [`ServeBackend`] abstracts "something a
+//!   front-end can submit to" (this runtime, or `tn-fleet`'s router over
+//!   many shard runtimes); [`SubmitRequest::at_seq`] makes submission
+//!   *shard-addressable* (a router that owns the sequence counter gets
+//!   bit-identical answers from any shard); [`RequestHandle::channel`]
+//!   lets a router mint handle/completer pairs for remotely dispatched
+//!   requests; and [`pipe::duplex`] provides in-memory duplex streams so
+//!   a whole fleet runs deterministically inside one test process.
 //!
 //! # Example
 //!
@@ -170,20 +178,23 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod backend;
 mod config;
 mod control;
 mod error;
 mod handle;
 mod metrics;
+pub mod pipe;
 mod queue;
 mod request;
 mod runtime;
 mod tier;
 
+pub use backend::ServeBackend;
 pub use config::{Backpressure, ServeConfig, ServeConfigBuilder, TelemetryConfig};
 pub use control::{ControlAction, ControlSample, Controller, ControllerConfig, SpfClass};
 pub use error::ServeError;
-pub use handle::{RequestHandle, Response, ServedAs};
+pub use handle::{Completer, RequestHandle, Response, ServedAs};
 pub use metrics::{MetricsSnapshot, QueueStats};
 pub use queue::{BoundedQueue, PushError};
 pub use request::SubmitRequest;

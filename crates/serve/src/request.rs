@@ -34,16 +34,21 @@ pub struct SubmitRequest {
     /// Quality tier name; `None` serves on the runtime's default
     /// replica set at the live spf.
     pub quality: Option<String>,
+    /// Explicit determinism sequence number; `None` (the default) lets
+    /// the runtime claim the next one. See [`SubmitRequest::at_seq`].
+    pub seq: Option<u64>,
 }
 
 impl SubmitRequest {
-    /// A request for `frame` with default model, class, and no tier.
+    /// A request for `frame` with default model, class, no tier, and a
+    /// runtime-assigned sequence number.
     pub fn new(frame: Vec<f32>) -> Self {
         Self {
             frame,
             model: 0,
             class: 0,
             quality: None,
+            seq: None,
         }
     }
 
@@ -67,6 +72,28 @@ impl SubmitRequest {
         self.quality = Some(quality.into());
         self
     }
+
+    /// Pin the request's determinism sequence number instead of letting
+    /// the runtime claim the next one — *shard-addressable submission*.
+    ///
+    /// A response is a pure function of `(cfg.seed, seq, spf)`, so a
+    /// front-end that owns the sequence counter (the `tn-fleet` router)
+    /// can dispatch request `k` to *any* shard built from the same
+    /// `(spec, config)` and get an answer bit-identical to a solo
+    /// runtime's `k`-th request — including after re-routing to a
+    /// different shard on connection loss.
+    ///
+    /// The runtime's own counter is advanced past an explicit seq, so
+    /// occasional mixing cannot hand out a duplicate; but interleaving
+    /// explicit and automatic submissions makes the *automatic* seqs
+    /// depend on arrival order, so pick one scheme per runtime. On
+    /// packed runtimes the per-model determinism key is still the
+    /// per-model submission counter, not this global seq.
+    #[must_use]
+    pub fn at_seq(mut self, seq: u64) -> Self {
+        self.seq = Some(seq);
+        self
+    }
 }
 
 impl From<Vec<f32>> for SubmitRequest {
@@ -83,11 +110,14 @@ mod tests {
     fn builder_defaults_and_setters() {
         let req = SubmitRequest::new(vec![1.0]);
         assert_eq!((req.model, req.class, req.quality.as_deref()), (0, 0, None));
+        assert_eq!(req.seq, None);
         let req = SubmitRequest::new(vec![1.0]).model(2).class(1).quality("q");
         assert_eq!(
             (req.model, req.class, req.quality.as_deref()),
             (2, 1, Some("q"))
         );
+        let req = SubmitRequest::new(vec![1.0]).at_seq(41);
+        assert_eq!(req.seq, Some(41));
     }
 
     #[test]

@@ -469,6 +469,15 @@ impl ServeRuntime {
         self.control.replicas.load(Ordering::Relaxed)
     }
 
+    /// Chip cores occupied by the live deployment (all replicas; moves
+    /// with [`ControlAction::SetReplicas`]). This is the denominator of
+    /// the static-energy attribution in [`ServeRuntime::metrics`], and
+    /// what a fleet shard reports so the router can aggregate
+    /// fleet-level energy.
+    pub fn cores(&self) -> usize {
+        self.control.cores.load(Ordering::Relaxed)
+    }
+
     /// Live ticks-per-frame for each request class. Always at least one
     /// entry; without configured spf classes the single entry is pinned
     /// at [`ServeConfig::spf`].
@@ -518,10 +527,28 @@ impl ServeRuntime {
     /// tier), and the builder names a tenant model, request class, or
     /// quality tier:
     ///
-    /// ```text
-    /// rt.submit(frame)?;                                        // defaults
-    /// rt.submit(SubmitRequest::new(frame).model(1))?;           // tenant 1
-    /// rt.submit(SubmitRequest::new(frame).quality("fast"))?;    // tiered
+    /// ```
+    /// # use tn_chip::nscs::{CoreDeploySpec, InputSource, NetworkDeploySpec};
+    /// # use tn_serve::{ServeConfig, ServeRuntime, SubmitRequest};
+    /// # let spec = NetworkDeploySpec {
+    /// #     cores: vec![CoreDeploySpec {
+    /// #         layer: 0,
+    /// #         weights: vec![1.0, -1.0, -1.0, 1.0],
+    /// #         n_axons: 2,
+    /// #         n_neurons: 2,
+    /// #         biases: vec![-0.5, -0.5],
+    /// #         axon_sources: vec![InputSource::External(0), InputSource::External(1)],
+    /// #     }],
+    /// #     n_inputs: 2,
+    /// #     n_classes: 2,
+    /// #     output_taps: vec![(0, 0, 0), (0, 1, 1)],
+    /// # };
+    /// # let rt = ServeRuntime::new(&spec, ServeConfig::new(7)).expect("deploy");
+    /// let handle = rt.submit(vec![1.0, 0.0])?; // defaults: model 0, class 0
+    /// assert_eq!(handle.wait()?.predicted, 0);
+    /// let handle = rt.submit(SubmitRequest::new(vec![0.0, 1.0]).model(0).class(0))?;
+    /// assert_eq!(handle.wait()?.predicted, 1);
+    /// # Ok::<(), tn_serve::ServeError>(())
     /// ```
     ///
     /// With [`Backpressure::Block`] this blocks while the queue is full;
@@ -544,6 +571,33 @@ impl ServeRuntime {
 
     /// Submit under request class `class`.
     ///
+    /// Deprecated shim. Replace `rt.submit_class(inputs, class)` with
+    /// the [`SubmitRequest`] builder:
+    ///
+    /// ```
+    /// # use tn_chip::nscs::{CoreDeploySpec, InputSource, NetworkDeploySpec};
+    /// # use tn_serve::{ServeConfig, ServeRuntime, SubmitRequest};
+    /// # let spec = NetworkDeploySpec {
+    /// #     cores: vec![CoreDeploySpec {
+    /// #         layer: 0,
+    /// #         weights: vec![1.0, -1.0, -1.0, 1.0],
+    /// #         n_axons: 2,
+    /// #         n_neurons: 2,
+    /// #         biases: vec![-0.5, -0.5],
+    /// #         axon_sources: vec![InputSource::External(0), InputSource::External(1)],
+    /// #     }],
+    /// #     n_inputs: 2,
+    /// #     n_classes: 2,
+    /// #     output_taps: vec![(0, 0, 0), (0, 1, 1)],
+    /// # };
+    /// # let rt = ServeRuntime::new(&spec, ServeConfig::new(7)).expect("deploy");
+    /// let (inputs, class) = (vec![1.0, 0.0], 0);
+    /// // was: rt.submit_class(inputs, class)
+    /// let response = rt.submit(SubmitRequest::new(inputs).class(class))?.wait()?;
+    /// assert_eq!(response.class(), class);
+    /// # Ok::<(), tn_serve::ServeError>(())
+    /// ```
+    ///
     /// # Errors
     ///
     /// Same as [`ServeRuntime::submit`].
@@ -561,6 +615,34 @@ impl ServeRuntime {
 
     /// Submit to tenant `model` of a packed multi-tenant runtime.
     ///
+    /// Deprecated shim. Replace `rt.submit_model(model, inputs)` with
+    /// the [`SubmitRequest`] builder (note the argument order: the old
+    /// shim took the model *first*, the builder names it explicitly):
+    ///
+    /// ```
+    /// # use tn_chip::nscs::{CoreDeploySpec, InputSource, NetworkDeploySpec};
+    /// # use tn_serve::{ServeConfig, ServeRuntime, SubmitRequest};
+    /// # let spec = NetworkDeploySpec {
+    /// #     cores: vec![CoreDeploySpec {
+    /// #         layer: 0,
+    /// #         weights: vec![1.0, -1.0, -1.0, 1.0],
+    /// #         n_axons: 2,
+    /// #         n_neurons: 2,
+    /// #         biases: vec![-0.5, -0.5],
+    /// #         axon_sources: vec![InputSource::External(0), InputSource::External(1)],
+    /// #     }],
+    /// #     n_inputs: 2,
+    /// #     n_classes: 2,
+    /// #     output_taps: vec![(0, 0, 0), (0, 1, 1)],
+    /// # };
+    /// # let rt = ServeRuntime::new(&spec, ServeConfig::new(7)).expect("deploy");
+    /// let (model, inputs) = (0, vec![1.0, 0.0]);
+    /// // was: rt.submit_model(model, inputs)
+    /// let response = rt.submit(SubmitRequest::new(inputs).model(model))?.wait()?;
+    /// assert_eq!(response.model(), model);
+    /// # Ok::<(), tn_serve::ServeError>(())
+    /// ```
+    ///
     /// # Errors
     ///
     /// Same as [`ServeRuntime::submit`].
@@ -577,6 +659,36 @@ impl ServeRuntime {
     }
 
     /// Submit to tenant `model` under request class `class`.
+    ///
+    /// Deprecated shim. Replace `rt.submit_model_class(model, inputs,
+    /// class)` with the [`SubmitRequest`] builder, which composes both
+    /// routing knobs (and any future ones) without positional sprawl:
+    ///
+    /// ```
+    /// # use tn_chip::nscs::{CoreDeploySpec, InputSource, NetworkDeploySpec};
+    /// # use tn_serve::{ServeConfig, ServeRuntime, SubmitRequest};
+    /// # let spec = NetworkDeploySpec {
+    /// #     cores: vec![CoreDeploySpec {
+    /// #         layer: 0,
+    /// #         weights: vec![1.0, -1.0, -1.0, 1.0],
+    /// #         n_axons: 2,
+    /// #         n_neurons: 2,
+    /// #         biases: vec![-0.5, -0.5],
+    /// #         axon_sources: vec![InputSource::External(0), InputSource::External(1)],
+    /// #     }],
+    /// #     n_inputs: 2,
+    /// #     n_classes: 2,
+    /// #     output_taps: vec![(0, 0, 0), (0, 1, 1)],
+    /// # };
+    /// # let rt = ServeRuntime::new(&spec, ServeConfig::new(7)).expect("deploy");
+    /// let (model, inputs, class) = (0, vec![1.0, 0.0], 0);
+    /// // was: rt.submit_model_class(model, inputs, class)
+    /// let response = rt
+    ///     .submit(SubmitRequest::new(inputs).model(model).class(class))?
+    ///     .wait()?;
+    /// assert_eq!((response.model(), response.class()), (model, class));
+    /// # Ok::<(), tn_serve::ServeError>(())
+    /// ```
     ///
     /// # Errors
     ///
@@ -608,6 +720,7 @@ impl ServeRuntime {
             model,
             class,
             quality,
+            seq: seq_override,
             ..
         } = request;
         let Some(&(n_inputs, _)) = self.model_dims.get(model) else {
@@ -651,7 +764,18 @@ impl ServeRuntime {
                 value: inputs[channel],
             });
         }
-        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        // Shard-addressable submission: an explicit seq (from a fleet
+        // router that owns the global counter) is honored verbatim; the
+        // local counter is advanced past it so occasional mixing with
+        // automatic submissions cannot hand out a duplicate.
+        let seq = match seq_override {
+            Some(s) => {
+                self.next_seq
+                    .fetch_max(s.saturating_add(1), Ordering::Relaxed);
+                s
+            }
+            None => self.next_seq.fetch_add(1, Ordering::Relaxed),
+        };
         // Solo runtimes key frames by the global sequence number (the
         // original contract); packed runtimes key by the per-model
         // counter so tenant streams match their solo equivalents.

@@ -21,6 +21,10 @@
 //!   additionally hands the most recent snapshot back to synchronous
 //!   readers (a live snapshot endpoint), optionally tee-ing to an inner
 //!   sink.
+//! * **Staleness** ([`FreshnessTracker`]) — the consumer side of using a
+//!   snapshot stream as a heartbeat: lock-free last-arrival tracking and
+//!   an age budget, judged on a consumer-stamped clock (the fleet router
+//!   marks a shard unhealthy when its snapshots go stale).
 //!
 //! # Example
 //!
@@ -60,8 +64,10 @@ pub mod json;
 mod sink;
 mod snapshot;
 mod span;
+mod staleness;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use sink::{emit, JsonLinesSink, LatestSink, MemorySink, MetricsSink, NullSink};
 pub use snapshot::{Snapshot, SnapshotError, SCHEMA};
 pub use span::{SpanRecord, SpanRecorder, Stage, StageStats};
+pub use staleness::FreshnessTracker;

@@ -1,0 +1,128 @@
+//! Snapshot-staleness detection: is a telemetry producer still alive?
+//!
+//! A `tn-telemetry/1` snapshot stream doubles as a heartbeat: a producer
+//! that stops exporting is presumed unhealthy. [`FreshnessTracker`]
+//! implements the consumer side of that rule as pure `u64`-nanosecond
+//! arithmetic over a *consumer-stamped* arrival clock — never the
+//! producer's own `t_ns` (each producer's clock has an arbitrary epoch,
+//! so cross-process comparisons of `t_ns` are meaningless).
+//!
+//! The tracker is lock-free (`AtomicU64`) so a reader thread can
+//! [`FreshnessTracker::mark`] arrivals while a dispatcher concurrently
+//! asks [`FreshnessTracker::is_stale`]. All time is injected by the
+//! caller, so staleness logic is deterministic under a
+//! [`crate::ManualClock`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Tracks when a snapshot stream last produced, and judges staleness
+/// against a fixed age budget.
+///
+/// Construction counts as a first "arrival": a freshly connected
+/// producer gets one full `max_age_ns` of grace before it can be judged
+/// stale, so a consumer never flags a producer that simply has not had
+/// time to emit its first snapshot yet.
+///
+/// ```
+/// use tn_telemetry::{Clock, FreshnessTracker, ManualClock};
+///
+/// let clock = ManualClock::new();
+/// let fresh = FreshnessTracker::new(1_000, clock.now_ns());
+/// clock.advance_ns(999);
+/// assert!(!fresh.is_stale(clock.now_ns()), "inside the age budget");
+/// clock.advance_ns(2);
+/// assert!(fresh.is_stale(clock.now_ns()), "budget exhausted");
+/// fresh.mark(clock.now_ns());
+/// assert!(!fresh.is_stale(clock.now_ns()), "an arrival resets the clock");
+/// ```
+#[derive(Debug)]
+pub struct FreshnessTracker {
+    /// Consumer-clock timestamp of the most recent arrival (or of
+    /// construction, before anything arrived).
+    last_seen_ns: AtomicU64,
+    /// Maximum tolerated age before [`FreshnessTracker::is_stale`].
+    max_age_ns: u64,
+}
+
+impl FreshnessTracker {
+    /// A tracker judging against `max_age_ns`, armed at `now_ns`.
+    pub fn new(max_age_ns: u64, now_ns: u64) -> Self {
+        Self {
+            last_seen_ns: AtomicU64::new(now_ns),
+            max_age_ns,
+        }
+    }
+
+    /// Record an arrival stamped `now_ns` by the *consumer's* clock.
+    ///
+    /// Arrivals may race; the freshest timestamp wins (a stale `mark`
+    /// from a slow thread never rolls freshness backwards).
+    pub fn mark(&self, now_ns: u64) {
+        self.last_seen_ns.fetch_max(now_ns, Ordering::Relaxed);
+    }
+
+    /// Consumer-clock timestamp of the most recent arrival.
+    pub fn last_seen_ns(&self) -> u64 {
+        self.last_seen_ns.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds since the most recent arrival (0 if `now_ns` is
+    /// somehow older than the last arrival — clocks never run backwards
+    /// here, they saturate).
+    pub fn age_ns(&self, now_ns: u64) -> u64 {
+        now_ns.saturating_sub(self.last_seen_ns())
+    }
+
+    /// The configured age budget.
+    pub fn max_age_ns(&self) -> u64 {
+        self.max_age_ns
+    }
+
+    /// Whether the stream's age *exceeds* its budget (an age of exactly
+    /// `max_age_ns` is still fresh, so a budget equal to the producer's
+    /// export cadence tolerates a perfectly periodic producer).
+    pub fn is_stale(&self, now_ns: u64) -> bool {
+        self.age_ns(now_ns) > self.max_age_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Clock, ManualClock};
+
+    #[test]
+    fn grace_period_then_staleness() {
+        let clock = ManualClock::new();
+        let fresh = FreshnessTracker::new(500, clock.now_ns());
+        assert!(!fresh.is_stale(clock.now_ns()), "fresh at construction");
+        clock.advance_ns(500);
+        assert!(!fresh.is_stale(clock.now_ns()), "exact budget is still fresh");
+        clock.advance_ns(1);
+        assert!(fresh.is_stale(clock.now_ns()));
+        assert_eq!(fresh.age_ns(clock.now_ns()), 501);
+    }
+
+    #[test]
+    fn marks_reset_the_age() {
+        let clock = ManualClock::new();
+        let fresh = FreshnessTracker::new(100, clock.now_ns());
+        for _ in 0..5 {
+            clock.advance_ns(90);
+            assert!(!fresh.is_stale(clock.now_ns()));
+            fresh.mark(clock.now_ns());
+        }
+        assert_eq!(fresh.age_ns(clock.now_ns()), 0);
+        clock.advance_ns(101);
+        assert!(fresh.is_stale(clock.now_ns()));
+    }
+
+    #[test]
+    fn racing_marks_keep_the_freshest() {
+        let fresh = FreshnessTracker::new(10, 0);
+        fresh.mark(50);
+        fresh.mark(20); // late-arriving older stamp must not win
+        assert_eq!(fresh.last_seen_ns(), 50);
+        assert_eq!(fresh.age_ns(40), 0, "age saturates at zero");
+    }
+}

@@ -50,9 +50,22 @@
 //! `serve.tier.{t}.*` telemetry there (validate with
 //! `snapshot_check --tiers 3`).
 //!
+//! Pass `--fleet [trail.jsonl]` to run the **scale-out benchmark**: the
+//! biased model served through an in-process `tn-fleet` — shard workers
+//! each hosting a full replica-set runtime behind the framed fleet
+//! protocol, one router dispatching over them — once with 1 shard and
+//! once with `TN_FLEET_SHARDS` (default 2) shards at equal per-shard
+//! workers. The N-shard fleet must win on aggregate req/s while its
+//! answer stream stays **bit-identical** to the 1-shard fleet (and to a
+//! solo runtime — the router pins every request's fleet-global seq). The
+//! cells land in the JSON summary under `fleet_cells`; with a trail path
+//! given, the N-shard run's aggregated `tn-telemetry/1` heartbeats are
+//! exported there (validate with `snapshot_check`).
+//!
 //! Knobs: `TN_SERVE_REQUESTS` (default 1000), `TN_SERVE_WORKERS` (2),
-//! `TN_SERVE_SPF` (8), `TN_SERVE_JSON` (write a machine-readable summary
-//! to this path), plus the usual `TN_TRAIN`/`TN_TEST`/`TN_EPOCHS`.
+//! `TN_SERVE_SPF` (8), `TN_FLEET_SHARDS` (2), `TN_SERVE_JSON` (write a
+//! machine-readable summary to this path), plus the usual
+//! `TN_TRAIN`/`TN_TEST`/`TN_EPOCHS`.
 
 use std::fs::File;
 use std::io::Write as _;
@@ -796,6 +809,143 @@ fn tier_sweep(
     Ok(cells)
 }
 
+/// One scale-out measurement: the full stream through an in-process
+/// fleet at a given shard count, equal per-shard workers.
+struct FleetCell {
+    shards: usize,
+    workers_per_shard: usize,
+    requests: u64,
+    accuracy: f32,
+    aggregate_rps: f64,
+    p50_us: u128,
+    p99_us: u128,
+}
+
+/// Per-seq determinism fingerprint (predicted, votes) for the
+/// bit-identity cross-check between fleet widths.
+type FleetFingerprint = Vec<(usize, Vec<u64>)>;
+
+/// Serve the stream through a `shards`-wide fleet; returns the cell and
+/// the fingerprint of every answer.
+fn fleet_cell(
+    path: &std::path::Path,
+    shards: usize,
+    workers: usize,
+    spf: usize,
+    n_requests: usize,
+    data: &BenchData,
+    trail: Option<&str>,
+) -> Result<(FleetCell, FleetFingerprint), Box<dyn std::error::Error>> {
+    let serve_cfg = ServeConfig::builder(SEED)
+        .replicas(2)
+        .workers(workers)
+        .spf(spf)
+        .queue_capacity(512)
+        .batch_max(32)
+        .kernel_batch(8)
+        .telemetry(TelemetryConfig {
+            interval: Duration::from_millis(20),
+            ..TelemetryConfig::default()
+        })
+        .build()?;
+    let cfg = FleetConfig::new(serve_cfg);
+    let fleet = match trail {
+        Some(trail_path) => fleet_persisted_with_sink(
+            path,
+            shards,
+            cfg,
+            Arc::new(JsonLinesSink::new(File::create(trail_path)?)) as Arc<dyn MetricsSink>,
+        )?,
+        None => fleet_persisted(path, shards, cfg)?,
+    };
+    let n_test = data.test_y.len();
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..n_requests)
+        .map(|i| {
+            fleet
+                .router()
+                .submit_request(SubmitRequest::new(data.test_x.row(i % n_test).to_vec()))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut correct = 0u64;
+    let mut fingerprint = Vec::with_capacity(n_requests);
+    for (i, h) in handles.into_iter().enumerate() {
+        let r = h.wait()?;
+        fingerprint.push((r.predicted, r.votes.clone()));
+        if r.predicted == data.test_y[i % n_test] {
+            correct += 1;
+        }
+    }
+    let wall = t0.elapsed();
+    let (snap, _) = fleet.shutdown();
+    assert_eq!(snap.completed, n_requests as u64, "drain served everything");
+    Ok((
+        FleetCell {
+            shards,
+            workers_per_shard: workers,
+            requests: snap.completed,
+            accuracy: correct as f32 / n_requests as f32,
+            aggregate_rps: n_requests as f64 / wall.as_secs_f64(),
+            p50_us: snap.p50_latency.as_micros(),
+            p99_us: snap.p99_latency.as_micros(),
+        },
+        fingerprint,
+    ))
+}
+
+/// The scale-out benchmark: 1 shard vs N shards at equal per-shard
+/// workers, bit-identity asserted across widths.
+fn fleet_sweep(
+    path: &std::path::Path,
+    n_shards: usize,
+    workers: usize,
+    spf: usize,
+    n_requests: usize,
+    data: &BenchData,
+    trail: Option<&str>,
+) -> Result<Vec<FleetCell>, Box<dyn std::error::Error>> {
+    println!("\n== scale-out: {n_shards}-shard fleet vs 1 shard (biased model) ==\n");
+    println!(
+        "{:<7} {:>13} {:>10} {:>11} {:>9} {:>9}",
+        "shards", "workers/shard", "accuracy", "req/s", "p50 µs", "p99 µs"
+    );
+    let (solo, solo_fp) = fleet_cell(path, 1, workers, spf, n_requests, data, None)?;
+    let (wide, wide_fp) = fleet_cell(path, n_shards, workers, spf, n_requests, data, trail)?;
+    assert_eq!(
+        solo_fp, wide_fp,
+        "fleet width must be invisible in the answer stream"
+    );
+    let cells = vec![solo, wide];
+    for c in &cells {
+        println!(
+            "{:<7} {:>13} {:>10.4} {:>11.1} {:>9} {:>9}",
+            c.shards, c.workers_per_shard, c.accuracy, c.aggregate_rps, c.p50_us, c.p99_us
+        );
+    }
+    let ratio = cells[1].aggregate_rps / cells[0].aggregate_rps;
+    println!("scale-out ratio ({n_shards} shards / 1 shard): {ratio:.2}x aggregate req/s");
+    if let Some(trail_path) = trail {
+        println!("aggregated fleet heartbeat trail written to {trail_path}");
+    }
+    // The win is a parallelism effect: it needs enough requests to
+    // amortize dispatch and enough cores to run every shard's workers.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if n_requests >= 200 && cores >= n_shards * workers {
+        assert!(
+            ratio > 1.0,
+            "an {n_shards}-shard fleet must beat 1 shard on aggregate req/s \
+             at equal per-shard workers ({ratio:.2}x)"
+        );
+    } else if n_requests >= 200 {
+        println!(
+            "(skipping fleet-beats-solo assert: {cores} core(s) < {} \
+             needed to run all shards concurrently)",
+            n_shards * workers
+        );
+    }
+    Ok(cells)
+}
+
 /// Smallest replica count in the sweep reaching `target` accuracy.
 fn replicas_needed(cells: &[Cell], model: &str, target: f32) -> Option<usize> {
     cells
@@ -888,6 +1038,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // optional path receives the mixed-stream per-tier telemetry trail.
     let tiers_at = args.iter().position(|a| a == "--tiers");
     let tiers_trail: Option<String> = tiers_at.and_then(|i| {
+        args.get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+    });
+    // `--fleet [trail.jsonl]` enables the scale-out benchmark; the
+    // optional path receives the fleet's aggregated heartbeat trail.
+    let fleet_at = args.iter().position(|a| a == "--fleet");
+    let fleet_trail: Option<String> = fleet_at.and_then(|i| {
         args.get(i + 1)
             .filter(|v| !v.starts_with("--"))
             .cloned()
@@ -1001,6 +1159,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             spf,
             n_requests,
             packed_trail.as_deref(),
+        )?
+    } else {
+        Vec::new()
+    };
+
+    // Scale-out: the same stream through a sharded fleet, 1 shard vs N
+    // shards at equal per-shard workers, answers bit-identical.
+    let fleet_cells = if fleet_at.is_some() {
+        fleet_sweep(
+            &biased_path,
+            env_usize("TN_FLEET_SHARDS", 2).max(2),
+            workers,
+            spf,
+            n_requests,
+            &data,
+            fleet_trail.as_deref(),
         )?
     } else {
         Vec::new()
@@ -1166,6 +1340,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             format!(",\n  \"consolidation_cells\": [\n{rows}\n  ]")
         };
+        let fleet_rows = if fleet_cells.is_empty() {
+            String::new()
+        } else {
+            let mut rows = String::new();
+            for (i, c) in fleet_cells.iter().enumerate() {
+                if i > 0 {
+                    rows.push_str(",\n");
+                }
+                rows.push_str(&format!(
+                    "    {{\"shards\": {}, \"workers_per_shard\": {}, \"requests\": {}, \"accuracy\": {:.4}, \"aggregate_req_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {}}}",
+                    c.shards,
+                    c.workers_per_shard,
+                    c.requests,
+                    c.accuracy,
+                    c.aggregate_rps,
+                    c.p50_us,
+                    c.p99_us,
+                ));
+            }
+            format!(",\n  \"fleet_cells\": [\n{rows}\n  ]")
+        };
         let tier_rows = if tier_cells.is_empty() {
             String::new()
         } else {
@@ -1199,7 +1394,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         };
         let json = format!(
-            "{{\n  \"bench\": 1,\n  \"seed\": {SEED},\n  \"spf\": {spf},\n  \"workers\": {workers},\n  \"requests_per_cell\": {n_requests},\n  \"float_accuracy\": {{\"tea\": {:.4}, \"biased\": {:.4}}},\n  \"replicas_needed_for_recovery\": {{\"tea\": {}, \"biased\": {}}},\n  \"cells\": [\n{rows}\n  ]{adaptive_rows}{gateway_rows}{consolidation_rows}{tier_rows}\n}}\n",
+            "{{\n  \"bench\": 1,\n  \"seed\": {SEED},\n  \"spf\": {spf},\n  \"workers\": {workers},\n  \"requests_per_cell\": {n_requests},\n  \"float_accuracy\": {{\"tea\": {:.4}, \"biased\": {:.4}}},\n  \"replicas_needed_for_recovery\": {{\"tea\": {}, \"biased\": {}}},\n  \"cells\": [\n{rows}\n  ]{adaptive_rows}{gateway_rows}{consolidation_rows}{fleet_rows}{tier_rows}\n}}\n",
             tea.float_accuracy,
             biased.float_accuracy,
             fmt_needs(tea_needs),

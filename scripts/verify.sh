@@ -27,7 +27,8 @@ TELEMETRY_OUT="$(mktemp /tmp/tn_verify_telemetry.XXXXXX.jsonl)"
 GATEWAY_TRAIL="$(mktemp /tmp/tn_verify_gateway.XXXXXX.jsonl)"
 PACKED_TRAIL="$(mktemp /tmp/tn_verify_packed.XXXXXX.jsonl)"
 TIER_TRAIL="$(mktemp /tmp/tn_verify_tiers.XXXXXX.jsonl)"
-trap 'rm -f "$TELEMETRY_OUT" "$GATEWAY_TRAIL" "$PACKED_TRAIL" "$TIER_TRAIL"' EXIT
+FLEET_TRAIL="$(mktemp /tmp/tn_verify_fleet.XXXXXX.jsonl)"
+trap 'rm -f "$TELEMETRY_OUT" "$GATEWAY_TRAIL" "$PACKED_TRAIL" "$TIER_TRAIL" "$FLEET_TRAIL"' EXIT
 # --packed also runs the two-tenant consolidation sweep, which asserts
 # per-tenant bit-identity with solo runtimes and (at >= 100 requests per
 # model) that the packed runtime beats the split-solo baseline on
@@ -55,6 +56,18 @@ TN_TRAIN=200 TN_TEST=60 TN_EPOCHS=1 TN_SERVE_REQUESTS=200 \
   --tiers "$TIER_TRAIL"
 cargo run --release -q -p tn-telemetry --bin snapshot_check -- \
   "$TIER_TRAIL" --min 1 --tiers 3
+
+echo "== fleet smoke: 2-shard scale-out, bit-identity, aggregated heartbeats =="
+# --fleet serves the stream through a 1-shard and a 2-shard in-process
+# fleet and asserts the answer streams are bit-identical across widths
+# (the N-beats-1 aggregate-throughput assert arms only with enough cores
+# to run every shard's workers concurrently). The router's aggregated
+# tn-telemetry/1 heartbeat trail must validate like any snapshot stream.
+TN_TRAIN=200 TN_TEST=60 TN_EPOCHS=1 TN_SERVE_REQUESTS=200 \
+  cargo run --release -q -p truenorth --example serve_throughput -- \
+  --fleet "$FLEET_TRAIL"
+cargo run --release -q -p tn-telemetry --bin snapshot_check -- \
+  "$FLEET_TRAIL" --min 2
 
 echo "== gateway smoke: wire serving, load shedding, graceful drain =="
 # The demo asserts: concurrent std-TCP clients all served 200, at least

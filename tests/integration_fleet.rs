@@ -1,0 +1,421 @@
+//! Fleet integration: the tn-fleet acceptance contract.
+//!
+//! * a sharded fleet's answer stream is **bit-identical** to a solo
+//!   runtime for the same `(seed, seq, spf)`, under both dispatch
+//!   policies;
+//! * a rolling rescale ([`FleetRouter::set_replicas`]) preserves that
+//!   bit-identity: the fleet behaves exactly like one runtime applying
+//!   [`ControlAction::SetReplicas`] between two consecutive seqs;
+//! * a shard that stops emitting `tn-telemetry/1` heartbeats goes
+//!   unhealthy (scripted with a [`ManualClock`]) and is quarantined
+//!   without dropping anything;
+//! * a cut shard connection re-routes its in-flight requests to the
+//!   survivors, still bit-identically;
+//! * the aggregated heartbeat trail is a valid snapshot stream;
+//! * `tn-gateway` serves a fleet through `Gateway::bind_backend` over
+//!   real TCP.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tn_chip::nscs::{CoreDeploySpec, InputSource, NetworkDeploySpec};
+use tn_fleet::{DispatchPolicy, FleetConfig, FleetRouter, LocalFleet, ShardServer};
+use tn_gateway::{Gateway, GatewayConfig};
+use tn_serve::pipe::duplex;
+use tn_serve::{
+    ControlAction, Response, ServeBackend, ServeConfig, ServeRuntime, SubmitRequest,
+    TelemetryConfig,
+};
+use tn_telemetry::{json, LatestSink, ManualClock, MemorySink, NullSink, Snapshot};
+
+/// A single-core 2-class spec with fractional weights so replica
+/// sampling and input Bernoulli noise are both in play — if anything in
+/// the fleet path perturbed the RNG schedule, answers would diverge.
+fn fractional_spec() -> NetworkDeploySpec {
+    NetworkDeploySpec {
+        cores: vec![CoreDeploySpec {
+            layer: 0,
+            weights: vec![0.8, -0.6, -0.6, 0.8],
+            n_axons: 2,
+            n_neurons: 2,
+            biases: vec![-0.4, -0.4],
+            axon_sources: vec![InputSource::External(0), InputSource::External(1)],
+        }],
+        n_inputs: 2,
+        n_classes: 2,
+        output_taps: vec![(0, 0, 0), (0, 1, 1)],
+    }
+}
+
+fn request_inputs(i: usize) -> Vec<f32> {
+    let x = (i % 7) as f32 / 6.0;
+    vec![x, 1.0 - x]
+}
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig::builder(77)
+        .replicas(3)
+        .workers(2)
+        .build()
+        .expect("valid config")
+}
+
+/// Everything in a [`Response`] that the determinism contract covers —
+/// `worker` and `latency` are explicitly *not* part of it.
+fn identity_key(r: &Response) -> (u64, usize, Vec<u64>, Vec<usize>, u32, usize, usize, usize) {
+    (
+        r.seq,
+        r.predicted,
+        r.votes.clone(),
+        r.replica_predictions.clone(),
+        r.agreement.to_bits(),
+        r.class(),
+        r.model(),
+        r.spf(),
+    )
+}
+
+/// Serve `n` requests on a solo runtime, in submission order.
+fn solo_answers(cfg: &ServeConfig, n: usize) -> Vec<Response> {
+    let rt = ServeRuntime::new(&fractional_spec(), cfg.clone()).expect("solo deploy");
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            rt.submit(SubmitRequest::new(request_inputs(i)))
+                .expect("solo submit")
+        })
+        .collect();
+    let answers = handles
+        .into_iter()
+        .map(|h| h.wait().expect("solo answer"))
+        .collect();
+    rt.shutdown();
+    answers
+}
+
+#[test]
+fn fleet_answers_are_bit_identical_to_solo_under_both_policies() {
+    let solo = solo_answers(&serve_cfg(), 30);
+    for policy in [DispatchPolicy::ConsistentHash, DispatchPolicy::LeastLoaded] {
+        let fleet = LocalFleet::launch(
+            &fractional_spec(),
+            3,
+            FleetConfig::new(serve_cfg()).policy(policy),
+        )
+        .expect("launch fleet");
+        let handles: Vec<_> = (0..30)
+            .map(|i| {
+                fleet
+                    .router()
+                    .submit_request(SubmitRequest::new(request_inputs(i)))
+                    .expect("fleet submit")
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let got = h.wait().expect("fleet answer");
+            assert_eq!(
+                identity_key(&got),
+                identity_key(&solo[i]),
+                "{policy:?} diverged from solo at seq {i}"
+            );
+        }
+        // The work was actually spread: every shard saw submissions.
+        let (_, shard_metrics) = fleet.shutdown();
+        let per_shard: Vec<u64> = shard_metrics.iter().map(|m| m.submitted).collect();
+        assert_eq!(per_shard.iter().sum::<u64>(), 30, "{policy:?}: {per_shard:?}");
+        assert!(
+            per_shard.iter().all(|&n| n > 0),
+            "{policy:?} starved a shard: {per_shard:?}"
+        );
+    }
+}
+
+#[test]
+fn rolling_rescale_is_invisible_in_the_answer_stream() {
+    // The reference: one runtime serving 20 requests at 3 replicas, then
+    // 20 more after SetReplicas(5) lands between two consecutive seqs.
+    let rt = ServeRuntime::new(&fractional_spec(), serve_cfg()).expect("solo deploy");
+    let mut solo = Vec::new();
+    for i in 0..20 {
+        solo.push(
+            rt.submit(SubmitRequest::new(request_inputs(i)))
+                .expect("solo submit")
+                .wait()
+                .expect("solo answer"),
+        );
+    }
+    rt.apply_control(&ControlAction::SetReplicas(5))
+        .expect("solo rescale");
+    for i in 20..40 {
+        solo.push(
+            rt.submit(SubmitRequest::new(request_inputs(i)))
+                .expect("solo submit")
+                .wait()
+                .expect("solo answer"),
+        );
+    }
+    rt.shutdown();
+
+    let fleet = LocalFleet::launch(&fractional_spec(), 2, FleetConfig::new(serve_cfg()))
+        .expect("launch fleet");
+    let first: Vec<_> = (0..20)
+        .map(|i| {
+            fleet
+                .router()
+                .submit_request(SubmitRequest::new(request_inputs(i)))
+                .expect("fleet submit")
+        })
+        .collect();
+    let mut got: Vec<Response> = first
+        .into_iter()
+        .map(|h| h.wait().expect("fleet answer"))
+        .collect();
+    assert_eq!(fleet.router().replicas(), 3, "pre-roll replica gauge");
+    fleet.router().set_replicas(5).expect("rolling rescale");
+    assert_eq!(fleet.router().replicas(), 5, "post-roll replica gauge");
+    let second: Vec<_> = (20..40)
+        .map(|i| {
+            fleet
+                .router()
+                .submit_request(SubmitRequest::new(request_inputs(i)))
+                .expect("fleet submit")
+        })
+        .collect();
+    got.extend(second.into_iter().map(|h| h.wait().expect("fleet answer")));
+
+    for (g, s) in got.iter().zip(&solo) {
+        assert_eq!(
+            identity_key(g),
+            identity_key(s),
+            "rescale visible at seq {}",
+            s.seq
+        );
+    }
+    // Every shard really swapped: their runtimes agree on the new count.
+    for i in 0..fleet.n_shards() {
+        assert_eq!(fleet.shard(i).runtime().replicas(), 5, "shard {i}");
+    }
+    fleet.shutdown();
+}
+
+#[test]
+fn stale_shard_is_quarantined_without_dropping_requests() {
+    let clock = Arc::new(ManualClock::at_ns(1_000));
+    let mut cfg = serve_cfg();
+    cfg.telemetry = Some(TelemetryConfig {
+        interval: Duration::from_millis(2),
+        span_ring: 64,
+    });
+    let fleet = LocalFleet::launch(
+        &fractional_spec(),
+        2,
+        FleetConfig::new(cfg.clone())
+            .staleness(Duration::from_millis(50))
+            .clock(Arc::clone(&clock) as Arc<_>),
+    )
+    .expect("launch fleet");
+
+    assert!(fleet.router().shard_healthy(0), "fresh at connect");
+    assert!(fleet.router().shard_healthy(1), "fresh at connect");
+
+    // Shard 0 falls silent; the router clock moves past the budget.
+    // Shard 1 keeps heartbeating, so its next snapshot re-freshens it at
+    // the advanced clock — shard 0 has no way back while muted.
+    fleet.shard(0).mute_snapshots(true);
+    clock.advance(Duration::from_millis(100));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !fleet.router().shard_healthy(1) || fleet.router().shard_healthy(0) {
+        assert!(Instant::now() < deadline, "staleness quarantine never settled");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // New work all lands on the healthy shard — and still matches solo.
+    let before = fleet.shard(0).runtime().metrics().submitted;
+    let solo = solo_answers(&cfg, 10);
+    let handles: Vec<_> = (0..10)
+        .map(|i| {
+            fleet
+                .router()
+                .submit_request(SubmitRequest::new(request_inputs(i)))
+                .expect("submit to degraded fleet")
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        let got = h.wait().expect("answer from degraded fleet");
+        assert_eq!(identity_key(&got), identity_key(&solo[i]), "seq {i}");
+    }
+    assert_eq!(
+        fleet.shard(0).runtime().metrics().submitted,
+        before,
+        "stale shard must receive no new dispatches"
+    );
+    fleet.shutdown();
+}
+
+#[test]
+fn lost_shard_connection_reroutes_without_losing_answers() {
+    let solo = solo_answers(&serve_cfg(), 24);
+
+    // Wire the fleet by hand so we keep a handle on shard 0's pipe and
+    // can cut it mid-flight.
+    let (shard0_end, router0_end) = duplex(256 * 1024);
+    let (shard1_end, router1_end) = duplex(256 * 1024);
+    let cut_handle = router0_end.clone();
+    let shard0 =
+        ShardServer::host(&fractional_spec(), serve_cfg(), shard0_end).expect("host shard 0");
+    let shard1 =
+        ShardServer::host(&fractional_spec(), serve_cfg(), shard1_end).expect("host shard 1");
+    let router = FleetRouter::connect(
+        vec![router0_end, router1_end],
+        FleetConfig::new(serve_cfg()).max_retries(3),
+    )
+    .expect("connect router");
+
+    let handles: Vec<_> = (0..24)
+        .map(|i| {
+            router
+                .submit_request(SubmitRequest::new(request_inputs(i)))
+                .expect("submit")
+        })
+        .collect();
+    // Sever shard 0 while requests are in flight. Whatever it had
+    // pending is re-dispatched to shard 1 with its seq pinned, so the
+    // answers cannot change.
+    cut_handle.shutdown();
+    for (i, h) in handles.into_iter().enumerate() {
+        let got = h.wait().expect("answer despite severed shard");
+        assert_eq!(identity_key(&got), identity_key(&solo[i]), "seq {i}");
+    }
+    assert!(!router.shard_healthy(0), "severed shard marked dead");
+    assert!(router.shard_healthy(1), "survivor still healthy");
+
+    router.begin_shutdown();
+    shard0.join();
+    shard1.join();
+    let metrics = router.finish();
+    assert_eq!(metrics.completed, 24);
+    assert_eq!(metrics.rejected, 0, "re-routing must not surface rejects");
+}
+
+#[test]
+fn aggregated_heartbeat_trail_is_a_valid_snapshot_stream() {
+    let mut cfg = serve_cfg();
+    cfg.telemetry = Some(TelemetryConfig {
+        interval: Duration::from_millis(2),
+        span_ring: 64,
+    });
+    let sink = Arc::new(MemorySink::new());
+    let fleet = LocalFleet::launch_with_sink(
+        &fractional_spec(),
+        2,
+        FleetConfig::new(cfg),
+        Arc::clone(&sink) as Arc<_>,
+    )
+    .expect("launch fleet");
+    let handles: Vec<_> = (0..12)
+        .map(|i| {
+            fleet
+                .router()
+                .submit_request(SubmitRequest::new(request_inputs(i)))
+                .expect("submit")
+        })
+        .collect();
+    for h in handles {
+        h.wait().expect("answer");
+    }
+    fleet.shutdown();
+
+    // Shutdown emits one closing snapshot per shard, so the trail is
+    // never empty; every line must round-trip the tn-telemetry/1 schema
+    // (the same validation `snapshot_check` applies).
+    let snaps = sink.snapshots();
+    assert!(snaps.len() >= 2, "expected closing heartbeats, got {}", snaps.len());
+    for snap in &snaps {
+        let line = snap.to_json_line();
+        let parsed = Snapshot::parse_json_line(line.trim_end()).expect("valid tn-telemetry/1");
+        assert_eq!(parsed, *snap);
+    }
+    // The trail reflects real served work (the aggregated stream is the
+    // union of per-shard counters; each shard saw at most the whole
+    // workload, and together the closing heartbeats account for it).
+    let max_completed = snaps
+        .iter()
+        .filter_map(|s| s.counters.get("serve.completed").copied())
+        .max()
+        .expect("serve.completed present");
+    assert!(
+        (1..=12).contains(&max_completed),
+        "per-shard completed counter out of range: {max_completed}"
+    );
+}
+
+#[test]
+fn gateway_serves_a_fleet_backend_over_tcp() {
+    let mut cfg = serve_cfg();
+    cfg.telemetry = Some(TelemetryConfig {
+        interval: Duration::from_millis(2),
+        span_ring: 64,
+    });
+    let latest = Arc::new(LatestSink::tee(Arc::new(NullSink)));
+    let fleet = LocalFleet::launch_with_sink(
+        &fractional_spec(),
+        2,
+        FleetConfig::new(cfg.clone()),
+        Arc::clone(&latest) as Arc<_>,
+    )
+    .expect("launch fleet");
+    let gw = Gateway::bind_backend(
+        "127.0.0.1:0",
+        fleet.router_arc(),
+        GatewayConfig::default(),
+        Arc::clone(&latest),
+    )
+    .expect("bind gateway over fleet");
+
+    let solo = solo_answers(&cfg, 1);
+    let mut client = TcpStream::connect(gw.local_addr()).expect("connect");
+    let body = "{\"frame\":[0,1]}";
+    client
+        .write_all(
+            format!(
+                "POST /v1/classify HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                body.len(),
+                body
+            )
+            .as_bytes(),
+        )
+        .expect("send classify");
+    let mut reply = String::new();
+    client.read_to_string(&mut reply).expect("receive");
+    assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+    let payload = reply.split("\r\n\r\n").nth(1).expect("body");
+    let v = json::parse(payload).expect("valid JSON");
+    assert_eq!(
+        v.get("predicted").and_then(|p| p.as_u64()),
+        Some(solo[0].predicted as u64),
+        "fleet-behind-gateway diverged from solo: {payload}"
+    );
+
+    // /v1/config renders from the fleet's aggregate introspection.
+    let mut client = TcpStream::connect(gw.local_addr()).expect("connect");
+    client
+        .write_all(b"GET /v1/config HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .expect("send config");
+    let mut reply = String::new();
+    client.read_to_string(&mut reply).expect("receive");
+    assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+    let payload = reply.split("\r\n\r\n").nth(1).expect("body");
+    let v = json::parse(payload).expect("valid JSON");
+    assert_eq!(
+        v.get("model")
+            .and_then(|m| m.get("replicas"))
+            .and_then(|r| r.as_u64()),
+        Some(3)
+    );
+
+    let final_metrics = gw.shutdown();
+    assert!(final_metrics.completed >= 1);
+    let (router_metrics, _) = fleet.shutdown();
+    assert!(router_metrics.completed >= 1);
+}
