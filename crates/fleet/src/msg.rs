@@ -339,6 +339,9 @@ pub fn encode_err(seq: u64, e: &ServeError) -> String {
         ServeError::BadConfig(m) => ("bad_config", format!("{{\"detail\":\"{}\"}}", escape(m))),
         ServeError::QueueFull => ("queue_full", "{}".to_string()),
         ServeError::ShuttingDown => ("shutting_down", "{}".to_string()),
+        ServeError::Unavailable(m) => {
+            ("unavailable", format!("{{\"detail\":\"{}\"}}", escape(m)))
+        }
         ServeError::WaitTimeout => ("wait_timeout", "{}".to_string()),
         ServeError::BadInput { expected, got } => (
             "bad_input",
@@ -391,6 +394,7 @@ pub fn parse_err(text: &str) -> Result<(u64, ServeError), String> {
     let error = match code.as_str() {
         "queue_full" => ServeError::QueueFull,
         "shutting_down" => ServeError::ShuttingDown,
+        "unavailable" => ServeError::Unavailable(get_str(data, "detail")?),
         "wait_timeout" => ServeError::WaitTimeout,
         "bad_input" => ServeError::BadInput {
             expected: get_usize(data, "expected")?,
@@ -578,6 +582,7 @@ mod tests {
         let cases = vec![
             ServeError::QueueFull,
             ServeError::ShuttingDown,
+            ServeError::Unavailable("no healthy shard".to_string()),
             ServeError::WaitTimeout,
             ServeError::BadInput { expected: 4, got: 2 },
             ServeError::InputOutOfRange { channel: 1, value: 1.5 },

@@ -110,6 +110,15 @@ fn submit(request: SubmitRequest, ctx: &ServiceCtx, line_mode: bool) -> Pending 
             line_mode,
         )
         .closing(),
+        // Unlike a drain, the connection stays open: unavailability is a
+        // backend-capacity condition (dead/stale fleet shards) that may
+        // recover, so the client is invited to retry.
+        Err(ServeError::Unavailable(msg)) => Pending::ready(
+            503,
+            proto::error_json("unavailable", &format!("backend unavailable: {msg}")),
+            line_mode,
+        )
+        .with_retry_after(retry_after_secs(&*ctx.rt)),
         Err(
             e @ (ServeError::BadInput { .. } | ServeError::InputOutOfRange { .. }),
         ) => Pending::ready(400, proto::error_json("bad_input", &e.to_string()), line_mode),

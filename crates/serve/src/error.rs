@@ -22,6 +22,13 @@ pub enum ServeError {
     /// request was accepted but the runtime went away before a worker
     /// served it (the waiter is woken with this instead of hanging).
     ShuttingDown,
+    /// The backend has no healthy capacity for this request right now —
+    /// e.g. a fleet router whose shards are all dead or stale, or a
+    /// request whose re-dispatch budget ran out after connection losses.
+    /// Distinct from [`ServeError::ShuttingDown`]: nobody asked the
+    /// backend to stop, it just cannot serve; retrying later may
+    /// succeed once capacity recovers.
+    Unavailable(String),
     /// [`crate::RequestHandle::wait_timeout`] expired before the request
     /// completed. The request is still in flight; waiting again is fine.
     WaitTimeout,
@@ -76,6 +83,7 @@ impl std::fmt::Display for ServeError {
             Self::BadConfig(msg) => write!(f, "invalid serve config: {msg}"),
             Self::QueueFull => write!(f, "submission queue full (backpressure: reject)"),
             Self::ShuttingDown => write!(f, "runtime is shutting down"),
+            Self::Unavailable(msg) => write!(f, "backend unavailable: {msg}"),
             Self::WaitTimeout => write!(f, "timed out waiting for the request to complete"),
             Self::BadInput { expected, got } => {
                 write!(f, "input width mismatch: expected {expected} channels, got {got}")
@@ -137,6 +145,8 @@ mod tests {
         let text = e.to_string();
         assert!(text.contains("784") && text.contains("10"), "{text}");
         assert!(ServeError::QueueFull.to_string().contains("full"));
+        let e = ServeError::Unavailable("no healthy shard".into());
+        assert!(e.to_string().contains("unavailable") && e.to_string().contains("shard"));
         let e = ServeError::UnknownClass { class: 3, classes: 2 };
         assert!(e.to_string().contains('3') && e.to_string().contains('2'));
         let e = ServeError::UnknownQuality {

@@ -1304,6 +1304,10 @@ fn assemble_snapshot(ctx: &ObserverCtx, seq: u64, now_ns: u64) -> Snapshot {
             ctx.control.replicas.load(Ordering::Relaxed) as f64,
         )
         .gauge(
+            "serve.cores",
+            ctx.control.cores.load(Ordering::Relaxed) as f64,
+        )
+        .gauge(
             "serve.mean_agreement",
             f64::from(mean_agreement.unwrap_or(0.0)),
         );

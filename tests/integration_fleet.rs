@@ -172,8 +172,13 @@ fn rolling_rescale_is_invisible_in_the_answer_stream() {
         .map(|h| h.wait().expect("fleet answer"))
         .collect();
     assert_eq!(fleet.router().replicas(), 3, "pre-roll replica gauge");
+    // Energy attribution: 2 shards × 1 core/replica × 3 replicas.
+    assert_eq!(fleet.router().metrics().energy.cores, 6, "pre-roll powered cores");
     fleet.router().set_replicas(5).expect("rolling rescale");
     assert_eq!(fleet.router().replicas(), 5, "post-roll replica gauge");
+    // The per-shard core gauge tracked the roll: attribution follows the
+    // shards' *current* deployment, not their connect-time Hello.
+    assert_eq!(fleet.router().metrics().energy.cores, 10, "post-roll powered cores");
     let second: Vec<_> = (20..40)
         .map(|i| {
             fleet
@@ -289,6 +294,19 @@ fn lost_shard_connection_reroutes_without_losing_answers() {
     }
     assert!(!router.shard_healthy(0), "severed shard marked dead");
     assert!(router.shard_healthy(1), "survivor still healthy");
+    // Admission capacity and powered-core attribution both track the
+    // loss: the dead shard's queue slots and cores no longer count.
+    let per_shard_capacity = serve_cfg().queue_capacity;
+    assert_eq!(
+        router.queue_stats().capacity,
+        per_shard_capacity,
+        "capacity must shrink to the surviving shard's queue"
+    );
+    assert_eq!(
+        router.metrics().energy.cores,
+        3,
+        "a dead shard's cores must drop out of the energy attribution"
+    );
 
     router.begin_shutdown();
     shard0.join();
